@@ -1,0 +1,218 @@
+// Ablation bench for the completion claims of §II-D: how well does the
+// pre-trained PKGM complete (a) missing tail entities and (b) missing
+// relations, compared against (i) the symbolic query engine (which by
+// construction cannot answer queries about unfilled attributes) and
+// (ii) a TransE-only ablation without the relation query module.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/link_prediction.h"
+#include "kg/query_engine.h"
+#include "kg/rule_miner.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace pkgm {
+namespace {
+
+struct RelationCompletionResult {
+  double owned_mean = 0.0;    // mean ||S_R|| for should-have relations
+  double foreign_mean = 0.0;  // mean ||S_R|| for foreign relations
+  double auc = 0.0;           // ranking AUC of foreign over owned
+};
+
+/// Measures how well ||S_R(h,r)|| separates relations an item should have
+/// (including held-out ones) from relations it should not.
+RelationCompletionResult EvaluateRelationCompletion(
+    const tasks::PretrainedPkgm& p) {
+  const kg::SyntheticPkg& pkg = p.pkg;
+  std::vector<double> owned, foreign;
+  for (uint32_t i = 0; i < pkg.items.size(); i += 3) {
+    const auto& item = pkg.items[i];
+    for (kg::RelationId r : pkg.property_relations) {
+      const double score = p.model->RelationScore(item.entity, r);
+      if (pkg.ItemShouldHaveRelation(i, r)) {
+        owned.push_back(score);
+      } else {
+        foreign.push_back(score);
+      }
+    }
+  }
+  RelationCompletionResult result;
+  for (double s : owned) result.owned_mean += s;
+  result.owned_mean /= owned.size();
+  for (double s : foreign) result.foreign_mean += s;
+  result.foreign_mean /= foreign.size();
+
+  // AUC via pairwise comparison on a subsample.
+  uint64_t wins = 0, total = 0;
+  for (size_t i = 0; i < owned.size(); i += 7) {
+    for (size_t j = 0; j < foreign.size(); j += 23) {
+      wins += owned[i] < foreign[j];
+      ++total;
+    }
+  }
+  result.auc = total > 0 ? static_cast<double>(wins) / total : 0.0;
+  return result;
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Completion ablation (paper SSII-D): PKGM vs TransE-only vs symbolic");
+  bench::PrintScaleNote();
+
+  // Full PKGM and the TransE-only ablation on the same KG.
+  tasks::PipelineOptions opt = bench::BenchPipelineOptions();
+  std::printf("\npre-training full PKGM ...\n");
+  tasks::PretrainedPkgm full = tasks::BuildAndPretrain(opt);
+
+  tasks::PipelineOptions ablated_opt = opt;
+  ablated_opt.use_relation_module = false;
+  std::printf("pre-training TransE-only ablation ...\n");
+  tasks::PretrainedPkgm ablated = tasks::BuildAndPretrain(ablated_opt);
+
+  const kg::SyntheticPkg& pkg = full.pkg;
+  std::printf(
+      "\nKG: %s observed triples, %s held-out (true but unfilled) triples\n",
+      WithThousandsSeparators(pkg.observed.size()).c_str(),
+      WithThousandsSeparators(pkg.held_out.size()).c_str());
+
+  // ---- (a) triple completion: rank held-out tails -------------------------
+  std::vector<kg::Triple> test(
+      pkg.held_out.begin(),
+      pkg.held_out.begin() + std::min<size_t>(pkg.held_out.size(), 2000));
+
+  core::LinkPredictionEvaluator::Options eval_opt;
+  eval_opt.filtered = true;
+  core::LinkPredictionEvaluator full_eval(full.model.get(), &pkg.observed,
+                                          eval_opt);
+  core::LinkPredictionEvaluator ablated_eval(ablated.model.get(),
+                                             &pkg.observed, eval_opt);
+
+  Stopwatch sw;
+  auto full_result = full_eval.EvaluateTails(test, &pkg.property_values);
+  const double full_seconds = sw.ElapsedSeconds();
+  sw.Reset();
+  auto ablated_result = ablated_eval.EvaluateTails(test, &pkg.property_values);
+  const double ablated_seconds = sw.ElapsedSeconds();
+
+  // The symbolic engine answers (h, r, ?t) from stored triples only; every
+  // held-out triple is unfilled, so its recall is structurally zero — the
+  // incompleteness disadvantage PKGM's vector services overcome.
+  kg::QueryEngine symbolic(&pkg.observed);
+  uint64_t symbolic_answered = 0;
+  for (const kg::Triple& t : test) {
+    const auto& tails = symbolic.TripleQuery(t.head, t.relation);
+    for (kg::EntityId e : tails) {
+      if (e == t.tail) {
+        ++symbolic_answered;
+        break;
+      }
+    }
+  }
+
+  TablePrinter t({"Model", "MRR", "Hits@1", "Hits@3", "Hits@10", "MeanRank",
+                  "eval s"});
+  t.AddRow({"PKGM (full)", StrFormat("%.4f", full_result.mrr),
+            StrFormat("%.4f", full_result.hits[1]),
+            StrFormat("%.4f", full_result.hits[3]),
+            StrFormat("%.4f", full_result.hits[10]),
+            StrFormat("%.2f", full_result.mean_rank),
+            StrFormat("%.2f", full_seconds)});
+  t.AddRow({"TransE-only", StrFormat("%.4f", ablated_result.mrr),
+            StrFormat("%.4f", ablated_result.hits[1]),
+            StrFormat("%.4f", ablated_result.hits[3]),
+            StrFormat("%.4f", ablated_result.hits[10]),
+            StrFormat("%.2f", ablated_result.mean_rank),
+            StrFormat("%.2f", ablated_seconds)});
+  t.AddRow({"symbolic query",
+            StrFormat("%.4f", static_cast<double>(symbolic_answered) /
+                                  test.size()),
+            "-", "-", "-", "-", "-"});
+
+  // Rule-based baseline (the production KG's "3+ million rules"): mine
+  // attribute-association rules from the observed KG, then answer the same
+  // held-out queries by forward chaining.
+  {
+    std::vector<kg::EntityId> item_entities;
+    for (const auto& item : pkg.items) item_entities.push_back(item.entity);
+    kg::RuleMinerOptions mopt;
+    mopt.min_support = 10;
+    mopt.min_confidence = 0.3;
+    Stopwatch mine_sw;
+    kg::RuleInferencer rules(
+        kg::MineRules(pkg.observed, item_entities, mopt));
+    const double mine_s = mine_sw.ElapsedSeconds();
+    mine_sw.Reset();
+    auto [rule_mrr, rule_hits1] =
+        rules.EvaluateTails(pkg.observed, test, opt.pkg.values_per_property);
+    t.AddRow({StrFormat("rules (%zu mined)", rules.num_rules()),
+              StrFormat("%.4f", rule_mrr), StrFormat("%.4f", rule_hits1), "-",
+              "-", "-", StrFormat("%.2f", mine_sw.ElapsedSeconds())});
+    std::printf("rule mining took %.2fs\n", mine_s);
+  }
+  std::printf(
+      "\n(a) tail completion of %zu held-out attribute triples, candidates\n"
+      "    restricted to each property's value universe, filtered protocol:\n%s",
+      test.size(), t.ToString().c_str());
+
+  // ---- (a') triple-scorer family comparison --------------------------------
+  // The paper picks TransE "for its simplicity and effectiveness" (§II-A)
+  // and cites DistMult / ComplEx as alternatives (§IV-A); the triple query
+  // module is pluggable, so compare them on the same completion task.
+  {
+    TablePrinter ts({"Triple scorer", "MRR", "Hits@1", "Hits@10",
+                     "MeanRank"});
+    const struct {
+      core::TripleScorerKind kind;
+      const char* name;
+    } scorers[] = {
+        {core::TripleScorerKind::kTransE, "TransE (paper)"},
+        {core::TripleScorerKind::kDistMult, "DistMult"},
+        {core::TripleScorerKind::kComplEx, "ComplEx"},
+        {core::TripleScorerKind::kTransH, "TransH"},
+    };
+    for (const auto& s : scorers) {
+      core::PkgmModelOptions model_opt;
+      model_opt.num_entities = pkg.entities.size();
+      model_opt.num_relations = pkg.relations.size();
+      model_opt.dim = opt.dim;
+      model_opt.scorer = s.kind;
+      model_opt.seed = opt.seed;
+      core::PkgmModel model(model_opt);
+      core::Trainer trainer(&model, &pkg.observed, opt.trainer);
+      trainer.Train(opt.pretrain_epochs);
+      core::LinkPredictionEvaluator eval(&model, &pkg.observed, eval_opt);
+      auto r = eval.EvaluateTails(test, &pkg.property_values);
+      ts.AddRow({s.name, StrFormat("%.4f", r.mrr),
+                 StrFormat("%.4f", r.hits[1]), StrFormat("%.4f", r.hits[10]),
+                 StrFormat("%.2f", r.mean_rank)});
+    }
+    std::printf("\n(a') triple-scorer families on the same completion task:\n%s",
+                ts.ToString().c_str());
+  }
+
+  // ---- (b) relation completion: ||S_R|| separates owned vs foreign --------
+  RelationCompletionResult full_rel = EvaluateRelationCompletion(full);
+  TablePrinter t2({"Model", "mean ||S_R|| owned", "mean ||S_R|| foreign",
+                   "AUC(owned < foreign)"});
+  t2.AddRow({"PKGM (full)", StrFormat("%.3f", full_rel.owned_mean),
+             StrFormat("%.3f", full_rel.foreign_mean),
+             StrFormat("%.4f", full_rel.auc)});
+  t2.AddRow({"TransE-only", "0 (module disabled)", "0 (module disabled)",
+             "0.5 (no signal)"});
+  std::printf(
+      "\n(b) relation completion: does ||S_R(h,r)|| ~ 0 iff h should have r\n"
+      "    (owned includes held-out, never-observed relations)?\n%s",
+      t2.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace pkgm
+
+int main() {
+  pkgm::Run();
+  return 0;
+}

@@ -1,0 +1,212 @@
+// Google-benchmark microbenchmarks for the hot paths: PKGM scoring and
+// service functions, negative sampling, gradient accumulation, the tensor
+// kernels behind them, tokenization, and attention forward.
+
+#include <benchmark/benchmark.h>
+
+#include "core/gradients.h"
+#include "core/negative_sampler.h"
+#include "core/pkgm_model.h"
+#include "kg/synthetic_pkg.h"
+#include "nn/attention.h"
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "text/tokenizer.h"
+#include "util/rng.h"
+
+namespace pkgm {
+namespace {
+
+// ------------------------------------------------------------ tensor ops --
+
+void BM_Dot(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Rng rng(1);
+  std::vector<float> x(n), y(n);
+  UniformInit(n, -1, 1, &rng, x.data());
+  UniformInit(n, -1, 1, &rng, y.data());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dot(n, x.data(), y.data()));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Dot)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_GemvRaw(benchmark::State& state) {
+  const size_t d = state.range(0);
+  Rng rng(2);
+  std::vector<float> m(d * d), x(d), y(d);
+  UniformInit(m.size(), -1, 1, &rng, m.data());
+  UniformInit(d, -1, 1, &rng, x.data());
+  for (auto _ : state) {
+    GemvRaw(d, d, m.data(), x.data(), y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * d * d);
+}
+BENCHMARK(BM_GemvRaw)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Gemm(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Rng rng(3);
+  Mat a(n, n), b(n, n), c(n, n);
+  UniformInit(a.size(), -1, 1, &rng, a.data());
+  UniformInit(b.size(), -1, 1, &rng, b.data());
+  for (auto _ : state) {
+    Gemm(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+// ------------------------------------------------------------ PKGM model --
+
+core::PkgmModel& BenchModel(uint32_t dim) {
+  static core::PkgmModel* model = nullptr;
+  static uint32_t model_dim = 0;
+  if (model == nullptr || model_dim != dim) {
+    delete model;
+    core::PkgmModelOptions opt;
+    opt.num_entities = 10000;
+    opt.num_relations = 64;
+    opt.dim = dim;
+    model = new core::PkgmModel(opt);
+    model_dim = dim;
+  }
+  return *model;
+}
+
+void BM_TripleScore(benchmark::State& state) {
+  core::PkgmModel& model = BenchModel(state.range(0));
+  Rng rng(5);
+  for (auto _ : state) {
+    kg::Triple t{static_cast<kg::EntityId>(rng.Uniform(10000)),
+                 static_cast<kg::RelationId>(rng.Uniform(64)),
+                 static_cast<kg::EntityId>(rng.Uniform(10000))};
+    benchmark::DoNotOptimize(model.TripleScore(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TripleScore)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_RelationScore(benchmark::State& state) {
+  core::PkgmModel& model = BenchModel(state.range(0));
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.RelationScore(
+        static_cast<kg::EntityId>(rng.Uniform(10000)),
+        static_cast<kg::RelationId>(rng.Uniform(64))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RelationScore)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_TripleService(benchmark::State& state) {
+  core::PkgmModel& model = BenchModel(state.range(0));
+  Rng rng(9);
+  std::vector<float> out(model.dim());
+  for (auto _ : state) {
+    model.TripleService(static_cast<kg::EntityId>(rng.Uniform(10000)),
+                        static_cast<kg::RelationId>(rng.Uniform(64)),
+                        out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TripleService)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_RelationService(benchmark::State& state) {
+  core::PkgmModel& model = BenchModel(state.range(0));
+  Rng rng(11);
+  std::vector<float> out(model.dim());
+  for (auto _ : state) {
+    model.RelationService(static_cast<kg::EntityId>(rng.Uniform(10000)),
+                          static_cast<kg::RelationId>(rng.Uniform(64)),
+                          out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RelationService)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_HingeGradients(benchmark::State& state) {
+  core::PkgmModel& model = BenchModel(64);
+  Rng rng(13);
+  core::SparseGrad grad;
+  for (auto _ : state) {
+    kg::Triple pos{static_cast<kg::EntityId>(rng.Uniform(10000)),
+                   static_cast<kg::RelationId>(rng.Uniform(64)),
+                   static_cast<kg::EntityId>(rng.Uniform(10000))};
+    kg::Triple neg = pos;
+    neg.tail = static_cast<kg::EntityId>(rng.Uniform(10000));
+    grad.Clear();
+    benchmark::DoNotOptimize(
+        core::AccumulateHingeGradients(model, pos, neg, 10.0f, &grad));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HingeGradients);
+
+// --------------------------------------------------------------- sampling --
+
+void BM_NegativeSampling(benchmark::State& state) {
+  kg::TripleStore store;
+  Rng seed_rng(15);
+  for (int i = 0; i < 20000; ++i) {
+    store.Add(static_cast<kg::EntityId>(seed_rng.Uniform(5000)),
+              static_cast<kg::RelationId>(seed_rng.Uniform(32)),
+              static_cast<kg::EntityId>(seed_rng.Uniform(5000)));
+  }
+  core::NegativeSampler::Options opt;
+  opt.num_entities = 5000;
+  opt.num_relations = 32;
+  core::NegativeSampler sampler(opt, &store);
+  Rng rng(17);
+  const auto& triples = store.triples();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sampler.Sample(triples[rng.Uniform(triples.size())], &rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NegativeSampling);
+
+// -------------------------------------------------------------- tokenizer --
+
+void BM_TokenizerEncode(benchmark::State& state) {
+  text::Tokenizer tok;
+  Rng rng(19);
+  for (int i = 0; i < 200; ++i) {
+    tok.CountCorpusLine("brand_v1 color_v2 size_v3 promo_1 catword_2_3");
+  }
+  tok.BuildVocab(1);
+  const std::string title =
+      "brand_v1 color_v2 size_v3 promo_1 catword_2_3 unknown_word";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tok.Encode(title));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TokenizerEncode);
+
+// -------------------------------------------------------------- attention --
+
+void BM_AttentionForward(benchmark::State& state) {
+  const size_t t = state.range(0);
+  Rng rng(21);
+  nn::MultiHeadSelfAttention attn(64, 4, &rng, "bm");
+  Mat x(t, 64), y;
+  UniformInit(x.size(), -1, 1, &rng, x.data());
+  for (auto _ : state) {
+    attn.Forward(x, t, &y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * t);
+}
+BENCHMARK(BM_AttentionForward)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+}  // namespace pkgm
+
+BENCHMARK_MAIN();

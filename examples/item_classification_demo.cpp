@@ -1,0 +1,70 @@
+// End-to-end item classification demo (paper §III-B) at small scale:
+// generates a synthetic product KG, pre-trains PKGM, builds a title
+// classification dataset, and fine-tunes TinyBert with and without PKGM
+// service vectors.
+//
+//   $ ./item_classification_demo
+
+#include <cstdio>
+
+#include "data/classification_dataset.h"
+#include "tasks/item_classification.h"
+#include "tasks/pipeline.h"
+#include "text/title_generator.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace pkgm;
+
+  tasks::PipelineOptions opt;
+  opt.pkg.seed = 123;
+  opt.pkg.num_categories = 8;
+  opt.pkg.items_per_category = 120;
+  opt.pkg.properties_per_category = 8;
+  opt.pkg.values_per_property = 20;
+  opt.pkg.products_per_category = 20;
+  opt.pkg.etl_min_occurrence = 5;
+  opt.dim = 32;
+  opt.trainer.learning_rate = 0.05f;
+  opt.pretrain_epochs = 30;
+  opt.service_k = 6;
+
+  std::printf("1) generating synthetic product KG and pre-training PKGM ...\n");
+  Stopwatch sw;
+  tasks::PretrainedPkgm pipeline = tasks::BuildAndPretrain(opt);
+  std::printf("   %zu items, %zu observed triples, pre-trained in %.1fs\n",
+              pipeline.pkg.items.size(), pipeline.pkg.observed.size(),
+              sw.ElapsedSeconds());
+
+  std::printf("2) building the title classification dataset ...\n");
+  text::TitleGenerator titles(&pipeline.pkg, text::TitleGeneratorOptions{});
+  data::ClassificationDatasetOptions data_opt;
+  data_opt.max_per_category = 80;
+  data::ClassificationDataset ds =
+      BuildClassificationDataset(pipeline.pkg, titles, data_opt);
+  std::printf("   %zu train / %zu test / %zu dev over %u categories\n",
+              ds.train.size(), ds.test.size(), ds.dev.size(), ds.num_classes);
+  std::printf("   example title: \"%s\" -> category %u\n",
+              ds.train[0].title.c_str(), ds.train[0].label);
+
+  std::printf("3) fine-tuning TinyBert (base, then +PKGM-all) ...\n");
+  tasks::ItemClassificationOptions task_opt;
+  task_opt.max_len = 32;
+  task_opt.bert_layers = 2;
+  task_opt.bert_heads = 4;
+  task_opt.epochs = 3;
+  task_opt.mlm_pretrain_epochs = 2;
+  tasks::ItemClassificationTask task(&ds, pipeline.services.get(), task_opt);
+
+  for (tasks::PkgmVariant v :
+       {tasks::PkgmVariant::kBase, tasks::PkgmVariant::kPkgmAll}) {
+    sw.Reset();
+    tasks::ClassificationMetrics m = task.Run(v);
+    std::printf("   %-14s  Hit@1 %.3f  Hit@3 %.3f  AC %.3f   (%.1fs)\n",
+                tasks::VariantName(v, "BERT").c_str(), m.hits[1], m.hits[3],
+                m.accuracy, sw.ElapsedSeconds());
+  }
+  std::printf("\nknowledge from the KG reaches the classifier only as fixed\n"
+              "service vectors - no triples were handed to the model.\n");
+  return 0;
+}

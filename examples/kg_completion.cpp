@@ -1,0 +1,78 @@
+// KG completion walkthrough (paper §II-D1): pre-train PKGM on a synthetic
+// product KG with deliberately unfilled attributes, then rank the held-out
+// tails with the filtered protocol and break results down per relation.
+//
+//   $ ./kg_completion
+
+#include <cstdio>
+#include <map>
+
+#include "core/link_prediction.h"
+#include "tasks/pipeline.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace pkgm;
+
+  tasks::PipelineOptions opt;
+  opt.pkg.seed = 777;
+  opt.pkg.num_categories = 10;
+  opt.pkg.items_per_category = 150;
+  opt.pkg.properties_per_category = 8;
+  opt.pkg.values_per_property = 25;
+  opt.pkg.products_per_category = 25;
+  opt.pkg.observed_fill_rate = 0.7;  // 30% of true facts are unfilled
+  opt.pkg.etl_min_occurrence = 5;
+  opt.dim = 32;
+  opt.trainer.learning_rate = 0.05f;
+  opt.pretrain_epochs = 40;
+  opt.service_k = 6;
+
+  std::printf("pre-training PKGM; %d%% of ground-truth attributes were left\n"
+              "unfilled and are the completion targets ...\n",
+              static_cast<int>((1 - opt.pkg.observed_fill_rate) * 100));
+  tasks::PretrainedPkgm p = tasks::BuildAndPretrain(opt);
+  const kg::SyntheticPkg& pkg = p.pkg;
+  std::printf("observed %zu triples; held-out %zu\n", pkg.observed.size(),
+              pkg.held_out.size());
+
+  core::LinkPredictionEvaluator::Options eval_opt;
+  eval_opt.filtered = true;
+  core::LinkPredictionEvaluator eval(p.model.get(), &pkg.observed, eval_opt);
+
+  // Overall completion quality against each property's value universe.
+  std::vector<kg::Triple> test(
+      pkg.held_out.begin(),
+      pkg.held_out.begin() + std::min<size_t>(pkg.held_out.size(), 1500));
+  auto overall = eval.EvaluateTails(test, &pkg.property_values);
+  std::printf(
+      "\noverall: MRR %.4f | Hits@1 %.4f | Hits@3 %.4f | Hits@10 %.4f | "
+      "mean rank %.2f (candidates: %u values per property)\n",
+      overall.mrr, overall.hits[1], overall.hits[3], overall.hits[10],
+      overall.mean_rank, opt.pkg.values_per_property);
+
+  // Per-relation breakdown: identity properties (shared within a product)
+  // complete far better than per-item sampled ones, because sibling items
+  // reveal the missing value.
+  std::map<kg::RelationId, std::vector<kg::Triple>> by_relation;
+  for (const kg::Triple& t : test) by_relation[t.relation].push_back(t);
+
+  TablePrinter table({"relation", "# queries", "MRR", "Hits@1", "Hits@10"});
+  int shown = 0;
+  for (const auto& [r, triples] : by_relation) {
+    if (triples.size() < 20 || ++shown > 12) continue;
+    auto res = eval.EvaluateTails(triples, &pkg.property_values);
+    table.AddRow({pkg.relations.Name(r),
+                  WithThousandsSeparators(triples.size()),
+                  StrFormat("%.3f", res.mrr), StrFormat("%.3f", res.hits[1]),
+                  StrFormat("%.3f", res.hits[10])});
+  }
+  std::printf("\nper-relation breakdown (first 12 relations with >= 20 "
+              "queries):\n%s", table.ToString().c_str());
+
+  std::printf(
+      "\na symbolic triple store answers 0%% of these queries - every test\n"
+      "fact is missing from the KG. S_T(h,r) = h + r answers all of them.\n");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Quickstart: build a toy product KG by hand, pre-train PKGM on it, and use
+// the two vector-space query services — including completing a fact that
+// was never written into the graph.
+//
+//   $ ./quickstart
+//
+// Walks through the full §II pipeline on a graph small enough to print.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/pkgm_model.h"
+#include "core/service.h"
+#include "core/trainer.h"
+#include "kg/triple_store.h"
+#include "kg/vocab.h"
+#include "tensor/ops.h"
+
+using pkgm::kg::EntityId;
+using pkgm::kg::RelationId;
+
+int main() {
+  // ---- 1. A toy product KG ------------------------------------------------
+  // Three phones; phone_c's brand is *missing* from the KG (the seller
+  // didn't fill it), but its other attributes match phone_a's.
+  pkgm::kg::Vocab entities, relations;
+  const EntityId phone_a = entities.GetOrAdd("phone_a");
+  const EntityId phone_b = entities.GetOrAdd("phone_b");
+  const EntityId phone_c = entities.GetOrAdd("phone_c");
+  const EntityId apple = entities.GetOrAdd("Apple");
+  const EntityId banana = entities.GetOrAdd("Banana");
+  const EntityId gb256 = entities.GetOrAdd("256GB");
+  const EntityId gb64 = entities.GetOrAdd("64GB");
+  const EntityId green = entities.GetOrAdd("Green");
+  const RelationId brand = relations.GetOrAdd("brandIs");
+  const RelationId memory = relations.GetOrAdd("memoryIs");
+  const RelationId color = relations.GetOrAdd("colorIs");
+
+  pkgm::kg::TripleStore kg;
+  kg.Add(phone_a, brand, apple);
+  kg.Add(phone_a, memory, gb256);
+  kg.Add(phone_a, color, green);
+  kg.Add(phone_b, brand, banana);
+  kg.Add(phone_b, memory, gb64);
+  kg.Add(phone_b, color, green);
+  kg.Add(phone_c, memory, gb256);  // same specs as phone_a ...
+  kg.Add(phone_c, color, green);   // ... but brandIs is missing.
+  // A few more phones so "phones have brands" is a learnable pattern.
+  std::vector<EntityId> more_phones;
+  for (int i = 0; i < 8; ++i) {
+    EntityId e = entities.GetOrAdd("phone_x" + std::to_string(i));
+    more_phones.push_back(e);
+    kg.Add(e, brand, i % 2 == 0 ? apple : banana);
+    kg.Add(e, memory, i % 3 == 0 ? gb256 : gb64);
+    kg.Add(e, color, green);
+  }
+  std::printf("toy KG: %zu triples, %u entities, %u relations\n", kg.size(),
+              entities.size(), relations.size());
+
+  // ---- 2. Pre-train PKGM ---------------------------------------------------
+  pkgm::core::PkgmModelOptions model_opt;
+  model_opt.num_entities = entities.size();
+  model_opt.num_relations = relations.size();
+  model_opt.dim = 16;
+  pkgm::core::PkgmModel model(model_opt);
+
+  pkgm::core::TrainerOptions train_opt;
+  train_opt.learning_rate = 0.05f;
+  train_opt.margin = 2.0f;
+  train_opt.batch_size = 8;
+  train_opt.negative.relation_corruption_prob = 0.35;
+  pkgm::core::Trainer trainer(&model, &kg, train_opt);
+  pkgm::core::EpochStats stats = trainer.Train(400);
+  std::printf("pre-trained 400 epochs: mean hinge %.4f\n", stats.mean_hinge);
+
+  // ---- 3. Triple query service: S_T(h, r) = h + r --------------------------
+  // "What is phone_a's brand?" — answered in vector space by finding the
+  // entity nearest to S_T, without touching the triple store.
+  auto nearest_entity = [&](const std::vector<float>& query,
+                            const std::vector<EntityId>& candidates) {
+    EntityId best = candidates[0];
+    float best_dist = 1e30f;
+    for (EntityId e : candidates) {
+      const float d =
+          [&] {
+            float acc = 0;
+            for (uint32_t j = 0; j < model.dim(); ++j) {
+              acc += std::abs(query[j] - model.entity(e)[j]);
+            }
+            return acc;
+          }();
+      if (d < best_dist) {
+        best_dist = d;
+        best = e;
+      }
+    }
+    return best;
+  };
+
+  const std::vector<EntityId> brands = {apple, banana};
+  std::vector<float> s(model.dim());
+  model.TripleService(phone_a, brand, s.data());
+  std::printf("\ntriple query  (phone_a, brandIs, ?) -> %s\n",
+              entities.Name(nearest_entity(s, brands)).c_str());
+
+  // ---- 4. Completion: the missing fact ------------------------------------
+  // (phone_c, brandIs, ?) has NO answer in the KG, but S_T still produces a
+  // predicted tail — phone_c's embedding sits near phone_a's because they
+  // share memory and color, so the completed brand is Apple.
+  model.TripleService(phone_c, brand, s.data());
+  std::printf("completion    (phone_c, brandIs, ?) -> %s   "
+              "(not in the KG!)\n",
+              entities.Name(nearest_entity(s, brands)).c_str());
+
+  // ---- 5. Relation query service: S_R(h, r) = M_r h - r --------------------
+  // Smaller ||S_R|| means "h has (or should have) relation r"; entities
+  // that are only attribute *values* (Apple, Green, ...) never head a
+  // brandIs triple, so their scores come out clearly larger than items'.
+  std::printf("\nrelation query ||S_R(h, brandIs)||:\n");
+  for (EntityId h : {phone_a, phone_b, phone_c, apple, green, gb64}) {
+    std::printf("  %-8s %7.3f%s\n", entities.Name(h).c_str(),
+                model.RelationScore(h, brand),
+                h == phone_c ? "   <- should have brandIs (missing in KG)"
+                             : "");
+  }
+
+  // ---- 6. Service vectors for a downstream model ---------------------------
+  pkgm::core::ServiceVectorProvider services(
+      &model, {phone_a, phone_b, phone_c},
+      {{brand, memory, color}, {brand, memory, color}, {brand, memory, color}});
+  pkgm::Vec condensed = services.Condensed(2, pkgm::core::ServiceMode::kAll);
+  std::printf(
+      "\ncondensed service vector for phone_c (Eq. 20): %zu floats, ready to\n"
+      "concatenate into any embedding-based downstream model.\n",
+      condensed.size());
+  return 0;
+}

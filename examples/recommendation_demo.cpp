@@ -1,0 +1,63 @@
+// Item recommendation demo (paper §III-D) at small scale: NCF trained on a
+// synthetic implicit-feedback log, with and without PKGM's condensed
+// service vector in the MLP tower (Eq. 20-21).
+//
+//   $ ./recommendation_demo
+
+#include <cstdio>
+
+#include "data/interaction_dataset.h"
+#include "tasks/pipeline.h"
+#include "tasks/recommendation.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace pkgm;
+
+  tasks::PipelineOptions opt;
+  opt.pkg.seed = 321;
+  opt.pkg.num_categories = 8;
+  opt.pkg.items_per_category = 120;
+  opt.pkg.properties_per_category = 8;
+  opt.pkg.values_per_property = 20;
+  opt.pkg.products_per_category = 20;
+  opt.pkg.etl_min_occurrence = 5;
+  opt.dim = 32;
+  opt.trainer.learning_rate = 0.05f;
+  opt.pretrain_epochs = 30;
+  opt.service_k = 6;
+
+  std::printf("1) pre-training PKGM on a synthetic product KG ...\n");
+  Stopwatch sw;
+  tasks::PretrainedPkgm pipeline = tasks::BuildAndPretrain(opt);
+  std::printf("   done in %.1fs\n", sw.ElapsedSeconds());
+
+  std::printf("2) sampling a user-item interaction log ...\n");
+  data::InteractionDatasetOptions data_opt;
+  data_opt.num_users = 400;
+  data_opt.preference_strength = 5.0;
+  data_opt.popularity_weight = 6.0;
+  data::InteractionDataset ds =
+      BuildInteractionDataset(pipeline.pkg, data_opt);
+  std::printf("   %u users x %u items, %llu interactions (>= 10 per user)\n",
+              ds.num_users, ds.num_items,
+              static_cast<unsigned long long>(ds.total_interactions));
+
+  std::printf("3) training NCF, leave-one-out evaluation vs 100 negatives\n");
+  tasks::RecommendationOptions task_opt;
+  task_opt.epochs = 20;
+  tasks::RecommendationTask task(&ds, pipeline.services.get(), task_opt);
+
+  for (tasks::PkgmVariant v :
+       {tasks::PkgmVariant::kBase, tasks::PkgmVariant::kPkgmR,
+        tasks::PkgmVariant::kPkgmAll}) {
+    sw.Reset();
+    tasks::RecommendationMetrics m = task.Run(v);
+    std::printf("   %-13s  HR@10 %.3f  NDCG@10 %.4f  HR@30 %.3f   (%.1fs)\n",
+                tasks::VariantName(v, "NCF").c_str(), m.hr[10], m.ndcg[10],
+                m.hr[30], sw.ElapsedSeconds());
+  }
+  std::printf("\nthe PKGM feature injects item knowledge the interaction\n"
+              "matrix alone cannot express (paper: PKGM-R helps most).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "core/link_prediction.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace pkgm::core {
+
+LinkPredictionEvaluator::LinkPredictionEvaluator(
+    const PkgmModel* model, const kg::TripleStore* all_known, Options options)
+    : model_(model), all_known_(all_known), options_(std::move(options)) {
+  PKGM_CHECK(model != nullptr);
+  PKGM_CHECK(!options_.filtered || all_known != nullptr);
+}
+
+double LinkPredictionEvaluator::RankTail(
+    const kg::Triple& t, const std::vector<kg::EntityId>* candidates) const {
+  const uint32_t d = model_->dim();
+  // Precompute the tail-query vector; candidate score is the scorer's
+  // tail distance from it (L1 for TransE, negative dot for DistMult /
+  // ComplEx).
+  std::vector<float> q(d);
+  model_->TripleQueryVector(t.head, t.relation, q.data());
+
+  auto score_of = [&](kg::EntityId e) {
+    return model_->TailDistance(t.relation, q.data(), model_->entity(e));
+  };
+
+  const float true_score = score_of(t.tail);
+  uint64_t less = 0, equal = 0;
+
+  auto consider = [&](kg::EntityId e) {
+    if (e == t.tail) return;
+    if (options_.filtered && all_known_->Contains(t.head, t.relation, e)) {
+      return;
+    }
+    const float s = score_of(e);
+    if (s < true_score) {
+      ++less;
+    } else if (s == true_score) {
+      ++equal;
+    }
+  };
+
+  if (candidates != nullptr) {
+    for (kg::EntityId e : *candidates) consider(e);
+  } else {
+    for (kg::EntityId e = 0; e < model_->num_entities(); ++e) consider(e);
+  }
+  // Mean of optimistic (1 + less) and pessimistic (1 + less + equal) ranks.
+  return 1.0 + static_cast<double>(less) + static_cast<double>(equal) / 2.0;
+}
+
+LinkPredictionResult LinkPredictionEvaluator::EvaluateTails(
+    const std::vector<kg::Triple>& test,
+    const std::unordered_map<kg::RelationId, std::vector<kg::EntityId>>*
+        candidates_per_relation) const {
+  LinkPredictionResult result;
+  result.count = test.size();
+  for (int k : options_.hits_at) result.hits[k] = 0.0;
+  if (test.empty()) return result;
+
+  double rr_sum = 0.0, rank_sum = 0.0;
+  for (const kg::Triple& t : test) {
+    const std::vector<kg::EntityId>* candidates = nullptr;
+    if (candidates_per_relation != nullptr) {
+      auto it = candidates_per_relation->find(t.relation);
+      if (it != candidates_per_relation->end()) candidates = &it->second;
+    }
+    const double rank = RankTail(t, candidates);
+    rr_sum += 1.0 / rank;
+    rank_sum += rank;
+    for (int k : options_.hits_at) {
+      if (rank <= static_cast<double>(k)) result.hits[k] += 1.0;
+    }
+  }
+  const double n = static_cast<double>(test.size());
+  result.mrr = rr_sum / n;
+  result.mean_rank = rank_sum / n;
+  for (int k : options_.hits_at) result.hits[k] /= n;
+  return result;
+}
+
+}  // namespace pkgm::core

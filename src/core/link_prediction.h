@@ -1,0 +1,65 @@
+#ifndef PKGM_CORE_LINK_PREDICTION_H_
+#define PKGM_CORE_LINK_PREDICTION_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pkgm_model.h"
+#include "kg/triple_store.h"
+
+namespace pkgm::core {
+
+/// Link-prediction (KG completion) metrics.
+struct LinkPredictionResult {
+  double mrr = 0.0;
+  double mean_rank = 0.0;
+  /// hits[k] = fraction of test triples whose true entity ranked <= k.
+  std::map<int, double> hits;
+  uint64_t count = 0;
+};
+
+/// Ranks the true tail of each test triple against candidate entities by
+/// the triple-module score ||h + r - t||_1 — exactly the completion
+/// mechanism behind the serving function S_T(h,r) = h + r (§II-D1): the
+/// nearest entity embedding to S_T is the model's completed tail.
+///
+/// Supports the standard *filtered* protocol: candidates that form another
+/// known-true triple are skipped. Ties are scored with the mean of the
+/// optimistic and pessimistic rank.
+class LinkPredictionEvaluator {
+ public:
+  struct Options {
+    std::vector<int> hits_at = {1, 3, 10};
+    /// Filter candidates that are known positives in `all_known`.
+    bool filtered = true;
+  };
+
+  /// `model` scores; `all_known` defines the filter set (train + valid +
+  /// test + held-out, typically). Both must outlive the evaluator.
+  LinkPredictionEvaluator(const PkgmModel* model,
+                          const kg::TripleStore* all_known, Options options);
+
+  /// Ranks tails over all entities, or over
+  /// `candidates_per_relation[r]` when provided (attribute completion is
+  /// better measured against the relation's value universe than against
+  /// every item in the graph).
+  LinkPredictionResult EvaluateTails(
+      const std::vector<kg::Triple>& test,
+      const std::unordered_map<kg::RelationId, std::vector<kg::EntityId>>*
+          candidates_per_relation = nullptr) const;
+
+ private:
+  /// Rank of the true tail for one triple among `candidates`.
+  double RankTail(const kg::Triple& t,
+                  const std::vector<kg::EntityId>* candidates) const;
+
+  const PkgmModel* model_;
+  const kg::TripleStore* all_known_;
+  Options options_;
+};
+
+}  // namespace pkgm::core
+
+#endif  // PKGM_CORE_LINK_PREDICTION_H_

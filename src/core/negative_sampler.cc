@@ -1,0 +1,57 @@
+#include "core/negative_sampler.h"
+
+#include "util/logging.h"
+
+namespace pkgm::core {
+
+NegativeSampler::NegativeSampler(const Options& options,
+                                 const kg::TripleStore* store)
+    : options_(options), store_(store) {
+  PKGM_CHECK_GT(options.num_entities, 0u);
+  PKGM_CHECK_GT(options.num_relations, 0u);
+  if (options.filter_known_positives) {
+    PKGM_CHECK(store != nullptr);
+  }
+}
+
+NegativeSample NegativeSampler::Sample(const kg::Triple& positive,
+                                       Rng* rng) const {
+  // Bounded retries: with a sparse KG a handful of tries virtually always
+  // finds a non-positive; give up gracefully rather than loop forever on
+  // pathological graphs.
+  constexpr int kMaxTries = 16;
+
+  NegativeSample neg;
+  for (int attempt = 0; attempt < kMaxTries; ++attempt) {
+    neg.triple = positive;
+    double u = rng->UniformDouble();
+    if (u < options_.relation_corruption_prob &&
+        options_.num_relations > 1) {
+      neg.slot = CorruptionSlot::kRelation;
+      do {
+        neg.triple.relation =
+            static_cast<kg::RelationId>(rng->Uniform(options_.num_relations));
+      } while (neg.triple.relation == positive.relation);
+    } else if (rng->Bernoulli(0.5)) {
+      neg.slot = CorruptionSlot::kHead;
+      do {
+        neg.triple.head =
+            static_cast<kg::EntityId>(rng->Uniform(options_.num_entities));
+      } while (neg.triple.head == positive.head &&
+               options_.num_entities > 1);
+    } else {
+      neg.slot = CorruptionSlot::kTail;
+      do {
+        neg.triple.tail =
+            static_cast<kg::EntityId>(rng->Uniform(options_.num_entities));
+      } while (neg.triple.tail == positive.tail &&
+               options_.num_entities > 1);
+    }
+    if (!options_.filter_known_positives || !store_->Contains(neg.triple)) {
+      return neg;
+    }
+  }
+  return neg;  // Fall back to the last draw (may be a rare false negative).
+}
+
+}  // namespace pkgm::core

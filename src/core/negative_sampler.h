@@ -1,0 +1,54 @@
+#ifndef PKGM_CORE_NEGATIVE_SAMPLER_H_
+#define PKGM_CORE_NEGATIVE_SAMPLER_H_
+
+#include <cstdint>
+
+#include "kg/triple.h"
+#include "kg/triple_store.h"
+#include "util/rng.h"
+
+namespace pkgm::core {
+
+/// Which slot of the positive triple was corrupted.
+enum class CorruptionSlot { kHead, kTail, kRelation };
+
+/// A generated negative with its corruption slot (the trainer needs the
+/// slot to route gradients).
+struct NegativeSample {
+  kg::Triple triple;
+  CorruptionSlot slot = CorruptionSlot::kTail;
+};
+
+/// Uniform negative sampling per the paper (§II-C): replace h or t with a
+/// random entity, or r with a random relation. Optionally filtered: resample
+/// while the corrupted triple exists in the KG (standard practice; avoids
+/// false negatives).
+class NegativeSampler {
+ public:
+  struct Options {
+    uint32_t num_entities = 0;
+    uint32_t num_relations = 0;
+    /// Probability mass of corrupting head / tail / relation. The paper
+    /// corrupts all three; relation corruption gets a smaller share so the
+    /// triple module still dominates (h/t each (1-p_r)/2).
+    double relation_corruption_prob = 0.2;
+    /// Resample (up to a bounded number of tries) if the negative is a
+    /// known positive.
+    bool filter_known_positives = true;
+  };
+
+  /// `store` is consulted for filtering; may be null when
+  /// filter_known_positives is false. Must outlive the sampler.
+  NegativeSampler(const Options& options, const kg::TripleStore* store);
+
+  /// Draws one negative for `positive` (paper: 1 negative per edge).
+  NegativeSample Sample(const kg::Triple& positive, Rng* rng) const;
+
+ private:
+  Options options_;
+  const kg::TripleStore* store_;
+};
+
+}  // namespace pkgm::core
+
+#endif  // PKGM_CORE_NEGATIVE_SAMPLER_H_

@@ -1,0 +1,156 @@
+#ifndef PKGM_CORE_PKGM_MODEL_H_
+#define PKGM_CORE_PKGM_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "kg/triple.h"
+#include "tensor/vec.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace pkgm::core {
+
+/// Model hyper-parameters (paper §III-A2: d = 64, Adam lr 1e-4, batch 1000,
+/// 1 negative per edge; our defaults are scaled for laptop-size graphs).
+/// Scoring family of the triple query module. TransE is the paper's choice
+/// (§II-A, picked "for its simplicity and effectiveness"); DistMult and
+/// ComplEx are the semantic-matching alternatives the paper cites (§IV-A),
+/// provided so the triple query module can be swapped without touching the
+/// rest of the system.
+///
+/// Score conventions are unified as "smaller is better" so the margin loss
+/// and the evaluators work unchanged:
+///   kTransE  : f_T = ||h + r - t||_1
+///   kDistMult: f_T = -<h, r, t>           (negated trilinear product)
+///   kComplEx : f_T = -Re<h, r, conj(t)>   (embeddings split [real; imag])
+///   kTransH  : f_T = ||h_perp + r - t_perp||_1 with x_perp = x - w_r<w_r,x>
+///              (relation-specific hyperplanes w_r, Wang et al. 2014)
+enum class TripleScorerKind { kTransE, kDistMult, kComplEx, kTransH };
+
+struct PkgmModelOptions {
+  uint32_t num_entities = 0;
+  uint32_t num_relations = 0;
+  /// Embedding dimension d. Must be even for kComplEx.
+  uint32_t dim = 64;
+  /// Triple query module scoring family.
+  TripleScorerKind scorer = TripleScorerKind::kTransE;
+  /// If false the model degrades to the bare triple scorer (used by the
+  /// ablation bench to isolate the relation query module's contribution).
+  bool use_relation_module = true;
+  uint64_t seed = 7;
+};
+
+/// The Pre-trained Knowledge Graph Model (paper §II).
+///
+/// Parameters:
+///   * entity embeddings   E  : num_entities  x d
+///   * relation embeddings R  : num_relations x d
+///   * transfer matrices   M_r: num_relations x (d x d), row-major per r
+///
+/// Score functions (L1 norms, Table I):
+///   * triple   query module  f_T(h,r,t) = ||h + r - t||
+///   * relation query module  f_R(h,r)   = ||M_r h - r||
+///   * joint                  f(h,r,t)   = f_T + f_R          (Eq. 3)
+///
+/// Serving functions (Table I):
+///   * S_T(h,r) = h + r        — predicted tail embedding      (Eq. 6)
+///   * S_R(h,r) = M_r h - r    — ~0 iff h has / should have r  (Eq. 7)
+///
+/// The model owns plain dense tables so trainers can update rows in place;
+/// thread-safety during training is the trainer's concern (hogwild-style
+/// benign races or per-shard locking).
+class PkgmModel {
+ public:
+  /// Allocates and randomly initializes all parameters (TransE-style init
+  /// for embeddings, near-identity for transfer matrices).
+  explicit PkgmModel(const PkgmModelOptions& options);
+
+  PkgmModel(const PkgmModel&) = delete;
+  PkgmModel& operator=(const PkgmModel&) = delete;
+  PkgmModel(PkgmModel&&) = default;
+  PkgmModel& operator=(PkgmModel&&) = default;
+
+  uint32_t num_entities() const { return options_.num_entities; }
+  uint32_t num_relations() const { return options_.num_relations; }
+  uint32_t dim() const { return options_.dim; }
+  TripleScorerKind scorer() const { return options_.scorer; }
+  bool use_relation_module() const { return options_.use_relation_module; }
+
+  /// Embedding row accessors (length dim()).
+  float* entity(uint32_t e) { return entities_.Row(e); }
+  const float* entity(uint32_t e) const { return entities_.Row(e); }
+  float* relation(uint32_t r) { return relations_.Row(r); }
+  const float* relation(uint32_t r) const { return relations_.Row(r); }
+  /// Transfer matrix M_r, row-major dim() x dim() (length dim()^2).
+  float* transfer(uint32_t r) { return transfers_.Row(r); }
+  const float* transfer(uint32_t r) const { return transfers_.Row(r); }
+  /// TransH hyperplane normal w_r (length dim()); only allocated when the
+  /// scorer is kTransH.
+  float* hyperplane(uint32_t r) { return hyperplanes_.Row(r); }
+  const float* hyperplane(uint32_t r) const { return hyperplanes_.Row(r); }
+
+  Mat& entity_table() { return entities_; }
+  Mat& relation_table() { return relations_; }
+  Mat& transfer_table() { return transfers_; }
+  Mat& hyperplane_table() { return hyperplanes_; }
+  const Mat& entity_table() const { return entities_; }
+  const Mat& relation_table() const { return relations_; }
+  const Mat& transfer_table() const { return transfers_; }
+
+  /// Triple-module score, smaller = more plausible. TransE: Eq. 1; see
+  /// TripleScorerKind for the other families.
+  float TripleScore(const kg::Triple& t) const;
+
+  /// The tail-query vector q(h, r) such that a candidate tail's score is
+  /// TailDistance(q, tail embedding): TransE q = h + r (Eq. 6), DistMult
+  /// q = h .* r, ComplEx q = h (*) r (complex Hadamard, conjugate folded in).
+  void TripleQueryVector(kg::EntityId h, kg::RelationId r, float* out) const;
+
+  /// Distance of a candidate tail embedding from a query vector, under the
+  /// model's scorer: L1 for TransE (TransH projects the tail onto the
+  /// relation's hyperplane first, hence the relation argument), negative
+  /// dot product for DistMult / ComplEx. Equals TripleScore on the
+  /// corresponding triple.
+  float TailDistance(kg::RelationId r, const float* query,
+                     const float* tail) const;
+
+  /// f_R(h,r) = ||M_r h - r||_1 (Eq. 2). Returns 0 when the relation
+  /// module is disabled.
+  float RelationScore(kg::EntityId h, kg::RelationId r) const;
+
+  /// f = f_T + f_R (Eq. 3).
+  float Score(const kg::Triple& t) const;
+
+  /// Triple query service vector S_T(h,r) (Eq. 6) — identical to
+  /// TripleQueryVector; kept as the paper-facing name.
+  void TripleService(kg::EntityId h, kg::RelationId r, float* out) const;
+
+  /// S_R(h,r) = M_r h - r into out[0..dim) (Eq. 7). Zero-fills when the
+  /// relation module is disabled.
+  void RelationService(kg::EntityId h, kg::RelationId r, float* out) const;
+
+  /// Renormalizes an entity embedding onto the L2 unit ball if it escaped
+  /// (TransE's constraint; keeps the margin meaningful).
+  void NormalizeEntity(uint32_t e);
+
+  /// Renormalizes a TransH hyperplane normal to exactly unit length (the
+  /// hard ||w_r|| = 1 constraint of TransH). No-op for other scorers.
+  void NormalizeHyperplane(uint32_t r);
+
+  /// Binary checkpoint of all parameters + options.
+  Status SaveToFile(const std::string& path) const;
+  /// Loads a checkpoint produced by SaveToFile.
+  static StatusOr<PkgmModel> LoadFromFile(const std::string& path);
+
+ private:
+  PkgmModelOptions options_;
+  Mat entities_;     // num_entities x dim
+  Mat relations_;    // num_relations x dim
+  Mat transfers_;    // num_relations x dim*dim (row-major d x d per relation)
+  Mat hyperplanes_;  // num_relations x dim (TransH only)
+};
+
+}  // namespace pkgm::core
+
+#endif  // PKGM_CORE_PKGM_MODEL_H_

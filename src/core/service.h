@@ -1,0 +1,70 @@
+#ifndef PKGM_CORE_SERVICE_H_
+#define PKGM_CORE_SERVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pkgm_model.h"
+#include "kg/vocab.h"
+#include "tensor/vec.h"
+
+namespace pkgm::core {
+
+/// Which of PKGM's query modules contribute service vectors — the paper's
+/// Base+PKGM-T / Base+PKGM-R / Base+PKGM-all downstream variants.
+enum class ServiceMode { kTripleOnly, kRelationOnly, kAll };
+
+/// The knowledge service interface of §II-D/E: given a pre-trained PKGM and
+/// each item's k key relations, produces the service vectors downstream
+/// models consume — without ever exposing triple data (the paper's "triple
+/// data independency").
+///
+/// For item i with key relations r_1..r_k:
+///   * sequence form (Fig. 2): [S_T(i,r_1)..S_T(i,r_k),
+///                              S_R(i,r_1)..S_R(i,r_k)]   (2k vectors of d)
+///   * condensed form (Fig. 3 / Eq. 8-9, 20):
+///       S'_j = [S_T(i,r_j) ; S_R(i,r_j)],  S = (1/k) sum_j S'_j  (one 2d vec)
+///
+/// kTripleOnly / kRelationOnly variants restrict to one module (length-k
+/// sequences; condensed vectors of d).
+class ServiceVectorProvider {
+ public:
+  /// `model` must outlive the provider. `item_entities[i]` is the entity id
+  /// of item i; `key_relations[i]` its key relations (paper: top-10 of its
+  /// category). Items may have differing k; empty key lists yield empty
+  /// services.
+  ServiceVectorProvider(const PkgmModel* model,
+                        std::vector<kg::EntityId> item_entities,
+                        std::vector<std::vector<kg::RelationId>> key_relations);
+
+  uint32_t num_items() const {
+    return static_cast<uint32_t>(item_entities_.size());
+  }
+  uint32_t dim() const { return model_->dim(); }
+  /// Number of key relations for item i.
+  uint32_t NumKeyRelations(uint32_t item) const;
+
+  /// Sequence-form service vectors (Fig. 2). kAll returns 2k vectors
+  /// (triple block then relation block); single-module modes return k.
+  std::vector<Vec> Sequence(uint32_t item, ServiceMode mode) const;
+
+  /// Condensed single-vector form (Fig. 3). kAll returns a 2d vector per
+  /// Eq. 20; single-module modes return the d-dim mean of that module's
+  /// service vectors.
+  Vec Condensed(uint32_t item, ServiceMode mode) const;
+
+  /// Dimension of Condensed() output under `mode`.
+  uint32_t CondensedDim(ServiceMode mode) const;
+
+  const std::vector<kg::RelationId>& key_relations(uint32_t item) const;
+  kg::EntityId item_entity(uint32_t item) const;
+
+ private:
+  const PkgmModel* model_;
+  std::vector<kg::EntityId> item_entities_;
+  std::vector<std::vector<kg::RelationId>> key_relations_;
+};
+
+}  // namespace pkgm::core
+
+#endif  // PKGM_CORE_SERVICE_H_

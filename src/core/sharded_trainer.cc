@@ -1,0 +1,143 @@
+#include "core/sharded_trainer.h"
+
+#include <atomic>
+#include <thread>
+
+#include "core/gradients.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace pkgm::core {
+
+namespace {
+NegativeSampler::Options FillNegativeOptions(NegativeSampler::Options neg,
+                                             const PkgmModel& model) {
+  if (neg.num_entities == 0) neg.num_entities = model.num_entities();
+  if (neg.num_relations == 0) neg.num_relations = model.num_relations();
+  return neg;
+}
+}  // namespace
+
+ShardedTrainer::ShardedTrainer(PkgmModel* model, const kg::TripleStore* store,
+                               const ShardedTrainerOptions& options)
+    : model_(model),
+      store_(store),
+      options_(options),
+      sampler_(FillNegativeOptions(options.negative, *model), store),
+      epoch_rng_(options.seed) {
+  PKGM_CHECK(model != nullptr);
+  PKGM_CHECK(store != nullptr);
+  PKGM_CHECK_GT(options.num_workers, 0u);
+  PKGM_CHECK_GT(options.num_shards, 0u);
+  shard_locks_.reserve(options.num_shards);
+  for (uint32_t s = 0; s < options.num_shards; ++s) {
+    shard_locks_.push_back(std::make_unique<std::mutex>());
+  }
+}
+
+void ShardedTrainer::ApplyWorkerGradients(const SparseGrad& grad,
+                                          float scale) {
+  const uint32_t d = model_->dim();
+  const float lr = options_.learning_rate * scale;
+
+  // Push each touched row to its owning "parameter server" shard under that
+  // shard's lock. Reads during gradient computation are unlocked, so
+  // workers see slightly stale parameters — exactly the asynchronous PS
+  // training regime.
+  for (const auto& [id, g] : grad.entities()) {
+    std::lock_guard<std::mutex> lock(*shard_locks_[ShardOf(id)]);
+    float* row = model_->entity(id);
+    for (uint32_t i = 0; i < d; ++i) row[i] -= lr * g[i];
+    if (options_.normalize_entities) model_->NormalizeEntity(id);
+  }
+  for (const auto& [id, g] : grad.relations()) {
+    std::lock_guard<std::mutex> lock(*shard_locks_[ShardOf(id)]);
+    float* row = model_->relation(id);
+    for (uint32_t i = 0; i < d; ++i) row[i] -= lr * g[i];
+  }
+  if (model_->use_relation_module()) {
+    const uint32_t dd = d * d;
+    for (const auto& [id, g] : grad.transfers()) {
+      std::lock_guard<std::mutex> lock(*shard_locks_[ShardOf(id)]);
+      float* row = model_->transfer(id);
+      for (uint32_t i = 0; i < dd; ++i) row[i] -= lr * g[i];
+    }
+  }
+  for (const auto& [id, g] : grad.hyperplanes()) {
+    std::lock_guard<std::mutex> lock(*shard_locks_[ShardOf(id)]);
+    float* row = model_->hyperplane(id);
+    for (uint32_t i = 0; i < d; ++i) row[i] -= lr * g[i];
+    model_->NormalizeHyperplane(id);
+  }
+}
+
+EpochStats ShardedTrainer::RunEpoch() {
+  Stopwatch sw;
+  std::vector<kg::Triple> triples = store_->triples();
+  epoch_rng_.Shuffle(&triples);
+
+  const uint32_t workers = options_.num_workers;
+  std::atomic<uint64_t> active_pairs{0};
+  // Hinge sums are accumulated per worker and reduced at the end.
+  std::vector<double> hinge_sums(workers, 0.0);
+  std::vector<Rng> worker_rngs;
+  worker_rngs.reserve(workers);
+  for (uint32_t w = 0; w < workers; ++w) worker_rngs.push_back(epoch_rng_.Fork());
+
+  auto worker_fn = [&](uint32_t w) {
+    const size_t n = triples.size();
+    const size_t begin = n * w / workers;
+    const size_t end = n * (w + 1) / workers;
+    Rng& rng = worker_rngs[w];
+    SparseGrad grad;
+    size_t batch_start = begin;
+    while (batch_start < end) {
+      const size_t batch_end =
+          std::min<size_t>(batch_start + options_.batch_size, end);
+      grad.Clear();
+      uint64_t batch_active = 0;
+      for (size_t i = batch_start; i < batch_end; ++i) {
+        NegativeSample neg = sampler_.Sample(triples[i], &rng);
+        float hinge = AccumulateHingeGradients(*model_, triples[i], neg.triple,
+                                               options_.margin, &grad);
+        if (hinge > 0.0f) {
+          ++batch_active;
+          hinge_sums[w] += hinge;
+        }
+      }
+      if (!grad.empty()) {
+        ApplyWorkerGradients(
+            grad, 1.0f / static_cast<float>(batch_end - batch_start));
+      }
+      active_pairs.fetch_add(batch_active, std::memory_order_relaxed);
+      batch_start = batch_end;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (uint32_t w = 0; w < workers; ++w) threads.emplace_back(worker_fn, w);
+  for (auto& t : threads) t.join();
+
+  EpochStats stats;
+  stats.total_pairs = triples.size();
+  stats.active_pairs = active_pairs.load();
+  double hinge_sum = 0.0;
+  for (double h : hinge_sums) hinge_sum += h;
+  stats.mean_hinge = stats.total_pairs > 0
+                         ? hinge_sum / static_cast<double>(stats.total_pairs)
+                         : 0.0;
+  stats.seconds = sw.ElapsedSeconds();
+  stats.triples_per_second =
+      stats.seconds > 0 ? static_cast<double>(stats.total_pairs) / stats.seconds
+                        : 0.0;
+  return stats;
+}
+
+EpochStats ShardedTrainer::Train(uint32_t n) {
+  EpochStats last;
+  for (uint32_t i = 0; i < n; ++i) last = RunEpoch();
+  return last;
+}
+
+}  // namespace pkgm::core

@@ -1,0 +1,65 @@
+#ifndef PKGM_CORE_SHARDED_TRAINER_H_
+#define PKGM_CORE_SHARDED_TRAINER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/negative_sampler.h"
+#include "core/pkgm_model.h"
+#include "core/trainer.h"
+#include "kg/triple_store.h"
+
+namespace pkgm::core {
+
+/// Distributed-training simulation of the paper's infrastructure (§III-A2:
+/// 50 parameter servers + 200 workers on TensorFlow/Graph-learn).
+///
+/// Parameters are hash-partitioned into `num_shards` shards, each protected
+/// by its own lock (a stand-in for one parameter server). `num_workers`
+/// threads process disjoint slices of the epoch's shuffled triples in
+/// mini-batches, compute gradients against their (possibly slightly stale)
+/// view of the parameters, and push SGD updates to the owning shards —
+/// asynchronous "hogwild with shard locks" semantics, matching the
+/// eventually-consistent updates of a real PS deployment.
+struct ShardedTrainerOptions {
+  uint32_t num_workers = 4;
+  uint32_t num_shards = 8;
+  uint32_t batch_size = 512;
+  float learning_rate = 0.02f;
+  float margin = 2.0f;
+  bool normalize_entities = true;
+  NegativeSampler::Options negative;
+  uint64_t seed = 17;
+};
+
+class ShardedTrainer {
+ public:
+  /// `model` and `store` must outlive the trainer.
+  ShardedTrainer(PkgmModel* model, const kg::TripleStore* store,
+                 const ShardedTrainerOptions& options);
+
+  /// One asynchronous epoch across all workers.
+  EpochStats RunEpoch();
+
+  /// Runs n epochs, returning the last epoch's stats.
+  EpochStats Train(uint32_t n);
+
+ private:
+  /// Shard that owns entity row e (and, reusing the hash, relation row r).
+  uint32_t ShardOf(uint32_t row) const { return row % options_.num_shards; }
+
+  void ApplyWorkerGradients(const class SparseGrad& grad, float scale);
+
+  PkgmModel* model_;
+  const kg::TripleStore* store_;
+  ShardedTrainerOptions options_;
+  NegativeSampler sampler_;
+  Rng epoch_rng_;
+  std::vector<std::unique_ptr<std::mutex>> shard_locks_;
+};
+
+}  // namespace pkgm::core
+
+#endif  // PKGM_CORE_SHARDED_TRAINER_H_

@@ -1,0 +1,182 @@
+#include "core/trainer.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "core/gradients.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace pkgm::core {
+
+namespace {
+NegativeSampler::Options FillNegativeOptions(NegativeSampler::Options neg,
+                                             const PkgmModel& model) {
+  if (neg.num_entities == 0) neg.num_entities = model.num_entities();
+  if (neg.num_relations == 0) neg.num_relations = model.num_relations();
+  return neg;
+}
+}  // namespace
+
+Trainer::Trainer(PkgmModel* model, const kg::TripleStore* store,
+                 const TrainerOptions& options)
+    : model_(model),
+      store_(store),
+      options_(options),
+      sampler_(FillNegativeOptions(options.negative, *model), store),
+      rng_(options.seed) {
+  PKGM_CHECK(model != nullptr);
+  PKGM_CHECK(store != nullptr);
+  PKGM_CHECK_GT(options.batch_size, 0u);
+  if (options_.optimizer == OptimizerKind::kAdam) {
+    m_entities_ = Mat(model->num_entities(), model->dim());
+    v_entities_ = Mat(model->num_entities(), model->dim());
+    m_relations_ = Mat(model->num_relations(), model->dim());
+    v_relations_ = Mat(model->num_relations(), model->dim());
+    if (model->use_relation_module()) {
+      const size_t dd = static_cast<size_t>(model->dim()) * model->dim();
+      m_transfers_ = Mat(model->num_relations(), dd);
+      v_transfers_ = Mat(model->num_relations(), dd);
+    }
+    if (model->scorer() == TripleScorerKind::kTransH) {
+      m_hyperplanes_ = Mat(model->num_relations(), model->dim());
+      v_hyperplanes_ = Mat(model->num_relations(), model->dim());
+    }
+  }
+}
+
+EpochStats Trainer::RunEpoch() {
+  Stopwatch sw;
+  std::vector<kg::Triple> triples = store_->triples();
+  rng_.Shuffle(&triples);
+
+  EpochStats stats;
+  stats.total_pairs = triples.size();
+  double hinge_sum = 0.0;
+
+  SparseGrad grad;
+  std::unordered_set<uint32_t> touched_entities;
+  size_t batch_start = 0;
+  while (batch_start < triples.size()) {
+    const size_t batch_end =
+        std::min(batch_start + options_.batch_size, triples.size());
+    grad.Clear();
+    touched_entities.clear();
+    uint64_t batch_active = 0;
+    for (size_t i = batch_start; i < batch_end; ++i) {
+      const kg::Triple& pos = triples[i];
+      NegativeSample neg = sampler_.Sample(pos, &rng_);
+      float hinge =
+          AccumulateHingeGradients(*model_, pos, neg.triple, options_.margin, &grad);
+      if (hinge > 0.0f) {
+        ++batch_active;
+        hinge_sum += hinge;
+        touched_entities.insert(pos.head);
+        touched_entities.insert(pos.tail);
+        touched_entities.insert(neg.triple.head);
+        touched_entities.insert(neg.triple.tail);
+      }
+    }
+    stats.active_pairs += batch_active;
+    if (!grad.empty()) {
+      ++step_;
+      // Average over the batch so the learning rate is scale free.
+      ApplyGradients(grad, 1.0f / static_cast<float>(batch_end - batch_start));
+      if (options_.normalize_entities) {
+        for (uint32_t e : touched_entities) model_->NormalizeEntity(e);
+      }
+    }
+    batch_start = batch_end;
+  }
+
+  stats.mean_hinge =
+      stats.total_pairs > 0 ? hinge_sum / static_cast<double>(stats.total_pairs) : 0.0;
+  stats.seconds = sw.ElapsedSeconds();
+  stats.triples_per_second =
+      stats.seconds > 0 ? static_cast<double>(stats.total_pairs) / stats.seconds : 0.0;
+  return stats;
+}
+
+EpochStats Trainer::Train(uint32_t n) {
+  EpochStats last;
+  for (uint32_t i = 0; i < n; ++i) last = RunEpoch();
+  return last;
+}
+
+double Trainer::EvaluateMeanHinge(const std::vector<kg::Triple>& triples) {
+  if (triples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const kg::Triple& pos : triples) {
+    NegativeSample neg = sampler_.Sample(pos, &rng_);
+    sum += AccumulateHingeGradients(*model_, pos, neg.triple, options_.margin,
+                                    nullptr);
+  }
+  return sum / static_cast<double>(triples.size());
+}
+
+void Trainer::ApplyGradients(const SparseGrad& grad, float scale) {
+  const uint32_t d = model_->dim();
+  const bool adam = options_.optimizer == OptimizerKind::kAdam;
+  for (const auto& [id, g] : grad.entities()) {
+    if (adam) {
+      ApplyAdamRow(model_->entity(id), g.data(), d, scale, m_entities_.Row(id),
+                   v_entities_.Row(id));
+    } else {
+      ApplySgdRow(model_->entity(id), g.data(), d, scale);
+    }
+  }
+  for (const auto& [id, g] : grad.relations()) {
+    if (adam) {
+      ApplyAdamRow(model_->relation(id), g.data(), d, scale,
+                   m_relations_.Row(id), v_relations_.Row(id));
+    } else {
+      ApplySgdRow(model_->relation(id), g.data(), d, scale);
+    }
+  }
+  if (model_->use_relation_module()) {
+    const uint32_t dd = d * d;
+    for (const auto& [id, g] : grad.transfers()) {
+      if (adam) {
+        ApplyAdamRow(model_->transfer(id), g.data(), dd, scale,
+                     m_transfers_.Row(id), v_transfers_.Row(id));
+      } else {
+        ApplySgdRow(model_->transfer(id), g.data(), dd, scale);
+      }
+    }
+  }
+  for (const auto& [id, g] : grad.hyperplanes()) {
+    if (adam) {
+      ApplyAdamRow(model_->hyperplane(id), g.data(), d, scale,
+                   m_hyperplanes_.Row(id), v_hyperplanes_.Row(id));
+    } else {
+      ApplySgdRow(model_->hyperplane(id), g.data(), d, scale);
+    }
+    // TransH's hard constraint: hyperplane normals stay unit length.
+    model_->NormalizeHyperplane(id);
+  }
+}
+
+void Trainer::ApplySgdRow(float* row, const float* g, uint32_t n, float scale) {
+  const float lr = options_.learning_rate * scale;
+  for (uint32_t i = 0; i < n; ++i) row[i] -= lr * g[i];
+}
+
+void Trainer::ApplyAdamRow(float* row, const float* g, uint32_t n, float scale,
+                           float* m, float* v) {
+  const float b1 = options_.adam_beta1;
+  const float b2 = options_.adam_beta2;
+  const float eps = options_.adam_epsilon;
+  const double t = static_cast<double>(step_);
+  const float corr1 = 1.0f - static_cast<float>(std::pow(b1, t));
+  const float corr2 = 1.0f - static_cast<float>(std::pow(b2, t));
+  const float alpha =
+      options_.learning_rate * std::sqrt(corr2) / corr1;
+  for (uint32_t i = 0; i < n; ++i) {
+    const float gi = g[i] * scale;
+    m[i] = b1 * m[i] + (1.0f - b1) * gi;
+    v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
+    row[i] -= alpha * m[i] / (std::sqrt(v[i]) + eps);
+  }
+}
+
+}  // namespace pkgm::core

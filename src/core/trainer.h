@@ -1,0 +1,94 @@
+#ifndef PKGM_CORE_TRAINER_H_
+#define PKGM_CORE_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/negative_sampler.h"
+#include "core/pkgm_model.h"
+#include "kg/triple_store.h"
+#include "tensor/vec.h"
+#include "util/rng.h"
+
+namespace pkgm::core {
+
+/// Which optimizer the trainer applies to the sparse gradients.
+enum class OptimizerKind { kSgd, kAdam };
+
+/// Training hyper-parameters (paper §III-A2: Adam, lr 1e-4, batch 1000,
+/// d=64, 1 negative per edge, 2 epochs; defaults here are tuned for
+/// laptop-scale graphs where more aggressive rates converge in seconds).
+struct TrainerOptions {
+  uint32_t batch_size = 512;
+  float learning_rate = 0.02f;
+  /// Margin gamma in the ranking loss (Eq. 4).
+  float margin = 2.0f;
+  OptimizerKind optimizer = OptimizerKind::kAdam;
+  float adam_beta1 = 0.9f;
+  float adam_beta2 = 0.999f;
+  float adam_epsilon = 1e-8f;
+  /// Project entity embeddings back onto the unit L2 ball after each batch
+  /// (TransE's norm constraint).
+  bool normalize_entities = true;
+  /// Negative sampling configuration; num_entities/num_relations are filled
+  /// from the model if left 0.
+  NegativeSampler::Options negative;
+  uint64_t seed = 13;
+};
+
+/// Per-epoch training telemetry.
+struct EpochStats {
+  double mean_hinge = 0.0;       ///< mean hinge over all pairs (0 = satisfied)
+  uint64_t active_pairs = 0;     ///< pairs with a positive hinge
+  uint64_t total_pairs = 0;
+  double seconds = 0.0;
+  double triples_per_second = 0.0;
+};
+
+/// Mini-batch trainer for PkgmModel on a fixed triple set. Single-threaded
+/// reference implementation; see ShardedTrainer for the parameter-server
+/// simulation. Adam state is kept lazily ("sparse Adam"): moments are dense
+/// tables but only touched rows are updated, with bias correction from the
+/// global step count.
+class Trainer {
+ public:
+  /// `model` and `store` must outlive the trainer. `store` doubles as the
+  /// filter for negative sampling. Training iterates over `store`'s triples.
+  Trainer(PkgmModel* model, const kg::TripleStore* store,
+          const TrainerOptions& options);
+
+  /// Runs one epoch (one shuffled pass over the training triples).
+  EpochStats RunEpoch();
+
+  /// Runs `n` epochs, returning stats of the last.
+  EpochStats Train(uint32_t n);
+
+  /// Mean hinge on an arbitrary triple list without updating parameters
+  /// (fresh negatives are drawn; useful as a validation signal).
+  double EvaluateMeanHinge(const std::vector<kg::Triple>& triples);
+
+  uint64_t global_step() const { return step_; }
+
+ private:
+  void ApplyGradients(const class SparseGrad& grad, float scale);
+  void ApplySgdRow(float* row, const float* g, uint32_t n, float scale);
+  void ApplyAdamRow(float* row, const float* g, uint32_t n, float scale,
+                    float* m, float* v);
+
+  PkgmModel* model_;
+  const kg::TripleStore* store_;
+  TrainerOptions options_;
+  NegativeSampler sampler_;
+  Rng rng_;
+  uint64_t step_ = 0;  // batches applied, drives Adam bias correction
+
+  // Lazy Adam moment tables (allocated only when optimizer == kAdam).
+  Mat m_entities_, v_entities_;
+  Mat m_relations_, v_relations_;
+  Mat m_transfers_, v_transfers_;
+  Mat m_hyperplanes_, v_hyperplanes_;
+};
+
+}  // namespace pkgm::core
+
+#endif  // PKGM_CORE_TRAINER_H_

@@ -1,0 +1,133 @@
+#include "data/alignment_dataset.h"
+
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace pkgm::data {
+
+namespace {
+
+/// Items of one category grouped by product, keeping only the groups that
+/// can form positive pairs.
+struct CategoryItems {
+  std::vector<uint32_t> all;                      // item indexes
+  std::vector<std::vector<uint32_t>> multi_item;  // products with >= 2 items
+};
+
+CategoryItems CollectCategory(const kg::SyntheticPkg& pkg, uint32_t category) {
+  CategoryItems out;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> by_product;
+  for (uint32_t i = 0; i < pkg.items.size(); ++i) {
+    if (pkg.items[i].category != category) continue;
+    out.all.push_back(i);
+    by_product[pkg.items[i].product].push_back(i);
+  }
+  for (auto& [product, items] : by_product) {
+    if (items.size() >= 2) out.multi_item.push_back(items);
+  }
+  return out;
+}
+
+AlignmentPair MakePair(const kg::SyntheticPkg& pkg,
+                       const text::TitleGenerator& titles, uint32_t a,
+                       uint32_t b, Rng* /*rng*/) {
+  AlignmentPair p;
+  p.item_a = a;
+  p.item_b = b;
+  p.title_a = titles.Stable(a);
+  p.title_b = titles.Stable(b);
+  p.label =
+      pkg.items[a].product == pkg.items[b].product ? 1.0f : 0.0f;
+  return p;
+}
+
+// Draws a positive pair (two distinct items of one multi-item product).
+std::pair<uint32_t, uint32_t> DrawPositive(const CategoryItems& cat,
+                                           Rng* rng) {
+  const auto& group = cat.multi_item[rng->Uniform(cat.multi_item.size())];
+  const uint32_t a_idx = static_cast<uint32_t>(rng->Uniform(group.size()));
+  uint32_t b_idx;
+  do {
+    b_idx = static_cast<uint32_t>(rng->Uniform(group.size()));
+  } while (b_idx == a_idx);
+  return {group[a_idx], group[b_idx]};
+}
+
+// Draws an item of the category with a different product than `anchor`.
+uint32_t DrawNegativeFor(const kg::SyntheticPkg& pkg,
+                         const CategoryItems& cat, uint32_t anchor,
+                         Rng* rng) {
+  for (int tries = 0; tries < 64; ++tries) {
+    uint32_t candidate = cat.all[rng->Uniform(cat.all.size())];
+    if (pkg.items[candidate].product != pkg.items[anchor].product) {
+      return candidate;
+    }
+  }
+  return cat.all[rng->Uniform(cat.all.size())];
+}
+
+}  // namespace
+
+std::vector<AlignmentDataset> BuildAlignmentDatasets(
+    const kg::SyntheticPkg& pkg, const text::TitleGenerator& titles,
+    const std::vector<uint32_t>& categories,
+    const AlignmentDatasetOptions& options) {
+  PKGM_CHECK_LE(options.train_fraction + options.test_fraction, 1.0);
+  Rng rng(options.seed);
+  std::vector<AlignmentDataset> out;
+
+  for (uint32_t category : categories) {
+    CategoryItems cat = CollectCategory(pkg, category);
+    if (cat.multi_item.empty() || cat.all.size() < 4) continue;
+
+    AlignmentDataset ds;
+    ds.category = category;
+
+    // Balanced classification pairs.
+    std::vector<AlignmentPair> pairs;
+    pairs.reserve(options.pairs_per_category);
+    for (uint32_t i = 0; i < options.pairs_per_category; ++i) {
+      if (i % 2 == 0) {
+        auto [a, b] = DrawPositive(cat, &rng);
+        pairs.push_back(MakePair(pkg, titles, a, b, &rng));
+      } else {
+        uint32_t a = cat.all[rng.Uniform(cat.all.size())];
+        uint32_t b = DrawNegativeFor(pkg, cat, a, &rng);
+        pairs.push_back(MakePair(pkg, titles, a, b, &rng));
+      }
+    }
+    rng.Shuffle(&pairs);
+    const size_t n = pairs.size();
+    const size_t n_train = static_cast<size_t>(options.train_fraction * n);
+    const size_t n_test = static_cast<size_t>(options.test_fraction * n);
+    ds.train.assign(pairs.begin(), pairs.begin() + n_train);
+    ds.test_c.assign(pairs.begin() + n_train, pairs.begin() + n_train + n_test);
+    ds.dev_c.assign(pairs.begin() + n_train + n_test, pairs.end());
+
+    // Ranking cases: positive + `ranking_negatives` corrupted pairs.
+    auto build_ranking = [&](uint32_t count) {
+      std::vector<AlignmentRankingCase> cases;
+      cases.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        AlignmentRankingCase rc;
+        auto [a, b] = DrawPositive(cat, &rng);
+        rc.positive = MakePair(pkg, titles, a, b, &rng);
+        rc.negatives.reserve(options.ranking_negatives);
+        for (uint32_t j = 0; j < options.ranking_negatives; ++j) {
+          uint32_t nb = DrawNegativeFor(pkg, cat, a, &rng);
+          rc.negatives.push_back(MakePair(pkg, titles, a, nb, &rng));
+        }
+        cases.push_back(std::move(rc));
+      }
+      return cases;
+    };
+    ds.test_r = build_ranking(options.ranking_cases);
+    ds.dev_r = build_ranking(options.ranking_cases);
+
+    out.push_back(std::move(ds));
+  }
+  return out;
+}
+
+}  // namespace pkgm::data

@@ -1,0 +1,67 @@
+#ifndef PKGM_DATA_ALIGNMENT_DATASET_H_
+#define PKGM_DATA_ALIGNMENT_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kg/synthetic_pkg.h"
+#include "text/title_generator.h"
+#include "util/rng.h"
+
+namespace pkgm::data {
+
+/// One item-alignment example (paper §III-C): two item titles and whether
+/// they describe the same product.
+struct AlignmentPair {
+  uint32_t item_a = 0;
+  uint32_t item_b = 0;
+  std::string title_a;
+  std::string title_b;
+  float label = 0.0f;  ///< 1 = same product
+};
+
+/// A ranking test case (Table VI): one aligned pair plus negatives formed
+/// by replacing item_b with items that are NOT the same product; Hit@k is
+/// computed over the 1 + negatives candidates (paper: 99 negatives).
+struct AlignmentRankingCase {
+  AlignmentPair positive;
+  std::vector<AlignmentPair> negatives;
+};
+
+/// Per-category alignment dataset with the paper's 7:1.5:1.5 split
+/// (Table V). Test-C/Dev-C are classification (accuracy) sets; Test-R/Dev-R
+/// are ranking sets.
+struct AlignmentDataset {
+  uint32_t category = 0;
+  std::vector<AlignmentPair> train;
+  std::vector<AlignmentPair> test_c;
+  std::vector<AlignmentPair> dev_c;
+  std::vector<AlignmentRankingCase> test_r;
+  std::vector<AlignmentRankingCase> dev_r;
+};
+
+struct AlignmentDatasetOptions {
+  /// Number of (positive + negative) classification pairs to draw per
+  /// category (balanced 1:1, like the paper's datasets of a few thousand).
+  uint32_t pairs_per_category = 2000;
+  double train_fraction = 0.70;
+  double test_fraction = 0.15;  // dev gets the remainder
+  /// Negatives per ranking case (paper: 99).
+  uint32_t ranking_negatives = 99;
+  /// Ranking cases per split (paper Table V: a few hundred).
+  uint32_t ranking_cases = 150;
+  uint64_t seed = 211;
+};
+
+/// Builds alignment datasets for the given categories. Categories with too
+/// few multi-item products to form positives are skipped (the returned
+/// vector may be shorter than `categories`).
+std::vector<AlignmentDataset> BuildAlignmentDatasets(
+    const kg::SyntheticPkg& pkg, const text::TitleGenerator& titles,
+    const std::vector<uint32_t>& categories,
+    const AlignmentDatasetOptions& options);
+
+}  // namespace pkgm::data
+
+#endif  // PKGM_DATA_ALIGNMENT_DATASET_H_

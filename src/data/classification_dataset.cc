@@ -1,0 +1,46 @@
+#include "data/classification_dataset.h"
+
+#include "util/logging.h"
+
+namespace pkgm::data {
+
+ClassificationDataset BuildClassificationDataset(
+    const kg::SyntheticPkg& pkg, const text::TitleGenerator& titles,
+    const ClassificationDatasetOptions& options) {
+  PKGM_CHECK_LE(options.train_fraction + options.test_fraction, 1.0);
+  Rng rng(options.seed);
+
+  // Bucket item indexes by category, cap each bucket.
+  std::vector<std::vector<uint32_t>> by_category(pkg.num_categories);
+  for (uint32_t i = 0; i < pkg.items.size(); ++i) {
+    by_category[pkg.items[i].category].push_back(i);
+  }
+
+  std::vector<ClassificationSample> all;
+  for (uint32_t c = 0; c < pkg.num_categories; ++c) {
+    std::vector<uint32_t>& bucket = by_category[c];
+    rng.Shuffle(&bucket);
+    const size_t keep =
+        std::min<size_t>(bucket.size(), options.max_per_category);
+    for (size_t i = 0; i < keep; ++i) {
+      ClassificationSample s;
+      s.item_index = bucket[i];
+      s.title = titles.Stable(bucket[i]);
+      s.label = c;
+      all.push_back(std::move(s));
+    }
+  }
+  rng.Shuffle(&all);
+
+  ClassificationDataset ds;
+  ds.num_classes = pkg.num_categories;
+  const size_t n = all.size();
+  const size_t n_train = static_cast<size_t>(options.train_fraction * n);
+  const size_t n_test = static_cast<size_t>(options.test_fraction * n);
+  ds.train.assign(all.begin(), all.begin() + n_train);
+  ds.test.assign(all.begin() + n_train, all.begin() + n_train + n_test);
+  ds.dev.assign(all.begin() + n_train + n_test, all.end());
+  return ds;
+}
+
+}  // namespace pkgm::data

@@ -1,0 +1,47 @@
+#ifndef PKGM_DATA_CLASSIFICATION_DATASET_H_
+#define PKGM_DATA_CLASSIFICATION_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kg/synthetic_pkg.h"
+#include "text/title_generator.h"
+#include "util/rng.h"
+
+namespace pkgm::data {
+
+/// One item-classification example: an item's seller-written title and its
+/// category label (the paper's §III-B task with categories as classes).
+struct ClassificationSample {
+  uint32_t item_index = 0;  ///< index into pkg.items
+  std::string title;
+  uint32_t label = 0;       ///< category id
+};
+
+/// Train/test/dev split of classification samples.
+struct ClassificationDataset {
+  std::vector<ClassificationSample> train;
+  std::vector<ClassificationSample> test;
+  std::vector<ClassificationSample> dev;
+  uint32_t num_classes = 0;
+};
+
+/// Builder options mirroring the paper's data preparation (Table III):
+/// instances per category are capped (paper: < 100) to probe the low-data
+/// regime where pre-training helps most.
+struct ClassificationDatasetOptions {
+  uint32_t max_per_category = 100;
+  double train_fraction = 0.70;
+  double test_fraction = 0.15;  // remainder goes to dev
+  uint64_t seed = 101;
+};
+
+/// Samples items per category, generates one title per item, splits.
+ClassificationDataset BuildClassificationDataset(
+    const kg::SyntheticPkg& pkg, const text::TitleGenerator& titles,
+    const ClassificationDatasetOptions& options);
+
+}  // namespace pkgm::data
+
+#endif  // PKGM_DATA_CLASSIFICATION_DATASET_H_

@@ -1,0 +1,110 @@
+#include "data/interaction_dataset.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace pkgm::data {
+
+InteractionDataset BuildInteractionDataset(
+    const kg::SyntheticPkg& pkg, const InteractionDatasetOptions& options) {
+  PKGM_CHECK_GE(options.max_interactions_per_user,
+                options.min_interactions_per_user);
+  PKGM_CHECK_GE(options.min_interactions_per_user, 3u)
+      << "need >= 3 so train keeps >= 1 after holding out test + valid";
+  Rng rng(options.seed);
+
+  const uint32_t num_items = static_cast<uint32_t>(pkg.items.size());
+  PKGM_CHECK_GT(num_items, options.candidates_per_draw);
+
+  // Flatten the value universe to sample user preferences from.
+  std::vector<kg::EntityId> all_values;
+  for (const auto& [rel, values] : pkg.property_values) {
+    all_values.insert(all_values.end(), values.begin(), values.end());
+  }
+  PKGM_CHECK(!all_values.empty());
+
+  // Global Zipf-shaped popularity: a random permutation assigns each item a
+  // popularity rank; weight decays with rank as real click logs do.
+  std::vector<double> popularity(num_items);
+  {
+    std::vector<uint32_t> ranks(num_items);
+    for (uint32_t i = 0; i < num_items; ++i) ranks[i] = i;
+    rng.Shuffle(&ranks);
+    for (uint32_t i = 0; i < num_items; ++i) {
+      popularity[i] =
+          1.0 / std::pow(static_cast<double>(ranks[i] + 1),
+                         options.popularity_zipf);
+    }
+  }
+
+  InteractionDataset ds;
+  ds.num_users = options.num_users;
+  ds.num_items = num_items;
+  ds.train.resize(options.num_users);
+  ds.test.resize(options.num_users);
+  ds.valid.resize(options.num_users);
+
+  for (uint32_t u = 0; u < options.num_users; ++u) {
+    // Latent preference: a set of attribute values this user favors.
+    std::unordered_set<kg::EntityId> preferred;
+    while (preferred.size() < options.preferred_values_per_user) {
+      preferred.insert(all_values[rng.Uniform(all_values.size())]);
+    }
+
+    auto affinity = [&](uint32_t item_index) {
+      double overlap = 0.0;
+      for (const auto& [rel, value] : pkg.items[item_index].attributes) {
+        if (preferred.count(value)) overlap += 1.0;
+      }
+      return options.preference_strength * overlap +
+             options.popularity_weight * popularity[item_index] +
+             rng.UniformDouble();
+    };
+
+    const uint32_t target =
+        options.min_interactions_per_user +
+        static_cast<uint32_t>(rng.Uniform(options.max_interactions_per_user -
+                                          options.min_interactions_per_user +
+                                          1));
+    std::unordered_set<uint32_t> seen;
+    std::vector<uint32_t> interactions;
+    // Bound total draws: with enough items the target is reached long
+    // before this, but duplicate-heavy preferences must not loop forever.
+    const uint32_t max_draws = target * 20;
+    for (uint32_t draw = 0;
+         interactions.size() < target && draw < max_draws; ++draw) {
+      // Best-of-candidates draw biased toward preferred attributes.
+      uint32_t best = 0;
+      double best_score = -1.0;
+      for (uint32_t c = 0; c < options.candidates_per_draw; ++c) {
+        const uint32_t cand = static_cast<uint32_t>(rng.Uniform(num_items));
+        const double s = affinity(cand);
+        if (s > best_score) {
+          best_score = s;
+          best = cand;
+        }
+      }
+      if (seen.insert(best).second) interactions.push_back(best);
+    }
+    // Fallback: top up uniformly if the preference draw stalled.
+    while (interactions.size() < options.min_interactions_per_user) {
+      const uint32_t cand = static_cast<uint32_t>(rng.Uniform(num_items));
+      if (seen.insert(cand).second) interactions.push_back(cand);
+    }
+
+    // Leave-one-out: the "latest" interaction is the test item, one random
+    // earlier one is validation (paper §III-D4).
+    ds.test[u] = interactions.back();
+    interactions.pop_back();
+    const size_t v = rng.Uniform(interactions.size());
+    ds.valid[u] = interactions[v];
+    interactions.erase(interactions.begin() + static_cast<long>(v));
+    ds.total_interactions += interactions.size() + 2;
+    ds.train[u] = std::move(interactions);
+  }
+  return ds;
+}
+
+}  // namespace pkgm::data

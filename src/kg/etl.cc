@@ -1,0 +1,41 @@
+#include "kg/etl.h"
+
+#include <vector>
+
+namespace pkgm::kg {
+
+TripleStore FilterByRelationFrequency(const TripleStore& input,
+                                      uint32_t num_relations,
+                                      uint32_t min_occurrence,
+                                      EtlStats* stats) {
+  std::vector<uint64_t> freq = input.RelationFrequencies(num_relations);
+
+  TripleStore output;
+  uint64_t dropped = 0;
+  for (const Triple& t : input.triples()) {
+    if (t.relation < num_relations && freq[t.relation] >= min_occurrence) {
+      output.Add(t);
+    } else {
+      ++dropped;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->input_triples = input.size();
+    stats->output_triples = output.size();
+    stats->dropped_triples = dropped;
+    uint32_t in_rel = 0, out_rel = 0;
+    for (uint32_t r = 0; r < num_relations; ++r) {
+      if (freq[r] > 0) {
+        ++in_rel;
+        if (freq[r] >= min_occurrence) ++out_rel;
+      }
+    }
+    stats->input_relations = in_rel;
+    stats->output_relations = out_rel;
+    stats->dropped_relations = in_rel - out_rel;
+  }
+  return output;
+}
+
+}  // namespace pkgm::kg

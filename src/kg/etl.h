@@ -1,0 +1,32 @@
+#ifndef PKGM_KG_ETL_H_
+#define PKGM_KG_ETL_H_
+
+#include <cstdint>
+
+#include "kg/triple_store.h"
+
+namespace pkgm::kg {
+
+/// Statistics reported by an ETL pass, in the spirit of the paper's
+/// MaxCompute preprocessing (§III-A1).
+struct EtlStats {
+  uint64_t input_triples = 0;
+  uint64_t output_triples = 0;
+  uint64_t dropped_triples = 0;
+  uint32_t input_relations = 0;
+  uint32_t output_relations = 0;
+  uint32_t dropped_relations = 0;
+};
+
+/// Drops every triple whose relation occurs fewer than `min_occurrence`
+/// times in `input` (the paper removes attributes with < 5000 occurrences
+/// because they are noisy, inflate model size, and hurt quality). Entity and
+/// relation ids are preserved. `stats` may be null.
+TripleStore FilterByRelationFrequency(const TripleStore& input,
+                                      uint32_t num_relations,
+                                      uint32_t min_occurrence,
+                                      EtlStats* stats);
+
+}  // namespace pkgm::kg
+
+#endif  // PKGM_KG_ETL_H_

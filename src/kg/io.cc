@@ -1,0 +1,87 @@
+#include "kg/io.h"
+
+#include <fstream>
+
+#include "util/string_util.h"
+
+namespace pkgm::kg {
+
+Status ExportTriplesTsv(const TripleStore& store, const Vocab& entities,
+                        const Vocab& relations, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError(StrFormat("cannot open %s for writing", path.c_str()));
+  }
+  for (const Triple& t : store.triples()) {
+    out << entities.Name(t.head) << '\t' << relations.Name(t.relation) << '\t'
+        << entities.Name(t.tail) << '\n';
+  }
+  out.flush();
+  if (!out.good()) {
+    return Status::IoError(StrFormat("write failure on %s", path.c_str()));
+  }
+  return Status::Ok();
+}
+
+StatusOr<TripleStore> ImportTriplesTsv(const std::string& path,
+                                       Vocab* entities, Vocab* relations) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError(StrFormat("cannot open %s for reading", path.c_str()));
+  }
+  TripleStore store;
+  std::string line;
+  uint64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> fields = Split(trimmed, '\t');
+    if (fields.size() != 3 || fields[0].empty() || fields[1].empty() ||
+        fields[2].empty()) {
+      return Status::InvalidArgument(StrFormat(
+          "%s:%llu: expected 3 tab-separated fields", path.c_str(),
+          static_cast<unsigned long long>(line_number)));
+    }
+    store.Add(entities->GetOrAdd(fields[0]), relations->GetOrAdd(fields[1]),
+              entities->GetOrAdd(fields[2]));
+  }
+  return store;
+}
+
+Status SaveVocab(const Vocab& vocab, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError(StrFormat("cannot open %s for writing", path.c_str()));
+  }
+  for (uint32_t id = 0; id < vocab.size(); ++id) {
+    out << vocab.Name(id) << '\n';
+  }
+  out.flush();
+  if (!out.good()) {
+    return Status::IoError(StrFormat("write failure on %s", path.c_str()));
+  }
+  return Status::Ok();
+}
+
+StatusOr<Vocab> LoadVocab(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError(StrFormat("cannot open %s for reading", path.c_str()));
+  }
+  Vocab vocab;
+  std::string line;
+  uint64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const uint32_t id = vocab.GetOrAdd(line);
+    if (id != line_number - 1) {
+      return Status::Corruption(StrFormat(
+          "%s:%llu: duplicate vocab entry '%s'", path.c_str(),
+          static_cast<unsigned long long>(line_number), line.c_str()));
+    }
+  }
+  return vocab;
+}
+
+}  // namespace pkgm::kg

@@ -1,0 +1,33 @@
+#ifndef PKGM_KG_IO_H_
+#define PKGM_KG_IO_H_
+
+#include <string>
+
+#include "kg/triple_store.h"
+#include "kg/vocab.h"
+#include "util/status.h"
+
+namespace pkgm::kg {
+
+/// Writes the store as tab-separated "head\trelation\ttail" lines using the
+/// vocab names, one triple per line, in insertion order.
+Status ExportTriplesTsv(const TripleStore& store, const Vocab& entities,
+                        const Vocab& relations, const std::string& path);
+
+/// Reads a TSV triple file produced by ExportTriplesTsv (or by any external
+/// ETL), interning names into the vocabs as they appear. Lines that are
+/// empty or start with '#' are skipped; any other malformed line fails with
+/// InvalidArgument naming the line number. On error the vocabs may contain
+/// partially interned names; the returned store is only valid on OK.
+StatusOr<TripleStore> ImportTriplesTsv(const std::string& path,
+                                       Vocab* entities, Vocab* relations);
+
+/// Writes a vocab as one name per line (id = line number).
+Status SaveVocab(const Vocab& vocab, const std::string& path);
+
+/// Reads a vocab written by SaveVocab.
+StatusOr<Vocab> LoadVocab(const std::string& path);
+
+}  // namespace pkgm::kg
+
+#endif  // PKGM_KG_IO_H_

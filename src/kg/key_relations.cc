@@ -1,0 +1,47 @@
+#include "kg/key_relations.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace pkgm::kg {
+
+std::vector<std::vector<RelationId>> KeyRelationSelector::SelectPerCategory(
+    const SyntheticPkg& pkg) const {
+  // freq[c][r] = number of items in category c observed with relation r.
+  std::vector<std::unordered_map<RelationId, uint64_t>> freq(
+      pkg.num_categories);
+  for (const ItemInfo& item : pkg.items) {
+    for (RelationId r : pkg.observed.RelationsOf(item.entity)) {
+      if (!allowed_.empty() && allowed_.count(r) == 0) continue;
+      ++freq[item.category][r];
+    }
+  }
+
+  std::vector<std::vector<RelationId>> out(pkg.num_categories);
+  for (uint32_t c = 0; c < pkg.num_categories; ++c) {
+    std::vector<std::pair<RelationId, uint64_t>> counts(freq[c].begin(),
+                                                        freq[c].end());
+    std::sort(counts.begin(), counts.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    const size_t keep = std::min<size_t>(k_, counts.size());
+    out[c].reserve(keep);
+    for (size_t i = 0; i < keep; ++i) out[c].push_back(counts[i].first);
+  }
+  return out;
+}
+
+std::vector<std::vector<RelationId>> KeyRelationSelector::SelectPerItem(
+    const SyntheticPkg& pkg) const {
+  std::vector<std::vector<RelationId>> per_category = SelectPerCategory(pkg);
+  std::vector<std::vector<RelationId>> out;
+  out.reserve(pkg.items.size());
+  for (const ItemInfo& item : pkg.items) {
+    out.push_back(per_category[item.category]);
+  }
+  return out;
+}
+
+}  // namespace pkgm::kg

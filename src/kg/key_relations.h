@@ -1,0 +1,43 @@
+#ifndef PKGM_KG_KEY_RELATIONS_H_
+#define PKGM_KG_KEY_RELATIONS_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "kg/synthetic_pkg.h"
+#include "kg/triple_store.h"
+
+namespace pkgm::kg {
+
+/// Implements the paper's key-relation selection (§III-A1): for each
+/// category, count the frequency of each property over the items observed in
+/// that category and keep the top-k most frequent. After pre-training, PKGM
+/// serves vectors for exactly these relations per item.
+class KeyRelationSelector {
+ public:
+  /// `k` is the number of key relations per category (paper: 10).
+  /// `allowed` restricts counting to property relations (item-item
+  /// relations are not attributes); empty means all relations count.
+  KeyRelationSelector(uint32_t k, std::unordered_set<RelationId> allowed)
+      : k_(k), allowed_(std::move(allowed)) {}
+
+  /// Returns, per category, the top-k relations sorted by descending
+  /// frequency (ties broken by relation id for determinism). Categories with
+  /// fewer than k observed properties get all of them.
+  std::vector<std::vector<RelationId>> SelectPerCategory(
+      const SyntheticPkg& pkg) const;
+
+  /// Convenience: key relations for each item (index-aligned with
+  /// pkg.items), i.e. its category's key relations.
+  std::vector<std::vector<RelationId>> SelectPerItem(
+      const SyntheticPkg& pkg) const;
+
+ private:
+  uint32_t k_;
+  std::unordered_set<RelationId> allowed_;
+};
+
+}  // namespace pkgm::kg
+
+#endif  // PKGM_KG_KEY_RELATIONS_H_

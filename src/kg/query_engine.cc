@@ -1,0 +1,24 @@
+#include "kg/query_engine.h"
+
+#include "util/stopwatch.h"
+
+namespace pkgm::kg {
+
+const std::vector<EntityId>& QueryEngine::TripleQuery(EntityId h,
+                                                      RelationId r) {
+  Stopwatch sw;
+  const std::vector<EntityId>& result = store_->Tails(h, r);
+  latency_micros_.Record(sw.ElapsedSeconds() * 1e6);
+  ++num_triple_queries_;
+  return result;
+}
+
+const std::vector<RelationId>& QueryEngine::RelationQuery(EntityId h) {
+  Stopwatch sw;
+  const std::vector<RelationId>& result = store_->RelationsOf(h);
+  latency_micros_.Record(sw.ElapsedSeconds() * 1e6);
+  ++num_relation_queries_;
+  return result;
+}
+
+}  // namespace pkgm::kg

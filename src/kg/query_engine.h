@@ -1,0 +1,48 @@
+#ifndef PKGM_KG_QUERY_ENGINE_H_
+#define PKGM_KG_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kg/triple_store.h"
+#include "util/histogram.h"
+
+namespace pkgm::kg {
+
+/// Symbolic query engine over a TripleStore: answers exactly the two query
+/// shapes PKGM's vector services replace (§II):
+///
+///   SELECT ?t WHERE { h r ?t }    -> TripleQuery(h, r)
+///   SELECT ?r WHERE { h ?r ?t }   -> RelationQuery(h)
+///
+/// This is the baseline "knowledge service via triple data" the paper's
+/// deployment used previously; the bench_service_latency harness compares it
+/// against vector-space serving. Instrumented with query counters and a
+/// latency histogram.
+class QueryEngine {
+ public:
+  /// Does not take ownership; `store` must outlive the engine.
+  explicit QueryEngine(const TripleStore* store) : store_(store) {}
+
+  /// Tail entities for (h, r, ?t). Empty when the KG has no matching triple
+  /// — the symbolic engine has no completion capability, which is the
+  /// incompleteness disadvantage PKGM addresses.
+  const std::vector<EntityId>& TripleQuery(EntityId h, RelationId r);
+
+  /// Distinct relations of h for (h, ?r).
+  const std::vector<RelationId>& RelationQuery(EntityId h);
+
+  uint64_t num_triple_queries() const { return num_triple_queries_; }
+  uint64_t num_relation_queries() const { return num_relation_queries_; }
+  const Histogram& latency_micros() const { return latency_micros_; }
+
+ private:
+  const TripleStore* store_;
+  uint64_t num_triple_queries_ = 0;
+  uint64_t num_relation_queries_ = 0;
+  Histogram latency_micros_;
+};
+
+}  // namespace pkgm::kg
+
+#endif  // PKGM_KG_QUERY_ENGINE_H_

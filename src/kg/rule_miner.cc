@@ -1,0 +1,143 @@
+#include "kg/rule_miner.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pkgm::kg {
+
+namespace {
+
+// Packs an (relation, value) attribute atom into one 64-bit key.
+uint64_t AtomKey(RelationId r, EntityId v) {
+  return (static_cast<uint64_t>(r) << 32) | v;
+}
+
+}  // namespace
+
+std::vector<Rule> MineRules(const TripleStore& store,
+                            const std::vector<EntityId>& items,
+                            const RuleMinerOptions& options) {
+  // Count per-atom frequency and per-ordered-atom-pair co-occurrence over
+  // items. An item's attribute set is its outgoing (relation, tail) pairs.
+  std::unordered_map<uint64_t, uint64_t> atom_count;
+  std::unordered_map<uint64_t, std::unordered_map<uint64_t, uint64_t>>
+      pair_count;  // body atom -> head atom -> co-occurrences
+
+  std::vector<uint64_t> atoms;
+  for (EntityId item : items) {
+    atoms.clear();
+    for (RelationId r : store.RelationsOf(item)) {
+      for (EntityId v : store.Tails(item, r)) {
+        atoms.push_back(AtomKey(r, v));
+      }
+    }
+    for (uint64_t a : atoms) ++atom_count[a];
+    for (uint64_t body : atoms) {
+      auto& heads = pair_count[body];
+      for (uint64_t head : atoms) {
+        if (head == body) continue;
+        // Rules across the same relation (r, v) => (r, v') are tautologies
+        // or contradictions for functional attributes; skip same-relation
+        // pairs.
+        if ((head >> 32) == (body >> 32)) continue;
+        ++heads[head];
+      }
+    }
+  }
+
+  std::vector<Rule> rules;
+  for (const auto& [body, heads] : pair_count) {
+    const uint64_t body_n = atom_count[body];
+    if (body_n == 0) continue;
+    for (const auto& [head, support] : heads) {
+      if (support < options.min_support) continue;
+      const double confidence =
+          static_cast<double>(support) / static_cast<double>(body_n);
+      if (confidence < options.min_confidence) continue;
+      Rule rule;
+      rule.body_relation = static_cast<RelationId>(body >> 32);
+      rule.body_value = static_cast<EntityId>(body & 0xffffffffu);
+      rule.head_relation = static_cast<RelationId>(head >> 32);
+      rule.head_value = static_cast<EntityId>(head & 0xffffffffu);
+      rule.support = support;
+      rule.confidence = confidence;
+      rules.push_back(rule);
+    }
+  }
+
+  std::sort(rules.begin(), rules.end(), [](const Rule& a, const Rule& b) {
+    if (a.confidence != b.confidence) return a.confidence > b.confidence;
+    return a.support > b.support;
+  });
+  if (rules.size() > options.max_rules) rules.resize(options.max_rules);
+  return rules;
+}
+
+RuleInferencer::RuleInferencer(std::vector<Rule> rules)
+    : rules_(std::move(rules)) {
+  for (uint32_t i = 0; i < rules_.size(); ++i) {
+    body_index_[Key(rules_[i].body_relation, rules_[i].body_value)].push_back(
+        i);
+  }
+}
+
+std::vector<std::pair<EntityId, double>> RuleInferencer::PredictTails(
+    const TripleStore& store, EntityId h, RelationId r) const {
+  // Noisy-or vote per candidate tail: 1 - prod(1 - confidence_i).
+  std::unordered_map<EntityId, double> complement;  // value -> prod(1 - c)
+  for (RelationId br : store.RelationsOf(h)) {
+    for (EntityId bv : store.Tails(h, br)) {
+      auto it = body_index_.find(Key(br, bv));
+      if (it == body_index_.end()) continue;
+      for (uint32_t idx : it->second) {
+        const Rule& rule = rules_[idx];
+        if (rule.head_relation != r) continue;
+        auto [entry, inserted] = complement.try_emplace(rule.head_value, 1.0);
+        entry->second *= 1.0 - rule.confidence;
+      }
+    }
+  }
+  std::vector<std::pair<EntityId, double>> out;
+  out.reserve(complement.size());
+  for (const auto& [value, comp] : complement) {
+    out.emplace_back(value, 1.0 - comp);
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+std::pair<double, double> RuleInferencer::EvaluateTails(
+    const TripleStore& store, const std::vector<Triple>& test,
+    uint32_t universe_size) const {
+  if (test.empty()) return {0.0, 0.0};
+  double rr_sum = 0.0, hits1 = 0.0;
+  for (const Triple& t : test) {
+    auto predicted = PredictTails(store, t.head, t.relation);
+    double rank = 0.0;
+    bool found = false;
+    for (size_t i = 0; i < predicted.size(); ++i) {
+      if (predicted[i].first == t.tail) {
+        rank = static_cast<double>(i + 1);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      // Expected rank among the candidates the rules said nothing about.
+      const double remaining = std::max<double>(
+          1.0, static_cast<double>(universe_size) -
+                   static_cast<double>(predicted.size()));
+      rank = static_cast<double>(predicted.size()) + (remaining + 1.0) / 2.0;
+    }
+    rr_sum += 1.0 / rank;
+    if (found && rank == 1.0) hits1 += 1.0;
+  }
+  const double n = static_cast<double>(test.size());
+  return {rr_sum / n, hits1 / n};
+}
+
+}  // namespace pkgm::kg

@@ -1,0 +1,83 @@
+#ifndef PKGM_KG_RULE_MINER_H_
+#define PKGM_KG_RULE_MINER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "kg/triple_store.h"
+
+namespace pkgm::kg {
+
+/// A mined attribute-association Horn rule with constants:
+///
+///     (x, body_relation, body_value)  =>  (x, head_relation, head_value)
+///
+/// e.g. "(x, brandIs, Apple) => (x, osIs, iOS)". The paper's production KG
+/// ships with 3+ million such rules; this is the AMIE-style miner that
+/// provides the symbolic-completion baseline the benches compare PKGM
+/// against.
+struct Rule {
+  RelationId body_relation = 0;
+  EntityId body_value = 0;
+  RelationId head_relation = 0;
+  EntityId head_value = 0;
+  /// #items satisfying body AND head.
+  uint64_t support = 0;
+  /// support / #items satisfying the body.
+  double confidence = 0.0;
+};
+
+struct RuleMinerOptions {
+  /// Minimum co-occurrence count for a rule to be kept.
+  uint64_t min_support = 5;
+  /// Minimum confidence for a rule to be kept.
+  double min_confidence = 0.5;
+  /// Hard cap on emitted rules (highest-confidence first).
+  uint32_t max_rules = 200000;
+};
+
+/// Mines rules from the observed attribute triples of the given head
+/// entities (items). Complexity is O(sum_i a_i^2) over per-item attribute
+/// counts a_i.
+std::vector<Rule> MineRules(const TripleStore& store,
+                            const std::vector<EntityId>& items,
+                            const RuleMinerOptions& options);
+
+/// Applies mined rules to answer tail queries symbolically: for (h, r, ?),
+/// every rule whose body matches one of h's observed attributes and whose
+/// head relation is r votes for its head value with its confidence
+/// (noisy-or aggregation across rules).
+class RuleInferencer {
+ public:
+  explicit RuleInferencer(std::vector<Rule> rules);
+
+  size_t num_rules() const { return rules_.size(); }
+
+  /// Candidate tails with aggregated confidence, highest first. `store`
+  /// supplies h's observed attributes.
+  std::vector<std::pair<EntityId, double>> PredictTails(
+      const TripleStore& store, EntityId h, RelationId r) const;
+
+  /// Link-prediction-style evaluation on test triples against a candidate
+  /// universe of `universe_size` per query: rank of the true tail is its
+  /// position in the prediction list when predicted, otherwise the expected
+  /// rank among the unranked remainder. Returns {mrr, hits@1}.
+  std::pair<double, double> EvaluateTails(const TripleStore& store,
+                                          const std::vector<Triple>& test,
+                                          uint32_t universe_size) const;
+
+ private:
+  std::vector<Rule> rules_;
+  // (body_relation, body_value) -> rule indexes, for fast matching.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> body_index_;
+
+  static uint64_t Key(uint32_t a, uint32_t b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+};
+
+}  // namespace pkgm::kg
+
+#endif  // PKGM_KG_RULE_MINER_H_

@@ -1,0 +1,28 @@
+#include "kg/split.h"
+
+#include "util/logging.h"
+
+namespace pkgm::kg {
+
+TripleSplit SplitTriples(const TripleStore& store, double train_fraction,
+                         double valid_fraction, Rng* rng) {
+  PKGM_CHECK_GE(train_fraction, 0.0);
+  PKGM_CHECK_GE(valid_fraction, 0.0);
+  PKGM_CHECK_LE(train_fraction + valid_fraction, 1.0);
+
+  std::vector<Triple> shuffled = store.triples();
+  rng->Shuffle(&shuffled);
+
+  const size_t n = shuffled.size();
+  const size_t n_train = static_cast<size_t>(train_fraction * n);
+  const size_t n_valid = static_cast<size_t>(valid_fraction * n);
+
+  TripleSplit split;
+  split.train.assign(shuffled.begin(), shuffled.begin() + n_train);
+  split.valid.assign(shuffled.begin() + n_train,
+                     shuffled.begin() + n_train + n_valid);
+  split.test.assign(shuffled.begin() + n_train + n_valid, shuffled.end());
+  return split;
+}
+
+}  // namespace pkgm::kg

@@ -1,0 +1,26 @@
+#ifndef PKGM_KG_SPLIT_H_
+#define PKGM_KG_SPLIT_H_
+
+#include <vector>
+
+#include "kg/triple_store.h"
+#include "util/rng.h"
+
+namespace pkgm::kg {
+
+/// Train/valid/test triple split for link-prediction evaluation.
+struct TripleSplit {
+  std::vector<Triple> train;
+  std::vector<Triple> valid;
+  std::vector<Triple> test;
+};
+
+/// Randomly partitions the triples of `store` into train/valid/test with the
+/// given fractions (test gets the remainder). Deterministic given the rng
+/// state. Fractions must be non-negative and sum to <= 1.
+TripleSplit SplitTriples(const TripleStore& store, double train_fraction,
+                         double valid_fraction, Rng* rng);
+
+}  // namespace pkgm::kg
+
+#endif  // PKGM_KG_SPLIT_H_

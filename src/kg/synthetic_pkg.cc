@@ -1,0 +1,233 @@
+#include "kg/synthetic_pkg.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "kg/etl.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pkgm::kg {
+
+bool SyntheticPkg::ItemShouldHaveRelation(uint32_t item_index,
+                                          RelationId r) const {
+  PKGM_CHECK_LT(item_index, items.size());
+  for (const auto& [rel, value] : items[item_index].attributes) {
+    if (rel == r) return true;
+  }
+  return false;
+}
+
+EntityId SyntheticPkg::GroundTruthTail(uint32_t item_index,
+                                       RelationId r) const {
+  PKGM_CHECK_LT(item_index, items.size());
+  for (const auto& [rel, value] : items[item_index].attributes) {
+    if (rel == r) return value;
+  }
+  return kInvalidId;
+}
+
+SyntheticPkg SyntheticPkgGenerator::Generate() const {
+  const SyntheticPkgOptions& opt = options_;
+  PKGM_CHECK_GE(opt.properties_per_category, opt.identity_properties);
+  PKGM_CHECK_GT(opt.num_categories, 0u);
+
+  Rng rng(opt.seed);
+  SyntheticPkg pkg;
+  pkg.num_categories = opt.num_categories;
+  pkg.category_names.reserve(opt.num_categories);
+  for (uint32_t c = 0; c < opt.num_categories; ++c) {
+    pkg.category_names.push_back(StrFormat("category_%u", c));
+  }
+
+  // --- Property pool -------------------------------------------------------
+  // Shared properties (brand, color, ...) reused across categories plus
+  // category-specific ones. Relation ids come from the relation vocab.
+  std::vector<RelationId> shared_props;
+  for (uint32_t p = 0; p < opt.shared_property_pool; ++p) {
+    shared_props.push_back(pkg.relations.GetOrAdd(StrFormat("prop_shared_%u", p)));
+  }
+  pkg.property_relations = shared_props;
+
+  // --- Per-category schemas ------------------------------------------------
+  pkg.category_schema.resize(opt.num_categories);
+  for (uint32_t c = 0; c < opt.num_categories; ++c) {
+    auto& schema = pkg.category_schema[c];
+    // Roughly half the schema from the shared pool, the rest specific.
+    uint32_t num_shared = std::min<uint32_t>(
+        opt.properties_per_category / 2,
+        static_cast<uint32_t>(shared_props.size()));
+    std::vector<uint64_t> picks =
+        rng.SampleWithoutReplacement(shared_props.size(), num_shared);
+    for (uint64_t p : picks) schema.push_back(shared_props[p]);
+    for (uint32_t j = num_shared; j < opt.properties_per_category; ++j) {
+      RelationId r =
+          pkg.relations.GetOrAdd(StrFormat("cat%u_prop_%u", c, j));
+      schema.push_back(r);
+      pkg.property_relations.push_back(r);
+    }
+    rng.Shuffle(&schema);
+  }
+
+  // --- Value universes per property ---------------------------------------
+  // Values are shared across all categories that use the property, like
+  // brand names reused across a marketplace.
+  std::unordered_set<RelationId> all_props(pkg.property_relations.begin(),
+                                           pkg.property_relations.end());
+  for (RelationId r : all_props) {
+    auto& values = pkg.property_values[r];
+    values.reserve(opt.values_per_property);
+    for (uint32_t v = 0; v < opt.values_per_property; ++v) {
+      values.push_back(pkg.entities.GetOrAdd(
+          StrFormat("%s_v%u", pkg.relations.Name(r).c_str(), v)));
+    }
+  }
+  ZipfSampler value_sampler(opt.values_per_property, opt.value_zipf_exponent);
+
+  // --- Products -------------------------------------------------------------
+  // A product is a distinct assignment over the category's identity
+  // properties. Items of the same product share those values.
+  struct Product {
+    uint32_t category;
+    std::vector<std::pair<RelationId, EntityId>> identity;
+    /// Canonical values for the non-identity schema properties (same
+    /// physical product => same specs), index-aligned with
+    /// schema[identity_properties..]. kInvalidId marks a property that
+    /// does not apply to this product.
+    std::vector<EntityId> canonical_values;
+  };
+  std::vector<Product> products;
+  for (uint32_t c = 0; c < opt.num_categories; ++c) {
+    const auto& schema = pkg.category_schema[c];
+    std::unordered_set<uint64_t> seen_signatures;
+    for (uint32_t p = 0; p < opt.products_per_category; ++p) {
+      Product prod;
+      prod.category = c;
+      // A few attempts to avoid identical-looking distinct products, which
+      // would inject label noise into the alignment task.
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        prod.identity.clear();
+        uint64_t sig = 1469598103934665603ULL;
+        for (uint32_t j = 0; j < opt.identity_properties; ++j) {
+          RelationId r = schema[j];
+          EntityId v = pkg.property_values[r][value_sampler.Sample(&rng)];
+          prod.identity.emplace_back(r, v);
+          sig = (sig ^ v) * 1099511628211ULL;
+          sig = (sig ^ r) * 1099511628211ULL;
+        }
+        if (seen_signatures.insert(sig).second) break;
+      }
+      for (uint32_t j = opt.identity_properties; j < schema.size(); ++j) {
+        if (rng.Bernoulli(opt.property_applicability)) {
+          prod.canonical_values.push_back(
+              pkg.property_values[schema[j]][value_sampler.Sample(&rng)]);
+        } else {
+          prod.canonical_values.push_back(kInvalidId);  // not applicable
+        }
+      }
+      products.push_back(std::move(prod));
+    }
+  }
+  pkg.num_products = static_cast<uint32_t>(products.size());
+
+  // --- Items ----------------------------------------------------------------
+  // Zipf-skewed item counts across categories (head categories are larger).
+  ZipfSampler category_sampler(opt.num_categories, 0.8);
+  const uint64_t total_items =
+      static_cast<uint64_t>(opt.num_categories) * opt.items_per_category;
+  std::vector<uint32_t> items_in_category(opt.num_categories, 0);
+  for (uint64_t i = 0; i < total_items; ++i) {
+    ++items_in_category[category_sampler.Sample(&rng)];
+  }
+  // Guarantee every category has a handful of items so every downstream
+  // dataset has coverage.
+  for (auto& n : items_in_category) n = std::max<uint32_t>(n, 4);
+
+  TripleStore observed_raw;
+  for (uint32_t c = 0; c < opt.num_categories; ++c) {
+    const auto& schema = pkg.category_schema[c];
+    for (uint32_t k = 0; k < items_in_category[c]; ++k) {
+      ItemInfo item;
+      item.category = c;
+      item.entity = pkg.entities.GetOrAdd(
+          StrFormat("item_c%u_%u", c, k));
+      // Pick the item's product uniformly within the category.
+      uint32_t local = static_cast<uint32_t>(
+          rng.Uniform(opt.products_per_category));
+      item.product = c * opt.products_per_category + local;
+      const Product& prod = products[item.product];
+
+      // Identity attributes come from the product; the rest are sampled
+      // per item.
+      for (const auto& [r, v] : prod.identity) {
+        item.attributes.emplace_back(r, v);
+      }
+      for (uint32_t j = opt.identity_properties; j < schema.size(); ++j) {
+        RelationId r = schema[j];
+        const EntityId canonical =
+            prod.canonical_values[j - opt.identity_properties];
+        if (canonical == kInvalidId) continue;  // property does not apply
+        EntityId v = rng.Bernoulli(opt.shared_attribute_prob)
+                         ? canonical
+                         : pkg.property_values[r][value_sampler.Sample(&rng)];
+        item.attributes.emplace_back(r, v);
+      }
+
+      // Seller fill: observed vs held-out (the completion targets).
+      for (const auto& [r, v] : item.attributes) {
+        Triple t{item.entity, r, v};
+        if (rng.Bernoulli(opt.observed_fill_rate)) {
+          observed_raw.Add(t);
+        } else {
+          pkg.held_out.push_back(t);
+        }
+      }
+      pkg.items.push_back(std::move(item));
+    }
+  }
+
+  // --- Item-item relations (the paper's R' subset) ---------------------------
+  if (opt.add_item_item_relations && pkg.items.size() >= 2) {
+    RelationId similar = pkg.relations.GetOrAdd("similarTo");
+    pkg.item_relations.push_back(similar);
+    // Sparse within-category similarity edges: ~1 per 2 items.
+    // Group item indexes by category once.
+    std::vector<std::vector<uint32_t>> by_category(opt.num_categories);
+    for (uint32_t i = 0; i < pkg.items.size(); ++i) {
+      by_category[pkg.items[i].category].push_back(i);
+    }
+    for (uint32_t c = 0; c < opt.num_categories; ++c) {
+      const auto& members = by_category[c];
+      if (members.size() < 2) continue;
+      uint64_t num_edges = members.size() / 2;
+      for (uint64_t e = 0; e < num_edges; ++e) {
+        uint32_t a = members[rng.Uniform(members.size())];
+        uint32_t b = members[rng.Uniform(members.size())];
+        if (a == b) continue;
+        observed_raw.Add(pkg.items[a].entity, similar, pkg.items[b].entity);
+      }
+    }
+  }
+
+  // --- Rare noisy attributes (to exercise the ETL frequency filter) ----------
+  for (uint32_t p = 0; p < opt.noise_properties; ++p) {
+    RelationId r = pkg.relations.GetOrAdd(StrFormat("noise_prop_%u", p));
+    for (uint32_t o = 0; o < opt.noise_property_occurrences; ++o) {
+      const ItemInfo& item = pkg.items[rng.Uniform(pkg.items.size())];
+      EntityId v = pkg.entities.GetOrAdd(StrFormat("noise_val_%u_%u", p, o));
+      observed_raw.Add(item.entity, r, v);
+    }
+  }
+
+  // --- ETL: drop attributes with occurrences below the threshold -------------
+  // (paper §III-A1: attributes with < 5000 occurrences are removed).
+  EtlStats stats;
+  pkg.observed = FilterByRelationFrequency(observed_raw, pkg.relations.size(),
+                                           opt.etl_min_occurrence, &stats);
+  pkg.etl_dropped_triples = stats.dropped_triples;
+  pkg.etl_dropped_relations = stats.dropped_relations;
+
+  return pkg;
+}
+
+}  // namespace pkgm::kg

@@ -1,0 +1,142 @@
+#ifndef PKGM_KG_SYNTHETIC_PKG_H_
+#define PKGM_KG_SYNTHETIC_PKG_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "kg/triple_store.h"
+#include "kg/vocab.h"
+#include "util/rng.h"
+
+namespace pkgm::kg {
+
+/// Configuration for the synthetic e-commerce product KG. Defaults give a
+/// laptop-scale graph (~10^5 triples) whose *shape* matches the paper's
+/// PKG-sub (Table II): a category tree, per-category attribute schemas,
+/// Zipf-skewed value popularity, seller-filled sparsity, and a tail of rare
+/// noisy attributes for the ETL frequency filter to remove.
+struct SyntheticPkgOptions {
+  uint64_t seed = 42;
+
+  /// Number of leaf categories in the item category tree.
+  uint32_t num_categories = 20;
+  /// Mean number of items per category (actual counts are Zipf-skewed
+  /// across categories, mimicking head/tail categories).
+  uint32_t items_per_category = 200;
+  /// Properties in each category's schema (the paper selects the top 10 as
+  /// key relations, so schemas should be >= 10).
+  uint32_t properties_per_category = 12;
+  /// Size of the global property pool shared across categories (brand,
+  /// color, material, ...). Schemas draw from this pool first, then add
+  /// category-specific properties.
+  uint32_t shared_property_pool = 16;
+  /// Distinct values per property (per category), e.g. brands in a category.
+  uint32_t values_per_property = 40;
+  /// Zipf exponent for value popularity within a property (1.0+ = strong
+  /// head, 0 = uniform).
+  double value_zipf_exponent = 1.0;
+  /// Probability a seller actually filled a ground-truth attribute. The
+  /// unfilled remainder becomes the held-out completion set.
+  double observed_fill_rate = 0.75;
+  /// Products per category; items of the same product share the values of
+  /// the identity properties (used by the alignment task).
+  uint32_t products_per_category = 40;
+  /// Number of leading schema properties whose values define product
+  /// identity.
+  uint32_t identity_properties = 3;
+  /// Probability that a non-identity attribute takes the product's
+  /// canonical value rather than an item-specific draw. Items of one
+  /// product are the same physical good, so their specs agree almost
+  /// everywhere; the remainder models seller-specific variation.
+  double shared_attribute_prob = 0.85;
+  /// Probability that a non-identity schema property *applies* to a given
+  /// product at all (e.g. "heel height" applies to some shoes only).
+  /// Ownership therefore varies item-to-item within a category, which is
+  /// exactly the signal the relation query module encodes.
+  double property_applicability = 0.8;
+  /// Extra rare/noisy attributes (occurrence below any sane ETL threshold).
+  uint32_t noise_properties = 8;
+  /// Number of items each noise property is attached to.
+  uint32_t noise_property_occurrences = 3;
+  /// If true, adds sparse item-item `similarTo` edges within categories
+  /// (the paper's R' relation set).
+  bool add_item_item_relations = true;
+  /// ETL frequency threshold: properties with fewer occurrences than this
+  /// are dropped before pre-training (paper: 5000 on the full PKG).
+  uint32_t etl_min_occurrence = 10;
+};
+
+/// Per-item ground truth retained by the generator for downstream dataset
+/// construction and for evaluating completion.
+struct ItemInfo {
+  EntityId entity = 0;
+  uint32_t category = 0;
+  /// Global product index; items with equal product refer to the same
+  /// real-world product (alignment positives).
+  uint32_t product = 0;
+  /// Complete ground-truth attribute assignment (relation -> value entity),
+  /// regardless of whether the seller filled it in the observed KG.
+  std::vector<std::pair<RelationId, EntityId>> attributes;
+};
+
+/// A generated product knowledge graph plus all ground truth needed by the
+/// downstream tasks and by evaluation.
+struct SyntheticPkg {
+  Vocab entities;
+  Vocab relations;
+
+  /// Observed, ETL-filtered KG: what PKGM pre-trains on.
+  TripleStore observed;
+  /// True attribute triples the seller did not fill (completion targets).
+  std::vector<Triple> held_out;
+  /// Noisy triples removed by the ETL frequency filter.
+  uint64_t etl_dropped_triples = 0;
+  uint32_t etl_dropped_relations = 0;
+
+  std::vector<ItemInfo> items;
+  uint32_t num_categories = 0;
+  uint32_t num_products = 0;
+  std::vector<std::string> category_names;
+  /// Property relation ids in each category's schema (identity properties
+  /// first).
+  std::vector<std::vector<RelationId>> category_schema;
+  /// All attribute (property) relation ids, i.e. the P subset of R.
+  std::vector<RelationId> property_relations;
+  /// Item-item relation ids, i.e. the R' subset of R.
+  std::vector<RelationId> item_relations;
+  /// Value universe per (category, property) pair is folded into this
+  /// per-property union, used for corrupting triples plausibly.
+  std::unordered_map<RelationId, std::vector<EntityId>> property_values;
+
+  /// True ground-truth check: should item (by index) have relation r?
+  /// (= r applies to the item's product, i.e. appears in its complete
+  /// ground-truth attribute list — regardless of whether the seller filled
+  /// it). Used to evaluate the relation query module's three-way behaviour
+  /// (§II-D2).
+  bool ItemShouldHaveRelation(uint32_t item_index, RelationId r) const;
+
+  /// Ground-truth tail for (item, r), or kInvalidId if r is not in the
+  /// item's schema.
+  EntityId GroundTruthTail(uint32_t item_index, RelationId r) const;
+};
+
+/// Generates a SyntheticPkg per the options. Deterministic given the seed.
+class SyntheticPkgGenerator {
+ public:
+  explicit SyntheticPkgGenerator(SyntheticPkgOptions options)
+      : options_(options) {}
+
+  /// Builds the graph: categories -> schemas -> products -> items ->
+  /// observed/held-out split -> noise -> ETL filter.
+  SyntheticPkg Generate() const;
+
+ private:
+  SyntheticPkgOptions options_;
+};
+
+}  // namespace pkgm::kg
+
+#endif  // PKGM_KG_SYNTHETIC_PKG_H_

@@ -1,0 +1,43 @@
+#ifndef PKGM_KG_TRIPLE_H_
+#define PKGM_KG_TRIPLE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "kg/vocab.h"
+
+namespace pkgm::kg {
+
+/// A fact (head, relation, tail) in the product knowledge graph, e.g.
+/// (iPhone, brandIs, Apple) with all three parts interned to dense ids.
+struct Triple {
+  EntityId head = 0;
+  RelationId relation = 0;
+  EntityId tail = 0;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.head == b.head && a.relation == b.relation && a.tail == b.tail;
+  }
+  friend bool operator<(const Triple& a, const Triple& b) {
+    if (a.head != b.head) return a.head < b.head;
+    if (a.relation != b.relation) return a.relation < b.relation;
+    return a.tail < b.tail;
+  }
+};
+
+/// Hash functor for Triple (for unordered containers of facts).
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    // 64-bit mix of the three 32-bit fields.
+    uint64_t x = (static_cast<uint64_t>(t.head) << 32) | t.tail;
+    x ^= static_cast<uint64_t>(t.relation) * 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    return static_cast<size_t>(x);
+  }
+};
+
+}  // namespace pkgm::kg
+
+#endif  // PKGM_KG_TRIPLE_H_

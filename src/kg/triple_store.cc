@@ -1,0 +1,63 @@
+#include "kg/triple_store.h"
+
+#include <algorithm>
+
+namespace pkgm::kg {
+
+namespace {
+const std::vector<EntityId>& EmptyEntityList() {
+  static const std::vector<EntityId>* empty = new std::vector<EntityId>();
+  return *empty;
+}
+const std::vector<RelationId>& EmptyRelationList() {
+  static const std::vector<RelationId>* empty = new std::vector<RelationId>();
+  return *empty;
+}
+}  // namespace
+
+bool TripleStore::Add(const Triple& t) {
+  if (!set_.insert(t).second) return false;
+  triples_.push_back(t);
+
+  auto& tails = hr_to_tails_[PairKey(t.head, t.relation)];
+  if (tails.empty()) {
+    // First triple with this (h, r): record the relation for h.
+    head_relations_[t.head].push_back(t.relation);
+  }
+  tails.push_back(t.tail);
+  rt_to_heads_[PairKey(t.relation, t.tail)].push_back(t.head);
+
+  max_entity_id_ = std::max(max_entity_id_, std::max(t.head, t.tail) + 1);
+  max_relation_id_ = std::max(max_relation_id_, t.relation + 1);
+  return true;
+}
+
+bool TripleStore::HasRelation(EntityId h, RelationId r) const {
+  return hr_to_tails_.count(PairKey(h, r)) > 0;
+}
+
+const std::vector<EntityId>& TripleStore::Tails(EntityId h, RelationId r) const {
+  auto it = hr_to_tails_.find(PairKey(h, r));
+  return it == hr_to_tails_.end() ? EmptyEntityList() : it->second;
+}
+
+const std::vector<EntityId>& TripleStore::Heads(RelationId r, EntityId t) const {
+  auto it = rt_to_heads_.find(PairKey(r, t));
+  return it == rt_to_heads_.end() ? EmptyEntityList() : it->second;
+}
+
+const std::vector<RelationId>& TripleStore::RelationsOf(EntityId h) const {
+  auto it = head_relations_.find(h);
+  return it == head_relations_.end() ? EmptyRelationList() : it->second;
+}
+
+std::vector<uint64_t> TripleStore::RelationFrequencies(
+    uint32_t num_relations) const {
+  std::vector<uint64_t> freq(num_relations, 0);
+  for (const Triple& t : triples_) {
+    if (t.relation < num_relations) ++freq[t.relation];
+  }
+  return freq;
+}
+
+}  // namespace pkgm::kg

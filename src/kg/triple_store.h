@@ -1,0 +1,79 @@
+#ifndef PKGM_KG_TRIPLE_STORE_H_
+#define PKGM_KG_TRIPLE_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "kg/triple.h"
+
+namespace pkgm::kg {
+
+/// In-memory triple store with the two access paths PKGM models:
+///
+///   * triple queries   (h, r, ?t)  -> Tails(h, r)
+///   * relation queries (h, ?r)     -> RelationsOf(h)
+///
+/// plus the inverse index Heads(r, t) needed for filtered link-prediction
+/// ranking. Duplicate inserts are ignored. Not thread-safe for writes;
+/// reads are safe once loading is done.
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  /// Inserts a triple; returns false if it was already present.
+  bool Add(const Triple& t);
+  bool Add(EntityId h, RelationId r, EntityId t) { return Add(Triple{h, r, t}); }
+
+  /// Number of distinct triples.
+  size_t size() const { return triples_.size(); }
+  bool empty() const { return triples_.empty(); }
+
+  /// All triples in insertion order.
+  const std::vector<Triple>& triples() const { return triples_; }
+
+  /// Exact membership test.
+  bool Contains(const Triple& t) const { return set_.count(t) > 0; }
+  bool Contains(EntityId h, RelationId r, EntityId t) const {
+    return Contains(Triple{h, r, t});
+  }
+
+  /// True if head h has at least one triple with relation r.
+  bool HasRelation(EntityId h, RelationId r) const;
+
+  /// Tail entities of (h, r); empty if none. The returned reference is
+  /// valid until the next Add.
+  const std::vector<EntityId>& Tails(EntityId h, RelationId r) const;
+
+  /// Head entities of (r, t); empty if none.
+  const std::vector<EntityId>& Heads(RelationId r, EntityId t) const;
+
+  /// Distinct relations attached to head h, in first-seen order.
+  const std::vector<RelationId>& RelationsOf(EntityId h) const;
+
+  /// Number of triples per relation (index = relation id; absent = 0).
+  std::vector<uint64_t> RelationFrequencies(uint32_t num_relations) const;
+
+  /// Largest entity id referenced + 1 (0 if empty).
+  EntityId MaxEntityId() const { return max_entity_id_; }
+  /// Largest relation id referenced + 1 (0 if empty).
+  RelationId MaxRelationId() const { return max_relation_id_; }
+
+ private:
+  static uint64_t PairKey(uint32_t a, uint32_t b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+
+  std::vector<Triple> triples_;
+  std::unordered_set<Triple, TripleHash> set_;
+  std::unordered_map<uint64_t, std::vector<EntityId>> hr_to_tails_;
+  std::unordered_map<uint64_t, std::vector<EntityId>> rt_to_heads_;
+  std::unordered_map<EntityId, std::vector<RelationId>> head_relations_;
+  EntityId max_entity_id_ = 0;
+  RelationId max_relation_id_ = 0;
+};
+
+}  // namespace pkgm::kg
+
+#endif  // PKGM_KG_TRIPLE_STORE_H_

@@ -1,0 +1,26 @@
+#include "kg/vocab.h"
+
+#include "util/logging.h"
+
+namespace pkgm::kg {
+
+uint32_t Vocab::GetOrAdd(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+uint32_t Vocab::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidId : it->second;
+}
+
+const std::string& Vocab::Name(uint32_t id) const {
+  PKGM_CHECK_LT(id, names_.size());
+  return names_[id];
+}
+
+}  // namespace pkgm::kg

@@ -1,0 +1,50 @@
+#ifndef PKGM_KG_VOCAB_H_
+#define PKGM_KG_VOCAB_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pkgm::kg {
+
+/// Dense integer id types used throughout the KG layer.
+using EntityId = uint32_t;
+using RelationId = uint32_t;
+
+inline constexpr uint32_t kInvalidId = 0xffffffffu;
+
+/// Bidirectional string <-> dense-id interning table. Ids are assigned
+/// contiguously from 0 in insertion order, so they can directly index
+/// embedding tables.
+class Vocab {
+ public:
+  Vocab() = default;
+
+  /// Returns the id for `name`, interning it if new.
+  uint32_t GetOrAdd(std::string_view name);
+
+  /// Returns the id for `name` or kInvalidId if absent.
+  uint32_t Find(std::string_view name) const;
+
+  /// True if `name` has been interned.
+  bool Contains(std::string_view name) const {
+    return Find(name) != kInvalidId;
+  }
+
+  /// Name for an id; id must be < size().
+  const std::string& Name(uint32_t id) const;
+
+  uint32_t size() const { return static_cast<uint32_t>(names_.size()); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace pkgm::kg
+
+#endif  // PKGM_KG_VOCAB_H_

@@ -1,0 +1,99 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pkgm::nn {
+
+namespace {
+// tanh-approximation GELU constants (as used by BERT).
+constexpr float kSqrt2OverPi = 0.7978845608028654f;
+constexpr float kGeluCubic = 0.044715f;
+}  // namespace
+
+float SigmoidScalar(float x) {
+  if (x >= 0.0f) {
+    float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+float GeluScalar(float x) {
+  float inner = kSqrt2OverPi * (x + kGeluCubic * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+namespace {
+
+float GeluGradScalar(float x) {
+  float x3 = x * x * x;
+  float inner = kSqrt2OverPi * (x + kGeluCubic * x3);
+  float t = std::tanh(inner);
+  float sech2 = 1.0f - t * t;
+  float dinner = kSqrt2OverPi * (1.0f + 3.0f * kGeluCubic * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * sech2 * dinner;
+}
+
+}  // namespace
+
+void ActivationForward(Activation act, const Mat& x, Mat* y) {
+  PKGM_CHECK_EQ(x.rows(), y->rows());
+  PKGM_CHECK_EQ(x.cols(), y->cols());
+  const size_t n = x.size();
+  const float* xs = x.data();
+  float* ys = y->data();
+  switch (act) {
+    case Activation::kIdentity:
+      for (size_t i = 0; i < n; ++i) ys[i] = xs[i];
+      break;
+    case Activation::kRelu:
+      for (size_t i = 0; i < n; ++i) ys[i] = xs[i] > 0.0f ? xs[i] : 0.0f;
+      break;
+    case Activation::kTanh:
+      for (size_t i = 0; i < n; ++i) ys[i] = std::tanh(xs[i]);
+      break;
+    case Activation::kSigmoid:
+      for (size_t i = 0; i < n; ++i) ys[i] = SigmoidScalar(xs[i]);
+      break;
+    case Activation::kGelu:
+      for (size_t i = 0; i < n; ++i) ys[i] = GeluScalar(xs[i]);
+      break;
+  }
+}
+
+void ActivationBackward(Activation act, const Mat& x, const Mat& dy, Mat* dx) {
+  PKGM_CHECK_EQ(x.size(), dy.size());
+  PKGM_CHECK_EQ(x.size(), dx->size());
+  const size_t n = x.size();
+  const float* xs = x.data();
+  const float* dys = dy.data();
+  float* dxs = dx->data();
+  switch (act) {
+    case Activation::kIdentity:
+      for (size_t i = 0; i < n; ++i) dxs[i] = dys[i];
+      break;
+    case Activation::kRelu:
+      for (size_t i = 0; i < n; ++i) dxs[i] = xs[i] > 0.0f ? dys[i] : 0.0f;
+      break;
+    case Activation::kTanh:
+      for (size_t i = 0; i < n; ++i) {
+        float t = std::tanh(xs[i]);
+        dxs[i] = dys[i] * (1.0f - t * t);
+      }
+      break;
+    case Activation::kSigmoid:
+      for (size_t i = 0; i < n; ++i) {
+        float s = SigmoidScalar(xs[i]);
+        dxs[i] = dys[i] * s * (1.0f - s);
+      }
+      break;
+    case Activation::kGelu:
+      for (size_t i = 0; i < n; ++i) dxs[i] = dys[i] * GeluGradScalar(xs[i]);
+      break;
+  }
+}
+
+}  // namespace pkgm::nn

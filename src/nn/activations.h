@@ -1,0 +1,24 @@
+#ifndef PKGM_NN_ACTIVATIONS_H_
+#define PKGM_NN_ACTIVATIONS_H_
+
+#include "tensor/vec.h"
+
+namespace pkgm::nn {
+
+/// Supported elementwise activations.
+enum class Activation { kIdentity, kRelu, kTanh, kSigmoid, kGelu };
+
+/// y = act(x), elementwise over matrices of equal shape.
+void ActivationForward(Activation act, const Mat& x, Mat* y);
+
+/// dx = dy .* act'(x). `x` must be the same pre-activation tensor passed to
+/// ActivationForward.
+void ActivationBackward(Activation act, const Mat& x, const Mat& dy, Mat* dx);
+
+/// Scalar helpers (used by losses and by the NCF output unit).
+float SigmoidScalar(float x);
+float GeluScalar(float x);
+
+}  // namespace pkgm::nn
+
+#endif  // PKGM_NN_ACTIVATIONS_H_

@@ -1,0 +1,124 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace pkgm::nn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(size_t dim, size_t heads,
+                                               Rng* rng, std::string name)
+    : heads_(heads),
+      head_dim_(dim / heads),
+      wq_(dim, dim, rng, name + ".Wq"),
+      wk_(dim, dim, rng, name + ".Wk"),
+      wv_(dim, dim, rng, name + ".Wv"),
+      wo_(dim, dim, rng, name + ".Wo") {
+  PKGM_CHECK_EQ(dim % heads, 0u);
+  probs_.resize(heads);
+}
+
+void MultiHeadSelfAttention::Forward(const Mat& x, size_t valid_len, Mat* y) {
+  const size_t t = x.rows();
+  const size_t d = dim();
+  PKGM_CHECK_EQ(x.cols(), d);
+  PKGM_CHECK_GT(valid_len, 0u);
+  PKGM_CHECK_LE(valid_len, t);
+  valid_len_ = valid_len;
+
+  wq_.Forward(x, &q_);
+  wk_.Forward(x, &k_);
+  wv_.Forward(x, &v_);
+
+  if (concat_.rows() != t || concat_.cols() != d) concat_ = Mat(t, d);
+  concat_.Zero();
+
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  for (size_t h = 0; h < heads_; ++h) {
+    const size_t off = h * head_dim_;
+    Mat& p = probs_[h];
+    if (p.rows() != t || p.cols() != t) p = Mat(t, t);
+    for (size_t i = 0; i < t; ++i) {
+      float* prow = p.Row(i);
+      // Scores against unpadded keys only.
+      for (size_t j = 0; j < valid_len; ++j) {
+        prow[j] =
+            Dot(head_dim_, q_.Row(i) + off, k_.Row(j) + off) * inv_sqrt;
+      }
+      SoftmaxInplace(valid_len, prow);
+      for (size_t j = valid_len; j < t; ++j) prow[j] = 0.0f;
+      // Weighted value sum.
+      float* out = concat_.Row(i) + off;
+      for (size_t j = 0; j < valid_len; ++j) {
+        Axpy(head_dim_, prow[j], v_.Row(j) + off, out);
+      }
+    }
+  }
+  wo_.Forward(concat_, y);
+}
+
+void MultiHeadSelfAttention::Backward(const Mat& x, const Mat& dy, Mat* dx) {
+  const size_t t = x.rows();
+  const size_t d = dim();
+  PKGM_CHECK_EQ(dy.rows(), t);
+  PKGM_CHECK_EQ(dy.cols(), d);
+  const size_t valid_len = valid_len_;
+
+  Mat dconcat;
+  wo_.Backward(concat_, dy, &dconcat);
+
+  Mat dq(t, d), dk(t, d), dv(t, d);
+  const float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<float> dp(t), ds(t);
+
+  for (size_t h = 0; h < heads_; ++h) {
+    const size_t off = h * head_dim_;
+    const Mat& p = probs_[h];
+    for (size_t i = 0; i < t; ++i) {
+      const float* do_i = dconcat.Row(i) + off;
+      const float* prow = p.Row(i);
+      // dP_ij = <dO_i, V_j>, dV_j += P_ij dO_i.
+      float dot_dp_p = 0.0f;
+      for (size_t j = 0; j < valid_len; ++j) {
+        dp[j] = Dot(head_dim_, do_i, v_.Row(j) + off);
+        Axpy(head_dim_, prow[j], do_i, dv.Row(j) + off);
+        dot_dp_p += dp[j] * prow[j];
+      }
+      // Softmax backward, then the 1/sqrt(dh) scale.
+      for (size_t j = 0; j < valid_len; ++j) {
+        ds[j] = prow[j] * (dp[j] - dot_dp_p) * inv_sqrt;
+      }
+      // dQ_i += ds_ij K_j; dK_j += ds_ij Q_i.
+      float* dq_i = dq.Row(i) + off;
+      for (size_t j = 0; j < valid_len; ++j) {
+        if (ds[j] == 0.0f) continue;
+        Axpy(head_dim_, ds[j], k_.Row(j) + off, dq_i);
+        Axpy(head_dim_, ds[j], q_.Row(i) + off, dk.Row(j) + off);
+      }
+    }
+  }
+
+  Mat dx_q, dx_k, dx_v;
+  wq_.Backward(x, dq, &dx_q);
+  wk_.Backward(x, dk, &dx_k);
+  wv_.Backward(x, dv, &dx_v);
+
+  if (dx->rows() != t || dx->cols() != d) *dx = Mat(t, d);
+  for (size_t i = 0; i < t; ++i) {
+    float* out = dx->Row(i);
+    const float* a = dx_q.Row(i);
+    const float* b = dx_k.Row(i);
+    const float* c = dx_v.Row(i);
+    for (size_t j = 0; j < d; ++j) out[j] = a[j] + b[j] + c[j];
+  }
+}
+
+void MultiHeadSelfAttention::Params(std::vector<Parameter*>* out) {
+  wq_.Params(out);
+  wk_.Params(out);
+  wv_.Params(out);
+  wo_.Params(out);
+}
+
+}  // namespace pkgm::nn

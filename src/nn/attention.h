@@ -1,0 +1,51 @@
+#ifndef PKGM_NN_ATTENTION_H_
+#define PKGM_NN_ATTENTION_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/parameter.h"
+#include "util/rng.h"
+
+namespace pkgm::nn {
+
+/// Multi-head scaled dot-product self-attention over one sequence.
+///
+/// Input x is T x d (T tokens); `valid_len` marks the unpadded prefix —
+/// attention only attends over keys j < valid_len (BERT-style padding
+/// mask). Output y is T x d.
+///
+/// Forward caches Q, K, V and the per-head attention probabilities, so each
+/// Backward must follow its own Forward on the same instance (the training
+/// loops in this codebase process one sequence at a time).
+class MultiHeadSelfAttention {
+ public:
+  /// dim must be divisible by heads.
+  MultiHeadSelfAttention(size_t dim, size_t heads, Rng* rng, std::string name);
+
+  size_t dim() const { return wq_.in_dim(); }
+  size_t heads() const { return heads_; }
+
+  void Forward(const Mat& x, size_t valid_len, Mat* y);
+
+  /// dx resized and overwritten; parameter grads accumulated.
+  void Backward(const Mat& x, const Mat& dy, Mat* dx);
+
+  void Params(std::vector<Parameter*>* out);
+
+ private:
+  size_t heads_;
+  size_t head_dim_;
+  Linear wq_, wk_, wv_, wo_;
+
+  // Forward caches.
+  size_t valid_len_ = 0;
+  Mat q_, k_, v_;            // T x d projections
+  Mat concat_;               // T x d pre-output-projection
+  std::vector<Mat> probs_;   // per head: T x T (cols < valid_len_ used)
+};
+
+}  // namespace pkgm::nn
+
+#endif  // PKGM_NN_ATTENTION_H_

@@ -1,0 +1,50 @@
+#include "nn/dropout.h"
+
+#include "util/logging.h"
+
+namespace pkgm::nn {
+
+Dropout::Dropout(float p) : p_(p) {
+  PKGM_CHECK_GE(p, 0.0f);
+  PKGM_CHECK_LT(p, 1.0f);
+}
+
+void Dropout::Forward(const Mat& x, Mat* y, Rng* rng) {
+  if (y->rows() != x.rows() || y->cols() != x.cols()) {
+    *y = Mat(x.rows(), x.cols());
+  }
+  const size_t n = x.size();
+  if (!training_ || p_ == 0.0f) {
+    for (size_t i = 0; i < n; ++i) y->data()[i] = x.data()[i];
+    return;
+  }
+  mask_.resize(n);
+  const float scale = 1.0f / (1.0f - p_);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng->Bernoulli(p_)) {
+      mask_[i] = 0;
+      y->data()[i] = 0.0f;
+    } else {
+      mask_[i] = 1;
+      y->data()[i] = x.data()[i] * scale;
+    }
+  }
+}
+
+void Dropout::Backward(const Mat& dy, Mat* dx) const {
+  if (dx->rows() != dy.rows() || dx->cols() != dy.cols()) {
+    *dx = Mat(dy.rows(), dy.cols());
+  }
+  const size_t n = dy.size();
+  if (!training_ || p_ == 0.0f) {
+    for (size_t i = 0; i < n; ++i) dx->data()[i] = dy.data()[i];
+    return;
+  }
+  PKGM_CHECK_EQ(mask_.size(), n);
+  const float scale = 1.0f / (1.0f - p_);
+  for (size_t i = 0; i < n; ++i) {
+    dx->data()[i] = mask_[i] ? dy.data()[i] * scale : 0.0f;
+  }
+}
+
+}  // namespace pkgm::nn

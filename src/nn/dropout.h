@@ -1,0 +1,36 @@
+#ifndef PKGM_NN_DROPOUT_H_
+#define PKGM_NN_DROPOUT_H_
+
+#include <vector>
+
+#include "tensor/vec.h"
+#include "util/rng.h"
+
+namespace pkgm::nn {
+
+/// Inverted dropout: during training, zeroes each element with probability
+/// p and scales survivors by 1/(1-p); during evaluation it is the identity.
+/// The mask from the last Forward is retained for the matching Backward.
+class Dropout {
+ public:
+  /// p in [0, 1).
+  explicit Dropout(float p);
+
+  void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  /// y = mask .* x / (1-p) in training, y = x otherwise.
+  void Forward(const Mat& x, Mat* y, Rng* rng);
+
+  /// dx = mask .* dy / (1-p) using the mask from the last Forward.
+  void Backward(const Mat& dy, Mat* dx) const;
+
+ private:
+  float p_;
+  bool training_ = true;
+  std::vector<uint8_t> mask_;
+};
+
+}  // namespace pkgm::nn
+
+#endif  // PKGM_NN_DROPOUT_H_

@@ -1,0 +1,34 @@
+#include "nn/embedding.h"
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace pkgm::nn {
+
+Embedding::Embedding(size_t vocab, size_t dim, Rng* rng, std::string name)
+    : table_(std::move(name), vocab, dim) {
+  NormalInit(table_.value.size(), 0.02f, rng, table_.value.data());
+}
+
+void Embedding::Forward(const std::vector<uint32_t>& ids, Mat* y) const {
+  if (y->rows() != ids.size() || y->cols() != dim()) {
+    *y = Mat(ids.size(), dim());
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    PKGM_CHECK_LT(ids[i], table_.value.rows());
+    const float* src = table_.value.Row(ids[i]);
+    float* dst = y->Row(i);
+    for (size_t j = 0; j < dim(); ++j) dst[j] = src[j];
+  }
+}
+
+void Embedding::Backward(const std::vector<uint32_t>& ids, const Mat& dy) {
+  PKGM_CHECK_EQ(dy.rows(), ids.size());
+  PKGM_CHECK_EQ(dy.cols(), dim());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    Axpy(dim(), 1.0f, dy.Row(i), table_.grad.Row(ids[i]));
+  }
+}
+
+}  // namespace pkgm::nn

@@ -1,0 +1,44 @@
+#ifndef PKGM_NN_EMBEDDING_H_
+#define PKGM_NN_EMBEDDING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "util/rng.h"
+
+namespace pkgm::nn {
+
+/// Lookup table: maps ids to d-dimensional rows. Backward scatter-adds into
+/// the dense gradient table, so ids may repeat within a batch.
+class Embedding {
+ public:
+  /// Normal(0, 0.02) init, BERT-style.
+  Embedding(size_t vocab, size_t dim, Rng* rng, std::string name);
+
+  size_t vocab() const { return table_.rows(); }
+  size_t dim() const { return table_.cols(); }
+
+  /// y[i] = table[ids[i]]; y resized to ids.size() x dim.
+  void Forward(const std::vector<uint32_t>& ids, Mat* y) const;
+
+  /// table.grad[ids[i]] += dy[i].
+  void Backward(const std::vector<uint32_t>& ids, const Mat& dy);
+
+  /// Row accessor (e.g. to overwrite a slot with an external service
+  /// vector, or to tie weights).
+  float* Row(uint32_t id) { return table_.value.Row(id); }
+  const float* Row(uint32_t id) const { return table_.value.Row(id); }
+
+  void Params(std::vector<Parameter*>* out) { out->push_back(&table_); }
+
+  Parameter& table() { return table_; }
+
+ private:
+  Parameter table_;  // vocab x dim
+};
+
+}  // namespace pkgm::nn
+
+#endif  // PKGM_NN_EMBEDDING_H_

@@ -1,0 +1,88 @@
+#include "nn/layer_norm.h"
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace pkgm::nn {
+
+LayerNorm::LayerNorm(size_t dim, std::string name, float eps)
+    : gamma_(name + ".gamma", 1, dim), beta_(name + ".beta", 1, dim), eps_(eps) {
+  gamma_.value.Fill(1.0f);
+}
+
+void LayerNorm::Forward(const Mat& x, Mat* y) const {
+  PKGM_CHECK_EQ(x.cols(), dim());
+  if (y->rows() != x.rows() || y->cols() != x.cols()) {
+    *y = Mat(x.rows(), x.cols());
+  }
+  const size_t n = dim();
+  const float* g = gamma_.value.Row(0);
+  const float* b = beta_.value.Row(0);
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const float* xr = x.Row(i);
+    float* yr = y->Row(i);
+    float mu = 0.0f;
+    for (size_t j = 0; j < n; ++j) mu += xr[j];
+    mu /= static_cast<float>(n);
+    float var = 0.0f;
+    for (size_t j = 0; j < n; ++j) {
+      float c = xr[j] - mu;
+      var += c * c;
+    }
+    var /= static_cast<float>(n);
+    const float inv_std = 1.0f / std::sqrt(var + eps_);
+    for (size_t j = 0; j < n; ++j) {
+      yr[j] = (xr[j] - mu) * inv_std * g[j] + b[j];
+    }
+  }
+}
+
+void LayerNorm::Backward(const Mat& x, const Mat& dy, Mat* dx) {
+  PKGM_CHECK_EQ(x.cols(), dim());
+  PKGM_CHECK_EQ(dy.rows(), x.rows());
+  PKGM_CHECK_EQ(dy.cols(), x.cols());
+  if (dx->rows() != x.rows() || dx->cols() != x.cols()) {
+    *dx = Mat(x.rows(), x.cols());
+  }
+  const size_t n = dim();
+  const float* g = gamma_.value.Row(0);
+  float* dg = gamma_.grad.Row(0);
+  float* db = beta_.grad.Row(0);
+  std::vector<float> xhat(n), dxhat(n);
+
+  for (size_t i = 0; i < x.rows(); ++i) {
+    const float* xr = x.Row(i);
+    const float* dyr = dy.Row(i);
+    float* dxr = dx->Row(i);
+
+    float mu = 0.0f;
+    for (size_t j = 0; j < n; ++j) mu += xr[j];
+    mu /= static_cast<float>(n);
+    float var = 0.0f;
+    for (size_t j = 0; j < n; ++j) {
+      float c = xr[j] - mu;
+      var += c * c;
+    }
+    var /= static_cast<float>(n);
+    const float inv_std = 1.0f / std::sqrt(var + eps_);
+
+    float mean_dxhat = 0.0f, mean_dxhat_xhat = 0.0f;
+    for (size_t j = 0; j < n; ++j) {
+      xhat[j] = (xr[j] - mu) * inv_std;
+      dxhat[j] = dyr[j] * g[j];
+      dg[j] += dyr[j] * xhat[j];
+      db[j] += dyr[j];
+      mean_dxhat += dxhat[j];
+      mean_dxhat_xhat += dxhat[j] * xhat[j];
+    }
+    mean_dxhat /= static_cast<float>(n);
+    mean_dxhat_xhat /= static_cast<float>(n);
+    for (size_t j = 0; j < n; ++j) {
+      dxr[j] = inv_std * (dxhat[j] - mean_dxhat - xhat[j] * mean_dxhat_xhat);
+    }
+  }
+}
+
+}  // namespace pkgm::nn

@@ -1,0 +1,43 @@
+#ifndef PKGM_NN_LAYER_NORM_H_
+#define PKGM_NN_LAYER_NORM_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace pkgm::nn {
+
+/// Row-wise layer normalization with learnable gain/bias:
+///   y = (x - mean(x)) / sqrt(var(x) + eps) * gamma + beta
+/// where the statistics are computed per row (per token). Backward
+/// recomputes the statistics from the provided forward input, so the layer
+/// holds no per-call state.
+class LayerNorm {
+ public:
+  LayerNorm(size_t dim, std::string name, float eps = 1e-5f);
+
+  size_t dim() const { return gamma_.cols(); }
+
+  void Forward(const Mat& x, Mat* y) const;
+
+  /// dx written (resized as needed); dgamma/dbeta accumulated.
+  void Backward(const Mat& x, const Mat& dy, Mat* dx);
+
+  void Params(std::vector<Parameter*>* out) {
+    out->push_back(&gamma_);
+    out->push_back(&beta_);
+  }
+
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+
+ private:
+  Parameter gamma_;  // 1 x dim, init 1
+  Parameter beta_;   // 1 x dim, init 0
+  float eps_;
+};
+
+}  // namespace pkgm::nn
+
+#endif  // PKGM_NN_LAYER_NORM_H_

@@ -1,0 +1,50 @@
+#include "nn/linear.h"
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace pkgm::nn {
+
+Linear::Linear(size_t in, size_t out, Rng* rng, std::string name)
+    : w_(name + ".W", in, out), b_(name + ".b", 1, out) {
+  XavierInit(&w_.value, rng);
+}
+
+void Linear::Forward(const Mat& x, Mat* y) const {
+  PKGM_CHECK_EQ(x.cols(), w_.value.rows());
+  if (y->rows() != x.rows() || y->cols() != w_.value.cols()) {
+    *y = Mat(x.rows(), w_.value.cols());
+  }
+  Gemm(x, w_.value, y);
+  const float* bias = b_.value.Row(0);
+  for (size_t i = 0; i < y->rows(); ++i) {
+    Axpy(y->cols(), 1.0f, bias, y->Row(i));
+  }
+}
+
+void Linear::Backward(const Mat& x, const Mat& dy, Mat* dx) {
+  PKGM_CHECK_EQ(dy.rows(), x.rows());
+  PKGM_CHECK_EQ(dy.cols(), w_.value.cols());
+  // dW += x^T dy
+  GemmAtbAccum(x, dy, &w_.grad);
+  // db += column sums of dy
+  float* db = b_.grad.Row(0);
+  for (size_t i = 0; i < dy.rows(); ++i) {
+    Axpy(dy.cols(), 1.0f, dy.Row(i), db);
+  }
+  // dx = dy W^T
+  if (dx != nullptr) {
+    if (dx->rows() != x.rows() || dx->cols() != x.cols()) {
+      *dx = Mat(x.rows(), x.cols());
+    }
+    GemmAbt(dy, w_.value, dx);
+  }
+}
+
+void Linear::Params(std::vector<Parameter*>* out) {
+  out->push_back(&w_);
+  out->push_back(&b_);
+}
+
+}  // namespace pkgm::nn

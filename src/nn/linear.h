@@ -1,0 +1,47 @@
+#ifndef PKGM_NN_LINEAR_H_
+#define PKGM_NN_LINEAR_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "util/rng.h"
+
+namespace pkgm::nn {
+
+/// Fully connected layer: y = x W + b, with W: in x out (row-major) and
+/// b: 1 x out. Operates on batches: x is B x in, y is B x out. Stateless
+/// between calls — Backward takes the forward input explicitly, so one layer
+/// instance can serve interleaved sequences as long as each Backward gets
+/// the x of its own Forward.
+class Linear {
+ public:
+  /// Xavier-initialized weights, zero bias.
+  Linear(size_t in, size_t out, Rng* rng, std::string name);
+
+  size_t in_dim() const { return w_.rows(); }
+  size_t out_dim() const { return w_.cols(); }
+
+  /// y = x W + b. Resizes y if needed.
+  void Forward(const Mat& x, Mat* y) const;
+
+  /// Accumulates dW += x^T dy, db += colsum(dy); writes dx = dy W^T when
+  /// dx is non-null.
+  void Backward(const Mat& x, const Mat& dy, Mat* dx);
+
+  /// Registers W and b.
+  void Params(std::vector<Parameter*>* out);
+
+  Parameter& weight() { return w_; }
+  Parameter& bias() { return b_; }
+  const Parameter& weight() const { return w_; }
+  const Parameter& bias() const { return b_; }
+
+ private:
+  Parameter w_;  // in x out
+  Parameter b_;  // 1 x out
+};
+
+}  // namespace pkgm::nn
+
+#endif  // PKGM_NN_LINEAR_H_

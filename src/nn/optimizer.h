@@ -1,0 +1,61 @@
+#ifndef PKGM_NN_OPTIMIZER_H_
+#define PKGM_NN_OPTIMIZER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace pkgm::nn {
+
+/// Vanilla SGD with optional L2 weight decay: w -= lr * (g + wd * w).
+class SgdOptimizer {
+ public:
+  explicit SgdOptimizer(std::vector<Parameter*> params, float lr,
+                        float weight_decay = 0.0f);
+
+  void set_learning_rate(float lr) { lr_ = lr; }
+  float learning_rate() const { return lr_; }
+
+  /// Applies gradients and zeroes them.
+  void Step();
+
+ private:
+  std::vector<Parameter*> params_;
+  float lr_;
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba, 2015) with bias correction and optional decoupled
+/// weight decay. Moment buffers are allocated per parameter at construction.
+class AdamOptimizer {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float epsilon = 1e-8f;
+    float weight_decay = 0.0f;  // decoupled (AdamW-style)
+  };
+
+  AdamOptimizer(std::vector<Parameter*> params, const Options& options);
+
+  void set_learning_rate(float lr) { options_.lr = lr; }
+  float learning_rate() const { return options_.lr; }
+  uint64_t step_count() const { return t_; }
+
+  /// Applies gradients and zeroes them.
+  void Step();
+
+ private:
+  std::vector<Parameter*> params_;
+  Options options_;
+  uint64_t t_ = 0;
+  std::vector<Mat> m_;  // index-aligned with params_
+  std::vector<Mat> v_;
+};
+
+}  // namespace pkgm::nn
+
+#endif  // PKGM_NN_OPTIMIZER_H_

@@ -1,0 +1,117 @@
+#include "nn/transformer.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pkgm::nn {
+
+TransformerEncoderLayer::TransformerEncoderLayer(size_t dim, size_t heads,
+                                                 size_t ff_dim, Rng* rng,
+                                                 std::string name)
+    : attn_(dim, heads, rng, name + ".attn"),
+      ln1_(dim, name + ".ln1"),
+      ln2_(dim, name + ".ln2"),
+      ff1_(dim, ff_dim, rng, name + ".ff1"),
+      ff2_(ff_dim, dim, rng, name + ".ff2") {}
+
+void TransformerEncoderLayer::Forward(const Mat& x, size_t valid_len, Mat* y) {
+  const size_t t = x.rows();
+  const size_t d = x.cols();
+
+  attn_.Forward(x, valid_len, &attn_out_);
+
+  if (res1_.rows() != t || res1_.cols() != d) res1_ = Mat(t, d);
+  Add(x.size(), x.data(), attn_out_.data(), res1_.data());
+
+  ln1_.Forward(res1_, &h1_);
+
+  ff1_.Forward(h1_, &ff_pre_);
+  if (ff_act_.rows() != ff_pre_.rows() || ff_act_.cols() != ff_pre_.cols()) {
+    ff_act_ = Mat(ff_pre_.rows(), ff_pre_.cols());
+  }
+  ActivationForward(Activation::kGelu, ff_pre_, &ff_act_);
+  ff2_.Forward(ff_act_, &ff_out_);
+
+  if (res2_.rows() != t || res2_.cols() != d) res2_ = Mat(t, d);
+  Add(h1_.size(), h1_.data(), ff_out_.data(), res2_.data());
+
+  ln2_.Forward(res2_, y);
+}
+
+void TransformerEncoderLayer::Backward(const Mat& x, const Mat& dy, Mat* dx) {
+  // y = LN2(res2), res2 = h1 + ff_out.
+  Mat dres2;
+  ln2_.Backward(res2_, dy, &dres2);
+
+  // FFN branch: ff_out = ff2(GELU(ff1(h1))).
+  Mat dff_act;
+  ff2_.Backward(ff_act_, dres2, &dff_act);
+  Mat dff_pre(ff_pre_.rows(), ff_pre_.cols());
+  ActivationBackward(Activation::kGelu, ff_pre_, dff_act, &dff_pre);
+  Mat dh1_ffn;
+  ff1_.Backward(h1_, dff_pre, &dh1_ffn);
+
+  // dh1 = residual path + FFN path.
+  Mat dh1(dres2.rows(), dres2.cols());
+  Add(dres2.size(), dres2.data(), dh1_ffn.data(), dh1.data());
+
+  // h1 = LN1(res1), res1 = x + attn(x).
+  Mat dres1;
+  ln1_.Backward(res1_, dh1, &dres1);
+
+  Mat dx_attn;
+  attn_.Backward(x, dres1, &dx_attn);
+
+  if (dx->rows() != x.rows() || dx->cols() != x.cols()) {
+    *dx = Mat(x.rows(), x.cols());
+  }
+  Add(dres1.size(), dres1.data(), dx_attn.data(), dx->data());
+}
+
+void TransformerEncoderLayer::Params(std::vector<Parameter*>* out) {
+  attn_.Params(out);
+  ln1_.Params(out);
+  ln2_.Params(out);
+  ff1_.Params(out);
+  ff2_.Params(out);
+}
+
+TransformerEncoder::TransformerEncoder(size_t layers, size_t dim, size_t heads,
+                                       size_t ff_dim, Rng* rng,
+                                       const std::string& name) {
+  PKGM_CHECK_GT(layers, 0u);
+  layers_.reserve(layers);
+  for (size_t l = 0; l < layers; ++l) {
+    layers_.emplace_back(dim, heads, ff_dim, rng,
+                         StrFormat("%s.layer%zu", name.c_str(), l));
+  }
+  layer_inputs_.resize(layers);
+}
+
+void TransformerEncoder::Forward(const Mat& x, size_t valid_len, Mat* y) {
+  Mat current = x;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    layer_inputs_[l] = current;
+    Mat next;
+    layers_[l].Forward(layer_inputs_[l], valid_len, &next);
+    current = std::move(next);
+  }
+  *y = std::move(current);
+}
+
+void TransformerEncoder::Backward(const Mat& dy, Mat* dx) {
+  Mat current = dy;
+  for (size_t l = layers_.size(); l-- > 0;) {
+    Mat prev;
+    layers_[l].Backward(layer_inputs_[l], current, &prev);
+    current = std::move(prev);
+  }
+  if (dx != nullptr) *dx = std::move(current);
+}
+
+void TransformerEncoder::Params(std::vector<Parameter*>* out) {
+  for (auto& layer : layers_) layer.Params(out);
+}
+
+}  // namespace pkgm::nn

@@ -1,0 +1,80 @@
+#ifndef PKGM_NN_TRANSFORMER_H_
+#define PKGM_NN_TRANSFORMER_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/activations.h"
+#include "nn/attention.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/parameter.h"
+#include "util/rng.h"
+
+namespace pkgm::nn {
+
+/// One post-LN transformer encoder block (BERT architecture):
+///
+///   h1 = LayerNorm1(x + SelfAttention(x))
+///   y  = LayerNorm2(h1 + FFN(h1)),   FFN = Linear -> GELU -> Linear
+///
+/// Forward caches every intermediate needed by Backward; as with
+/// MultiHeadSelfAttention, each Backward must directly follow its own
+/// Forward on this instance.
+class TransformerEncoderLayer {
+ public:
+  TransformerEncoderLayer(size_t dim, size_t heads, size_t ff_dim, Rng* rng,
+                          std::string name);
+
+  size_t dim() const { return ln1_.dim(); }
+
+  void Forward(const Mat& x, size_t valid_len, Mat* y);
+
+  /// dx resized and overwritten; parameter grads accumulated.
+  void Backward(const Mat& x, const Mat& dy, Mat* dx);
+
+  void Params(std::vector<Parameter*>* out);
+
+ private:
+  MultiHeadSelfAttention attn_;
+  LayerNorm ln1_, ln2_;
+  Linear ff1_, ff2_;
+
+  // Forward caches.
+  Mat attn_out_;   // SelfAttention(x)
+  Mat res1_;       // x + attn_out
+  Mat h1_;         // LN1(res1)
+  Mat ff_pre_;     // ff1(h1)
+  Mat ff_act_;     // GELU(ff_pre)
+  Mat ff_out_;     // ff2(ff_act)
+  Mat res2_;       // h1 + ff_out
+};
+
+/// A stack of encoder layers sharing one interface. The embedding layer and
+/// pooling live in pkgm::text::TinyBert; this class is the pure encoder.
+class TransformerEncoder {
+ public:
+  TransformerEncoder(size_t layers, size_t dim, size_t heads, size_t ff_dim,
+                     Rng* rng, const std::string& name);
+
+  size_t num_layers() const { return layers_.size(); }
+  size_t dim() const { return layers_.empty() ? 0 : layers_[0].dim(); }
+
+  /// y = L_n(...L_1(x)). Caches per-layer inputs for Backward.
+  void Forward(const Mat& x, size_t valid_len, Mat* y);
+
+  /// Backpropagates through all layers; dx may be null if the caller does
+  /// not need gradients w.r.t. the input embeddings (it almost always
+  /// does, for the embedding tables).
+  void Backward(const Mat& dy, Mat* dx);
+
+  void Params(std::vector<Parameter*>* out);
+
+ private:
+  std::vector<TransformerEncoderLayer> layers_;
+  std::vector<Mat> layer_inputs_;  // input to each layer from last Forward
+};
+
+}  // namespace pkgm::nn
+
+#endif  // PKGM_NN_TRANSFORMER_H_

@@ -1,0 +1,230 @@
+#include "rec/ncf.h"
+
+#include "nn/losses.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pkgm::rec {
+
+NcfModel::NcfModel(const NcfConfig& config)
+    : config_(config),
+      user_gmf_([&] {
+        Rng r(config.seed);
+        return nn::Embedding(config.num_users, config.gmf_dim, &r, "ncf.ug");
+      }()),
+      item_gmf_([&] {
+        Rng r(config.seed + 1);
+        return nn::Embedding(config.num_items, config.gmf_dim, &r, "ncf.ig");
+      }()),
+      user_mlp_([&] {
+        Rng r(config.seed + 2);
+        return nn::Embedding(config.num_users, config.mlp_dim, &r, "ncf.um");
+      }()),
+      item_mlp_([&] {
+        Rng r(config.seed + 3);
+        return nn::Embedding(config.num_items, config.mlp_dim, &r, "ncf.im");
+      }()),
+      out_([&] {
+        Rng r(config.seed + 4);
+        const uint32_t fusion_dim =
+            config.gmf_dim +
+            (config.mlp_hidden.empty() ? 2 * config.mlp_dim + config.pkgm_dim
+                                       : config.mlp_hidden.back());
+        return nn::Linear(fusion_dim, 1, &r, "ncf.out");
+      }()) {
+  PKGM_CHECK_GT(config.num_users, 0u);
+  PKGM_CHECK_GT(config.num_items, 0u);
+  Rng r(config.seed + 5);
+  uint32_t in_dim = 2 * config.mlp_dim + config.pkgm_dim;
+  for (size_t l = 0; l < config.mlp_hidden.size(); ++l) {
+    mlp_.emplace_back(in_dim, config.mlp_hidden[l], &r,
+                      StrFormat("ncf.mlp%zu", l));
+    in_dim = config.mlp_hidden[l];
+  }
+  mlp_pre_.resize(mlp_.size());
+  mlp_act_.resize(mlp_.size());
+}
+
+void NcfModel::ForwardInternal(const std::vector<uint32_t>& users,
+                               const std::vector<uint32_t>& items,
+                               const Mat* pkgm, Mat* logits) {
+  PKGM_CHECK_EQ(users.size(), items.size());
+  const size_t b = users.size();
+  if (config_.pkgm_dim > 0) {
+    PKGM_CHECK(pkgm != nullptr);
+    PKGM_CHECK_EQ(pkgm->rows(), b);
+    PKGM_CHECK_EQ(pkgm->cols(), config_.pkgm_dim);
+  }
+  users_ = users;
+  items_ = items;
+
+  // GMF tower: elementwise product of the GMF embeddings (Eq. 13).
+  user_gmf_.Forward(users, &pu_gmf_);
+  item_gmf_.Forward(items, &qi_gmf_);
+  if (gmf_out_.rows() != b || gmf_out_.cols() != config_.gmf_dim) {
+    gmf_out_ = Mat(b, config_.gmf_dim);
+  }
+  Hadamard(pu_gmf_.size(), pu_gmf_.data(), qi_gmf_.data(), gmf_out_.data());
+
+  // MLP tower: concat embeddings (+ PKGM feature, Eq. 21), hidden ReLUs.
+  user_mlp_.Forward(users, &pu_mlp_);
+  item_mlp_.Forward(items, &qi_mlp_);
+  const uint32_t mlp_in_dim = 2 * config_.mlp_dim + config_.pkgm_dim;
+  if (mlp_in_.rows() != b || mlp_in_.cols() != mlp_in_dim) {
+    mlp_in_ = Mat(b, mlp_in_dim);
+  }
+  for (size_t i = 0; i < b; ++i) {
+    float* dst = mlp_in_.Row(i);
+    const float* pu = pu_mlp_.Row(i);
+    const float* qi = qi_mlp_.Row(i);
+    for (uint32_t j = 0; j < config_.mlp_dim; ++j) dst[j] = pu[j];
+    for (uint32_t j = 0; j < config_.mlp_dim; ++j) {
+      dst[config_.mlp_dim + j] = qi[j];
+    }
+    if (config_.pkgm_dim > 0) {
+      const float* s = pkgm->Row(i);
+      for (uint32_t j = 0; j < config_.pkgm_dim; ++j) {
+        dst[2 * config_.mlp_dim + j] = s[j];
+      }
+    }
+  }
+
+  const Mat* current = &mlp_in_;
+  for (size_t l = 0; l < mlp_.size(); ++l) {
+    mlp_[l].Forward(*current, &mlp_pre_[l]);
+    if (mlp_act_[l].rows() != mlp_pre_[l].rows() ||
+        mlp_act_[l].cols() != mlp_pre_[l].cols()) {
+      mlp_act_[l] = Mat(mlp_pre_[l].rows(), mlp_pre_[l].cols());
+    }
+    nn::ActivationForward(nn::Activation::kRelu, mlp_pre_[l], &mlp_act_[l]);
+    current = &mlp_act_[l];
+  }
+
+  // NeuMF fusion: concat the two tower outputs, project to a logit (Eq. 18).
+  const size_t mlp_out_dim = current->cols();
+  if (fusion_.rows() != b || fusion_.cols() != config_.gmf_dim + mlp_out_dim) {
+    fusion_ = Mat(b, config_.gmf_dim + mlp_out_dim);
+  }
+  for (size_t i = 0; i < b; ++i) {
+    float* dst = fusion_.Row(i);
+    const float* g = gmf_out_.Row(i);
+    for (uint32_t j = 0; j < config_.gmf_dim; ++j) dst[j] = g[j];
+    const float* m = current->Row(i);
+    for (size_t j = 0; j < mlp_out_dim; ++j) dst[config_.gmf_dim + j] = m[j];
+  }
+  out_.Forward(fusion_, logits);
+}
+
+void NcfModel::Forward(const std::vector<uint32_t>& users,
+                       const std::vector<uint32_t>& items, const Mat* pkgm,
+                       Mat* logits) {
+  ForwardInternal(users, items, pkgm, logits);
+}
+
+float NcfModel::ForwardBackward(const std::vector<uint32_t>& users,
+                                const std::vector<uint32_t>& items,
+                                const Mat* pkgm,
+                                const std::vector<float>& labels) {
+  Mat logits;
+  ForwardInternal(users, items, pkgm, &logits);
+
+  Mat dlogits;
+  const float loss = nn::BinaryCrossEntropyWithLogits(logits, labels, &dlogits);
+
+  // Fusion layer.
+  Mat dfusion;
+  out_.Backward(fusion_, dlogits, &dfusion);
+
+  const size_t b = users.size();
+  const size_t mlp_out_dim = fusion_.cols() - config_.gmf_dim;
+
+  // Split fusion gradient into tower gradients.
+  Mat dgmf(b, config_.gmf_dim);
+  Mat dmlp_top(b, mlp_out_dim);
+  for (size_t i = 0; i < b; ++i) {
+    const float* src = dfusion.Row(i);
+    float* dg = dgmf.Row(i);
+    for (uint32_t j = 0; j < config_.gmf_dim; ++j) dg[j] = src[j];
+    float* dm = dmlp_top.Row(i);
+    for (size_t j = 0; j < mlp_out_dim; ++j) dm[j] = src[config_.gmf_dim + j];
+  }
+
+  // GMF tower backward: d(p∘q)/dp = q, /dq = p.
+  Mat dpu_gmf(b, config_.gmf_dim), dqi_gmf(b, config_.gmf_dim);
+  Hadamard(dgmf.size(), dgmf.data(), qi_gmf_.data(), dpu_gmf.data());
+  Hadamard(dgmf.size(), dgmf.data(), pu_gmf_.data(), dqi_gmf.data());
+  user_gmf_.Backward(users_, dpu_gmf);
+  item_gmf_.Backward(items_, dqi_gmf);
+
+  // MLP tower backward.
+  Mat dcur = std::move(dmlp_top);
+  for (size_t l = mlp_.size(); l-- > 0;) {
+    Mat dpre(mlp_pre_[l].rows(), mlp_pre_[l].cols());
+    nn::ActivationBackward(nn::Activation::kRelu, mlp_pre_[l], dcur, &dpre);
+    const Mat& input = (l == 0) ? mlp_in_ : mlp_act_[l - 1];
+    Mat dinput;
+    mlp_[l].Backward(input, dpre, &dinput);
+    dcur = std::move(dinput);
+  }
+
+  // Split the MLP-input gradient into the two embeddings (PKGM slice is a
+  // fixed input — discarded).
+  Mat dpu_mlp(b, config_.mlp_dim), dqi_mlp(b, config_.mlp_dim);
+  for (size_t i = 0; i < b; ++i) {
+    const float* src = dcur.Row(i);
+    float* dp = dpu_mlp.Row(i);
+    float* dq = dqi_mlp.Row(i);
+    for (uint32_t j = 0; j < config_.mlp_dim; ++j) dp[j] = src[j];
+    for (uint32_t j = 0; j < config_.mlp_dim; ++j) {
+      dq[j] = src[config_.mlp_dim + j];
+    }
+  }
+  user_mlp_.Backward(users_, dpu_mlp);
+  item_mlp_.Backward(items_, dqi_mlp);
+
+  // L2 regularization on the touched embedding rows (paper: lambda on the
+  // user/item embeddings of both towers).
+  if (config_.embedding_l2 > 0.0f) {
+    const float lambda = config_.embedding_l2;
+    auto add_l2 = [&](nn::Embedding& emb, const std::vector<uint32_t>& ids) {
+      for (uint32_t id : ids) {
+        Axpy(emb.dim(), lambda, emb.table().value.Row(id),
+             emb.table().grad.Row(id));
+      }
+    };
+    add_l2(user_gmf_, users_);
+    add_l2(item_gmf_, items_);
+    add_l2(user_mlp_, users_);
+    add_l2(item_mlp_, items_);
+  }
+  return loss;
+}
+
+float NcfModel::Predict(uint32_t user, uint32_t item, const float* pkgm_vec) {
+  std::vector<uint32_t> users{user}, items{item};
+  Mat pkgm;
+  const Mat* pkgm_ptr = nullptr;
+  if (config_.pkgm_dim > 0) {
+    PKGM_CHECK(pkgm_vec != nullptr);
+    pkgm = Mat(1, config_.pkgm_dim);
+    for (uint32_t j = 0; j < config_.pkgm_dim; ++j) pkgm(0, j) = pkgm_vec[j];
+    pkgm_ptr = &pkgm;
+  }
+  Mat logits;
+  ForwardInternal(users, items, pkgm_ptr, &logits);
+  return nn::SigmoidScalar(logits(0, 0));
+}
+
+std::vector<nn::Parameter*> NcfModel::Params() {
+  std::vector<nn::Parameter*> params;
+  user_gmf_.Params(&params);
+  item_gmf_.Params(&params);
+  user_mlp_.Params(&params);
+  item_mlp_.Params(&params);
+  for (auto& l : mlp_) l.Params(&params);
+  out_.Params(&params);
+  return params;
+}
+
+}  // namespace pkgm::rec

@@ -1,0 +1,87 @@
+#ifndef PKGM_REC_NCF_H_
+#define PKGM_REC_NCF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/activations.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/parameter.h"
+#include "tensor/vec.h"
+
+namespace pkgm::rec {
+
+/// Neural Collaborative Filtering (He et al., WWW'17), the paper's base
+/// recommender (§III-D2), with the PKGM extension of Eq. 21: the condensed
+/// service vector S_PKGM is concatenated into the MLP tower's input
+///   z_1 = [p_u ; q_i ; S_PKGM]
+/// while the GMF tower and the rest of the network stay unchanged.
+///
+/// Paper hyper-parameters (§III-D4): GMF embedding 8, MLP embedding 32,
+/// hidden layers [32, 16, 8], prediction layer 16 = 8 (GMF) + 8 (MLP),
+/// sigmoid output, binary cross-entropy, negative sampling ratio 4.
+struct NcfConfig {
+  uint32_t num_users = 0;
+  uint32_t num_items = 0;
+  uint32_t gmf_dim = 8;
+  uint32_t mlp_dim = 32;
+  std::vector<uint32_t> mlp_hidden = {32, 16, 8};
+  /// Dimension of the external PKGM feature appended to the MLP input;
+  /// 0 disables the extension (base NCF).
+  uint32_t pkgm_dim = 0;
+  /// L2 regularization on the four embedding tables (paper: 0.001).
+  float embedding_l2 = 0.001f;
+  uint64_t seed = 37;
+};
+
+class NcfModel {
+ public:
+  explicit NcfModel(const NcfConfig& config);
+
+  const NcfConfig& config() const { return config_; }
+
+  /// Batch forward. `pkgm` must be B x pkgm_dim when pkgm_dim > 0 (null
+  /// otherwise). Emits pre-sigmoid logits (B x 1).
+  void Forward(const std::vector<uint32_t>& users,
+               const std::vector<uint32_t>& items, const Mat* pkgm,
+               Mat* logits);
+
+  /// Forward + BCE loss + full backward (embedding L2 included). Gradients
+  /// accumulate into Params(); pair with an optimizer Step. Returns the
+  /// batch loss. PKGM features are fixed inputs and receive no gradient.
+  float ForwardBackward(const std::vector<uint32_t>& users,
+                        const std::vector<uint32_t>& items, const Mat* pkgm,
+                        const std::vector<float>& labels);
+
+  /// Interaction probability for one (user, item) pair; `pkgm_vec` may be
+  /// null when pkgm_dim == 0.
+  float Predict(uint32_t user, uint32_t item, const float* pkgm_vec);
+
+  std::vector<nn::Parameter*> Params();
+
+ private:
+  void ForwardInternal(const std::vector<uint32_t>& users,
+                       const std::vector<uint32_t>& items, const Mat* pkgm,
+                       Mat* logits);
+
+  NcfConfig config_;
+  nn::Embedding user_gmf_, item_gmf_;
+  nn::Embedding user_mlp_, item_mlp_;
+  std::vector<nn::Linear> mlp_;
+  nn::Linear out_;
+
+  // Forward caches (per batch).
+  std::vector<uint32_t> users_, items_;
+  Mat pu_gmf_, qi_gmf_;       // B x gmf_dim
+  Mat gmf_out_;               // B x gmf_dim
+  Mat pu_mlp_, qi_mlp_;       // B x mlp_dim
+  Mat mlp_in_;                // B x (2*mlp_dim + pkgm_dim)
+  std::vector<Mat> mlp_pre_;  // pre-activation per hidden layer
+  std::vector<Mat> mlp_act_;  // post-ReLU per hidden layer
+  Mat fusion_;                // B x (gmf_dim + last_hidden)
+};
+
+}  // namespace pkgm::rec
+
+#endif  // PKGM_REC_NCF_H_

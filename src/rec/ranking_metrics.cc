@@ -1,0 +1,53 @@
+#include "rec/ranking_metrics.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pkgm::rec {
+
+RankingMetricsAccumulator::RankingMetricsAccumulator(std::vector<int> ks)
+    : ks_(std::move(ks)) {
+  PKGM_CHECK(!ks_.empty());
+  for (int k : ks_) {
+    PKGM_CHECK_GT(k, 0);
+    hit_sum_[k] = 0.0;
+    ndcg_sum_[k] = 0.0;
+  }
+}
+
+void RankingMetricsAccumulator::AddRank(uint32_t rank) {
+  PKGM_CHECK_GE(rank, 1u);
+  ++count_;
+  for (int k : ks_) {
+    if (rank <= static_cast<uint32_t>(k)) {
+      hit_sum_[k] += 1.0;
+      ndcg_sum_[k] += 1.0 / std::log2(static_cast<double>(rank) + 1.0);
+    }
+  }
+}
+
+void RankingMetricsAccumulator::AddScores(
+    float positive_score, const std::vector<float>& negative_scores) {
+  uint32_t higher = 0, ties = 0;
+  for (float s : negative_scores) {
+    if (s > positive_score) {
+      ++higher;
+    } else if (s == positive_score) {
+      ++ties;
+    }
+  }
+  AddRank(1 + higher + ties / 2);
+}
+
+double RankingMetricsAccumulator::HitRatio(int k) const {
+  PKGM_CHECK(hit_sum_.count(k));
+  return count_ > 0 ? hit_sum_.at(k) / static_cast<double>(count_) : 0.0;
+}
+
+double RankingMetricsAccumulator::Ndcg(int k) const {
+  PKGM_CHECK(ndcg_sum_.count(k));
+  return count_ > 0 ? ndcg_sum_.at(k) / static_cast<double>(count_) : 0.0;
+}
+
+}  // namespace pkgm::rec

@@ -1,0 +1,43 @@
+#ifndef PKGM_REC_RANKING_METRICS_H_
+#define PKGM_REC_RANKING_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace pkgm::rec {
+
+/// Accumulates leave-one-out ranking metrics (paper §III-D4): for each test
+/// user, the positive item is ranked against sampled negatives;
+/// HR@k = 1 if the positive lands in the top k, and
+/// NDCG@k = 1 / log2(rank + 1) if it does, else 0. Final metrics are means
+/// over users.
+class RankingMetricsAccumulator {
+ public:
+  explicit RankingMetricsAccumulator(std::vector<int> ks);
+
+  /// Records one test case given the 1-based rank of the positive item.
+  void AddRank(uint32_t rank);
+
+  /// Convenience: computes the positive's rank from scores.
+  /// `positive_score` vs `negative_scores`, higher = better; rank is
+  /// 1 + #negatives with strictly higher score (+ half of the ties).
+  void AddScores(float positive_score, const std::vector<float>& negative_scores);
+
+  uint64_t count() const { return count_; }
+  /// HR@k, averaged over recorded cases.
+  double HitRatio(int k) const;
+  /// NDCG@k, averaged over recorded cases.
+  double Ndcg(int k) const;
+  const std::vector<int>& ks() const { return ks_; }
+
+ private:
+  std::vector<int> ks_;
+  std::map<int, double> hit_sum_;
+  std::map<int, double> ndcg_sum_;
+  uint64_t count_ = 0;
+};
+
+}  // namespace pkgm::rec
+
+#endif  // PKGM_REC_RANKING_METRICS_H_

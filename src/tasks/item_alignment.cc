@@ -1,0 +1,222 @@
+#include "tasks/item_alignment.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/losses.h"
+#include "nn/optimizer.h"
+#include "text/mlm.h"
+#include "text/tiny_bert.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace pkgm::tasks {
+
+namespace {
+
+/// Builds the pair input. Base: [CLS] a [SEP] b [SEP] with segments 0/1.
+/// PKGM variants additionally inject each side's service vectors right
+/// after that side's [SEP] (Fig. 5), shrinking the title budget so the
+/// whole input still fits max_len.
+text::EncodedInput EncodePair(const data::AlignmentPair& pair,
+                              const text::Tokenizer& tok,
+                              const core::ServiceVectorProvider* services,
+                              PkgmVariant variant, size_t max_len) {
+  std::vector<uint32_t> ta = tok.Encode(pair.title_a);
+  std::vector<uint32_t> tb = tok.Encode(pair.title_b);
+  text::EncodedInput input;
+
+  if (variant == PkgmVariant::kBase) {
+    input.token_ids = text::BuildPairInput(ta, tb, max_len, &input.valid_len,
+                                           &input.segment_ids);
+    return input;
+  }
+
+  PKGM_CHECK(services != nullptr);
+  const core::ServiceMode mode = VariantServiceMode(variant);
+  std::vector<Vec> va = services->Sequence(pair.item_a, mode);
+  std::vector<Vec> vb = services->Sequence(pair.item_b, mode);
+
+  const size_t per_side = (max_len - 3) / 2;
+  auto fit = [&](std::vector<uint32_t>* tokens, std::vector<Vec>* vecs) {
+    const size_t n_vec = std::min(vecs->size(), per_side - 1);
+    vecs->resize(n_vec);
+    const size_t budget = per_side - n_vec;
+    if (tokens->size() > budget) tokens->resize(budget);
+  };
+  fit(&ta, &va);
+  fit(&tb, &vb);
+
+  input.token_ids.reserve(max_len);
+  input.segment_ids.reserve(max_len);
+  auto push = [&](uint32_t id, uint32_t seg) {
+    input.token_ids.push_back(id);
+    input.segment_ids.push_back(seg);
+  };
+  auto inject = [&](std::vector<Vec>* vecs, uint32_t seg) {
+    for (Vec& v : *vecs) {
+      input.injected.emplace_back(input.token_ids.size(), std::move(v));
+      push(text::kPadId, seg);
+    }
+  };
+
+  push(text::kClsId, 0);
+  for (uint32_t id : ta) push(id, 0);
+  push(text::kSepId, 0);
+  inject(&va, 0);
+  for (uint32_t id : tb) push(id, 1);
+  push(text::kSepId, 1);
+  inject(&vb, 1);
+
+  input.valid_len = input.token_ids.size();
+  PKGM_CHECK_LE(input.valid_len, max_len);
+  return input;
+}
+
+}  // namespace
+
+ItemAlignmentTask::ItemAlignmentTask(const data::AlignmentDataset* dataset,
+                                     const core::ServiceVectorProvider* services,
+                                     const ItemAlignmentOptions& options)
+    : dataset_(dataset), services_(services), options_(options) {
+  PKGM_CHECK(dataset != nullptr);
+}
+
+AlignmentMetrics ItemAlignmentTask::Run(PkgmVariant variant) const {
+  PKGM_CHECK(variant == PkgmVariant::kBase || services_ != nullptr);
+  Rng rng(options_.seed);
+
+  text::Tokenizer tok;
+  for (const auto& p : dataset_->train) {
+    tok.CountCorpusLine(p.title_a);
+    tok.CountCorpusLine(p.title_b);
+  }
+  tok.BuildVocab(1);
+
+  const uint32_t dim = services_ != nullptr ? services_->dim() : 64;
+  text::TinyBertConfig cfg;
+  cfg.vocab_size = tok.vocab_size();
+  cfg.dim = dim;
+  cfg.layers = options_.bert_layers;
+  cfg.heads = options_.bert_heads;
+  cfg.ff_dim = options_.bert_ff;
+  cfg.max_len = options_.max_len;
+  cfg.seed = options_.seed + 1;
+  text::TinyBert bert(cfg);
+
+  if (options_.mlm_pretrain_epochs > 0) {
+    std::vector<text::EncodedInput> corpus;
+    for (const auto& p : dataset_->train) {
+      text::EncodedInput in;
+      in.token_ids = text::BuildPairInput(tok.Encode(p.title_a),
+                                          tok.Encode(p.title_b), cfg.max_len,
+                                          &in.valid_len, &in.segment_ids);
+      corpus.push_back(std::move(in));
+    }
+    text::MlmOptions mlm_opt;
+    mlm_opt.epochs = options_.mlm_pretrain_epochs;
+    mlm_opt.seed = options_.seed + 2;
+    text::MlmPretrainer(&bert, mlm_opt).Pretrain(corpus);
+  }
+
+  Rng head_rng(options_.seed + 3);
+  nn::Linear head(dim, 1, &head_rng, "align.head");
+  std::vector<nn::Parameter*> params = bert.Params();
+  head.Params(&params);
+  nn::AdamOptimizer::Options adam;
+  adam.lr = options_.learning_rate;
+  nn::AdamOptimizer optimizer(params, adam);
+
+  AlignmentMetrics metrics;
+  std::vector<size_t> order(dataset_->train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (uint32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double loss_sum = 0.0;
+    uint32_t since_step = 0;
+    for (size_t idx : order) {
+      const auto& pair = dataset_->train[idx];
+      text::EncodedInput input =
+          EncodePair(pair, tok, services_, variant, cfg.max_len);
+
+      Vec cls;
+      bert.EncodeCls(input, &cls);
+      Mat cls_mat(1, dim);
+      for (uint32_t j = 0; j < dim; ++j) cls_mat(0, j) = cls[j];
+
+      Mat logits;
+      head.Forward(cls_mat, &logits);
+      Mat dlogits;
+      loss_sum +=
+          nn::BinaryCrossEntropyWithLogits(logits, {pair.label}, &dlogits);
+
+      Mat dcls_mat;
+      head.Backward(cls_mat, dlogits, &dcls_mat);
+      Vec dcls(dim);
+      for (uint32_t j = 0; j < dim; ++j) dcls[j] = dcls_mat(0, j);
+      bert.BackwardFromCls(input, dcls);
+
+      if (++since_step >= options_.batch_size) {
+        optimizer.Step();
+        since_step = 0;
+      }
+    }
+    if (since_step > 0) optimizer.Step();
+    metrics.train_loss = order.empty() ? 0.0 : loss_sum / order.size();
+  }
+
+  auto score = [&](const data::AlignmentPair& pair) {
+    text::EncodedInput input =
+        EncodePair(pair, tok, services_, variant, cfg.max_len);
+    Vec cls;
+    bert.EncodeCls(input, &cls);
+    Mat cls_mat(1, dim);
+    for (uint32_t j = 0; j < dim; ++j) cls_mat(0, j) = cls[j];
+    Mat logits;
+    head.Forward(cls_mat, &logits);
+    return logits(0, 0);  // monotone in probability
+  };
+
+  // Accuracy on the classification test split (Table VII).
+  uint64_t correct = 0;
+  for (const auto& pair : dataset_->test_c) {
+    const bool predicted = score(pair) > 0.0f;  // sigmoid(0) == 0.5
+    if (predicted == (pair.label > 0.5f)) ++correct;
+  }
+  metrics.accuracy = dataset_->test_c.empty()
+                         ? 0.0
+                         : static_cast<double>(correct) /
+                               static_cast<double>(dataset_->test_c.size());
+
+  // Hit@k on the ranking split (Table VI): rank the aligned pair among
+  // 1 + negatives candidates.
+  const std::vector<int> ks = {1, 3, 10};
+  for (int k : ks) metrics.hits[k] = 0.0;
+  for (const auto& rc : dataset_->test_r) {
+    const float pos = score(rc.positive);
+    uint64_t higher = 0, ties = 0;
+    for (const auto& neg : rc.negatives) {
+      const float s = score(neg);
+      if (s > pos) {
+        ++higher;
+      } else if (s == pos) {
+        ++ties;
+      }
+    }
+    const double rank = 1.0 + static_cast<double>(higher) +
+                        static_cast<double>(ties) / 2.0;
+    for (int k : ks) {
+      if (rank <= k) metrics.hits[k] += 1.0;
+    }
+  }
+  if (!dataset_->test_r.empty()) {
+    for (int k : ks) {
+      metrics.hits[k] /= static_cast<double>(dataset_->test_r.size());
+    }
+  }
+  return metrics;
+}
+
+}  // namespace pkgm::tasks

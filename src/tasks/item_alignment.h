@@ -1,0 +1,54 @@
+#ifndef PKGM_TASKS_ITEM_ALIGNMENT_H_
+#define PKGM_TASKS_ITEM_ALIGNMENT_H_
+
+#include <cstdint>
+#include <map>
+
+#include "core/service.h"
+#include "data/alignment_dataset.h"
+#include "tasks/variant.h"
+
+namespace pkgm::tasks {
+
+/// Metrics for Tables VI (Hit@k over 100 candidates) and VII (accuracy).
+struct AlignmentMetrics {
+  std::map<int, double> hits;  ///< Hit@1/3/10 on the ranking test split
+  double accuracy = 0.0;       ///< binary accuracy on the classification split
+  double train_loss = 0.0;
+};
+
+/// Item alignment / same-product identification (paper §III-C): a BERT
+/// pair-encoder classifies whether two titles describe the same product.
+/// PKGM variants append each item's service vectors after its title's [SEP]
+/// (Fig. 5), 4k injected vectors total for PKGM-all.
+struct ItemAlignmentOptions {
+  uint32_t max_len = 48;
+  uint32_t bert_layers = 2;
+  uint32_t bert_heads = 4;
+  uint32_t bert_ff = 128;
+  uint32_t epochs = 2;
+  uint32_t batch_size = 16;
+  float learning_rate = 1e-3f;
+  uint32_t mlm_pretrain_epochs = 0;
+  uint64_t seed = 419;
+};
+
+class ItemAlignmentTask {
+ public:
+  /// `dataset` is one category's dataset; pointers must outlive the task.
+  ItemAlignmentTask(const data::AlignmentDataset* dataset,
+                    const core::ServiceVectorProvider* services,
+                    const ItemAlignmentOptions& options);
+
+  /// Trains a fresh pair model for the variant and evaluates it.
+  AlignmentMetrics Run(PkgmVariant variant) const;
+
+ private:
+  const data::AlignmentDataset* dataset_;
+  const core::ServiceVectorProvider* services_;
+  ItemAlignmentOptions options_;
+};
+
+}  // namespace pkgm::tasks
+
+#endif  // PKGM_TASKS_ITEM_ALIGNMENT_H_

@@ -1,0 +1,205 @@
+#include "tasks/item_classification.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/losses.h"
+#include "nn/optimizer.h"
+#include "text/mlm.h"
+#include "util/logging.h"
+
+namespace pkgm::tasks {
+
+namespace {
+
+/// Builds the encoder input for one sample. Base: [CLS] title [SEP].
+/// PKGM variants: the title is truncated so that the k (or 2k) service
+/// vectors fit inside max_len, then the vectors are injected after [SEP] —
+/// the paper's "replace the last k title embeddings with service vectors".
+text::EncodedInput EncodeSample(const data::ClassificationSample& sample,
+                                const text::Tokenizer& tok,
+                                const core::ServiceVectorProvider* services,
+                                PkgmVariant variant, size_t max_len) {
+  std::vector<uint32_t> tokens = tok.Encode(sample.title);
+  text::EncodedInput input;
+
+  if (variant == PkgmVariant::kBase) {
+    input.token_ids = text::BuildSingleInput(tokens, max_len, &input.valid_len);
+    return input;
+  }
+
+  PKGM_CHECK(services != nullptr);
+  std::vector<Vec> vecs =
+      services->Sequence(sample.item_index, VariantServiceMode(variant));
+  const size_t n_vec = std::min(vecs.size(), max_len - 3);
+  const size_t title_budget = max_len - 2 - n_vec;
+  if (tokens.size() > title_budget) tokens.resize(title_budget);
+
+  input.token_ids = text::BuildSingleInput(tokens, max_len, &input.valid_len);
+  for (size_t v = 0; v < n_vec; ++v) {
+    const size_t pos = input.valid_len + v;
+    input.token_ids[pos] = text::kPadId;  // placeholder; embedding replaced
+    input.injected.emplace_back(pos, std::move(vecs[v]));
+  }
+  input.valid_len += n_vec;
+  return input;
+}
+
+/// 1-based rank of `label` in `logits` (higher logit = better), mean of
+/// optimistic/pessimistic over ties.
+double RankOfLabel(const float* logits, size_t n, uint32_t label) {
+  const float target = logits[label];
+  uint64_t higher = 0, ties = 0;
+  for (size_t j = 0; j < n; ++j) {
+    if (j == label) continue;
+    if (logits[j] > target) {
+      ++higher;
+    } else if (logits[j] == target) {
+      ++ties;
+    }
+  }
+  return 1.0 + static_cast<double>(higher) + static_cast<double>(ties) / 2.0;
+}
+
+}  // namespace
+
+ItemClassificationTask::ItemClassificationTask(
+    const data::ClassificationDataset* dataset,
+    const core::ServiceVectorProvider* services,
+    const ItemClassificationOptions& options)
+    : dataset_(dataset), services_(services), options_(options) {
+  PKGM_CHECK(dataset != nullptr);
+}
+
+ClassificationMetrics ItemClassificationTask::Run(PkgmVariant variant) const {
+  PKGM_CHECK(variant == PkgmVariant::kBase || services_ != nullptr);
+  Rng rng(options_.seed);
+
+  // Tokenizer vocabulary from the training titles.
+  text::Tokenizer tok;
+  for (const auto& s : dataset_->train) tok.CountCorpusLine(s.title);
+  tok.BuildVocab(1);
+
+  const uint32_t dim = services_ != nullptr ? services_->dim() : 64;
+  text::TinyBertConfig cfg;
+  cfg.vocab_size = tok.vocab_size();
+  cfg.dim = dim;
+  cfg.layers = options_.bert_layers;
+  cfg.heads = options_.bert_heads;
+  cfg.ff_dim = options_.bert_ff;
+  cfg.max_len = options_.max_len;
+  cfg.seed = options_.seed + 1;
+  text::TinyBert bert(cfg);
+
+  // "Pre-trained language model": MLM on the training titles.
+  if (options_.mlm_pretrain_epochs > 0) {
+    std::vector<text::EncodedInput> corpus;
+    corpus.reserve(dataset_->train.size());
+    for (const auto& s : dataset_->train) {
+      text::EncodedInput in;
+      in.token_ids =
+          text::BuildSingleInput(tok.Encode(s.title), cfg.max_len, &in.valid_len);
+      corpus.push_back(std::move(in));
+    }
+    text::MlmOptions mlm_opt;
+    mlm_opt.epochs = options_.mlm_pretrain_epochs;
+    mlm_opt.seed = options_.seed + 2;
+    text::MlmPretrainer(&bert, mlm_opt).Pretrain(corpus);
+  }
+
+  // Classifier head over [CLS] (Eq. 10).
+  Rng head_rng(options_.seed + 3);
+  nn::Linear head(dim, dataset_->num_classes, &head_rng, "cls.head");
+  std::vector<nn::Parameter*> params = bert.Params();
+  head.Params(&params);
+  nn::AdamOptimizer::Options adam;
+  adam.lr = options_.learning_rate;
+  nn::AdamOptimizer optimizer(params, adam);
+
+  // Fine-tune.
+  ClassificationMetrics metrics;
+  std::vector<size_t> order(dataset_->train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (uint32_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double loss_sum = 0.0;
+    uint32_t since_step = 0;
+    for (size_t idx : order) {
+      const auto& sample = dataset_->train[idx];
+      text::EncodedInput input =
+          EncodeSample(sample, tok, services_, variant, cfg.max_len);
+
+      Vec cls;
+      bert.EncodeCls(input, &cls);
+      Mat cls_mat(1, dim);
+      for (uint32_t j = 0; j < dim; ++j) cls_mat(0, j) = cls[j];
+
+      Mat logits;
+      head.Forward(cls_mat, &logits);
+      Mat dlogits;
+      loss_sum += nn::SoftmaxCrossEntropy(logits, {sample.label}, &dlogits);
+
+      Mat dcls_mat;
+      head.Backward(cls_mat, dlogits, &dcls_mat);
+      Vec dcls(dim);
+      for (uint32_t j = 0; j < dim; ++j) dcls[j] = dcls_mat(0, j);
+      bert.BackwardFromCls(input, dcls);
+
+      if (++since_step >= options_.batch_size) {
+        optimizer.Step();
+        since_step = 0;
+      }
+    }
+    if (since_step > 0) optimizer.Step();
+    metrics.train_loss = order.empty() ? 0.0 : loss_sum / order.size();
+  }
+
+  // Evaluation helper: class logits for one sample.
+  auto predict = [&](const data::ClassificationSample& sample) {
+    text::EncodedInput input =
+        EncodeSample(sample, tok, services_, variant, cfg.max_len);
+    Vec cls;
+    bert.EncodeCls(input, &cls);
+    Mat cls_mat(1, dim);
+    for (uint32_t j = 0; j < dim; ++j) cls_mat(0, j) = cls[j];
+    Mat logits;
+    head.Forward(cls_mat, &logits);
+    return logits;
+  };
+
+  // Hit@k on test (rank of the correct label among all classes, §III-B4).
+  const std::vector<int> ks = {1, 3, 10};
+  for (int k : ks) metrics.hits[k] = 0.0;
+  for (const auto& sample : dataset_->test) {
+    Mat logits = predict(sample);
+    const double rank =
+        RankOfLabel(logits.Row(0), dataset_->num_classes, sample.label);
+    for (int k : ks) {
+      if (rank <= k) metrics.hits[k] += 1.0;
+    }
+  }
+  if (!dataset_->test.empty()) {
+    for (int k : ks) metrics.hits[k] /= static_cast<double>(dataset_->test.size());
+  }
+
+  // Accuracy on dev (the paper's AC column).
+  uint64_t correct = 0;
+  for (const auto& sample : dataset_->dev) {
+    Mat logits = predict(sample);
+    const float* row = logits.Row(0);
+    uint32_t best = 0;
+    for (uint32_t j = 1; j < dataset_->num_classes; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (best == sample.label) ++correct;
+  }
+  metrics.accuracy = dataset_->dev.empty()
+                         ? 0.0
+                         : static_cast<double>(correct) /
+                               static_cast<double>(dataset_->dev.size());
+  return metrics;
+}
+
+}  // namespace pkgm::tasks

@@ -1,0 +1,64 @@
+#ifndef PKGM_TASKS_ITEM_CLASSIFICATION_H_
+#define PKGM_TASKS_ITEM_CLASSIFICATION_H_
+
+#include <cstdint>
+#include <map>
+
+#include "core/service.h"
+#include "data/classification_dataset.h"
+#include "tasks/variant.h"
+#include "text/tiny_bert.h"
+#include "text/tokenizer.h"
+
+namespace pkgm::tasks {
+
+/// Metrics reported in Table IV: Hit@k over the class ranking plus
+/// prediction accuracy (AC, computed on the dev split as in the paper).
+struct ClassificationMetrics {
+  std::map<int, double> hits;  ///< Hit@1/3/10 on the test split
+  double accuracy = 0.0;       ///< argmax accuracy on the dev split
+  double train_loss = 0.0;     ///< final-epoch mean cross-entropy
+};
+
+/// Item classification (paper §III-B): classify an item's title into its
+/// category with a BERT-style encoder; PKGM variants replace the trailing
+/// title tokens with service vectors (Fig. 4).
+struct ItemClassificationOptions {
+  uint32_t max_len = 32;
+  uint32_t bert_layers = 2;
+  uint32_t bert_heads = 4;
+  uint32_t bert_ff = 128;
+  uint32_t epochs = 3;      // paper: 3 fine-tuning epochs
+  uint32_t batch_size = 16;
+  float learning_rate = 1e-3f;
+  /// If > 0, MLM-pretrain the encoder on the training titles for this many
+  /// epochs before fine-tuning ("pre-trained language model" substitution).
+  uint32_t mlm_pretrain_epochs = 1;
+  uint64_t seed = 401;
+};
+
+/// Runs one full train + evaluate cycle for a variant. The encoder
+/// dimension is taken from `services->dim()` (service vectors are injected
+/// as token embeddings, so the dims must match); `services` may be null for
+/// kBase only if no PKGM variant will run — pass it always in practice.
+class ItemClassificationTask {
+ public:
+  /// All pointers must outlive the task. `services` must be item-index
+  /// aligned with `dataset`'s item indexes.
+  ItemClassificationTask(const data::ClassificationDataset* dataset,
+                         const core::ServiceVectorProvider* services,
+                         const ItemClassificationOptions& options);
+
+  /// Trains a fresh TinyBert + classifier for the variant and returns its
+  /// metrics. Deterministic given options.seed.
+  ClassificationMetrics Run(PkgmVariant variant) const;
+
+ private:
+  const data::ClassificationDataset* dataset_;
+  const core::ServiceVectorProvider* services_;
+  ItemClassificationOptions options_;
+};
+
+}  // namespace pkgm::tasks
+
+#endif  // PKGM_TASKS_ITEM_CLASSIFICATION_H_

@@ -1,0 +1,45 @@
+#ifndef PKGM_TASKS_VARIANT_H_
+#define PKGM_TASKS_VARIANT_H_
+
+#include <string>
+
+#include "core/service.h"
+
+namespace pkgm::tasks {
+
+/// The four model variants evaluated on every downstream task
+/// (paper §III): the base model alone, and the base model augmented with
+/// service vectors from the triple query module, the relation query module,
+/// or both.
+enum class PkgmVariant { kBase, kPkgmT, kPkgmR, kPkgmAll };
+
+/// Display name matching the paper's tables ("BERT", "BERT_PKGM-T", ...).
+inline std::string VariantName(PkgmVariant v, const std::string& base) {
+  switch (v) {
+    case PkgmVariant::kBase:
+      return base;
+    case PkgmVariant::kPkgmT:
+      return base + "_PKGM-T";
+    case PkgmVariant::kPkgmR:
+      return base + "_PKGM-R";
+    case PkgmVariant::kPkgmAll:
+      return base + "_PKGM-all";
+  }
+  return base;
+}
+
+/// Service mode for a non-base variant. Must not be called with kBase.
+inline core::ServiceMode VariantServiceMode(PkgmVariant v) {
+  switch (v) {
+    case PkgmVariant::kPkgmT:
+      return core::ServiceMode::kTripleOnly;
+    case PkgmVariant::kPkgmR:
+      return core::ServiceMode::kRelationOnly;
+    default:
+      return core::ServiceMode::kAll;
+  }
+}
+
+}  // namespace pkgm::tasks
+
+#endif  // PKGM_TASKS_VARIANT_H_

@@ -1,0 +1,30 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace pkgm {
+
+void UniformInit(size_t n, float lo, float hi, Rng* rng, float* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = rng->UniformFloat(lo, hi);
+}
+
+void NormalInit(size_t n, float stddev, Rng* rng, float* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = rng->Normal(0.0f, stddev);
+}
+
+void XavierInit(Mat* w, Rng* rng) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(w->rows() + w->cols()));
+  UniformInit(w->size(), -bound, bound, rng, w->data());
+}
+
+void TransEInit(size_t dim, Rng* rng, float* out) {
+  const float bound = 6.0f / std::sqrt(static_cast<float>(dim));
+  UniformInit(dim, -bound, bound, rng, out);
+  float norm = L2Norm(dim, out);
+  if (norm > 0.0f) Scale(dim, 1.0f / norm, out);
+}
+
+}  // namespace pkgm

@@ -1,0 +1,27 @@
+#ifndef PKGM_TENSOR_INIT_H_
+#define PKGM_TENSOR_INIT_H_
+
+#include <cstddef>
+
+#include "tensor/vec.h"
+#include "util/rng.h"
+
+namespace pkgm {
+
+/// Fills span with U(lo, hi).
+void UniformInit(size_t n, float lo, float hi, Rng* rng, float* out);
+
+/// Fills span with N(0, stddev^2).
+void NormalInit(size_t n, float stddev, Rng* rng, float* out);
+
+/// Xavier/Glorot uniform for a fan_in x fan_out weight:
+/// U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out))).
+void XavierInit(Mat* w, Rng* rng);
+
+/// TransE-style embedding init: U(-6/sqrt(d), 6/sqrt(d)) per the original
+/// TransE paper (Bordes et al., 2013), followed by L2 normalization.
+void TransEInit(size_t dim, Rng* rng, float* out);
+
+}  // namespace pkgm
+
+#endif  // PKGM_TENSOR_INIT_H_

@@ -1,0 +1,165 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pkgm {
+
+void Axpy(size_t n, float alpha, const float* x, float* y) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Scale(size_t n, float alpha, float* x) {
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void Sub(size_t n, const float* x, const float* y, float* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = x[i] - y[i];
+}
+
+void Add(size_t n, const float* x, const float* y, float* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = x[i] + y[i];
+}
+
+float Dot(size_t n, const float* x, const float* y) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+float L1Norm(size_t n, const float* x) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += std::fabs(x[i]);
+  return acc;
+}
+
+float L2Norm(size_t n, const float* x) { return std::sqrt(SquaredL2Norm(n, x)); }
+
+float SquaredL2Norm(size_t n, const float* x) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += x[i] * x[i];
+  return acc;
+}
+
+void SignOf(size_t n, const float* x, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = x[i] > 0.0f ? 1.0f : (x[i] < 0.0f ? -1.0f : 0.0f);
+  }
+}
+
+float ProjectToUnitBall(size_t n, float* x) {
+  float norm = L2Norm(n, x);
+  if (norm > 1.0f) {
+    Scale(n, 1.0f / norm, x);
+  }
+  return norm;
+}
+
+void Hadamard(size_t n, const float* x, const float* y, float* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = x[i] * y[i];
+}
+
+void GemvRaw(size_t m, size_t n, const float* a, const float* x, float* y) {
+  for (size_t i = 0; i < m; ++i) {
+    y[i] = Dot(n, a + i * n, x);
+  }
+}
+
+void GemvTransposedRaw(size_t m, size_t n, const float* a, const float* x,
+                       float* y) {
+  for (size_t j = 0; j < n; ++j) y[j] = 0.0f;
+  for (size_t i = 0; i < m; ++i) {
+    Axpy(n, x[i], a + i * n, y);
+  }
+}
+
+void Gemv(const Mat& a, const float* x, float* y) {
+  const size_t m = a.rows(), n = a.cols();
+  for (size_t i = 0; i < m; ++i) {
+    y[i] = Dot(n, a.Row(i), x);
+  }
+}
+
+void GemvTransposed(const Mat& a, const float* x, float* y) {
+  const size_t m = a.rows(), n = a.cols();
+  for (size_t j = 0; j < n; ++j) y[j] = 0.0f;
+  for (size_t i = 0; i < m; ++i) {
+    Axpy(n, x[i], a.Row(i), y);
+  }
+}
+
+void Ger(Mat* a, float alpha, const float* x, const float* y) {
+  const size_t m = a->rows(), n = a->cols();
+  for (size_t i = 0; i < m; ++i) {
+    Axpy(n, alpha * x[i], y, a->Row(i));
+  }
+}
+
+void Gemm(const Mat& a, const Mat& b, Mat* c) {
+  PKGM_CHECK_EQ(a.cols(), b.rows());
+  PKGM_CHECK_EQ(c->rows(), a.rows());
+  PKGM_CHECK_EQ(c->cols(), b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  c->Zero();
+  // ikj loop order: streams over B and C rows for cache friendliness.
+  for (size_t i = 0; i < m; ++i) {
+    float* crow = c->Row(i);
+    const float* arow = a.Row(i);
+    for (size_t p = 0; p < k; ++p) {
+      Axpy(n, arow[p], b.Row(p), crow);
+    }
+  }
+}
+
+void GemmAtbAccum(const Mat& a, const Mat& b, Mat* c) {
+  PKGM_CHECK_EQ(a.rows(), b.rows());
+  PKGM_CHECK_EQ(c->rows(), a.cols());
+  PKGM_CHECK_EQ(c->cols(), b.cols());
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (size_t p = 0; p < k; ++p) {
+    const float* arow = a.Row(p);
+    const float* brow = b.Row(p);
+    for (size_t i = 0; i < m; ++i) {
+      Axpy(n, arow[i], brow, c->Row(i));
+    }
+  }
+}
+
+void GemmAbt(const Mat& a, const Mat& b, Mat* c) {
+  PKGM_CHECK_EQ(a.cols(), b.cols());
+  PKGM_CHECK_EQ(c->rows(), a.rows());
+  PKGM_CHECK_EQ(c->cols(), b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (size_t i = 0; i < m; ++i) {
+    float* crow = c->Row(i);
+    const float* arow = a.Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      crow[j] = Dot(k, arow, b.Row(j));
+    }
+  }
+}
+
+void SoftmaxInplace(size_t n, float* x) {
+  if (n == 0) return;
+  float mx = x[0];
+  for (size_t i = 1; i < n; ++i) mx = std::max(mx, x[i]);
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = std::exp(x[i] - mx);
+    sum += x[i];
+  }
+  const float inv = 1.0f / sum;
+  for (size_t i = 0; i < n; ++i) x[i] *= inv;
+}
+
+float LogSumExp(size_t n, const float* x) {
+  PKGM_CHECK_GT(n, 0u);
+  float mx = x[0];
+  for (size_t i = 1; i < n; ++i) mx = std::max(mx, x[i]);
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) sum += std::exp(x[i] - mx);
+  return mx + std::log(sum);
+}
+
+}  // namespace pkgm

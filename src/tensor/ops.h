@@ -1,0 +1,85 @@
+#ifndef PKGM_TENSOR_OPS_H_
+#define PKGM_TENSOR_OPS_H_
+
+#include <cstddef>
+
+#include "tensor/vec.h"
+
+namespace pkgm {
+
+// BLAS-1 kernels over raw spans (all lengths in elements). Callers guarantee
+// the spans are valid; these are hot paths and do not bounds-check per
+// element.
+
+/// y += alpha * x
+void Axpy(size_t n, float alpha, const float* x, float* y);
+
+/// x *= alpha
+void Scale(size_t n, float alpha, float* x);
+
+/// out = x - y
+void Sub(size_t n, const float* x, const float* y, float* out);
+
+/// out = x + y
+void Add(size_t n, const float* x, const float* y, float* out);
+
+/// Dot product.
+float Dot(size_t n, const float* x, const float* y);
+
+/// Sum of |x_i|.
+float L1Norm(size_t n, const float* x);
+
+/// sqrt(sum x_i^2).
+float L2Norm(size_t n, const float* x);
+
+/// Squared L2 norm.
+float SquaredL2Norm(size_t n, const float* x);
+
+/// Writes sign(x_i) into out (sign(0) == 0); subgradient of the L1 norm.
+void SignOf(size_t n, const float* x, float* out);
+
+/// Projects x onto the L2 unit ball if its norm exceeds 1 (TransE's entity
+/// normalization). Returns the pre-projection norm.
+float ProjectToUnitBall(size_t n, float* x);
+
+/// Elementwise product: out = x .* y
+void Hadamard(size_t n, const float* x, const float* y, float* out);
+
+// BLAS-2 / BLAS-3 kernels over row-major matrices.
+
+/// y = A x              (A: m x n row-major raw span, x: n, y: m)
+void GemvRaw(size_t m, size_t n, const float* a, const float* x, float* y);
+
+/// y = A^T x            (A: m x n row-major raw span, x: m, y: n)
+void GemvTransposedRaw(size_t m, size_t n, const float* a, const float* x,
+                       float* y);
+
+/// y = A x              (A: m x n, x: n, y: m)
+void Gemv(const Mat& a, const float* x, float* y);
+
+/// y = A^T x            (A: m x n, x: m, y: n)
+void GemvTransposed(const Mat& a, const float* x, float* y);
+
+/// A += alpha * x y^T   (rank-1 update; x: m, y: n)
+void Ger(Mat* a, float alpha, const float* x, const float* y);
+
+/// C = A B              (A: m x k, B: k x n, C: m x n). C is overwritten.
+void Gemm(const Mat& a, const Mat& b, Mat* c);
+
+/// C += A^T B           (A: k x m, B: k x n, C: m x n).
+void GemmAtbAccum(const Mat& a, const Mat& b, Mat* c);
+
+/// C = A B^T            (A: m x k, B: n x k, C: m x n).
+void GemmAbt(const Mat& a, const Mat& b, Mat* c);
+
+// Numerically stable reductions used by the NN layers.
+
+/// In-place softmax over x[0..n).
+void SoftmaxInplace(size_t n, float* x);
+
+/// log(sum exp(x_i)), stable.
+float LogSumExp(size_t n, const float* x);
+
+}  // namespace pkgm
+
+#endif  // PKGM_TENSOR_OPS_H_

@@ -1,0 +1,120 @@
+#ifndef PKGM_TENSOR_VEC_H_
+#define PKGM_TENSOR_VEC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace pkgm {
+
+/// Owning dense float32 vector. Thin wrapper over contiguous storage with
+/// bounds-checked indexing; all math lives in tensor/ops.h so kernels can
+/// operate on raw spans regardless of container.
+class Vec {
+ public:
+  Vec() = default;
+  /// Creates a vector of `n` elements initialized to `value`.
+  explicit Vec(size_t n, float value = 0.0f) : data_(n, value) {}
+  /// Takes ownership of existing storage.
+  explicit Vec(std::vector<float> data) : data_(std::move(data)) {}
+  Vec(std::initializer_list<float> init) : data_(init) {}
+
+  Vec(const Vec&) = default;
+  Vec& operator=(const Vec&) = default;
+  Vec(Vec&&) = default;
+  Vec& operator=(Vec&&) = default;
+
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator[](size_t i) {
+    PKGM_CHECK_LT(i, data_.size());
+    return data_[i];
+  }
+  float operator[](size_t i) const {
+    PKGM_CHECK_LT(i, data_.size());
+    return data_[i];
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  /// Sets every element to `value`.
+  void Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+  /// Sets every element to zero.
+  void Zero() { Fill(0.0f); }
+  /// Resizes, zero-filling any new elements.
+  void Resize(size_t n) { data_.resize(n, 0.0f); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  friend bool operator==(const Vec& a, const Vec& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::vector<float> data_;
+};
+
+/// Owning dense row-major float32 matrix.
+class Mat {
+ public:
+  Mat() : rows_(0), cols_(0) {}
+  /// Creates a `rows` x `cols` matrix initialized to `value`.
+  Mat(size_t rows, size_t cols, float value = 0.0f)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  Mat(const Mat&) = default;
+  Mat& operator=(const Mat&) = default;
+  Mat(Mat&&) = default;
+  Mat& operator=(Mat&&) = default;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  float& operator()(size_t r, size_t c) {
+    PKGM_CHECK_LT(r, rows_);
+    PKGM_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  float operator()(size_t r, size_t c) const {
+    PKGM_CHECK_LT(r, rows_);
+    PKGM_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the start of row r (contiguous, cols() floats).
+  float* Row(size_t r) {
+    PKGM_CHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
+  const float* Row(size_t r) const {
+    PKGM_CHECK_LT(r, rows_);
+    return data_.data() + r * cols_;
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& storage() { return data_; }
+  const std::vector<float>& storage() const { return data_; }
+
+  void Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+  void Zero() { Fill(0.0f); }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace pkgm
+
+#endif  // PKGM_TENSOR_VEC_H_

@@ -1,0 +1,106 @@
+#include "text/mlm.h"
+
+#include "nn/losses.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace pkgm::text {
+
+namespace {
+
+std::vector<nn::Parameter*> JointParams(TinyBert* bert, nn::Linear* decoder) {
+  std::vector<nn::Parameter*> params = bert->Params();
+  decoder->Params(&params);
+  return params;
+}
+
+nn::AdamOptimizer::Options AdamOptions(float lr) {
+  nn::AdamOptimizer::Options opt;
+  opt.lr = lr;
+  return opt;
+}
+
+}  // namespace
+
+MlmPretrainer::MlmPretrainer(TinyBert* bert, const MlmOptions& options)
+    : bert_(bert),
+      options_(options),
+      decoder_([&] {
+        Rng r(options.seed);
+        return nn::Linear(bert->dim(), bert->config().vocab_size, &r,
+                          "mlm.decoder");
+      }()),
+      optimizer_(JointParams(bert, &decoder_), AdamOptions(options.learning_rate)),
+      rng_(options.seed + 1) {
+  PKGM_CHECK(bert != nullptr);
+}
+
+float MlmPretrainer::Step(const EncodedInput& input, Rng* rng) {
+  // Select maskable positions: skip [CLS]/[SEP]/[PAD] specials.
+  EncodedInput masked = input;
+  std::vector<size_t> positions;
+  std::vector<uint32_t> originals;
+  for (size_t i = 0; i < input.valid_len; ++i) {
+    const uint32_t tok = input.token_ids[i];
+    if (tok < kNumSpecialTokens) continue;
+    if (!rng->Bernoulli(options_.select_prob)) continue;
+    positions.push_back(i);
+    originals.push_back(tok);
+    const double u = rng->UniformDouble();
+    if (u < options_.mask_prob) {
+      masked.token_ids[i] = kMaskId;
+    } else if (u < options_.mask_prob + options_.random_prob) {
+      masked.token_ids[i] = static_cast<uint32_t>(
+          rng->Uniform(bert_->config().vocab_size));
+    }  // else: keep original.
+  }
+  if (positions.empty()) return 0.0f;
+
+  Mat seq;
+  bert_->EncodeSequence(masked, &seq);
+
+  // Gather selected rows and decode to vocab logits.
+  Mat gathered(positions.size(), bert_->dim());
+  for (size_t p = 0; p < positions.size(); ++p) {
+    const float* src = seq.Row(positions[p]);
+    float* dst = gathered.Row(p);
+    for (uint32_t j = 0; j < bert_->dim(); ++j) dst[j] = src[j];
+  }
+  Mat logits;
+  decoder_.Forward(gathered, &logits);
+
+  Mat dlogits;
+  const float loss = nn::SoftmaxCrossEntropy(logits, originals, &dlogits);
+
+  Mat dgathered;
+  decoder_.Backward(gathered, dlogits, &dgathered);
+
+  Mat dseq(seq.rows(), seq.cols());
+  for (size_t p = 0; p < positions.size(); ++p) {
+    const float* src = dgathered.Row(p);
+    float* dst = dseq.Row(positions[p]);
+    for (uint32_t j = 0; j < bert_->dim(); ++j) dst[j] += src[j];
+  }
+  bert_->BackwardSequence(masked, dseq);
+  optimizer_.Step();
+  return loss;
+}
+
+float MlmPretrainer::Pretrain(const std::vector<EncodedInput>& corpus) {
+  float last_epoch_mean = 0.0f;
+  for (uint32_t e = 0; e < options_.epochs; ++e) {
+    double sum = 0.0;
+    uint64_t n = 0;
+    for (const EncodedInput& input : corpus) {
+      const float loss = Step(input, &rng_);
+      if (loss > 0.0f) {
+        sum += loss;
+        ++n;
+      }
+    }
+    last_epoch_mean = n > 0 ? static_cast<float>(sum / n) : 0.0f;
+  }
+  return last_epoch_mean;
+}
+
+}  // namespace pkgm::text

@@ -1,0 +1,54 @@
+#ifndef PKGM_TEXT_MLM_H_
+#define PKGM_TEXT_MLM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+#include "text/tiny_bert.h"
+#include "util/rng.h"
+
+namespace pkgm::text {
+
+/// Masked-language-model pre-training for TinyBert — the stand-in for
+/// "released pre-trained BERT": downstream tasks start from an encoder that
+/// has already learned title statistics, rather than from random weights.
+///
+/// Standard BERT recipe: 15% of tokens are selected; of those 80% become
+/// [MASK], 10% a random token, 10% stay; the decoder predicts the original
+/// token at the selected positions.
+struct MlmOptions {
+  double select_prob = 0.15;
+  double mask_prob = 0.80;
+  double random_prob = 0.10;  // remainder keeps the original token
+  float learning_rate = 1e-3f;
+  uint32_t epochs = 2;
+  uint64_t seed = 31;
+};
+
+class MlmPretrainer {
+ public:
+  /// `bert` must outlive the pretrainer. Builds a decoder head
+  /// (dim -> vocab) trained jointly with the encoder.
+  MlmPretrainer(TinyBert* bert, const MlmOptions& options);
+
+  /// Pre-trains on a corpus of already-encoded inputs (each a [CLS] ...
+  /// sequence). Returns the mean MLM loss of the final epoch.
+  float Pretrain(const std::vector<EncodedInput>& corpus);
+
+  /// One masked step on a single input; returns the loss (0 when no token
+  /// was selected). Exposed for tests.
+  float Step(const EncodedInput& input, Rng* rng);
+
+ private:
+  TinyBert* bert_;
+  MlmOptions options_;
+  nn::Linear decoder_;
+  nn::AdamOptimizer optimizer_;
+  Rng rng_;
+};
+
+}  // namespace pkgm::text
+
+#endif  // PKGM_TEXT_MLM_H_

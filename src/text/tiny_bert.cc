@@ -1,0 +1,128 @@
+#include "text/tiny_bert.h"
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace pkgm::text {
+
+namespace {
+Rng MakeRng(uint64_t seed) { return Rng(seed); }
+}  // namespace
+
+TinyBert::TinyBert(const TinyBertConfig& config)
+    : config_(config),
+      tok_emb_([&] {
+        Rng r = MakeRng(config.seed);
+        return nn::Embedding(config.vocab_size, config.dim, &r, "bert.tok");
+      }()),
+      pos_emb_([&] {
+        Rng r = MakeRng(config.seed + 1);
+        return nn::Embedding(config.max_len, config.dim, &r, "bert.pos");
+      }()),
+      seg_emb_([&] {
+        Rng r = MakeRng(config.seed + 2);
+        return nn::Embedding(config.num_segments, config.dim, &r, "bert.seg");
+      }()),
+      emb_ln_(config.dim, "bert.emb_ln"),
+      encoder_([&] {
+        Rng r = MakeRng(config.seed + 3);
+        return nn::TransformerEncoder(config.layers, config.dim, config.heads,
+                                      config.ff_dim, &r, "bert.enc");
+      }()) {
+  PKGM_CHECK_GT(config.vocab_size, 0u);
+  PKGM_CHECK_EQ(config.dim % config.heads, 0u);
+}
+
+void TinyBert::BuildInputEmbeddings(const EncodedInput& in) {
+  const size_t t = in.valid_len;
+  const uint32_t d = config_.dim;
+  PKGM_CHECK_GT(t, 0u);
+  PKGM_CHECK_LE(t, in.token_ids.size());
+  PKGM_CHECK_LE(t, config_.max_len);
+
+  if (emb_sum_.rows() != t || emb_sum_.cols() != d) emb_sum_ = Mat(t, d);
+
+  // Which positions take an injected external vector instead of a token
+  // embedding.
+  std::vector<const float*> injected_at(t, nullptr);
+  for (const auto& [pos, vec] : in.injected) {
+    PKGM_CHECK_LT(pos, t);
+    PKGM_CHECK_EQ(vec.size(), d);
+    injected_at[pos] = vec.data();
+  }
+
+  for (size_t i = 0; i < t; ++i) {
+    float* row = emb_sum_.Row(i);
+    const float* tok = injected_at[i] != nullptr
+                           ? injected_at[i]
+                           : tok_emb_.Row(in.token_ids[i]);
+    const float* pos = pos_emb_.Row(static_cast<uint32_t>(i));
+    const uint32_t seg =
+        in.segment_ids.empty() ? 0 : in.segment_ids[i];
+    const float* sg = seg_emb_.Row(seg);
+    for (uint32_t j = 0; j < d; ++j) row[j] = tok[j] + pos[j] + sg[j];
+  }
+  emb_ln_.Forward(emb_sum_, &emb_out_);
+}
+
+void TinyBert::EncodeSequence(const EncodedInput& in, Mat* seq_out) {
+  BuildInputEmbeddings(in);
+  encoder_.Forward(emb_out_, in.valid_len, &seq_out_);
+  *seq_out = seq_out_;
+}
+
+void TinyBert::EncodeCls(const EncodedInput& in, Vec* cls) {
+  BuildInputEmbeddings(in);
+  encoder_.Forward(emb_out_, in.valid_len, &seq_out_);
+  cls->Resize(config_.dim);
+  const float* row = seq_out_.Row(0);
+  for (uint32_t j = 0; j < config_.dim; ++j) (*cls)[j] = row[j];
+}
+
+void TinyBert::BackwardSequence(const EncodedInput& in, const Mat& dseq) {
+  const size_t t = in.valid_len;
+  const uint32_t d = config_.dim;
+  PKGM_CHECK_EQ(dseq.rows(), t);
+  PKGM_CHECK_EQ(dseq.cols(), d);
+
+  Mat demb_out;
+  encoder_.Backward(dseq, &demb_out);
+
+  Mat demb_sum;
+  emb_ln_.Backward(emb_sum_, demb_out, &demb_sum);
+
+  std::vector<bool> injected_at(t, false);
+  for (const auto& [pos, vec] : in.injected) injected_at[pos] = true;
+
+  for (size_t i = 0; i < t; ++i) {
+    const float* g = demb_sum.Row(i);
+    // Service vectors stay fixed during fine-tuning (paper §III-B4), so
+    // injected positions contribute no token-table gradient.
+    if (!injected_at[i]) {
+      Axpy(d, 1.0f, g, tok_emb_.table().grad.Row(in.token_ids[i]));
+    }
+    Axpy(d, 1.0f, g, pos_emb_.table().grad.Row(i));
+    const uint32_t seg = in.segment_ids.empty() ? 0 : in.segment_ids[i];
+    Axpy(d, 1.0f, g, seg_emb_.table().grad.Row(seg));
+  }
+}
+
+void TinyBert::BackwardFromCls(const EncodedInput& in, const Vec& dcls) {
+  PKGM_CHECK_EQ(dcls.size(), config_.dim);
+  Mat dseq(in.valid_len, config_.dim);
+  float* row = dseq.Row(0);
+  for (uint32_t j = 0; j < config_.dim; ++j) row[j] = dcls[j];
+  BackwardSequence(in, dseq);
+}
+
+std::vector<nn::Parameter*> TinyBert::Params() {
+  std::vector<nn::Parameter*> params;
+  tok_emb_.Params(&params);
+  pos_emb_.Params(&params);
+  seg_emb_.Params(&params);
+  emb_ln_.Params(&params);
+  encoder_.Params(&params);
+  return params;
+}
+
+}  // namespace pkgm::text

@@ -1,0 +1,100 @@
+#ifndef PKGM_TEXT_TINY_BERT_H_
+#define PKGM_TEXT_TINY_BERT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "nn/embedding.h"
+#include "nn/layer_norm.h"
+#include "nn/parameter.h"
+#include "nn/transformer.h"
+#include "tensor/vec.h"
+#include "util/rng.h"
+
+namespace pkgm::text {
+
+/// Configuration of the from-scratch BERT-style encoder. The paper uses
+/// Google's Chinese BERT-base (12 layers, hidden 768); this laptop-scale
+/// stand-in keeps the same architecture (token+position+segment embeddings,
+/// post-LN transformer blocks, [CLS] pooling) at a few layers and d=64.
+struct TinyBertConfig {
+  uint32_t vocab_size = 0;
+  uint32_t dim = 64;
+  uint32_t layers = 2;
+  uint32_t heads = 4;
+  uint32_t ff_dim = 128;
+  uint32_t max_len = 64;
+  uint32_t num_segments = 2;
+  uint64_t seed = 29;
+};
+
+/// One encoder input. Only the first `valid_len` positions are processed
+/// (padding beyond it is ignored entirely).
+///
+/// `injected` implements the paper's service-vector integration for
+/// sequence models (Fig. 2 / §III-B2): each (position, vector) pair
+/// *replaces the token embedding* at that position with an externally
+/// provided d-dim vector ("embedding look up is unnecessary for service
+/// vectors"). Position and segment embeddings are still added, and — per
+/// the paper's fine-tuning protocol — no gradient flows back into the
+/// injected vectors.
+struct EncodedInput {
+  std::vector<uint32_t> token_ids;
+  /// Empty means all-zero segments.
+  std::vector<uint32_t> segment_ids;
+  size_t valid_len = 0;
+  std::vector<std::pair<size_t, Vec>> injected;
+};
+
+/// Miniature BERT encoder with manual backprop. The classification /
+/// pair-classification heads live with the downstream tasks; MLM
+/// pre-training lives in text/mlm.h.
+///
+/// Statefulness: Encode* caches intermediates; each Backward* must follow
+/// its own Encode* with the same input (one sequence at a time).
+class TinyBert {
+ public:
+  explicit TinyBert(const TinyBertConfig& config);
+
+  const TinyBertConfig& config() const { return config_; }
+  uint32_t dim() const { return config_.dim; }
+
+  /// Runs the encoder and copies the [CLS] (position 0) representation.
+  void EncodeCls(const EncodedInput& in, Vec* cls);
+
+  /// Backprop when the loss depends only on the [CLS] vector.
+  void BackwardFromCls(const EncodedInput& in, const Vec& dcls);
+
+  /// Full sequence output: valid_len x dim.
+  void EncodeSequence(const EncodedInput& in, Mat* seq_out);
+
+  /// Backprop from a full-sequence gradient (valid_len x dim).
+  void BackwardSequence(const EncodedInput& in, const Mat& dseq);
+
+  /// All trainable parameters (embeddings + encoder).
+  std::vector<nn::Parameter*> Params();
+
+  nn::Embedding& token_embedding() { return tok_emb_; }
+
+ private:
+  /// Builds LN(tok + pos + seg) with injected-vector substitution;
+  /// valid_len x dim.
+  void BuildInputEmbeddings(const EncodedInput& in);
+
+  TinyBertConfig config_;
+  nn::Embedding tok_emb_;
+  nn::Embedding pos_emb_;
+  nn::Embedding seg_emb_;
+  nn::LayerNorm emb_ln_;
+  nn::TransformerEncoder encoder_;
+
+  // Forward caches.
+  Mat emb_sum_;  // pre-LN embedding sum
+  Mat emb_out_;  // encoder input
+  Mat seq_out_;  // encoder output
+};
+
+}  // namespace pkgm::text
+
+#endif  // PKGM_TEXT_TINY_BERT_H_

@@ -1,0 +1,62 @@
+#include "text/title_generator.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pkgm::text {
+
+TitleGenerator::TitleGenerator(const kg::SyntheticPkg* pkg,
+                               TitleGeneratorOptions options)
+    : pkg_(pkg), options_(options) {
+  PKGM_CHECK(pkg != nullptr);
+  PKGM_CHECK_GE(options.max_filler, options.min_filler);
+}
+
+std::string TitleGenerator::Generate(uint32_t item_index, Rng* rng) const {
+  PKGM_CHECK_LT(item_index, pkg_->items.size());
+  const kg::ItemInfo& item = pkg_->items[item_index];
+  std::vector<std::string> words;
+
+  // Noisy subset of attribute values, possibly under synonym surface forms.
+  for (const auto& [rel, value] : item.attributes) {
+    if (!rng->Bernoulli(options_.attribute_mention_prob)) continue;
+    const std::string& base = pkg_->entities.Name(value);
+    if (options_.synonyms_per_value > 0 && rng->Bernoulli(options_.synonym_prob)) {
+      words.push_back(StrFormat(
+          "%s~alt%u", base.c_str(),
+          static_cast<uint32_t>(rng->Uniform(options_.synonyms_per_value))));
+    } else {
+      words.push_back(base);
+    }
+  }
+
+  // Category-correlated filler (real titles carry category vocabulary).
+  if (options_.category_filler_vocab > 0) {
+    words.push_back(StrFormat(
+        "catword_%u_%u", item.category,
+        static_cast<uint32_t>(rng->Uniform(options_.category_filler_vocab))));
+  }
+
+  // Generic marketing filler.
+  const uint32_t fillers =
+      options_.min_filler +
+      static_cast<uint32_t>(
+          rng->Uniform(options_.max_filler - options_.min_filler + 1));
+  for (uint32_t i = 0; i < fillers; ++i) {
+    words.push_back(StrFormat(
+        "promo_%u",
+        static_cast<uint32_t>(rng->Uniform(options_.filler_vocab))));
+  }
+
+  if (options_.shuffle_words) rng->Shuffle(&words);
+  return Join(words, " ");
+}
+
+std::string TitleGenerator::Stable(uint32_t item_index) const {
+  uint64_t seed = options_.stable_seed;
+  seed ^= (static_cast<uint64_t>(item_index) + 1) * 0x9e3779b97f4a7c15ULL;
+  Rng rng(seed);
+  return Generate(item_index, &rng);
+}
+
+}  // namespace pkgm::text

@@ -1,0 +1,64 @@
+#ifndef PKGM_TEXT_TITLE_GENERATOR_H_
+#define PKGM_TEXT_TITLE_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "kg/synthetic_pkg.h"
+#include "util/rng.h"
+
+namespace pkgm::text {
+
+/// Synthesizes shop-manager-style item titles from the KG ground truth —
+/// the substitution for Taobao's seller-written titles. The causal structure
+/// the downstream tasks rely on is preserved:
+///
+///   * a title mentions a *noisy subset* of the item's attribute values
+///     (sellers omit things), so titles carry partial knowledge;
+///   * the same product sold by different shops yields *different* titles
+///     (word dropout, synonym variants, marketing filler, shuffling);
+///   * category-correlated filler words give classification extra signal,
+///     as real category-specific vocabulary does.
+struct TitleGeneratorOptions {
+  /// Probability that each attribute value appears in the title.
+  double attribute_mention_prob = 0.85;
+  /// Probability a mentioned value is replaced by a synonym surface form
+  /// ("<value>~alt<k>"), simulating seller vocabulary variation.
+  double synonym_prob = 0.10;
+  uint32_t synonyms_per_value = 3;
+  /// Marketing filler words drawn per title.
+  uint32_t min_filler = 0;
+  uint32_t max_filler = 2;
+  /// Size of the global filler vocabulary.
+  uint32_t filler_vocab = 60;
+  /// Size of each category's private filler vocabulary.
+  uint32_t category_filler_vocab = 8;
+  /// Shuffle the word order of the finished title.
+  bool shuffle_words = true;
+  /// Seed for the stable per-item titles returned by Stable().
+  uint64_t stable_seed = 97;
+};
+
+class TitleGenerator {
+ public:
+  /// `pkg` must outlive the generator.
+  TitleGenerator(const kg::SyntheticPkg* pkg, TitleGeneratorOptions options);
+
+  /// A title for item `item_index`; repeated calls give different surface
+  /// forms of the same underlying item (deterministic via `rng`). Used for
+  /// corpus augmentation (e.g. MLM pre-training).
+  std::string Generate(uint32_t item_index, Rng* rng) const;
+
+  /// THE title of item `item_index`: every call returns the same string
+  /// (derived from stable_seed + item index). Items on a marketplace have
+  /// one fixed seller-written title, so the downstream datasets use this.
+  std::string Stable(uint32_t item_index) const;
+
+ private:
+  const kg::SyntheticPkg* pkg_;
+  TitleGeneratorOptions options_;
+};
+
+}  // namespace pkgm::text
+
+#endif  // PKGM_TEXT_TITLE_GENERATOR_H_

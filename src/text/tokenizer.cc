@@ -1,0 +1,108 @@
+#include "text/tokenizer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pkgm::text {
+
+Tokenizer::Tokenizer() {
+  names_ = {"[PAD]", "[CLS]", "[SEP]", "[UNK]", "[MASK]"};
+  for (uint32_t i = 0; i < names_.size(); ++i) ids_[names_[i]] = i;
+}
+
+void Tokenizer::CountCorpusLine(std::string_view text) {
+  PKGM_CHECK(!built_) << "vocab already built";
+  for (const std::string& tok : SplitWhitespace(text)) {
+    ++freq_[tok];
+  }
+}
+
+void Tokenizer::BuildVocab(uint32_t min_count) {
+  PKGM_CHECK(!built_);
+  std::vector<std::pair<std::string, uint64_t>> sorted(freq_.begin(),
+                                                       freq_.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  for (auto& [tok, count] : sorted) {
+    if (count < min_count) continue;
+    if (ids_.count(tok)) continue;  // guard against special-token collisions
+    ids_[tok] = static_cast<uint32_t>(names_.size());
+    names_.push_back(tok);
+  }
+  freq_.clear();
+  built_ = true;
+}
+
+std::vector<uint32_t> Tokenizer::Encode(std::string_view text) const {
+  PKGM_CHECK(built_) << "call BuildVocab first";
+  std::vector<uint32_t> out;
+  for (const std::string& tok : SplitWhitespace(text)) {
+    out.push_back(TokenId(tok));
+  }
+  return out;
+}
+
+uint32_t Tokenizer::TokenId(std::string_view token) const {
+  auto it = ids_.find(std::string(token));
+  return it == ids_.end() ? kUnkId : it->second;
+}
+
+const std::string& Tokenizer::TokenName(uint32_t id) const {
+  PKGM_CHECK_LT(id, names_.size());
+  return names_[id];
+}
+
+std::vector<uint32_t> BuildSingleInput(const std::vector<uint32_t>& tokens,
+                                       size_t max_len, size_t* valid_len) {
+  PKGM_CHECK_GE(max_len, 3u);
+  std::vector<uint32_t> out;
+  out.reserve(max_len);
+  out.push_back(kClsId);
+  const size_t keep = std::min(tokens.size(), max_len - 2);
+  for (size_t i = 0; i < keep; ++i) out.push_back(tokens[i]);
+  out.push_back(kSepId);
+  *valid_len = out.size();
+  out.resize(max_len, kPadId);
+  return out;
+}
+
+std::vector<uint32_t> BuildPairInput(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b,
+                                     size_t max_len, size_t* valid_len,
+                                     std::vector<uint32_t>* segment_ids) {
+  PKGM_CHECK_GE(max_len, 5u);
+  const size_t per_side = (max_len - 3) / 2;
+  const size_t keep_a = std::min(a.size(), per_side);
+  const size_t keep_b = std::min(b.size(), per_side);
+
+  std::vector<uint32_t> out;
+  out.reserve(max_len);
+  segment_ids->clear();
+  segment_ids->reserve(max_len);
+
+  out.push_back(kClsId);
+  segment_ids->push_back(0);
+  for (size_t i = 0; i < keep_a; ++i) {
+    out.push_back(a[i]);
+    segment_ids->push_back(0);
+  }
+  out.push_back(kSepId);
+  segment_ids->push_back(0);
+  for (size_t i = 0; i < keep_b; ++i) {
+    out.push_back(b[i]);
+    segment_ids->push_back(1);
+  }
+  out.push_back(kSepId);
+  segment_ids->push_back(1);
+
+  *valid_len = out.size();
+  out.resize(max_len, kPadId);
+  segment_ids->resize(max_len, 0);
+  return out;
+}
+
+}  // namespace pkgm::text

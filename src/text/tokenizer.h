@@ -1,0 +1,70 @@
+#ifndef PKGM_TEXT_TOKENIZER_H_
+#define PKGM_TEXT_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pkgm::text {
+
+/// Special token ids shared by the tokenizer and TinyBert.
+inline constexpr uint32_t kPadId = 0;
+inline constexpr uint32_t kClsId = 1;
+inline constexpr uint32_t kSepId = 2;
+inline constexpr uint32_t kUnkId = 3;
+inline constexpr uint32_t kMaskId = 4;
+inline constexpr uint32_t kNumSpecialTokens = 5;
+
+/// Whitespace word tokenizer with a frequency-built vocabulary. Mirrors the
+/// role of BERT's WordPiece at our synthetic-title scale, where titles are
+/// already sequences of attribute words.
+class Tokenizer {
+ public:
+  Tokenizer();
+
+  /// Adds every whitespace token of `text` to the frequency table.
+  void CountCorpusLine(std::string_view text);
+
+  /// Freezes the vocabulary: tokens with frequency >= min_count get ids
+  /// (after the 5 special tokens), most-frequent first.
+  void BuildVocab(uint32_t min_count = 1);
+
+  /// Token ids for `text`; unknown words map to [UNK]. Vocab must be built.
+  std::vector<uint32_t> Encode(std::string_view text) const;
+
+  /// Id for a single token, or kUnkId.
+  uint32_t TokenId(std::string_view token) const;
+
+  /// Inverse lookup (for debugging / MLM inspection).
+  const std::string& TokenName(uint32_t id) const;
+
+  uint32_t vocab_size() const { return static_cast<uint32_t>(names_.size()); }
+  bool built() const { return built_; }
+
+ private:
+  std::unordered_map<std::string, uint64_t> freq_;
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> names_;
+  bool built_ = false;
+};
+
+/// Builds a fixed-length BERT-style input: [CLS] tokens... [SEP] padded to
+/// max_len (truncating tokens to max_len-2 as the paper does with 127-word
+/// titles). Returns ids and the valid (unpadded) length via out-param.
+std::vector<uint32_t> BuildSingleInput(const std::vector<uint32_t>& tokens,
+                                       size_t max_len, size_t* valid_len);
+
+/// Pair input: [CLS] a... [SEP] b... [SEP], each side truncated to
+/// (max_len-3)/2 tokens (paper: 63 per title), padded to max_len.
+/// segment_ids gets 0 for the first sentence (incl. [CLS] and first [SEP])
+/// and 1 for the second.
+std::vector<uint32_t> BuildPairInput(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b,
+                                     size_t max_len, size_t* valid_len,
+                                     std::vector<uint32_t>* segment_ids);
+
+}  // namespace pkgm::text
+
+#endif  // PKGM_TEXT_TOKENIZER_H_

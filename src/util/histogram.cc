@@ -1,0 +1,64 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pkgm {
+
+void Histogram::Record(double value) {
+  samples_.push_back(value);
+  sorted_ = false;
+  sum_ += value;
+  sum_sq_ += value * value;
+}
+
+double Histogram::min() const {
+  PKGM_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const {
+  PKGM_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::Mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Histogram::Stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  double n = static_cast<double>(samples_.size());
+  double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double Histogram::Percentile(double q) const {
+  PKGM_CHECK(!samples_.empty());
+  PKGM_CHECK_GE(q, 0.0);
+  PKGM_CHECK_LE(q, 1.0);
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  // Nearest-rank with linear interpolation.
+  double pos = q * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+std::string Histogram::Summary() const {
+  if (samples_.empty()) return "count=0";
+  return StrFormat("count=%llu mean=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
+                   static_cast<unsigned long long>(count()), Mean(),
+                   Percentile(0.50), Percentile(0.95), Percentile(0.99),
+                   max());
+}
+
+}  // namespace pkgm

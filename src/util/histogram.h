@@ -1,0 +1,41 @@
+#ifndef PKGM_UTIL_HISTOGRAM_H_
+#define PKGM_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pkgm {
+
+/// Streaming summary statistics plus percentile estimation over recorded
+/// samples. Used for latency reporting and for validating the statistical
+/// shape of synthetic datasets in tests.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Record(double value);
+
+  uint64_t count() const { return static_cast<uint64_t>(samples_.size()); }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double Mean() const;
+  double Stddev() const;
+
+  /// Exact percentile (q in [0, 1]) by sorting the retained samples.
+  double Percentile(double q) const;
+
+  /// One-line summary: count/mean/p50/p95/p99/max.
+  std::string Summary() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace pkgm
+
+#endif  // PKGM_UTIL_HISTOGRAM_H_

@@ -1,0 +1,92 @@
+#ifndef PKGM_UTIL_LOGGING_H_
+#define PKGM_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace pkgm {
+
+/// Log severities, lowest to highest. kFatal aborts the process after
+/// emitting the message.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum severity; messages below it are dropped. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log message collector. Emits on destruction; aborts for
+/// kFatal. Used via the PKGM_LOG / PKGM_CHECK macros only.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a disabled log statement's stream expression.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace pkgm
+
+#define PKGM_LOG(level)                                                     \
+  if (::pkgm::LogLevel::k##level < ::pkgm::GetLogLevel())                   \
+    ;                                                                       \
+  else                                                                      \
+    ::pkgm::internal::LogMessage(::pkgm::LogLevel::k##level, __FILE__,      \
+                                 __LINE__)                                  \
+        .stream()
+
+/// Asserts an invariant that only a programming error can violate.
+/// Always on (release included): database-style defensive checking.
+#define PKGM_CHECK(cond)                                                    \
+  if (cond)                                                                 \
+    ;                                                                       \
+  else                                                                      \
+    ::pkgm::internal::LogMessage(::pkgm::LogLevel::kFatal, __FILE__,        \
+                                 __LINE__)                                  \
+            .stream()                                                       \
+        << "Check failed: " #cond " "
+
+#define PKGM_CHECK_OP(a, b, op)                                             \
+  if ((a)op(b))                                                             \
+    ;                                                                       \
+  else                                                                      \
+    ::pkgm::internal::LogMessage(::pkgm::LogLevel::kFatal, __FILE__,        \
+                                 __LINE__)                                  \
+            .stream()                                                       \
+        << "Check failed: " #a " " #op " " #b " (" << (a) << " vs " << (b)  \
+        << ") "
+
+#define PKGM_CHECK_EQ(a, b) PKGM_CHECK_OP(a, b, ==)
+#define PKGM_CHECK_NE(a, b) PKGM_CHECK_OP(a, b, !=)
+#define PKGM_CHECK_LT(a, b) PKGM_CHECK_OP(a, b, <)
+#define PKGM_CHECK_LE(a, b) PKGM_CHECK_OP(a, b, <=)
+#define PKGM_CHECK_GT(a, b) PKGM_CHECK_OP(a, b, >)
+#define PKGM_CHECK_GE(a, b) PKGM_CHECK_OP(a, b, >=)
+
+/// Checks that a Status-returning expression succeeded.
+#define PKGM_CHECK_OK(expr)                                                 \
+  do {                                                                      \
+    ::pkgm::Status _pkgm_check_status = (expr);                             \
+    PKGM_CHECK(_pkgm_check_status.ok()) << _pkgm_check_status.ToString();   \
+  } while (0)
+
+#endif  // PKGM_UTIL_LOGGING_H_

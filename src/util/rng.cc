@@ -1,0 +1,194 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace pkgm {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (int i = 0; i < 4; ++i) s_[i] = SplitMix64(&sm);
+  // Avoid the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  PKGM_CHECK_GT(n, 0u);
+  // Lemire's method with rejection to remove modulo bias.
+  uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < n) {
+    uint64_t t = -n % n;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  PKGM_CHECK_LT(lo, hi);
+  return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo)));
+}
+
+float Rng::UniformFloat() {
+  return static_cast<float>(Next() >> 40) * (1.0f / 16777216.0f);
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+float Rng::UniformFloat(float lo, float hi) {
+  return lo + (hi - lo) * UniformFloat();
+}
+
+float Rng::Normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 shifted away from 0 to keep log finite.
+  float u1 = UniformFloat();
+  float u2 = UniformFloat();
+  if (u1 < 1e-12f) u1 = 1e-12f;
+  float mag = std::sqrt(-2.0f * std::log(u1));
+  cached_normal_ = mag * std::sin(6.28318530717958647692f * u2);
+  has_cached_normal_ = true;
+  return mag * std::cos(6.28318530717958647692f * u2);
+}
+
+float Rng::Normal(float mean, float stddev) { return mean + stddev * Normal(); }
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  ZipfSampler sampler(n, s);
+  return sampler.Sample(this);
+}
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  PKGM_CHECK_LE(k, n);
+  // Floyd's algorithm would avoid O(n) memory, but n is small in our uses;
+  // partial Fisher-Yates over an index array keeps it simple and exact.
+  std::vector<uint64_t> idx(n);
+  for (uint64_t i = 0; i < n; ++i) idx[i] = i;
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  for (uint64_t i = 0; i < k; ++i) {
+    uint64_t j = i + Uniform(n - i);
+    std::swap(idx[i], idx[j]);
+    out.push_back(idx[i]);
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) {
+  PKGM_CHECK_GT(n, 0u);
+  PKGM_CHECK_GE(s, 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (uint64_t i = 0; i < n; ++i) cdf_[i] /= total;
+  cdf_.back() = 1.0;
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->UniformDouble();
+  // Binary search for the first cdf entry >= u.
+  size_t lo = 0, hi = cdf_.size() - 1;
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  PKGM_CHECK(!weights.empty());
+  const size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    PKGM_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  PKGM_CHECK_GT(total, 0.0);
+  prob_.resize(n);
+  alias_.assign(n, 0);
+  // Scaled probabilities; Vose's stable construction.
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<uint32_t>(i));
+    } else {
+      large.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      small.push_back(l);
+    } else {
+      large.push_back(l);
+    }
+  }
+  while (!large.empty()) {
+    prob_[large.back()] = 1.0;
+    large.pop_back();
+  }
+  while (!small.empty()) {
+    prob_[small.back()] = 1.0;
+    small.pop_back();
+  }
+}
+
+uint64_t AliasSampler::Sample(Rng* rng) const {
+  uint64_t i = rng->Uniform(prob_.size());
+  return rng->UniformDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace pkgm

@@ -1,0 +1,118 @@
+#ifndef PKGM_UTIL_RNG_H_
+#define PKGM_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace pkgm {
+
+/// SplitMix64 step; used for seeding and as a cheap standalone mixer.
+/// Advances *state and returns the next 64-bit output.
+uint64_t SplitMix64(uint64_t* state);
+
+/// Deterministic pseudo-random generator (xoshiro256**). Every source of
+/// randomness in PKGM flows through an explicitly seeded Rng so runs are
+/// reproducible; no use of std::random_device or global generators.
+///
+/// Not thread-safe: each worker thread gets its own Rng (see Fork()).
+class Rng {
+ public:
+  /// Seeds the four lanes from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's unbiased
+  /// multiply-shift rejection method.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi). Requires lo < hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform float in [0, 1).
+  float UniformFloat();
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform float in [lo, hi).
+  float UniformFloat(float lo, float hi);
+
+  /// Standard normal via Box-Muller (caches the second value).
+  float Normal();
+
+  /// Normal with the given mean and standard deviation.
+  float Normal(float mean, float stddev);
+
+  /// Bernoulli with probability p of true.
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed integer in [0, n) with exponent s (s >= 0; s == 0 is
+  /// uniform). Uses inverse-CDF sampling over precomputable weights; for
+  /// repeated sampling from the same distribution prefer ZipfSampler.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (reservoir-free partial
+  /// Fisher-Yates). Requires k <= n. Result order is random.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+  /// Derives an independent child generator; used to hand one Rng per
+  /// worker thread deterministically.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  float cached_normal_ = 0.0f;
+};
+
+/// Precomputed Zipf sampler: O(log n) per sample over n categories with
+/// exponent s. Rank 0 is the most popular.
+class ZipfSampler {
+ public:
+  /// Requires n > 0, s >= 0.
+  ZipfSampler(uint64_t n, double s);
+
+  /// Draws a rank in [0, n).
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+};
+
+/// Alias-method sampler over an arbitrary discrete distribution: O(1) per
+/// sample after O(n) build. Used for frequency-weighted negative sampling.
+class AliasSampler {
+ public:
+  /// Builds from (unnormalized, non-negative) weights; at least one weight
+  /// must be positive.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Draws an index in [0, weights.size()).
+  uint64_t Sample(Rng* rng) const;
+
+  uint64_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace pkgm
+
+#endif  // PKGM_UTIL_RNG_H_

@@ -1,0 +1,127 @@
+#ifndef PKGM_UTIL_STATUS_H_
+#define PKGM_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace pkgm {
+
+/// Error codes used across the PKGM library. Mirrors the RocksDB/Arrow
+/// convention of status-based error handling instead of exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kCorruption,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("Ok", "InvalidArgument"...).
+const char* StatusCodeName(StatusCode code);
+
+/// A Status is the result of a fallible operation: either OK or an error code
+/// plus a message. Cheap to copy in the OK case. All public PKGM APIs that can
+/// fail at runtime (I/O, parsing, user input validation) return Status or
+/// StatusOr<T>; programmer errors use PKGM_CHECK instead.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Modeled after
+/// absl::StatusOr but minimal: access via value() / operator* after
+/// checking ok().
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (the common success path).
+  StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  /// Implicit construction from an error status. Must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace pkgm
+
+/// Propagates a non-OK status to the caller: `PKGM_RETURN_IF_ERROR(DoThing());`
+#define PKGM_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::pkgm::Status _pkgm_status = (expr);          \
+    if (!_pkgm_status.ok()) return _pkgm_status;   \
+  } while (0)
+
+#endif  // PKGM_UTIL_STATUS_H_

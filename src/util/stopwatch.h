@@ -1,0 +1,31 @@
+#ifndef PKGM_UTIL_STOPWATCH_H_
+#define PKGM_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace pkgm {
+
+/// Wall-clock stopwatch for coarse timing of training phases and benches.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pkgm
+
+#endif  // PKGM_UTIL_STOPWATCH_H_

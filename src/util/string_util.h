@@ -1,0 +1,37 @@
+#ifndef PKGM_UTIL_STRING_UTIL_H_
+#define PKGM_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pkgm {
+
+/// Splits on a single delimiter character. Empty fields are preserved:
+/// Split("a,,b", ',') -> {"a", "", "b"}. Split("", ',') -> {""}.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits on runs of ASCII whitespace; no empty tokens are produced.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins with a delimiter string.
+std::string Join(const std::vector<std::string>& parts, std::string_view delim);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable count, e.g. 1234567 -> "1,234,567".
+std::string WithThousandsSeparators(uint64_t n);
+
+}  // namespace pkgm
+
+#endif  // PKGM_UTIL_STRING_UTIL_H_

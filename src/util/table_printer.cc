@@ -1,0 +1,84 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pkgm {
+
+namespace {
+constexpr const char* kSeparatorSentinel = "\x01";
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  PKGM_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  PKGM_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values, int precision) {
+  PKGM_CHECK_EQ(values.size() + 1, header_.size());
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) {
+    row.push_back(StrFormat("%.*f", precision, v));
+  }
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back({kSeparatorSentinel}); }
+
+std::string TablePrinter::ToString() const {
+  const size_t cols = header_.size();
+  std::vector<size_t> width(cols);
+  for (size_t c = 0; c < cols; ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorSentinel) continue;
+    for (size_t c = 0; c < cols; ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (size_t c = 0; c < cols; ++c) {
+      s.append(width[c] + 2, '-');
+      s.push_back('+');
+    }
+    s.push_back('\n');
+    return s;
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (size_t c = 0; c < cols; ++c) {
+      s.push_back(' ');
+      s.append(row[c]);
+      s.append(width[c] - row[c].size() + 1, ' ');
+      s.push_back('|');
+    }
+    s.push_back('\n');
+    return s;
+  };
+
+  std::string out = hline();
+  out += render_row(header_);
+  out += hline();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorSentinel) {
+      out += hline();
+    } else {
+      out += render_row(row);
+    }
+  }
+  out += hline();
+  return out;
+}
+
+}  // namespace pkgm

@@ -1,0 +1,40 @@
+#ifndef PKGM_UTIL_TABLE_PRINTER_H_
+#define PKGM_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace pkgm {
+
+/// Renders aligned ASCII tables, used by the benchmark harness to print
+/// reproductions of the paper's result tables.
+///
+///   TablePrinter t({"Method", "Hit@1", "Hit@3"});
+///   t.AddRow({"BERT", "71.03", "84.91"});
+///   std::cout << t.ToString();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles to `precision` decimals.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 2);
+
+  /// Inserts a horizontal separator line before the next row.
+  void AddSeparator();
+
+  /// Renders the table with box-drawing dashes and pipes.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  // Each row is either a data row or the sentinel {"\x01"} for a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pkgm
+
+#endif  // PKGM_UTIL_TABLE_PRINTER_H_

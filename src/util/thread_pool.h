@@ -1,0 +1,52 @@
+#ifndef PKGM_UTIL_THREAD_POOL_H_
+#define PKGM_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pkgm {
+
+/// Fixed-size worker pool. Tasks are std::function<void()>; Wait() blocks
+/// until every submitted task has finished. Used by the sharded PKGM trainer
+/// to simulate the paper's multi-worker setup and by batch evaluators.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is drained and all in-flight tasks complete.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits. `fn` must be
+  /// safe to call concurrently. Convenience for data-parallel loops.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signaled when work arrives / shutdown
+  std::condition_variable done_cv_;   // signaled when a task finishes
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace pkgm
+
+#endif  // PKGM_UTIL_THREAD_POOL_H_

@@ -1,0 +1,506 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+#include "core/gradients.h"
+#include "core/link_prediction.h"
+#include "core/negative_sampler.h"
+#include "core/pkgm_model.h"
+#include "core/service.h"
+#include "core/sharded_trainer.h"
+#include "core/trainer.h"
+#include "kg/triple_store.h"
+#include "tensor/ops.h"
+
+namespace pkgm::core {
+namespace {
+
+PkgmModelOptions SmallModel(uint32_t entities = 20, uint32_t relations = 4,
+                            uint32_t dim = 8, bool rel_module = true) {
+  PkgmModelOptions opt;
+  opt.num_entities = entities;
+  opt.num_relations = relations;
+  opt.dim = dim;
+  opt.use_relation_module = rel_module;
+  opt.seed = 11;
+  return opt;
+}
+
+// A small chain-structured KG for training tests: entities 0..9 are
+// "items", 10..19 are "values"; items link to values through relations.
+kg::TripleStore SmallKg() {
+  kg::TripleStore store;
+  for (uint32_t i = 0; i < 10; ++i) {
+    store.Add(i, 0, 10 + i % 5);
+    store.Add(i, 1, 15 + i % 3);
+    if (i % 2 == 0) store.Add(i, 2, 18);
+  }
+  return store;
+}
+
+// ------------------------------------------------------------- PkgmModel --
+
+TEST(PkgmModelTest, ScoreDecomposition) {
+  PkgmModel model(SmallModel());
+  kg::Triple t{1, 2, 3};
+  EXPECT_NEAR(model.Score(t),
+              model.TripleScore(t) + model.RelationScore(1, 2), 1e-5);
+}
+
+TEST(PkgmModelTest, TripleScoreIsL1OfTranslation) {
+  PkgmModel model(SmallModel());
+  kg::Triple t{0, 0, 1};
+  float expected = 0.0f;
+  for (uint32_t j = 0; j < model.dim(); ++j) {
+    expected += std::fabs(model.entity(0)[j] + model.relation(0)[j] -
+                          model.entity(1)[j]);
+  }
+  EXPECT_NEAR(model.TripleScore(t), expected, 1e-5);
+}
+
+TEST(PkgmModelTest, TripleServiceIsExactlyHPlusR) {
+  PkgmModel model(SmallModel());
+  std::vector<float> s(model.dim());
+  model.TripleService(4, 2, s.data());
+  for (uint32_t j = 0; j < model.dim(); ++j) {
+    EXPECT_FLOAT_EQ(s[j], model.entity(4)[j] + model.relation(2)[j]);
+  }
+}
+
+TEST(PkgmModelTest, RelationServiceIsMrHMinusR) {
+  PkgmModel model(SmallModel());
+  const uint32_t d = model.dim();
+  std::vector<float> s(d), mh(d);
+  model.RelationService(3, 1, s.data());
+  GemvRaw(d, d, model.transfer(1), model.entity(3), mh.data());
+  for (uint32_t j = 0; j < d; ++j) {
+    EXPECT_NEAR(s[j], mh[j] - model.relation(1)[j], 1e-5);
+  }
+}
+
+TEST(PkgmModelTest, RelationScoreIsNormOfRelationService) {
+  PkgmModel model(SmallModel());
+  const uint32_t d = model.dim();
+  std::vector<float> s(d);
+  model.RelationService(5, 2, s.data());
+  EXPECT_NEAR(model.RelationScore(5, 2), L1Norm(d, s.data()), 1e-4);
+}
+
+TEST(PkgmModelTest, TransEOnlyModeZeroesRelationModule) {
+  PkgmModel model(SmallModel(20, 4, 8, /*rel_module=*/false));
+  EXPECT_FLOAT_EQ(model.RelationScore(1, 1), 0.0f);
+  std::vector<float> s(model.dim(), 123.0f);
+  model.RelationService(1, 1, s.data());
+  for (float x : s) EXPECT_FLOAT_EQ(x, 0.0f);
+  kg::Triple t{0, 1, 2};
+  EXPECT_FLOAT_EQ(model.Score(t), model.TripleScore(t));
+}
+
+TEST(PkgmModelTest, NormalizeEntityProjectsToUnitBall) {
+  PkgmModel model(SmallModel());
+  float* e = model.entity(0);
+  for (uint32_t j = 0; j < model.dim(); ++j) e[j] = 10.0f;
+  model.NormalizeEntity(0);
+  EXPECT_NEAR(L2Norm(model.dim(), e), 1.0f, 1e-5);
+}
+
+TEST(PkgmModelTest, CheckpointRoundTrip) {
+  PkgmModel model(SmallModel());
+  const std::string path = ::testing::TempDir() + "/pkgm_ckpt.bin";
+  ASSERT_TRUE(model.SaveToFile(path).ok());
+  auto loaded = PkgmModel::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_entities(), model.num_entities());
+  EXPECT_EQ(loaded->dim(), model.dim());
+  kg::Triple t{3, 1, 7};
+  EXPECT_FLOAT_EQ(loaded->Score(t), model.Score(t));
+  std::remove(path.c_str());
+}
+
+TEST(PkgmModelTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/pkgm_garbage.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const char junk[] = "this is not a checkpoint at all";
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+  auto loaded = PkgmModel::LoadFromFile(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(PkgmModelTest, LoadMissingFileIsIoError) {
+  auto loaded = PkgmModel::LoadFromFile("/nonexistent/dir/x.bin");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+// --------------------------------------------------------- NegativeSampler --
+
+TEST(NegativeSamplerTest, CorruptsExactlyOneSlot) {
+  kg::TripleStore store = SmallKg();
+  NegativeSampler::Options opt;
+  opt.num_entities = 20;
+  opt.num_relations = 4;
+  NegativeSampler sampler(opt, &store);
+  Rng rng(3);
+  kg::Triple pos{0, 0, 10};
+  for (int i = 0; i < 200; ++i) {
+    NegativeSample neg = sampler.Sample(pos, &rng);
+    int changed = (neg.triple.head != pos.head) +
+                  (neg.triple.relation != pos.relation) +
+                  (neg.triple.tail != pos.tail);
+    EXPECT_EQ(changed, 1);
+    switch (neg.slot) {
+      case CorruptionSlot::kHead:
+        EXPECT_NE(neg.triple.head, pos.head);
+        break;
+      case CorruptionSlot::kTail:
+        EXPECT_NE(neg.triple.tail, pos.tail);
+        break;
+      case CorruptionSlot::kRelation:
+        EXPECT_NE(neg.triple.relation, pos.relation);
+        break;
+    }
+  }
+}
+
+TEST(NegativeSamplerTest, FilteredSamplerAvoidsKnownPositives) {
+  kg::TripleStore store = SmallKg();
+  NegativeSampler::Options opt;
+  opt.num_entities = 20;
+  opt.num_relations = 4;
+  opt.filter_known_positives = true;
+  NegativeSampler sampler(opt, &store);
+  Rng rng(5);
+  kg::Triple pos = store.triples()[0];
+  int false_negatives = 0;
+  for (int i = 0; i < 500; ++i) {
+    NegativeSample neg = sampler.Sample(pos, &rng);
+    if (store.Contains(neg.triple)) ++false_negatives;
+  }
+  // Bounded retries make false negatives possible but very rare.
+  EXPECT_LE(false_negatives, 5);
+}
+
+TEST(NegativeSamplerTest, RelationCorruptionRateFollowsOption) {
+  kg::TripleStore store = SmallKg();
+  NegativeSampler::Options opt;
+  opt.num_entities = 20;
+  opt.num_relations = 4;
+  opt.relation_corruption_prob = 0.5;
+  opt.filter_known_positives = false;
+  NegativeSampler sampler(opt, &store);
+  Rng rng(7);
+  int rel = 0;
+  const int n = 4000;
+  kg::Triple pos{0, 0, 10};
+  for (int i = 0; i < n; ++i) {
+    if (sampler.Sample(pos, &rng).slot == CorruptionSlot::kRelation) ++rel;
+  }
+  EXPECT_NEAR(rel / static_cast<double>(n), 0.5, 0.05);
+}
+
+// --------------------------------------------------------------- Gradients --
+
+TEST(GradientsTest, HingeInactiveWhenNegativeFarWorse) {
+  PkgmModel model(SmallModel());
+  // Construct pos == neg scores by reusing the same triple; margin 0 makes
+  // the hinge exactly 0 (pos + 0 - neg = 0, not > 0).
+  kg::Triple t{0, 0, 1};
+  SparseGrad grad;
+  float hinge = AccumulateHingeGradients(model, t, t, 0.0f, &grad);
+  EXPECT_FLOAT_EQ(hinge, 0.0f);
+  EXPECT_TRUE(grad.empty());
+}
+
+TEST(GradientsTest, FiniteDifferenceOnEntityEmbedding) {
+  PkgmModel model(SmallModel(10, 3, 6));
+  kg::Triple pos{0, 0, 1};
+  kg::Triple neg{0, 0, 2};
+  const float margin = 50.0f;  // guarantee the hinge is active everywhere
+
+  SparseGrad grad;
+  float hinge = AccumulateHingeGradients(model, pos, neg, margin, &grad);
+  ASSERT_GT(hinge, 0.0f);
+
+  auto loss = [&] {
+    return static_cast<double>(
+        AccumulateHingeGradients(model, pos, neg, margin, nullptr));
+  };
+
+  // Check gradients for every touched entity/relation/transfer row.
+  const double eps = 1e-3;
+  auto check_span = [&](float* values, const std::vector<float>& g) {
+    for (size_t i = 0; i < g.size(); ++i) {
+      const float saved = values[i];
+      values[i] = saved + static_cast<float>(eps);
+      const double plus = loss();
+      values[i] = saved - static_cast<float>(eps);
+      const double minus = loss();
+      values[i] = saved;
+      const double numeric = (plus - minus) / (2 * eps);
+      EXPECT_NEAR(numeric, g[i], 5e-2);
+    }
+  };
+  for (const auto& [id, g] : grad.entities()) check_span(model.entity(id), g);
+  for (const auto& [id, g] : grad.relations()) {
+    check_span(model.relation(id), g);
+  }
+  for (const auto& [id, g] : grad.transfers()) {
+    check_span(model.transfer(id), g);
+  }
+}
+
+// ----------------------------------------------------------------- Trainer --
+
+TEST(TrainerTest, HingeDecreasesOverEpochs) {
+  kg::TripleStore store = SmallKg();
+  PkgmModel model(SmallModel(20, 4, 16));
+  TrainerOptions opt;
+  opt.batch_size = 8;
+  opt.learning_rate = 0.05f;
+  opt.margin = 1.0f;
+  opt.seed = 3;
+  Trainer trainer(&model, &store, opt);
+  EpochStats first = trainer.RunEpoch();
+  EpochStats last;
+  for (int i = 0; i < 30; ++i) last = trainer.RunEpoch();
+  EXPECT_LT(last.mean_hinge, first.mean_hinge);
+  EXPECT_LT(last.active_pairs, first.active_pairs + 1);
+  EXPECT_GT(trainer.global_step(), 0u);
+}
+
+TEST(TrainerTest, SgdAlsoLearns) {
+  kg::TripleStore store = SmallKg();
+  PkgmModel model(SmallModel(20, 4, 16));
+  TrainerOptions opt;
+  opt.optimizer = OptimizerKind::kSgd;
+  opt.learning_rate = 0.1f;
+  opt.batch_size = 8;
+  opt.seed = 5;
+  Trainer trainer(&model, &store, opt);
+  EpochStats first = trainer.RunEpoch();
+  EpochStats last = trainer.Train(30);
+  EXPECT_LT(last.mean_hinge, first.mean_hinge);
+}
+
+TEST(TrainerTest, TrainedPositivesScoreBelowRandomNegatives) {
+  kg::TripleStore store = SmallKg();
+  PkgmModel model(SmallModel(20, 4, 16));
+  TrainerOptions opt;
+  opt.learning_rate = 0.05f;
+  opt.seed = 7;
+  Trainer trainer(&model, &store, opt);
+  trainer.Train(40);
+
+  Rng rng(9);
+  double pos_sum = 0, neg_sum = 0;
+  int n = 0;
+  for (const kg::Triple& t : store.triples()) {
+    pos_sum += model.Score(t);
+    kg::Triple corrupted = t;
+    corrupted.tail = static_cast<kg::EntityId>(rng.Uniform(20));
+    if (store.Contains(corrupted)) continue;
+    neg_sum += model.Score(corrupted);
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_LT(pos_sum / n, neg_sum / n);
+}
+
+TEST(TrainerTest, RelationServiceNearZeroForOwnedRelations) {
+  kg::TripleStore store = SmallKg();
+  PkgmModel model(SmallModel(20, 4, 16));
+  TrainerOptions opt;
+  opt.learning_rate = 0.05f;
+  opt.seed = 11;
+  Trainer trainer(&model, &store, opt);
+  trainer.Train(60);
+
+  // f_R for (h, r) pairs present in the KG must be clearly smaller than for
+  // absent pairs (relation 3 is never used by any head).
+  double owned = 0, unowned = 0;
+  int n_owned = 0, n_unowned = 0;
+  for (uint32_t h = 0; h < 10; ++h) {
+    owned += model.RelationScore(h, 0);
+    ++n_owned;
+    unowned += model.RelationScore(h, 3);
+    ++n_unowned;
+  }
+  EXPECT_LT(owned / n_owned, unowned / n_unowned);
+}
+
+TEST(ShardedTrainerTest, LearnsLikeSingleThreaded) {
+  kg::TripleStore store = SmallKg();
+  PkgmModel model(SmallModel(20, 4, 16));
+  ShardedTrainerOptions opt;
+  opt.num_workers = 3;
+  opt.num_shards = 4;
+  opt.batch_size = 4;
+  opt.learning_rate = 0.1f;
+  opt.seed = 13;
+  ShardedTrainer trainer(&model, &store, opt);
+  EpochStats first = trainer.RunEpoch();
+  EpochStats last = trainer.Train(40);
+  EXPECT_LT(last.mean_hinge, first.mean_hinge);
+  EXPECT_GT(last.triples_per_second, 0.0);
+}
+
+// ---------------------------------------------------------- LinkPrediction --
+
+TEST(LinkPredictionTest, PerfectModelRanksFirst) {
+  // Hand-craft embeddings so that h + r == t exactly for the test triple
+  // and every other entity is far away.
+  PkgmModelOptions opt = SmallModel(5, 1, 4, /*rel_module=*/false);
+  PkgmModel model(opt);
+  for (uint32_t e = 0; e < 5; ++e) {
+    for (uint32_t j = 0; j < 4; ++j) {
+      model.entity(e)[j] = static_cast<float>(e * 10 + j);
+    }
+  }
+  for (uint32_t j = 0; j < 4; ++j) {
+    model.relation(0)[j] = model.entity(3)[j] - model.entity(0)[j];
+  }
+  kg::TripleStore known;
+  known.Add(0, 0, 3);
+  LinkPredictionEvaluator::Options eval_opt;
+  LinkPredictionEvaluator eval(&model, &known, eval_opt);
+  auto result = eval.EvaluateTails({{0, 0, 3}});
+  EXPECT_DOUBLE_EQ(result.mrr, 1.0);
+  EXPECT_DOUBLE_EQ(result.hits[1], 1.0);
+  EXPECT_DOUBLE_EQ(result.mean_rank, 1.0);
+}
+
+TEST(LinkPredictionTest, FilteringSkipsKnownTails) {
+  // Entity 2 is an even better match than the true tail 3, but (0,0,2) is a
+  // known positive, so filtering must skip it.
+  PkgmModelOptions opt = SmallModel(5, 1, 2, false);
+  PkgmModel model(opt);
+  // h + r = 0-vector, so score(e) = L1(e); h itself sits far away so the
+  // head does not compete.
+  for (uint32_t j = 0; j < 2; ++j) {
+    model.entity(0)[j] = 5.0f;
+    model.relation(0)[j] = -5.0f;
+    model.entity(2)[j] = 0.1f;   // best score
+    model.entity(3)[j] = 0.2f;   // true tail: second best
+    model.entity(1)[j] = 5.0f;
+    model.entity(4)[j] = 5.0f;
+  }
+  kg::TripleStore known;
+  known.Add(0, 0, 2);
+  known.Add(0, 0, 3);
+
+  LinkPredictionEvaluator::Options eval_opt;
+  eval_opt.filtered = true;
+  LinkPredictionEvaluator filtered(&model, &known, eval_opt);
+  auto r_filtered = filtered.EvaluateTails({{0, 0, 3}});
+  EXPECT_DOUBLE_EQ(r_filtered.hits[1], 1.0);
+
+  eval_opt.filtered = false;
+  LinkPredictionEvaluator raw(&model, &known, eval_opt);
+  auto r_raw = raw.EvaluateTails({{0, 0, 3}});
+  EXPECT_DOUBLE_EQ(r_raw.hits[1], 0.0);
+  EXPECT_DOUBLE_EQ(r_raw.mean_rank, 2.0);
+}
+
+TEST(LinkPredictionTest, CandidateRestriction) {
+  PkgmModelOptions opt = SmallModel(6, 1, 2, false);
+  PkgmModel model(opt);
+  kg::TripleStore known;
+  LinkPredictionEvaluator::Options eval_opt;
+  eval_opt.filtered = false;
+  LinkPredictionEvaluator eval(&model, &known, eval_opt);
+  std::unordered_map<kg::RelationId, std::vector<kg::EntityId>> candidates;
+  candidates[0] = {3};  // only the true tail competes
+  auto result = eval.EvaluateTails({{0, 0, 3}}, &candidates);
+  EXPECT_DOUBLE_EQ(result.hits[1], 1.0);
+  EXPECT_DOUBLE_EQ(result.mean_rank, 1.0);
+}
+
+// ---------------------------------------------------------------- Service --
+
+TEST(ServiceTest, SequenceLengthsPerMode) {
+  PkgmModel model(SmallModel());
+  ServiceVectorProvider provider(&model, {0, 1}, {{0, 1, 2}, {1}});
+  EXPECT_EQ(provider.Sequence(0, ServiceMode::kAll).size(), 6u);
+  EXPECT_EQ(provider.Sequence(0, ServiceMode::kTripleOnly).size(), 3u);
+  EXPECT_EQ(provider.Sequence(0, ServiceMode::kRelationOnly).size(), 3u);
+  EXPECT_EQ(provider.Sequence(1, ServiceMode::kAll).size(), 2u);
+  EXPECT_EQ(provider.NumKeyRelations(0), 3u);
+}
+
+TEST(ServiceTest, SequenceMatchesModelServices) {
+  PkgmModel model(SmallModel());
+  ServiceVectorProvider provider(&model, {4}, {{0, 2}});
+  auto seq = provider.Sequence(0, ServiceMode::kAll);
+  const uint32_t d = model.dim();
+  std::vector<float> expected(d);
+  model.TripleService(4, 0, expected.data());
+  for (uint32_t j = 0; j < d; ++j) EXPECT_FLOAT_EQ(seq[0][j], expected[j]);
+  model.TripleService(4, 2, expected.data());
+  for (uint32_t j = 0; j < d; ++j) EXPECT_FLOAT_EQ(seq[1][j], expected[j]);
+  model.RelationService(4, 0, expected.data());
+  for (uint32_t j = 0; j < d; ++j) EXPECT_FLOAT_EQ(seq[2][j], expected[j]);
+  model.RelationService(4, 2, expected.data());
+  for (uint32_t j = 0; j < d; ++j) EXPECT_FLOAT_EQ(seq[3][j], expected[j]);
+}
+
+TEST(ServiceTest, CondensedIsMeanOfConcatenatedPairs) {
+  PkgmModel model(SmallModel());
+  ServiceVectorProvider provider(&model, {2}, {{0, 1}});
+  const uint32_t d = model.dim();
+  Vec s = provider.Condensed(0, ServiceMode::kAll);
+  ASSERT_EQ(s.size(), 2 * d);
+
+  std::vector<float> t0(d), t1(d), r0(d), r1(d);
+  model.TripleService(2, 0, t0.data());
+  model.TripleService(2, 1, t1.data());
+  model.RelationService(2, 0, r0.data());
+  model.RelationService(2, 1, r1.data());
+  for (uint32_t j = 0; j < d; ++j) {
+    EXPECT_NEAR(s[j], (t0[j] + t1[j]) / 2.0f, 1e-5);
+    EXPECT_NEAR(s[d + j], (r0[j] + r1[j]) / 2.0f, 1e-5);
+  }
+}
+
+TEST(ServiceTest, CondensedSingleModuleDims) {
+  PkgmModel model(SmallModel());
+  ServiceVectorProvider provider(&model, {2}, {{0, 1}});
+  EXPECT_EQ(provider.Condensed(0, ServiceMode::kTripleOnly).size(),
+            model.dim());
+  EXPECT_EQ(provider.Condensed(0, ServiceMode::kRelationOnly).size(),
+            model.dim());
+  EXPECT_EQ(provider.CondensedDim(ServiceMode::kAll), 2 * model.dim());
+}
+
+TEST(ServiceTest, EmptyKeyRelationsGiveZeroVector) {
+  PkgmModel model(SmallModel());
+  ServiceVectorProvider provider(&model, {0}, {{}});
+  Vec s = provider.Condensed(0, ServiceMode::kAll);
+  for (float x : s) EXPECT_FLOAT_EQ(x, 0.0f);
+  EXPECT_TRUE(provider.Sequence(0, ServiceMode::kAll).empty());
+}
+
+// Property sweep: service identity S_T(h,r) = h + r holds for every (h, r).
+class ServiceIdentitySweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ServiceIdentitySweep, TripleServiceIdentity) {
+  PkgmModel model(SmallModel(12, 5, 8));
+  const uint32_t h = GetParam();
+  for (uint32_t r = 0; r < 5; ++r) {
+    std::vector<float> s(8);
+    model.TripleService(h, r, s.data());
+    for (uint32_t j = 0; j < 8; ++j) {
+      EXPECT_FLOAT_EQ(s[j], model.entity(h)[j] + model.relation(r)[j]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Heads, ServiceIdentitySweep,
+                         ::testing::Values(0, 1, 5, 11));
+
+}  // namespace
+}  // namespace pkgm::core

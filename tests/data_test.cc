@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "data/alignment_dataset.h"
+#include "data/classification_dataset.h"
+#include "data/interaction_dataset.h"
+#include "kg/synthetic_pkg.h"
+#include "text/title_generator.h"
+
+namespace pkgm::data {
+namespace {
+
+kg::SyntheticPkg MakePkg(uint64_t seed = 9) {
+  kg::SyntheticPkgOptions opt;
+  opt.seed = seed;
+  opt.num_categories = 4;
+  opt.items_per_category = 60;
+  opt.properties_per_category = 5;
+  opt.shared_property_pool = 6;
+  opt.values_per_property = 6;
+  opt.products_per_category = 8;
+  opt.identity_properties = 2;
+  opt.etl_min_occurrence = 2;
+  return kg::SyntheticPkgGenerator(opt).Generate();
+}
+
+// ------------------------------------------------------- Classification --
+
+TEST(ClassificationDatasetTest, RespectsPerCategoryCap) {
+  kg::SyntheticPkg pkg = MakePkg();
+  text::TitleGenerator titles(&pkg, text::TitleGeneratorOptions{});
+  ClassificationDatasetOptions opt;
+  opt.max_per_category = 20;
+  ClassificationDataset ds = BuildClassificationDataset(pkg, titles, opt);
+
+  std::unordered_map<uint32_t, int> per_class;
+  auto count = [&](const std::vector<ClassificationSample>& v) {
+    for (const auto& s : v) ++per_class[s.label];
+  };
+  count(ds.train);
+  count(ds.test);
+  count(ds.dev);
+  for (const auto& [label, n] : per_class) {
+    EXPECT_LE(n, 20);
+  }
+  EXPECT_EQ(ds.num_classes, pkg.num_categories);
+}
+
+TEST(ClassificationDatasetTest, SplitFractions) {
+  kg::SyntheticPkg pkg = MakePkg();
+  text::TitleGenerator titles(&pkg, text::TitleGeneratorOptions{});
+  ClassificationDatasetOptions opt;
+  opt.train_fraction = 0.6;
+  opt.test_fraction = 0.2;
+  ClassificationDataset ds = BuildClassificationDataset(pkg, titles, opt);
+  const double total =
+      static_cast<double>(ds.train.size() + ds.test.size() + ds.dev.size());
+  ASSERT_GT(total, 0);
+  EXPECT_NEAR(ds.train.size() / total, 0.6, 0.02);
+  EXPECT_NEAR(ds.test.size() / total, 0.2, 0.02);
+}
+
+TEST(ClassificationDatasetTest, LabelsMatchItemCategories) {
+  kg::SyntheticPkg pkg = MakePkg();
+  text::TitleGenerator titles(&pkg, text::TitleGeneratorOptions{});
+  ClassificationDataset ds =
+      BuildClassificationDataset(pkg, titles, ClassificationDatasetOptions{});
+  for (const auto& s : ds.train) {
+    EXPECT_EQ(s.label, pkg.items[s.item_index].category);
+    EXPECT_FALSE(s.title.empty());
+  }
+}
+
+TEST(ClassificationDatasetTest, DeterministicGivenSeed) {
+  kg::SyntheticPkg pkg = MakePkg();
+  text::TitleGenerator titles(&pkg, text::TitleGeneratorOptions{});
+  ClassificationDatasetOptions opt;
+  ClassificationDataset a = BuildClassificationDataset(pkg, titles, opt);
+  ClassificationDataset b = BuildClassificationDataset(pkg, titles, opt);
+  ASSERT_EQ(a.train.size(), b.train.size());
+  for (size_t i = 0; i < a.train.size(); ++i) {
+    EXPECT_EQ(a.train[i].item_index, b.train[i].item_index);
+    EXPECT_EQ(a.train[i].title, b.train[i].title);
+  }
+}
+
+// ------------------------------------------------------------ Alignment --
+
+TEST(AlignmentDatasetTest, LabelsAreConsistentWithProducts) {
+  kg::SyntheticPkg pkg = MakePkg();
+  text::TitleGenerator titles(&pkg, text::TitleGeneratorOptions{});
+  AlignmentDatasetOptions opt;
+  opt.pairs_per_category = 200;
+  opt.ranking_cases = 5;
+  opt.ranking_negatives = 9;
+  auto datasets = BuildAlignmentDatasets(pkg, titles, {0, 1}, opt);
+  ASSERT_FALSE(datasets.empty());
+  for (const auto& ds : datasets) {
+    for (const auto& p : ds.train) {
+      const bool same =
+          pkg.items[p.item_a].product == pkg.items[p.item_b].product;
+      EXPECT_EQ(p.label > 0.5f, same);
+      EXPECT_EQ(pkg.items[p.item_a].category, ds.category);
+      EXPECT_EQ(pkg.items[p.item_b].category, ds.category);
+    }
+  }
+}
+
+TEST(AlignmentDatasetTest, BalancedLabels) {
+  kg::SyntheticPkg pkg = MakePkg();
+  text::TitleGenerator titles(&pkg, text::TitleGeneratorOptions{});
+  AlignmentDatasetOptions opt;
+  opt.pairs_per_category = 400;
+  opt.ranking_cases = 2;
+  auto datasets = BuildAlignmentDatasets(pkg, titles, {0}, opt);
+  ASSERT_EQ(datasets.size(), 1u);
+  int pos = 0, total = 0;
+  for (const auto& p : datasets[0].train) {
+    pos += p.label > 0.5f;
+    ++total;
+  }
+  EXPECT_NEAR(pos / static_cast<double>(total), 0.5, 0.1);
+}
+
+TEST(AlignmentDatasetTest, RankingCasesHaveCorrectShape) {
+  kg::SyntheticPkg pkg = MakePkg();
+  text::TitleGenerator titles(&pkg, text::TitleGeneratorOptions{});
+  AlignmentDatasetOptions opt;
+  opt.pairs_per_category = 100;
+  opt.ranking_cases = 7;
+  opt.ranking_negatives = 19;
+  auto datasets = BuildAlignmentDatasets(pkg, titles, {2}, opt);
+  ASSERT_EQ(datasets.size(), 1u);
+  EXPECT_EQ(datasets[0].test_r.size(), 7u);
+  for (const auto& rc : datasets[0].test_r) {
+    EXPECT_FLOAT_EQ(rc.positive.label, 1.0f);
+    EXPECT_EQ(rc.negatives.size(), 19u);
+    for (const auto& neg : rc.negatives) {
+      EXPECT_FLOAT_EQ(neg.label, 0.0f);
+      EXPECT_EQ(neg.item_a, rc.positive.item_a)
+          << "negatives keep the anchor item";
+    }
+  }
+}
+
+TEST(AlignmentDatasetTest, SplitSizes) {
+  kg::SyntheticPkg pkg = MakePkg();
+  text::TitleGenerator titles(&pkg, text::TitleGeneratorOptions{});
+  AlignmentDatasetOptions opt;
+  opt.pairs_per_category = 200;
+  opt.train_fraction = 0.7;
+  opt.test_fraction = 0.15;
+  opt.ranking_cases = 2;
+  auto datasets = BuildAlignmentDatasets(pkg, titles, {0}, opt);
+  ASSERT_EQ(datasets.size(), 1u);
+  EXPECT_EQ(datasets[0].train.size(), 140u);
+  EXPECT_EQ(datasets[0].test_c.size(), 30u);
+  EXPECT_EQ(datasets[0].dev_c.size(), 30u);
+}
+
+// ----------------------------------------------------------- Interaction --
+
+TEST(InteractionDatasetTest, EveryUserMeetsMinimumAndHoldouts) {
+  kg::SyntheticPkg pkg = MakePkg();
+  InteractionDatasetOptions opt;
+  opt.num_users = 40;
+  opt.min_interactions_per_user = 8;
+  opt.max_interactions_per_user = 15;
+  InteractionDataset ds = BuildInteractionDataset(pkg, opt);
+  EXPECT_EQ(ds.num_users, 40u);
+  EXPECT_EQ(ds.num_items, pkg.items.size());
+  for (uint32_t u = 0; u < ds.num_users; ++u) {
+    // train + test + valid >= minimum.
+    EXPECT_GE(ds.train[u].size() + 2, 8u);
+    EXPECT_LT(ds.test[u], ds.num_items);
+    EXPECT_LT(ds.valid[u], ds.num_items);
+    // Held-out items are not in train.
+    for (uint32_t item : ds.train[u]) {
+      EXPECT_NE(item, ds.test[u]);
+      EXPECT_NE(item, ds.valid[u]);
+    }
+    // No duplicates in train.
+    std::set<uint32_t> unique(ds.train[u].begin(), ds.train[u].end());
+    EXPECT_EQ(unique.size(), ds.train[u].size());
+  }
+  EXPECT_GT(ds.total_interactions, 40u * 8u - 1);
+}
+
+TEST(InteractionDatasetTest, PreferenceSkewsTowardAttributeOverlap) {
+  // With strong preference, users' train items should share attribute
+  // values more than random items would.
+  kg::SyntheticPkg pkg = MakePkg();
+  InteractionDatasetOptions opt;
+  opt.num_users = 30;
+  opt.preference_strength = 5.0;
+  InteractionDataset ds = BuildInteractionDataset(pkg, opt);
+
+  // Measure within-user attribute-value overlap vs global baseline.
+  auto value_set = [&](uint32_t item) {
+    std::set<kg::EntityId> s;
+    for (const auto& [rel, v] : pkg.items[item].attributes) s.insert(v);
+    return s;
+  };
+  double within = 0;
+  int pairs = 0;
+  for (uint32_t u = 0; u < ds.num_users; ++u) {
+    const auto& items = ds.train[u];
+    for (size_t i = 0; i + 1 < items.size() && i < 5; ++i) {
+      auto a = value_set(items[i]);
+      auto b = value_set(items[i + 1]);
+      int common = 0;
+      for (auto v : a) common += b.count(v);
+      within += common;
+      ++pairs;
+    }
+  }
+  within /= pairs;
+
+  Rng rng(3);
+  double baseline = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto a = value_set(static_cast<uint32_t>(rng.Uniform(pkg.items.size())));
+    auto b = value_set(static_cast<uint32_t>(rng.Uniform(pkg.items.size())));
+    int common = 0;
+    for (auto v : a) common += b.count(v);
+    baseline += common;
+  }
+  baseline /= 200;
+  EXPECT_GT(within, baseline) << "interactions must correlate with attributes";
+}
+
+TEST(InteractionDatasetTest, Deterministic) {
+  kg::SyntheticPkg pkg = MakePkg();
+  InteractionDatasetOptions opt;
+  opt.num_users = 10;
+  InteractionDataset a = BuildInteractionDataset(pkg, opt);
+  InteractionDataset b = BuildInteractionDataset(pkg, opt);
+  EXPECT_EQ(a.total_interactions, b.total_interactions);
+  for (uint32_t u = 0; u < 10; ++u) {
+    EXPECT_EQ(a.train[u], b.train[u]);
+    EXPECT_EQ(a.test[u], b.test[u]);
+  }
+}
+
+}  // namespace
+}  // namespace pkgm::data

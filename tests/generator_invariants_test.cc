@@ -1,0 +1,114 @@
+// Property sweep over the synthetic PKG generator: structural invariants
+// that every generated graph must satisfy, across seeds and fill rates.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "kg/synthetic_pkg.h"
+
+namespace pkgm::kg {
+namespace {
+
+struct SweepParam {
+  uint64_t seed;
+  double fill_rate;
+};
+
+class GeneratorInvariantSweep : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  SyntheticPkg Generate() const {
+    SyntheticPkgOptions opt;
+    opt.seed = GetParam().seed;
+    opt.observed_fill_rate = GetParam().fill_rate;
+    opt.num_categories = 4;
+    opt.items_per_category = 50;
+    opt.properties_per_category = 6;
+    opt.shared_property_pool = 8;
+    opt.values_per_property = 10;
+    opt.products_per_category = 8;
+    opt.identity_properties = 2;
+    opt.noise_properties = 3;
+    opt.noise_property_occurrences = 2;
+    opt.etl_min_occurrence = 4;
+    return SyntheticPkgGenerator(opt).Generate();
+  }
+};
+
+TEST_P(GeneratorInvariantSweep, ObservedAttributeTriplesComeFromGroundTruth) {
+  SyntheticPkg pkg = Generate();
+  // Index: item entity -> item index.
+  std::unordered_map<EntityId, uint32_t> by_entity;
+  for (uint32_t i = 0; i < pkg.items.size(); ++i) {
+    by_entity[pkg.items[i].entity] = i;
+  }
+  std::unordered_set<RelationId> props(pkg.property_relations.begin(),
+                                       pkg.property_relations.end());
+  for (const Triple& t : pkg.observed.triples()) {
+    if (!props.count(t.relation)) continue;  // similarTo etc.
+    auto it = by_entity.find(t.head);
+    ASSERT_NE(it, by_entity.end()) << "attribute triple with non-item head";
+    EXPECT_EQ(pkg.GroundTruthTail(it->second, t.relation), t.tail)
+        << "observed attribute must match ground truth";
+  }
+}
+
+TEST_P(GeneratorInvariantSweep, HeldOutTriplesAreDisjointFromObserved) {
+  SyntheticPkg pkg = Generate();
+  for (const Triple& t : pkg.held_out) {
+    EXPECT_FALSE(pkg.observed.Contains(t));
+  }
+}
+
+TEST_P(GeneratorInvariantSweep, AttributeValuesComeFromPropertyUniverse) {
+  SyntheticPkg pkg = Generate();
+  for (const auto& item : pkg.items) {
+    for (const auto& [rel, value] : item.attributes) {
+      const auto& universe = pkg.property_values.at(rel);
+      EXPECT_NE(std::find(universe.begin(), universe.end(), value),
+                universe.end());
+    }
+  }
+}
+
+TEST_P(GeneratorInvariantSweep, NoDuplicateRelationPerItem) {
+  SyntheticPkg pkg = Generate();
+  for (const auto& item : pkg.items) {
+    std::set<RelationId> seen;
+    for (const auto& [rel, value] : item.attributes) {
+      EXPECT_TRUE(seen.insert(rel).second)
+          << "item has two values for one property";
+    }
+  }
+}
+
+TEST_P(GeneratorInvariantSweep, EveryItemEntityIsDistinct) {
+  SyntheticPkg pkg = Generate();
+  std::set<EntityId> entities;
+  for (const auto& item : pkg.items) {
+    EXPECT_TRUE(entities.insert(item.entity).second);
+    EXPECT_LT(item.product, pkg.num_products);
+  }
+}
+
+TEST_P(GeneratorInvariantSweep, EtlOutputMeetsThreshold) {
+  SyntheticPkg pkg = Generate();
+  auto freq = pkg.observed.RelationFrequencies(pkg.relations.size());
+  for (uint32_t r = 0; r < pkg.relations.size(); ++r) {
+    if (freq[r] > 0) {
+      EXPECT_GE(freq[r], 4u) << "relation survived ETL below threshold: "
+                             << pkg.relations.Name(r);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndFillRates, GeneratorInvariantSweep,
+    ::testing::Values(SweepParam{1, 0.75}, SweepParam{2, 0.75},
+                      SweepParam{3, 0.5}, SweepParam{4, 1.0},
+                      SweepParam{5, 0.25}));
+
+}  // namespace
+}  // namespace pkgm::kg

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "kg/io.h"
+
+namespace pkgm::kg {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(KgIoTest, TriplesRoundTrip) {
+  Vocab entities, relations;
+  TripleStore store;
+  store.Add(entities.GetOrAdd("iphone"), relations.GetOrAdd("brandIs"),
+            entities.GetOrAdd("apple"));
+  store.Add(entities.GetOrAdd("iphone"), relations.GetOrAdd("colorIs"),
+            entities.GetOrAdd("green"));
+
+  const std::string path = TempPath("triples.tsv");
+  ASSERT_TRUE(ExportTriplesTsv(store, entities, relations, path).ok());
+
+  Vocab e2, r2;
+  auto loaded = ImportTriplesTsv(path, &e2, &r2);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_TRUE(loaded->Contains(e2.Find("iphone"), r2.Find("brandIs"),
+                               e2.Find("apple")));
+  EXPECT_TRUE(loaded->Contains(e2.Find("iphone"), r2.Find("colorIs"),
+                               e2.Find("green")));
+  std::remove(path.c_str());
+}
+
+TEST(KgIoTest, ImportSkipsCommentsAndBlanks) {
+  const std::string path = TempPath("commented.tsv");
+  {
+    std::ofstream out(path);
+    out << "# product KG dump\n\n"
+        << "a\tr\tb\n"
+        << "   \n"
+        << "c\tr\td\n";
+  }
+  Vocab e, r;
+  auto loaded = ImportTriplesTsv(path, &e, &r);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(KgIoTest, ImportRejectsMalformedLineWithLineNumber) {
+  const std::string path = TempPath("malformed.tsv");
+  {
+    std::ofstream out(path);
+    out << "a\tr\tb\n"
+        << "only-two\tfields\n";
+  }
+  Vocab e, r;
+  auto loaded = ImportTriplesTsv(path, &e, &r);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find(":2:"), std::string::npos)
+      << loaded.status().message();
+  std::remove(path.c_str());
+}
+
+TEST(KgIoTest, ImportMissingFile) {
+  Vocab e, r;
+  auto loaded = ImportTriplesTsv("/no/such/file.tsv", &e, &r);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(KgIoTest, VocabRoundTrip) {
+  Vocab v;
+  v.GetOrAdd("zero");
+  v.GetOrAdd("one");
+  v.GetOrAdd("two");
+  const std::string path = TempPath("vocab.txt");
+  ASSERT_TRUE(SaveVocab(v, path).ok());
+
+  auto loaded = LoadVocab(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), 3u);
+  EXPECT_EQ(loaded->Find("one"), 1u);
+  EXPECT_EQ(loaded->Name(2), "two");
+  std::remove(path.c_str());
+}
+
+TEST(KgIoTest, LoadVocabRejectsDuplicates) {
+  const std::string path = TempPath("dupes.txt");
+  {
+    std::ofstream out(path);
+    out << "a\nb\na\n";
+  }
+  auto loaded = LoadVocab(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pkgm::kg

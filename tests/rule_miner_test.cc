@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "kg/rule_miner.h"
+#include "kg/synthetic_pkg.h"
+
+namespace pkgm::kg {
+namespace {
+
+// Builds a store where brand=Apple (1,0,100) perfectly implies os=iOS
+// (relation 1, value 200), and brand=Banana implies os=Android (201),
+// except one noisy item.
+struct FixtureResult {
+  TripleStore store;
+  std::vector<EntityId> items;
+};
+
+FixtureResult MakeFixture() {
+  FixtureResult f;
+  // items 0..9: Apple + iOS. items 10..19: Banana + Android.
+  for (EntityId i = 0; i < 10; ++i) {
+    f.store.Add(i, 0, 100);
+    f.store.Add(i, 1, 200);
+    f.items.push_back(i);
+  }
+  for (EntityId i = 10; i < 20; ++i) {
+    f.store.Add(i, 0, 101);
+    f.store.Add(i, 1, 201);
+    f.items.push_back(i);
+  }
+  // one contrarian: Apple but Android.
+  f.store.Add(20, 0, 100);
+  f.store.Add(20, 1, 201);
+  f.items.push_back(20);
+  return f;
+}
+
+TEST(RuleMinerTest, FindsHighConfidenceAssociations) {
+  FixtureResult f = MakeFixture();
+  RuleMinerOptions opt;
+  opt.min_support = 3;
+  opt.min_confidence = 0.5;
+  std::vector<Rule> rules = MineRules(f.store, f.items, opt);
+  ASSERT_FALSE(rules.empty());
+
+  // (brand=Apple) => (os=iOS) should exist with confidence 10/11.
+  bool found = false;
+  for (const Rule& r : rules) {
+    if (r.body_relation == 0 && r.body_value == 100 && r.head_relation == 1 &&
+        r.head_value == 200) {
+      found = true;
+      EXPECT_EQ(r.support, 10u);
+      EXPECT_NEAR(r.confidence, 10.0 / 11.0, 1e-9);
+    }
+    // No same-relation tautologies.
+    EXPECT_NE(r.body_relation, r.head_relation);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RuleMinerTest, MinConfidenceFilters) {
+  FixtureResult f = MakeFixture();
+  RuleMinerOptions opt;
+  opt.min_support = 1;
+  opt.min_confidence = 0.95;  // Apple=>iOS is 10/11 ~ 0.909 < 0.95
+  std::vector<Rule> rules = MineRules(f.store, f.items, opt);
+  for (const Rule& r : rules) {
+    EXPECT_GE(r.confidence, 0.95);
+  }
+}
+
+TEST(RuleMinerTest, MinSupportFilters) {
+  FixtureResult f = MakeFixture();
+  RuleMinerOptions opt;
+  opt.min_support = 11;  // nothing co-occurs 11 times
+  opt.min_confidence = 0.0;
+  EXPECT_TRUE(MineRules(f.store, f.items, opt).empty());
+}
+
+TEST(RuleMinerTest, RulesSortedByConfidence) {
+  FixtureResult f = MakeFixture();
+  RuleMinerOptions opt;
+  opt.min_support = 3;
+  opt.min_confidence = 0.1;
+  std::vector<Rule> rules = MineRules(f.store, f.items, opt);
+  for (size_t i = 1; i < rules.size(); ++i) {
+    EXPECT_GE(rules[i - 1].confidence, rules[i].confidence);
+  }
+}
+
+TEST(RuleInferencerTest, PredictsImpliedTail) {
+  FixtureResult f = MakeFixture();
+  RuleMinerOptions opt;
+  opt.min_support = 3;
+  opt.min_confidence = 0.5;
+  RuleInferencer inferencer(MineRules(f.store, f.items, opt));
+  ASSERT_GT(inferencer.num_rules(), 0u);
+
+  // A new Apple item with no observed os: rules should predict iOS first.
+  f.store.Add(30, 0, 100);
+  auto predicted = inferencer.PredictTails(f.store, 30, 1);
+  ASSERT_FALSE(predicted.empty());
+  EXPECT_EQ(predicted[0].first, 200u);
+  EXPECT_GT(predicted[0].second, 0.5);
+}
+
+TEST(RuleInferencerTest, NoMatchingBodyGivesNothing) {
+  FixtureResult f = MakeFixture();
+  RuleInferencer inferencer(MineRules(f.store, f.items, RuleMinerOptions{}));
+  f.store.Add(31, 0, 999);  // unseen brand
+  EXPECT_TRUE(inferencer.PredictTails(f.store, 31, 1).empty());
+}
+
+TEST(RuleInferencerTest, NoisyOrBoostsMultiRuleAgreement) {
+  // Two independent bodies implying the same head must yield higher
+  // aggregated confidence than either alone.
+  TripleStore store;
+  std::vector<EntityId> items;
+  for (EntityId i = 0; i < 12; ++i) {
+    store.Add(i, 0, 100);  // body A
+    store.Add(i, 2, 300);  // body B
+    store.Add(i, 1, 200);  // head
+    items.push_back(i);
+  }
+  // Weaken both bodies independently.
+  store.Add(20, 0, 100);
+  store.Add(20, 1, 201);
+  items.push_back(20);
+  store.Add(21, 2, 300);
+  store.Add(21, 1, 202);
+  items.push_back(21);
+
+  RuleMinerOptions opt;
+  opt.min_support = 3;
+  opt.min_confidence = 0.3;
+  RuleInferencer inferencer(MineRules(store, items, opt));
+
+  // Item with only body A.
+  store.Add(30, 0, 100);
+  double conf_single = inferencer.PredictTails(store, 30, 1)[0].second;
+  // Item with both bodies.
+  store.Add(31, 0, 100);
+  store.Add(31, 2, 300);
+  double conf_double = inferencer.PredictTails(store, 31, 1)[0].second;
+  EXPECT_GT(conf_double, conf_single);
+}
+
+TEST(RuleInferencerTest, EvaluateTailsPerfectRule) {
+  FixtureResult f = MakeFixture();
+  RuleMinerOptions opt;
+  opt.min_support = 3;
+  opt.min_confidence = 0.5;
+  RuleInferencer inferencer(MineRules(f.store, f.items, opt));
+
+  // Held-out facts consistent with the rules.
+  TripleStore query_store = f.store;
+  query_store.Add(40, 0, 100);  // Apple, os unknown
+  query_store.Add(41, 0, 101);  // Banana, os unknown
+  std::vector<Triple> test = {{40, 1, 200}, {41, 1, 201}};
+  auto [mrr, hits1] = inferencer.EvaluateTails(query_store, test, 10);
+  EXPECT_DOUBLE_EQ(hits1, 1.0);
+  EXPECT_DOUBLE_EQ(mrr, 1.0);
+}
+
+TEST(RuleInferencerTest, UnpredictedGetsExpectedRank) {
+  RuleInferencer inferencer({});  // no rules at all
+  TripleStore store;
+  store.Add(0, 0, 1);
+  std::vector<Triple> test = {{0, 1, 5}};
+  auto [mrr, hits1] = inferencer.EvaluateTails(store, test, 9);
+  EXPECT_DOUBLE_EQ(hits1, 0.0);
+  EXPECT_NEAR(mrr, 1.0 / 5.0, 1e-9);  // expected rank (9+1)/2 = 5
+}
+
+TEST(RuleMinerTest, MinesOnSyntheticPkg) {
+  // End-to-end sanity: the synthetic generator's product structure must
+  // produce minable identity-value associations.
+  SyntheticPkgOptions opt;
+  opt.seed = 17;
+  opt.num_categories = 4;
+  opt.items_per_category = 80;
+  opt.properties_per_category = 6;
+  opt.values_per_property = 8;
+  opt.products_per_category = 8;
+  opt.identity_properties = 2;
+  opt.etl_min_occurrence = 2;
+  SyntheticPkg pkg = SyntheticPkgGenerator(opt).Generate();
+  std::vector<EntityId> items;
+  for (const auto& item : pkg.items) items.push_back(item.entity);
+
+  RuleMinerOptions mopt;
+  mopt.min_support = 4;
+  mopt.min_confidence = 0.6;
+  std::vector<Rule> rules = MineRules(pkg.observed, items, mopt);
+  EXPECT_GT(rules.size(), 10u) << "product structure should yield rules";
+}
+
+}  // namespace
+}  // namespace pkgm::kg

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+#include "tensor/vec.h"
+#include "util/rng.h"
+
+namespace pkgm {
+namespace {
+
+TEST(VecTest, ConstructionAndIndexing) {
+  Vec v(4, 2.5f);
+  EXPECT_EQ(v.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(v[i], 2.5f);
+  v[2] = -1.0f;
+  EXPECT_FLOAT_EQ(v[2], -1.0f);
+}
+
+TEST(VecTest, FillZeroResize) {
+  Vec v(3);
+  v.Fill(7.0f);
+  EXPECT_FLOAT_EQ(v[0], 7.0f);
+  v.Zero();
+  EXPECT_FLOAT_EQ(v[1], 0.0f);
+  v.Resize(5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_FLOAT_EQ(v[4], 0.0f);
+}
+
+TEST(MatTest, RowMajorLayout) {
+  Mat m(2, 3);
+  m(0, 0) = 1;
+  m(0, 2) = 2;
+  m(1, 0) = 3;
+  EXPECT_FLOAT_EQ(m.data()[0], 1);
+  EXPECT_FLOAT_EQ(m.data()[2], 2);
+  EXPECT_FLOAT_EQ(m.data()[3], 3);
+  EXPECT_EQ(m.Row(1), m.data() + 3);
+}
+
+TEST(OpsTest, AxpyScaleSubAdd) {
+  float x[3] = {1, 2, 3};
+  float y[3] = {10, 20, 30};
+  Axpy(3, 2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12);
+  EXPECT_FLOAT_EQ(y[2], 36);
+
+  Scale(3, 0.5f, y);
+  EXPECT_FLOAT_EQ(y[0], 6);
+
+  float out[3];
+  Sub(3, y, x, out);
+  EXPECT_FLOAT_EQ(out[0], 5);
+  Add(3, x, x, out);
+  EXPECT_FLOAT_EQ(out[2], 6);
+}
+
+TEST(OpsTest, DotAndNorms) {
+  float x[4] = {1, -2, 3, -4};
+  float y[4] = {1, 1, 1, 1};
+  EXPECT_FLOAT_EQ(Dot(4, x, y), -2.0f);
+  EXPECT_FLOAT_EQ(L1Norm(4, x), 10.0f);
+  EXPECT_FLOAT_EQ(SquaredL2Norm(4, x), 30.0f);
+  EXPECT_NEAR(L2Norm(4, x), std::sqrt(30.0f), 1e-5);
+}
+
+TEST(OpsTest, SignOf) {
+  float x[3] = {-2.0f, 0.0f, 5.0f};
+  float s[3];
+  SignOf(3, x, s);
+  EXPECT_FLOAT_EQ(s[0], -1.0f);
+  EXPECT_FLOAT_EQ(s[1], 0.0f);
+  EXPECT_FLOAT_EQ(s[2], 1.0f);
+}
+
+TEST(OpsTest, ProjectToUnitBallShrinksOnlyWhenOutside) {
+  float inside[2] = {0.3f, 0.4f};  // norm 0.5
+  ProjectToUnitBall(2, inside);
+  EXPECT_FLOAT_EQ(inside[0], 0.3f);
+
+  float outside[2] = {3.0f, 4.0f};  // norm 5
+  float prev = ProjectToUnitBall(2, outside);
+  EXPECT_FLOAT_EQ(prev, 5.0f);
+  EXPECT_NEAR(L2Norm(2, outside), 1.0f, 1e-5);
+  EXPECT_NEAR(outside[0] / outside[1], 0.75f, 1e-5);
+}
+
+TEST(OpsTest, GemvMatchesManual) {
+  Mat a(2, 3);
+  float vals[] = {1, 2, 3, 4, 5, 6};
+  std::copy(vals, vals + 6, a.data());
+  float x[3] = {1, 0, -1};
+  float y[2];
+  Gemv(a, x, y);
+  EXPECT_FLOAT_EQ(y[0], -2);  // 1 - 3
+  EXPECT_FLOAT_EQ(y[1], -2);  // 4 - 6
+}
+
+TEST(OpsTest, GemvTransposedMatchesManual) {
+  Mat a(2, 3);
+  float vals[] = {1, 2, 3, 4, 5, 6};
+  std::copy(vals, vals + 6, a.data());
+  float x[2] = {1, 2};
+  float y[3];
+  GemvTransposed(a, x, y);
+  EXPECT_FLOAT_EQ(y[0], 9);
+  EXPECT_FLOAT_EQ(y[1], 12);
+  EXPECT_FLOAT_EQ(y[2], 15);
+}
+
+TEST(OpsTest, RawGemvAgreesWithMatGemv) {
+  Rng rng(3);
+  Mat a(5, 7);
+  UniformInit(a.size(), -1, 1, &rng, a.data());
+  std::vector<float> x(7), y1(5), y2(5);
+  UniformInit(7, -1, 1, &rng, x.data());
+  Gemv(a, x.data(), y1.data());
+  GemvRaw(5, 7, a.data(), x.data(), y2.data());
+  for (int i = 0; i < 5; ++i) EXPECT_FLOAT_EQ(y1[i], y2[i]);
+
+  std::vector<float> xt(5), z1(7), z2(7);
+  UniformInit(5, -1, 1, &rng, xt.data());
+  GemvTransposed(a, xt.data(), z1.data());
+  GemvTransposedRaw(5, 7, a.data(), xt.data(), z2.data());
+  for (int i = 0; i < 7; ++i) EXPECT_FLOAT_EQ(z1[i], z2[i]);
+}
+
+TEST(OpsTest, GemmIdentity) {
+  Mat a(3, 3), id(3, 3), c(3, 3);
+  Rng rng(5);
+  UniformInit(a.size(), -1, 1, &rng, a.data());
+  for (int i = 0; i < 3; ++i) id(i, i) = 1.0f;
+  Gemm(a, id, &c);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(c.data()[i], a.data()[i]);
+  }
+}
+
+TEST(OpsTest, GemmMatchesManual) {
+  Mat a(2, 2), b(2, 2), c(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  Gemm(a, b, &c);
+  EXPECT_FLOAT_EQ(c(0, 0), 19);
+  EXPECT_FLOAT_EQ(c(0, 1), 22);
+  EXPECT_FLOAT_EQ(c(1, 0), 43);
+  EXPECT_FLOAT_EQ(c(1, 1), 50);
+}
+
+TEST(OpsTest, GemmAbtEqualsGemmWithExplicitTranspose) {
+  Rng rng(7);
+  Mat a(3, 4), b(5, 4);
+  UniformInit(a.size(), -1, 1, &rng, a.data());
+  UniformInit(b.size(), -1, 1, &rng, b.data());
+  // bt = transpose(b)
+  Mat bt(4, 5);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 4; ++j) bt(j, i) = b(i, j);
+  }
+  Mat c1(3, 5), c2(3, 5);
+  GemmAbt(a, b, &c1);
+  Gemm(a, bt, &c2);
+  for (size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_NEAR(c1.data()[i], c2.data()[i], 1e-5);
+  }
+}
+
+TEST(OpsTest, GemmAtbAccumAccumulates) {
+  Rng rng(9);
+  Mat a(4, 3), b(4, 5);
+  UniformInit(a.size(), -1, 1, &rng, a.data());
+  UniformInit(b.size(), -1, 1, &rng, b.data());
+  // at = transpose(a)
+  Mat at(3, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 3; ++j) at(j, i) = a(i, j);
+  }
+  Mat expected(3, 5);
+  Gemm(at, b, &expected);
+
+  Mat c(3, 5, 1.0f);  // pre-filled: accumulation on top of ones
+  GemmAtbAccum(a, b, &c);
+  for (size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c.data()[i], expected.data()[i] + 1.0f, 1e-5);
+  }
+}
+
+TEST(OpsTest, GerRankOneUpdate) {
+  Mat a(2, 3);
+  float x[2] = {1, 2};
+  float y[3] = {3, 4, 5};
+  Ger(&a, 2.0f, x, y);
+  EXPECT_FLOAT_EQ(a(0, 0), 6);
+  EXPECT_FLOAT_EQ(a(1, 2), 20);
+}
+
+TEST(OpsTest, SoftmaxSumsToOneAndOrders) {
+  float x[4] = {1.0f, 2.0f, 3.0f, 0.0f};
+  SoftmaxInplace(4, x);
+  float sum = x[0] + x[1] + x[2] + x[3];
+  EXPECT_NEAR(sum, 1.0f, 1e-5);
+  EXPECT_GT(x[2], x[1]);
+  EXPECT_GT(x[1], x[0]);
+  EXPECT_GT(x[0], x[3]);
+}
+
+TEST(OpsTest, SoftmaxStableForLargeInputs) {
+  float x[2] = {1000.0f, 1000.0f};
+  SoftmaxInplace(2, x);
+  EXPECT_NEAR(x[0], 0.5f, 1e-5);
+  EXPECT_FALSE(std::isnan(x[0]));
+}
+
+TEST(OpsTest, LogSumExpMatchesNaiveForSmallInputs) {
+  float x[3] = {0.1f, 0.5f, -0.2f};
+  float naive =
+      std::log(std::exp(0.1f) + std::exp(0.5f) + std::exp(-0.2f));
+  EXPECT_NEAR(LogSumExp(3, x), naive, 1e-5);
+}
+
+TEST(OpsTest, HadamardElementwise) {
+  float x[3] = {1, 2, 3};
+  float y[3] = {4, 5, 6};
+  float out[3];
+  Hadamard(3, x, y, out);
+  EXPECT_FLOAT_EQ(out[0], 4);
+  EXPECT_FLOAT_EQ(out[1], 10);
+  EXPECT_FLOAT_EQ(out[2], 18);
+}
+
+TEST(InitTest, UniformWithinBounds) {
+  Rng rng(11);
+  std::vector<float> v(1000);
+  UniformInit(v.size(), -0.5f, 0.5f, &rng, v.data());
+  for (float x : v) {
+    EXPECT_GE(x, -0.5f);
+    EXPECT_LT(x, 0.5f);
+  }
+}
+
+TEST(InitTest, XavierBoundScalesWithFans) {
+  Rng rng(13);
+  Mat small(4, 4), big(400, 400);
+  XavierInit(&small, &rng);
+  XavierInit(&big, &rng);
+  float max_small = 0, max_big = 0;
+  for (size_t i = 0; i < small.size(); ++i) {
+    max_small = std::max(max_small, std::fabs(small.data()[i]));
+  }
+  for (size_t i = 0; i < big.size(); ++i) {
+    max_big = std::max(max_big, std::fabs(big.data()[i]));
+  }
+  EXPECT_GT(max_small, max_big);  // larger fan => tighter bound
+}
+
+TEST(InitTest, TransEInitIsUnitNorm) {
+  Rng rng(17);
+  std::vector<float> v(64);
+  TransEInit(64, &rng, v.data());
+  EXPECT_NEAR(L2Norm(64, v.data()), 1.0f, 1e-5);
+}
+
+}  // namespace
+}  // namespace pkgm

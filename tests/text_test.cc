@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "kg/synthetic_pkg.h"
+#include "nn/losses.h"
+#include "nn/optimizer.h"
+#include "text/mlm.h"
+#include "text/tiny_bert.h"
+#include "text/title_generator.h"
+#include "text/tokenizer.h"
+
+namespace pkgm::text {
+namespace {
+
+// --------------------------------------------------------------- Tokenizer --
+
+TEST(TokenizerTest, SpecialTokensPreRegistered) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.TokenId("[PAD]"), kPadId);
+  EXPECT_EQ(tok.TokenId("[CLS]"), kClsId);
+  EXPECT_EQ(tok.TokenId("[SEP]"), kSepId);
+  EXPECT_EQ(tok.TokenId("[UNK]"), kUnkId);
+  EXPECT_EQ(tok.TokenId("[MASK]"), kMaskId);
+  EXPECT_EQ(tok.vocab_size(), kNumSpecialTokens);
+}
+
+TEST(TokenizerTest, BuildsFrequencySortedVocab) {
+  Tokenizer tok;
+  tok.CountCorpusLine("red red red blue blue green");
+  tok.BuildVocab(1);
+  // "red" most frequent -> first non-special id.
+  EXPECT_EQ(tok.TokenId("red"), kNumSpecialTokens);
+  EXPECT_EQ(tok.TokenId("blue"), kNumSpecialTokens + 1);
+  EXPECT_EQ(tok.TokenId("green"), kNumSpecialTokens + 2);
+  EXPECT_EQ(tok.vocab_size(), kNumSpecialTokens + 3);
+}
+
+TEST(TokenizerTest, MinCountFilters) {
+  Tokenizer tok;
+  tok.CountCorpusLine("common common rare");
+  tok.BuildVocab(2);
+  EXPECT_NE(tok.TokenId("common"), kUnkId);
+  EXPECT_EQ(tok.TokenId("rare"), kUnkId);
+}
+
+TEST(TokenizerTest, EncodeMapsUnknownToUnk) {
+  Tokenizer tok;
+  tok.CountCorpusLine("a b");
+  tok.BuildVocab(1);
+  auto ids = tok.Encode("a z b");
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[1], kUnkId);
+  EXPECT_EQ(tok.TokenName(ids[0]), "a");
+}
+
+TEST(TokenizerTest, SingleInputLayout) {
+  std::vector<uint32_t> tokens = {10, 11, 12};
+  size_t valid = 0;
+  auto ids = BuildSingleInput(tokens, 8, &valid);
+  EXPECT_EQ(ids.size(), 8u);
+  EXPECT_EQ(valid, 5u);  // CLS + 3 + SEP
+  EXPECT_EQ(ids[0], kClsId);
+  EXPECT_EQ(ids[4], kSepId);
+  EXPECT_EQ(ids[5], kPadId);
+}
+
+TEST(TokenizerTest, SingleInputTruncates) {
+  std::vector<uint32_t> tokens(20, 9);
+  size_t valid = 0;
+  auto ids = BuildSingleInput(tokens, 8, &valid);
+  EXPECT_EQ(valid, 8u);  // fully used: CLS + 6 tokens + SEP
+  EXPECT_EQ(ids[7], kSepId);
+}
+
+TEST(TokenizerTest, PairInputSegments) {
+  std::vector<uint32_t> a = {10, 11}, b = {20};
+  size_t valid = 0;
+  std::vector<uint32_t> segs;
+  auto ids = BuildPairInput(a, b, 12, &valid, &segs);
+  EXPECT_EQ(valid, 6u);  // CLS a a SEP b SEP
+  EXPECT_EQ(ids[0], kClsId);
+  EXPECT_EQ(ids[3], kSepId);
+  EXPECT_EQ(ids[4], 20u);
+  EXPECT_EQ(ids[5], kSepId);
+  EXPECT_EQ(segs[0], 0u);
+  EXPECT_EQ(segs[3], 0u);
+  EXPECT_EQ(segs[4], 1u);
+  EXPECT_EQ(segs[5], 1u);
+}
+
+TEST(TokenizerTest, PairInputTruncatesEachSide) {
+  std::vector<uint32_t> a(50, 7), b(50, 8);
+  size_t valid = 0;
+  std::vector<uint32_t> segs;
+  auto ids = BuildPairInput(a, b, 21, &valid, &segs);
+  // per side = (21-3)/2 = 9 tokens each.
+  EXPECT_EQ(valid, 21u);
+  EXPECT_EQ(ids.size(), 21u);
+}
+
+// ---------------------------------------------------------- TitleGenerator --
+
+kg::SyntheticPkg MakePkg() {
+  kg::SyntheticPkgOptions opt;
+  opt.seed = 5;
+  opt.num_categories = 3;
+  opt.items_per_category = 30;
+  opt.properties_per_category = 5;
+  opt.shared_property_pool = 6;
+  opt.values_per_property = 8;
+  opt.products_per_category = 6;
+  opt.identity_properties = 2;
+  opt.etl_min_occurrence = 2;
+  return kg::SyntheticPkgGenerator(opt).Generate();
+}
+
+TEST(TitleGeneratorTest, MentionsAttributeValues) {
+  kg::SyntheticPkg pkg = MakePkg();
+  TitleGeneratorOptions opt;
+  opt.attribute_mention_prob = 1.0;
+  opt.synonym_prob = 0.0;
+  TitleGenerator gen(&pkg, opt);
+  Rng rng(7);
+  std::string title = gen.Generate(0, &rng);
+  for (const auto& [rel, value] : pkg.items[0].attributes) {
+    EXPECT_NE(title.find(pkg.entities.Name(value)), std::string::npos)
+        << "missing " << pkg.entities.Name(value) << " in: " << title;
+  }
+}
+
+TEST(TitleGeneratorTest, DifferentCallsDiffer) {
+  kg::SyntheticPkg pkg = MakePkg();
+  TitleGenerator gen(&pkg, TitleGeneratorOptions{});
+  Rng rng(11);
+  std::set<std::string> titles;
+  for (int i = 0; i < 10; ++i) titles.insert(gen.Generate(0, &rng));
+  EXPECT_GT(titles.size(), 5u) << "titles should vary across calls";
+}
+
+TEST(TitleGeneratorTest, DeterministicGivenRngState) {
+  kg::SyntheticPkg pkg = MakePkg();
+  TitleGenerator gen(&pkg, TitleGeneratorOptions{});
+  Rng a(13), b(13);
+  EXPECT_EQ(gen.Generate(3, &a), gen.Generate(3, &b));
+}
+
+// ----------------------------------------------------------------- TinyBert --
+
+TinyBertConfig SmallBert(uint32_t vocab = 50) {
+  TinyBertConfig cfg;
+  cfg.vocab_size = vocab;
+  cfg.dim = 16;
+  cfg.layers = 2;
+  cfg.heads = 2;
+  cfg.ff_dim = 32;
+  cfg.max_len = 16;
+  cfg.seed = 17;
+  return cfg;
+}
+
+EncodedInput SimpleInput(std::vector<uint32_t> ids) {
+  EncodedInput in;
+  in.valid_len = ids.size();
+  in.token_ids = std::move(ids);
+  return in;
+}
+
+TEST(TinyBertTest, ClsShapeAndDeterminism) {
+  TinyBert bert(SmallBert());
+  EncodedInput in = SimpleInput({kClsId, 10, 11, kSepId});
+  Vec cls1, cls2;
+  bert.EncodeCls(in, &cls1);
+  bert.EncodeCls(in, &cls2);
+  ASSERT_EQ(cls1.size(), 16u);
+  for (size_t j = 0; j < cls1.size(); ++j) EXPECT_FLOAT_EQ(cls1[j], cls2[j]);
+}
+
+TEST(TinyBertTest, DifferentInputsGiveDifferentCls) {
+  TinyBert bert(SmallBert());
+  Vec a, b;
+  bert.EncodeCls(SimpleInput({kClsId, 10, kSepId}), &a);
+  bert.EncodeCls(SimpleInput({kClsId, 11, kSepId}), &b);
+  float diff = 0;
+  for (size_t j = 0; j < a.size(); ++j) diff += std::fabs(a[j] - b[j]);
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(TinyBertTest, InjectedVectorChangesOutput) {
+  TinyBert bert(SmallBert());
+  EncodedInput plain = SimpleInput({kClsId, 10, kPadId, kSepId});
+  Vec a;
+  bert.EncodeCls(plain, &a);
+
+  EncodedInput injected = plain;
+  Vec service(16, 0.5f);
+  injected.injected.emplace_back(2, service);
+  Vec b;
+  bert.EncodeCls(injected, &b);
+  float diff = 0;
+  for (size_t j = 0; j < a.size(); ++j) diff += std::fabs(a[j] - b[j]);
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(TinyBertTest, InjectedPositionGetsNoTokenGradient) {
+  TinyBert bert(SmallBert());
+  EncodedInput in = SimpleInput({kClsId, 10, 20, kSepId});
+  Vec service(16, 0.3f);
+  in.injected.emplace_back(2, service);  // token 20's slot is replaced
+
+  Vec cls;
+  bert.EncodeCls(in, &cls);
+  Vec dcls(16, 1.0f);
+  bert.BackwardFromCls(in, dcls);
+
+  auto& tok_grad = bert.token_embedding().table().grad;
+  float g20 = 0, g10 = 0;
+  for (size_t j = 0; j < 16; ++j) {
+    g20 += std::fabs(tok_grad(20, j));
+    g10 += std::fabs(tok_grad(10, j));
+  }
+  EXPECT_FLOAT_EQ(g20, 0.0f) << "injected slot must stay fixed";
+  EXPECT_GT(g10, 0.0f) << "ordinary token must receive gradient";
+}
+
+TEST(TinyBertTest, TrainsToSeparateTwoClasses) {
+  // Tiny supervised sanity check: token 10 => class 0, token 11 => class 1.
+  TinyBert bert(SmallBert());
+  Rng rng(19);
+  nn::Linear head(16, 2, &rng, "head");
+  std::vector<nn::Parameter*> params = bert.Params();
+  head.Params(&params);
+  nn::AdamOptimizer::Options adam;
+  adam.lr = 5e-3f;
+  nn::AdamOptimizer opt(params, adam);
+
+  auto train_sample = [&](uint32_t token, uint32_t label) {
+    EncodedInput in = SimpleInput({kClsId, token, kSepId});
+    Vec cls;
+    bert.EncodeCls(in, &cls);
+    Mat cls_mat(1, 16);
+    for (size_t j = 0; j < 16; ++j) cls_mat(0, j) = cls[j];
+    Mat logits;
+    head.Forward(cls_mat, &logits);
+    Mat dlogits;
+    float loss = nn::SoftmaxCrossEntropy(logits, {label}, &dlogits);
+    Mat dcls_mat;
+    head.Backward(cls_mat, dlogits, &dcls_mat);
+    Vec dcls(16);
+    for (size_t j = 0; j < 16; ++j) dcls[j] = dcls_mat(0, j);
+    bert.BackwardFromCls(in, dcls);
+    opt.Step();
+    return loss;
+  };
+
+  float first = 0, last = 0;
+  for (int step = 0; step < 60; ++step) {
+    float l = train_sample(10, 0) + train_sample(11, 1);
+    if (step == 0) first = l;
+    last = l;
+  }
+  EXPECT_LT(last, first * 0.5f);
+}
+
+// --------------------------------------------------------------------- MLM --
+
+TEST(MlmTest, LossDecreasesOverEpochs) {
+  TinyBert bert(SmallBert(30));
+  std::vector<EncodedInput> corpus;
+  Rng rng(23);
+  for (int i = 0; i < 30; ++i) {
+    // Simple bigram-ish corpus: token pairs (k, k+1).
+    uint32_t k = 5 + static_cast<uint32_t>(rng.Uniform(20));
+    corpus.push_back(SimpleInput({kClsId, k, static_cast<uint32_t>(k + 1) % 30,
+                                  k, kSepId}));
+  }
+  MlmOptions opt;
+  opt.epochs = 1;
+  opt.learning_rate = 3e-3f;
+  MlmPretrainer pretrainer(&bert, opt);
+  float first = pretrainer.Pretrain(corpus);
+  float later = 0;
+  for (int e = 0; e < 4; ++e) later = pretrainer.Pretrain(corpus);
+  EXPECT_LT(later, first);
+}
+
+TEST(MlmTest, StepSkipsWhenNothingSelectable) {
+  TinyBert bert(SmallBert());
+  MlmOptions opt;
+  MlmPretrainer pretrainer(&bert, opt);
+  Rng rng(29);
+  // Only special tokens: nothing can be masked.
+  EncodedInput in = SimpleInput({kClsId, kSepId});
+  EXPECT_FLOAT_EQ(pretrainer.Step(in, &rng), 0.0f);
+}
+
+}  // namespace
+}  // namespace pkgm::text

@@ -1,0 +1,200 @@
+// pkgm_tool — command-line driver for the PKGM library.
+//
+//   pkgm_tool generate  <out.tsv>  [seed]        synthesize a product KG
+//   pkgm_tool pretrain  <kg.tsv> <model.bin> [epochs] [dim]
+//                                               pre-train PKGM on a TSV KG
+//   pkgm_tool eval      <kg.tsv> <model.bin> [fraction]
+//                                               filtered link prediction on a
+//                                               random holdout of the KG
+//   pkgm_tool complete  <kg.tsv> <model.bin> <head> <relation> [topk]
+//                                               answer (head, relation, ?)
+//                                               in vector space
+//
+// The TSV format is "head\trelation\ttail", one triple per line (see
+// kg/io.h); `generate` emits a compatible file so the whole loop runs
+// without external data.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/link_prediction.h"
+#include "core/pkgm_model.h"
+#include "core/trainer.h"
+#include "kg/io.h"
+#include "kg/split.h"
+#include "kg/synthetic_pkg.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace pkgm {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  pkgm_tool generate <out.tsv> [seed]\n"
+               "  pkgm_tool pretrain <kg.tsv> <model.bin> [epochs] [dim]\n"
+               "  pkgm_tool eval <kg.tsv> <model.bin> [holdout_fraction]\n"
+               "  pkgm_tool complete <kg.tsv> <model.bin> <head> <relation> "
+               "[topk]\n");
+  return 2;
+}
+
+/// Loads a TSV KG; exits with a message on failure.
+kg::TripleStore MustLoad(const std::string& path, kg::Vocab* entities,
+                         kg::Vocab* relations) {
+  auto store = kg::ImportTriplesTsv(path, entities, relations);
+  if (!store.ok()) {
+    std::fprintf(stderr, "failed to load %s: %s\n", path.c_str(),
+                 store.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("loaded %zu triples, %u entities, %u relations from %s\n",
+              store->size(), entities->size(), relations->size(),
+              path.c_str());
+  return std::move(store.value());
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const std::string out_path = argv[0];
+  kg::SyntheticPkgOptions opt;
+  opt.seed = argc >= 2 ? std::strtoull(argv[1], nullptr, 10) : 42;
+  opt.num_categories = 12;
+  opt.items_per_category = 200;
+  kg::SyntheticPkg pkg = kg::SyntheticPkgGenerator(opt).Generate();
+  Status s = kg::ExportTriplesTsv(pkg.observed, pkg.entities, pkg.relations,
+                                  out_path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu triples to %s (seed %llu)\n", pkg.observed.size(),
+              out_path.c_str(), static_cast<unsigned long long>(opt.seed));
+  return 0;
+}
+
+int CmdPretrain(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  kg::Vocab entities, relations;
+  kg::TripleStore store = MustLoad(argv[0], &entities, &relations);
+  const uint32_t epochs = argc >= 3 ? std::atoi(argv[2]) : 30;
+  const uint32_t dim = argc >= 4 ? std::atoi(argv[3]) : 32;
+
+  core::PkgmModelOptions mopt;
+  mopt.num_entities = entities.size();
+  mopt.num_relations = relations.size();
+  mopt.dim = dim;
+  core::PkgmModel model(mopt);
+  core::TrainerOptions topt;
+  topt.learning_rate = 0.05f;
+  core::Trainer trainer(&model, &store, topt);
+
+  Stopwatch sw;
+  for (uint32_t e = 1; e <= epochs; ++e) {
+    core::EpochStats stats = trainer.RunEpoch();
+    if (e == 1 || e % 5 == 0 || e == epochs) {
+      std::printf("epoch %3u  mean hinge %.4f  (%.0f triples/s)\n", e,
+                  stats.mean_hinge, stats.triples_per_second);
+    }
+  }
+  std::printf("trained in %.1fs\n", sw.ElapsedSeconds());
+
+  Status s = model.SaveToFile(argv[1]);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("checkpoint written to %s\n", argv[1]);
+  return 0;
+}
+
+int CmdEval(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  kg::Vocab entities, relations;
+  kg::TripleStore store = MustLoad(argv[0], &entities, &relations);
+  auto model = core::PkgmModel::LoadFromFile(argv[1]);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  const double fraction = argc >= 3 ? std::atof(argv[2]) : 0.05;
+
+  Rng rng(7);
+  kg::TripleSplit split = kg::SplitTriples(store, 1.0 - fraction, 0.0, &rng);
+  std::printf("evaluating filtered tail ranking on %zu held triples "
+              "(model was trained on the full file; this measures fit)\n",
+              split.test.size());
+
+  core::LinkPredictionEvaluator::Options eopt;
+  core::LinkPredictionEvaluator eval(&model.value(), &store, eopt);
+  auto result = eval.EvaluateTails(split.test);
+  std::printf("MRR %.4f | Hits@1 %.4f | Hits@3 %.4f | Hits@10 %.4f | "
+              "mean rank %.1f\n",
+              result.mrr, result.hits[1], result.hits[3], result.hits[10],
+              result.mean_rank);
+  return 0;
+}
+
+int CmdComplete(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  kg::Vocab entities, relations;
+  kg::TripleStore store = MustLoad(argv[0], &entities, &relations);
+  auto model = core::PkgmModel::LoadFromFile(argv[1]);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  const uint32_t head = entities.Find(argv[2]);
+  const uint32_t relation = relations.Find(argv[3]);
+  if (head == kg::kInvalidId || relation == kg::kInvalidId) {
+    std::fprintf(stderr, "unknown head or relation name\n");
+    return 1;
+  }
+  const size_t topk = argc >= 5 ? std::atoi(argv[4]) : 5;
+
+  std::vector<float> q(model->dim());
+  model->TripleQueryVector(head, relation, q.data());
+  std::vector<std::pair<float, kg::EntityId>> scored;
+  scored.reserve(model->num_entities());
+  for (kg::EntityId e = 0; e < model->num_entities(); ++e) {
+    if (e == head) continue;
+    scored.emplace_back(model->TailDistance(relation, q.data(),
+                                            model->entity(e)),
+                        e);
+  }
+  std::partial_sort(scored.begin(),
+                    scored.begin() + std::min(topk, scored.size()),
+                    scored.end());
+  std::printf("(%s, %s, ?) top-%zu completions:\n", argv[2], argv[3], topk);
+  for (size_t i = 0; i < std::min(topk, scored.size()); ++i) {
+    const bool known = store.Contains(head, relation, scored[i].second);
+    std::printf("  %zu. %-30s dist %.4f%s\n", i + 1,
+                entities.Name(scored[i].second).c_str(), scored[i].first,
+                known ? "  [in KG]" : "  [inferred]");
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace pkgm
+
+int main(int argc, char** argv) {
+  if (argc < 2) return pkgm::Usage();
+  const char* cmd = argv[1];
+  if (std::strcmp(cmd, "generate") == 0) {
+    return pkgm::CmdGenerate(argc - 2, argv + 2);
+  }
+  if (std::strcmp(cmd, "pretrain") == 0) {
+    return pkgm::CmdPretrain(argc - 2, argv + 2);
+  }
+  if (std::strcmp(cmd, "eval") == 0) return pkgm::CmdEval(argc - 2, argv + 2);
+  if (std::strcmp(cmd, "complete") == 0) {
+    return pkgm::CmdComplete(argc - 2, argv + 2);
+  }
+  return pkgm::Usage();
+}
