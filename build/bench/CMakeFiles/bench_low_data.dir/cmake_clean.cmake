@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_low_data.dir/bench_low_data.cc.o"
+  "CMakeFiles/bench_low_data.dir/bench_low_data.cc.o.d"
+  "bench_low_data"
+  "bench_low_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_low_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

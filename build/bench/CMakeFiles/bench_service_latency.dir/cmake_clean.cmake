@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_service_latency.dir/bench_service_latency.cc.o"
+  "CMakeFiles/bench_service_latency.dir/bench_service_latency.cc.o.d"
+  "bench_service_latency"
+  "bench_service_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_service_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_pretraining.cc" "bench/CMakeFiles/bench_table2_pretraining.dir/bench_table2_pretraining.cc.o" "gcc" "bench/CMakeFiles/bench_table2_pretraining.dir/bench_table2_pretraining.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tasks/CMakeFiles/pkgm_tasks.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pkgm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/pkgm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/rec/CMakeFiles/pkgm_rec.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/pkgm_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pkgm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/pkgm_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pkgm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pkgm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

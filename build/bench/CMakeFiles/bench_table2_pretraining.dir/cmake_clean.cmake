@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_pretraining.dir/bench_table2_pretraining.cc.o"
+  "CMakeFiles/bench_table2_pretraining.dir/bench_table2_pretraining.cc.o.d"
+  "bench_table2_pretraining"
+  "bench_table2_pretraining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_pretraining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

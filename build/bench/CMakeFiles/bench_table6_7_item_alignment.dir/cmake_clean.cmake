@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_7_item_alignment.dir/bench_table6_7_item_alignment.cc.o"
+  "CMakeFiles/bench_table6_7_item_alignment.dir/bench_table6_7_item_alignment.cc.o.d"
+  "bench_table6_7_item_alignment"
+  "bench_table6_7_item_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_7_item_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/item_classification_demo.dir/item_classification_demo.cpp.o"
+  "CMakeFiles/item_classification_demo.dir/item_classification_demo.cpp.o.d"
+  "item_classification_demo"
+  "item_classification_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/item_classification_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knowledge_service.dir/knowledge_service.cpp.o"
+  "CMakeFiles/knowledge_service.dir/knowledge_service.cpp.o.d"
+  "knowledge_service"
+  "knowledge_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knowledge_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

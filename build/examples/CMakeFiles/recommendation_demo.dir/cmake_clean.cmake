@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommendation_demo.dir/recommendation_demo.cpp.o"
+  "CMakeFiles/recommendation_demo.dir/recommendation_demo.cpp.o.d"
+  "recommendation_demo"
+  "recommendation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommendation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

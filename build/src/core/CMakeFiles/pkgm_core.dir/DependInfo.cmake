@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/gradients.cc" "src/core/CMakeFiles/pkgm_core.dir/gradients.cc.o" "gcc" "src/core/CMakeFiles/pkgm_core.dir/gradients.cc.o.d"
+  "/root/repo/src/core/link_prediction.cc" "src/core/CMakeFiles/pkgm_core.dir/link_prediction.cc.o" "gcc" "src/core/CMakeFiles/pkgm_core.dir/link_prediction.cc.o.d"
+  "/root/repo/src/core/negative_sampler.cc" "src/core/CMakeFiles/pkgm_core.dir/negative_sampler.cc.o" "gcc" "src/core/CMakeFiles/pkgm_core.dir/negative_sampler.cc.o.d"
+  "/root/repo/src/core/pkgm_model.cc" "src/core/CMakeFiles/pkgm_core.dir/pkgm_model.cc.o" "gcc" "src/core/CMakeFiles/pkgm_core.dir/pkgm_model.cc.o.d"
+  "/root/repo/src/core/service.cc" "src/core/CMakeFiles/pkgm_core.dir/service.cc.o" "gcc" "src/core/CMakeFiles/pkgm_core.dir/service.cc.o.d"
+  "/root/repo/src/core/sharded_trainer.cc" "src/core/CMakeFiles/pkgm_core.dir/sharded_trainer.cc.o" "gcc" "src/core/CMakeFiles/pkgm_core.dir/sharded_trainer.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/pkgm_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/pkgm_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kg/CMakeFiles/pkgm_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pkgm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pkgm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

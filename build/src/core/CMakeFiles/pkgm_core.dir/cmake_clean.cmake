@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkgm_core.dir/gradients.cc.o"
+  "CMakeFiles/pkgm_core.dir/gradients.cc.o.d"
+  "CMakeFiles/pkgm_core.dir/link_prediction.cc.o"
+  "CMakeFiles/pkgm_core.dir/link_prediction.cc.o.d"
+  "CMakeFiles/pkgm_core.dir/negative_sampler.cc.o"
+  "CMakeFiles/pkgm_core.dir/negative_sampler.cc.o.d"
+  "CMakeFiles/pkgm_core.dir/pkgm_model.cc.o"
+  "CMakeFiles/pkgm_core.dir/pkgm_model.cc.o.d"
+  "CMakeFiles/pkgm_core.dir/service.cc.o"
+  "CMakeFiles/pkgm_core.dir/service.cc.o.d"
+  "CMakeFiles/pkgm_core.dir/sharded_trainer.cc.o"
+  "CMakeFiles/pkgm_core.dir/sharded_trainer.cc.o.d"
+  "CMakeFiles/pkgm_core.dir/trainer.cc.o"
+  "CMakeFiles/pkgm_core.dir/trainer.cc.o.d"
+  "libpkgm_core.a"
+  "libpkgm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkgm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkgm_data.dir/alignment_dataset.cc.o"
+  "CMakeFiles/pkgm_data.dir/alignment_dataset.cc.o.d"
+  "CMakeFiles/pkgm_data.dir/classification_dataset.cc.o"
+  "CMakeFiles/pkgm_data.dir/classification_dataset.cc.o.d"
+  "CMakeFiles/pkgm_data.dir/interaction_dataset.cc.o"
+  "CMakeFiles/pkgm_data.dir/interaction_dataset.cc.o.d"
+  "libpkgm_data.a"
+  "libpkgm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkgm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kg/etl.cc" "src/kg/CMakeFiles/pkgm_kg.dir/etl.cc.o" "gcc" "src/kg/CMakeFiles/pkgm_kg.dir/etl.cc.o.d"
+  "/root/repo/src/kg/io.cc" "src/kg/CMakeFiles/pkgm_kg.dir/io.cc.o" "gcc" "src/kg/CMakeFiles/pkgm_kg.dir/io.cc.o.d"
+  "/root/repo/src/kg/key_relations.cc" "src/kg/CMakeFiles/pkgm_kg.dir/key_relations.cc.o" "gcc" "src/kg/CMakeFiles/pkgm_kg.dir/key_relations.cc.o.d"
+  "/root/repo/src/kg/query_engine.cc" "src/kg/CMakeFiles/pkgm_kg.dir/query_engine.cc.o" "gcc" "src/kg/CMakeFiles/pkgm_kg.dir/query_engine.cc.o.d"
+  "/root/repo/src/kg/rule_miner.cc" "src/kg/CMakeFiles/pkgm_kg.dir/rule_miner.cc.o" "gcc" "src/kg/CMakeFiles/pkgm_kg.dir/rule_miner.cc.o.d"
+  "/root/repo/src/kg/split.cc" "src/kg/CMakeFiles/pkgm_kg.dir/split.cc.o" "gcc" "src/kg/CMakeFiles/pkgm_kg.dir/split.cc.o.d"
+  "/root/repo/src/kg/synthetic_pkg.cc" "src/kg/CMakeFiles/pkgm_kg.dir/synthetic_pkg.cc.o" "gcc" "src/kg/CMakeFiles/pkgm_kg.dir/synthetic_pkg.cc.o.d"
+  "/root/repo/src/kg/triple_store.cc" "src/kg/CMakeFiles/pkgm_kg.dir/triple_store.cc.o" "gcc" "src/kg/CMakeFiles/pkgm_kg.dir/triple_store.cc.o.d"
+  "/root/repo/src/kg/vocab.cc" "src/kg/CMakeFiles/pkgm_kg.dir/vocab.cc.o" "gcc" "src/kg/CMakeFiles/pkgm_kg.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pkgm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkgm_kg.dir/etl.cc.o"
+  "CMakeFiles/pkgm_kg.dir/etl.cc.o.d"
+  "CMakeFiles/pkgm_kg.dir/io.cc.o"
+  "CMakeFiles/pkgm_kg.dir/io.cc.o.d"
+  "CMakeFiles/pkgm_kg.dir/key_relations.cc.o"
+  "CMakeFiles/pkgm_kg.dir/key_relations.cc.o.d"
+  "CMakeFiles/pkgm_kg.dir/query_engine.cc.o"
+  "CMakeFiles/pkgm_kg.dir/query_engine.cc.o.d"
+  "CMakeFiles/pkgm_kg.dir/rule_miner.cc.o"
+  "CMakeFiles/pkgm_kg.dir/rule_miner.cc.o.d"
+  "CMakeFiles/pkgm_kg.dir/split.cc.o"
+  "CMakeFiles/pkgm_kg.dir/split.cc.o.d"
+  "CMakeFiles/pkgm_kg.dir/synthetic_pkg.cc.o"
+  "CMakeFiles/pkgm_kg.dir/synthetic_pkg.cc.o.d"
+  "CMakeFiles/pkgm_kg.dir/triple_store.cc.o"
+  "CMakeFiles/pkgm_kg.dir/triple_store.cc.o.d"
+  "CMakeFiles/pkgm_kg.dir/vocab.cc.o"
+  "CMakeFiles/pkgm_kg.dir/vocab.cc.o.d"
+  "libpkgm_kg.a"
+  "libpkgm_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkgm_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

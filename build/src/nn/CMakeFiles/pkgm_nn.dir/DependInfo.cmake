@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cc" "src/nn/CMakeFiles/pkgm_nn.dir/activations.cc.o" "gcc" "src/nn/CMakeFiles/pkgm_nn.dir/activations.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/pkgm_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/pkgm_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/nn/CMakeFiles/pkgm_nn.dir/dropout.cc.o" "gcc" "src/nn/CMakeFiles/pkgm_nn.dir/dropout.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/pkgm_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/pkgm_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/grad_check.cc" "src/nn/CMakeFiles/pkgm_nn.dir/grad_check.cc.o" "gcc" "src/nn/CMakeFiles/pkgm_nn.dir/grad_check.cc.o.d"
+  "/root/repo/src/nn/layer_norm.cc" "src/nn/CMakeFiles/pkgm_nn.dir/layer_norm.cc.o" "gcc" "src/nn/CMakeFiles/pkgm_nn.dir/layer_norm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/pkgm_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/pkgm_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/losses.cc" "src/nn/CMakeFiles/pkgm_nn.dir/losses.cc.o" "gcc" "src/nn/CMakeFiles/pkgm_nn.dir/losses.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/pkgm_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/pkgm_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/parameter.cc" "src/nn/CMakeFiles/pkgm_nn.dir/parameter.cc.o" "gcc" "src/nn/CMakeFiles/pkgm_nn.dir/parameter.cc.o.d"
+  "/root/repo/src/nn/transformer.cc" "src/nn/CMakeFiles/pkgm_nn.dir/transformer.cc.o" "gcc" "src/nn/CMakeFiles/pkgm_nn.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/pkgm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pkgm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkgm_nn.dir/activations.cc.o"
+  "CMakeFiles/pkgm_nn.dir/activations.cc.o.d"
+  "CMakeFiles/pkgm_nn.dir/attention.cc.o"
+  "CMakeFiles/pkgm_nn.dir/attention.cc.o.d"
+  "CMakeFiles/pkgm_nn.dir/dropout.cc.o"
+  "CMakeFiles/pkgm_nn.dir/dropout.cc.o.d"
+  "CMakeFiles/pkgm_nn.dir/embedding.cc.o"
+  "CMakeFiles/pkgm_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/pkgm_nn.dir/grad_check.cc.o"
+  "CMakeFiles/pkgm_nn.dir/grad_check.cc.o.d"
+  "CMakeFiles/pkgm_nn.dir/layer_norm.cc.o"
+  "CMakeFiles/pkgm_nn.dir/layer_norm.cc.o.d"
+  "CMakeFiles/pkgm_nn.dir/linear.cc.o"
+  "CMakeFiles/pkgm_nn.dir/linear.cc.o.d"
+  "CMakeFiles/pkgm_nn.dir/losses.cc.o"
+  "CMakeFiles/pkgm_nn.dir/losses.cc.o.d"
+  "CMakeFiles/pkgm_nn.dir/optimizer.cc.o"
+  "CMakeFiles/pkgm_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/pkgm_nn.dir/parameter.cc.o"
+  "CMakeFiles/pkgm_nn.dir/parameter.cc.o.d"
+  "CMakeFiles/pkgm_nn.dir/transformer.cc.o"
+  "CMakeFiles/pkgm_nn.dir/transformer.cc.o.d"
+  "libpkgm_nn.a"
+  "libpkgm_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkgm_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpkgm_nn.a"
+)

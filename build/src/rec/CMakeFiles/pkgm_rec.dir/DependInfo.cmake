@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rec/ncf.cc" "src/rec/CMakeFiles/pkgm_rec.dir/ncf.cc.o" "gcc" "src/rec/CMakeFiles/pkgm_rec.dir/ncf.cc.o.d"
+  "/root/repo/src/rec/ranking_metrics.cc" "src/rec/CMakeFiles/pkgm_rec.dir/ranking_metrics.cc.o" "gcc" "src/rec/CMakeFiles/pkgm_rec.dir/ranking_metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/pkgm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pkgm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pkgm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

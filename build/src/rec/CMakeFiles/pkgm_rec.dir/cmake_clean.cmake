@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkgm_rec.dir/ncf.cc.o"
+  "CMakeFiles/pkgm_rec.dir/ncf.cc.o.d"
+  "CMakeFiles/pkgm_rec.dir/ranking_metrics.cc.o"
+  "CMakeFiles/pkgm_rec.dir/ranking_metrics.cc.o.d"
+  "libpkgm_rec.a"
+  "libpkgm_rec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkgm_rec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

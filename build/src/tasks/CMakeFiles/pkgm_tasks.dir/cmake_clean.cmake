@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkgm_tasks.dir/item_alignment.cc.o"
+  "CMakeFiles/pkgm_tasks.dir/item_alignment.cc.o.d"
+  "CMakeFiles/pkgm_tasks.dir/item_classification.cc.o"
+  "CMakeFiles/pkgm_tasks.dir/item_classification.cc.o.d"
+  "CMakeFiles/pkgm_tasks.dir/pipeline.cc.o"
+  "CMakeFiles/pkgm_tasks.dir/pipeline.cc.o.d"
+  "CMakeFiles/pkgm_tasks.dir/recommendation.cc.o"
+  "CMakeFiles/pkgm_tasks.dir/recommendation.cc.o.d"
+  "libpkgm_tasks.a"
+  "libpkgm_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkgm_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkgm_tensor.dir/init.cc.o"
+  "CMakeFiles/pkgm_tensor.dir/init.cc.o.d"
+  "CMakeFiles/pkgm_tensor.dir/ops.cc.o"
+  "CMakeFiles/pkgm_tensor.dir/ops.cc.o.d"
+  "libpkgm_tensor.a"
+  "libpkgm_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkgm_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkgm_text.dir/mlm.cc.o"
+  "CMakeFiles/pkgm_text.dir/mlm.cc.o.d"
+  "CMakeFiles/pkgm_text.dir/tiny_bert.cc.o"
+  "CMakeFiles/pkgm_text.dir/tiny_bert.cc.o.d"
+  "CMakeFiles/pkgm_text.dir/title_generator.cc.o"
+  "CMakeFiles/pkgm_text.dir/title_generator.cc.o.d"
+  "CMakeFiles/pkgm_text.dir/tokenizer.cc.o"
+  "CMakeFiles/pkgm_text.dir/tokenizer.cc.o.d"
+  "libpkgm_text.a"
+  "libpkgm_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkgm_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

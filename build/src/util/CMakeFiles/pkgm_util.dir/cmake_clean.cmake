@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkgm_util.dir/histogram.cc.o"
+  "CMakeFiles/pkgm_util.dir/histogram.cc.o.d"
+  "CMakeFiles/pkgm_util.dir/logging.cc.o"
+  "CMakeFiles/pkgm_util.dir/logging.cc.o.d"
+  "CMakeFiles/pkgm_util.dir/rng.cc.o"
+  "CMakeFiles/pkgm_util.dir/rng.cc.o.d"
+  "CMakeFiles/pkgm_util.dir/status.cc.o"
+  "CMakeFiles/pkgm_util.dir/status.cc.o.d"
+  "CMakeFiles/pkgm_util.dir/string_util.cc.o"
+  "CMakeFiles/pkgm_util.dir/string_util.cc.o.d"
+  "CMakeFiles/pkgm_util.dir/table_printer.cc.o"
+  "CMakeFiles/pkgm_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/pkgm_util.dir/thread_pool.cc.o"
+  "CMakeFiles/pkgm_util.dir/thread_pool.cc.o.d"
+  "libpkgm_util.a"
+  "libpkgm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkgm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

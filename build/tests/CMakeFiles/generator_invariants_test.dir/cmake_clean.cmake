@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generator_invariants_test.dir/generator_invariants_test.cc.o"
+  "CMakeFiles/generator_invariants_test.dir/generator_invariants_test.cc.o.d"
+  "generator_invariants_test"
+  "generator_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generator_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

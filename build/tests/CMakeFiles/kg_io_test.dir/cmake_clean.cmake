@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kg_io_test.dir/kg_io_test.cc.o"
+  "CMakeFiles/kg_io_test.dir/kg_io_test.cc.o.d"
+  "kg_io_test"
+  "kg_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kg_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tiny_bert_gradcheck_test.cc" "tests/CMakeFiles/tiny_bert_gradcheck_test.dir/tiny_bert_gradcheck_test.cc.o" "gcc" "tests/CMakeFiles/tiny_bert_gradcheck_test.dir/tiny_bert_gradcheck_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/pkgm_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/pkgm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/pkgm_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/pkgm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pkgm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

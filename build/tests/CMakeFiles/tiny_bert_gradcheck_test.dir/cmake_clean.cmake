@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiny_bert_gradcheck_test.dir/tiny_bert_gradcheck_test.cc.o"
+  "CMakeFiles/tiny_bert_gradcheck_test.dir/tiny_bert_gradcheck_test.cc.o.d"
+  "tiny_bert_gradcheck_test"
+  "tiny_bert_gradcheck_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiny_bert_gradcheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pkgm_tool.dir/pkgm_tool.cc.o"
+  "CMakeFiles/pkgm_tool.dir/pkgm_tool.cc.o.d"
+  "pkgm_tool"
+  "pkgm_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pkgm_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pkgm_tool.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_generate "/root/repo/build/tools/pkgm_tool" "generate" "/root/repo/build/smoke_kg.tsv" "3")
+set_tests_properties(tool_generate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_pretrain "/root/repo/build/tools/pkgm_tool" "pretrain" "/root/repo/build/smoke_kg.tsv" "/root/repo/build/smoke_model.bin" "5" "16")
+set_tests_properties(tool_pretrain PROPERTIES  DEPENDS "tool_generate" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_eval "/root/repo/build/tools/pkgm_tool" "eval" "/root/repo/build/smoke_kg.tsv" "/root/repo/build/smoke_model.bin" "0.01")
+set_tests_properties(tool_eval PROPERTIES  DEPENDS "tool_pretrain" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
