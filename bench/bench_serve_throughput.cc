@@ -1,0 +1,132 @@
+// Online-serving throughput study for the serving subsystem (src/serve/):
+// how much does request batching amortize queue/wake-up overhead, and how
+// much does the sharded condensed-vector cache buy on Zipf-skewed traffic,
+// relative to computing every request on the caller's thread?
+
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "serve/knowledge_server.h"
+#include "util/histogram.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace pkgm {
+namespace {
+
+constexpr uint32_t kRequests = 30000;
+constexpr double kZipfSkew = 1.1;
+
+/// Runs `kRequests` condensed kAll requests through `server` in batches of
+/// `batch_size`; returns requests/second (closed loop, one client).
+double DriveServer(serve::KnowledgeServer* server, uint32_t num_items,
+                   uint32_t batch_size, uint64_t seed) {
+  ZipfSampler zipf(num_items, kZipfSkew);
+  Rng rng(seed);
+  Stopwatch sw;
+  uint32_t sent = 0;
+  uint64_t sink = 0;
+  while (sent < kRequests) {
+    const uint32_t n = std::min(batch_size, kRequests - sent);
+    std::vector<serve::ServiceRequest> batch(n);
+    for (auto& request : batch) {
+      request.item = static_cast<uint32_t>(zipf.Sample(&rng));
+      request.mode = core::ServiceMode::kAll;
+      request.form = serve::ServiceForm::kCondensed;
+    }
+    auto futures = server->SubmitBatch(std::move(batch));
+    for (auto& future : futures) sink += future.get().vectors.size();
+    sent += n;
+  }
+  const double seconds = sw.ElapsedSeconds();
+  PKGM_CHECK_EQ(sink, kRequests);  // every request answered with one vector
+  return kRequests / seconds;
+}
+
+void Run() {
+  bench::PrintHeader("Serving throughput: batching and the service-vector cache");
+
+  tasks::PipelineOptions opt = bench::BenchPipelineOptions();
+  opt.pretrain_epochs = 5;  // serving throughput does not depend on quality
+  std::printf("building pipeline (short pre-train; throughput only) ...\n");
+  tasks::PretrainedPkgm p = tasks::BuildAndPretrain(opt);
+  const uint32_t num_items = p.services->num_items();
+  std::printf("%u items, condensed dim %u, zipf %.2f, %s requests/config\n\n",
+              num_items, p.services->CondensedDim(core::ServiceMode::kAll),
+              kZipfSkew, WithThousandsSeparators(kRequests).c_str());
+
+  // Baseline: single-item, uncached, computed on the caller's thread — the
+  // pre-PR serving story (ServiceVectorProvider called in-process).
+  double direct_rps = 0.0;
+  {
+    ZipfSampler zipf(num_items, kZipfSkew);
+    Rng rng(7);
+    Stopwatch sw;
+    uint64_t sink = 0;
+    for (uint32_t i = 0; i < kRequests; ++i) {
+      const uint32_t item = static_cast<uint32_t>(zipf.Sample(&rng));
+      sink += p.services->Condensed(item, core::ServiceMode::kAll).size();
+    }
+    direct_rps = kRequests / sw.ElapsedSeconds();
+    (void)sink;
+  }
+
+  struct Config {
+    const char* name;
+    bool cache;
+    uint32_t batch;
+  };
+  const Config configs[] = {
+      {"server, uncached, batch=1", false, 1},
+      {"server, uncached, batch=32", false, 32},
+      {"server, cached, batch=1", true, 1},
+      {"server, cached, batch=32", true, 32},
+  };
+
+  TablePrinter table(
+      {"config", "requests/s", "vs direct", "cache hit rate"});
+  table.AddRow({"direct provider call (single item, uncached)",
+                StrFormat("%.0f", direct_rps), "1.00x", "-"});
+  double cached_batched_rps = 0.0;
+  for (const Config& config : configs) {
+    serve::KnowledgeServerOptions sopt;
+    sopt.num_workers = 2;
+    sopt.enable_cache = config.cache;
+    serve::KnowledgeServer server(p.services.get(), sopt);
+    server.Start();
+    if (config.cache) {
+      // Warm pass so the steady-state (not cold-start) regime is measured.
+      DriveServer(&server, num_items, config.batch, /*seed=*/11);
+    }
+    const double rps = DriveServer(&server, num_items, config.batch,
+                                   /*seed=*/13);
+    std::string hit_rate = "-";
+    if (config.cache) {
+      hit_rate = StrFormat("%.1f%%", 100.0 * server.cache()->Stats().HitRate());
+      if (config.batch == 32) cached_batched_rps = rps;
+    }
+    server.Stop();
+    table.AddRow({config.name, StrFormat("%.0f", rps),
+                  StrFormat("%.2fx", rps / direct_rps), hit_rate});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf(
+      "batching amortizes the queue handoff; the cache converts the Zipf\n"
+      "head into O(dim) copies instead of O(k·dim^2) transfer-matrix math.\n"
+      "cached+batched vs direct uncached: %.2fx\n",
+      cached_batched_rps / direct_rps);
+}
+
+}  // namespace
+}  // namespace pkgm
+
+int main() {
+  pkgm::Run();
+  return 0;
+}

@@ -28,6 +28,18 @@ void Run() {
   const uint32_t rounds = 20000;
   Rng rng(3);
 
+  // Draws an item that has at least one key relation: the provider
+  // explicitly allows empty key lists, and indexing rels[Uniform(0)] would
+  // be UB. Also keeps the item and its relation list consistent (both loops
+  // previously sampled them independently).
+  auto sample_item = [&](Rng* r) {
+    for (;;) {
+      const uint32_t item =
+          static_cast<uint32_t>(r->Uniform(p.services->num_items()));
+      if (p.services->NumKeyRelations(item) > 0) return item;
+    }
+  };
+
   // --- symbolic path -------------------------------------------------------
   kg::QueryEngine engine(&pkg.observed);
   Histogram symbolic_triple_us, symbolic_relation_us;
@@ -35,9 +47,9 @@ void Run() {
     Stopwatch sw;
     uint64_t sink = 0;
     for (uint32_t i = 0; i < rounds; ++i) {
-      const auto& item = pkg.items[rng.Uniform(pkg.items.size())];
-      const auto& rels = p.services->key_relations(
-          static_cast<uint32_t>(rng.Uniform(p.services->num_items())));
+      const uint32_t idx = sample_item(&rng);
+      const auto& item = pkg.items[idx];
+      const auto& rels = p.services->key_relations(idx);
       kg::RelationId r = rels[rng.Uniform(rels.size())];
       Stopwatch q;
       sink += engine.TripleQuery(item.entity, r).size();
@@ -56,9 +68,9 @@ void Run() {
   {
     std::vector<float> out(p.model->dim());
     for (uint32_t i = 0; i < rounds; ++i) {
-      const auto& item = pkg.items[rng.Uniform(pkg.items.size())];
-      const auto& rels = p.services->key_relations(
-          static_cast<uint32_t>(rng.Uniform(p.services->num_items())));
+      const uint32_t idx = sample_item(&rng);
+      const auto& item = pkg.items[idx];
+      const auto& rels = p.services->key_relations(idx);
       kg::RelationId r = rels[rng.Uniform(rels.size())];
       Stopwatch q;
       p.model->TripleService(item.entity, r, out.data());

@@ -1,0 +1,84 @@
+#ifndef PKGM_SERVE_BOUNDED_QUEUE_H_
+#define PKGM_SERVE_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace pkgm::serve {
+
+/// Bounded multi-producer / multi-consumer queue. Producers never block:
+/// TryPush fails immediately when the queue is at capacity (the server's
+/// admission-control point — backpressure is surfaced to clients as a
+/// rejection, not as an unbounded pile-up). Consumers block in Pop until
+/// an element arrives or the queue is closed and drained.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    PKGM_CHECK(capacity > 0);
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues if there is room. Returns false (and leaves `item` moved-from
+  /// only on success) when full or closed.
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || queue_.size() >= capacity_) return false;
+      queue_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an element is available or the queue is closed AND empty.
+  /// Returns false only in the closed-and-drained case (consumer shutdown).
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return false;
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+  }
+
+  /// Stops accepting new elements and wakes all blocked consumers. Elements
+  /// already queued are still handed out by Pop (graceful drain).
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace pkgm::serve
+
+#endif  // PKGM_SERVE_BOUNDED_QUEUE_H_

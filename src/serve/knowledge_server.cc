@@ -1,0 +1,160 @@
+#include "serve/knowledge_server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace pkgm::serve {
+namespace {
+
+double MicrosBetween(ServeClock::time_point from, ServeClock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+ServiceResponse RejectedResponse() {
+  ServiceResponse response;
+  response.code = ResponseCode::kRejected;
+  return response;
+}
+
+}  // namespace
+
+KnowledgeServer::KnowledgeServer(const core::ServiceVectorProvider* provider,
+                                 KnowledgeServerOptions options)
+    : provider_(provider),
+      options_(options),
+      queue_(options.queue_capacity) {
+  PKGM_CHECK(provider != nullptr);
+  PKGM_CHECK(options_.num_workers >= 1);
+  if (options_.enable_cache) {
+    cache_ = std::make_unique<ShardedVectorCache>(options_.cache_capacity,
+                                                  options_.cache_shards);
+  }
+}
+
+KnowledgeServer::~KnowledgeServer() { Stop(); }
+
+void KnowledgeServer::Start() {
+  if (workers_ != nullptr) return;
+  PKGM_CHECK(!queue_.closed());
+  workers_ = std::make_unique<ThreadPool>(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_->Submit([this] { WorkerLoop(); });
+  }
+}
+
+void KnowledgeServer::Stop() {
+  queue_.Close();
+  if (workers_ != nullptr) {
+    workers_->Wait();
+    workers_.reset();
+  }
+}
+
+std::future<ServiceResponse> KnowledgeServer::Submit(ServiceRequest request) {
+  std::vector<ServiceRequest> one;
+  one.push_back(request);
+  auto futures = SubmitBatch(std::move(one));
+  return std::move(futures.front());
+}
+
+std::vector<std::future<ServiceResponse>> KnowledgeServer::SubmitBatch(
+    std::vector<ServiceRequest> requests) {
+  const auto now = ServeClock::now();
+  Batch batch;
+  batch.reserve(requests.size());
+  std::vector<std::future<ServiceResponse>> futures;
+  futures.reserve(requests.size());
+  for (ServiceRequest& request : requests) {
+    PendingRequest pending;
+    pending.request = request;
+    pending.enqueue_time = now;
+    futures.push_back(pending.promise.get_future());
+    batch.push_back(std::move(pending));
+  }
+  if (batch.empty()) return futures;
+
+  // Count the batch as pending *before* pushing: a worker may finish (and
+  // decrement) before TryPush even returns.
+  const size_t n = batch.size();
+  pending_requests_ += n;
+  if (queue_.TryPush(std::move(batch))) {
+    stats_.RecordAccepted(n);
+  } else {
+    pending_requests_ -= n;
+    // Admission control: the queue (or the server) is saturated — resolve
+    // every future in the batch immediately instead of piling up work.
+    stats_.RecordRejected(n);
+    for (PendingRequest& pending : batch) {
+      pending.promise.set_value(RejectedResponse());
+    }
+  }
+  return futures;
+}
+
+void KnowledgeServer::WorkerLoop() {
+  Batch batch;
+  while (queue_.Pop(&batch)) {
+    const auto dequeue_time = ServeClock::now();
+    for (PendingRequest& pending : batch) {
+      const double queue_micros =
+          MicrosBetween(pending.enqueue_time, dequeue_time);
+      ServiceResponse response;
+      double compute_micros = 0.0;
+      if (pending.request.deadline < dequeue_time) {
+        response.code = ResponseCode::kDeadlineExceeded;
+      } else {
+        const auto start = ServeClock::now();
+        response = Execute(pending.request);
+        compute_micros = MicrosBetween(start, ServeClock::now());
+      }
+      response.queue_micros = queue_micros;
+      response.compute_micros = compute_micros;
+      stats_.RecordCompleted(response.code, queue_micros, compute_micros);
+      --pending_requests_;
+      pending.promise.set_value(std::move(response));
+    }
+    batch.clear();
+  }
+}
+
+ServiceResponse KnowledgeServer::Execute(const ServiceRequest& request) {
+  ServiceResponse response;
+  if (request.item >= provider_->num_items()) {
+    response.code = ResponseCode::kInvalidItem;
+    return response;
+  }
+  if (request.form == ServiceForm::kCondensed) {
+    Vec condensed;
+    if (cache_ != nullptr &&
+        cache_->Lookup(request.item, request.mode, &condensed)) {
+      response.cache_hit = true;
+    } else {
+      condensed = provider_->Condensed(request.item, request.mode);
+      if (cache_ != nullptr) {
+        cache_->Insert(request.item, request.mode, condensed);
+      }
+    }
+    response.vectors.push_back(std::move(condensed));
+  } else {
+    response.vectors = provider_->Sequence(request.item, request.mode);
+  }
+  return response;
+}
+
+void KnowledgeServer::InvalidateCache() {
+  if (cache_ != nullptr) cache_->Invalidate();
+}
+
+std::string KnowledgeServer::StatsReport() const {
+  CacheStats cache_stats;
+  const CacheStats* cache_ptr = nullptr;
+  if (cache_ != nullptr) {
+    cache_stats = cache_->Stats();
+    cache_ptr = &cache_stats;
+  }
+  return stats_.ToTable(queue_depth(), cache_ptr);
+}
+
+}  // namespace pkgm::serve

@@ -1,0 +1,121 @@
+#ifndef PKGM_SERVE_KNOWLEDGE_SERVER_H_
+#define PKGM_SERVE_KNOWLEDGE_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/service.h"
+#include "serve/bounded_queue.h"
+#include "serve/request.h"
+#include "serve/server_stats.h"
+#include "serve/vector_cache.h"
+#include "util/thread_pool.h"
+
+namespace pkgm::serve {
+
+struct KnowledgeServerOptions {
+  /// Worker threads executing requests (>= 1).
+  size_t num_workers = 2;
+  /// Request-queue capacity in *batches*; a SubmitBatch call that finds the
+  /// queue full is rejected wholesale (admission control / backpressure).
+  size_t queue_capacity = 256;
+  /// Serve condensed vectors through the sharded LRU cache.
+  bool enable_cache = true;
+  /// Total cached (item, mode) entries across all shards.
+  size_t cache_capacity = 8192;
+  /// Mutex stripes in the cache.
+  size_t cache_shards = 8;
+};
+
+/// The online knowledge-serving front end of the paper's deployment story
+/// (§II-D/E): downstream systems submit ServiceRequest batches and get
+/// back service vectors, never triples.
+///
+/// Request lifecycle:
+///   Submit/SubmitBatch  → admission control against a bounded MPMC queue
+///                         (full ⇒ every request in the batch resolves
+///                         immediately with kRejected)
+///   worker Pop          → per-request deadline check (expired ⇒
+///                         kDeadlineExceeded, no compute)
+///   execute             → condensed requests consult the sharded LRU
+///                         cache; misses compute via ServiceVectorProvider
+///                         and populate it; sequence requests always
+///                         compute
+///   promise.set_value   → the future returned at submit time becomes
+///                         ready
+///
+/// Thread-safe: any number of client threads may submit concurrently with
+/// the worker pool draining. The provider (and the model under it) must
+/// outlive the server and stay immutable while serving; on a model
+/// refresh, call InvalidateCache().
+class KnowledgeServer {
+ public:
+  KnowledgeServer(const core::ServiceVectorProvider* provider,
+                  KnowledgeServerOptions options = {});
+  ~KnowledgeServer();
+
+  KnowledgeServer(const KnowledgeServer&) = delete;
+  KnowledgeServer& operator=(const KnowledgeServer&) = delete;
+
+  /// Spawns the worker pool. Requests may be submitted before Start();
+  /// they wait in the queue (subject to capacity) until workers run.
+  void Start();
+
+  /// Closes the queue, drains every already-accepted request and joins the
+  /// workers. Idempotent. Submissions after Stop() are rejected.
+  void Stop();
+
+  /// Enqueues one request. The returned future always becomes ready:
+  /// immediately with kRejected when the queue is full, otherwise when a
+  /// worker completes the request.
+  std::future<ServiceResponse> Submit(ServiceRequest request);
+
+  /// Enqueues `requests` as one unit of work (one queue slot, executed
+  /// back-to-back by one worker — the batching that amortizes queue and
+  /// wake-up overhead). All-or-nothing admission.
+  std::vector<std::future<ServiceResponse>> SubmitBatch(
+      std::vector<ServiceRequest> requests);
+
+  /// Requests accepted but not yet completed.
+  size_t queue_depth() const { return pending_requests_.load(); }
+
+  const ServerStats& stats() const { return stats_; }
+  /// Null when the cache is disabled.
+  const ShardedVectorCache* cache() const { return cache_.get(); }
+
+  /// Drops all cached vectors (call after swapping in a new model).
+  void InvalidateCache();
+
+  /// Counters + queue gauge + cache + latency percentiles as ASCII tables.
+  std::string StatsReport() const;
+
+  const core::ServiceVectorProvider* provider() const { return provider_; }
+
+ private:
+  struct PendingRequest {
+    ServiceRequest request;
+    std::promise<ServiceResponse> promise;
+    ServeClock::time_point enqueue_time;
+  };
+  using Batch = std::vector<PendingRequest>;
+
+  void WorkerLoop();
+  /// Runs the query modules (through the cache for condensed requests).
+  ServiceResponse Execute(const ServiceRequest& request);
+
+  const core::ServiceVectorProvider* provider_;
+  const KnowledgeServerOptions options_;
+  BoundedQueue<Batch> queue_;
+  std::unique_ptr<ShardedVectorCache> cache_;
+  ServerStats stats_;
+  std::unique_ptr<ThreadPool> workers_;
+  std::atomic<size_t> pending_requests_{0};
+};
+
+}  // namespace pkgm::serve
+
+#endif  // PKGM_SERVE_KNOWLEDGE_SERVER_H_

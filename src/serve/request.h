@@ -1,0 +1,71 @@
+#ifndef PKGM_SERVE_REQUEST_H_
+#define PKGM_SERVE_REQUEST_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "core/service.h"
+#include "tensor/vec.h"
+
+namespace pkgm::serve {
+
+/// Which service form the client wants: the sequence of per-key-relation
+/// vectors (Fig. 2, for sequence-input models) or the single condensed
+/// vector (Fig. 3 / Eq. 20, for single-input models).
+enum class ServiceForm { kSequence, kCondensed };
+
+/// Terminal status of a served request.
+enum class ResponseCode {
+  kOk = 0,
+  /// Admission control: the request queue was full at submit time.
+  kRejected,
+  /// The request expired in the queue before a worker picked it up.
+  kDeadlineExceeded,
+  /// Item id outside the provider's item range.
+  kInvalidItem,
+};
+
+/// Human-readable name ("Ok", "Rejected", ...).
+inline const char* ResponseCodeName(ResponseCode code) {
+  switch (code) {
+    case ResponseCode::kOk: return "Ok";
+    case ResponseCode::kRejected: return "Rejected";
+    case ResponseCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case ResponseCode::kInvalidItem: return "InvalidItem";
+  }
+  return "Unknown";
+}
+
+/// Clock used for request deadlines and latency accounting.
+using ServeClock = std::chrono::steady_clock;
+
+/// One knowledge-service query: "item `item`'s service vectors under
+/// `mode`, in `form`" — the online call downstream systems make instead of
+/// touching triple data (§II-D/E, triple data independency).
+struct ServiceRequest {
+  uint32_t item = 0;
+  core::ServiceMode mode = core::ServiceMode::kAll;
+  ServiceForm form = ServiceForm::kCondensed;
+  /// Absolute expiry. A worker that dequeues the request after this instant
+  /// answers kDeadlineExceeded without computing. time_point::max() = none.
+  ServeClock::time_point deadline = ServeClock::time_point::max();
+};
+
+/// Result delivered through the future obtained at submit time.
+struct ServiceResponse {
+  ResponseCode code = ResponseCode::kOk;
+  /// Sequence form: 2k (kAll) or k vectors of dim d, triple block first.
+  /// Condensed form: exactly one vector of CondensedDim(mode).
+  /// Empty on any non-Ok code.
+  std::vector<Vec> vectors;
+  /// True iff a condensed vector was served from the cache.
+  bool cache_hit = false;
+  /// Time the request spent queued / executing, microseconds.
+  double queue_micros = 0.0;
+  double compute_micros = 0.0;
+};
+
+}  // namespace pkgm::serve
+
+#endif  // PKGM_SERVE_REQUEST_H_

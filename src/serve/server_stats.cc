@@ -1,0 +1,71 @@
+#include "serve/server_stats.h"
+
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace pkgm::serve {
+
+void ServerStats::RecordCompleted(ResponseCode code, double queue_micros,
+                                  double compute_micros) {
+  switch (code) {
+    case ResponseCode::kOk: ++ok_; break;
+    case ResponseCode::kDeadlineExceeded: ++deadline_exceeded_; break;
+    case ResponseCode::kInvalidItem: ++invalid_item_; break;
+    case ResponseCode::kRejected: break;  // counted at admission, not here
+  }
+  std::lock_guard<std::mutex> lock(histo_mu_);
+  queue_micros_.Record(queue_micros);
+  compute_micros_.Record(compute_micros);
+}
+
+Histogram ServerStats::QueueLatency() const {
+  std::lock_guard<std::mutex> lock(histo_mu_);
+  return queue_micros_;
+}
+
+Histogram ServerStats::ComputeLatency() const {
+  std::lock_guard<std::mutex> lock(histo_mu_);
+  return compute_micros_;
+}
+
+std::string ServerStats::ToTable(uint64_t queue_depth,
+                                 const CacheStats* cache) const {
+  TablePrinter counters({"counter", "value"});
+  counters.AddRow({"requests accepted", std::to_string(accepted())});
+  counters.AddRow({"requests rejected", std::to_string(rejected())});
+  counters.AddRow({"responses ok", std::to_string(ok())});
+  counters.AddRow({"deadline exceeded", std::to_string(deadline_exceeded())});
+  counters.AddRow({"invalid item", std::to_string(invalid_item())});
+  counters.AddRow({"queue depth (requests)", std::to_string(queue_depth)});
+  if (cache != nullptr) {
+    counters.AddSeparator();
+    counters.AddRow({"cache hits", std::to_string(cache->hits)});
+    counters.AddRow({"cache misses", std::to_string(cache->misses)});
+    counters.AddRow({"cache hit rate",
+                     StrFormat("%.1f%%", 100.0 * cache->HitRate())});
+    counters.AddRow({"cache evictions", std::to_string(cache->evictions)});
+    counters.AddRow({"cache entries", std::to_string(cache->entries)});
+  }
+
+  TablePrinter latency(
+      {"stage", "count", "p50 us", "p95 us", "p99 us", "mean us"});
+  auto add = [&latency](const char* stage, const Histogram& h) {
+    if (h.count() == 0) {
+      latency.AddRow({stage, "0", "-", "-", "-", "-"});
+      return;
+    }
+    latency.AddRow({stage, std::to_string(h.count()),
+                    StrFormat("%.2f", h.Percentile(0.5)),
+                    StrFormat("%.2f", h.Percentile(0.95)),
+                    StrFormat("%.2f", h.Percentile(0.99)),
+                    StrFormat("%.2f", h.Mean())});
+  };
+  {
+    std::lock_guard<std::mutex> lock(histo_mu_);
+    add("queue wait", queue_micros_);
+    add("execute", compute_micros_);
+  }
+  return counters.ToString() + "\n" + latency.ToString();
+}
+
+}  // namespace pkgm::serve

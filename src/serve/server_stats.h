@@ -1,0 +1,68 @@
+#ifndef PKGM_SERVE_SERVER_STATS_H_
+#define PKGM_SERVE_SERVER_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "serve/request.h"
+#include "serve/vector_cache.h"
+#include "util/histogram.h"
+
+namespace pkgm::serve {
+
+/// Thread-safe metrics for the knowledge server: request counters by
+/// outcome, plus per-stage latency histograms (queue wait vs execution).
+/// Counters are lock-free atomics; histograms are guarded by one mutex
+/// (Record is two appends — contention is negligible next to the
+/// embedding math being measured).
+class ServerStats {
+ public:
+  ServerStats() = default;
+
+  ServerStats(const ServerStats&) = delete;
+  ServerStats& operator=(const ServerStats&) = delete;
+
+  /// `n` requests passed admission control.
+  void RecordAccepted(uint64_t n) { accepted_ += n; }
+  /// `n` requests were turned away with kRejected.
+  void RecordRejected(uint64_t n) { rejected_ += n; }
+  /// One request reached a terminal state on a worker.
+  void RecordCompleted(ResponseCode code, double queue_micros,
+                       double compute_micros);
+
+  uint64_t accepted() const { return accepted_.load(); }
+  uint64_t rejected() const { return rejected_.load(); }
+  uint64_t ok() const { return ok_.load(); }
+  uint64_t deadline_exceeded() const { return deadline_exceeded_.load(); }
+  uint64_t invalid_item() const { return invalid_item_.load(); }
+  /// Accepted requests that have not yet completed.
+  uint64_t in_flight() const {
+    return accepted_.load() - ok_.load() - deadline_exceeded_.load() -
+           invalid_item_.load();
+  }
+
+  /// Snapshots of the stage histograms (copies, safe to interrogate).
+  Histogram QueueLatency() const;
+  Histogram ComputeLatency() const;
+
+  /// Renders counters, the queue-depth gauge, optional cache counters and
+  /// the per-stage latency percentiles as two aligned ASCII tables.
+  std::string ToTable(uint64_t queue_depth, const CacheStats* cache) const;
+
+ private:
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> ok_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  std::atomic<uint64_t> invalid_item_{0};
+
+  mutable std::mutex histo_mu_;
+  Histogram queue_micros_;
+  Histogram compute_micros_;
+};
+
+}  // namespace pkgm::serve
+
+#endif  // PKGM_SERVE_SERVER_STATS_H_

@@ -1,0 +1,82 @@
+#include "serve/vector_cache.h"
+
+#include "util/logging.h"
+
+namespace pkgm::serve {
+
+ShardedVectorCache::ShardedVectorCache(size_t capacity, size_t num_shards) {
+  PKGM_CHECK(capacity > 0);
+  PKGM_CHECK(num_shards > 0);
+  // Never let striping round a shard down to zero slots.
+  if (num_shards > capacity) num_shards = capacity;
+  per_shard_capacity_ = (capacity + num_shards - 1) / num_shards;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ShardedVectorCache::Shard& ShardedVectorCache::ShardFor(uint64_t key) {
+  // Fibonacci multiplicative mix so consecutive item ids spread across
+  // shards instead of striding through one.
+  const uint64_t mixed = key * 0x9e3779b97f4a7c15ULL;
+  return *shards_[(mixed >> 32) % shards_.size()];
+}
+
+bool ShardedVectorCache::Lookup(uint32_t item, core::ServiceMode mode,
+                                Vec* out) {
+  const uint64_t key = Key(item, mode);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  *out = it->second->second;
+  return true;
+}
+
+void ShardedVectorCache::Insert(uint32_t item, core::ServiceMode mode,
+                                const Vec& value) {
+  const uint64_t key = Key(item, mode);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.emplace_front(key, value);
+  shard.index[key] = shard.lru.begin();
+}
+
+void ShardedVectorCache::Invalidate() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+CacheStats ShardedVectorCache::Stats() const {
+  CacheStats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.hits += shard->hits;
+    stats.misses += shard->misses;
+    stats.evictions += shard->evictions;
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+}  // namespace pkgm::serve

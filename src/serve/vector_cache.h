@@ -1,0 +1,91 @@
+#ifndef PKGM_SERVE_VECTOR_CACHE_H_
+#define PKGM_SERVE_VECTOR_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/service.h"
+#include "tensor/vec.h"
+
+namespace pkgm::serve {
+
+/// Aggregated cache counters (summed across shards).
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t entries = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Sharded, mutex-striped LRU cache of condensed service vectors keyed by
+/// (item, mode). Serving traffic is Zipf-skewed (a few head items absorb
+/// most queries), so a small cache short-circuits the S_T/S_R computation
+/// for the hot set; striping keeps concurrent workers off one lock.
+///
+/// Values are immutable snapshots of the model's output — after a model
+/// refresh (new checkpoint swapped in) callers must Invalidate().
+class ShardedVectorCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly across
+  /// `num_shards` (>= 1) independent LRU shards.
+  ShardedVectorCache(size_t capacity, size_t num_shards = 8);
+
+  ShardedVectorCache(const ShardedVectorCache&) = delete;
+  ShardedVectorCache& operator=(const ShardedVectorCache&) = delete;
+
+  /// Copies the cached vector into `*out` and returns true on a hit;
+  /// returns false (and bumps the miss counter) otherwise.
+  bool Lookup(uint32_t item, core::ServiceMode mode, Vec* out);
+
+  /// Inserts or refreshes (item, mode) → value, evicting the shard's
+  /// least-recently-used entry when the shard is at capacity.
+  void Insert(uint32_t item, core::ServiceMode mode, const Vec& value);
+
+  /// Drops every entry in every shard (model refresh). Hit/miss/eviction
+  /// counters are preserved; `entries` drops to zero.
+  void Invalidate();
+
+  /// Sums counters across shards. Consistent per-shard, approximate
+  /// globally (shards are locked one at a time).
+  CacheStats Stats() const;
+
+  size_t capacity() const { return per_shard_capacity_ * shards_.size(); }
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  // Key layout: item in the high bits, mode in the low 2 bits.
+  static uint64_t Key(uint32_t item, core::ServiceMode mode) {
+    return (static_cast<uint64_t>(item) << 2) |
+           static_cast<uint64_t>(mode);
+  }
+
+  struct Shard {
+    std::mutex mu;
+    /// Front = most recently used.
+    std::list<std::pair<uint64_t, Vec>> lru;
+    std::unordered_map<uint64_t, std::list<std::pair<uint64_t, Vec>>::iterator>
+        index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(uint64_t key);
+
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace pkgm::serve
+
+#endif  // PKGM_SERVE_VECTOR_CACHE_H_

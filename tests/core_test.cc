@@ -484,6 +484,49 @@ TEST(ServiceTest, EmptyKeyRelationsGiveZeroVector) {
   EXPECT_TRUE(provider.Sequence(0, ServiceMode::kAll).empty());
 }
 
+TEST(ServiceTest, EmptyKeyRelationsPerModeDimsAndZeros) {
+  PkgmModel model(SmallModel());
+  // Item 1 has relations, item 0 has none — empty lists are legal and must
+  // serve deterministic zeros at the mode's dimension.
+  ServiceVectorProvider provider(&model, {0, 1}, {{}, {0, 2}});
+  for (ServiceMode mode : {ServiceMode::kTripleOnly, ServiceMode::kRelationOnly,
+                           ServiceMode::kAll}) {
+    EXPECT_TRUE(provider.Sequence(0, mode).empty());
+    Vec s = provider.Condensed(0, mode);
+    EXPECT_EQ(s.size(), provider.CondensedDim(mode));
+    for (float x : s) EXPECT_FLOAT_EQ(x, 0.0f);
+  }
+}
+
+TEST(ServiceTest, CondensedDimAgreesWithCondensedOutput) {
+  PkgmModel model(SmallModel());
+  ServiceVectorProvider provider(&model, {3}, {{0, 1, 3}});
+  EXPECT_EQ(provider.CondensedDim(ServiceMode::kAll), 2 * model.dim());
+  EXPECT_EQ(provider.CondensedDim(ServiceMode::kTripleOnly), model.dim());
+  EXPECT_EQ(provider.CondensedDim(ServiceMode::kRelationOnly), model.dim());
+  for (ServiceMode mode : {ServiceMode::kTripleOnly, ServiceMode::kRelationOnly,
+                           ServiceMode::kAll}) {
+    EXPECT_EQ(provider.Condensed(0, mode).size(), provider.CondensedDim(mode));
+    EXPECT_EQ(provider.Sequence(0, mode).size(),
+              mode == ServiceMode::kAll ? 6u : 3u);
+  }
+}
+
+TEST(ServiceTest, SequenceTripleBlockPrecedesRelationBlock) {
+  PkgmModel model(SmallModel());
+  ServiceVectorProvider provider(&model, {5}, {{1, 0, 2}});
+  const auto all = provider.Sequence(0, ServiceMode::kAll);
+  const auto triple = provider.Sequence(0, ServiceMode::kTripleOnly);
+  const auto relation = provider.Sequence(0, ServiceMode::kRelationOnly);
+  ASSERT_EQ(all.size(), triple.size() + relation.size());
+  // Fig. 2 layout: [S_T(r_1)..S_T(r_k), S_R(r_1)..S_R(r_k)], preserving the
+  // key-relation order within each block.
+  for (size_t i = 0; i < triple.size(); ++i) EXPECT_EQ(all[i], triple[i]);
+  for (size_t i = 0; i < relation.size(); ++i) {
+    EXPECT_EQ(all[triple.size() + i], relation[i]);
+  }
+}
+
 // Property sweep: service identity S_T(h,r) = h + r holds for every (h, r).
 class ServiceIdentitySweep : public ::testing::TestWithParam<uint32_t> {};
 

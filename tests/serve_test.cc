@@ -1,0 +1,374 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/pkgm_model.h"
+#include "core/service.h"
+#include "serve/bounded_queue.h"
+#include "serve/knowledge_server.h"
+#include "serve/request.h"
+#include "serve/vector_cache.h"
+#include "util/rng.h"
+
+namespace pkgm::serve {
+namespace {
+
+// A small provider over a deterministic model: items 0..9 map to entities
+// 0..9; item 7 has an empty key-relation list (the provider explicitly
+// allows that), the others have 1..4 relations.
+struct Fixture {
+  Fixture() {
+    core::PkgmModelOptions mopt;
+    mopt.num_entities = 20;
+    mopt.num_relations = 5;
+    mopt.dim = 8;
+    mopt.seed = 17;
+    model = std::make_unique<core::PkgmModel>(mopt);
+
+    std::vector<kg::EntityId> entities;
+    std::vector<std::vector<kg::RelationId>> rels;
+    for (uint32_t i = 0; i < 10; ++i) {
+      entities.push_back(i);
+      std::vector<kg::RelationId> r;
+      if (i != 7) {
+        for (uint32_t j = 0; j <= i % 4; ++j) r.push_back((i + j) % 5);
+      }
+      rels.push_back(std::move(r));
+    }
+    provider = std::make_unique<core::ServiceVectorProvider>(
+        model.get(), std::move(entities), std::move(rels));
+  }
+
+  std::unique_ptr<core::PkgmModel> model;
+  std::unique_ptr<core::ServiceVectorProvider> provider;
+};
+
+// ---------------------------------------------------------- BoundedQueue --
+
+TEST(BoundedQueueTest, RejectsWhenFullAndDrainsAfterClose) {
+  BoundedQueue<int> q(2);
+  int x = 1;
+  EXPECT_TRUE(q.TryPush(std::move(x)));
+  x = 2;
+  EXPECT_TRUE(q.TryPush(std::move(x)));
+  x = 3;
+  EXPECT_FALSE(q.TryPush(std::move(x)));  // full
+  EXPECT_EQ(q.size(), 2u);
+
+  q.Close();
+  x = 4;
+  EXPECT_FALSE(q.TryPush(std::move(x)));  // closed
+  int out = 0;
+  EXPECT_TRUE(q.Pop(&out));  // graceful drain after Close
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(q.Pop(&out));  // closed and drained
+}
+
+TEST(BoundedQueueTest, PopBlocksUntilPush) {
+  BoundedQueue<int> q(1);
+  std::atomic<bool> got{false};
+  std::thread consumer([&] {
+    int out = 0;
+    ASSERT_TRUE(q.Pop(&out));
+    EXPECT_EQ(out, 42);
+    got = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(got.load());
+  int x = 42;
+  EXPECT_TRUE(q.TryPush(std::move(x)));
+  consumer.join();
+  EXPECT_TRUE(got.load());
+}
+
+// ------------------------------------------------------ ShardedVectorCache --
+
+TEST(ShardedVectorCacheTest, LruEvictionAndCounters) {
+  ShardedVectorCache cache(/*capacity=*/2, /*num_shards=*/1);
+  Vec out;
+  EXPECT_FALSE(cache.Lookup(0, core::ServiceMode::kAll, &out));
+  cache.Insert(0, core::ServiceMode::kAll, Vec({1.0f}));
+  cache.Insert(1, core::ServiceMode::kAll, Vec({2.0f}));
+  // Touch 0 so 1 becomes the LRU victim.
+  EXPECT_TRUE(cache.Lookup(0, core::ServiceMode::kAll, &out));
+  cache.Insert(2, core::ServiceMode::kAll, Vec({3.0f}));
+
+  EXPECT_TRUE(cache.Lookup(0, core::ServiceMode::kAll, &out));
+  EXPECT_EQ(out, Vec({1.0f}));
+  EXPECT_FALSE(cache.Lookup(1, core::ServiceMode::kAll, &out));  // evicted
+  EXPECT_TRUE(cache.Lookup(2, core::ServiceMode::kAll, &out));
+
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 2u);  // initial lookup of 0 + post-eviction lookup of 1
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(ShardedVectorCacheTest, ModeIsPartOfTheKey) {
+  ShardedVectorCache cache(8, 2);
+  cache.Insert(3, core::ServiceMode::kTripleOnly, Vec({1.0f}));
+  Vec out;
+  EXPECT_FALSE(cache.Lookup(3, core::ServiceMode::kRelationOnly, &out));
+  EXPECT_FALSE(cache.Lookup(3, core::ServiceMode::kAll, &out));
+  EXPECT_TRUE(cache.Lookup(3, core::ServiceMode::kTripleOnly, &out));
+}
+
+TEST(ShardedVectorCacheTest, InvalidateDropsEntriesKeepsCounters) {
+  ShardedVectorCache cache(16, 4);
+  Vec out;
+  cache.Insert(1, core::ServiceMode::kAll, Vec({1.0f}));
+  EXPECT_TRUE(cache.Lookup(1, core::ServiceMode::kAll, &out));
+  cache.Invalidate();
+  EXPECT_FALSE(cache.Lookup(1, core::ServiceMode::kAll, &out));
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);  // the post-Invalidate lookup
+}
+
+// -------------------------------------------------------- KnowledgeServer --
+
+TEST(KnowledgeServerTest, QueueFullRejection) {
+  Fixture fx;
+  KnowledgeServerOptions opt;
+  opt.num_workers = 1;
+  opt.queue_capacity = 2;  // batches
+  KnowledgeServer server(fx.provider.get(), opt);
+  // Not started: submissions park in the queue, so capacity is exercised
+  // deterministically.
+  auto f1 = server.SubmitBatch({ServiceRequest{}, ServiceRequest{}});
+  auto f2 = server.Submit(ServiceRequest{});
+  auto f3 = server.Submit(ServiceRequest{});  // queue full → rejected
+
+  ServiceResponse rejected = f3.get();
+  EXPECT_EQ(rejected.code, ResponseCode::kRejected);
+  EXPECT_TRUE(rejected.vectors.empty());
+  EXPECT_EQ(server.stats().rejected(), 1u);
+  EXPECT_EQ(server.stats().accepted(), 3u);
+  EXPECT_EQ(server.queue_depth(), 3u);
+
+  server.Start();
+  for (auto& f : f1) EXPECT_EQ(f.get().code, ResponseCode::kOk);
+  EXPECT_EQ(f2.get().code, ResponseCode::kOk);
+  server.Stop();
+  EXPECT_EQ(server.queue_depth(), 0u);
+  EXPECT_EQ(server.stats().ok(), 3u);
+}
+
+TEST(KnowledgeServerTest, SubmitAfterStopIsRejected) {
+  Fixture fx;
+  KnowledgeServer server(fx.provider.get());
+  server.Start();
+  server.Stop();
+  EXPECT_EQ(server.Submit(ServiceRequest{}).get().code,
+            ResponseCode::kRejected);
+}
+
+TEST(KnowledgeServerTest, DeadlineExpiry) {
+  Fixture fx;
+  KnowledgeServerOptions opt;
+  opt.num_workers = 1;
+  KnowledgeServer server(fx.provider.get(), opt);
+
+  ServiceRequest expired;
+  expired.item = 1;
+  expired.deadline = ServeClock::now() - std::chrono::milliseconds(1);
+  ServiceRequest alive;
+  alive.item = 1;  // no deadline
+  auto futures = server.SubmitBatch({expired, alive});
+  server.Start();
+
+  ServiceResponse r0 = futures[0].get();
+  EXPECT_EQ(r0.code, ResponseCode::kDeadlineExceeded);
+  EXPECT_TRUE(r0.vectors.empty());
+  EXPECT_EQ(futures[1].get().code, ResponseCode::kOk);
+  server.Stop();
+  EXPECT_EQ(server.stats().deadline_exceeded(), 1u);
+}
+
+TEST(KnowledgeServerTest, InvalidItem) {
+  Fixture fx;
+  KnowledgeServer server(fx.provider.get());
+  server.Start();
+  ServiceRequest request;
+  request.item = fx.provider->num_items();  // one past the end
+  EXPECT_EQ(server.Submit(request).get().code, ResponseCode::kInvalidItem);
+  server.Stop();
+  EXPECT_EQ(server.stats().invalid_item(), 1u);
+}
+
+TEST(KnowledgeServerTest, CondensedMatchesProviderOnMissAndHit) {
+  Fixture fx;
+  KnowledgeServer server(fx.provider.get());
+  server.Start();
+  for (core::ServiceMode mode :
+       {core::ServiceMode::kTripleOnly, core::ServiceMode::kRelationOnly,
+        core::ServiceMode::kAll}) {
+    ServiceRequest request;
+    request.item = 3;
+    request.mode = mode;
+    request.form = ServiceForm::kCondensed;
+    const Vec expected = fx.provider->Condensed(3, mode);
+
+    ServiceResponse miss = server.Submit(request).get();
+    ASSERT_EQ(miss.code, ResponseCode::kOk);
+    EXPECT_FALSE(miss.cache_hit);
+    ASSERT_EQ(miss.vectors.size(), 1u);
+    EXPECT_EQ(miss.vectors[0], expected);  // bit-for-bit
+
+    ServiceResponse hit = server.Submit(request).get();
+    ASSERT_EQ(hit.code, ResponseCode::kOk);
+    EXPECT_TRUE(hit.cache_hit);
+    ASSERT_EQ(hit.vectors.size(), 1u);
+    EXPECT_EQ(hit.vectors[0], expected);  // bit-for-bit
+  }
+  server.Stop();
+}
+
+TEST(KnowledgeServerTest, SequenceMatchesProviderAndBypassesCache) {
+  Fixture fx;
+  KnowledgeServer server(fx.provider.get());
+  server.Start();
+  ServiceRequest request;
+  request.item = 5;
+  request.mode = core::ServiceMode::kAll;
+  request.form = ServiceForm::kSequence;
+  const std::vector<Vec> expected =
+      fx.provider->Sequence(5, core::ServiceMode::kAll);
+
+  for (int round = 0; round < 2; ++round) {
+    ServiceResponse response = server.Submit(request).get();
+    ASSERT_EQ(response.code, ResponseCode::kOk);
+    EXPECT_FALSE(response.cache_hit);
+    ASSERT_EQ(response.vectors.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(response.vectors[i], expected[i]);
+    }
+  }
+  server.Stop();
+  EXPECT_EQ(server.cache()->Stats().entries, 0u);
+}
+
+TEST(KnowledgeServerTest, EmptyKeyRelationItemServes) {
+  Fixture fx;
+  ASSERT_EQ(fx.provider->NumKeyRelations(7), 0u);
+  KnowledgeServer server(fx.provider.get());
+  server.Start();
+
+  ServiceRequest condensed;
+  condensed.item = 7;
+  ServiceResponse response = server.Submit(condensed).get();
+  ASSERT_EQ(response.code, ResponseCode::kOk);
+  ASSERT_EQ(response.vectors.size(), 1u);
+  EXPECT_EQ(response.vectors[0],
+            fx.provider->Condensed(7, core::ServiceMode::kAll));
+
+  ServiceRequest sequence;
+  sequence.item = 7;
+  sequence.form = ServiceForm::kSequence;
+  EXPECT_TRUE(server.Submit(sequence).get().vectors.empty());
+  server.Stop();
+}
+
+TEST(KnowledgeServerTest, CacheInvalidation) {
+  Fixture fx;
+  KnowledgeServer server(fx.provider.get());
+  server.Start();
+  ServiceRequest request;
+  request.item = 2;
+
+  EXPECT_FALSE(server.Submit(request).get().cache_hit);
+  EXPECT_TRUE(server.Submit(request).get().cache_hit);
+  server.InvalidateCache();
+  EXPECT_FALSE(server.Submit(request).get().cache_hit);  // recomputed
+  EXPECT_TRUE(server.Submit(request).get().cache_hit);
+  server.Stop();
+}
+
+TEST(KnowledgeServerTest, CacheDisabled) {
+  Fixture fx;
+  KnowledgeServerOptions opt;
+  opt.enable_cache = false;
+  KnowledgeServer server(fx.provider.get(), opt);
+  EXPECT_EQ(server.cache(), nullptr);
+  server.Start();
+  ServiceRequest request;
+  request.item = 2;
+  EXPECT_FALSE(server.Submit(request).get().cache_hit);
+  EXPECT_FALSE(server.Submit(request).get().cache_hit);
+  server.Stop();
+}
+
+TEST(KnowledgeServerTest, ConcurrentRequestsMatchDirectComputation) {
+  Fixture fx;
+  KnowledgeServerOptions opt;
+  opt.num_workers = 3;
+  opt.cache_capacity = 16;  // small: force eviction + recompute churn
+  opt.cache_shards = 2;
+  KnowledgeServer server(fx.provider.get(), opt);
+  server.Start();
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 250;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(100 + c);
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        ServiceRequest request;
+        request.item = static_cast<uint32_t>(
+            rng.Uniform(fx.provider->num_items()));
+        request.mode = static_cast<core::ServiceMode>(rng.Uniform(3));
+        request.form = rng.Bernoulli(0.5) ? ServiceForm::kCondensed
+                                          : ServiceForm::kSequence;
+        ServiceResponse response = server.Submit(request).get();
+        if (response.code != ResponseCode::kOk) {
+          ++mismatches;
+          continue;
+        }
+        if (request.form == ServiceForm::kCondensed) {
+          if (response.vectors.size() != 1 ||
+              response.vectors[0] !=
+                  fx.provider->Condensed(request.item, request.mode)) {
+            ++mismatches;
+          }
+        } else {
+          const auto expected =
+              fx.provider->Sequence(request.item, request.mode);
+          if (response.vectors != expected) ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server.Stop();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(server.stats().ok(),
+            static_cast<uint64_t>(kClients * kRequestsPerClient));
+  EXPECT_EQ(server.queue_depth(), 0u);
+}
+
+TEST(KnowledgeServerTest, StatsReportRenders) {
+  Fixture fx;
+  KnowledgeServer server(fx.provider.get());
+  server.Start();
+  server.Submit(ServiceRequest{}).get();
+  server.Stop();
+  const std::string report = server.StatsReport();
+  EXPECT_NE(report.find("requests accepted"), std::string::npos);
+  EXPECT_NE(report.find("cache hit rate"), std::string::npos);
+  EXPECT_NE(report.find("p99 us"), std::string::npos);
+  EXPECT_NE(report.find("queue wait"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pkgm::serve

@@ -309,6 +309,48 @@ TEST(ThreadPoolTest, ParallelForEmpty) {
   pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
 }
 
+TEST(ThreadPoolTest, ParallelForUnderContention) {
+  // n ≫ threads: every index lands exactly once in its own slot, and the
+  // ParallelFor return (built on Wait()) really drains all in-flight work —
+  // summing afterwards would race otherwise.
+  ThreadPool pool(3);
+  constexpr size_t kN = 20000;
+  std::vector<uint64_t> slots(kN, 0);
+  pool.ParallelFor(kN, [&](size_t i) { slots[i] += i + 1; });
+  uint64_t sum = 0;
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(slots[i], i + 1) << "slot " << i;
+    sum += slots[i];
+  }
+  EXPECT_EQ(sum, kN * (kN + 1) / 2);
+
+  // The pool stays usable for a second contended round and for n == 0.
+  pool.ParallelFor(kN, [&](size_t i) { slots[i] += 1; });
+  for (size_t i = 0; i < kN; ++i) ASSERT_EQ(slots[i], i + 2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, WaitDrainsManyConcurrentProducers) {
+  // MPMC submission: 4 external producer threads race Submit against the
+  // workers; one Wait() must observe every task.
+  ThreadPool pool(2);
+  std::atomic<uint64_t> counter{0};
+  constexpr int kProducers = 4;
+  constexpr int kTasksPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.Wait();
+  EXPECT_EQ(counter.load(),
+            static_cast<uint64_t>(kProducers * kTasksPerProducer));
+}
+
 // ------------------------------------------------------------- Histogram --
 
 TEST(HistogramTest, BasicStats) {

@@ -1,0 +1,245 @@
+// pkgm_serve — stands up the online knowledge-serving subsystem end to end:
+// pre-trains PKGM on a synthetic product KG, starts a KnowledgeServer, and
+// drives it with a closed-loop multi-threaded synthetic traffic generator
+// over a Zipf-skewed item distribution (head items dominate, as in real
+// e-commerce traffic), then prints a latency/throughput/cache report.
+//
+//   pkgm_serve [--qps N] [--duration-requests N] [--threads N] [--workers N]
+//              [--batch N] [--cache 0|1] [--zipf S] [--deadline-us N]
+//              [--queue-capacity N] [--seed N]
+//
+//   --qps 0 (default) runs closed-loop at maximum rate; a positive value
+//   paces the aggregate request rate across client threads.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/knowledge_server.h"
+#include "tasks/pipeline.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace pkgm {
+namespace {
+
+struct ServeFlags {
+  double qps = 0.0;                  // 0 = closed loop, no pacing
+  uint64_t duration_requests = 50000;
+  int threads = 4;                   // client threads
+  int workers = 2;                   // server worker threads
+  int batch = 16;                    // requests per SubmitBatch
+  bool cache = true;
+  double zipf = 1.1;                 // item-popularity skew
+  int64_t deadline_us = 0;           // 0 = no deadline
+  size_t queue_capacity = 256;
+  uint64_t seed = 2021;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pkgm_serve [--qps N] [--duration-requests N] "
+               "[--threads N]\n"
+               "                  [--workers N] [--batch N] [--cache 0|1] "
+               "[--zipf S]\n"
+               "                  [--deadline-us N] [--queue-capacity N] "
+               "[--seed N]\n");
+  return 2;
+}
+
+bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (std::strcmp(arg, "--qps") == 0 && (v = next())) {
+      flags->qps = std::atof(v);
+    } else if (std::strcmp(arg, "--duration-requests") == 0 && (v = next())) {
+      flags->duration_requests = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--threads") == 0 && (v = next())) {
+      flags->threads = std::atoi(v);
+    } else if (std::strcmp(arg, "--workers") == 0 && (v = next())) {
+      flags->workers = std::atoi(v);
+    } else if (std::strcmp(arg, "--batch") == 0 && (v = next())) {
+      flags->batch = std::atoi(v);
+    } else if (std::strcmp(arg, "--cache") == 0 && (v = next())) {
+      flags->cache = std::atoi(v) != 0;
+    } else if (std::strcmp(arg, "--zipf") == 0 && (v = next())) {
+      flags->zipf = std::atof(v);
+    } else if (std::strcmp(arg, "--deadline-us") == 0 && (v = next())) {
+      flags->deadline_us = std::atoll(v);
+    } else if (std::strcmp(arg, "--queue-capacity") == 0 && (v = next())) {
+      flags->queue_capacity = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--seed") == 0 && (v = next())) {
+      flags->seed = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg);
+      return false;
+    }
+  }
+  if (flags->threads < 1 || flags->workers < 1 || flags->batch < 1) {
+    std::fprintf(stderr, "--threads/--workers/--batch must be >= 1\n");
+    return false;
+  }
+  return true;
+}
+
+/// Serving-scale pipeline: small KG, few epochs — the served vectors only
+/// need to exist, not to be good, so pre-training is kept short.
+tasks::PipelineOptions ServePipelineOptions(uint64_t seed) {
+  tasks::PipelineOptions opt;
+  opt.pkg.seed = seed;
+  opt.pkg.num_categories = 8;
+  opt.pkg.items_per_category = 125;  // 1000 items
+  opt.dim = 32;
+  opt.pretrain_epochs = 3;
+  opt.service_k = 10;
+  opt.seed = seed;
+  return opt;
+}
+
+int Run(const ServeFlags& flags) {
+  std::printf("pkgm_serve: pre-training a synthetic PKG (short run) ...\n");
+  Stopwatch setup;
+  tasks::PretrainedPkgm p = tasks::BuildAndPretrain(ServePipelineOptions(
+      flags.seed));
+  const uint32_t num_items = p.services->num_items();
+  std::printf("ready in %.1fs: %u items, dim %u, condensed dim %u\n\n",
+              setup.ElapsedSeconds(), num_items, p.model->dim(),
+              p.services->CondensedDim(core::ServiceMode::kAll));
+
+  serve::KnowledgeServerOptions sopt;
+  sopt.num_workers = static_cast<size_t>(flags.workers);
+  sopt.queue_capacity = flags.queue_capacity;
+  sopt.enable_cache = flags.cache;
+  serve::KnowledgeServer server(p.services.get(), sopt);
+  server.Start();
+
+  // Closed-loop traffic: each client thread submits a batch, blocks on all
+  // its futures, then submits the next — so offered load adapts to service
+  // capacity and --qps only adds pacing on top.
+  const uint64_t per_thread =
+      (flags.duration_requests + flags.threads - 1) / flags.threads;
+  const double per_thread_qps = flags.qps / flags.threads;
+  ZipfSampler zipf(num_items, flags.zipf);
+
+  std::mutex histo_mu;
+  Histogram latency_us;  // client-observed: submit → future ready
+  std::atomic<uint64_t> sent{0}, ok{0}, rejected{0}, expired{0}, hits{0};
+
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  Rng seeder(flags.seed);
+  for (int c = 0; c < flags.threads; ++c) {
+    Rng rng = seeder.Fork();
+    clients.emplace_back([&, rng]() mutable {
+      std::vector<double> batch_latencies;
+      const auto start = serve::ServeClock::now();
+      uint64_t submitted = 0;
+      while (submitted < per_thread) {
+        const uint64_t batch_size =
+            std::min<uint64_t>(flags.batch, per_thread - submitted);
+        std::vector<serve::ServiceRequest> batch(batch_size);
+        for (auto& request : batch) {
+          // Zipf ranks are most-popular-first; use the rank as the item id.
+          request.item = static_cast<uint32_t>(zipf.Sample(&rng));
+          request.mode = core::ServiceMode::kAll;
+          request.form = serve::ServiceForm::kCondensed;
+          if (flags.deadline_us > 0) {
+            request.deadline = serve::ServeClock::now() +
+                               std::chrono::microseconds(flags.deadline_us);
+          }
+        }
+        const auto submit_time = serve::ServeClock::now();
+        auto futures = server.SubmitBatch(std::move(batch));
+        batch_latencies.clear();
+        for (auto& future : futures) {
+          serve::ServiceResponse response = future.get();
+          const double us = std::chrono::duration<double, std::micro>(
+                                serve::ServeClock::now() - submit_time)
+                                .count();
+          batch_latencies.push_back(us);
+          switch (response.code) {
+            case serve::ResponseCode::kOk:
+              ++ok;
+              if (response.cache_hit) ++hits;
+              break;
+            case serve::ResponseCode::kRejected: ++rejected; break;
+            case serve::ResponseCode::kDeadlineExceeded: ++expired; break;
+            case serve::ResponseCode::kInvalidItem: break;
+          }
+        }
+        submitted += batch_size;
+        {
+          std::lock_guard<std::mutex> lock(histo_mu);
+          for (double us : batch_latencies) latency_us.Record(us);
+        }
+        if (per_thread_qps > 0.0) {
+          // Pace: sleep until this thread's cumulative schedule catches up.
+          const double target_s =
+              static_cast<double>(submitted) / per_thread_qps;
+          const auto target =
+              start + std::chrono::duration_cast<serve::ServeClock::duration>(
+                          std::chrono::duration<double>(target_s));
+          std::this_thread::sleep_until(target);
+        }
+      }
+      sent += submitted;
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double wall_s = wall.ElapsedSeconds();
+  server.Stop();
+
+  const uint64_t total = sent.load();
+  std::printf("traffic: %s requests in %.2fs over %d client threads "
+              "(batch %d, zipf %.2f, %s)\n",
+              WithThousandsSeparators(total).c_str(), wall_s, flags.threads,
+              flags.batch, flags.zipf,
+              flags.qps > 0 ? StrFormat("paced at %.0f qps", flags.qps).c_str()
+                            : "closed loop");
+  std::printf("throughput: %.0f requests/s\n\n",
+              static_cast<double>(total) / wall_s);
+
+  TablePrinter t({"metric", "value"});
+  t.AddRow({"ok", std::to_string(ok.load())});
+  t.AddRow({"rejected", std::to_string(rejected.load())});
+  t.AddRow({"deadline expired", std::to_string(expired.load())});
+  const uint64_t answered = ok.load();
+  t.AddRow({"cache hit rate",
+            answered == 0
+                ? std::string("-")
+                : StrFormat("%.1f%%", 100.0 * static_cast<double>(hits.load()) /
+                                          static_cast<double>(answered))});
+  auto percentile = [&latency_us](double q) {
+    return latency_us.count() == 0 ? std::string("-")
+                                   : StrFormat("%.1f", latency_us.Percentile(q));
+  };
+  t.AddRow({"client p50 us", percentile(0.5)});
+  t.AddRow({"client p95 us", percentile(0.95)});
+  t.AddRow({"client p99 us", percentile(0.99)});
+  t.AddRow({"client mean us", StrFormat("%.1f", latency_us.Mean())});
+  std::printf("%s\n", t.ToString().c_str());
+
+  std::printf("server-side stats:\n%s\n", server.StatsReport().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace pkgm
+
+int main(int argc, char** argv) {
+  pkgm::ServeFlags flags;
+  if (!pkgm::ParseFlags(argc, argv, &flags)) return pkgm::Usage();
+  return pkgm::Run(flags);
+}
