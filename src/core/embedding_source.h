@@ -1,0 +1,68 @@
+#ifndef PKGM_CORE_EMBEDDING_SOURCE_H_
+#define PKGM_CORE_EMBEDDING_SOURCE_H_
+
+#include <cstdint>
+
+namespace pkgm::core {
+
+/// Scoring family of the triple query module. TransE is the paper's choice
+/// (§II-A, picked "for its simplicity and effectiveness"); DistMult and
+/// ComplEx are the semantic-matching alternatives the paper cites (§IV-A),
+/// provided so the triple query module can be swapped without touching the
+/// rest of the system.
+///
+/// Score conventions are unified as "smaller is better" so the margin loss
+/// and the evaluators work unchanged:
+///   kTransE  : f_T = ||h + r - t||_1
+///   kDistMult: f_T = -<h, r, t>           (negated trilinear product)
+///   kComplEx : f_T = -Re<h, r, conj(t)>   (embeddings split [real; imag])
+///   kTransH  : f_T = ||h_perp + r - t_perp||_1 with x_perp = x - w_r<w_r,x>
+///              (relation-specific hyperplanes w_r, Wang et al. 2014)
+enum class TripleScorerKind { kTransE, kDistMult, kComplEx, kTransH };
+
+/// Read-only access to one PKGM parameter set — the seam between "where
+/// the numbers live" and "what is computed from them". The in-heap
+/// PkgmModel and the memory-mapped store (src/store/) both implement it,
+/// so the serving path (ServiceVectorProvider and everything above it) is
+/// agnostic to whether parameters are training-mutable heap tables or an
+/// immutable, possibly quantized, file mapping.
+///
+/// Row accessor contract: `scratch` must point at dim() writable floats
+/// (dim()*dim() for TransferRow). Implementations whose storage already is
+/// row-major fp32 return a pointer straight into that storage and never
+/// touch `scratch` (zero-copy); quantized implementations dequantize into
+/// `scratch` and return it. Either way the returned pointer is valid until
+/// `scratch` is reused and must not be written through.
+///
+/// Implementations must be safe for concurrent readers; none of the
+/// accessors may mutate logical state.
+class EmbeddingSource {
+ public:
+  virtual ~EmbeddingSource() = default;
+
+  virtual uint32_t num_entities() const = 0;
+  virtual uint32_t num_relations() const = 0;
+  /// Embedding dimension d; transfer matrices are d x d.
+  virtual uint32_t dim() const = 0;
+  virtual TripleScorerKind scorer() const = 0;
+  /// False when the M_r transfer tables were dropped (triple-only models).
+  virtual bool has_relation_module() const = 0;
+
+  /// Entity embedding row e (dim() floats).
+  virtual const float* EntityRow(uint32_t e, float* scratch) const = 0;
+  /// Relation embedding row r (dim() floats).
+  virtual const float* RelationRow(uint32_t r, float* scratch) const = 0;
+  /// Transfer matrix M_r, row-major d x d (dim()*dim() floats). Only valid
+  /// when has_relation_module().
+  virtual const float* TransferRow(uint32_t r, float* scratch) const = 0;
+  /// TransH hyperplane normal w_r (dim() floats). Only valid when
+  /// has_hyperplanes().
+  virtual const float* HyperplaneRow(uint32_t r, float* scratch) const = 0;
+
+  /// TransH is the only family with per-relation hyperplanes.
+  bool has_hyperplanes() const { return scorer() == TripleScorerKind::kTransH; }
+};
+
+}  // namespace pkgm::core
+
+#endif  // PKGM_CORE_EMBEDDING_SOURCE_H_

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "core/service_math.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -110,38 +111,11 @@ float PkgmModel::TripleScore(const kg::Triple& t) const {
 
 void PkgmModel::TripleQueryVector(kg::EntityId h_id, kg::RelationId r_id,
                                   float* out) const {
-  const uint32_t d = options_.dim;
-  const float* h = entity(h_id);
-  const float* r = relation(r_id);
-  switch (options_.scorer) {
-    case TripleScorerKind::kTransE:
-      Add(d, h, r, out);
-      return;
-    case TripleScorerKind::kDistMult:
-      Hadamard(d, h, r, out);
-      return;
-    case TripleScorerKind::kComplEx: {
-      const uint32_t half = d / 2;
-      const float* h_re = h;
-      const float* h_im = h + half;
-      const float* r_re = r;
-      const float* r_im = r + half;
-      for (uint32_t i = 0; i < half; ++i) {
-        out[i] = h_re[i] * r_re[i] - h_im[i] * r_im[i];
-        out[half + i] = h_re[i] * r_im[i] + h_im[i] * r_re[i];
-      }
-      return;
-    }
-    case TripleScorerKind::kTransH: {
-      // q = h_perp + r; candidates are projected in TailDistance.
-      const float* w = hyperplane(r_id);
-      const float wh = Dot(d, w, h);
-      for (uint32_t i = 0; i < d; ++i) {
-        out[i] = h[i] - wh * w[i] + r[i];
-      }
-      return;
-    }
-  }
+  const float* w = options_.scorer == TripleScorerKind::kTransH
+                       ? hyperplane(r_id)
+                       : nullptr;
+  TripleQueryFromRows(options_.scorer, options_.dim, entity(h_id),
+                      relation(r_id), w, out);
 }
 
 float PkgmModel::TailDistance(kg::RelationId r, const float* query,
@@ -198,9 +172,7 @@ void PkgmModel::RelationService(kg::EntityId h, kg::RelationId r,
     for (uint32_t i = 0; i < d; ++i) out[i] = 0.0f;
     return;
   }
-  GemvRaw(d, d, transfer(r), entity(h), out);
-  const float* rv = relation(r);
-  for (uint32_t i = 0; i < d; ++i) out[i] -= rv[i];
+  RelationServiceFromRows(d, transfer(r), entity(h), relation(r), out);
 }
 
 void PkgmModel::NormalizeEntity(uint32_t e) {
@@ -267,7 +239,8 @@ StatusOr<PkgmModel> PkgmModel::LoadFromFile(const std::string& path) {
   Status s = ReadBlock(f, header, sizeof(header));
   if (!s.ok()) {
     std::fclose(f);
-    return s;
+    return Status::Corruption(
+        StrFormat("%s: too short to hold a checkpoint header", path.c_str()));
   }
   if (header[0] != kMagic) {
     std::fclose(f);
@@ -287,6 +260,42 @@ StatusOr<PkgmModel> PkgmModel::LoadFromFile(const std::string& path) {
     return Status::Corruption("unknown scorer kind in checkpoint");
   }
   opt.scorer = static_cast<TripleScorerKind>(header[6]);
+  // Validate the header against the actual file size *before* allocating
+  // tables from its counts: a flipped header byte must yield a clean
+  // Status, not a multi-gigabyte allocation or a model built from
+  // uninitialized bytes after a short read.
+  if (opt.num_entities == 0 || opt.num_relations == 0 || opt.dim == 0) {
+    std::fclose(f);
+    return Status::Corruption("checkpoint header has zero-sized tables");
+  }
+  if (opt.scorer == TripleScorerKind::kComplEx && opt.dim % 2 != 0) {
+    std::fclose(f);
+    return Status::Corruption("ComplEx checkpoint with odd dimension");
+  }
+  uint64_t expected = sizeof(header);
+  const uint64_t d = opt.dim;
+  expected += static_cast<uint64_t>(opt.num_entities) * d * sizeof(float);
+  expected += static_cast<uint64_t>(opt.num_relations) * d * sizeof(float);
+  if (opt.use_relation_module) {
+    expected += static_cast<uint64_t>(opt.num_relations) * d * d * sizeof(float);
+  }
+  if (opt.scorer == TripleScorerKind::kTransH) {
+    expected += static_cast<uint64_t>(opt.num_relations) * d * sizeof(float);
+  }
+  if (fseeko(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return Status::IoError(StrFormat("cannot stat %s", path.c_str()));
+  }
+  const uint64_t actual = static_cast<uint64_t>(ftello(f));
+  if (actual != expected) {
+    std::fclose(f);
+    return Status::Corruption(StrFormat(
+        "checkpoint %s is truncated or corrupt: header implies %llu bytes, "
+        "file has %llu",
+        path.c_str(), static_cast<unsigned long long>(expected),
+        static_cast<unsigned long long>(actual)));
+  }
+  fseeko(f, sizeof(header), SEEK_SET);
   PkgmModel model(opt);
   s = ReadBlock(f, model.entities_.data(), model.entities_.size() * sizeof(float));
   if (s.ok()) {

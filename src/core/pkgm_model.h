@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/embedding_source.h"
 #include "kg/triple.h"
 #include "tensor/vec.h"
 #include "util/rng.h"
@@ -13,21 +14,8 @@ namespace pkgm::core {
 
 /// Model hyper-parameters (paper §III-A2: d = 64, Adam lr 1e-4, batch 1000,
 /// 1 negative per edge; our defaults are scaled for laptop-size graphs).
-/// Scoring family of the triple query module. TransE is the paper's choice
-/// (§II-A, picked "for its simplicity and effectiveness"); DistMult and
-/// ComplEx are the semantic-matching alternatives the paper cites (§IV-A),
-/// provided so the triple query module can be swapped without touching the
-/// rest of the system.
-///
-/// Score conventions are unified as "smaller is better" so the margin loss
-/// and the evaluators work unchanged:
-///   kTransE  : f_T = ||h + r - t||_1
-///   kDistMult: f_T = -<h, r, t>           (negated trilinear product)
-///   kComplEx : f_T = -Re<h, r, conj(t)>   (embeddings split [real; imag])
-///   kTransH  : f_T = ||h_perp + r - t_perp||_1 with x_perp = x - w_r<w_r,x>
-///              (relation-specific hyperplanes w_r, Wang et al. 2014)
-enum class TripleScorerKind { kTransE, kDistMult, kComplEx, kTransH };
-
+/// TripleScorerKind (the triple query module's scoring family) lives in
+/// core/embedding_source.h alongside the parameter-access seam.
 struct PkgmModelOptions {
   uint32_t num_entities = 0;
   uint32_t num_relations = 0;
@@ -60,7 +48,11 @@ struct PkgmModelOptions {
 /// The model owns plain dense tables so trainers can update rows in place;
 /// thread-safety during training is the trainer's concern (hogwild-style
 /// benign races or per-shard locking).
-class PkgmModel {
+///
+/// As an EmbeddingSource it hands out zero-copy fp32 row pointers, so the
+/// serving path (ServiceVectorProvider, KnowledgeServer) works identically
+/// over a live training model and over a memory-mapped store export.
+class PkgmModel : public EmbeddingSource {
  public:
   /// Allocates and randomly initializes all parameters (TransE-style init
   /// for embeddings, near-identity for transfer matrices).
@@ -71,11 +63,29 @@ class PkgmModel {
   PkgmModel(PkgmModel&&) = default;
   PkgmModel& operator=(PkgmModel&&) = default;
 
-  uint32_t num_entities() const { return options_.num_entities; }
-  uint32_t num_relations() const { return options_.num_relations; }
-  uint32_t dim() const { return options_.dim; }
-  TripleScorerKind scorer() const { return options_.scorer; }
+  uint32_t num_entities() const override { return options_.num_entities; }
+  uint32_t num_relations() const override { return options_.num_relations; }
+  uint32_t dim() const override { return options_.dim; }
+  TripleScorerKind scorer() const override { return options_.scorer; }
   bool use_relation_module() const { return options_.use_relation_module; }
+  bool has_relation_module() const override {
+    return options_.use_relation_module;
+  }
+
+  /// EmbeddingSource row accessors — direct pointers into the heap tables;
+  /// `scratch` is never used.
+  const float* EntityRow(uint32_t e, float* /*scratch*/) const override {
+    return entity(e);
+  }
+  const float* RelationRow(uint32_t r, float* /*scratch*/) const override {
+    return relation(r);
+  }
+  const float* TransferRow(uint32_t r, float* /*scratch*/) const override {
+    return transfer(r);
+  }
+  const float* HyperplaneRow(uint32_t r, float* /*scratch*/) const override {
+    return hyperplane(r);
+  }
 
   /// Embedding row accessors (length dim()).
   float* entity(uint32_t e) { return entities_.Row(e); }

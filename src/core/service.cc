@@ -1,17 +1,18 @@
 #include "core/service.h"
 
+#include "core/service_math.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
 namespace pkgm::core {
 
 ServiceVectorProvider::ServiceVectorProvider(
-    const PkgmModel* model, std::vector<kg::EntityId> item_entities,
+    const EmbeddingSource* source, std::vector<kg::EntityId> item_entities,
     std::vector<std::vector<kg::RelationId>> key_relations)
-    : model_(model),
+    : source_(source),
       item_entities_(std::move(item_entities)),
       key_relations_(std::move(key_relations)) {
-  PKGM_CHECK(model != nullptr);
+  PKGM_CHECK(source != nullptr);
   PKGM_CHECK_EQ(item_entities_.size(), key_relations_.size());
 }
 
@@ -34,7 +35,7 @@ kg::EntityId ServiceVectorProvider::item_entity(uint32_t item) const {
 std::vector<Vec> ServiceVectorProvider::Sequence(uint32_t item,
                                                  ServiceMode mode) const {
   PKGM_CHECK_LT(item, item_entities_.size());
-  const uint32_t d = model_->dim();
+  const uint32_t d = source_->dim();
   const kg::EntityId e = item_entities_[item];
   const auto& rels = key_relations_[item];
 
@@ -43,17 +44,18 @@ std::vector<Vec> ServiceVectorProvider::Sequence(uint32_t item,
   const bool relation = mode != ServiceMode::kTripleOnly;
   out.reserve((triple ? rels.size() : 0) + (relation ? rels.size() : 0));
 
+  ServiceWorkspace ws(d);
   if (triple) {
     for (kg::RelationId r : rels) {
       Vec v(d);
-      model_->TripleService(e, r, v.data());
+      TripleServiceVector(*source_, e, r, &ws, v.data());
       out.push_back(std::move(v));
     }
   }
   if (relation) {
     for (kg::RelationId r : rels) {
       Vec v(d);
-      model_->RelationService(e, r, v.data());
+      RelationServiceVector(*source_, e, r, &ws, v.data());
       out.push_back(std::move(v));
     }
   }
@@ -61,27 +63,28 @@ std::vector<Vec> ServiceVectorProvider::Sequence(uint32_t item,
 }
 
 uint32_t ServiceVectorProvider::CondensedDim(ServiceMode mode) const {
-  return mode == ServiceMode::kAll ? 2 * model_->dim() : model_->dim();
+  return mode == ServiceMode::kAll ? 2 * source_->dim() : source_->dim();
 }
 
 Vec ServiceVectorProvider::Condensed(uint32_t item, ServiceMode mode) const {
   PKGM_CHECK_LT(item, item_entities_.size());
-  const uint32_t d = model_->dim();
+  const uint32_t d = source_->dim();
   const kg::EntityId e = item_entities_[item];
   const auto& rels = key_relations_[item];
 
   Vec out(CondensedDim(mode), 0.0f);
   if (rels.empty()) return out;
 
+  ServiceWorkspace ws(d);
   std::vector<float> tmp(d);
   const float inv_k = 1.0f / static_cast<float>(rels.size());
   for (kg::RelationId r : rels) {
     if (mode != ServiceMode::kRelationOnly) {
-      model_->TripleService(e, r, tmp.data());
+      TripleServiceVector(*source_, e, r, &ws, tmp.data());
       Axpy(d, inv_k, tmp.data(), out.data());
     }
     if (mode != ServiceMode::kTripleOnly) {
-      model_->RelationService(e, r, tmp.data());
+      RelationServiceVector(*source_, e, r, &ws, tmp.data());
       // In kAll mode the relation block occupies the second half
       // (S'_j = [S_T ; S_R], Eq. 8), averaged per Eq. 9/20.
       float* dst = mode == ServiceMode::kAll ? out.data() + d : out.data();

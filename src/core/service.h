@@ -4,8 +4,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/pkgm_model.h"
-#include "kg/vocab.h"
+#include "core/embedding_source.h"
+#include "kg/triple.h"
 #include "tensor/vec.h"
 
 namespace pkgm::core {
@@ -29,18 +29,20 @@ enum class ServiceMode { kTripleOnly, kRelationOnly, kAll };
 /// sequences; condensed vectors of d).
 class ServiceVectorProvider {
  public:
-  /// `model` must outlive the provider. `item_entities[i]` is the entity id
-  /// of item i; `key_relations[i]` its key relations (paper: top-10 of its
+  /// `source` must outlive the provider — a live PkgmModel or a
+  /// memory-mapped store export (store::MmapEmbeddingStore), both of which
+  /// implement EmbeddingSource. `item_entities[i]` is the entity id of
+  /// item i; `key_relations[i]` its key relations (paper: top-10 of its
   /// category). Items may have differing k; empty key lists yield empty
   /// services.
-  ServiceVectorProvider(const PkgmModel* model,
+  ServiceVectorProvider(const EmbeddingSource* source,
                         std::vector<kg::EntityId> item_entities,
                         std::vector<std::vector<kg::RelationId>> key_relations);
 
   uint32_t num_items() const {
     return static_cast<uint32_t>(item_entities_.size());
   }
-  uint32_t dim() const { return model_->dim(); }
+  uint32_t dim() const { return source_->dim(); }
   /// Number of key relations for item i.
   uint32_t NumKeyRelations(uint32_t item) const;
 
@@ -59,8 +61,11 @@ class ServiceVectorProvider {
   const std::vector<kg::RelationId>& key_relations(uint32_t item) const;
   kg::EntityId item_entity(uint32_t item) const;
 
+  /// The parameter backend the service vectors are computed from.
+  const EmbeddingSource* source() const { return source_; }
+
  private:
-  const PkgmModel* model_;
+  const EmbeddingSource* source_;
   std::vector<kg::EntityId> item_entities_;
   std::vector<std::vector<kg::RelationId>> key_relations_;
 };

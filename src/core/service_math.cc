@@ -1,0 +1,68 @@
+#include "core/service_math.h"
+
+#include "tensor/ops.h"
+
+namespace pkgm::core {
+
+void TripleQueryFromRows(TripleScorerKind scorer, uint32_t dim, const float* h,
+                         const float* r, const float* w, float* out) {
+  switch (scorer) {
+    case TripleScorerKind::kTransE:
+      Add(dim, h, r, out);
+      return;
+    case TripleScorerKind::kDistMult:
+      Hadamard(dim, h, r, out);
+      return;
+    case TripleScorerKind::kComplEx: {
+      const uint32_t half = dim / 2;
+      const float* h_re = h;
+      const float* h_im = h + half;
+      const float* r_re = r;
+      const float* r_im = r + half;
+      for (uint32_t i = 0; i < half; ++i) {
+        out[i] = h_re[i] * r_re[i] - h_im[i] * r_im[i];
+        out[half + i] = h_re[i] * r_im[i] + h_im[i] * r_re[i];
+      }
+      return;
+    }
+    case TripleScorerKind::kTransH: {
+      // q = h_perp + r; candidates are projected in TailDistance.
+      const float wh = Dot(dim, w, h);
+      for (uint32_t i = 0; i < dim; ++i) {
+        out[i] = h[i] - wh * w[i] + r[i];
+      }
+      return;
+    }
+  }
+}
+
+void RelationServiceFromRows(uint32_t dim, const float* m, const float* h,
+                             const float* r, float* out) {
+  GemvRaw(dim, dim, m, h, out);
+  for (uint32_t i = 0; i < dim; ++i) out[i] -= r[i];
+}
+
+void TripleServiceVector(const EmbeddingSource& source, kg::EntityId h,
+                         kg::RelationId r, ServiceWorkspace* ws, float* out) {
+  const float* hv = source.EntityRow(h, ws->head.data());
+  const float* rv = source.RelationRow(r, ws->relation.data());
+  const float* wv = source.has_hyperplanes()
+                        ? source.HyperplaneRow(r, ws->hyperplane.data())
+                        : nullptr;
+  TripleQueryFromRows(source.scorer(), source.dim(), hv, rv, wv, out);
+}
+
+void RelationServiceVector(const EmbeddingSource& source, kg::EntityId h,
+                           kg::RelationId r, ServiceWorkspace* ws, float* out) {
+  const uint32_t d = source.dim();
+  if (!source.has_relation_module()) {
+    for (uint32_t i = 0; i < d; ++i) out[i] = 0.0f;
+    return;
+  }
+  const float* m = source.TransferRow(r, ws->transfer.data());
+  const float* hv = source.EntityRow(h, ws->head.data());
+  const float* rv = source.RelationRow(r, ws->relation.data());
+  RelationServiceFromRows(d, m, hv, rv, out);
+}
+
+}  // namespace pkgm::core

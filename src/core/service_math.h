@@ -1,0 +1,53 @@
+#ifndef PKGM_CORE_SERVICE_MATH_H_
+#define PKGM_CORE_SERVICE_MATH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/embedding_source.h"
+#include "kg/triple.h"
+
+namespace pkgm::core {
+
+/// Reusable dequantization scratch for serving-path computations over an
+/// EmbeddingSource. One workspace per thread of execution; the row
+/// pointers handed back by the source may alias these buffers, so a
+/// workspace must not be shared across concurrent calls.
+struct ServiceWorkspace {
+  explicit ServiceWorkspace(uint32_t dim)
+      : head(dim),
+        relation(dim),
+        hyperplane(dim),
+        transfer(static_cast<size_t>(dim) * dim) {}
+
+  std::vector<float> head;
+  std::vector<float> relation;
+  std::vector<float> hyperplane;
+  std::vector<float> transfer;
+};
+
+/// The tail-query / triple service vector S_T(h,r) from raw parameter rows
+/// (Eq. 6 for TransE; see TripleScorerKind for the other families).
+/// `w` is the TransH hyperplane normal and may be null for other scorers.
+/// This is the single implementation both PkgmModel and the
+/// EmbeddingSource serving path call, so fp32 backends agree bit-for-bit.
+void TripleQueryFromRows(TripleScorerKind scorer, uint32_t dim, const float* h,
+                         const float* r, const float* w, float* out);
+
+/// S_R(h,r) = M_r h - r from raw rows (Eq. 7). `m` is the row-major d x d
+/// transfer matrix.
+void RelationServiceFromRows(uint32_t dim, const float* m, const float* h,
+                             const float* r, float* out);
+
+/// S_T(h,r) through an EmbeddingSource (dequantizing via `ws` as needed).
+void TripleServiceVector(const EmbeddingSource& source, kg::EntityId h,
+                         kg::RelationId r, ServiceWorkspace* ws, float* out);
+
+/// S_R(h,r) through an EmbeddingSource. Zero-fills `out` when the source
+/// has no relation module.
+void RelationServiceVector(const EmbeddingSource& source, kg::EntityId h,
+                           kg::RelationId r, ServiceWorkspace* ws, float* out);
+
+}  // namespace pkgm::core
+
+#endif  // PKGM_CORE_SERVICE_MATH_H_

@@ -1,9 +1,11 @@
 #include "serve/knowledge_server.h"
 
 #include <chrono>
+#include <string>
 #include <utility>
 
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace pkgm::serve {
 namespace {
@@ -31,6 +33,22 @@ KnowledgeServer::KnowledgeServer(const core::ServiceVectorProvider* provider,
     cache_ = std::make_unique<ShardedVectorCache>(options_.cache_capacity,
                                                   options_.cache_shards);
   }
+  stats_.SetBackend("fixed provider (heap-fp32)");
+}
+
+KnowledgeServer::KnowledgeServer(const store::ModelRegistry* registry,
+                                 KnowledgeServerOptions options)
+    : provider_(nullptr),
+      registry_(registry),
+      options_(options),
+      queue_(options.queue_capacity) {
+  PKGM_CHECK(registry != nullptr);
+  PKGM_CHECK(options_.num_workers >= 1);
+  if (options_.enable_cache) {
+    cache_ = std::make_unique<ShardedVectorCache>(options_.cache_capacity,
+                                                  options_.cache_shards);
+  }
+  if (auto gen = registry->Current()) ObserveGeneration(*gen);
 }
 
 KnowledgeServer::~KnowledgeServer() { Stop(); }
@@ -119,9 +137,51 @@ void KnowledgeServer::WorkerLoop() {
   }
 }
 
+void KnowledgeServer::ObserveGeneration(const store::ServingGeneration& gen) {
+  // Only the worker that *raises* the observed generation invalidates, so
+  // one swap costs one invalidation no matter how many workers race here;
+  // a worker still holding an older snapshot can never lower it (its
+  // compare_exchange fails), which would otherwise re-trigger the swap.
+  uint64_t prev = observed_generation_.load(std::memory_order_acquire);
+  while (gen.generation > prev) {
+    if (observed_generation_.compare_exchange_weak(
+            prev, gen.generation, std::memory_order_acq_rel)) {
+      InvalidateCache();
+      const auto& info = gen.info;
+      std::string backend =
+          StrFormat("%s gen %llu", info.load_mode.c_str(),
+                    static_cast<unsigned long long>(gen.generation));
+      if (info.file_bytes > 0) {
+        backend += StrFormat(" (%s, %s bytes)", StoreDtypeName(info.dtype),
+                             WithThousandsSeparators(info.file_bytes).c_str());
+      }
+      stats_.SetBackend(std::move(backend));
+      break;
+    }
+  }
+}
+
 ServiceResponse KnowledgeServer::Execute(const ServiceRequest& request) {
+  // Ordering matters for hot-swap correctness: the cache generation is
+  // snapshotted *before* the model generation. If a swap (publish +
+  // invalidate) lands between the two, the value we compute from the new
+  // model is tagged stale and dropped — harmless. The reverse order would
+  // let a value computed from the *old* model carry the *new* cache
+  // generation and be served stale indefinitely.
+  const uint64_t cache_generation =
+      cache_ != nullptr ? cache_->generation() : 0;
+  std::shared_ptr<const store::ServingGeneration> pinned;
+  const core::ServiceVectorProvider* provider = provider_;
+  if (registry_ != nullptr) {
+    pinned = registry_->Current();
+    PKGM_CHECK(pinned != nullptr)
+        << "KnowledgeServer executing against an empty ModelRegistry";
+    ObserveGeneration(*pinned);
+    provider = pinned->provider.get();
+  }
+
   ServiceResponse response;
-  if (request.item >= provider_->num_items()) {
+  if (request.item >= provider->num_items()) {
     response.code = ResponseCode::kInvalidItem;
     return response;
   }
@@ -131,14 +191,15 @@ ServiceResponse KnowledgeServer::Execute(const ServiceRequest& request) {
         cache_->Lookup(request.item, request.mode, &condensed)) {
       response.cache_hit = true;
     } else {
-      condensed = provider_->Condensed(request.item, request.mode);
+      condensed = provider->Condensed(request.item, request.mode);
       if (cache_ != nullptr) {
-        cache_->Insert(request.item, request.mode, condensed);
+        cache_->Insert(request.item, request.mode, condensed,
+                       cache_generation);
       }
     }
     response.vectors.push_back(std::move(condensed));
   } else {
-    response.vectors = provider_->Sequence(request.item, request.mode);
+    response.vectors = provider->Sequence(request.item, request.mode);
   }
   return response;
 }

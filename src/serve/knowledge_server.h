@@ -13,6 +13,7 @@
 #include "serve/request.h"
 #include "serve/server_stats.h"
 #include "serve/vector_cache.h"
+#include "store/model_registry.h"
 #include "util/thread_pool.h"
 
 namespace pkgm::serve {
@@ -49,12 +50,27 @@ struct KnowledgeServerOptions {
 ///                         ready
 ///
 /// Thread-safe: any number of client threads may submit concurrently with
-/// the worker pool draining. The provider (and the model under it) must
-/// outlive the server and stay immutable while serving; on a model
-/// refresh, call InvalidateCache().
+/// the worker pool draining.
+///
+/// Two parameter-backend modes:
+///   * fixed provider — the provider (and the model under it) must outlive
+///     the server and stay immutable while serving; on an external model
+///     refresh, call InvalidateCache().
+///   * registry — each request snapshots the registry's current
+///     ServingGeneration (one atomic shared_ptr load), so a Publish() hot-
+///     swaps the model with zero downtime: in-flight requests finish on
+///     the generation they snapshotted, the first worker to observe a new
+///     generation invalidates the condensed-vector cache, and the cache's
+///     generation tag keeps racing stale inserts out (see
+///     ShardedVectorCache).
 class KnowledgeServer {
  public:
   KnowledgeServer(const core::ServiceVectorProvider* provider,
+                  KnowledgeServerOptions options = {});
+  /// Hot-swappable backend: serves whatever generation `registry`
+  /// currently publishes. The registry must outlive the server and have
+  /// at least one published generation before the first request executes.
+  KnowledgeServer(const store::ModelRegistry* registry,
                   KnowledgeServerOptions options = {});
   ~KnowledgeServer();
 
@@ -93,7 +109,10 @@ class KnowledgeServer {
   /// Counters + queue gauge + cache + latency percentiles as ASCII tables.
   std::string StatsReport() const;
 
+  /// The fixed provider; null in registry mode (use registry()->Current()).
   const core::ServiceVectorProvider* provider() const { return provider_; }
+  /// The registry; null in fixed-provider mode.
+  const store::ModelRegistry* registry() const { return registry_; }
 
  private:
   struct PendingRequest {
@@ -106,8 +125,14 @@ class KnowledgeServer {
   void WorkerLoop();
   /// Runs the query modules (through the cache for condensed requests).
   ServiceResponse Execute(const ServiceRequest& request);
+  /// Registry mode: invalidate the cache and refresh the stats backend
+  /// label the first time a worker sees generation `gen`.
+  void ObserveGeneration(const store::ServingGeneration& gen);
 
   const core::ServiceVectorProvider* provider_;
+  const store::ModelRegistry* registry_ = nullptr;
+  /// Highest registry generation any worker has observed (registry mode).
+  std::atomic<uint64_t> observed_generation_{0};
   const KnowledgeServerOptions options_;
   BoundedQueue<Batch> queue_;
   std::unique_ptr<ShardedVectorCache> cache_;

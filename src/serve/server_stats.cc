@@ -28,9 +28,23 @@ Histogram ServerStats::ComputeLatency() const {
   return compute_micros_;
 }
 
+void ServerStats::SetBackend(std::string description) {
+  std::lock_guard<std::mutex> lock(backend_mu_);
+  backend_ = std::move(description);
+}
+
+std::string ServerStats::backend() const {
+  std::lock_guard<std::mutex> lock(backend_mu_);
+  return backend_;
+}
+
 std::string ServerStats::ToTable(uint64_t queue_depth,
                                  const CacheStats* cache) const {
   TablePrinter counters({"counter", "value"});
+  {
+    std::lock_guard<std::mutex> lock(backend_mu_);
+    if (!backend_.empty()) counters.AddRow({"backend", backend_});
+  }
   counters.AddRow({"requests accepted", std::to_string(accepted())});
   counters.AddRow({"requests rejected", std::to_string(rejected())});
   counters.AddRow({"responses ok", std::to_string(ok())});
@@ -45,6 +59,8 @@ std::string ServerStats::ToTable(uint64_t queue_depth,
                      StrFormat("%.1f%%", 100.0 * cache->HitRate())});
     counters.AddRow({"cache evictions", std::to_string(cache->evictions)});
     counters.AddRow({"cache entries", std::to_string(cache->entries)});
+    counters.AddRow({"cache stale inserts dropped",
+                     std::to_string(cache->stale_inserts)});
   }
 
   TablePrinter latency(

@@ -47,6 +47,12 @@ class ServerStats {
   Histogram QueueLatency() const;
   Histogram ComputeLatency() const;
 
+  /// Describes the parameter backend serving this run (store dtype, load
+  /// mode, generation, file size). Set at server start and again on every
+  /// hot-swap, so reports always show which backend answered.
+  void SetBackend(std::string description);
+  std::string backend() const;
+
   /// Renders counters, the queue-depth gauge, optional cache counters and
   /// the per-stage latency percentiles as two aligned ASCII tables.
   std::string ToTable(uint64_t queue_depth, const CacheStats* cache) const;
@@ -61,6 +67,9 @@ class ServerStats {
   mutable std::mutex histo_mu_;
   Histogram queue_micros_;
   Histogram compute_micros_;
+
+  mutable std::mutex backend_mu_;
+  std::string backend_;
 };
 
 }  // namespace pkgm::serve

@@ -40,10 +40,17 @@ bool ShardedVectorCache::Lookup(uint32_t item, core::ServiceMode mode,
 }
 
 void ShardedVectorCache::Insert(uint32_t item, core::ServiceMode mode,
-                                const Vec& value) {
+                                const Vec& value, uint64_t generation) {
   const uint64_t key = Key(item, mode);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
+  // Invalidate() bumps generation_ before clearing any shard, so under the
+  // shard lock this check is authoritative: a stale tag can never land
+  // after its shard was cleared.
+  if (generation != generation_.load(std::memory_order_acquire)) {
+    ++shard.stale_inserts;
+    return;
+  }
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     it->second->second = value;
@@ -60,6 +67,9 @@ void ShardedVectorCache::Insert(uint32_t item, core::ServiceMode mode,
 }
 
 void ShardedVectorCache::Invalidate() {
+  // Generation first: an in-flight Insert tagged with the old generation
+  // must be rejected even if it reaches a shard we have not cleared yet.
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     shard->lru.clear();
@@ -75,6 +85,7 @@ CacheStats ShardedVectorCache::Stats() const {
     stats.misses += shard->misses;
     stats.evictions += shard->evictions;
     stats.entries += shard->lru.size();
+    stats.stale_inserts += shard->stale_inserts;
   }
   return stats;
 }

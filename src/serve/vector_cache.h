@@ -1,6 +1,7 @@
 #ifndef PKGM_SERVE_VECTOR_CACHE_H_
 #define PKGM_SERVE_VECTOR_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -20,6 +21,10 @@ struct CacheStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t entries = 0;
+  /// Inserts dropped because the cache was invalidated between the
+  /// caller's generation() snapshot and its Insert (stale values computed
+  /// against a replaced model).
+  uint64_t stale_inserts = 0;
 
   double HitRate() const {
     const uint64_t total = hits + misses;
@@ -34,6 +39,13 @@ struct CacheStats {
 ///
 /// Values are immutable snapshots of the model's output — after a model
 /// refresh (new checkpoint swapped in) callers must Invalidate().
+///
+/// Invalidation is raced against by in-flight computations: a value
+/// computed against the old model could land *after* Invalidate() and be
+/// served stale forever. The generation counter closes that window —
+/// callers snapshot generation() *before* taking the model snapshot they
+/// compute from, and Insert drops the value if an Invalidate happened in
+/// between (counted as `stale_inserts`).
 class ShardedVectorCache {
  public:
   /// `capacity` is the total entry budget, split evenly across
@@ -48,12 +60,22 @@ class ShardedVectorCache {
   bool Lookup(uint32_t item, core::ServiceMode mode, Vec* out);
 
   /// Inserts or refreshes (item, mode) → value, evicting the shard's
-  /// least-recently-used entry when the shard is at capacity.
-  void Insert(uint32_t item, core::ServiceMode mode, const Vec& value);
+  /// least-recently-used entry when the shard is at capacity. `generation`
+  /// must be a generation() snapshot taken before the model state `value`
+  /// was computed from; the insert is dropped if the cache has been
+  /// invalidated since.
+  void Insert(uint32_t item, core::ServiceMode mode, const Vec& value,
+              uint64_t generation);
 
-  /// Drops every entry in every shard (model refresh). Hit/miss/eviction
-  /// counters are preserved; `entries` drops to zero.
+  /// Drops every entry in every shard and advances the generation (model
+  /// refresh). Hit/miss/eviction counters are preserved; `entries` drops
+  /// to zero.
   void Invalidate();
+
+  /// Current invalidation generation; pass to Insert.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
 
   /// Sums counters across shards. Consistent per-shard, approximate
   /// globally (shards are locked one at a time).
@@ -78,12 +100,16 @@ class ShardedVectorCache {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
+    uint64_t stale_inserts = 0;
   };
 
   Shard& ShardFor(uint64_t key);
 
   size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Bumped by Invalidate() before the shards are cleared, so any insert
+  /// tagged with an older generation is rejected under the shard lock.
+  std::atomic<uint64_t> generation_{0};
 };
 
 }  // namespace pkgm::serve

@@ -1,0 +1,210 @@
+#include "store/mmap_embedding_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pkgm::store {
+namespace {
+
+/// Section bounds check: the whole [offset, offset + bytes) range must sit
+/// inside the payload region of the mapped file.
+Status CheckSection(const char* name, uint64_t offset, uint64_t bytes,
+                    uint64_t file_size) {
+  if (offset < sizeof(StoreHeader) || offset % kStoreSectionAlignment != 0 ||
+      offset > file_size || bytes > file_size - offset) {
+    return Status::Corruption(
+        StrFormat("%s section [%llu, +%llu) escapes the %llu-byte store",
+                  name, static_cast<unsigned long long>(offset),
+                  static_cast<unsigned long long>(bytes),
+                  static_cast<unsigned long long>(file_size)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<MmapEmbeddingStore> MmapEmbeddingStore::Open(
+    const std::string& path, MmapStoreOptions options) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError(StrFormat("cannot open %s", path.c_str()));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError(StrFormat("cannot stat %s", path.c_str()));
+  }
+  const uint64_t actual_size = static_cast<uint64_t>(st.st_size);
+  if (actual_size < sizeof(StoreHeader)) {
+    ::close(fd);
+    return Status::Corruption(
+        StrFormat("%s: %llu bytes is too short for a store header",
+                  path.c_str(), static_cast<unsigned long long>(actual_size)));
+  }
+
+  void* mapping = ::mmap(nullptr, actual_size, PROT_READ, MAP_SHARED, fd, 0);
+  // The mapping pins the file contents; the descriptor is no longer needed.
+  ::close(fd);
+  if (mapping == MAP_FAILED) {
+    return Status::IoError(StrFormat("mmap failed for %s", path.c_str()));
+  }
+
+  MmapEmbeddingStore store;
+  store.base_ = static_cast<const unsigned char*>(mapping);
+  store.mapped_bytes_ = actual_size;
+  store.path_ = path;
+  std::memcpy(&store.header_, store.base_, sizeof(StoreHeader));
+  const StoreHeader& h = store.header_;
+
+  if (h.magic != kStoreMagic) {
+    return Status::Corruption(
+        StrFormat("%s is not an embedding store (bad magic)", path.c_str()));
+  }
+  if (h.version != kStoreFormatVersion) {
+    return Status::Corruption(
+        StrFormat("unsupported store format version %u", h.version));
+  }
+  if (h.dtype > static_cast<uint32_t>(StoreDtype::kInt8)) {
+    return Status::Corruption(StrFormat("unknown store dtype %u", h.dtype));
+  }
+  if (h.scorer > static_cast<uint32_t>(core::TripleScorerKind::kTransH)) {
+    return Status::Corruption(StrFormat("unknown scorer kind %u", h.scorer));
+  }
+  if (h.dim == 0 || h.num_entities == 0 || h.num_relations == 0) {
+    return Status::Corruption("store header has zero-sized tables");
+  }
+  if (static_cast<core::TripleScorerKind>(h.scorer) ==
+          core::TripleScorerKind::kComplEx &&
+      h.dim % 2 != 0) {
+    return Status::Corruption("ComplEx store with odd dimension");
+  }
+  if (h.file_size != actual_size) {
+    return Status::Corruption(StrFormat(
+        "store %s is truncated: header says %llu bytes, file has %llu",
+        path.c_str(), static_cast<unsigned long long>(h.file_size),
+        static_cast<unsigned long long>(actual_size)));
+  }
+
+  const StoreDtype dtype = store.dtype();
+  const uint64_t d = h.dim;
+  PKGM_RETURN_IF_ERROR(CheckSection("entity", h.entity_offset,
+                                    SectionBytes(dtype, h.num_entities, d),
+                                    actual_size));
+  PKGM_RETURN_IF_ERROR(CheckSection("relation", h.relation_offset,
+                                    SectionBytes(dtype, h.num_relations, d),
+                                    actual_size));
+  if (h.has_relation_module()) {
+    PKGM_RETURN_IF_ERROR(
+        CheckSection("transfer", h.transfer_offset,
+                     SectionBytes(dtype, h.num_relations, d * d), actual_size));
+  }
+  if (h.has_hyperplanes()) {
+    PKGM_RETURN_IF_ERROR(CheckSection("hyperplane", h.hyperplane_offset,
+                                      SectionBytes(dtype, h.num_relations, d),
+                                      actual_size));
+  }
+  if (options.verify_checksum) {
+    PKGM_RETURN_IF_ERROR(store.VerifyChecksum());
+  }
+  return store;
+}
+
+Status MmapEmbeddingStore::VerifyChecksum() const {
+  const uint64_t computed = Fnv1a64(base_ + sizeof(StoreHeader),
+                                    mapped_bytes_ - sizeof(StoreHeader));
+  if (computed != header_.payload_checksum) {
+    return Status::Corruption(StrFormat(
+        "store %s payload checksum mismatch: header %016llx, computed %016llx",
+        path_.c_str(),
+        static_cast<unsigned long long>(header_.payload_checksum),
+        static_cast<unsigned long long>(computed)));
+  }
+  return Status::Ok();
+}
+
+const float* MmapEmbeddingStore::Row(uint64_t offset, uint32_t rows,
+                                     uint32_t row, uint64_t cols,
+                                     float* scratch) const {
+  PKGM_CHECK_LT(row, rows);
+  if (dtype() == StoreDtype::kFloat32) {
+    return reinterpret_cast<const float*>(base_ + offset) + row * cols;
+  }
+  // int8: [rows x fp32 scale][rows x cols x int8].
+  const float scale =
+      reinterpret_cast<const float*>(base_ + offset)[row];
+  const auto* q = reinterpret_cast<const int8_t*>(
+      base_ + offset + static_cast<uint64_t>(rows) * sizeof(float) +
+      row * cols);
+  for (uint64_t i = 0; i < cols; ++i) {
+    scratch[i] = scale * static_cast<float>(q[i]);
+  }
+  return scratch;
+}
+
+const float* MmapEmbeddingStore::EntityRow(uint32_t e, float* scratch) const {
+  return Row(header_.entity_offset, header_.num_entities, e, header_.dim,
+             scratch);
+}
+
+const float* MmapEmbeddingStore::RelationRow(uint32_t r,
+                                             float* scratch) const {
+  return Row(header_.relation_offset, header_.num_relations, r, header_.dim,
+             scratch);
+}
+
+const float* MmapEmbeddingStore::TransferRow(uint32_t r,
+                                             float* scratch) const {
+  PKGM_CHECK(header_.has_relation_module());
+  return Row(header_.transfer_offset, header_.num_relations, r,
+             static_cast<uint64_t>(header_.dim) * header_.dim, scratch);
+}
+
+const float* MmapEmbeddingStore::HyperplaneRow(uint32_t r,
+                                               float* scratch) const {
+  PKGM_CHECK(header_.has_hyperplanes());
+  return Row(header_.hyperplane_offset, header_.num_relations, r, header_.dim,
+             scratch);
+}
+
+void MmapEmbeddingStore::Release() noexcept {
+  if (base_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(base_), mapped_bytes_);
+    base_ = nullptr;
+    mapped_bytes_ = 0;
+  }
+}
+
+MmapEmbeddingStore::~MmapEmbeddingStore() { Release(); }
+
+MmapEmbeddingStore::MmapEmbeddingStore(MmapEmbeddingStore&& other) noexcept
+    : header_(other.header_),
+      path_(std::move(other.path_)),
+      base_(other.base_),
+      mapped_bytes_(other.mapped_bytes_) {
+  other.base_ = nullptr;
+  other.mapped_bytes_ = 0;
+}
+
+MmapEmbeddingStore& MmapEmbeddingStore::operator=(
+    MmapEmbeddingStore&& other) noexcept {
+  if (this != &other) {
+    Release();
+    header_ = other.header_;
+    path_ = std::move(other.path_);
+    base_ = other.base_;
+    mapped_bytes_ = other.mapped_bytes_;
+    other.base_ = nullptr;
+    other.mapped_bytes_ = 0;
+  }
+  return *this;
+}
+
+}  // namespace pkgm::store

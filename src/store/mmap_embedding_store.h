@@ -1,0 +1,89 @@
+#ifndef PKGM_STORE_MMAP_EMBEDDING_STORE_H_
+#define PKGM_STORE_MMAP_EMBEDDING_STORE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/embedding_source.h"
+#include "store/store_format.h"
+#include "util/status.h"
+
+namespace pkgm::store {
+
+struct MmapStoreOptions {
+  /// Verify the FNV-1a payload checksum at open. This touches every page
+  /// once (streaming read), so it is the safe default for checkpointed
+  /// models; disable for very large stores where lazily faulting pages in
+  /// is the point.
+  bool verify_checksum = true;
+};
+
+/// Read-only memory-mapped view of a .pkgs embedding store.
+///
+/// Implements core::EmbeddingSource: fp32 stores hand out zero-copy row
+/// pointers straight into the mapping; int8 stores dequantize rows into
+/// the caller's scratch (per-row symmetric scales). Opening validates the
+/// header (magic, version, dtype, scorer, section bounds against the real
+/// file size) before any row is touched, and optionally the payload
+/// checksum, so a truncated or bit-flipped store fails with a clear
+/// Status instead of serving garbage.
+///
+/// The mapping is immutable and safe for any number of concurrent reader
+/// threads; generations are swapped by opening a new store and publishing
+/// it through ModelRegistry, never by mutating a live one.
+class MmapEmbeddingStore : public core::EmbeddingSource {
+ public:
+  static StatusOr<MmapEmbeddingStore> Open(const std::string& path,
+                                           MmapStoreOptions options = {});
+
+  ~MmapEmbeddingStore() override;
+  MmapEmbeddingStore(MmapEmbeddingStore&& other) noexcept;
+  MmapEmbeddingStore& operator=(MmapEmbeddingStore&& other) noexcept;
+  MmapEmbeddingStore(const MmapEmbeddingStore&) = delete;
+  MmapEmbeddingStore& operator=(const MmapEmbeddingStore&) = delete;
+
+  // EmbeddingSource.
+  uint32_t num_entities() const override { return header_.num_entities; }
+  uint32_t num_relations() const override { return header_.num_relations; }
+  uint32_t dim() const override { return header_.dim; }
+  core::TripleScorerKind scorer() const override {
+    return static_cast<core::TripleScorerKind>(header_.scorer);
+  }
+  bool has_relation_module() const override {
+    return header_.has_relation_module();
+  }
+  const float* EntityRow(uint32_t e, float* scratch) const override;
+  const float* RelationRow(uint32_t r, float* scratch) const override;
+  const float* TransferRow(uint32_t r, float* scratch) const override;
+  const float* HyperplaneRow(uint32_t r, float* scratch) const override;
+
+  // Store metadata.
+  StoreDtype dtype() const { return static_cast<StoreDtype>(header_.dtype); }
+  uint64_t generation() const { return header_.generation; }
+  uint64_t file_size() const { return header_.file_size; }
+  const std::string& path() const { return path_; }
+  const StoreHeader& header() const { return header_; }
+
+  /// Recomputes the payload checksum against the header (reads the whole
+  /// mapping). Used by `pkgm_tool inspect-store`.
+  Status VerifyChecksum() const;
+
+ private:
+  MmapEmbeddingStore() = default;
+
+  /// Returns row `row` of the section at `offset` (rows x cols), either
+  /// zero-copy (fp32) or dequantized into `scratch` (int8).
+  const float* Row(uint64_t offset, uint32_t rows, uint32_t row, uint64_t cols,
+                   float* scratch) const;
+
+  void Release() noexcept;
+
+  StoreHeader header_;
+  std::string path_;
+  const unsigned char* base_ = nullptr;  // whole-file mapping
+  uint64_t mapped_bytes_ = 0;
+};
+
+}  // namespace pkgm::store
+
+#endif  // PKGM_STORE_MMAP_EMBEDDING_STORE_H_

@@ -1,0 +1,108 @@
+#ifndef PKGM_STORE_STORE_FORMAT_H_
+#define PKGM_STORE_STORE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pkgm::store {
+
+/// On-disk element type of the embedding tables.
+///   kFloat32: rows are stored verbatim (row-major fp32).
+///   kInt8:    symmetric per-row quantization — each table section starts
+///             with one fp32 scale per row, followed by the int8 rows;
+///             value = scale * q with q in [-127, 127], scale = maxabs/127.
+///             ~4x smaller than fp32 at cosine similarity >= 0.99 for the
+///             condensed service vectors (see bench/bench_store.cc).
+enum class StoreDtype : uint32_t { kFloat32 = 0, kInt8 = 1 };
+
+inline const char* StoreDtypeName(StoreDtype dtype) {
+  switch (dtype) {
+    case StoreDtype::kFloat32: return "fp32";
+    case StoreDtype::kInt8: return "int8";
+  }
+  return "unknown";
+}
+
+// "PKGS" — distinct from the PkgmModel checkpoint magic "PKGM", so the two
+// formats can never be confused for one another.
+constexpr uint32_t kStoreMagic = 0x504b4753u;
+constexpr uint32_t kStoreFormatVersion = 1;
+
+/// Every section offset is a multiple of this, so fp32 rows read straight
+/// out of the mapping are aligned for vectorized loads.
+constexpr uint64_t kStoreSectionAlignment = 64;
+
+/// StoreHeader.flags bits.
+constexpr uint32_t kStoreFlagHasRelationModule = 1u << 0;
+constexpr uint32_t kStoreFlagHasHyperplanes = 1u << 1;
+
+/// Fixed little-endian header at offset 0 of a .pkgs embedding store.
+///
+/// Byte layout (also documented in DESIGN.md §9):
+///   [ 0,  4) magic "PKGS"            [ 4,  8) format version
+///   [ 8, 12) dtype (StoreDtype)      [12, 16) dim d
+///   [16, 20) num_entities            [20, 24) num_relations
+///   [24, 28) scorer (TripleScorerKind)
+///   [28, 32) flags                   [32, 40) model generation
+///   [40, 48) entity section offset   [48, 56) relation section offset
+///   [56, 64) transfer section offset (0 when absent)
+///   [64, 72) hyperplane section offset (0 when absent)
+///   [72, 80) total file size         [80, 88) FNV-1a64 payload checksum
+///
+/// The checksum covers every byte after the header (sections + alignment
+/// padding), so any bit flip in the parameter data is detected at load.
+struct StoreHeader {
+  uint32_t magic = kStoreMagic;
+  uint32_t version = kStoreFormatVersion;
+  uint32_t dtype = 0;
+  uint32_t dim = 0;
+  uint32_t num_entities = 0;
+  uint32_t num_relations = 0;
+  uint32_t scorer = 0;
+  uint32_t flags = 0;
+  uint64_t generation = 0;
+  uint64_t entity_offset = 0;
+  uint64_t relation_offset = 0;
+  uint64_t transfer_offset = 0;
+  uint64_t hyperplane_offset = 0;
+  uint64_t file_size = 0;
+  uint64_t payload_checksum = 0;
+
+  bool has_relation_module() const {
+    return (flags & kStoreFlagHasRelationModule) != 0;
+  }
+  bool has_hyperplanes() const {
+    return (flags & kStoreFlagHasHyperplanes) != 0;
+  }
+};
+static_assert(sizeof(StoreHeader) == 88, "StoreHeader must be packed to 88B");
+
+inline uint64_t AlignUpToSection(uint64_t offset) {
+  return (offset + kStoreSectionAlignment - 1) & ~(kStoreSectionAlignment - 1);
+}
+
+/// Bytes one table section occupies (before alignment padding): int8
+/// sections carry a per-row fp32 scale array ahead of the quantized rows.
+inline uint64_t SectionBytes(StoreDtype dtype, uint64_t rows, uint64_t cols) {
+  if (rows == 0) return 0;
+  switch (dtype) {
+    case StoreDtype::kFloat32: return rows * cols * sizeof(float);
+    case StoreDtype::kInt8: return rows * sizeof(float) + rows * cols;
+  }
+  return 0;
+}
+
+/// Incremental FNV-1a 64 over raw bytes (the store's payload checksum).
+inline uint64_t Fnv1a64(const void* data, size_t n,
+                        uint64_t state = 0xcbf29ce484222325ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    state ^= p[i];
+    state *= 0x100000001b3ull;
+  }
+  return state;
+}
+
+}  // namespace pkgm::store
+
+#endif  // PKGM_STORE_STORE_FORMAT_H_

@@ -33,7 +33,7 @@ core::PkgmModelOptions TinyModel() {
   return opt;
 }
 
-TEST(CheckpointRobustness, TruncatedFileIsIoError) {
+TEST(CheckpointRobustness, TruncatedFileIsCorruption) {
   core::PkgmModel model(TinyModel());
   const std::string path = ::testing::TempDir() + "/trunc.bin";
   ASSERT_TRUE(model.SaveToFile(path).ok());
@@ -47,7 +47,55 @@ TEST(CheckpointRobustness, TruncatedFileIsIoError) {
 
   auto loaded = core::PkgmModel::LoadFromFile(path);
   EXPECT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRobustness, TruncatedMidHeaderIsCorruption) {
+  core::PkgmModel model(TinyModel());
+  const std::string path = ::testing::TempDir() + "/trunc_hdr.bin";
+  ASSERT_TRUE(model.SaveToFile(path).ok());
+  ASSERT_EQ(truncate(path.c_str(), 9), 0);  // shorter than the header
+
+  auto loaded = core::PkgmModel::LoadFromFile(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRobustness, GarbageHeaderCountsRejectedWithoutAllocating) {
+  // A header advertising billions of rows must come back as a clean
+  // Corruption status (the size check fires before any table allocation),
+  // not an OOM or a crash.
+  core::PkgmModel model(TinyModel());
+  const std::string path = ::testing::TempDir() + "/garbage.bin";
+  ASSERT_TRUE(model.SaveToFile(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  uint32_t huge = 0xFFFFFFFEu;
+  std::fseek(f, 2 * 4, SEEK_SET);  // num_entities field
+  std::fwrite(&huge, sizeof(huge), 1, f);
+  std::fclose(f);
+
+  auto loaded = core::PkgmModel::LoadFromFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointRobustness, TrailingGarbageRejected) {
+  core::PkgmModel model(TinyModel());
+  const std::string path = ::testing::TempDir() + "/tail.bin";
+  ASSERT_TRUE(model.SaveToFile(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  const char junk[16] = {0};
+  std::fwrite(junk, 1, sizeof(junk), f);
+  std::fclose(f);
+
+  auto loaded = core::PkgmModel::LoadFromFile(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
   std::remove(path.c_str());
 }
 

@@ -93,11 +93,11 @@ TEST(ShardedVectorCacheTest, LruEvictionAndCounters) {
   ShardedVectorCache cache(/*capacity=*/2, /*num_shards=*/1);
   Vec out;
   EXPECT_FALSE(cache.Lookup(0, core::ServiceMode::kAll, &out));
-  cache.Insert(0, core::ServiceMode::kAll, Vec({1.0f}));
-  cache.Insert(1, core::ServiceMode::kAll, Vec({2.0f}));
+  cache.Insert(0, core::ServiceMode::kAll, Vec({1.0f}), cache.generation());
+  cache.Insert(1, core::ServiceMode::kAll, Vec({2.0f}), cache.generation());
   // Touch 0 so 1 becomes the LRU victim.
   EXPECT_TRUE(cache.Lookup(0, core::ServiceMode::kAll, &out));
-  cache.Insert(2, core::ServiceMode::kAll, Vec({3.0f}));
+  cache.Insert(2, core::ServiceMode::kAll, Vec({3.0f}), cache.generation());
 
   EXPECT_TRUE(cache.Lookup(0, core::ServiceMode::kAll, &out));
   EXPECT_EQ(out, Vec({1.0f}));
@@ -113,7 +113,7 @@ TEST(ShardedVectorCacheTest, LruEvictionAndCounters) {
 
 TEST(ShardedVectorCacheTest, ModeIsPartOfTheKey) {
   ShardedVectorCache cache(8, 2);
-  cache.Insert(3, core::ServiceMode::kTripleOnly, Vec({1.0f}));
+  cache.Insert(3, core::ServiceMode::kTripleOnly, Vec({1.0f}), cache.generation());
   Vec out;
   EXPECT_FALSE(cache.Lookup(3, core::ServiceMode::kRelationOnly, &out));
   EXPECT_FALSE(cache.Lookup(3, core::ServiceMode::kAll, &out));
@@ -123,7 +123,7 @@ TEST(ShardedVectorCacheTest, ModeIsPartOfTheKey) {
 TEST(ShardedVectorCacheTest, InvalidateDropsEntriesKeepsCounters) {
   ShardedVectorCache cache(16, 4);
   Vec out;
-  cache.Insert(1, core::ServiceMode::kAll, Vec({1.0f}));
+  cache.Insert(1, core::ServiceMode::kAll, Vec({1.0f}), cache.generation());
   EXPECT_TRUE(cache.Lookup(1, core::ServiceMode::kAll, &out));
   cache.Invalidate();
   EXPECT_FALSE(cache.Lookup(1, core::ServiceMode::kAll, &out));
@@ -131,6 +131,66 @@ TEST(ShardedVectorCacheTest, InvalidateDropsEntriesKeepsCounters) {
   EXPECT_EQ(stats.entries, 0u);
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 1u);  // the post-Invalidate lookup
+}
+
+// Regression for the stale-repopulation race: a value computed against the
+// old model must not land in the cache after an Invalidate() — the insert
+// carries the generation it was computed under and is dropped.
+TEST(ShardedVectorCacheTest, InvalidateDuringInsertDropsStaleValue) {
+  ShardedVectorCache cache(16, 2);
+  // The caller snapshots the generation before reading the model...
+  const uint64_t gen = cache.generation();
+  // ...the model is swapped and the cache invalidated mid-computation...
+  cache.Invalidate();
+  // ...and the stale insert must be rejected.
+  cache.Insert(5, core::ServiceMode::kAll, Vec({9.0f}), gen);
+  Vec out;
+  EXPECT_FALSE(cache.Lookup(5, core::ServiceMode::kAll, &out));
+  CacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.stale_inserts, 1u);
+
+  // A fresh-generation insert goes through.
+  cache.Insert(5, core::ServiceMode::kAll, Vec({3.0f}), cache.generation());
+  EXPECT_TRUE(cache.Lookup(5, core::ServiceMode::kAll, &out));
+  EXPECT_EQ(out, Vec({3.0f}));
+}
+
+// Concurrent hammering: one thread invalidates while others insert with
+// generations snapshotted before their (simulated) computation. After the
+// final invalidate+settle, no entry may hold a value tagged before the
+// last invalidation — i.e. every surviving entry was inserted with the
+// current generation.
+TEST(ShardedVectorCacheTest, InvalidateDuringConcurrentInsertsNeverGoesStale) {
+  ShardedVectorCache cache(64, 4);
+  std::atomic<bool> stop{false};
+  std::thread invalidator([&] {
+    for (int i = 0; i < 200; ++i) cache.Invalidate();
+    stop = true;
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 3; ++w) {
+    writers.emplace_back([&, w] {
+      uint32_t item = 0;
+      while (!stop.load()) {
+        const uint64_t gen = cache.generation();
+        // The "computation" the generation snapshot protects.
+        Vec value({static_cast<float>(w)});
+        cache.Insert(item++ % 32, core::ServiceMode::kAll, value, gen);
+      }
+    });
+  }
+  invalidator.join();
+  for (auto& t : writers) t.join();
+
+  // One final invalidate: everything inserted before it must be gone and
+  // nothing tagged with an older generation may ever reappear.
+  cache.Invalidate();
+  Vec out;
+  for (uint32_t item = 0; item < 32; ++item) {
+    EXPECT_FALSE(cache.Lookup(item, core::ServiceMode::kAll, &out));
+  }
+  EXPECT_EQ(cache.Stats().entries, 0u);
 }
 
 // -------------------------------------------------------- KnowledgeServer --

@@ -7,20 +7,34 @@
 //   pkgm_serve [--qps N] [--duration-requests N] [--threads N] [--workers N]
 //              [--batch N] [--cache 0|1] [--zipf S] [--deadline-us N]
 //              [--queue-capacity N] [--seed N]
+//              [--store path.pkgs] [--store-dtype fp32|int8]
+//              [--hot-swaps N] [--swap-interval-ms N]
 //
 //   --qps 0 (default) runs closed-loop at maximum rate; a positive value
 //   paces the aggregate request rate across client threads.
+//
+//   --store exports the pre-trained model to a .pkgs embedding store,
+//   memory-maps it, and serves from the mapping through a ModelRegistry
+//   instead of the in-heap model. --hot-swaps N additionally exports and
+//   publishes N fresh store generations (alternating fp32/int8) while
+//   traffic is in flight — the zero-downtime model-refresh drill; the run
+//   reports any swap-attributable failures (there must be none).
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "serve/knowledge_server.h"
+#include "store/embedding_store_writer.h"
+#include "store/mmap_embedding_store.h"
+#include "store/model_registry.h"
 #include "tasks/pipeline.h"
 #include "util/histogram.h"
 #include "util/rng.h"
@@ -42,6 +56,10 @@ struct ServeFlags {
   int64_t deadline_us = 0;           // 0 = no deadline
   size_t queue_capacity = 256;
   uint64_t seed = 2021;
+  std::string store_path;            // empty = serve the in-heap model
+  store::StoreDtype store_dtype = store::StoreDtype::kFloat32;
+  int hot_swaps = 0;                 // store generations published mid-run
+  int swap_interval_ms = 20;
 };
 
 int Usage() {
@@ -51,7 +69,10 @@ int Usage() {
                "                  [--workers N] [--batch N] [--cache 0|1] "
                "[--zipf S]\n"
                "                  [--deadline-us N] [--queue-capacity N] "
-               "[--seed N]\n");
+               "[--seed N]\n"
+               "                  [--store path.pkgs] "
+               "[--store-dtype fp32|int8]\n"
+               "                  [--hot-swaps N] [--swap-interval-ms N]\n");
   return 2;
 }
 
@@ -82,6 +103,21 @@ bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
       flags->queue_capacity = std::strtoull(v, nullptr, 10);
     } else if (std::strcmp(arg, "--seed") == 0 && (v = next())) {
       flags->seed = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--store") == 0 && (v = next())) {
+      flags->store_path = v;
+    } else if (std::strcmp(arg, "--store-dtype") == 0 && (v = next())) {
+      if (std::strcmp(v, "int8") == 0) {
+        flags->store_dtype = store::StoreDtype::kInt8;
+      } else if (std::strcmp(v, "fp32") == 0) {
+        flags->store_dtype = store::StoreDtype::kFloat32;
+      } else {
+        std::fprintf(stderr, "--store-dtype must be fp32 or int8\n");
+        return false;
+      }
+    } else if (std::strcmp(arg, "--hot-swaps") == 0 && (v = next())) {
+      flags->hot_swaps = std::atoi(v);
+    } else if (std::strcmp(arg, "--swap-interval-ms") == 0 && (v = next())) {
+      flags->swap_interval_ms = std::atoi(v);
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg);
       return false;
@@ -91,7 +127,56 @@ bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
     std::fprintf(stderr, "--threads/--workers/--batch must be >= 1\n");
     return false;
   }
+  if (flags->hot_swaps > 0 && flags->store_path.empty()) {
+    std::fprintf(stderr, "--hot-swaps requires --store\n");
+    return false;
+  }
   return true;
+}
+
+/// Exports `model` as store generation file `path`, mmaps it, and builds a
+/// ServingGeneration whose provider mirrors the pipeline's item/key-relation
+/// mapping. Returns nullptr (with a message) on failure.
+std::shared_ptr<const store::ServingGeneration> ExportGeneration(
+    const core::PkgmModel& model, const core::ServiceVectorProvider& services,
+    const std::string& path, store::StoreDtype dtype, uint64_t generation) {
+  store::StoreWriterOptions wopt;
+  wopt.dtype = dtype;
+  wopt.generation = generation;
+  Status s = store::EmbeddingStoreWriter(wopt).Write(model, path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "store export failed: %s\n", s.ToString().c_str());
+    return nullptr;
+  }
+  auto opened = store::MmapEmbeddingStore::Open(path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "store open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return nullptr;
+  }
+  auto source =
+      std::make_shared<store::MmapEmbeddingStore>(std::move(opened.value()));
+
+  std::vector<kg::EntityId> items;
+  std::vector<std::vector<kg::RelationId>> keys;
+  items.reserve(services.num_items());
+  keys.reserve(services.num_items());
+  for (uint32_t i = 0; i < services.num_items(); ++i) {
+    items.push_back(services.item_entity(i));
+    keys.push_back(services.key_relations(i));
+  }
+  auto provider = std::make_shared<core::ServiceVectorProvider>(
+      source.get(), std::move(items), std::move(keys));
+
+  auto gen = std::make_shared<store::ServingGeneration>();
+  gen->source = source;
+  gen->provider = provider;
+  gen->info.load_mode =
+      dtype == store::StoreDtype::kInt8 ? "mmap-int8" : "mmap-fp32";
+  gen->info.dtype = dtype;
+  gen->info.file_bytes = source->file_size();
+  gen->info.path = path;
+  return gen;
 }
 
 /// Serving-scale pipeline: small KG, few epochs — the served vectors only
@@ -122,8 +207,23 @@ int Run(const ServeFlags& flags) {
   sopt.num_workers = static_cast<size_t>(flags.workers);
   sopt.queue_capacity = flags.queue_capacity;
   sopt.enable_cache = flags.cache;
-  serve::KnowledgeServer server(p.services.get(), sopt);
-  server.Start();
+
+  store::ModelRegistry registry;
+  std::unique_ptr<serve::KnowledgeServer> server;
+  if (!flags.store_path.empty()) {
+    auto gen = ExportGeneration(*p.model, *p.services, flags.store_path,
+                                flags.store_dtype, /*generation=*/1);
+    if (gen == nullptr) return 1;
+    registry.Publish(gen->source, gen->provider, gen->info);
+    std::printf("serving from %s store %s (%s bytes, mmap)\n\n",
+                store::StoreDtypeName(flags.store_dtype),
+                flags.store_path.c_str(),
+                WithThousandsSeparators(gen->info.file_bytes).c_str());
+    server = std::make_unique<serve::KnowledgeServer>(&registry, sopt);
+  } else {
+    server = std::make_unique<serve::KnowledgeServer>(p.services.get(), sopt);
+  }
+  server->Start();
 
   // Closed-loop traffic: each client thread submits a batch, blocks on all
   // its futures, then submits the next — so offered load adapts to service
@@ -136,6 +236,39 @@ int Run(const ServeFlags& flags) {
   std::mutex histo_mu;
   Histogram latency_us;  // client-observed: submit → future ready
   std::atomic<uint64_t> sent{0}, ok{0}, rejected{0}, expired{0}, hits{0};
+
+  // Model-refresh drill: while clients hammer the server, keep exporting
+  // and publishing fresh store generations (alternating dtype, distinct
+  // files — an mmap'd store must never be overwritten in place). In-flight
+  // requests finish on the generation they pinned; a swap must never fail
+  // a request.
+  std::atomic<bool> traffic_done{false};
+  std::atomic<int> swaps_done{0}, swap_failures{0};
+  std::vector<std::string> swap_files;
+  std::thread swapper;
+  if (flags.hot_swaps > 0) {
+    for (int i = 0; i < flags.hot_swaps; ++i) {
+      swap_files.push_back(flags.store_path + ".gen" + std::to_string(i + 2));
+    }
+    swapper = std::thread([&] {
+      for (int i = 0; i < flags.hot_swaps; ++i) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(flags.swap_interval_ms));
+        if (traffic_done.load(std::memory_order_relaxed)) break;
+        const store::StoreDtype dtype = (i % 2 == 0)
+                                            ? store::StoreDtype::kInt8
+                                            : store::StoreDtype::kFloat32;
+        auto gen = ExportGeneration(*p.model, *p.services, swap_files[i],
+                                    dtype, static_cast<uint64_t>(i) + 2);
+        if (gen == nullptr) {
+          ++swap_failures;
+          continue;
+        }
+        registry.Publish(gen->source, gen->provider, gen->info);
+        ++swaps_done;
+      }
+    });
+  }
 
   Stopwatch wall;
   std::vector<std::thread> clients;
@@ -161,7 +294,7 @@ int Run(const ServeFlags& flags) {
           }
         }
         const auto submit_time = serve::ServeClock::now();
-        auto futures = server.SubmitBatch(std::move(batch));
+        auto futures = server->SubmitBatch(std::move(batch));
         batch_latencies.clear();
         for (auto& future : futures) {
           serve::ServiceResponse response = future.get();
@@ -199,9 +332,18 @@ int Run(const ServeFlags& flags) {
   }
   for (auto& t : clients) t.join();
   const double wall_s = wall.ElapsedSeconds();
-  server.Stop();
+  traffic_done.store(true);
+  if (swapper.joinable()) swapper.join();
+  server->Stop();
 
   const uint64_t total = sent.load();
+  if (flags.hot_swaps > 0) {
+    std::printf("hot swaps: %d published under traffic, %d export failures "
+                "(final generation %llu)\n",
+                swaps_done.load(), swap_failures.load(),
+                static_cast<unsigned long long>(registry.generation()));
+    for (const std::string& file : swap_files) std::remove(file.c_str());
+  }
   std::printf("traffic: %s requests in %.2fs over %d client threads "
               "(batch %d, zipf %.2f, %s)\n",
               WithThousandsSeparators(total).c_str(), wall_s, flags.threads,
@@ -231,7 +373,7 @@ int Run(const ServeFlags& flags) {
   t.AddRow({"client mean us", StrFormat("%.1f", latency_us.Mean())});
   std::printf("%s\n", t.ToString().c_str());
 
-  std::printf("server-side stats:\n%s\n", server.StatsReport().c_str());
+  std::printf("server-side stats:\n%s\n", server->StatsReport().c_str());
   return 0;
 }
 

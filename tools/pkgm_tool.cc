@@ -9,6 +9,13 @@
 //   pkgm_tool complete  <kg.tsv> <model.bin> <head> <relation> [topk]
 //                                               answer (head, relation, ?)
 //                                               in vector space
+//   pkgm_tool export-store <model.bin> <out.pkgs> [fp32|int8] [generation]
+//                                               export a checkpoint into the
+//                                               mmap-servable .pkgs store
+//   pkgm_tool inspect-store <store.pkgs>        dump header/sections and
+//                                               verify the payload checksum
+//   pkgm_tool quantize-store <in.pkgs> <out.pkgs>
+//                                               re-encode an fp32 store int8
 //
 // The TSV format is "head\trelation\ttail", one triple per line (see
 // kg/io.h); `generate` emits a compatible file so the whole loop runs
@@ -26,6 +33,9 @@
 #include "kg/io.h"
 #include "kg/split.h"
 #include "kg/synthetic_pkg.h"
+#include "store/embedding_store_writer.h"
+#include "store/mmap_embedding_store.h"
+#include "store/store_format.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -40,7 +50,11 @@ int Usage() {
                "  pkgm_tool pretrain <kg.tsv> <model.bin> [epochs] [dim]\n"
                "  pkgm_tool eval <kg.tsv> <model.bin> [holdout_fraction]\n"
                "  pkgm_tool complete <kg.tsv> <model.bin> <head> <relation> "
-               "[topk]\n");
+               "[topk]\n"
+               "  pkgm_tool export-store <model.bin> <out.pkgs> [fp32|int8] "
+               "[generation]\n"
+               "  pkgm_tool inspect-store <store.pkgs>\n"
+               "  pkgm_tool quantize-store <in.pkgs> <out.pkgs>\n");
   return 2;
 }
 
@@ -180,6 +194,121 @@ int CmdComplete(int argc, char** argv) {
   return 0;
 }
 
+int CmdExportStore(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  auto model = core::PkgmModel::LoadFromFile(argv[0]);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  store::StoreWriterOptions wopt;
+  if (argc >= 3) {
+    if (std::strcmp(argv[2], "int8") == 0) {
+      wopt.dtype = store::StoreDtype::kInt8;
+    } else if (std::strcmp(argv[2], "fp32") != 0) {
+      std::fprintf(stderr, "unknown dtype %s (want fp32 or int8)\n", argv[2]);
+      return 2;
+    }
+  }
+  if (argc >= 4) wopt.generation = std::strtoull(argv[3], nullptr, 10);
+
+  Stopwatch sw;
+  Status s = store::EmbeddingStoreWriter(wopt).Write(model.value(), argv[1]);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto opened = store::MmapEmbeddingStore::Open(argv[1]);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "export self-check failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("exported %u entities x %u relations (d=%u) as %s gen %llu "
+              "to %s: %llu bytes in %.2fs\n",
+              opened->num_entities(), opened->num_relations(), opened->dim(),
+              store::StoreDtypeName(opened->dtype()),
+              static_cast<unsigned long long>(opened->generation()), argv[1],
+              static_cast<unsigned long long>(opened->file_size()),
+              sw.ElapsedSeconds());
+  return 0;
+}
+
+int CmdInspectStore(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  // Open without the checksum pass first so the header prints even for a
+  // store whose payload is damaged; verify explicitly afterwards.
+  store::MmapStoreOptions mopt;
+  mopt.verify_checksum = false;
+  auto opened = store::MmapEmbeddingStore::Open(argv[0], mopt);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  const store::StoreHeader& h = opened->header();
+  std::printf("store            %s\n", argv[0]);
+  std::printf("format version   %u\n", h.version);
+  std::printf("dtype            %s\n", store::StoreDtypeName(opened->dtype()));
+  std::printf("dim              %u\n", h.dim);
+  std::printf("entities         %u\n", h.num_entities);
+  std::printf("relations        %u\n", h.num_relations);
+  std::printf("scorer           %u\n", h.scorer);
+  std::printf("relation module  %s\n", h.has_relation_module() ? "yes" : "no");
+  std::printf("hyperplanes      %s\n", h.has_hyperplanes() ? "yes" : "no");
+  std::printf("generation       %llu\n",
+              static_cast<unsigned long long>(h.generation));
+  std::printf("file size        %llu bytes\n",
+              static_cast<unsigned long long>(h.file_size));
+  auto section = [](const char* name, uint64_t offset) {
+    if (offset == 0) {
+      std::printf("%-16s -\n", name);
+    } else {
+      std::printf("%-16s offset %llu\n", name,
+                  static_cast<unsigned long long>(offset));
+    }
+  };
+  section("entity section", h.entity_offset);
+  section("relation sect.", h.relation_offset);
+  section("transfer sect.", h.transfer_offset);
+  section("hyperplane sec.", h.hyperplane_offset);
+  Status s = opened->VerifyChecksum();
+  std::printf("checksum         %s\n", s.ok() ? "OK" : s.ToString().c_str());
+  return s.ok() ? 0 : 1;
+}
+
+int CmdQuantizeStore(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  auto opened = store::MmapEmbeddingStore::Open(argv[0]);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "%s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  if (opened->dtype() == store::StoreDtype::kInt8) {
+    std::fprintf(stderr, "%s is already int8\n", argv[0]);
+    return 1;
+  }
+  store::StoreWriterOptions wopt;
+  wopt.dtype = store::StoreDtype::kInt8;
+  wopt.generation = opened->generation();
+  Status s = store::EmbeddingStoreWriter(wopt).Write(opened.value(), argv[1]);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto out = store::MmapEmbeddingStore::Open(argv[1]);
+  if (!out.ok()) {
+    std::fprintf(stderr, "quantize self-check failed: %s\n",
+                 out.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("quantized %s (%llu bytes) -> %s (%llu bytes, %.1f%%)\n",
+              argv[0], static_cast<unsigned long long>(opened->file_size()),
+              argv[1], static_cast<unsigned long long>(out->file_size()),
+              100.0 * static_cast<double>(out->file_size()) /
+                  static_cast<double>(opened->file_size()));
+  return 0;
+}
+
 }  // namespace
 }  // namespace pkgm
 
@@ -195,6 +324,15 @@ int main(int argc, char** argv) {
   if (std::strcmp(cmd, "eval") == 0) return pkgm::CmdEval(argc - 2, argv + 2);
   if (std::strcmp(cmd, "complete") == 0) {
     return pkgm::CmdComplete(argc - 2, argv + 2);
+  }
+  if (std::strcmp(cmd, "export-store") == 0) {
+    return pkgm::CmdExportStore(argc - 2, argv + 2);
+  }
+  if (std::strcmp(cmd, "inspect-store") == 0) {
+    return pkgm::CmdInspectStore(argc - 2, argv + 2);
+  }
+  if (std::strcmp(cmd, "quantize-store") == 0) {
+    return pkgm::CmdQuantizeStore(argc - 2, argv + 2);
   }
   return pkgm::Usage();
 }
