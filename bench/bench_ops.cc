@@ -1,18 +1,34 @@
 // Google-benchmark microbenchmarks for the hot paths: PKGM scoring and
 // service functions, negative sampling, gradient accumulation, the tensor
 // kernels behind them, tokenization, and attention forward.
+//
+// `bench_ops --json <path>` skips the google-benchmark suite and instead
+// writes a machine-readable report comparing the scalar kernel table with
+// the runtime-dispatched one (ns/op, GB/s, speedup per op at d=64) plus
+// end-to-end EvaluateTails triples/sec on the reference per-candidate path
+// vs the blocked batch path. CI uploads this file as an artifact.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
 #include "core/gradients.h"
+#include "core/link_prediction.h"
 #include "core/negative_sampler.h"
 #include "core/pkgm_model.h"
 #include "kg/synthetic_pkg.h"
+#include "kg/triple_store.h"
 #include "nn/attention.h"
 #include "tensor/init.h"
 #include "tensor/ops.h"
+#include "tensor/simd/kernel_bench.h"
+#include "tensor/simd/kernel_dispatch.h"
 #include "text/tokenizer.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace pkgm {
 namespace {
@@ -206,7 +222,123 @@ void BM_AttentionForward(benchmark::State& state) {
 }
 BENCHMARK(BM_AttentionForward)->Arg(16)->Arg(32)->Arg(64);
 
+// ------------------------------------------------------------ json report --
+
+// EvaluateTails throughput (triples/sec) on a TransE model at d=64, with a
+// single evaluation thread so the number isolates the scoring path.
+double EvalTailsTriplesPerSec(bool batched) {
+  core::PkgmModelOptions opt;
+  opt.num_entities = 2000;
+  opt.num_relations = 16;
+  opt.dim = 64;
+  opt.use_relation_module = false;
+  opt.seed = 23;
+  core::PkgmModel model(opt);
+
+  kg::TripleStore known;
+  Rng rng(29);
+  std::vector<kg::Triple> test;
+  for (int i = 0; i < 48; ++i) {
+    kg::Triple t{static_cast<kg::EntityId>(rng.Uniform(opt.num_entities)),
+                 static_cast<kg::RelationId>(rng.Uniform(opt.num_relations)),
+                 static_cast<kg::EntityId>(rng.Uniform(opt.num_entities))};
+    known.Add(t.head, t.relation, t.tail);
+    test.push_back(t);
+  }
+
+  core::LinkPredictionEvaluator::Options eval_opt;
+  eval_opt.filtered = true;
+  eval_opt.num_threads = 1;
+  eval_opt.use_batched_scoring = batched;
+  core::LinkPredictionEvaluator eval(&model, &known, eval_opt);
+  eval.EvaluateTails(test);  // warm-up
+  Stopwatch sw;
+  eval.EvaluateTails(test);
+  return static_cast<double>(test.size()) / sw.ElapsedSeconds();
+}
+
+// Measures the seed-era baseline — per-candidate scoring on scalar
+// kernels — by re-running this binary with PKGM_KERNEL=scalar. The kernel
+// table is selected once per process and never mutated, so the scalar
+// configuration needs its own process. Returns 0.0 if the child fails.
+double SeedBaselineTps(const char* argv0, const char* json_path) {
+  const std::string tmp = std::string(json_path) + ".tps";
+  const std::string cmd = std::string("PKGM_KERNEL=scalar '") + argv0 +
+                          "' --eval-tails-tps reference > '" + tmp + "'";
+  double tps = 0.0;
+  if (std::system(cmd.c_str()) == 0) {
+    if (std::FILE* f = std::fopen(tmp.c_str(), "r")) {
+      if (std::fscanf(f, "%lf", &tps) != 1) tps = 0.0;
+      std::fclose(f);
+    }
+  }
+  std::remove(tmp.c_str());
+  return tps;
+}
+
+int WriteJsonReport(const char* argv0, const char* path) {
+  constexpr size_t kDim = 64;
+  const simd::KernelTable& scalar = simd::ScalarKernels();
+  const simd::KernelTable& active = simd::Active();
+  const auto scalar_results = simd::RunKernelBench(scalar, kDim);
+  const auto active_results = simd::RunKernelBench(active, kDim);
+
+  const double seed_tps = SeedBaselineTps(argv0, path);
+  const double ref_tps = EvalTailsTriplesPerSec(/*batched=*/false);
+  const double batch_tps = EvalTailsTriplesPerSec(/*batched=*/true);
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_ops: cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"kernel_isa\": \"%s\",\n  \"dim\": %zu,\n",
+               simd::ActiveIsaName(), kDim);
+  std::fprintf(f, "  \"ops\": {\n");
+  for (size_t i = 0; i < scalar_results.size(); ++i) {
+    const auto& s = scalar_results[i];
+    const auto& a = active_results[i];
+    std::fprintf(f,
+                 "    \"%s\": {\"scalar_ns_per_op\": %.2f, "
+                 "\"dispatched_ns_per_op\": %.2f, \"scalar_gbps\": %.3f, "
+                 "\"dispatched_gbps\": %.3f, \"speedup\": %.2f}%s\n",
+                 s.op, s.ns_per_op, a.ns_per_op, s.gbps, a.gbps,
+                 s.ns_per_op / a.ns_per_op,
+                 i + 1 < scalar_results.size() ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+  std::fprintf(f,
+               "  \"evaluate_tails\": {\"seed_baseline_triples_per_sec\": "
+               "%.1f, \"reference_triples_per_sec\": %.1f, "
+               "\"batched_triples_per_sec\": %.1f, \"speedup_vs_reference\": "
+               "%.2f, \"speedup_vs_seed_baseline\": %.2f}\n}\n",
+               seed_tps, ref_tps, batch_tps, batch_tps / ref_tps,
+               seed_tps > 0.0 ? batch_tps / seed_tps : 0.0);
+  std::fclose(f);
+  std::printf("bench_ops: wrote %s (kernels=%s)\n", path,
+              simd::ActiveIsaName());
+  return 0;
+}
+
 }  // namespace
 }  // namespace pkgm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return pkgm::WriteJsonReport(argv[0], argv[i + 1]);
+    }
+    // Internal: print EvaluateTails triples/sec for one scoring path, used
+    // by --json to measure the scalar baseline in a child process.
+    if (std::strcmp(argv[i], "--eval-tails-tps") == 0) {
+      const bool batched = std::strcmp(argv[i + 1], "batched") == 0;
+      std::printf("%.3f\n", pkgm::EvalTailsTriplesPerSec(batched));
+      return 0;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

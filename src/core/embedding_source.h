@@ -2,6 +2,7 @@
 #define PKGM_CORE_EMBEDDING_SOURCE_H_
 
 #include <cstdint>
+#include <cstring>
 
 namespace pkgm::core {
 
@@ -50,6 +51,21 @@ class EmbeddingSource {
 
   /// Entity embedding row e (dim() floats).
   virtual const float* EntityRow(uint32_t e, float* scratch) const = 0;
+  /// Contiguous block of entity rows [first, first + count), row-major —
+  /// the bulk accessor behind blocked candidate scoring. Same contract as
+  /// EntityRow with `scratch` holding count * dim() floats: row-major fp32
+  /// backends return a pointer straight into storage without touching
+  /// `scratch`; others fill `scratch` one row at a time.
+  virtual const float* EntityRowsBlock(uint32_t first, uint32_t count,
+                                       float* scratch) const {
+    const uint32_t d = dim();
+    for (uint32_t i = 0; i < count; ++i) {
+      float* dst = scratch + static_cast<size_t>(i) * d;
+      const float* row = EntityRow(first + i, dst);
+      if (row != dst) std::memcpy(dst, row, d * sizeof(float));
+    }
+    return scratch;
+  }
   /// Relation embedding row r (dim() floats).
   virtual const float* RelationRow(uint32_t r, float* scratch) const = 0;
   /// Transfer matrix M_r, row-major d x d (dim()*dim() floats). Only valid

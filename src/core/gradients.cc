@@ -29,16 +29,18 @@ void AccumulateScoreGradients(const PkgmModel& model, const kg::Triple& t,
   std::vector<float>& gr = grad->Relation(t.relation, d);
   std::vector<float>& gt = grad->Entity(t.tail, d);
   switch (model.scorer()) {
-    case TripleScorerKind::kTransE:
-      // f = ||h + r - t||_1, subgradient s = sign(h + r - t).
-      for (uint32_t i = 0; i < d; ++i) {
-        float diff = h[i] + r[i] - tl[i];
-        float s = diff > 0.0f ? 1.0f : (diff < 0.0f ? -1.0f : 0.0f);
-        gh[i] += sign_factor * s;
-        gr[i] += sign_factor * s;
-        gt[i] -= sign_factor * s;
-      }
+    case TripleScorerKind::kTransE: {
+      // f = ||h + r - t||_1, subgradient s = sign(h + r - t); vectorized
+      // as diff = h + r - t, s = sign(diff), three Axpy accumulations.
+      std::vector<float> diff(d), s(d);
+      Add(d, h, r, diff.data());
+      Sub(d, diff.data(), tl, diff.data());
+      SignOf(d, diff.data(), s.data());
+      Axpy(d, sign_factor, s.data(), gh.data());
+      Axpy(d, sign_factor, s.data(), gr.data());
+      Axpy(d, -sign_factor, s.data(), gt.data());
       break;
+    }
     case TripleScorerKind::kDistMult:
       // f = -sum h r t.
       for (uint32_t i = 0; i < d; ++i) {

@@ -69,11 +69,12 @@ float PkgmModel::TripleScore(const kg::Triple& t) const {
   const float* tl = entity(t.tail);
   switch (options_.scorer) {
     case TripleScorerKind::kTransE: {
-      float acc = 0.0f;
-      for (uint32_t i = 0; i < d; ++i) {
-        acc += std::fabs(h[i] + r[i] - tl[i]);
-      }
-      return acc;
+      // q = h + r, then the fused L1 kernel — the same arithmetic the
+      // serving/eval path applies to (query, candidate) pairs.
+      thread_local std::vector<float> q;
+      if (q.size() < d) q.resize(d);
+      Add(d, h, r, q.data());
+      return L1Distance(d, q.data(), tl);
     }
     case TripleScorerKind::kDistMult: {
       float acc = 0.0f;
@@ -121,26 +122,15 @@ void PkgmModel::TripleQueryVector(kg::EntityId h_id, kg::RelationId r_id,
 float PkgmModel::TailDistance(kg::RelationId r, const float* query,
                               const float* tail) const {
   const uint32_t d = options_.dim;
-  switch (options_.scorer) {
-    case TripleScorerKind::kTransE: {
-      float acc = 0.0f;
-      for (uint32_t i = 0; i < d; ++i) acc += std::fabs(query[i] - tail[i]);
-      return acc;
-    }
-    case TripleScorerKind::kTransH: {
-      const float* w = hyperplane(r);
-      const float wt = Dot(d, w, tail);
-      float acc = 0.0f;
-      for (uint32_t i = 0; i < d; ++i) {
-        acc += std::fabs(query[i] - (tail[i] - wt * w[i]));
-      }
-      return acc;
-    }
-    case TripleScorerKind::kDistMult:
-    case TripleScorerKind::kComplEx:
-      return -Dot(d, query, tail);
-  }
-  return 0.0f;
+  const float* w = options_.scorer == TripleScorerKind::kTransH
+                       ? hyperplane(r)
+                       : nullptr;
+  // Scratch is only touched for TransH (candidate projection); thread_local
+  // keeps this allocation-free on the per-candidate hot path.
+  thread_local std::vector<float> scratch;
+  if (w != nullptr && scratch.size() < d) scratch.resize(d);
+  return TailDistanceFromRows(options_.scorer, d, w, query, tail,
+                              scratch.data());
 }
 
 float PkgmModel::RelationScore(kg::EntityId h, kg::RelationId r) const {
@@ -148,12 +138,7 @@ float PkgmModel::RelationScore(kg::EntityId h, kg::RelationId r) const {
   const uint32_t d = options_.dim;
   std::vector<float> mh(d);
   GemvRaw(d, d, transfer(r), entity(h), mh.data());
-  const float* rv = relation(r);
-  float acc = 0.0f;
-  for (uint32_t i = 0; i < d; ++i) {
-    acc += std::fabs(mh[i] - rv[i]);
-  }
-  return acc;
+  return L1Distance(d, mh.data(), relation(r));
 }
 
 float PkgmModel::Score(const kg::Triple& t) const {

@@ -77,6 +77,12 @@ class PkgmModel : public EmbeddingSource {
   const float* EntityRow(uint32_t e, float* /*scratch*/) const override {
     return entity(e);
   }
+  const float* EntityRowsBlock(uint32_t first, uint32_t /*count*/,
+                               float* /*scratch*/) const override {
+    // The heap table is row-major and contiguous: a block of rows is just
+    // a pointer to the first one.
+    return entity(first);
+  }
   const float* RelationRow(uint32_t r, float* /*scratch*/) const override {
     return relation(r);
   }

@@ -1,5 +1,7 @@
 #include "core/service_math.h"
 
+#include <algorithm>
+
 #include "tensor/ops.h"
 
 namespace pkgm::core {
@@ -23,6 +25,14 @@ void TripleQueryFromRows(TripleScorerKind scorer, uint32_t dim, const float* h,
         out[i] = h_re[i] * r_re[i] - h_im[i] * r_im[i];
         out[half + i] = h_re[i] * r_im[i] + h_im[i] * r_re[i];
       }
+      if (dim % 2 != 0) {
+        // An odd dimension leaves one coordinate without an imaginary
+        // partner. PkgmModel and MmapEmbeddingStore both reject odd
+        // ComplEx dims at construction, but this function is callable on
+        // raw rows: treat the unpaired trailing coordinate as purely real
+        // rather than leaving out[dim-1] uninitialized.
+        out[dim - 1] = h[dim - 1] * r[dim - 1];
+      }
       return;
     }
     case TripleScorerKind::kTransH: {
@@ -33,6 +43,52 @@ void TripleQueryFromRows(TripleScorerKind scorer, uint32_t dim, const float* h,
       }
       return;
     }
+  }
+}
+
+float TailDistanceFromRows(TripleScorerKind scorer, uint32_t dim,
+                           const float* w, const float* query,
+                           const float* tail, float* scratch) {
+  switch (scorer) {
+    case TripleScorerKind::kTransE:
+      return L1Distance(dim, query, tail);
+    case TripleScorerKind::kTransH: {
+      // Project the candidate onto w's hyperplane, then L1 — the exact
+      // per-row sequence ScoreTailCandidatesBlock applies, so a tail
+      // scored alone and scored inside a block agree bit-for-bit.
+      const float wt = Dot(dim, w, tail);
+      std::copy(tail, tail + dim, scratch);
+      Axpy(dim, -wt, w, scratch);
+      return L1Distance(dim, query, scratch);
+    }
+    case TripleScorerKind::kDistMult:
+    case TripleScorerKind::kComplEx:
+      return -Dot(dim, query, tail);
+  }
+  return 0.0f;
+}
+
+void ScoreTailCandidatesBlock(TripleScorerKind scorer, uint32_t dim,
+                              const float* query, const float* w, float* rows,
+                              size_t num_rows, float* out) {
+  switch (scorer) {
+    case TripleScorerKind::kTransE:
+      L1DistanceBatch(query, rows, num_rows, dim, out);
+      return;
+    case TripleScorerKind::kTransH:
+      for (size_t i = 0; i < num_rows; ++i) {
+        float* row = rows + i * dim;
+        const float wt = Dot(dim, w, row);
+        Axpy(dim, -wt, w, row);
+      }
+      L1DistanceBatch(query, rows, num_rows, dim, out);
+      return;
+    case TripleScorerKind::kDistMult:
+    case TripleScorerKind::kComplEx:
+      // score_i = -<row_i, q>; GemvRaw computes row i exactly as one Dot.
+      GemvRaw(num_rows, dim, rows, query, out);
+      Scale(num_rows, -1.0f, out);
+      return;
   }
 }
 

@@ -1,6 +1,7 @@
 #ifndef PKGM_CORE_SERVICE_MATH_H_
 #define PKGM_CORE_SERVICE_MATH_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -33,6 +34,26 @@ struct ServiceWorkspace {
 /// EmbeddingSource serving path call, so fp32 backends agree bit-for-bit.
 void TripleQueryFromRows(TripleScorerKind scorer, uint32_t dim, const float* h,
                          const float* r, const float* w, float* out);
+
+/// Distance of one candidate tail row from a precomputed tail-query vector
+/// under `scorer`: L1 for TransE, hyperplane-projected L1 for TransH
+/// (`w` is the relation's normal; `scratch` must hold dim floats and is
+/// only touched for TransH), negative dot for DistMult / ComplEx. Shares
+/// its per-row arithmetic with ScoreTailCandidatesBlock, so single and
+/// blocked scoring of the same row agree bit-for-bit (ranking ties break
+/// identically on either path).
+float TailDistanceFromRows(TripleScorerKind scorer, uint32_t dim,
+                           const float* w, const float* query,
+                           const float* tail, float* scratch);
+
+/// Batched tail scoring over a contiguous row-major block of `num_rows`
+/// candidate embeddings: out[i] = TailDistanceFromRows(row i). `rows` is
+/// caller-owned scratch and is clobbered for TransH (rows are projected in
+/// place). This is the SIMD-friendly hot path behind
+/// LinkPredictionEvaluator::EvaluateTails.
+void ScoreTailCandidatesBlock(TripleScorerKind scorer, uint32_t dim,
+                              const float* query, const float* w, float* rows,
+                              size_t num_rows, float* out);
 
 /// S_R(h,r) = M_r h - r from raw rows (Eq. 7). `m` is the row-major d x d
 /// transfer matrix.

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "core/gradients.h"
+#include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -157,8 +158,7 @@ void Trainer::ApplyGradients(const SparseGrad& grad, float scale) {
 }
 
 void Trainer::ApplySgdRow(float* row, const float* g, uint32_t n, float scale) {
-  const float lr = options_.learning_rate * scale;
-  for (uint32_t i = 0; i < n; ++i) row[i] -= lr * g[i];
+  Axpy(n, -options_.learning_rate * scale, g, row);
 }
 
 void Trainer::ApplyAdamRow(float* row, const float* g, uint32_t n, float scale,

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "tensor/simd/kernel_dispatch.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -33,7 +34,8 @@ KnowledgeServer::KnowledgeServer(const core::ServiceVectorProvider* provider,
     cache_ = std::make_unique<ShardedVectorCache>(options_.cache_capacity,
                                                   options_.cache_shards);
   }
-  stats_.SetBackend("fixed provider (heap-fp32)");
+  stats_.SetBackend(StrFormat("fixed provider (heap-fp32), kernels=%s",
+                              simd::ActiveIsaName()));
 }
 
 KnowledgeServer::KnowledgeServer(const store::ModelRegistry* registry,
@@ -155,6 +157,10 @@ void KnowledgeServer::ObserveGeneration(const store::ServingGeneration& gen) {
         backend += StrFormat(" (%s, %s bytes)", StoreDtypeName(info.dtype),
                              WithThousandsSeparators(info.file_bytes).c_str());
       }
+      // The kernel ISA serving this process, so a perf regression in a
+      // report is attributable to a kernel change (PKGM_KERNEL override
+      // round-trips through here).
+      backend += StrFormat(", kernels=%s", simd::ActiveIsaName());
       stats_.SetBackend(std::move(backend));
       break;
     }

@@ -154,6 +154,20 @@ const float* MmapEmbeddingStore::EntityRow(uint32_t e, float* scratch) const {
              scratch);
 }
 
+const float* MmapEmbeddingStore::EntityRowsBlock(uint32_t first,
+                                                 uint32_t count,
+                                                 float* scratch) const {
+  PKGM_CHECK_LE(static_cast<uint64_t>(first) + count, header_.num_entities);
+  if (dtype() == StoreDtype::kFloat32) {
+    // The fp32 entity section is row-major in the mapping: hand the block
+    // back zero-copy, same as the single-row accessor.
+    return reinterpret_cast<const float*>(base_ + header_.entity_offset) +
+           static_cast<uint64_t>(first) * header_.dim;
+  }
+  // int8: dequantize row by row via the base implementation.
+  return core::EmbeddingSource::EntityRowsBlock(first, count, scratch);
+}
+
 const float* MmapEmbeddingStore::RelationRow(uint32_t r,
                                              float* scratch) const {
   return Row(header_.relation_offset, header_.num_relations, r, header_.dim,

@@ -53,6 +53,8 @@ class MmapEmbeddingStore : public core::EmbeddingSource {
     return header_.has_relation_module();
   }
   const float* EntityRow(uint32_t e, float* scratch) const override;
+  const float* EntityRowsBlock(uint32_t first, uint32_t count,
+                               float* scratch) const override;
   const float* RelationRow(uint32_t r, float* scratch) const override;
   const float* TransferRow(uint32_t r, float* scratch) const override;
   const float* HyperplaneRow(uint32_t r, float* scratch) const override;

@@ -2,50 +2,46 @@
 
 #include <cmath>
 
+#include "tensor/simd/kernel_dispatch.h"
 #include "util/logging.h"
 
 namespace pkgm {
 
+// BLAS-1/2 entry points delegate to the runtime-selected kernel table
+// (scalar reference, AVX2+FMA, AVX-512 or NEON — see
+// tensor/simd/kernel_dispatch.h). The blocked BLAS-3 routines below build
+// on Axpy/Dot and inherit the same dispatch.
+
 void Axpy(size_t n, float alpha, const float* x, float* y) {
-  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  simd::Active().axpy(n, alpha, x, y);
 }
 
 void Scale(size_t n, float alpha, float* x) {
-  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+  simd::Active().scale(n, alpha, x);
 }
 
 void Sub(size_t n, const float* x, const float* y, float* out) {
-  for (size_t i = 0; i < n; ++i) out[i] = x[i] - y[i];
+  simd::Active().sub(n, x, y, out);
 }
 
 void Add(size_t n, const float* x, const float* y, float* out) {
-  for (size_t i = 0; i < n; ++i) out[i] = x[i] + y[i];
+  simd::Active().add(n, x, y, out);
 }
 
 float Dot(size_t n, const float* x, const float* y) {
-  float acc = 0.0f;
-  for (size_t i = 0; i < n; ++i) acc += x[i] * y[i];
-  return acc;
+  return simd::Active().dot(n, x, y);
 }
 
-float L1Norm(size_t n, const float* x) {
-  float acc = 0.0f;
-  for (size_t i = 0; i < n; ++i) acc += std::fabs(x[i]);
-  return acc;
-}
+float L1Norm(size_t n, const float* x) { return simd::Active().l1_norm(n, x); }
 
 float L2Norm(size_t n, const float* x) { return std::sqrt(SquaredL2Norm(n, x)); }
 
 float SquaredL2Norm(size_t n, const float* x) {
-  float acc = 0.0f;
-  for (size_t i = 0; i < n; ++i) acc += x[i] * x[i];
-  return acc;
+  return simd::Active().squared_l2_norm(n, x);
 }
 
 void SignOf(size_t n, const float* x, float* out) {
-  for (size_t i = 0; i < n; ++i) {
-    out[i] = x[i] > 0.0f ? 1.0f : (x[i] < 0.0f ? -1.0f : 0.0f);
-  }
+  simd::Active().sign_of(n, x, out);
 }
 
 float ProjectToUnitBall(size_t n, float* x) {
@@ -57,13 +53,20 @@ float ProjectToUnitBall(size_t n, float* x) {
 }
 
 void Hadamard(size_t n, const float* x, const float* y, float* out) {
-  for (size_t i = 0; i < n; ++i) out[i] = x[i] * y[i];
+  simd::Active().hadamard(n, x, y, out);
+}
+
+float L1Distance(size_t n, const float* x, const float* y) {
+  return simd::Active().l1_distance(n, x, y);
+}
+
+void L1DistanceBatch(const float* query, const float* rows, size_t num_rows,
+                     size_t dim, float* out) {
+  simd::Active().l1_distance_batch(query, rows, num_rows, dim, out);
 }
 
 void GemvRaw(size_t m, size_t n, const float* a, const float* x, float* y) {
-  for (size_t i = 0; i < m; ++i) {
-    y[i] = Dot(n, a + i * n, x);
-  }
+  simd::Active().gemv_raw(m, n, a, x, y);
 }
 
 void GemvTransposedRaw(size_t m, size_t n, const float* a, const float* x,

@@ -10,6 +10,14 @@ namespace pkgm {
 // BLAS-1 kernels over raw spans (all lengths in elements). Callers guarantee
 // the spans are valid; these are hot paths and do not bounds-check per
 // element.
+//
+// The BLAS-1/2 entry points below dispatch to a runtime-selected SIMD
+// implementation (tensor/simd/kernel_dispatch.h): AVX2+FMA or AVX-512 on
+// x86-64, NEON on aarch64, with the portable scalar loops as the
+// always-correct fallback. Selection happens once at first use and can be
+// pinned with PKGM_KERNEL=scalar|avx2|avx512|neon. No pointer alignment is
+// required (vector paths use unaligned loads); vector reductions
+// reassociate sums, so results may differ from scalar in the last ulps.
 
 /// y += alpha * x
 void Axpy(size_t n, float alpha, const float* x, float* y);
@@ -44,6 +52,18 @@ float ProjectToUnitBall(size_t n, float* x);
 
 /// Elementwise product: out = x .* y
 void Hadamard(size_t n, const float* x, const float* y, float* out);
+
+/// sum_i |x_i - y_i| — the fused TransE tail distance (one pass, no
+/// intermediate difference vector).
+float L1Distance(size_t n, const float* x, const float* y);
+
+/// out[i] = L1Distance(dim, query, rows + i*dim) for i in [0, num_rows).
+/// `rows` is a contiguous row-major block of candidate embeddings; this is
+/// the batched candidate-scoring primitive behind link-prediction ranking.
+/// Row i is scored with arithmetic identical to a single L1Distance call,
+/// so batched and per-candidate scores agree bit-for-bit.
+void L1DistanceBatch(const float* query, const float* rows, size_t num_rows,
+                     size_t dim, float* out);
 
 // BLAS-2 / BLAS-3 kernels over row-major matrices.
 

@@ -1,0 +1,69 @@
+#include "tensor/simd/kernel_bench.h"
+
+#include <functional>
+
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace pkgm::simd {
+namespace {
+
+// Times `fn` by running batches of calls until ~20ms of wall time has
+// accumulated (after a warm-up batch), so one measurement survives timer
+// granularity and cold caches without taking seconds per op.
+double TimeNsPerCall(const std::function<void()>& fn) {
+  constexpr double kMinMillis = 20.0;
+  size_t batch = 64;
+  fn();  // warm-up: page in the data, settle the frequency governor
+  double total_ms = 0.0;
+  size_t total_calls = 0;
+  while (total_ms < kMinMillis) {
+    Stopwatch sw;
+    for (size_t i = 0; i < batch; ++i) fn();
+    total_ms += sw.ElapsedMillis();
+    total_calls += batch;
+    if (batch < (1u << 20)) batch *= 2;
+  }
+  return total_ms * 1e6 / static_cast<double>(total_calls);
+}
+
+}  // namespace
+
+std::vector<KernelBenchResult> RunKernelBench(const KernelTable& table,
+                                              size_t dim, size_t batch_rows) {
+  Rng rng(97);
+  std::vector<float> x(dim), y(dim), z(dim);
+  std::vector<float> rows(batch_rows * dim), out(batch_rows);
+  for (auto& v : x) v = rng.UniformFloat(-1.0f, 1.0f);
+  for (auto& v : y) v = rng.UniformFloat(-1.0f, 1.0f);
+  for (auto& v : rows) v = rng.UniformFloat(-1.0f, 1.0f);
+
+  const double fdim = static_cast<double>(dim);
+  const double frows = static_cast<double>(batch_rows);
+  std::vector<KernelBenchResult> results;
+  const auto run = [&](const char* op, double bytes_per_call,
+                       const std::function<void()>& fn) {
+    const double ns = TimeNsPerCall(fn);
+    results.push_back({op, ns, bytes_per_call / ns});  // bytes/ns == GB/s
+  };
+
+  volatile float sink = 0.0f;
+  run("dot", 2 * fdim * 4,
+      [&] { sink = table.dot(dim, x.data(), y.data()); });
+  run("l1_norm", fdim * 4, [&] { sink = table.l1_norm(dim, x.data()); });
+  run("axpy", 3 * fdim * 4,
+      [&] { table.axpy(dim, 0.25f, x.data(), z.data()); });
+  run("l1_distance", 2 * fdim * 4,
+      [&] { sink = table.l1_distance(dim, x.data(), y.data()); });
+  run("l1_distance_batch", (frows * fdim + fdim + frows) * 4, [&] {
+    table.l1_distance_batch(x.data(), rows.data(), batch_rows, dim,
+                            out.data());
+  });
+  run("gemv_raw", (frows * fdim + fdim + frows) * 4, [&] {
+    table.gemv_raw(batch_rows, dim, rows.data(), x.data(), out.data());
+  });
+  (void)sink;
+  return results;
+}
+
+}  // namespace pkgm::simd

@@ -1,0 +1,133 @@
+#include "tensor/simd/kernel_dispatch.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace pkgm::simd {
+
+namespace internal {
+#if defined(__x86_64__) || defined(_M_X64)
+extern const KernelTable kAvx2Table;
+#if defined(PKGM_HAVE_AVX512)
+extern const KernelTable kAvx512Table;
+#endif
+#endif
+#if defined(__aarch64__)
+extern const KernelTable kNeonTable;
+#endif
+}  // namespace internal
+
+const char* KernelIsaName(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return "scalar";
+    case KernelIsa::kAvx2:
+      return "avx2";
+    case KernelIsa::kAvx512:
+      return "avx512";
+    case KernelIsa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+const KernelTable* Avx2Kernels() {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return &internal::kAvx2Table;
+  }
+#endif
+  return nullptr;
+}
+
+const KernelTable* Avx512Kernels() {
+#if (defined(__x86_64__) || defined(_M_X64)) && defined(PKGM_HAVE_AVX512)
+  if (__builtin_cpu_supports("avx512f")) {
+    return &internal::kAvx512Table;
+  }
+#endif
+  return nullptr;
+}
+
+const KernelTable* NeonKernels() {
+#if defined(__aarch64__)
+  // NEON is architecturally guaranteed on aarch64.
+  return &internal::kNeonTable;
+#else
+  return nullptr;
+#endif
+}
+
+KernelIsa DetectBestIsa() {
+  if (Avx512Kernels() != nullptr) return KernelIsa::kAvx512;
+  if (Avx2Kernels() != nullptr) return KernelIsa::kAvx2;
+  if (NeonKernels() != nullptr) return KernelIsa::kNeon;
+  return KernelIsa::kScalar;
+}
+
+const KernelTable* KernelsForIsa(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kScalar:
+      return &ScalarKernels();
+    case KernelIsa::kAvx2:
+      return Avx2Kernels();
+    case KernelIsa::kAvx512:
+      return Avx512Kernels();
+    case KernelIsa::kNeon:
+      return NeonKernels();
+  }
+  return nullptr;
+}
+
+bool ParseKernelIsa(const char* name, KernelIsa* out) {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "scalar") == 0) {
+    *out = KernelIsa::kScalar;
+  } else if (std::strcmp(name, "avx2") == 0) {
+    *out = KernelIsa::kAvx2;
+  } else if (std::strcmp(name, "avx512") == 0) {
+    *out = KernelIsa::kAvx512;
+  } else if (std::strcmp(name, "neon") == 0) {
+    *out = KernelIsa::kNeon;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+const KernelTable* SelectActiveTable() {
+  const char* env = std::getenv("PKGM_KERNEL");
+  if (env != nullptr && *env != '\0') {
+    KernelIsa requested;
+    if (!ParseKernelIsa(env, &requested)) {
+      PKGM_LOG(Warning) << "PKGM_KERNEL=" << env
+                        << " is not a known ISA (want scalar|avx2|avx512|"
+                           "neon); using CPU detection";
+    } else if (const KernelTable* t = KernelsForIsa(requested)) {
+      return t;
+    } else {
+      PKGM_LOG(Warning) << "PKGM_KERNEL=" << env
+                        << " is not usable on this CPU; using detection";
+    }
+  }
+  const KernelTable* best = KernelsForIsa(DetectBestIsa());
+  return best != nullptr ? best : &ScalarKernels();
+}
+
+}  // namespace
+
+const KernelTable& Active() {
+  // Selected exactly once, on first use; every later call is one acquire
+  // load. Tests that need a specific table grab it via KernelsForIsa
+  // instead of mutating process-global state.
+  static const KernelTable* table = SelectActiveTable();
+  return *table;
+}
+
+const char* ActiveIsaName() { return KernelIsaName(Active().isa); }
+
+}  // namespace pkgm::simd

@@ -1,0 +1,81 @@
+#ifndef PKGM_TENSOR_SIMD_KERNEL_DISPATCH_H_
+#define PKGM_TENSOR_SIMD_KERNEL_DISPATCH_H_
+
+#include <cstddef>
+
+namespace pkgm::simd {
+
+/// Instruction sets the kernel layer can target. kScalar is the portable
+/// reference implementation (the seed's loops, bit-for-bit) and is always
+/// available; the vector ISAs are compiled only on matching architectures
+/// and selected only when the running CPU reports support.
+enum class KernelIsa { kScalar, kAvx2, kAvx512, kNeon };
+
+/// Lower-case name used by the PKGM_KERNEL env var, ServerStats backend
+/// reporting and the bench JSON ("scalar", "avx2", "avx512", "neon").
+const char* KernelIsaName(KernelIsa isa);
+
+/// One implementation of every hot-path kernel. All lengths are in
+/// elements; pointers need no particular alignment (vector variants use
+/// unaligned loads — see DESIGN.md §10 for the contract).
+///
+/// Numerical contract: within one table, `l1_distance_batch` scores row i
+/// exactly as one `l1_distance` call on that row, and `gemv_raw` computes
+/// row i exactly as one `dot` call — so batched and per-candidate scoring
+/// of the same data agree bit-for-bit and ranking ties break identically.
+/// Across tables only approximate agreement holds (vector reductions
+/// reassociate the sum; axpy may fuse the multiply-add).
+struct KernelTable {
+  KernelIsa isa;
+
+  float (*dot)(size_t n, const float* x, const float* y);
+  void (*axpy)(size_t n, float alpha, const float* x, float* y);
+  void (*scale)(size_t n, float alpha, float* x);
+  void (*add)(size_t n, const float* x, const float* y, float* out);
+  void (*sub)(size_t n, const float* x, const float* y, float* out);
+  void (*hadamard)(size_t n, const float* x, const float* y, float* out);
+  float (*l1_norm)(size_t n, const float* x);
+  float (*squared_l2_norm)(size_t n, const float* x);
+  void (*sign_of)(size_t n, const float* x, float* out);
+  /// sum_i |x_i - y_i| — the fused TransE tail distance.
+  float (*l1_distance)(size_t n, const float* x, const float* y);
+  /// out[i] = l1_distance(dim, query, rows + i*dim) for i in [0, num_rows):
+  /// the blocked candidate-scoring primitive behind EvaluateTails.
+  void (*l1_distance_batch)(const float* query, const float* rows,
+                            size_t num_rows, size_t dim, float* out);
+  /// y = A x, A row-major m x n. Row i equals dot(n, A_row_i, x).
+  void (*gemv_raw)(size_t m, size_t n, const float* a, const float* x,
+                   float* y);
+};
+
+/// The always-available portable reference kernels.
+const KernelTable& ScalarKernels();
+
+/// Vector tables, or nullptr when the ISA was not compiled in or the
+/// running CPU lacks it. Safe to call from any thread at any time.
+const KernelTable* Avx2Kernels();
+const KernelTable* Avx512Kernels();
+const KernelTable* NeonKernels();
+
+/// Best ISA the running CPU supports (kScalar if none).
+KernelIsa DetectBestIsa();
+
+/// Table for `isa` if usable on this machine, else nullptr.
+const KernelTable* KernelsForIsa(KernelIsa isa);
+
+/// Parses a PKGM_KERNEL value ("scalar" | "avx2" | "avx512" | "neon").
+/// Returns false on an unknown name.
+bool ParseKernelIsa(const char* name, KernelIsa* out);
+
+/// The process-wide active table. Chosen once, on first use: PKGM_KERNEL
+/// if set and usable (a warning is logged and detection takes over when it
+/// is unknown or unsupported on this CPU), otherwise DetectBestIsa().
+const KernelTable& Active();
+
+/// KernelIsaName(Active().isa) — the label reported by ServerStats and the
+/// bench JSON so perf regressions are attributable to a kernel change.
+const char* ActiveIsaName();
+
+}  // namespace pkgm::simd
+
+#endif  // PKGM_TENSOR_SIMD_KERNEL_DISPATCH_H_

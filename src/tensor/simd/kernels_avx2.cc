@@ -1,0 +1,224 @@
+// AVX2+FMA kernels (8-wide fp32). This translation unit is compiled with
+// -mavx2 -mfma (see tensor/CMakeLists.txt); the dispatcher only hands the
+// table out when the running CPU reports both features.
+//
+// Reductions use four independent 8-lane accumulators over 32-element
+// chunks, then an 8-wide loop, then a scalar tail — so sums are
+// reassociated relative to the scalar reference (parity tests allow a
+// small relative tolerance), but every function is deterministic for
+// given input, and the batch/gemv entry points reuse the single-row
+// functions so blocked and per-candidate scoring agree bit-for-bit.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "tensor/simd/kernel_dispatch.h"
+
+namespace pkgm::simd {
+namespace internal {
+namespace {
+
+inline __m256 Abs256(__m256 v) {
+  return _mm256_andnot_ps(_mm256_set1_ps(-0.0f), v);
+}
+
+inline float HorizontalSum(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+float Avx2Dot(size_t n, const float* x, const float* y) {
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 8),
+                           _mm256_loadu_ps(y + i + 8), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 16),
+                           _mm256_loadu_ps(y + i + 16), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(x + i + 24),
+                           _mm256_loadu_ps(y + i + 24), acc3);
+  }
+  __m256 acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                             _mm256_add_ps(acc2, acc3));
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i), acc);
+  }
+  float sum = HorizontalSum(acc);
+  for (; i < n; ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+void Avx2Axpy(size_t n, float alpha, const float* x, float* y) {
+  const __m256 a = _mm256_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_fmadd_ps(a, _mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void Avx2Scale(size_t n, float alpha, float* x) {
+  const __m256 a = _mm256_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(a, _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+void Avx2Add(size_t n, const float* x, const float* y, float* out) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i,
+                     _mm256_add_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) out[i] = x[i] + y[i];
+}
+
+void Avx2Sub(size_t n, const float* x, const float* y, float* out) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i,
+                     _mm256_sub_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) out[i] = x[i] - y[i];
+}
+
+void Avx2Hadamard(size_t n, const float* x, const float* y, float* out) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(out + i,
+                     _mm256_mul_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) out[i] = x[i] * y[i];
+}
+
+float Avx2L1Norm(size_t n, const float* x) {
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm256_add_ps(acc0, Abs256(_mm256_loadu_ps(x + i)));
+    acc1 = _mm256_add_ps(acc1, Abs256(_mm256_loadu_ps(x + i + 8)));
+    acc2 = _mm256_add_ps(acc2, Abs256(_mm256_loadu_ps(x + i + 16)));
+    acc3 = _mm256_add_ps(acc3, Abs256(_mm256_loadu_ps(x + i + 24)));
+  }
+  __m256 acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                             _mm256_add_ps(acc2, acc3));
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_add_ps(acc, Abs256(_mm256_loadu_ps(x + i)));
+  }
+  float sum = HorizontalSum(acc);
+  for (; i < n; ++i) sum += std::fabs(x[i]);
+  return sum;
+}
+
+float Avx2SquaredL2Norm(size_t n, const float* x) {
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    __m256 v0 = _mm256_loadu_ps(x + i);
+    __m256 v1 = _mm256_loadu_ps(x + i + 8);
+    __m256 v2 = _mm256_loadu_ps(x + i + 16);
+    __m256 v3 = _mm256_loadu_ps(x + i + 24);
+    acc0 = _mm256_fmadd_ps(v0, v0, acc0);
+    acc1 = _mm256_fmadd_ps(v1, v1, acc1);
+    acc2 = _mm256_fmadd_ps(v2, v2, acc2);
+    acc3 = _mm256_fmadd_ps(v3, v3, acc3);
+  }
+  __m256 acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                             _mm256_add_ps(acc2, acc3));
+  for (; i + 8 <= n; i += 8) {
+    __m256 v = _mm256_loadu_ps(x + i);
+    acc = _mm256_fmadd_ps(v, v, acc);
+  }
+  float sum = HorizontalSum(acc);
+  for (; i < n; ++i) sum += x[i] * x[i];
+  return sum;
+}
+
+void Avx2SignOf(size_t n, const float* x, float* out) {
+  const __m256 zero = _mm256_setzero_ps();
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 neg_one = _mm256_set1_ps(-1.0f);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 v = _mm256_loadu_ps(x + i);
+    __m256 pos = _mm256_and_ps(_mm256_cmp_ps(v, zero, _CMP_GT_OQ), one);
+    __m256 neg = _mm256_and_ps(_mm256_cmp_ps(v, zero, _CMP_LT_OQ), neg_one);
+    _mm256_storeu_ps(out + i, _mm256_or_ps(pos, neg));
+  }
+  for (; i < n; ++i) {
+    out[i] = x[i] > 0.0f ? 1.0f : (x[i] < 0.0f ? -1.0f : 0.0f);
+  }
+}
+
+float Avx2L1Distance(size_t n, const float* x, const float* y) {
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+  size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm256_add_ps(
+        acc0, Abs256(_mm256_sub_ps(_mm256_loadu_ps(x + i),
+                                   _mm256_loadu_ps(y + i))));
+    acc1 = _mm256_add_ps(
+        acc1, Abs256(_mm256_sub_ps(_mm256_loadu_ps(x + i + 8),
+                                   _mm256_loadu_ps(y + i + 8))));
+    acc2 = _mm256_add_ps(
+        acc2, Abs256(_mm256_sub_ps(_mm256_loadu_ps(x + i + 16),
+                                   _mm256_loadu_ps(y + i + 16))));
+    acc3 = _mm256_add_ps(
+        acc3, Abs256(_mm256_sub_ps(_mm256_loadu_ps(x + i + 24),
+                                   _mm256_loadu_ps(y + i + 24))));
+  }
+  __m256 acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                             _mm256_add_ps(acc2, acc3));
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_add_ps(
+        acc,
+        Abs256(_mm256_sub_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i))));
+  }
+  float sum = HorizontalSum(acc);
+  for (; i < n; ++i) sum += std::fabs(x[i] - y[i]);
+  return sum;
+}
+
+void Avx2L1DistanceBatch(const float* query, const float* rows,
+                         size_t num_rows, size_t dim, float* out) {
+  for (size_t i = 0; i < num_rows; ++i) {
+    out[i] = Avx2L1Distance(dim, query, rows + i * dim);
+  }
+}
+
+void Avx2GemvRaw(size_t m, size_t n, const float* a, const float* x,
+                 float* y) {
+  for (size_t i = 0; i < m; ++i) y[i] = Avx2Dot(n, a + i * n, x);
+}
+
+}  // namespace
+
+extern const KernelTable kAvx2Table = {
+    KernelIsa::kAvx2, Avx2Dot,           Avx2Axpy,
+    Avx2Scale,        Avx2Add,           Avx2Sub,
+    Avx2Hadamard,     Avx2L1Norm,        Avx2SquaredL2Norm,
+    Avx2SignOf,       Avx2L1Distance,    Avx2L1DistanceBatch,
+    Avx2GemvRaw,
+};
+
+}  // namespace internal
+}  // namespace pkgm::simd
+
+#endif  // x86-64

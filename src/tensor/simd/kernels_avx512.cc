@@ -1,0 +1,253 @@
+// AVX-512F kernels (16-wide fp32). Compiled with -mavx512f; selected only
+// when the running CPU reports avx512f. Structure mirrors the AVX2 file:
+// reductions use four independent accumulators over 64-element chunks,
+// remainders are handled with masked loads so no tail reads past the
+// span, and the batch/gemv entry points reuse the single-row functions so
+// blocked and per-candidate scoring agree bit-for-bit within this table.
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "tensor/simd/kernel_dispatch.h"
+
+namespace pkgm::simd {
+namespace internal {
+namespace {
+
+inline __m512 Abs512(__m512 v) {
+  return _mm512_abs_ps(v);
+}
+
+inline __mmask16 TailMask(size_t remaining) {
+  return static_cast<__mmask16>((1u << remaining) - 1u);
+}
+
+float Avx512Dot(size_t n, const float* x, const float* y) {
+  __m512 acc0 = _mm512_setzero_ps(), acc1 = _mm512_setzero_ps();
+  __m512 acc2 = _mm512_setzero_ps(), acc3 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    acc0 = _mm512_fmadd_ps(_mm512_loadu_ps(x + i), _mm512_loadu_ps(y + i),
+                           acc0);
+    acc1 = _mm512_fmadd_ps(_mm512_loadu_ps(x + i + 16),
+                           _mm512_loadu_ps(y + i + 16), acc1);
+    acc2 = _mm512_fmadd_ps(_mm512_loadu_ps(x + i + 32),
+                           _mm512_loadu_ps(y + i + 32), acc2);
+    acc3 = _mm512_fmadd_ps(_mm512_loadu_ps(x + i + 48),
+                           _mm512_loadu_ps(y + i + 48), acc3);
+  }
+  __m512 acc = _mm512_add_ps(_mm512_add_ps(acc0, acc1),
+                             _mm512_add_ps(acc2, acc3));
+  for (; i + 16 <= n; i += 16) {
+    acc = _mm512_fmadd_ps(_mm512_loadu_ps(x + i), _mm512_loadu_ps(y + i), acc);
+  }
+  if (i < n) {
+    const __mmask16 k = TailMask(n - i);
+    acc = _mm512_fmadd_ps(_mm512_maskz_loadu_ps(k, x + i),
+                          _mm512_maskz_loadu_ps(k, y + i), acc);
+  }
+  return _mm512_reduce_add_ps(acc);
+}
+
+void Avx512Axpy(size_t n, float alpha, const float* x, float* y) {
+  const __m512 a = _mm512_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(
+        y + i, _mm512_fmadd_ps(a, _mm512_loadu_ps(x + i), _mm512_loadu_ps(y + i)));
+  }
+  if (i < n) {
+    const __mmask16 k = TailMask(n - i);
+    _mm512_mask_storeu_ps(y + i, k,
+                          _mm512_fmadd_ps(a, _mm512_maskz_loadu_ps(k, x + i),
+                                          _mm512_maskz_loadu_ps(k, y + i)));
+  }
+}
+
+void Avx512Scale(size_t n, float alpha, float* x) {
+  const __m512 a = _mm512_set1_ps(alpha);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(x + i, _mm512_mul_ps(a, _mm512_loadu_ps(x + i)));
+  }
+  if (i < n) {
+    const __mmask16 k = TailMask(n - i);
+    _mm512_mask_storeu_ps(x + i, k,
+                          _mm512_mul_ps(a, _mm512_maskz_loadu_ps(k, x + i)));
+  }
+}
+
+void Avx512Add(size_t n, const float* x, const float* y, float* out) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(out + i,
+                     _mm512_add_ps(_mm512_loadu_ps(x + i), _mm512_loadu_ps(y + i)));
+  }
+  if (i < n) {
+    const __mmask16 k = TailMask(n - i);
+    _mm512_mask_storeu_ps(out + i, k,
+                          _mm512_add_ps(_mm512_maskz_loadu_ps(k, x + i),
+                                        _mm512_maskz_loadu_ps(k, y + i)));
+  }
+}
+
+void Avx512Sub(size_t n, const float* x, const float* y, float* out) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(out + i,
+                     _mm512_sub_ps(_mm512_loadu_ps(x + i), _mm512_loadu_ps(y + i)));
+  }
+  if (i < n) {
+    const __mmask16 k = TailMask(n - i);
+    _mm512_mask_storeu_ps(out + i, k,
+                          _mm512_sub_ps(_mm512_maskz_loadu_ps(k, x + i),
+                                        _mm512_maskz_loadu_ps(k, y + i)));
+  }
+}
+
+void Avx512Hadamard(size_t n, const float* x, const float* y, float* out) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(out + i,
+                     _mm512_mul_ps(_mm512_loadu_ps(x + i), _mm512_loadu_ps(y + i)));
+  }
+  if (i < n) {
+    const __mmask16 k = TailMask(n - i);
+    _mm512_mask_storeu_ps(out + i, k,
+                          _mm512_mul_ps(_mm512_maskz_loadu_ps(k, x + i),
+                                        _mm512_maskz_loadu_ps(k, y + i)));
+  }
+}
+
+float Avx512L1Norm(size_t n, const float* x) {
+  __m512 acc0 = _mm512_setzero_ps(), acc1 = _mm512_setzero_ps();
+  __m512 acc2 = _mm512_setzero_ps(), acc3 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    acc0 = _mm512_add_ps(acc0, Abs512(_mm512_loadu_ps(x + i)));
+    acc1 = _mm512_add_ps(acc1, Abs512(_mm512_loadu_ps(x + i + 16)));
+    acc2 = _mm512_add_ps(acc2, Abs512(_mm512_loadu_ps(x + i + 32)));
+    acc3 = _mm512_add_ps(acc3, Abs512(_mm512_loadu_ps(x + i + 48)));
+  }
+  __m512 acc = _mm512_add_ps(_mm512_add_ps(acc0, acc1),
+                             _mm512_add_ps(acc2, acc3));
+  for (; i + 16 <= n; i += 16) {
+    acc = _mm512_add_ps(acc, Abs512(_mm512_loadu_ps(x + i)));
+  }
+  if (i < n) {
+    const __mmask16 k = TailMask(n - i);
+    acc = _mm512_add_ps(acc, Abs512(_mm512_maskz_loadu_ps(k, x + i)));
+  }
+  return _mm512_reduce_add_ps(acc);
+}
+
+float Avx512SquaredL2Norm(size_t n, const float* x) {
+  __m512 acc0 = _mm512_setzero_ps(), acc1 = _mm512_setzero_ps();
+  __m512 acc2 = _mm512_setzero_ps(), acc3 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    __m512 v0 = _mm512_loadu_ps(x + i);
+    __m512 v1 = _mm512_loadu_ps(x + i + 16);
+    __m512 v2 = _mm512_loadu_ps(x + i + 32);
+    __m512 v3 = _mm512_loadu_ps(x + i + 48);
+    acc0 = _mm512_fmadd_ps(v0, v0, acc0);
+    acc1 = _mm512_fmadd_ps(v1, v1, acc1);
+    acc2 = _mm512_fmadd_ps(v2, v2, acc2);
+    acc3 = _mm512_fmadd_ps(v3, v3, acc3);
+  }
+  __m512 acc = _mm512_add_ps(_mm512_add_ps(acc0, acc1),
+                             _mm512_add_ps(acc2, acc3));
+  for (; i + 16 <= n; i += 16) {
+    __m512 v = _mm512_loadu_ps(x + i);
+    acc = _mm512_fmadd_ps(v, v, acc);
+  }
+  if (i < n) {
+    const __mmask16 k = TailMask(n - i);
+    __m512 v = _mm512_maskz_loadu_ps(k, x + i);
+    acc = _mm512_fmadd_ps(v, v, acc);
+  }
+  return _mm512_reduce_add_ps(acc);
+}
+
+void Avx512SignOf(size_t n, const float* x, float* out) {
+  const __m512 zero = _mm512_setzero_ps();
+  const __m512 one = _mm512_set1_ps(1.0f);
+  const __m512 neg_one = _mm512_set1_ps(-1.0f);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m512 v = _mm512_loadu_ps(x + i);
+    __m512 r = _mm512_mask_blend_ps(_mm512_cmp_ps_mask(v, zero, _CMP_GT_OQ),
+                                    zero, one);
+    r = _mm512_mask_blend_ps(_mm512_cmp_ps_mask(v, zero, _CMP_LT_OQ), r,
+                             neg_one);
+    _mm512_storeu_ps(out + i, r);
+  }
+  for (; i < n; ++i) {
+    out[i] = x[i] > 0.0f ? 1.0f : (x[i] < 0.0f ? -1.0f : 0.0f);
+  }
+}
+
+float Avx512L1Distance(size_t n, const float* x, const float* y) {
+  __m512 acc0 = _mm512_setzero_ps(), acc1 = _mm512_setzero_ps();
+  __m512 acc2 = _mm512_setzero_ps(), acc3 = _mm512_setzero_ps();
+  size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    acc0 = _mm512_add_ps(
+        acc0, Abs512(_mm512_sub_ps(_mm512_loadu_ps(x + i),
+                                   _mm512_loadu_ps(y + i))));
+    acc1 = _mm512_add_ps(
+        acc1, Abs512(_mm512_sub_ps(_mm512_loadu_ps(x + i + 16),
+                                   _mm512_loadu_ps(y + i + 16))));
+    acc2 = _mm512_add_ps(
+        acc2, Abs512(_mm512_sub_ps(_mm512_loadu_ps(x + i + 32),
+                                   _mm512_loadu_ps(y + i + 32))));
+    acc3 = _mm512_add_ps(
+        acc3, Abs512(_mm512_sub_ps(_mm512_loadu_ps(x + i + 48),
+                                   _mm512_loadu_ps(y + i + 48))));
+  }
+  __m512 acc = _mm512_add_ps(_mm512_add_ps(acc0, acc1),
+                             _mm512_add_ps(acc2, acc3));
+  for (; i + 16 <= n; i += 16) {
+    acc = _mm512_add_ps(
+        acc,
+        Abs512(_mm512_sub_ps(_mm512_loadu_ps(x + i), _mm512_loadu_ps(y + i))));
+  }
+  if (i < n) {
+    const __mmask16 k = TailMask(n - i);
+    acc = _mm512_add_ps(acc,
+                        Abs512(_mm512_sub_ps(_mm512_maskz_loadu_ps(k, x + i),
+                                             _mm512_maskz_loadu_ps(k, y + i))));
+  }
+  return _mm512_reduce_add_ps(acc);
+}
+
+void Avx512L1DistanceBatch(const float* query, const float* rows,
+                           size_t num_rows, size_t dim, float* out) {
+  for (size_t i = 0; i < num_rows; ++i) {
+    out[i] = Avx512L1Distance(dim, query, rows + i * dim);
+  }
+}
+
+void Avx512GemvRaw(size_t m, size_t n, const float* a, const float* x,
+                   float* y) {
+  for (size_t i = 0; i < m; ++i) y[i] = Avx512Dot(n, a + i * n, x);
+}
+
+}  // namespace
+
+extern const KernelTable kAvx512Table = {
+    KernelIsa::kAvx512, Avx512Dot,           Avx512Axpy,
+    Avx512Scale,        Avx512Add,           Avx512Sub,
+    Avx512Hadamard,     Avx512L1Norm,        Avx512SquaredL2Norm,
+    Avx512SignOf,       Avx512L1Distance,    Avx512L1DistanceBatch,
+    Avx512GemvRaw,
+};
+
+}  // namespace internal
+}  // namespace pkgm::simd
+
+#endif  // x86-64

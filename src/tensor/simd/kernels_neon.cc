@@ -1,0 +1,190 @@
+// NEON kernels for aarch64 (4-wide fp32). NEON is baseline on aarch64 so
+// no runtime feature check is needed; the dispatcher simply prefers this
+// table there. Structure mirrors the x86 files: reductions use four
+// independent accumulators over 16-element chunks, then a 4-wide loop,
+// then a scalar tail; batch/gemv entry points reuse the single-row
+// functions so blocked and per-candidate scoring agree bit-for-bit.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cmath>
+#include <cstddef>
+
+#include "tensor/simd/kernel_dispatch.h"
+
+namespace pkgm::simd {
+namespace internal {
+namespace {
+
+float NeonDot(size_t n, const float* x, const float* y) {
+  float32x4_t acc0 = vdupq_n_f32(0.0f), acc1 = vdupq_n_f32(0.0f);
+  float32x4_t acc2 = vdupq_n_f32(0.0f), acc3 = vdupq_n_f32(0.0f);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(x + i), vld1q_f32(y + i));
+    acc1 = vfmaq_f32(acc1, vld1q_f32(x + i + 4), vld1q_f32(y + i + 4));
+    acc2 = vfmaq_f32(acc2, vld1q_f32(x + i + 8), vld1q_f32(y + i + 8));
+    acc3 = vfmaq_f32(acc3, vld1q_f32(x + i + 12), vld1q_f32(y + i + 12));
+  }
+  float32x4_t acc = vaddq_f32(vaddq_f32(acc0, acc1), vaddq_f32(acc2, acc3));
+  for (; i + 4 <= n; i += 4) {
+    acc = vfmaq_f32(acc, vld1q_f32(x + i), vld1q_f32(y + i));
+  }
+  float sum = vaddvq_f32(acc);
+  for (; i < n; ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+void NeonAxpy(size_t n, float alpha, const float* x, float* y) {
+  const float32x4_t a = vdupq_n_f32(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(y + i, vfmaq_f32(vld1q_f32(y + i), a, vld1q_f32(x + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void NeonScale(size_t n, float alpha, float* x) {
+  const float32x4_t a = vdupq_n_f32(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(x + i, vmulq_f32(a, vld1q_f32(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+void NeonAdd(size_t n, const float* x, const float* y, float* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(out + i, vaddq_f32(vld1q_f32(x + i), vld1q_f32(y + i)));
+  }
+  for (; i < n; ++i) out[i] = x[i] + y[i];
+}
+
+void NeonSub(size_t n, const float* x, const float* y, float* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(out + i, vsubq_f32(vld1q_f32(x + i), vld1q_f32(y + i)));
+  }
+  for (; i < n; ++i) out[i] = x[i] - y[i];
+}
+
+void NeonHadamard(size_t n, const float* x, const float* y, float* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(out + i, vmulq_f32(vld1q_f32(x + i), vld1q_f32(y + i)));
+  }
+  for (; i < n; ++i) out[i] = x[i] * y[i];
+}
+
+float NeonL1Norm(size_t n, const float* x) {
+  float32x4_t acc0 = vdupq_n_f32(0.0f), acc1 = vdupq_n_f32(0.0f);
+  float32x4_t acc2 = vdupq_n_f32(0.0f), acc3 = vdupq_n_f32(0.0f);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = vaddq_f32(acc0, vabsq_f32(vld1q_f32(x + i)));
+    acc1 = vaddq_f32(acc1, vabsq_f32(vld1q_f32(x + i + 4)));
+    acc2 = vaddq_f32(acc2, vabsq_f32(vld1q_f32(x + i + 8)));
+    acc3 = vaddq_f32(acc3, vabsq_f32(vld1q_f32(x + i + 12)));
+  }
+  float32x4_t acc = vaddq_f32(vaddq_f32(acc0, acc1), vaddq_f32(acc2, acc3));
+  for (; i + 4 <= n; i += 4) {
+    acc = vaddq_f32(acc, vabsq_f32(vld1q_f32(x + i)));
+  }
+  float sum = vaddvq_f32(acc);
+  for (; i < n; ++i) sum += std::fabs(x[i]);
+  return sum;
+}
+
+float NeonSquaredL2Norm(size_t n, const float* x) {
+  float32x4_t acc0 = vdupq_n_f32(0.0f), acc1 = vdupq_n_f32(0.0f);
+  float32x4_t acc2 = vdupq_n_f32(0.0f), acc3 = vdupq_n_f32(0.0f);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    float32x4_t v0 = vld1q_f32(x + i);
+    float32x4_t v1 = vld1q_f32(x + i + 4);
+    float32x4_t v2 = vld1q_f32(x + i + 8);
+    float32x4_t v3 = vld1q_f32(x + i + 12);
+    acc0 = vfmaq_f32(acc0, v0, v0);
+    acc1 = vfmaq_f32(acc1, v1, v1);
+    acc2 = vfmaq_f32(acc2, v2, v2);
+    acc3 = vfmaq_f32(acc3, v3, v3);
+  }
+  float32x4_t acc = vaddq_f32(vaddq_f32(acc0, acc1), vaddq_f32(acc2, acc3));
+  for (; i + 4 <= n; i += 4) {
+    float32x4_t v = vld1q_f32(x + i);
+    acc = vfmaq_f32(acc, v, v);
+  }
+  float sum = vaddvq_f32(acc);
+  for (; i < n; ++i) sum += x[i] * x[i];
+  return sum;
+}
+
+void NeonSignOf(size_t n, const float* x, float* out) {
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  const float32x4_t one = vdupq_n_f32(1.0f);
+  const float32x4_t neg_one = vdupq_n_f32(-1.0f);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    float32x4_t v = vld1q_f32(x + i);
+    uint32x4_t pos = vcgtq_f32(v, zero);
+    uint32x4_t neg = vcltq_f32(v, zero);
+    float32x4_t r = vbslq_f32(pos, one, zero);
+    r = vbslq_f32(neg, neg_one, r);
+    vst1q_f32(out + i, r);
+  }
+  for (; i < n; ++i) {
+    out[i] = x[i] > 0.0f ? 1.0f : (x[i] < 0.0f ? -1.0f : 0.0f);
+  }
+}
+
+float NeonL1Distance(size_t n, const float* x, const float* y) {
+  float32x4_t acc0 = vdupq_n_f32(0.0f), acc1 = vdupq_n_f32(0.0f);
+  float32x4_t acc2 = vdupq_n_f32(0.0f), acc3 = vdupq_n_f32(0.0f);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = vaddq_f32(acc0, vabdq_f32(vld1q_f32(x + i), vld1q_f32(y + i)));
+    acc1 = vaddq_f32(acc1,
+                     vabdq_f32(vld1q_f32(x + i + 4), vld1q_f32(y + i + 4)));
+    acc2 = vaddq_f32(acc2,
+                     vabdq_f32(vld1q_f32(x + i + 8), vld1q_f32(y + i + 8)));
+    acc3 = vaddq_f32(acc3,
+                     vabdq_f32(vld1q_f32(x + i + 12), vld1q_f32(y + i + 12)));
+  }
+  float32x4_t acc = vaddq_f32(vaddq_f32(acc0, acc1), vaddq_f32(acc2, acc3));
+  for (; i + 4 <= n; i += 4) {
+    acc = vaddq_f32(acc, vabdq_f32(vld1q_f32(x + i), vld1q_f32(y + i)));
+  }
+  float sum = vaddvq_f32(acc);
+  for (; i < n; ++i) sum += std::fabs(x[i] - y[i]);
+  return sum;
+}
+
+void NeonL1DistanceBatch(const float* query, const float* rows,
+                         size_t num_rows, size_t dim, float* out) {
+  for (size_t i = 0; i < num_rows; ++i) {
+    out[i] = NeonL1Distance(dim, query, rows + i * dim);
+  }
+}
+
+void NeonGemvRaw(size_t m, size_t n, const float* a, const float* x,
+                 float* y) {
+  for (size_t i = 0; i < m; ++i) y[i] = NeonDot(n, a + i * n, x);
+}
+
+}  // namespace
+
+extern const KernelTable kNeonTable = {
+    KernelIsa::kNeon, NeonDot,           NeonAxpy,
+    NeonScale,        NeonAdd,           NeonSub,
+    NeonHadamard,     NeonL1Norm,        NeonSquaredL2Norm,
+    NeonSignOf,       NeonL1Distance,    NeonL1DistanceBatch,
+    NeonGemvRaw,
+};
+
+}  // namespace internal
+}  // namespace pkgm::simd
+
+#endif  // __aarch64__

@@ -1,0 +1,88 @@
+// Portable reference kernels — the seed's scalar loops, kept bit-for-bit
+// as the always-correct fallback every vector ISA is parity-tested
+// against (tests/simd_kernels_test.cc).
+
+#include <cmath>
+#include <cstddef>
+
+#include "tensor/simd/kernel_dispatch.h"
+
+namespace pkgm::simd {
+namespace {
+
+float ScalarDot(size_t n, const float* x, const float* y) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void ScalarAxpy(size_t n, float alpha, const float* x, float* y) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void ScalarScale(size_t n, float alpha, float* x) {
+  for (size_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void ScalarAdd(size_t n, const float* x, const float* y, float* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = x[i] + y[i];
+}
+
+void ScalarSub(size_t n, const float* x, const float* y, float* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = x[i] - y[i];
+}
+
+void ScalarHadamard(size_t n, const float* x, const float* y, float* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = x[i] * y[i];
+}
+
+float ScalarL1Norm(size_t n, const float* x) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += std::fabs(x[i]);
+  return acc;
+}
+
+float ScalarSquaredL2Norm(size_t n, const float* x) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += x[i] * x[i];
+  return acc;
+}
+
+void ScalarSignOf(size_t n, const float* x, float* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = x[i] > 0.0f ? 1.0f : (x[i] < 0.0f ? -1.0f : 0.0f);
+  }
+}
+
+float ScalarL1Distance(size_t n, const float* x, const float* y) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) acc += std::fabs(x[i] - y[i]);
+  return acc;
+}
+
+void ScalarL1DistanceBatch(const float* query, const float* rows,
+                           size_t num_rows, size_t dim, float* out) {
+  for (size_t i = 0; i < num_rows; ++i) {
+    out[i] = ScalarL1Distance(dim, query, rows + i * dim);
+  }
+}
+
+void ScalarGemvRaw(size_t m, size_t n, const float* a, const float* x,
+                   float* y) {
+  for (size_t i = 0; i < m; ++i) y[i] = ScalarDot(n, a + i * n, x);
+}
+
+}  // namespace
+
+const KernelTable& ScalarKernels() {
+  static const KernelTable table = {
+      KernelIsa::kScalar, ScalarDot,           ScalarAxpy,
+      ScalarScale,        ScalarAdd,           ScalarSub,
+      ScalarHadamard,     ScalarL1Norm,        ScalarSquaredL2Norm,
+      ScalarSignOf,       ScalarL1Distance,    ScalarL1DistanceBatch,
+      ScalarGemvRaw,
+  };
+  return table;
+}
+
+}  // namespace pkgm::simd

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <unordered_map>
 
 #include "core/gradients.h"
@@ -9,6 +10,7 @@
 #include "core/negative_sampler.h"
 #include "core/pkgm_model.h"
 #include "core/service.h"
+#include "core/service_math.h"
 #include "core/sharded_trainer.h"
 #include "core/trainer.h"
 #include "kg/triple_store.h"
@@ -418,6 +420,117 @@ TEST(LinkPredictionTest, CandidateRestriction) {
   auto result = eval.EvaluateTails({{0, 0, 3}}, &candidates);
   EXPECT_DOUBLE_EQ(result.hits[1], 1.0);
   EXPECT_DOUBLE_EQ(result.mean_rank, 1.0);
+}
+
+TEST(LinkPredictionTest, BatchedScoringMatchesReferencePath) {
+  // The blocked batch path must reproduce the per-candidate reference path
+  // exactly — same metrics, same tie handling — for every scorer family,
+  // including block sizes that do not divide the candidate count.
+  for (TripleScorerKind scorer :
+       {TripleScorerKind::kTransE, TripleScorerKind::kDistMult,
+        TripleScorerKind::kComplEx, TripleScorerKind::kTransH}) {
+    PkgmModelOptions opt = SmallModel(30, 3, 8, /*rel_module=*/false);
+    opt.scorer = scorer;
+    PkgmModel model(opt);
+    kg::TripleStore known = SmallKg();
+    std::vector<kg::Triple> test = known.triples();
+
+    LinkPredictionEvaluator::Options eval_opt;
+    eval_opt.filtered = true;
+    eval_opt.num_threads = 1;
+    eval_opt.block_size = 7;  // forces a partial final block per triple
+    eval_opt.use_batched_scoring = true;
+    LinkPredictionEvaluator batched(&model, &known, eval_opt);
+    auto r_batched = batched.EvaluateTails(test);
+
+    eval_opt.use_batched_scoring = false;
+    LinkPredictionEvaluator reference(&model, &known, eval_opt);
+    auto r_reference = reference.EvaluateTails(test);
+
+    EXPECT_DOUBLE_EQ(r_batched.mrr, r_reference.mrr) << "scorer " << (int)scorer;
+    EXPECT_DOUBLE_EQ(r_batched.mean_rank, r_reference.mean_rank);
+    for (auto& [k, v] : r_reference.hits) {
+      EXPECT_DOUBLE_EQ(r_batched.hits.at(k), v);
+    }
+  }
+}
+
+TEST(LinkPredictionTest, MetricsIdenticalForAnyThreadCount) {
+  PkgmModelOptions opt = SmallModel(30, 3, 8, /*rel_module=*/false);
+  PkgmModel model(opt);
+  kg::TripleStore known = SmallKg();
+  std::vector<kg::Triple> test = known.triples();
+
+  LinkPredictionEvaluator::Options eval_opt;
+  eval_opt.filtered = true;
+  eval_opt.num_threads = 1;
+  LinkPredictionEvaluator serial(&model, &known, eval_opt);
+  auto r1 = serial.EvaluateTails(test);
+
+  for (size_t threads : {2, 4, 7}) {
+    eval_opt.num_threads = threads;
+    LinkPredictionEvaluator parallel(&model, &known, eval_opt);
+    auto rn = parallel.EvaluateTails(test);
+    EXPECT_DOUBLE_EQ(rn.mrr, r1.mrr) << threads << " threads";
+    EXPECT_DOUBLE_EQ(rn.mean_rank, r1.mean_rank) << threads << " threads";
+    for (auto& [k, v] : r1.hits) EXPECT_DOUBLE_EQ(rn.hits.at(k), v);
+  }
+}
+
+// ------------------------------------------------------------ ServiceMath --
+
+TEST(ServiceMathTest, ComplExQueryWritesTrailingCoordForOddDim) {
+  // Regression: the ComplEx branch of TripleQueryFromRows paired halves
+  // [0, dim/2) with [dim/2, dim) and left out[dim-1] unwritten when dim is
+  // odd. The unpaired trailing coordinate is treated as purely real.
+  const uint32_t dim = 7;
+  std::vector<float> h(dim), r(dim);
+  for (uint32_t i = 0; i < dim; ++i) {
+    h[i] = 0.5f + static_cast<float>(i);
+    r[i] = 2.0f - 0.25f * static_cast<float>(i);
+  }
+  const float sentinel = std::numeric_limits<float>::quiet_NaN();
+  std::vector<float> out(dim, sentinel);
+  TripleQueryFromRows(TripleScorerKind::kComplEx, dim, h.data(), r.data(),
+                      nullptr, out.data());
+  for (uint32_t i = 0; i < dim; ++i) {
+    EXPECT_FALSE(std::isnan(out[i])) << "out[" << i << "] left unwritten";
+  }
+  EXPECT_FLOAT_EQ(out[dim - 1], h[dim - 1] * r[dim - 1]);
+  // The paired coordinates keep the even-dim complex product layout.
+  const uint32_t half = dim / 2;
+  for (uint32_t i = 0; i < half; ++i) {
+    EXPECT_FLOAT_EQ(out[i], h[i] * r[i] - h[half + i] * r[half + i]);
+    EXPECT_FLOAT_EQ(out[half + i], h[i] * r[half + i] + h[half + i] * r[i]);
+  }
+}
+
+TEST(ServiceMathTest, BlockScoringMatchesSingleRowDistance) {
+  // The bit-for-bit single-vs-batch contract at the service_math level.
+  const uint32_t dim = 9;
+  const size_t rows = 6;
+  std::vector<float> q(dim), w(dim), block(rows * dim), scratch(dim);
+  for (uint32_t i = 0; i < dim; ++i) {
+    q[i] = 0.3f * static_cast<float>(i) - 1.0f;
+    w[i] = (i % 2 == 0) ? 0.4f : -0.2f;
+  }
+  for (size_t i = 0; i < block.size(); ++i) {
+    block[i] = 0.17f * static_cast<float>((i * 7) % 11) - 0.8f;
+  }
+  for (TripleScorerKind scorer :
+       {TripleScorerKind::kTransE, TripleScorerKind::kDistMult,
+        TripleScorerKind::kComplEx, TripleScorerKind::kTransH}) {
+    std::vector<float> rows_copy = block;  // the block path may clobber rows
+    std::vector<float> out(rows);
+    ScoreTailCandidatesBlock(scorer, dim, q.data(), w.data(), rows_copy.data(),
+                             rows, out.data());
+    for (size_t i = 0; i < rows; ++i) {
+      const float single =
+          TailDistanceFromRows(scorer, dim, w.data(), q.data(),
+                               block.data() + i * dim, scratch.data());
+      EXPECT_EQ(out[i], single) << "scorer " << (int)scorer << " row " << i;
+    }
+  }
 }
 
 // ---------------------------------------------------------------- Service --

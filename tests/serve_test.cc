@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -12,6 +14,7 @@
 #include "serve/knowledge_server.h"
 #include "serve/request.h"
 #include "serve/vector_cache.h"
+#include "tensor/simd/kernel_dispatch.h"
 #include "util/rng.h"
 
 namespace pkgm::serve {
@@ -428,6 +431,27 @@ TEST(KnowledgeServerTest, StatsReportRenders) {
   EXPECT_NE(report.find("cache hit rate"), std::string::npos);
   EXPECT_NE(report.find("p99 us"), std::string::npos);
   EXPECT_NE(report.find("queue wait"), std::string::npos);
+}
+
+TEST(KnowledgeServerTest, BackendReportsActiveKernelIsa) {
+  // The backend line must name the kernel ISA serving this process so perf
+  // regressions in reports are attributable; with PKGM_KERNEL set (the CI
+  // scalar matrix leg), the env value round-trips into the report.
+  Fixture fx;
+  KnowledgeServer server(fx.provider.get());
+  const std::string expected =
+      std::string("kernels=") + simd::ActiveIsaName();
+  EXPECT_NE(server.stats().backend().find(expected), std::string::npos)
+      << "backend: " << server.stats().backend();
+  if (const char* env = std::getenv("PKGM_KERNEL")) {
+    simd::KernelIsa requested;
+    if (simd::ParseKernelIsa(env, &requested) &&
+        simd::KernelsForIsa(requested) != nullptr) {
+      EXPECT_NE(server.stats().backend().find(std::string("kernels=") + env),
+                std::string::npos)
+          << "backend: " << server.stats().backend();
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,199 @@
+// Kernel parity suite: every vector ISA usable on this machine is compared
+// against the scalar reference for each op, across lengths 1..4*width+3
+// (deliberately straddling non-multiples of every vector width) and
+// deliberately misaligned base pointers.
+//
+// Tolerance contract (documented in DESIGN.md §10):
+//  * Elementwise ops with one rounding per lane (add, sub, hadamard,
+//    scale, sign_of) must match the scalar reference bit-for-bit.
+//  * axpy may fuse the multiply-add (one rounding instead of two): each
+//    element is allowed 1 ulp of drift.
+//  * Reductions (dot, norms, l1_distance, and the batch/gemv entry points
+//    built on them) reassociate the sum across lanes/accumulators: results
+//    must agree within a relative 16 * n * eps bound — loose enough for
+//    any bracketing of an n-term fp32 sum, tight enough to catch a wrong
+//    element or a dropped tail.
+//  * Within one table, l1_distance_batch row i and gemv_raw row i must be
+//    bit-identical to the single-row call (ranking-tie contract).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "tensor/simd/kernel_dispatch.h"
+#include "util/rng.h"
+
+namespace pkgm::simd {
+namespace {
+
+// Largest vector width across ISAs is 16 (AVX-512); the unrolled
+// reduction chunks span 4 registers, so cover up to 4*16+3 elements plus
+// margin to exercise every remainder path.
+constexpr size_t kMaxLen = 4 * 16 + 3;
+
+// Relative tolerance for an n-term reassociated fp32 reduction.
+double ReductionTol(size_t n, double magnitude) {
+  const double eps = 1.19209290e-7;  // fp32 machine epsilon
+  return 16.0 * static_cast<double>(n + 1) * eps * (magnitude + 1.0);
+}
+
+std::vector<const KernelTable*> AvailableVectorTables() {
+  std::vector<const KernelTable*> tables;
+  if (const KernelTable* t = Avx2Kernels()) tables.push_back(t);
+  if (const KernelTable* t = Avx512Kernels()) tables.push_back(t);
+  if (const KernelTable* t = NeonKernels()) tables.push_back(t);
+  return tables;
+}
+
+/// Buffer with a controlled misalignment: data() is `offset` floats past a
+/// vector-aligned base, so 16-byte/32-byte/64-byte alignment is broken for
+/// every offset in 1..3.
+struct Misaligned {
+  Misaligned(size_t n, size_t offset, uint64_t seed) : storage(n + offset + 1) {
+    Rng rng(seed);
+    for (auto& v : storage) {
+      v = rng.Uniform(1000) / 250.0f - 2.0f;  // [-2, 2), some exact zeros
+    }
+    ptr = storage.data() + offset;
+    size = n;
+  }
+  std::vector<float> storage;
+  float* ptr;
+  size_t size;
+};
+
+class SimdParityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SimdParityTest, AllOpsMatchScalarReference) {
+  const size_t offset = GetParam();
+  const KernelTable& ref = ScalarKernels();
+  for (const KernelTable* table : AvailableVectorTables()) {
+    SCOPED_TRACE(std::string("isa=") + KernelIsaName(table->isa) +
+                 " offset=" + std::to_string(offset));
+    for (size_t n = 1; n <= kMaxLen; ++n) {
+      SCOPED_TRACE("n=" + std::to_string(n));
+      Misaligned x(n, offset, 1000 + n), y(n, offset, 2000 + n);
+
+      // Reductions: reassociation tolerance.
+      EXPECT_NEAR(table->dot(n, x.ptr, y.ptr), ref.dot(n, x.ptr, y.ptr),
+                  ReductionTol(n, std::fabs(ref.dot(n, x.ptr, y.ptr))));
+      EXPECT_NEAR(table->l1_norm(n, x.ptr), ref.l1_norm(n, x.ptr),
+                  ReductionTol(n, ref.l1_norm(n, x.ptr)));
+      EXPECT_NEAR(table->squared_l2_norm(n, x.ptr),
+                  ref.squared_l2_norm(n, x.ptr),
+                  ReductionTol(n, ref.squared_l2_norm(n, x.ptr)));
+      EXPECT_NEAR(table->l1_distance(n, x.ptr, y.ptr),
+                  ref.l1_distance(n, x.ptr, y.ptr),
+                  ReductionTol(n, ref.l1_distance(n, x.ptr, y.ptr)));
+
+      // Elementwise ops: bit-for-bit.
+      std::vector<float> got(n), want(n);
+      table->add(n, x.ptr, y.ptr, got.data());
+      ref.add(n, x.ptr, y.ptr, want.data());
+      EXPECT_EQ(0, std::memcmp(got.data(), want.data(), n * sizeof(float)));
+
+      table->sub(n, x.ptr, y.ptr, got.data());
+      ref.sub(n, x.ptr, y.ptr, want.data());
+      EXPECT_EQ(0, std::memcmp(got.data(), want.data(), n * sizeof(float)));
+
+      table->hadamard(n, x.ptr, y.ptr, got.data());
+      ref.hadamard(n, x.ptr, y.ptr, want.data());
+      EXPECT_EQ(0, std::memcmp(got.data(), want.data(), n * sizeof(float)));
+
+      table->sign_of(n, x.ptr, got.data());
+      ref.sign_of(n, x.ptr, want.data());
+      EXPECT_EQ(0, std::memcmp(got.data(), want.data(), n * sizeof(float)));
+
+      std::copy(x.ptr, x.ptr + n, got.begin());
+      std::copy(x.ptr, x.ptr + n, want.begin());
+      table->scale(n, 1.75f, got.data());
+      ref.scale(n, 1.75f, want.data());
+      EXPECT_EQ(0, std::memcmp(got.data(), want.data(), n * sizeof(float)));
+
+      // axpy: FMA is allowed one rounding of drift per element.
+      std::copy(y.ptr, y.ptr + n, got.begin());
+      std::copy(y.ptr, y.ptr + n, want.begin());
+      table->axpy(n, 0.37f, x.ptr, got.data());
+      ref.axpy(n, 0.37f, x.ptr, want.data());
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_NEAR(got[i], want[i],
+                    2.0f * 1.19209290e-7f * (std::fabs(want[i]) + 1.0f));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, SimdParityTest,
+                         ::testing::Values<size_t>(0, 1, 2, 3));
+
+TEST(SimdBatchConsistencyTest, BatchAndGemvRowsMatchSingleRowCallsExactly) {
+  // The ranking-tie contract: within a table, scoring a row inside a batch
+  // must equal scoring it alone, bit-for-bit, for every dim remainder.
+  std::vector<const KernelTable*> tables = AvailableVectorTables();
+  tables.push_back(&ScalarKernels());
+  for (const KernelTable* table : tables) {
+    SCOPED_TRACE(std::string("isa=") + KernelIsaName(table->isa));
+    for (size_t dim = 1; dim <= kMaxLen; dim += 7) {
+      const size_t rows = 5;
+      Misaligned q(dim, 1, 31 * dim), block(rows * dim, 1, 37 * dim);
+      std::vector<float> out(rows);
+      table->l1_distance_batch(q.ptr, block.ptr, rows, dim, out.data());
+      for (size_t i = 0; i < rows; ++i) {
+        const float single = table->l1_distance(dim, q.ptr, block.ptr + i * dim);
+        EXPECT_EQ(out[i], single) << "dim=" << dim << " row=" << i;
+      }
+      table->gemv_raw(rows, dim, block.ptr, q.ptr, out.data());
+      for (size_t i = 0; i < rows; ++i) {
+        const float single = table->dot(dim, block.ptr + i * dim, q.ptr);
+        EXPECT_EQ(out[i], single) << "dim=" << dim << " row=" << i;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatchTest, ScalarAlwaysAvailableAndDetectionConsistent) {
+  EXPECT_EQ(ScalarKernels().isa, KernelIsa::kScalar);
+  const KernelIsa best = DetectBestIsa();
+  const KernelTable* table = KernelsForIsa(best);
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->isa, best);
+  // Active() is one of the usable tables and reports a stable name.
+  EXPECT_NE(KernelsForIsa(Active().isa), nullptr);
+  EXPECT_STREQ(ActiveIsaName(), KernelIsaName(Active().isa));
+}
+
+TEST(SimdDispatchTest, ParseKernelIsaRoundTrips) {
+  for (KernelIsa isa : {KernelIsa::kScalar, KernelIsa::kAvx2,
+                        KernelIsa::kAvx512, KernelIsa::kNeon}) {
+    KernelIsa parsed;
+    ASSERT_TRUE(ParseKernelIsa(KernelIsaName(isa), &parsed));
+    EXPECT_EQ(parsed, isa);
+  }
+  KernelIsa parsed;
+  EXPECT_FALSE(ParseKernelIsa("sse9", &parsed));
+  EXPECT_FALSE(ParseKernelIsa(nullptr, &parsed));
+}
+
+TEST(SimdDispatchTest, EnvOverrideRoundTripsThroughActiveIsa) {
+  // The PKGM_KERNEL contract: when the env var names a usable ISA, the
+  // process-wide Active() table must be exactly that ISA. The CI scalar
+  // matrix leg runs the whole suite with PKGM_KERNEL=scalar, making this
+  // a real round-trip assertion of the override path.
+  const char* env = std::getenv("PKGM_KERNEL");
+  if (env == nullptr || *env == '\0') {
+    GTEST_SKIP() << "PKGM_KERNEL not set; override path not exercised";
+  }
+  KernelIsa requested;
+  if (!ParseKernelIsa(env, &requested) ||
+      KernelsForIsa(requested) == nullptr) {
+    GTEST_SKIP() << "PKGM_KERNEL=" << env << " not usable on this machine";
+  }
+  EXPECT_EQ(Active().isa, requested);
+  EXPECT_STREQ(ActiveIsaName(), env);
+}
+
+}  // namespace
+}  // namespace pkgm::simd

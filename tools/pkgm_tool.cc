@@ -16,6 +16,8 @@
 //                                               verify the payload checksum
 //   pkgm_tool quantize-store <in.pkgs> <out.pkgs>
 //                                               re-encode an fp32 store int8
+//   pkgm_tool bench-kernels [dim]               detected SIMD ISA + per-op
+//                                               micro-bench vs scalar
 //
 // The TSV format is "head\trelation\ttail", one triple per line (see
 // kg/io.h); `generate` emits a compatible file so the whole loop runs
@@ -36,6 +38,8 @@
 #include "store/embedding_store_writer.h"
 #include "store/mmap_embedding_store.h"
 #include "store/store_format.h"
+#include "tensor/simd/kernel_bench.h"
+#include "tensor/simd/kernel_dispatch.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
@@ -54,7 +58,8 @@ int Usage() {
                "  pkgm_tool export-store <model.bin> <out.pkgs> [fp32|int8] "
                "[generation]\n"
                "  pkgm_tool inspect-store <store.pkgs>\n"
-               "  pkgm_tool quantize-store <in.pkgs> <out.pkgs>\n");
+               "  pkgm_tool quantize-store <in.pkgs> <out.pkgs>\n"
+               "  pkgm_tool bench-kernels [dim]\n");
   return 2;
 }
 
@@ -309,6 +314,49 @@ int CmdQuantizeStore(int argc, char** argv) {
   return 0;
 }
 
+int CmdBenchKernels(int argc, char** argv) {
+  const size_t dim = argc >= 1 ? std::strtoul(argv[0], nullptr, 10) : 64;
+  if (dim == 0) return Usage();
+  const size_t batch_rows = 256;
+
+  std::printf("detected ISA    %s\n",
+              simd::KernelIsaName(simd::DetectBestIsa()));
+  std::printf("active kernels  %s", simd::ActiveIsaName());
+  if (const char* env = std::getenv("PKGM_KERNEL")) {
+    std::printf("  (PKGM_KERNEL=%s)", env);
+  }
+  std::printf("\ndim %zu, batch %zu rows; GB/s counts bytes touched per "
+              "call\n\n",
+              dim, batch_rows);
+
+  std::vector<const simd::KernelTable*> tables = {&simd::ScalarKernels()};
+  if (const simd::KernelTable* t = simd::Avx2Kernels()) tables.push_back(t);
+  if (const simd::KernelTable* t = simd::Avx512Kernels()) tables.push_back(t);
+  if (const simd::KernelTable* t = simd::NeonKernels()) tables.push_back(t);
+
+  std::vector<std::vector<simd::KernelBenchResult>> runs;
+  for (const simd::KernelTable* t : tables) {
+    runs.push_back(simd::RunKernelBench(*t, dim, batch_rows));
+  }
+
+  // Header: one ns/GBps/speedup column group per table.
+  std::printf("%-18s", "op");
+  for (const simd::KernelTable* t : tables) {
+    std::printf(" | %7s ns   GB/s     x", simd::KernelIsaName(t->isa));
+  }
+  std::printf("\n");
+  for (size_t op = 0; op < runs[0].size(); ++op) {
+    std::printf("%-18s", runs[0][op].op);
+    for (size_t ti = 0; ti < tables.size(); ++ti) {
+      const auto& r = runs[ti][op];
+      std::printf(" | %10.1f %6.2f %5.2f", r.ns_per_op, r.gbps,
+                  runs[0][op].ns_per_op / r.ns_per_op);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace pkgm
 
@@ -333,6 +381,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(cmd, "quantize-store") == 0) {
     return pkgm::CmdQuantizeStore(argc - 2, argv + 2);
+  }
+  if (std::strcmp(cmd, "bench-kernels") == 0) {
+    return pkgm::CmdBenchKernels(argc - 2, argv + 2);
   }
   return pkgm::Usage();
 }
