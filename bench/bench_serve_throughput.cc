@@ -1,13 +1,24 @@
 // Online-serving throughput study for the serving subsystem (src/serve/):
-// how much does request batching amortize queue/wake-up overhead, and how
-// much does the sharded condensed-vector cache buy on Zipf-skewed traffic,
-// relative to computing every request on the caller's thread?
+// how much does request batching amortize queue/wake-up overhead, how much
+// does the sharded condensed-vector cache buy on Zipf-skewed traffic, and
+// what does the TCP front end (src/net/) cost over loopback relative to
+// in-process submission?
+//
+//   bench_serve_throughput [--smoke] [--json PATH]
+//
+//   --smoke shrinks the request volume for CI; --json writes the measured
+//   numbers as a machine-readable artifact.
 
 #include <cstdio>
+#include <cstring>
 #include <future>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "net/net_client.h"
+#include "net/net_server.h"
 #include "serve/knowledge_server.h"
 #include "util/histogram.h"
 #include "util/logging.h"
@@ -19,37 +30,58 @@
 namespace pkgm {
 namespace {
 
-constexpr uint32_t kRequests = 30000;
 constexpr double kZipfSkew = 1.1;
 
-/// Runs `kRequests` condensed kAll requests through `server` in batches of
-/// `batch_size`; returns requests/second (closed loop, one client).
-double DriveServer(serve::KnowledgeServer* server, uint32_t num_items,
-                   uint32_t batch_size, uint64_t seed) {
+struct DriveResult {
+  double rps = 0.0;
+  Histogram latency_us;  // client-observed per-request latency
+};
+
+/// Runs `requests` condensed kAll requests through `submit` in batches of
+/// `batch_size` (closed loop, one client); measures throughput and the
+/// client-side latency of every request.
+template <typename SubmitFn>
+DriveResult Drive(SubmitFn&& submit, uint32_t num_items, uint32_t batch_size,
+                  uint64_t seed, uint32_t requests) {
   ZipfSampler zipf(num_items, kZipfSkew);
   Rng rng(seed);
+  DriveResult result;
   Stopwatch sw;
   uint32_t sent = 0;
   uint64_t sink = 0;
-  while (sent < kRequests) {
-    const uint32_t n = std::min(batch_size, kRequests - sent);
+  while (sent < requests) {
+    const uint32_t n = std::min(batch_size, requests - sent);
     std::vector<serve::ServiceRequest> batch(n);
     for (auto& request : batch) {
       request.item = static_cast<uint32_t>(zipf.Sample(&rng));
       request.mode = core::ServiceMode::kAll;
       request.form = serve::ServiceForm::kCondensed;
     }
-    auto futures = server->SubmitBatch(std::move(batch));
-    for (auto& future : futures) sink += future.get().vectors.size();
+    const auto submit_time = serve::ServeClock::now();
+    auto futures = submit(std::move(batch));
+    for (auto& future : futures) {
+      sink += future.get().vectors.size();
+      result.latency_us.Record(std::chrono::duration<double, std::micro>(
+                                   serve::ServeClock::now() - submit_time)
+                                   .count());
+    }
     sent += n;
   }
-  const double seconds = sw.ElapsedSeconds();
-  PKGM_CHECK_EQ(sink, kRequests);  // every request answered with one vector
-  return kRequests / seconds;
+  result.rps = requests / sw.ElapsedSeconds();
+  PKGM_CHECK_EQ(sink, requests);  // every request answered with one vector
+  return result;
 }
 
-void Run() {
-  bench::PrintHeader("Serving throughput: batching and the service-vector cache");
+struct JsonRow {
+  std::string section;
+  std::string config;
+  double rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+void Run(uint32_t requests, const std::string& json_path) {
+  bench::PrintHeader("Serving throughput: batching, cache, and the TCP front end");
 
   tasks::PipelineOptions opt = bench::BenchPipelineOptions();
   opt.pretrain_epochs = 5;  // serving throughput does not depend on quality
@@ -58,23 +90,26 @@ void Run() {
   const uint32_t num_items = p.services->num_items();
   std::printf("%u items, condensed dim %u, zipf %.2f, %s requests/config\n\n",
               num_items, p.services->CondensedDim(core::ServiceMode::kAll),
-              kZipfSkew, WithThousandsSeparators(kRequests).c_str());
+              kZipfSkew, WithThousandsSeparators(requests).c_str());
+
+  std::vector<JsonRow> json_rows;
 
   // Baseline: single-item, uncached, computed on the caller's thread — the
-  // pre-PR serving story (ServiceVectorProvider called in-process).
+  // pre-serving-PR story (ServiceVectorProvider called in-process).
   double direct_rps = 0.0;
   {
     ZipfSampler zipf(num_items, kZipfSkew);
     Rng rng(7);
     Stopwatch sw;
     uint64_t sink = 0;
-    for (uint32_t i = 0; i < kRequests; ++i) {
+    for (uint32_t i = 0; i < requests; ++i) {
       const uint32_t item = static_cast<uint32_t>(zipf.Sample(&rng));
       sink += p.services->Condensed(item, core::ServiceMode::kAll).size();
     }
-    direct_rps = kRequests / sw.ElapsedSeconds();
+    direct_rps = requests / sw.ElapsedSeconds();
     (void)sink;
   }
+  json_rows.push_back({"direct", "provider call", direct_rps, 0.0, 0.0});
 
   struct Config {
     const char* name;
@@ -99,34 +134,130 @@ void Run() {
     sopt.enable_cache = config.cache;
     serve::KnowledgeServer server(p.services.get(), sopt);
     server.Start();
+    auto submit = [&server](std::vector<serve::ServiceRequest> batch) {
+      return server.SubmitBatch(std::move(batch));
+    };
     if (config.cache) {
       // Warm pass so the steady-state (not cold-start) regime is measured.
-      DriveServer(&server, num_items, config.batch, /*seed=*/11);
+      Drive(submit, num_items, config.batch, /*seed=*/11, requests);
     }
-    const double rps = DriveServer(&server, num_items, config.batch,
-                                   /*seed=*/13);
+    const DriveResult r =
+        Drive(submit, num_items, config.batch, /*seed=*/13, requests);
     std::string hit_rate = "-";
     if (config.cache) {
       hit_rate = StrFormat("%.1f%%", 100.0 * server.cache()->Stats().HitRate());
-      if (config.batch == 32) cached_batched_rps = rps;
+      if (config.batch == 32) cached_batched_rps = r.rps;
     }
     server.Stop();
-    table.AddRow({config.name, StrFormat("%.0f", rps),
-                  StrFormat("%.2fx", rps / direct_rps), hit_rate});
+    table.AddRow({config.name, StrFormat("%.0f", r.rps),
+                  StrFormat("%.2fx", r.rps / direct_rps), hit_rate});
+    json_rows.push_back({"in_process", config.name, r.rps,
+                         r.latency_us.Percentile(0.5),
+                         r.latency_us.Percentile(0.99)});
   }
   std::printf("%s\n", table.ToString().c_str());
+
+  // ---- Loopback socket section: the same closed loop through NetServer +
+  // NetClient, so the delta against in-process submission is exactly the
+  // wire protocol + epoll round trip.
+  {
+    serve::KnowledgeServerOptions sopt;
+    sopt.num_workers = 2;
+    sopt.enable_cache = true;
+    serve::KnowledgeServer server(p.services.get(), sopt);
+    server.Start();
+    net::NetServer net(&server);
+    Status started = net.Start();
+    PKGM_CHECK(started.ok());
+    net::NetClientOptions copt;
+    copt.num_connections = 1;
+    auto client = net::NetClient::Connect("127.0.0.1", net.port(), copt);
+    PKGM_CHECK(client.ok());
+
+    TablePrinter socket_table({"config", "requests/s", "p50 us", "p99 us",
+                               "vs in-process"});
+    for (uint32_t batch : {1u, 32u}) {
+      auto in_process = [&server](std::vector<serve::ServiceRequest> b) {
+        return server.SubmitBatch(std::move(b));
+      };
+      auto over_socket = [&client](std::vector<serve::ServiceRequest> b) {
+        return client.value()->SubmitBatch(std::move(b));
+      };
+      Drive(in_process, num_items, batch, /*seed=*/11, requests);  // warm
+      const DriveResult local =
+          Drive(in_process, num_items, batch, /*seed=*/13, requests);
+      const DriveResult remote =
+          Drive(over_socket, num_items, batch, /*seed=*/13, requests);
+
+      socket_table.AddRow({StrFormat("in-process, cached, batch=%u", batch),
+                           StrFormat("%.0f", local.rps),
+                           StrFormat("%.1f", local.latency_us.Percentile(0.5)),
+                           StrFormat("%.1f", local.latency_us.Percentile(0.99)),
+                           "1.00x"});
+      socket_table.AddRow({StrFormat("loopback socket, cached, batch=%u",
+                                     batch),
+                           StrFormat("%.0f", remote.rps),
+                           StrFormat("%.1f", remote.latency_us.Percentile(0.5)),
+                           StrFormat("%.1f", remote.latency_us.Percentile(0.99)),
+                           StrFormat("%.2fx", remote.rps / local.rps)});
+      json_rows.push_back({"in_process_ref",
+                           StrFormat("cached, batch=%u", batch), local.rps,
+                           local.latency_us.Percentile(0.5),
+                           local.latency_us.Percentile(0.99)});
+      json_rows.push_back({"loopback", StrFormat("cached, batch=%u", batch),
+                           remote.rps, remote.latency_us.Percentile(0.5),
+                           remote.latency_us.Percentile(0.99)});
+    }
+    const uint64_t protocol_errors = net.net_counters().protocol_errors;
+    client.value().reset();
+    net.Stop();
+    server.Stop();
+    PKGM_CHECK_EQ(protocol_errors, 0u);  // a clean run is part of the bench
+    std::printf("loopback socket vs in-process (same server, same loop):\n%s\n",
+                socket_table.ToString().c_str());
+  }
 
   std::printf(
       "batching amortizes the queue handoff; the cache converts the Zipf\n"
       "head into O(dim) copies instead of O(k·dim^2) transfer-matrix math.\n"
       "cached+batched vs direct uncached: %.2fx\n",
       cached_batched_rps / direct_rps);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    PKGM_CHECK(f != nullptr);
+    std::fprintf(f, "{\"requests_per_config\":%u,\"rows\":[", requests);
+    for (size_t i = 0; i < json_rows.size(); ++i) {
+      const JsonRow& row = json_rows[i];
+      std::fprintf(f,
+                   "%s{\"section\":\"%s\",\"config\":\"%s\",\"rps\":%.1f,"
+                   "\"p50_us\":%.2f,\"p99_us\":%.2f}",
+                   i == 0 ? "" : ",", row.section.c_str(), row.config.c_str(),
+                   row.rps, row.p50_us, row.p99_us);
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("json artifact written to %s\n", json_path.c_str());
+  }
 }
 
 }  // namespace
 }  // namespace pkgm
 
-int main() {
-  pkgm::Run();
+int main(int argc, char** argv) {
+  uint32_t requests = 30000;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      requests = 6000;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_serve_throughput [--smoke] "
+                           "[--json PATH]\n");
+      return 2;
+    }
+  }
+  pkgm::Run(requests, json_path);
   return 0;
 }

@@ -1,0 +1,395 @@
+#include "net/net_client.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "net/socket_util.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pkgm::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+serve::ServiceResponse NetworkErrorResponse() {
+  serve::ServiceResponse response;
+  response.code = serve::ResponseCode::kNetworkError;
+  return response;
+}
+
+/// Blocking full write; the socket is in blocking mode.
+Status WriteAll(int fd, const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    // MSG_NOSIGNAL: a server that closed mid-write must surface EPIPE,
+    // not kill the process with SIGPIPE.
+    const ssize_t n =
+        ::send(fd, data.data() + written, data.size() - written,
+               MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(StrFormat("send: %s", std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+/// One pooled connection. The submitting thread writes frames under `mu`;
+/// a dedicated reader thread matches response frames back by correlation
+/// id. Teardown is owned by the reader: writers that hit an error only
+/// shutdown() the socket (waking the reader), never close it, so the fd
+/// cannot be pulled out from under a blocked read.
+struct NetClient::Conn {
+  std::mutex mu;
+  ScopedFd fd;
+  std::thread reader;
+
+  struct PendingBatch {
+    std::vector<std::promise<serve::ServiceResponse>> promises;
+  };
+  std::unordered_map<uint64_t, PendingBatch> pending;
+  std::unordered_map<uint64_t, std::promise<StatusOr<std::string>>>
+      pending_stats;
+  std::unordered_map<uint64_t, std::promise<Status>> pending_pings;
+
+  /// Reconnect backoff: doubled on every failed connect attempt, reset on
+  /// success and on a clean teardown of a previously working connection.
+  int backoff_ms = 0;
+  Clock::time_point next_attempt{};
+};
+
+NetClient::NetClient(NetClientOptions options) : options_(options) {}
+
+NetClient::~NetClient() {
+  closing_.store(true, std::memory_order_release);
+  for (auto& conn : conns_) {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    if (conn->fd.valid()) ::shutdown(conn->fd.get(), SHUT_RDWR);
+  }
+  for (auto& conn : conns_) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+}
+
+StatusOr<std::unique_ptr<NetClient>> NetClient::Connect(
+    const std::string& host, uint16_t port, NetClientOptions options) {
+  PKGM_CHECK(options.num_connections >= 1);
+  std::unique_ptr<NetClient> client(new NetClient(options));
+  client->host_ = host;
+  client->port_ = port;
+  for (size_t i = 0; i < options.num_connections; ++i) {
+    client->conns_.push_back(std::make_unique<Conn>());
+  }
+  for (auto& conn : client->conns_) {
+    auto fd = ConnectTcp(host, port, options.connect_timeout_ms);
+    if (!fd.ok()) return fd.status();
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->fd = std::move(fd.value());
+    Conn* raw = conn.get();
+    NetClient* raw_client = client.get();
+    conn->reader = std::thread([raw_client, raw] {
+      raw_client->ReaderLoop(*raw);
+    });
+  }
+  return client;
+}
+
+NetClient::Conn& NetClient::PickConn() {
+  return *conns_[next_conn_.fetch_add(1) % conns_.size()];
+}
+
+Status NetClient::SendFrame(Conn& conn, const std::string& frame) {
+  // Caller holds conn.mu.
+  if (closing_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("client is shutting down");
+  }
+  if (!conn.fd.valid()) {
+    // The reader tore the previous socket down; reconnect under backoff.
+    const Clock::time_point now = Clock::now();
+    if (now < conn.next_attempt) {
+      return Status::IoError("connection down, reconnect backoff active");
+    }
+    auto fd = ConnectTcp(host_, port_, options_.connect_timeout_ms);
+    if (!fd.ok()) {
+      conn.backoff_ms = conn.backoff_ms == 0
+                            ? options_.reconnect_backoff_initial_ms
+                            : std::min(conn.backoff_ms * 2,
+                                       options_.reconnect_backoff_max_ms);
+      conn.next_attempt = now + std::chrono::milliseconds(conn.backoff_ms);
+      return fd.status();
+    }
+    conn.backoff_ms = 0;
+    if (conn.reader.joinable()) conn.reader.join();  // exited with the old fd
+    conn.fd = std::move(fd.value());
+    Conn* raw = &conn;
+    conn.reader = std::thread([this, raw] { ReaderLoop(*raw); });
+  }
+  const Status status = WriteAll(conn.fd.get(), frame);
+  if (!status.ok()) {
+    // Wake the reader; it fails the pending entries (including this
+    // frame's, which the caller registered before sending) and closes.
+    ::shutdown(conn.fd.get(), SHUT_RDWR);
+  }
+  return status;
+}
+
+std::future<serve::ServiceResponse> NetClient::Submit(
+    serve::ServiceRequest request) {
+  std::vector<serve::ServiceRequest> one;
+  one.push_back(request);
+  auto futures = SubmitBatch(std::move(one));
+  return std::move(futures.front());
+}
+
+std::vector<std::future<serve::ServiceResponse>> NetClient::SubmitBatch(
+    std::vector<serve::ServiceRequest> requests) {
+  std::vector<std::future<serve::ServiceResponse>> futures;
+  if (requests.empty()) return futures;
+  futures.reserve(requests.size());
+
+  const uint64_t correlation_id = next_correlation_.fetch_add(1);
+  const std::string frame =
+      EncodeGetVectors(correlation_id, requests, serve::ServeClock::now());
+
+  Conn::PendingBatch batch;
+  batch.promises.resize(requests.size());
+  for (auto& promise : batch.promises) {
+    futures.push_back(promise.get_future());
+  }
+
+  Conn& conn = PickConn();
+  std::lock_guard<std::mutex> lock(conn.mu);
+  conn.pending.emplace(correlation_id, std::move(batch));
+  const Status status = SendFrame(conn, frame);
+  if (!status.ok()) {
+    // If the write started, the reader owns failing the entry; if we never
+    // had a socket, fail it here.
+    auto it = conn.pending.find(correlation_id);
+    if (it != conn.pending.end() && !conn.fd.valid()) {
+      network_errors_ += it->second.promises.size();
+      for (auto& promise : it->second.promises) {
+        promise.set_value(NetworkErrorResponse());
+      }
+      conn.pending.erase(it);
+    }
+  }
+  return futures;
+}
+
+StatusOr<std::string> NetClient::ServerStatsJson(int timeout_ms) {
+  const uint64_t correlation_id = next_correlation_.fetch_add(1);
+  Conn& conn = PickConn();
+  std::future<StatusOr<std::string>> future;
+  {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    auto [it, inserted] = conn.pending_stats.emplace(
+        correlation_id, std::promise<StatusOr<std::string>>());
+    future = it->second.get_future();
+    const Status status =
+        SendFrame(conn, EncodeControl(FrameType::kStats, correlation_id));
+    if (!status.ok() && !conn.fd.valid()) {
+      conn.pending_stats.erase(correlation_id);
+      return status;
+    }
+  }
+  if (future.wait_for(std::chrono::milliseconds(timeout_ms)) !=
+      std::future_status::ready) {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    if (conn.pending_stats.erase(correlation_id) > 0) {
+      return Status::IoError("stats request timed out");
+    }
+  }
+  return future.get();
+}
+
+Status NetClient::Ping(int timeout_ms) {
+  const uint64_t correlation_id = next_correlation_.fetch_add(1);
+  Conn& conn = PickConn();
+  std::future<Status> future;
+  {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    auto [it, inserted] =
+        conn.pending_pings.emplace(correlation_id, std::promise<Status>());
+    future = it->second.get_future();
+    const Status status =
+        SendFrame(conn, EncodeControl(FrameType::kPing, correlation_id));
+    if (!status.ok() && !conn.fd.valid()) {
+      conn.pending_pings.erase(correlation_id);
+      return status;
+    }
+  }
+  if (future.wait_for(std::chrono::milliseconds(timeout_ms)) !=
+      std::future_status::ready) {
+    std::lock_guard<std::mutex> lock(conn.mu);
+    if (conn.pending_pings.erase(correlation_id) > 0) {
+      return Status::IoError("ping timed out");
+    }
+  }
+  return future.get();
+}
+
+void NetClient::FailPending(Conn& conn) {
+  // Caller holds conn.mu.
+  for (auto& [correlation_id, batch] : conn.pending) {
+    network_errors_ += batch.promises.size();
+    for (auto& promise : batch.promises) {
+      promise.set_value(NetworkErrorResponse());
+    }
+  }
+  conn.pending.clear();
+  for (auto& [correlation_id, promise] : conn.pending_stats) {
+    promise.set_value(Status::IoError("connection lost"));
+  }
+  conn.pending_stats.clear();
+  for (auto& [correlation_id, promise] : conn.pending_pings) {
+    promise.set_value(Status::IoError("connection lost"));
+  }
+  conn.pending_pings.clear();
+}
+
+void NetClient::ReaderLoop(Conn& conn) {
+  FrameDecoder decoder(options_.max_frame_bytes);
+  const int fd = conn.fd.get();  // stable: only the reader closes it
+  char buf[64 * 1024];
+  bool healthy = true;
+
+  while (healthy) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // EOF or error: tear down
+    }
+    decoder.Feed(buf, static_cast<size_t>(n));
+
+    Frame frame;
+    std::string error;
+    while (healthy) {
+      const FrameDecoder::Result result = decoder.Next(&frame, &error);
+      if (result == FrameDecoder::Result::kNeedMore) break;
+      if (result == FrameDecoder::Result::kError) {
+        healthy = false;  // server sent garbage; the stream is gone
+        break;
+      }
+      switch (frame.type) {
+        case FrameType::kVectors: {
+          std::vector<serve::ServiceResponse> responses;
+          if (!DecodeVectors(frame.payload, &responses).ok()) {
+            healthy = false;
+            break;
+          }
+          Conn::PendingBatch batch;
+          {
+            std::lock_guard<std::mutex> lock(conn.mu);
+            auto it = conn.pending.find(frame.correlation_id);
+            if (it == conn.pending.end()) break;  // late/unknown: drop
+            batch = std::move(it->second);
+            conn.pending.erase(it);
+          }
+          if (responses.size() != batch.promises.size()) {
+            // Count mismatch is a protocol violation; fail this batch and
+            // give up on the stream.
+            network_errors_ += batch.promises.size();
+            for (auto& promise : batch.promises) {
+              promise.set_value(NetworkErrorResponse());
+            }
+            healthy = false;
+            break;
+          }
+          for (size_t i = 0; i < responses.size(); ++i) {
+            batch.promises[i].set_value(std::move(responses[i]));
+          }
+          break;
+        }
+        case FrameType::kStatsJson: {
+          std::promise<StatusOr<std::string>> promise;
+          bool found = false;
+          {
+            std::lock_guard<std::mutex> lock(conn.mu);
+            auto it = conn.pending_stats.find(frame.correlation_id);
+            if (it != conn.pending_stats.end()) {
+              promise = std::move(it->second);
+              conn.pending_stats.erase(it);
+              found = true;
+            }
+          }
+          if (found) promise.set_value(std::move(frame.payload));
+          break;
+        }
+        case FrameType::kPong: {
+          std::promise<Status> promise;
+          bool found = false;
+          {
+            std::lock_guard<std::mutex> lock(conn.mu);
+            auto it = conn.pending_pings.find(frame.correlation_id);
+            if (it != conn.pending_pings.end()) {
+              promise = std::move(it->second);
+              conn.pending_pings.erase(it);
+              found = true;
+            }
+          }
+          if (found) promise.set_value(Status::Ok());
+          break;
+        }
+        case FrameType::kError: {
+          WireCode code;
+          std::string message;
+          if (!DecodeError(frame.payload, &code, &message).ok()) {
+            healthy = false;
+            break;
+          }
+          std::lock_guard<std::mutex> lock(conn.mu);
+          auto it = conn.pending.find(frame.correlation_id);
+          if (it != conn.pending.end()) {
+            for (auto& promise : it->second.promises) {
+              serve::ServiceResponse response;
+              response.code = ResponseCodeFromWire(code);
+              promise.set_value(std::move(response));
+            }
+            conn.pending.erase(it);
+            break;
+          }
+          auto stats_it = conn.pending_stats.find(frame.correlation_id);
+          if (stats_it != conn.pending_stats.end()) {
+            stats_it->second.set_value(
+                Status::IoError(StrFormat("server error: %s",
+                                          message.c_str())));
+            conn.pending_stats.erase(stats_it);
+            break;
+          }
+          auto ping_it = conn.pending_pings.find(frame.correlation_id);
+          if (ping_it != conn.pending_pings.end()) {
+            ping_it->second.set_value(
+                Status::IoError(StrFormat("server error: %s",
+                                          message.c_str())));
+            conn.pending_pings.erase(ping_it);
+          }
+          break;
+        }
+        default:
+          // Request-direction frames from a server: protocol violation.
+          healthy = false;
+          break;
+      }
+    }
+  }
+
+  // Sole teardown point: close the socket and fail whatever was in flight.
+  std::lock_guard<std::mutex> lock(conn.mu);
+  conn.fd.Reset();
+  FailPending(conn);
+}
+
+}  // namespace pkgm::net

@@ -1,0 +1,541 @@
+#include "net/net_server.h"
+
+#include <errno.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pkgm::net {
+namespace {
+
+constexpr uint64_t kListenerTag = 0;
+constexpr uint64_t kEventFdTag = 1;
+constexpr int kEpollWaitMs = 100;
+constexpr size_t kReadChunkBytes = 64 * 1024;
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+/// One TCP connection, owned exclusively by its I/O thread.
+struct NetServer::Connection {
+  uint64_t id = 0;
+  ScopedFd fd;
+  FrameDecoder decoder;
+  /// Encoded-but-unsent response bytes, oldest first. front() may be
+  /// partially written (outbox_offset).
+  std::deque<std::string> outbox;
+  size_t outbox_offset = 0;
+  size_t outbox_bytes = 0;
+  /// Request frames submitted to the knowledge server whose response has
+  /// not yet been appended to the outbox.
+  uint64_t in_flight_frames = 0;
+  Clock::time_point last_activity;
+  bool want_write = false;
+  bool reading = true;
+
+  explicit Connection(size_t max_frame_bytes) : decoder(max_frame_bytes) {}
+};
+
+/// Per-thread event loop state. `conns` is touched only by the owning
+/// thread; `inbox_fds`/`completions` are the cross-thread mailboxes.
+struct NetServer::IoThread {
+  size_t index = 0;
+  ScopedFd epoll_fd;
+  ScopedFd event_fd;
+  std::thread thread;
+
+  std::mutex mu;
+  std::vector<int> inbox_fds;
+  struct Completion {
+    uint64_t conn_id;
+    std::string bytes;
+  };
+  std::vector<Completion> completions;
+
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
+};
+
+/// Completion state shared by the per-request callbacks of one request
+/// frame: the worker finishing the frame's last request encodes the
+/// response and posts it to the connection's I/O thread.
+struct NetServer::FrameState {
+  NetServer* server;
+  size_t thread_index;
+  uint64_t conn_id;
+  uint64_t correlation_id;
+  std::vector<serve::ServiceResponse> slots;
+  std::atomic<size_t> remaining;
+};
+
+NetServer::NetServer(serve::KnowledgeServer* server, NetServerOptions options)
+    : server_(server), options_(std::move(options)) {
+  PKGM_CHECK(server != nullptr);
+  PKGM_CHECK(options_.num_io_threads >= 1);
+}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start() {
+  PKGM_CHECK(!started_) << "NetServer::Start called twice";
+  auto listener =
+      ListenTcp(options_.bind_address, options_.port, options_.listen_backlog,
+                options_.reuseport, &port_);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener.value());
+
+  for (size_t i = 0; i < options_.num_io_threads; ++i) {
+    auto io = std::make_unique<IoThread>();
+    io->index = i;
+    io->epoll_fd.Reset(::epoll_create1(EPOLL_CLOEXEC));
+    if (!io->epoll_fd.valid()) {
+      return Status::IoError(StrFormat("epoll_create1: %s",
+                                       std::strerror(errno)));
+    }
+    io->event_fd.Reset(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+    if (!io->event_fd.valid()) {
+      return Status::IoError(StrFormat("eventfd: %s", std::strerror(errno)));
+    }
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.u64 = kEventFdTag;
+    if (::epoll_ctl(io->epoll_fd.get(), EPOLL_CTL_ADD, io->event_fd.get(),
+                    &ev) < 0) {
+      return Status::IoError(StrFormat("epoll_ctl(eventfd): %s",
+                                       std::strerror(errno)));
+    }
+    if (i == 0) {
+      epoll_event lev;
+      std::memset(&lev, 0, sizeof(lev));
+      lev.events = EPOLLIN;
+      lev.data.u64 = kListenerTag;
+      if (::epoll_ctl(io->epoll_fd.get(), EPOLL_CTL_ADD, listener_.get(),
+                      &lev) < 0) {
+        return Status::IoError(StrFormat("epoll_ctl(listener): %s",
+                                         std::strerror(errno)));
+      }
+    }
+    io_threads_.push_back(std::move(io));
+  }
+  for (size_t i = 0; i < io_threads_.size(); ++i) {
+    io_threads_[i]->thread = std::thread([this, i] { IoLoop(i); });
+  }
+  started_ = true;
+  return Status::Ok();
+}
+
+void NetServer::Stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  draining_.store(true, std::memory_order_release);
+  for (auto& io : io_threads_) SignalThread(*io);
+  for (auto& io : io_threads_) {
+    if (io->thread.joinable()) io->thread.join();
+  }
+  // No worker callback may outlive the server object: wait for every
+  // submitted frame's completion to be posted (the knowledge server keeps
+  // draining; its Stop() is the caller's, ordered after this).
+  while (outstanding_frames_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  listener_.Reset();
+}
+
+void NetServer::SignalThread(IoThread& io) {
+  const uint64_t one = 1;
+  // The eventfd outlives the threads (owned by this object), so a wakeup
+  // racing shutdown lands harmlessly in its counter.
+  [[maybe_unused]] ssize_t n =
+      ::write(io.event_fd.get(), &one, sizeof(one));
+}
+
+void NetServer::PostCompletion(size_t thread_index, uint64_t conn_id,
+                               std::string bytes) {
+  IoThread& io = *io_threads_[thread_index];
+  {
+    std::lock_guard<std::mutex> lock(io.mu);
+    io.completions.push_back({conn_id, std::move(bytes)});
+  }
+  SignalThread(io);
+}
+
+void NetServer::AddConnection(IoThread& io, int raw_fd) {
+  ScopedFd fd(raw_fd);
+  if (!SetNonBlocking(fd.get()).ok() || !SetTcpNoDelay(fd.get()).ok()) {
+    return;  // peer already gone; nothing accepted yet to roll back
+  }
+  if (options_.so_sndbuf_bytes > 0) {
+    SetSendBufferBytes(fd.get(), options_.so_sndbuf_bytes);
+  }
+  auto conn = std::make_unique<Connection>(options_.max_frame_bytes);
+  conn->id = next_conn_id_.fetch_add(1);
+  conn->fd = std::move(fd);
+  conn->last_activity = Clock::now();
+  // A connection accepted mid-drain is immediately read-disabled; it will
+  // be closed by the drain sweep.
+  conn->reading = !draining_.load(std::memory_order_acquire);
+
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = conn->reading ? static_cast<uint32_t>(EPOLLIN) : 0u;
+  ev.data.u64 = conn->id;
+  if (::epoll_ctl(io.epoll_fd.get(), EPOLL_CTL_ADD, conn->fd.get(), &ev) <
+      0) {
+    return;
+  }
+  ++connections_accepted_;
+  io.conns.emplace(conn->id, std::move(conn));
+}
+
+void NetServer::AcceptNew(IoThread& io) {
+  while (true) {
+    const int fd = ::accept4(listener_.get(), nullptr, nullptr,
+                             SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or a transient accept error: try later
+    const size_t target = next_io_thread_.fetch_add(1) % io_threads_.size();
+    if (target == io.index) {
+      AddConnection(io, fd);
+    } else {
+      IoThread& other = *io_threads_[target];
+      {
+        std::lock_guard<std::mutex> lock(other.mu);
+        other.inbox_fds.push_back(fd);
+      }
+      SignalThread(other);
+    }
+  }
+}
+
+void NetServer::UpdateEpollMask(IoThread& io, Connection& conn) {
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = (conn.reading ? EPOLLIN : 0u) |
+              (conn.want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = conn.id;
+  ::epoll_ctl(io.epoll_fd.get(), EPOLL_CTL_MOD, conn.fd.get(), &ev);
+}
+
+void NetServer::CloseConnection(IoThread& io, uint64_t conn_id) {
+  auto it = io.conns.find(conn_id);
+  if (it == io.conns.end()) return;
+  ::epoll_ctl(io.epoll_fd.get(), EPOLL_CTL_DEL, it->second->fd.get(),
+              nullptr);
+  io.conns.erase(it);  // ScopedFd closes the socket
+  ++connections_closed_;
+}
+
+bool NetServer::FlushOutbox(IoThread& io, Connection& conn) {
+  while (!conn.outbox.empty()) {
+    const std::string& front = conn.outbox.front();
+    // MSG_NOSIGNAL: a peer that closed mid-write must surface EPIPE, not
+    // kill the process with SIGPIPE.
+    const ssize_t n =
+        ::send(conn.fd.get(), front.data() + conn.outbox_offset,
+               front.size() - conn.outbox_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      bytes_out_ += static_cast<uint64_t>(n);
+      conn.outbox_bytes -= static_cast<size_t>(n);
+      conn.outbox_offset += static_cast<size_t>(n);
+      conn.last_activity = Clock::now();
+      if (conn.outbox_offset == front.size()) {
+        conn.outbox.pop_front();
+        conn.outbox_offset = 0;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn.want_write) {
+        conn.want_write = true;
+        UpdateEpollMask(io, conn);
+      }
+      return true;
+    }
+    CloseConnection(io, conn.id);  // EPIPE/ECONNRESET/...
+    return false;
+  }
+  if (conn.want_write) {
+    conn.want_write = false;
+    UpdateEpollMask(io, conn);
+  }
+  return true;
+}
+
+bool NetServer::SendOnLoop(IoThread& io, Connection& conn,
+                           std::string bytes) {
+  ++frames_out_;
+  conn.outbox_bytes += bytes.size();
+  conn.outbox.push_back(std::move(bytes));
+  if (!FlushOutbox(io, conn)) return false;
+  if (conn.outbox_bytes > options_.max_outbox_bytes) {
+    // Slow reader: the kernel buffer and our bound are both full. Cutting
+    // the connection sheds the memory instead of queueing without limit.
+    ++backpressure_disconnects_;
+    CloseConnection(io, conn.id);
+    return false;
+  }
+  return true;
+}
+
+bool NetServer::HandleFrame(IoThread& io, Connection& conn, Frame frame) {
+  ++frames_in_;
+  switch (frame.type) {
+    case FrameType::kPing:
+      return SendOnLoop(io, conn,
+                        EncodeControl(FrameType::kPong, frame.correlation_id));
+    case FrameType::kStats:
+      return SendOnLoop(io, conn,
+                        EncodeStatsJson(frame.correlation_id, StatsJson()));
+    case FrameType::kGetVectors: {
+      std::vector<serve::ServiceRequest> requests;
+      const Status status = DecodeGetVectors(
+          frame.payload, serve::ServeClock::now(), &requests);
+      if (!status.ok()) {
+        ++protocol_errors_;
+        CloseConnection(io, conn.id);
+        return false;
+      }
+      requests_in_ += requests.size();
+      if (requests.empty()) {
+        return SendOnLoop(io, conn, EncodeVectors(frame.correlation_id, {}));
+      }
+      auto state = std::make_shared<FrameState>();
+      state->server = this;
+      state->thread_index = io.index;
+      state->conn_id = conn.id;
+      state->correlation_id = frame.correlation_id;
+      state->slots.resize(requests.size());
+      state->remaining.store(requests.size(), std::memory_order_relaxed);
+      ++conn.in_flight_frames;
+      ++outstanding_frames_;
+      server_->SubmitBatchAsync(
+          std::move(requests),
+          [state](size_t index, serve::ServiceResponse response) {
+            state->slots[index] = std::move(response);
+            if (state->remaining.fetch_sub(1) == 1) {
+              NetServer* server = state->server;
+              std::string encoded =
+                  EncodeVectors(state->correlation_id, state->slots);
+              server->PostCompletion(state->thread_index, state->conn_id,
+                                     std::move(encoded));
+              // Last touch of the NetServer: once this hits zero, Stop()
+              // may return and the object may die.
+              --server->outstanding_frames_;
+            }
+          });
+      return true;
+    }
+    case FrameType::kVectors:
+    case FrameType::kStatsJson:
+    case FrameType::kPong:
+      // Response frames arriving at the server: confused peer, but the
+      // stream is intact — answer with an error and keep the connection.
+      return SendOnLoop(io, conn,
+                        EncodeError(frame.correlation_id,
+                                    WireCode::kUnsupported,
+                                    "response frame sent to server"));
+    case FrameType::kError:
+      return true;  // ignore
+  }
+  // Unknown type byte: header + CRC were valid, so the stream is in sync;
+  // reply kError for forward compatibility and keep the connection.
+  return SendOnLoop(io, conn,
+                    EncodeError(frame.correlation_id, WireCode::kUnsupported,
+                                "unknown frame type"));
+}
+
+void NetServer::ReadAndProcess(IoThread& io, Connection& conn) {
+  char buf[kReadChunkBytes];
+  while (conn.reading) {
+    const ssize_t n = ::read(conn.fd.get(), buf, sizeof(buf));
+    if (n > 0) {
+      bytes_in_ += static_cast<uint64_t>(n);
+      conn.last_activity = Clock::now();
+      conn.decoder.Feed(buf, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buf)) break;  // drained the socket
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // EOF or hard error. Responses for frames already submitted would go
+    // nowhere the peer reads; drop the connection.
+    CloseConnection(io, conn.id);
+    return;
+  }
+  Frame frame;
+  std::string error;
+  while (true) {
+    const FrameDecoder::Result result = conn.decoder.Next(&frame, &error);
+    if (result == FrameDecoder::Result::kNeedMore) return;
+    if (result == FrameDecoder::Result::kError) {
+      // Malformed frame: the stream is unrecoverable, close exactly this
+      // connection. Everyone else is unaffected.
+      ++protocol_errors_;
+      CloseConnection(io, conn.id);
+      return;
+    }
+    if (!HandleFrame(io, conn, std::move(frame))) return;
+  }
+}
+
+void NetServer::IoLoop(size_t thread_index) {
+  IoThread& io = *io_threads_[thread_index];
+  bool drain_seen = false;
+  Clock::time_point drain_deadline{};
+  Clock::time_point last_idle_scan = Clock::now();
+  epoll_event events[64];
+
+  while (true) {
+    const int n_events =
+        ::epoll_wait(io.epoll_fd.get(), events, 64, kEpollWaitMs);
+    const bool draining = draining_.load(std::memory_order_acquire);
+
+    if (draining && !drain_seen) {
+      drain_seen = true;
+      drain_deadline =
+          Clock::now() + std::chrono::milliseconds(options_.drain_timeout_ms);
+      if (thread_index == 0 && listener_.valid()) {
+        ::epoll_ctl(io.epoll_fd.get(), EPOLL_CTL_DEL, listener_.get(),
+                    nullptr);
+        // The fd itself is closed by Stop() after every thread has joined.
+        ::shutdown(listener_.get(), SHUT_RDWR);
+      }
+      for (auto& [id, conn] : io.conns) {
+        if (conn->reading) {
+          conn->reading = false;
+          UpdateEpollMask(io, *conn);
+        }
+      }
+    }
+
+    for (int i = 0; i < n_events; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kListenerTag) {
+        if (!draining) AcceptNew(io);
+        continue;
+      }
+      if (tag == kEventFdTag) {
+        uint64_t counter;
+        [[maybe_unused]] ssize_t r =
+            ::read(io.event_fd.get(), &counter, sizeof(counter));
+        std::vector<int> fds;
+        std::vector<IoThread::Completion> completions;
+        {
+          std::lock_guard<std::mutex> lock(io.mu);
+          fds.swap(io.inbox_fds);
+          completions.swap(io.completions);
+        }
+        for (int fd : fds) AddConnection(io, fd);
+        for (auto& completion : completions) {
+          auto it = io.conns.find(completion.conn_id);
+          if (it == io.conns.end()) continue;  // connection died first
+          Connection& conn = *it->second;
+          PKGM_CHECK(conn.in_flight_frames > 0);
+          --conn.in_flight_frames;
+          SendOnLoop(io, conn, std::move(completion.bytes));
+        }
+        continue;
+      }
+      auto it = io.conns.find(tag);
+      if (it == io.conns.end()) continue;  // stale event for a closed conn
+      Connection& conn = *it->second;
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        CloseConnection(io, conn.id);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) {
+        ReadAndProcess(io, conn);
+        // The connection may be gone; re-find before using it again.
+        it = io.conns.find(tag);
+        if (it == io.conns.end()) continue;
+      }
+      if (events[i].events & EPOLLOUT) FlushOutbox(io, *it->second);
+    }
+
+    const Clock::time_point now = Clock::now();
+    const auto idle_scan_interval = std::chrono::milliseconds(
+        std::min(1000, std::max(50, options_.idle_timeout_ms / 2)));
+    if (!draining && options_.idle_timeout_ms > 0 &&
+        now - last_idle_scan > idle_scan_interval) {
+      last_idle_scan = now;
+      const auto timeout = std::chrono::milliseconds(options_.idle_timeout_ms);
+      std::vector<uint64_t> idle;
+      for (const auto& [id, conn] : io.conns) {
+        if (conn->in_flight_frames == 0 && conn->outbox.empty() &&
+            now - conn->last_activity > timeout) {
+          idle.push_back(id);
+        }
+      }
+      for (uint64_t id : idle) {
+        ++idle_disconnects_;
+        CloseConnection(io, id);
+      }
+    }
+
+    if (drain_seen) {
+      const bool expired = now > drain_deadline;
+      std::vector<uint64_t> closable;
+      for (const auto& [id, conn] : io.conns) {
+        if (expired ||
+            (conn->in_flight_frames == 0 && conn->outbox.empty())) {
+          closable.push_back(id);
+        }
+      }
+      for (uint64_t id : closable) CloseConnection(io, id);
+      if (io.conns.empty()) return;
+    }
+  }
+}
+
+serve::NetCounters NetServer::net_counters() const {
+  serve::NetCounters net;
+  net.connections_accepted = connections_accepted_.load();
+  net.connections_closed = connections_closed_.load();
+  net.connections_active =
+      net.connections_accepted - net.connections_closed;
+  net.frames_in = frames_in_.load();
+  net.frames_out = frames_out_.load();
+  net.bytes_in = bytes_in_.load();
+  net.bytes_out = bytes_out_.load();
+  net.requests_in = requests_in_.load();
+  net.protocol_errors = protocol_errors_.load();
+  net.backpressure_disconnects = backpressure_disconnects_.load();
+  net.idle_disconnects = idle_disconnects_.load();
+  return net;
+}
+
+std::string NetServer::StatsReport() const {
+  serve::CacheStats cache_stats;
+  const serve::CacheStats* cache_ptr = nullptr;
+  if (server_->cache() != nullptr) {
+    cache_stats = server_->cache()->Stats();
+    cache_ptr = &cache_stats;
+  }
+  const serve::NetCounters net = net_counters();
+  return server_->stats().ToTable(server_->queue_depth(), cache_ptr, &net);
+}
+
+std::string NetServer::StatsJson() const {
+  serve::CacheStats cache_stats;
+  const serve::CacheStats* cache_ptr = nullptr;
+  if (server_->cache() != nullptr) {
+    cache_stats = server_->cache()->Stats();
+    cache_ptr = &cache_stats;
+  }
+  const serve::NetCounters net = net_counters();
+  return server_->stats().StatsJson(server_->queue_depth(), cache_ptr, &net);
+}
+
+}  // namespace pkgm::net

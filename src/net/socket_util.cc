@@ -1,0 +1,185 @@
+#include "net/socket_util.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace pkgm::net {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IoError(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+}  // namespace
+
+void ScopedFd::Reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+Status SetTcpNoDelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) < 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::Ok();
+}
+
+Status SetSendBufferBytes(int fd, int bytes) {
+  if (::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes)) < 0) {
+    return Errno("setsockopt(SO_SNDBUF)");
+  }
+  return Status::Ok();
+}
+
+StatusOr<ScopedFd> ListenTcp(const std::string& address, uint16_t port,
+                             int backlog, bool reuseport,
+                             uint16_t* bound_port) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Errno("socket");
+
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  if (reuseport &&
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) <
+          0) {
+    return Errno("setsockopt(SO_REUSEPORT)");
+  }
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StrFormat("bad bind address '%s'", address.c_str()));
+  }
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Errno("bind");
+  }
+  if (::listen(fd.get(), backlog) < 0) return Errno("listen");
+  PKGM_RETURN_IF_ERROR(SetNonBlocking(fd.get()));
+
+  if (bound_port != nullptr) {
+    sockaddr_in actual;
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &len) <
+        0) {
+      return Errno("getsockname");
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+StatusOr<ScopedFd> ConnectTcp(const std::string& host, uint16_t port,
+                              int timeout_ms) {
+  addrinfo hints;
+  std::memset(&hints, 0, sizeof(hints));
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  const std::string port_str = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints,
+                               &result);
+  if (rc != 0) {
+    return Status::IoError(StrFormat("getaddrinfo(%s): %s", host.c_str(),
+                                     ::gai_strerror(rc)));
+  }
+
+  Status last_error = Status::IoError("no addresses resolved");
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    ScopedFd fd(::socket(ai->ai_family,
+                         ai->ai_socktype | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                         ai->ai_protocol));
+    if (!fd.valid()) {
+      last_error = Errno("socket");
+      continue;
+    }
+    if (::connect(fd.get(), ai->ai_addr, ai->ai_addrlen) < 0 &&
+        errno != EINPROGRESS) {
+      last_error = Errno("connect");
+      continue;
+    }
+    pollfd pfd{fd.get(), POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0) {
+      last_error = ready == 0 ? Status::IoError("connect timed out")
+                              : Errno("poll");
+      continue;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &so_error, &len) < 0) {
+      last_error = Errno("getsockopt(SO_ERROR)");
+      continue;
+    }
+    if (so_error != 0) {
+      last_error = Status::IoError(
+          StrFormat("connect: %s", std::strerror(so_error)));
+      continue;
+    }
+    // Back to blocking mode: the client library uses blocking writes and a
+    // dedicated reader thread per connection.
+    const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+    if (flags < 0 ||
+        ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK) < 0) {
+      last_error = Errno("fcntl(~O_NONBLOCK)");
+      continue;
+    }
+    const Status nodelay = SetTcpNoDelay(fd.get());
+    if (!nodelay.ok()) {
+      last_error = nodelay;
+      continue;
+    }
+    ::freeaddrinfo(result);
+    return fd;
+  }
+  ::freeaddrinfo(result);
+  return last_error;
+}
+
+Status ParseHostPort(const std::string& spec, std::string* host,
+                     uint16_t* port) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == spec.size()) {
+    return Status::InvalidArgument(
+        StrFormat("expected host:port, got '%s'", spec.c_str()));
+  }
+  char* end = nullptr;
+  const unsigned long value =
+      std::strtoul(spec.c_str() + colon + 1, &end, 10);
+  if (end == nullptr || *end != '\0' || value == 0 || value > 65535) {
+    return Status::InvalidArgument(
+        StrFormat("bad port in '%s'", spec.c_str()));
+  }
+  *host = spec.substr(0, colon);
+  *port = static_cast<uint16_t>(value);
+  return Status::Ok();
+}
+
+}  // namespace pkgm::net

@@ -1,0 +1,69 @@
+#ifndef PKGM_NET_SOCKET_UTIL_H_
+#define PKGM_NET_SOCKET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace pkgm::net {
+
+/// Owning file descriptor: closes on destruction, move-only.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { Reset(); }
+
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.Release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Marks `fd` O_NONBLOCK.
+Status SetNonBlocking(int fd);
+
+/// Disables Nagle on a TCP socket (the protocol is request/response with
+/// its own batching; coalescing delay only adds latency).
+Status SetTcpNoDelay(int fd);
+
+/// Shrinks the kernel send buffer (tests use this to exercise the
+/// userspace outbox bound with little traffic).
+Status SetSendBufferBytes(int fd, int bytes);
+
+/// Creates a TCP listener bound to address:port (port 0 = ephemeral),
+/// non-blocking, SO_REUSEADDR, optionally SO_REUSEPORT. On success returns
+/// the listening fd; *bound_port receives the actual port.
+StatusOr<ScopedFd> ListenTcp(const std::string& address, uint16_t port,
+                             int backlog, bool reuseport,
+                             uint16_t* bound_port);
+
+/// Blocking TCP connect with a timeout; the returned socket is in blocking
+/// mode with TCP_NODELAY set.
+StatusOr<ScopedFd> ConnectTcp(const std::string& host, uint16_t port,
+                              int timeout_ms);
+
+/// Splits "host:port"; fails on a missing or non-numeric port.
+Status ParseHostPort(const std::string& spec, std::string* host,
+                     uint16_t* port);
+
+}  // namespace pkgm::net
+
+#endif  // PKGM_NET_SOCKET_UTIL_H_

@@ -1,0 +1,429 @@
+#include "net/wire.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace pkgm::net {
+namespace {
+
+// ------------------------------------------------ little-endian plumbing --
+
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(uint16_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutF32(float v, std::string* out) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(bits, out);
+}
+
+/// Bounds-checked sequential reader over a payload. Every Read* returns
+/// false instead of running past the end, so decoders degrade to a clean
+/// Corruption status on truncated or garbled frames.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  bool ReadU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool ReadU16(uint16_t* v) {
+    if (remaining() < 2) return false;
+    *v = static_cast<uint16_t>(Byte(0) | (Byte(1) << 8));
+    pos_ += 2;
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    *v = Byte(0) | (Byte(1) << 8) | (Byte(2) << 16) | (Byte(3) << 24);
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* v) {
+    uint32_t lo, hi;
+    if (remaining() < 8 || !ReadU32(&lo) || !ReadU32(&hi)) return false;
+    *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+    return true;
+  }
+
+  bool ReadF32(float* v) {
+    uint32_t bits;
+    if (!ReadU32(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+
+  /// The rest of the payload as a view (consumes it).
+  std::string_view ReadRemainder() {
+    std::string_view rest = data_.substr(pos_);
+    pos_ = data_.size();
+    return rest;
+  }
+
+ private:
+  uint32_t Byte(size_t i) const {
+    return static_cast<uint8_t>(data_[pos_ + i]);
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// ----------------------------------------------------------------- CRC32C --
+
+struct Crc32cTable {
+  uint32_t entries[256];
+  Crc32cTable() {
+    constexpr uint32_t kPoly = 0x82f63b78;  // Castagnoli, reflected
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      entries[i] = crc;
+    }
+  }
+};
+
+constexpr size_t kGetVectorsEntryBytes = 12;
+constexpr size_t kVectorsEntryHeaderBytes = 8;
+
+Status Truncated(const char* what) {
+  return Status::Corruption(StrFormat("truncated %s payload", what));
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t crc) {
+  static const Crc32cTable table;
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table.entries[(crc ^ bytes[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+WireCode WireCodeFromResponse(serve::ResponseCode code) {
+  switch (code) {
+    case serve::ResponseCode::kOk: return WireCode::kOk;
+    case serve::ResponseCode::kRejected: return WireCode::kRejected;
+    case serve::ResponseCode::kDeadlineExceeded:
+      return WireCode::kDeadlineExceeded;
+    case serve::ResponseCode::kInvalidItem: return WireCode::kInvalidItem;
+    case serve::ResponseCode::kNetworkError: return WireCode::kNetworkError;
+  }
+  return WireCode::kNetworkError;
+}
+
+serve::ResponseCode ResponseCodeFromWire(WireCode code) {
+  switch (code) {
+    case WireCode::kOk: return serve::ResponseCode::kOk;
+    case WireCode::kRejected: return serve::ResponseCode::kRejected;
+    case WireCode::kDeadlineExceeded:
+      return serve::ResponseCode::kDeadlineExceeded;
+    case WireCode::kInvalidItem: return serve::ResponseCode::kInvalidItem;
+    case WireCode::kNetworkError:
+    case WireCode::kUnsupported:
+      return serve::ResponseCode::kNetworkError;
+  }
+  return serve::ResponseCode::kNetworkError;
+}
+
+void AppendFrame(FrameType type, uint64_t correlation_id,
+                 std::string_view payload, std::string* out) {
+  out->reserve(out->size() + kFrameHeaderBytes + payload.size());
+  PutU32(kWireMagic, out);
+  PutU8(kWireVersion, out);
+  PutU8(static_cast<uint8_t>(type), out);
+  PutU16(0, out);  // flags
+  PutU64(correlation_id, out);
+  PutU32(static_cast<uint32_t>(payload.size()), out);
+  PutU32(Crc32c(payload.data(), payload.size()), out);
+  out->append(payload);
+}
+
+std::string EncodeGetVectors(
+    uint64_t correlation_id, const std::vector<serve::ServiceRequest>& requests,
+    serve::ServeClock::time_point now) {
+  std::string payload;
+  payload.reserve(4 + requests.size() * kGetVectorsEntryBytes);
+  PutU32(static_cast<uint32_t>(requests.size()), &payload);
+  for (const serve::ServiceRequest& request : requests) {
+    PutU32(request.item, &payload);
+    PutU8(static_cast<uint8_t>(request.mode), &payload);
+    PutU8(static_cast<uint8_t>(request.form), &payload);
+    PutU16(0, &payload);
+    uint32_t deadline_micros = 0;
+    if (request.deadline != serve::ServeClock::time_point::max()) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::microseconds>(
+          request.deadline - now);
+      // Clamp into [1, u32max]: 0 is the "no deadline" sentinel, so an
+      // already-expired deadline must stay distinguishable from none.
+      if (remaining.count() <= 0) {
+        deadline_micros = 1;
+      } else {
+        deadline_micros = static_cast<uint32_t>(std::min<int64_t>(
+            remaining.count(), std::numeric_limits<uint32_t>::max()));
+      }
+    }
+    PutU32(deadline_micros, &payload);
+  }
+  std::string frame;
+  AppendFrame(FrameType::kGetVectors, correlation_id, payload, &frame);
+  return frame;
+}
+
+std::string EncodeVectors(
+    uint64_t correlation_id,
+    const std::vector<serve::ServiceResponse>& responses) {
+  std::string payload;
+  PutU32(static_cast<uint32_t>(responses.size()), &payload);
+  for (const serve::ServiceResponse& response : responses) {
+    PutU8(static_cast<uint8_t>(WireCodeFromResponse(response.code)), &payload);
+    PutU8(response.cache_hit ? 1 : 0, &payload);
+    PutU16(0, &payload);
+    PutU32(static_cast<uint32_t>(response.vectors.size()), &payload);
+    for (const Vec& vec : response.vectors) {
+      PutU32(static_cast<uint32_t>(vec.size()), &payload);
+      for (size_t i = 0; i < vec.size(); ++i) PutF32(vec[i], &payload);
+    }
+  }
+  std::string frame;
+  AppendFrame(FrameType::kVectors, correlation_id, payload, &frame);
+  return frame;
+}
+
+std::string EncodeError(uint64_t correlation_id, WireCode code,
+                        std::string_view message) {
+  std::string payload;
+  PutU8(static_cast<uint8_t>(code), &payload);
+  payload.append(message);
+  std::string frame;
+  AppendFrame(FrameType::kError, correlation_id, payload, &frame);
+  return frame;
+}
+
+std::string EncodeStatsJson(uint64_t correlation_id, std::string_view json) {
+  std::string frame;
+  AppendFrame(FrameType::kStatsJson, correlation_id, json, &frame);
+  return frame;
+}
+
+std::string EncodeControl(FrameType type, uint64_t correlation_id) {
+  std::string frame;
+  AppendFrame(type, correlation_id, {}, &frame);
+  return frame;
+}
+
+void FrameDecoder::Feed(const void* data, size_t len) {
+  // Compact once consumption passes half the buffer so the stream cannot
+  // grow it without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(static_cast<const char*>(data), len);
+}
+
+FrameDecoder::Result FrameDecoder::Next(Frame* frame, std::string* error) {
+  if (poisoned_) {
+    if (error != nullptr) *error = "stream already failed protocol validation";
+    return Result::kError;
+  }
+  const std::string_view view =
+      std::string_view(buffer_).substr(consumed_);
+  if (view.size() < kFrameHeaderBytes) return Result::kNeedMore;
+
+  Cursor header(view.substr(0, kFrameHeaderBytes));
+  uint32_t magic, payload_len, crc;
+  uint8_t version, type;
+  uint16_t flags;
+  uint64_t correlation_id;
+  header.ReadU32(&magic);
+  header.ReadU8(&version);
+  header.ReadU8(&type);
+  header.ReadU16(&flags);
+  header.ReadU64(&correlation_id);
+  header.ReadU32(&payload_len);
+  header.ReadU32(&crc);
+
+  auto fail = [&](std::string message) {
+    poisoned_ = true;
+    if (error != nullptr) *error = std::move(message);
+    return Result::kError;
+  };
+  if (magic != kWireMagic) {
+    return fail(StrFormat("bad magic 0x%08x", magic));
+  }
+  if (version != kWireVersion) {
+    return fail(StrFormat("unsupported wire version %u", version));
+  }
+  if (flags != 0) {
+    return fail(StrFormat("non-zero reserved flags 0x%04x", flags));
+  }
+  if (payload_len > max_frame_bytes_) {
+    return fail(StrFormat("payload length %u exceeds cap %zu", payload_len,
+                          max_frame_bytes_));
+  }
+  if (view.size() < kFrameHeaderBytes + payload_len) return Result::kNeedMore;
+
+  const std::string_view payload =
+      view.substr(kFrameHeaderBytes, payload_len);
+  if (Crc32c(payload.data(), payload.size()) != crc) {
+    return fail("payload CRC32C mismatch");
+  }
+  frame->type = static_cast<FrameType>(type);
+  frame->correlation_id = correlation_id;
+  frame->payload.assign(payload.data(), payload.size());
+  consumed_ += kFrameHeaderBytes + payload_len;
+  return Result::kFrame;
+}
+
+Status DecodeGetVectors(std::string_view payload,
+                        serve::ServeClock::time_point now,
+                        std::vector<serve::ServiceRequest>* out) {
+  Cursor cursor(payload);
+  uint32_t count;
+  if (!cursor.ReadU32(&count)) return Truncated("kGetVectors");
+  // Allocation guard: the declared count must fit in the bytes actually
+  // present before any reserve happens.
+  if (static_cast<uint64_t>(count) * kGetVectorsEntryBytes !=
+      cursor.remaining()) {
+    return Status::Corruption(
+        StrFormat("kGetVectors count %u disagrees with payload size %zu",
+                  count, payload.size()));
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t item, deadline_micros;
+    uint8_t mode, form;
+    uint16_t reserved;
+    if (!cursor.ReadU32(&item) || !cursor.ReadU8(&mode) ||
+        !cursor.ReadU8(&form) || !cursor.ReadU16(&reserved) ||
+        !cursor.ReadU32(&deadline_micros)) {
+      return Truncated("kGetVectors");
+    }
+    if (mode > static_cast<uint8_t>(core::ServiceMode::kAll)) {
+      return Status::Corruption(StrFormat("invalid service mode %u", mode));
+    }
+    if (form > static_cast<uint8_t>(serve::ServiceForm::kCondensed)) {
+      return Status::Corruption(StrFormat("invalid service form %u", form));
+    }
+    if (reserved != 0) {
+      return Status::Corruption("non-zero reserved request field");
+    }
+    serve::ServiceRequest request;
+    request.item = item;
+    request.mode = static_cast<core::ServiceMode>(mode);
+    request.form = static_cast<serve::ServiceForm>(form);
+    request.deadline = deadline_micros == 0
+                           ? serve::ServeClock::time_point::max()
+                           : now + std::chrono::microseconds(deadline_micros);
+    out->push_back(request);
+  }
+  return Status::Ok();
+}
+
+Status DecodeVectors(std::string_view payload,
+                     std::vector<serve::ServiceResponse>* out) {
+  Cursor cursor(payload);
+  uint32_t count;
+  if (!cursor.ReadU32(&count)) return Truncated("kVectors");
+  if (static_cast<uint64_t>(count) * kVectorsEntryHeaderBytes >
+      cursor.remaining()) {
+    return Status::Corruption(
+        StrFormat("kVectors count %u exceeds payload size %zu", count,
+                  payload.size()));
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t code, hit_flags;
+    uint16_t reserved;
+    uint32_t num_vectors;
+    if (!cursor.ReadU8(&code) || !cursor.ReadU8(&hit_flags) ||
+        !cursor.ReadU16(&reserved) || !cursor.ReadU32(&num_vectors)) {
+      return Truncated("kVectors");
+    }
+    if (code > static_cast<uint8_t>(WireCode::kUnsupported)) {
+      return Status::Corruption(StrFormat("invalid wire code %u", code));
+    }
+    // Each vector costs at least its 4-byte length prefix.
+    if (static_cast<uint64_t>(num_vectors) * 4 > cursor.remaining()) {
+      return Status::Corruption(
+          StrFormat("kVectors entry declares %u vectors with %zu bytes left",
+                    num_vectors, cursor.remaining()));
+    }
+    serve::ServiceResponse response;
+    response.code = ResponseCodeFromWire(static_cast<WireCode>(code));
+    response.cache_hit = (hit_flags & 1) != 0;
+    response.vectors.reserve(num_vectors);
+    for (uint32_t v = 0; v < num_vectors; ++v) {
+      uint32_t len;
+      if (!cursor.ReadU32(&len)) return Truncated("kVectors");
+      if (static_cast<uint64_t>(len) * 4 > cursor.remaining()) {
+        return Status::Corruption(
+            StrFormat("kVectors vector length %u exceeds %zu bytes left", len,
+                      cursor.remaining()));
+      }
+      std::vector<float> values(len);
+      for (uint32_t j = 0; j < len; ++j) {
+        if (!cursor.ReadF32(&values[j])) return Truncated("kVectors");
+      }
+      response.vectors.emplace_back(std::move(values));
+    }
+    out->push_back(std::move(response));
+  }
+  if (!cursor.done()) {
+    return Status::Corruption("trailing bytes after kVectors entries");
+  }
+  return Status::Ok();
+}
+
+Status DecodeError(std::string_view payload, WireCode* code,
+                   std::string* message) {
+  Cursor cursor(payload);
+  uint8_t raw;
+  if (!cursor.ReadU8(&raw)) return Truncated("kError");
+  if (raw > static_cast<uint8_t>(WireCode::kUnsupported)) {
+    return Status::Corruption(StrFormat("invalid wire code %u", raw));
+  }
+  *code = static_cast<WireCode>(raw);
+  const std::string_view rest = cursor.ReadRemainder();
+  message->assign(rest.data(), rest.size());
+  return Status::Ok();
+}
+
+}  // namespace pkgm::net

@@ -1,0 +1,174 @@
+#ifndef PKGM_NET_WIRE_H_
+#define PKGM_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/request.h"
+#include "util/status.h"
+
+namespace pkgm::net {
+
+/// PKGM wire protocol v1 — the versioned binary framing the network serving
+/// subsystem speaks. Every frame is a fixed 24-byte little-endian header
+/// followed by `payload_len` payload bytes:
+///
+///   offset  size  field
+///   0       4     magic            0x4d474b50 ("PKGM" on the wire)
+///   4       1     version          kWireVersion
+///   5       1     type             FrameType
+///   6       2     flags            reserved, must be 0
+///   8       8     correlation_id   echoed verbatim in the response frame
+///   16      4     payload_len      bytes following the header
+///   20      4     payload_crc32c   CRC32C over the payload bytes
+///
+/// Integrity policy: a header that fails validation (bad magic, unknown
+/// version, non-zero flags, payload_len over the negotiated cap) or a
+/// payload that fails its CRC means the byte stream can no longer be
+/// trusted — the receiver closes the connection. An *unknown frame type*
+/// with a valid header and CRC leaves the stream in sync; the server
+/// answers it with a kError frame and keeps the connection (forward
+/// compatibility).
+constexpr uint32_t kWireMagic = 0x4d474b50;
+constexpr uint8_t kWireVersion = 1;
+constexpr size_t kFrameHeaderBytes = 24;
+/// Default cap on payload_len; NetServer/NetClient make it configurable.
+constexpr size_t kDefaultMaxFrameBytes = 4u << 20;
+
+enum class FrameType : uint8_t {
+  /// Client → server: batched service-vector request.
+  kGetVectors = 1,
+  /// Server → client: one response entry per request, submission order.
+  kVectors = 2,
+  /// Client → server: stats probe (empty payload).
+  kStats = 3,
+  /// Server → client: ServerStats::StatsJson() bytes as the payload.
+  kStatsJson = 4,
+  /// Client → server: health probe (empty payload).
+  kPing = 5,
+  /// Server → client: health probe answer (empty payload).
+  kPong = 6,
+  /// Server → client: connection-level error (WireCode + message). Sent
+  /// for recoverable protocol conditions (e.g. unknown frame type).
+  kError = 7,
+};
+
+/// Per-request terminal status on the wire; extends serve::ResponseCode
+/// with protocol-level conditions.
+enum class WireCode : uint8_t {
+  kOk = 0,
+  kRejected = 1,
+  kDeadlineExceeded = 2,
+  kInvalidItem = 3,
+  /// Never sent by the server; the client library reports local connection
+  /// failures with this code.
+  kNetworkError = 4,
+  /// The server did not understand the frame (unknown type).
+  kUnsupported = 5,
+};
+
+WireCode WireCodeFromResponse(serve::ResponseCode code);
+serve::ResponseCode ResponseCodeFromWire(WireCode code);
+
+/// CRC32C (Castagnoli) over `len` bytes, table-driven software
+/// implementation; `crc` seeds chained computation (pass 0 to start).
+uint32_t Crc32c(const void* data, size_t len, uint32_t crc = 0);
+
+/// A decoded frame: type + correlation id + raw payload bytes. Payload
+/// interpretation is per-type via the Decode* functions below.
+struct Frame {
+  FrameType type = FrameType::kError;
+  uint64_t correlation_id = 0;
+  std::string payload;
+};
+
+// ------------------------------------------------------------- encoding --
+
+/// Appends a complete frame (header + payload) to `out`.
+void AppendFrame(FrameType type, uint64_t correlation_id,
+                 std::string_view payload, std::string* out);
+
+/// kGetVectors payload: u32 count, then per request
+/// {u32 item, u8 mode, u8 form, u16 reserved, u32 deadline_micros}.
+/// Deadlines travel as *relative* microseconds-from-now (clocks are not
+/// comparable across machines); 0 means no deadline, and an
+/// already-expired absolute deadline is clamped to 1 so expiry survives
+/// the trip.
+std::string EncodeGetVectors(uint64_t correlation_id,
+                             const std::vector<serve::ServiceRequest>& requests,
+                             serve::ServeClock::time_point now);
+
+/// kVectors payload: u32 count, then per entry {u8 code, u8 flags
+/// (bit0 = cache_hit), u16 reserved, u32 num_vectors, num_vectors *
+/// {u32 len, len * f32}}.
+std::string EncodeVectors(uint64_t correlation_id,
+                          const std::vector<serve::ServiceResponse>& responses);
+
+/// kError payload: u8 code, then the message bytes to the payload end.
+std::string EncodeError(uint64_t correlation_id, WireCode code,
+                        std::string_view message);
+
+/// kStatsJson payload: the JSON bytes verbatim.
+std::string EncodeStatsJson(uint64_t correlation_id, std::string_view json);
+
+/// Empty-payload frame (kStats, kPing, kPong).
+std::string EncodeControl(FrameType type, uint64_t correlation_id);
+
+// ------------------------------------------------------------- decoding --
+
+/// Incremental frame extraction over a byte stream: feed arbitrarily
+/// fragmented reads, pull complete validated frames out. Single-owner
+/// (one per connection), not thread-safe.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  /// Buffers `len` more stream bytes.
+  void Feed(const void* data, size_t len);
+
+  enum class Result {
+    /// A complete frame was validated and moved into *frame.
+    kFrame,
+    /// The buffer does not hold a complete frame yet.
+    kNeedMore,
+    /// Protocol violation (bad magic/version/flags/length/CRC). The stream
+    /// is unrecoverable; *error names the violation. The caller must close
+    /// the connection — further Next() calls keep returning kError.
+    kError,
+  };
+
+  Result Next(Frame* frame, std::string* error);
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  const size_t max_frame_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;
+  bool poisoned_ = false;
+};
+
+/// Inverse of EncodeGetVectors: reconstructs absolute deadlines against
+/// `now`. Fails on truncated/garbled payloads or out-of-range enum values;
+/// `count` is validated against the payload size before any allocation.
+Status DecodeGetVectors(std::string_view payload,
+                        serve::ServeClock::time_point now,
+                        std::vector<serve::ServiceRequest>* out);
+
+/// Inverse of EncodeVectors. Every length is validated against the
+/// remaining payload before allocation, so a hostile frame cannot force an
+/// allocation larger than the frame itself.
+Status DecodeVectors(std::string_view payload,
+                     std::vector<serve::ServiceResponse>* out);
+
+Status DecodeError(std::string_view payload, WireCode* code,
+                   std::string* message);
+
+}  // namespace pkgm::net
+
+#endif  // PKGM_NET_WIRE_H_

@@ -90,11 +90,37 @@ std::vector<std::future<ServiceResponse>> KnowledgeServer::SubmitBatch(
     PendingRequest pending;
     pending.request = request;
     pending.enqueue_time = now;
-    futures.push_back(pending.promise.get_future());
+    auto promise = std::make_shared<std::promise<ServiceResponse>>();
+    futures.push_back(promise->get_future());
+    pending.done = [promise](ServiceResponse response) {
+      promise->set_value(std::move(response));
+    };
     batch.push_back(std::move(pending));
   }
-  if (batch.empty()) return futures;
+  Enqueue(std::move(batch));
+  return futures;
+}
 
+void KnowledgeServer::SubmitBatchAsync(std::vector<ServiceRequest> requests,
+                                       BatchCallback done) {
+  const auto now = ServeClock::now();
+  auto shared_done = std::make_shared<BatchCallback>(std::move(done));
+  Batch batch;
+  batch.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    PendingRequest pending;
+    pending.request = requests[i];
+    pending.enqueue_time = now;
+    pending.done = [shared_done, i](ServiceResponse response) {
+      (*shared_done)(i, std::move(response));
+    };
+    batch.push_back(std::move(pending));
+  }
+  Enqueue(std::move(batch));
+}
+
+void KnowledgeServer::Enqueue(Batch batch) {
+  if (batch.empty()) return;
   // Count the batch as pending *before* pushing: a worker may finish (and
   // decrement) before TryPush even returns.
   const size_t n = batch.size();
@@ -104,13 +130,12 @@ std::vector<std::future<ServiceResponse>> KnowledgeServer::SubmitBatch(
   } else {
     pending_requests_ -= n;
     // Admission control: the queue (or the server) is saturated — resolve
-    // every future in the batch immediately instead of piling up work.
+    // every request in the batch immediately instead of piling up work.
     stats_.RecordRejected(n);
     for (PendingRequest& pending : batch) {
-      pending.promise.set_value(RejectedResponse());
+      pending.done(RejectedResponse());
     }
   }
-  return futures;
 }
 
 void KnowledgeServer::WorkerLoop() {
@@ -133,7 +158,7 @@ void KnowledgeServer::WorkerLoop() {
       response.compute_micros = compute_micros;
       stats_.RecordCompleted(response.code, queue_micros, compute_micros);
       --pending_requests_;
-      pending.promise.set_value(std::move(response));
+      pending.done(std::move(response));
     }
     batch.clear();
   }
@@ -222,6 +247,16 @@ std::string KnowledgeServer::StatsReport() const {
     cache_ptr = &cache_stats;
   }
   return stats_.ToTable(queue_depth(), cache_ptr);
+}
+
+std::string KnowledgeServer::StatsJson() const {
+  CacheStats cache_stats;
+  const CacheStats* cache_ptr = nullptr;
+  if (cache_ != nullptr) {
+    cache_stats = cache_->Stats();
+    cache_ptr = &cache_stats;
+  }
+  return stats_.StatsJson(queue_depth(), cache_ptr);
 }
 
 }  // namespace pkgm::serve

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -96,6 +97,20 @@ class KnowledgeServer {
   std::vector<std::future<ServiceResponse>> SubmitBatch(
       std::vector<ServiceRequest> requests);
 
+  /// Completion callback for the async submit path: invoked exactly once
+  /// per request with its index in the submitted batch. Runs on a worker
+  /// thread — or synchronously on the submitting thread when the whole
+  /// batch is rejected at admission — so it must be fast and must not
+  /// block (the network front end posts the response to an event loop).
+  using BatchCallback = std::function<void(size_t, ServiceResponse)>;
+
+  /// Future-free submission used by the epoll front end (src/net/): same
+  /// admission control and batching as SubmitBatch, but completion is
+  /// delivered through `done` instead of futures, so no thread ever parks
+  /// waiting for a response.
+  void SubmitBatchAsync(std::vector<ServiceRequest> requests,
+                        BatchCallback done);
+
   /// Requests accepted but not yet completed.
   size_t queue_depth() const { return pending_requests_.load(); }
 
@@ -109,6 +124,10 @@ class KnowledgeServer {
   /// Counters + queue gauge + cache + latency percentiles as ASCII tables.
   std::string StatsReport() const;
 
+  /// Machine-readable counterpart to StatsReport() (no net section; the
+  /// NetServer wrapping this server emits the combined blob).
+  std::string StatsJson() const;
+
   /// The fixed provider; null in registry mode (use registry()->Current()).
   const core::ServiceVectorProvider* provider() const { return provider_; }
   /// The registry; null in fixed-provider mode.
@@ -117,10 +136,15 @@ class KnowledgeServer {
  private:
   struct PendingRequest {
     ServiceRequest request;
-    std::promise<ServiceResponse> promise;
+    /// Completion sink; invoked exactly once. The future-returning submit
+    /// paths wrap a promise in here.
+    std::function<void(ServiceResponse)> done;
     ServeClock::time_point enqueue_time;
   };
   using Batch = std::vector<PendingRequest>;
+
+  /// Shared admission + enqueue path behind SubmitBatch/SubmitBatchAsync.
+  void Enqueue(Batch batch);
 
   void WorkerLoop();
   /// Runs the query modules (through the cache for condensed requests).

@@ -24,6 +24,10 @@ enum class ResponseCode {
   kDeadlineExceeded,
   /// Item id outside the provider's item range.
   kInvalidItem,
+  /// Client-side only (src/net/): the connection failed before a response
+  /// arrived — connect error, write error, or disconnect with the request
+  /// in flight. Never produced by the server.
+  kNetworkError,
 };
 
 /// Human-readable name ("Ok", "Rejected", ...).
@@ -33,6 +37,7 @@ inline const char* ResponseCodeName(ResponseCode code) {
     case ResponseCode::kRejected: return "Rejected";
     case ResponseCode::kDeadlineExceeded: return "DeadlineExceeded";
     case ResponseCode::kInvalidItem: return "InvalidItem";
+    case ResponseCode::kNetworkError: return "NetworkError";
   }
   return "Unknown";
 }

@@ -4,6 +4,39 @@
 #include "util/table_printer.h"
 
 namespace pkgm::serve {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned char>(c));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string HistogramJson(const Histogram& h) {
+  if (h.count() == 0) return "{\"count\":0}";
+  return StrFormat(
+      "{\"count\":%llu,\"p50_us\":%.2f,\"p95_us\":%.2f,\"p99_us\":%.2f,"
+      "\"mean_us\":%.2f}",
+      static_cast<unsigned long long>(h.count()), h.Percentile(0.5),
+      h.Percentile(0.95), h.Percentile(0.99), h.Mean());
+}
+
+}  // namespace
 
 void ServerStats::RecordCompleted(ResponseCode code, double queue_micros,
                                   double compute_micros) {
@@ -12,6 +45,7 @@ void ServerStats::RecordCompleted(ResponseCode code, double queue_micros,
     case ResponseCode::kDeadlineExceeded: ++deadline_exceeded_; break;
     case ResponseCode::kInvalidItem: ++invalid_item_; break;
     case ResponseCode::kRejected: break;  // counted at admission, not here
+    case ResponseCode::kNetworkError: break;  // client-side only
   }
   std::lock_guard<std::mutex> lock(histo_mu_);
   queue_micros_.Record(queue_micros);
@@ -38,8 +72,8 @@ std::string ServerStats::backend() const {
   return backend_;
 }
 
-std::string ServerStats::ToTable(uint64_t queue_depth,
-                                 const CacheStats* cache) const {
+std::string ServerStats::ToTable(uint64_t queue_depth, const CacheStats* cache,
+                                 const NetCounters* net) const {
   TablePrinter counters({"counter", "value"});
   {
     std::lock_guard<std::mutex> lock(backend_mu_);
@@ -62,6 +96,24 @@ std::string ServerStats::ToTable(uint64_t queue_depth,
     counters.AddRow({"cache stale inserts dropped",
                      std::to_string(cache->stale_inserts)});
   }
+  if (net != nullptr) {
+    counters.AddSeparator();
+    counters.AddRow({"net connections accepted",
+                     std::to_string(net->connections_accepted)});
+    counters.AddRow({"net connections active",
+                     std::to_string(net->connections_active)});
+    counters.AddRow({"net frames in", std::to_string(net->frames_in)});
+    counters.AddRow({"net frames out", std::to_string(net->frames_out)});
+    counters.AddRow({"net bytes in", std::to_string(net->bytes_in)});
+    counters.AddRow({"net bytes out", std::to_string(net->bytes_out)});
+    counters.AddRow({"net requests decoded", std::to_string(net->requests_in)});
+    counters.AddRow({"net protocol errors",
+                     std::to_string(net->protocol_errors)});
+    counters.AddRow({"net backpressure disconnects",
+                     std::to_string(net->backpressure_disconnects)});
+    counters.AddRow({"net idle disconnects",
+                     std::to_string(net->idle_disconnects)});
+  }
 
   TablePrinter latency(
       {"stage", "count", "p50 us", "p95 us", "p99 us", "mean us"});
@@ -82,6 +134,52 @@ std::string ServerStats::ToTable(uint64_t queue_depth,
     add("execute", compute_micros_);
   }
   return counters.ToString() + "\n" + latency.ToString();
+}
+
+std::string ServerStats::StatsJson(uint64_t queue_depth,
+                                   const CacheStats* cache,
+                                   const NetCounters* net) const {
+  auto u64 = [](uint64_t v) {
+    return std::to_string(static_cast<unsigned long long>(v));
+  };
+  std::string json = "{";
+  json += "\"backend\":\"" + JsonEscape(backend()) + "\"";
+  json += ",\"accepted\":" + u64(accepted());
+  json += ",\"rejected\":" + u64(rejected());
+  json += ",\"ok\":" + u64(ok());
+  json += ",\"deadline_exceeded\":" + u64(deadline_exceeded());
+  json += ",\"invalid_item\":" + u64(invalid_item());
+  json += ",\"queue_depth\":" + u64(queue_depth);
+  if (cache != nullptr) {
+    json += StrFormat(
+        ",\"cache\":{\"hits\":%llu,\"misses\":%llu,\"hit_rate\":%.4f,"
+        "\"evictions\":%llu,\"entries\":%llu,\"stale_inserts\":%llu}",
+        static_cast<unsigned long long>(cache->hits),
+        static_cast<unsigned long long>(cache->misses), cache->HitRate(),
+        static_cast<unsigned long long>(cache->evictions),
+        static_cast<unsigned long long>(cache->entries),
+        static_cast<unsigned long long>(cache->stale_inserts));
+  }
+  if (net != nullptr) {
+    json += ",\"net\":{";
+    json += "\"connections_accepted\":" + u64(net->connections_accepted);
+    json += ",\"connections_closed\":" + u64(net->connections_closed);
+    json += ",\"connections_active\":" + u64(net->connections_active);
+    json += ",\"frames_in\":" + u64(net->frames_in);
+    json += ",\"frames_out\":" + u64(net->frames_out);
+    json += ",\"bytes_in\":" + u64(net->bytes_in);
+    json += ",\"bytes_out\":" + u64(net->bytes_out);
+    json += ",\"requests_in\":" + u64(net->requests_in);
+    json += ",\"protocol_errors\":" + u64(net->protocol_errors);
+    json += ",\"backpressure_disconnects\":" +
+            u64(net->backpressure_disconnects);
+    json += ",\"idle_disconnects\":" + u64(net->idle_disconnects);
+    json += "}";
+  }
+  json += ",\"latency\":{\"queue\":" + HistogramJson(QueueLatency()) +
+          ",\"execute\":" + HistogramJson(ComputeLatency()) + "}";
+  json += "}";
+  return json;
 }
 
 }  // namespace pkgm::serve

@@ -12,6 +12,28 @@
 
 namespace pkgm::serve {
 
+/// Snapshot of the network front end's counters (src/net/NetServer), folded
+/// into ServerStats reports so one table/JSON blob covers the whole serving
+/// path: sockets, frames, and the compute behind them.
+struct NetCounters {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t connections_active = 0;
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  /// Wire-level requests decoded out of kGetVectors frames.
+  uint64_t requests_in = 0;
+  /// Malformed frames (bad magic/version/CRC/oversize/garbled payload);
+  /// each one closes exactly the offending connection.
+  uint64_t protocol_errors = 0;
+  /// Slow readers dropped because their outbox exceeded the bound.
+  uint64_t backpressure_disconnects = 0;
+  /// Connections reaped by the idle timeout.
+  uint64_t idle_disconnects = 0;
+};
+
 /// Thread-safe metrics for the knowledge server: request counters by
 /// outcome, plus per-stage latency histograms (queue wait vs execution).
 /// Counters are lock-free atomics; histograms are guarded by one mutex
@@ -53,9 +75,17 @@ class ServerStats {
   void SetBackend(std::string description);
   std::string backend() const;
 
-  /// Renders counters, the queue-depth gauge, optional cache counters and
-  /// the per-stage latency percentiles as two aligned ASCII tables.
-  std::string ToTable(uint64_t queue_depth, const CacheStats* cache) const;
+  /// Renders counters, the queue-depth gauge, optional cache counters,
+  /// optional network-front-end counters and the per-stage latency
+  /// percentiles as two aligned ASCII tables.
+  std::string ToTable(uint64_t queue_depth, const CacheStats* cache,
+                      const NetCounters* net = nullptr) const;
+
+  /// Machine-readable counterpart to ToTable: one JSON object with the same
+  /// counters/gauges/percentiles, consumed by the load generator, the CI
+  /// smoke job and bench artifacts instead of regex-scraping the tables.
+  std::string StatsJson(uint64_t queue_depth, const CacheStats* cache,
+                        const NetCounters* net = nullptr) const;
 
  private:
   std::atomic<uint64_t> accepted_{0};

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <future>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -88,6 +89,54 @@ TEST(BoundedQueueTest, PopBlocksUntilPush) {
   EXPECT_TRUE(q.TryPush(std::move(x)));
   consumer.join();
   EXPECT_TRUE(got.load());
+}
+
+TEST(BoundedQueueTest, CloseWakesEveryBlockedConsumer) {
+  // Consumers parked in Pop on an empty queue must ALL wake when Close()
+  // runs — a missed notify_all here deadlocks server shutdown.
+  BoundedQueue<int> q(4);
+  constexpr int kConsumers = 8;
+  std::atomic<int> woke{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < kConsumers; ++i) {
+    consumers.emplace_back([&] {
+      int out = 0;
+      while (q.Pop(&out)) {
+      }
+      ++woke;  // Pop returned false: closed and drained
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(woke.load(), 0);  // all parked
+
+  q.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(woke.load(), kConsumers);
+}
+
+TEST(BoundedQueueTest, CloseWhileFullStillDrainsThenWakes) {
+  // Close() with a full queue: queued elements are still handed out
+  // (graceful drain), then blocked consumers see closed-and-empty.
+  BoundedQueue<int> q(2);
+  int x = 1;
+  ASSERT_TRUE(q.TryPush(std::move(x)));
+  x = 2;
+  ASSERT_TRUE(q.TryPush(std::move(x)));
+
+  std::atomic<int> popped{0}, finished{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 4; ++i) {
+    consumers.emplace_back([&] {
+      int out = 0;
+      while (q.Pop(&out)) ++popped;
+      ++finished;
+    });
+  }
+  q.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(popped.load(), 2);
+  EXPECT_EQ(finished.load(), 4);
+  EXPECT_EQ(q.size(), 0u);
 }
 
 // ------------------------------------------------------ ShardedVectorCache --
@@ -223,6 +272,98 @@ TEST(KnowledgeServerTest, QueueFullRejection) {
   server.Stop();
   EXPECT_EQ(server.queue_depth(), 0u);
   EXPECT_EQ(server.stats().ok(), 3u);
+}
+
+TEST(KnowledgeServerTest, SubmitBatchRejectionIsAllOrNothing) {
+  Fixture fx;
+  KnowledgeServerOptions opt;
+  opt.queue_capacity = 1;
+  KnowledgeServer server(fx.provider.get(), opt);
+  // Not started: the first batch fills the queue.
+  auto accepted = server.SubmitBatch(
+      {ServiceRequest{}, ServiceRequest{}, ServiceRequest{}});
+  EXPECT_EQ(server.queue_depth(), 3u);
+
+  // A rejected batch must reject EVERY request and must not leak into the
+  // pending gauge — queue_depth() stays exactly at the accepted count.
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    auto rejected = server.SubmitBatch({ServiceRequest{}, ServiceRequest{}});
+    ASSERT_EQ(rejected.size(), 2u);
+    for (auto& f : rejected) {
+      EXPECT_EQ(f.get().code, ResponseCode::kRejected);
+    }
+    EXPECT_EQ(server.queue_depth(), 3u);
+  }
+  EXPECT_EQ(server.stats().rejected(), 10u);
+  EXPECT_EQ(server.stats().accepted(), 3u);
+
+  server.Start();
+  for (auto& f : accepted) EXPECT_EQ(f.get().code, ResponseCode::kOk);
+  server.Stop();
+  EXPECT_EQ(server.queue_depth(), 0u);
+}
+
+TEST(KnowledgeServerTest, SubmitBatchAsyncDeliversEveryCompletion) {
+  Fixture fx;
+  KnowledgeServer server(fx.provider.get());
+  server.Start();
+
+  constexpr size_t kBatch = 10;
+  std::vector<ServiceRequest> requests;
+  for (uint32_t i = 0; i < kBatch; ++i) {
+    ServiceRequest request;
+    request.item = i;
+    requests.push_back(request);
+  }
+  std::mutex mu;
+  std::vector<ServiceResponse> responses(kBatch);
+  std::vector<int> calls(kBatch, 0);
+  std::promise<void> all_done;
+  std::atomic<size_t> remaining{kBatch};
+  server.SubmitBatchAsync(requests, [&](size_t index, ServiceResponse r) {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_LT(index, kBatch);
+    ++calls[index];
+    responses[index] = std::move(r);
+    if (remaining.fetch_sub(1) == 1) all_done.set_value();
+  });
+  all_done.get_future().wait();
+
+  for (size_t i = 0; i < kBatch; ++i) {
+    EXPECT_EQ(calls[i], 1) << "index " << i;  // exactly once per request
+    EXPECT_EQ(responses[i].code, ResponseCode::kOk);
+    // Async and future paths serve identical bytes.
+    ServiceResponse direct = server.Submit(requests[i]).get();
+    ASSERT_EQ(responses[i].vectors.size(), direct.vectors.size());
+    for (size_t v = 0; v < direct.vectors.size(); ++v) {
+      EXPECT_EQ(responses[i].vectors[v], direct.vectors[v]);
+    }
+  }
+  server.Stop();
+}
+
+TEST(KnowledgeServerTest, SubmitBatchAsyncRejectionCallsBackSynchronously) {
+  Fixture fx;
+  KnowledgeServerOptions opt;
+  opt.queue_capacity = 1;
+  KnowledgeServer server(fx.provider.get(), opt);
+  auto parked = server.SubmitBatch({ServiceRequest{}});  // fills the queue
+
+  std::vector<size_t> indices;
+  server.SubmitBatchAsync(
+      {ServiceRequest{}, ServiceRequest{}},
+      [&](size_t index, ServiceResponse r) {
+        // Rejection runs on the submitting thread, so plain mutation is
+        // safe here.
+        indices.push_back(index);
+        EXPECT_EQ(r.code, ResponseCode::kRejected);
+      });
+  EXPECT_EQ(indices, (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(server.queue_depth(), 1u);
+
+  server.Start();
+  EXPECT_EQ(parked[0].get().code, ResponseCode::kOk);
+  server.Stop();
 }
 
 TEST(KnowledgeServerTest, SubmitAfterStopIsRejected) {

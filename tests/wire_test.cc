@@ -1,0 +1,354 @@
+// Wire-codec robustness: round-trips for every frame type, incremental
+// decoding over arbitrary fragmentation, and rejection of hostile input
+// (truncation, oversize, corruption) without allocation blowups. These run
+// under ASan/UBSan in CI, so "rejected cleanly" also means no UB.
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace pkgm::net {
+namespace {
+
+using serve::ResponseCode;
+using serve::ServeClock;
+using serve::ServiceForm;
+using serve::ServiceRequest;
+using serve::ServiceResponse;
+
+std::vector<ServiceRequest> SampleRequests() {
+  std::vector<ServiceRequest> requests;
+  ServiceRequest a;
+  a.item = 7;
+  a.mode = core::ServiceMode::kAll;
+  a.form = ServiceForm::kCondensed;
+  requests.push_back(a);
+  ServiceRequest b;
+  b.item = 0xdeadbeef;
+  b.mode = core::ServiceMode::kRelationOnly;
+  b.form = ServiceForm::kSequence;
+  b.deadline = ServeClock::now() + std::chrono::milliseconds(50);
+  requests.push_back(b);
+  return requests;
+}
+
+std::vector<ServiceResponse> SampleResponses() {
+  std::vector<ServiceResponse> responses;
+  ServiceResponse ok;
+  ok.code = ResponseCode::kOk;
+  ok.cache_hit = true;
+  ok.vectors = {{1.5f, -2.25f, 0.0f}, {3.0f}};
+  responses.push_back(ok);
+  ServiceResponse rejected;
+  rejected.code = ResponseCode::kRejected;
+  responses.push_back(rejected);
+  ServiceResponse empty_vec;
+  empty_vec.code = ResponseCode::kOk;
+  empty_vec.vectors = {{}};
+  responses.push_back(empty_vec);
+  return responses;
+}
+
+/// Decodes exactly one frame from `bytes`, asserting full consumption.
+Frame MustDecode(const std::string& bytes) {
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Result::kFrame)
+      << error;
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  return frame;
+}
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vector: 32 zero bytes.
+  std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8a9136aau);
+  // "123456789" — the classic check value for CRC32C.
+  const char* digits = "123456789";
+  EXPECT_EQ(Crc32c(digits, 9), 0xe3069283u);
+  // Chaining must equal one-shot.
+  EXPECT_EQ(Crc32c(digits + 4, 5, Crc32c(digits, 4)), 0xe3069283u);
+}
+
+TEST(WireTest, GetVectorsRoundTrip) {
+  const auto now = ServeClock::now();
+  const std::vector<ServiceRequest> requests = SampleRequests();
+  const std::string bytes = EncodeGetVectors(42, requests, now);
+  const Frame frame = MustDecode(bytes);
+  EXPECT_EQ(frame.type, FrameType::kGetVectors);
+  EXPECT_EQ(frame.correlation_id, 42u);
+
+  std::vector<ServiceRequest> decoded;
+  ASSERT_TRUE(DecodeGetVectors(frame.payload, now, &decoded).ok());
+  ASSERT_EQ(decoded.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(decoded[i].item, requests[i].item);
+    EXPECT_EQ(decoded[i].mode, requests[i].mode);
+    EXPECT_EQ(decoded[i].form, requests[i].form);
+  }
+  // No deadline stays no deadline; a real deadline survives within the
+  // microsecond quantization of the wire encoding.
+  EXPECT_EQ(decoded[0].deadline, ServeClock::time_point::max());
+  const auto skew = decoded[1].deadline - requests[1].deadline;
+  EXPECT_LT(std::chrono::abs(skew), std::chrono::microseconds(2));
+}
+
+TEST(WireTest, ExpiredDeadlineStaysExpired) {
+  std::vector<ServiceRequest> requests(1);
+  requests[0].deadline = ServeClock::now() - std::chrono::seconds(5);
+  const auto now = ServeClock::now();
+  const Frame frame = MustDecode(EncodeGetVectors(1, requests, now));
+  std::vector<ServiceRequest> decoded;
+  ASSERT_TRUE(DecodeGetVectors(frame.payload, now, &decoded).ok());
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_NE(decoded[0].deadline, ServeClock::time_point::max());
+  EXPECT_LE(decoded[0].deadline, now + std::chrono::microseconds(1));
+}
+
+TEST(WireTest, VectorsRoundTrip) {
+  const std::vector<ServiceResponse> responses = SampleResponses();
+  const Frame frame = MustDecode(EncodeVectors(99, responses));
+  EXPECT_EQ(frame.type, FrameType::kVectors);
+  EXPECT_EQ(frame.correlation_id, 99u);
+
+  std::vector<ServiceResponse> decoded;
+  ASSERT_TRUE(DecodeVectors(frame.payload, &decoded).ok());
+  ASSERT_EQ(decoded.size(), responses.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(decoded[i].code, responses[i].code);
+    EXPECT_EQ(decoded[i].cache_hit, responses[i].cache_hit);
+    ASSERT_EQ(decoded[i].vectors.size(), responses[i].vectors.size());
+    for (size_t v = 0; v < responses[i].vectors.size(); ++v) {
+      // Bit-identical floats across the wire.
+      ASSERT_EQ(decoded[i].vectors[v].size(), responses[i].vectors[v].size());
+      if (responses[i].vectors[v].size() == 0) continue;  // data() may be null
+      EXPECT_EQ(std::memcmp(decoded[i].vectors[v].data(),
+                            responses[i].vectors[v].data(),
+                            responses[i].vectors[v].size() * sizeof(float)),
+                0);
+    }
+  }
+}
+
+TEST(WireTest, ErrorRoundTrip) {
+  const Frame frame =
+      MustDecode(EncodeError(3, WireCode::kUnsupported, "nope"));
+  EXPECT_EQ(frame.type, FrameType::kError);
+  WireCode code;
+  std::string message;
+  ASSERT_TRUE(DecodeError(frame.payload, &code, &message).ok());
+  EXPECT_EQ(code, WireCode::kUnsupported);
+  EXPECT_EQ(message, "nope");
+}
+
+TEST(WireTest, ControlAndStatsRoundTrip) {
+  Frame frame = MustDecode(EncodeControl(FrameType::kPing, 5));
+  EXPECT_EQ(frame.type, FrameType::kPing);
+  EXPECT_TRUE(frame.payload.empty());
+
+  frame = MustDecode(EncodeStatsJson(6, "{\"x\":1}"));
+  EXPECT_EQ(frame.type, FrameType::kStatsJson);
+  EXPECT_EQ(frame.payload, "{\"x\":1}");
+}
+
+TEST(WireTest, CodeMappingRoundTrips) {
+  for (ResponseCode code :
+       {ResponseCode::kOk, ResponseCode::kRejected,
+        ResponseCode::kDeadlineExceeded, ResponseCode::kInvalidItem}) {
+    EXPECT_EQ(ResponseCodeFromWire(WireCodeFromResponse(code)), code);
+  }
+}
+
+TEST(FrameDecoderTest, ByteAtATimeFragmentation) {
+  const std::string bytes = EncodeVectors(12, SampleResponses());
+  FrameDecoder decoder;
+  Frame frame;
+  std::string error;
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    decoder.Feed(&bytes[i], 1);
+    ASSERT_EQ(decoder.Next(&frame, &error), FrameDecoder::Result::kNeedMore);
+  }
+  decoder.Feed(&bytes[bytes.size() - 1], 1);
+  ASSERT_EQ(decoder.Next(&frame, &error), FrameDecoder::Result::kFrame);
+  EXPECT_EQ(frame.correlation_id, 12u);
+}
+
+TEST(FrameDecoderTest, MultipleFramesInOneFeed) {
+  std::string bytes = EncodeControl(FrameType::kPing, 1);
+  bytes += EncodeControl(FrameType::kPong, 2);
+  bytes += EncodeError(3, WireCode::kOk, "");
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  std::string error;
+  for (uint64_t want = 1; want <= 3; ++want) {
+    ASSERT_EQ(decoder.Next(&frame, &error), FrameDecoder::Result::kFrame);
+    EXPECT_EQ(frame.correlation_id, want);
+  }
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Result::kNeedMore);
+}
+
+TEST(FrameDecoderTest, BadMagicPoisons) {
+  std::string bytes = EncodeControl(FrameType::kPing, 1);
+  bytes[0] ^= 0xff;
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Result::kError);
+  // Poisoned: even valid bytes afterwards keep failing.
+  const std::string good = EncodeControl(FrameType::kPing, 2);
+  decoder.Feed(good.data(), good.size());
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Result::kError);
+}
+
+TEST(FrameDecoderTest, BadVersionRejected) {
+  std::string bytes = EncodeControl(FrameType::kPing, 1);
+  bytes[4] = static_cast<char>(kWireVersion + 1);
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Result::kError);
+  EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+TEST(FrameDecoderTest, NonZeroFlagsRejected) {
+  std::string bytes = EncodeControl(FrameType::kPing, 1);
+  bytes[6] = 1;
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Result::kError);
+}
+
+TEST(FrameDecoderTest, CorruptPayloadFailsCrc) {
+  std::string bytes = EncodeStatsJson(1, "{\"stats\":true}");
+  bytes[kFrameHeaderBytes + 3] ^= 0x01;  // flip one payload bit
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Result::kError);
+  EXPECT_NE(error.find("CRC"), std::string::npos);
+}
+
+TEST(FrameDecoderTest, OversizedFrameRejectedBeforeBuffering) {
+  // Header declares a payload far over the cap; the decoder must reject on
+  // the header alone — long before that many bytes ever arrive.
+  std::string bytes = EncodeStatsJson(1, "x");
+  const uint32_t huge = 0x7fffffff;
+  std::memcpy(&bytes[16], &huge, sizeof(huge));
+  FrameDecoder decoder(/*max_frame_bytes=*/1024);
+  decoder.Feed(bytes.data(), kFrameHeaderBytes);
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Result::kError);
+  EXPECT_LT(decoder.buffered_bytes(), 1024u);
+}
+
+TEST(WireTest, HostileGetVectorsCountRejected) {
+  // A count field claiming 2^30 entries against a tiny payload must fail
+  // validation without attempting the implied allocation.
+  std::string payload;
+  const uint32_t hostile = 1u << 30;
+  payload.append(reinterpret_cast<const char*>(&hostile), sizeof(hostile));
+  payload.append(12, '\0');  // one entry's worth of bytes
+  std::vector<ServiceRequest> out;
+  EXPECT_FALSE(DecodeGetVectors(payload, ServeClock::now(), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(WireTest, HostileVectorLengthsRejected) {
+  // Entry declares num_vectors / len values bigger than the payload.
+  for (uint32_t hostile : {1u << 30, 0xffffffffu}) {
+    std::string payload;
+    const uint32_t count = 1;
+    payload.append(reinterpret_cast<const char*>(&count), sizeof(count));
+    payload.push_back(0);  // code
+    payload.push_back(0);  // flags
+    payload.push_back(0);  // reserved
+    payload.push_back(0);
+    payload.append(reinterpret_cast<const char*>(&hostile), sizeof(hostile));
+    std::vector<ServiceResponse> out;
+    EXPECT_FALSE(DecodeVectors(payload, &out).ok());
+  }
+}
+
+TEST(WireTest, TruncatedPayloadsRejected) {
+  const auto now = ServeClock::now();
+  const std::string get = EncodeGetVectors(1, SampleRequests(), now);
+  const std::string_view get_payload =
+      std::string_view(get).substr(kFrameHeaderBytes);
+  const std::string vec = EncodeVectors(1, SampleResponses());
+  const std::string_view vec_payload =
+      std::string_view(vec).substr(kFrameHeaderBytes);
+
+  // Every strict prefix must be rejected (never accepted short).
+  for (size_t len = 0; len < get_payload.size(); ++len) {
+    std::vector<ServiceRequest> out;
+    EXPECT_FALSE(
+        DecodeGetVectors(get_payload.substr(0, len), now, &out).ok());
+  }
+  for (size_t len = 0; len < vec_payload.size(); ++len) {
+    std::vector<ServiceResponse> out;
+    EXPECT_FALSE(DecodeVectors(vec_payload.substr(0, len), &out).ok());
+  }
+  // Trailing garbage is rejected too.
+  {
+    std::vector<ServiceRequest> out;
+    std::string padded(get_payload);
+    padded.push_back('\0');
+    EXPECT_FALSE(DecodeGetVectors(padded, now, &out).ok());
+  }
+  {
+    std::vector<ServiceResponse> out;
+    std::string padded(vec_payload);
+    padded.push_back('\0');
+    EXPECT_FALSE(DecodeVectors(padded, &out).ok());
+  }
+}
+
+TEST(WireTest, BadEnumValuesRejected) {
+  const auto now = ServeClock::now();
+  std::vector<ServiceRequest> requests(1);
+  std::string frame = EncodeGetVectors(1, requests, now);
+  std::string payload = frame.substr(kFrameHeaderBytes);
+  std::vector<ServiceRequest> out;
+  ASSERT_TRUE(DecodeGetVectors(payload, now, &out).ok());
+
+  std::string bad_mode = payload;
+  bad_mode[4 + 4] = 0x7f;  // mode byte of entry 0
+  EXPECT_FALSE(DecodeGetVectors(bad_mode, now, &out).ok());
+
+  std::string bad_form = payload;
+  bad_form[4 + 5] = 0x7f;  // form byte of entry 0
+  EXPECT_FALSE(DecodeGetVectors(bad_form, now, &out).ok());
+}
+
+TEST(FrameDecoderTest, BufferCompaction) {
+  // Many small frames through one decoder: the internal buffer must not
+  // grow with the total bytes ever fed (compaction reclaims consumed
+  // prefixes).
+  FrameDecoder decoder;
+  Frame frame;
+  std::string error;
+  const std::string bytes = EncodeControl(FrameType::kPing, 1);
+  for (int i = 0; i < 10000; ++i) {
+    decoder.Feed(bytes.data(), bytes.size());
+    ASSERT_EQ(decoder.Next(&frame, &error), FrameDecoder::Result::kFrame);
+  }
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace pkgm::net

@@ -9,6 +9,8 @@
 //              [--queue-capacity N] [--seed N]
 //              [--store path.pkgs] [--store-dtype fp32|int8]
 //              [--hot-swaps N] [--swap-interval-ms N]
+//              [--connect host:port] [--connections N] [--items N]
+//              [--stats-json PATH]
 //
 //   --qps 0 (default) runs closed-loop at maximum rate; a positive value
 //   paces the aggregate request rate across client threads.
@@ -19,19 +21,34 @@
 //   publishes N fresh store generations (alternating fp32/int8) while
 //   traffic is in flight — the zero-downtime model-refresh drill; the run
 //   reports any swap-attributable failures (there must be none).
+//
+//   --connect host:port skips the local pipeline entirely and drives a
+//   remote pkgm_netd over the wire protocol instead, through the same
+//   closed loop (--connections pools client sockets; --items must match
+//   the daemon's item space, default 1000). --stats-json writes the
+//   server's JSON stats snapshot — fetched over the socket in connect
+//   mode — to PATH at the end of the run.
+//
+//   SIGINT/SIGTERM stop traffic early and still print the final report.
+
+#include <signal.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "net/net_client.h"
+#include "net/socket_util.h"
 #include "serve/knowledge_server.h"
+#include "serve_common.h"
 #include "store/embedding_store_writer.h"
 #include "store/mmap_embedding_store.h"
 #include "store/model_registry.h"
@@ -44,6 +61,10 @@
 
 namespace pkgm {
 namespace {
+
+std::atomic<int> g_signal{0};
+
+void HandleSignal(int signum) { g_signal.store(signum); }
 
 struct ServeFlags {
   double qps = 0.0;                  // 0 = closed loop, no pacing
@@ -60,6 +81,10 @@ struct ServeFlags {
   store::StoreDtype store_dtype = store::StoreDtype::kFloat32;
   int hot_swaps = 0;                 // store generations published mid-run
   int swap_interval_ms = 20;
+  std::string connect;               // host:port; empty = in-process server
+  size_t connections = 1;            // client socket pool (connect mode)
+  uint32_t items = 1000;             // item-space size in connect mode
+  std::string stats_json_path;       // write server stats JSON here at end
 };
 
 int Usage() {
@@ -72,7 +97,9 @@ int Usage() {
                "[--seed N]\n"
                "                  [--store path.pkgs] "
                "[--store-dtype fp32|int8]\n"
-               "                  [--hot-swaps N] [--swap-interval-ms N]\n");
+               "                  [--hot-swaps N] [--swap-interval-ms N]\n"
+               "                  [--connect host:port] [--connections N]\n"
+               "                  [--items N] [--stats-json PATH]\n");
   return 2;
 }
 
@@ -118,6 +145,14 @@ bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
       flags->hot_swaps = std::atoi(v);
     } else if (std::strcmp(arg, "--swap-interval-ms") == 0 && (v = next())) {
       flags->swap_interval_ms = std::atoi(v);
+    } else if (std::strcmp(arg, "--connect") == 0 && (v = next())) {
+      flags->connect = v;
+    } else if (std::strcmp(arg, "--connections") == 0 && (v = next())) {
+      flags->connections = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--items") == 0 && (v = next())) {
+      flags->items = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(arg, "--stats-json") == 0 && (v = next())) {
+      flags->stats_json_path = v;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg);
       return false;
@@ -131,99 +166,96 @@ bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
     std::fprintf(stderr, "--hot-swaps requires --store\n");
     return false;
   }
+  if (!flags->connect.empty() &&
+      (!flags->store_path.empty() || flags->hot_swaps > 0)) {
+    std::fprintf(stderr,
+                 "--connect drives a remote daemon; --store/--hot-swaps "
+                 "belong to the in-process mode\n");
+    return false;
+  }
+  if (flags->connections < 1 || flags->items < 1) {
+    std::fprintf(stderr, "--connections/--items must be >= 1\n");
+    return false;
+  }
   return true;
 }
 
-/// Exports `model` as store generation file `path`, mmaps it, and builds a
-/// ServingGeneration whose provider mirrors the pipeline's item/key-relation
-/// mapping. Returns nullptr (with a message) on failure.
-std::shared_ptr<const store::ServingGeneration> ExportGeneration(
-    const core::PkgmModel& model, const core::ServiceVectorProvider& services,
-    const std::string& path, store::StoreDtype dtype, uint64_t generation) {
-  store::StoreWriterOptions wopt;
-  wopt.dtype = dtype;
-  wopt.generation = generation;
-  Status s = store::EmbeddingStoreWriter(wopt).Write(model, path);
-  if (!s.ok()) {
-    std::fprintf(stderr, "store export failed: %s\n", s.ToString().c_str());
-    return nullptr;
-  }
-  auto opened = store::MmapEmbeddingStore::Open(path);
-  if (!opened.ok()) {
-    std::fprintf(stderr, "store open failed: %s\n",
-                 opened.status().ToString().c_str());
-    return nullptr;
-  }
-  auto source =
-      std::make_shared<store::MmapEmbeddingStore>(std::move(opened.value()));
-
-  std::vector<kg::EntityId> items;
-  std::vector<std::vector<kg::RelationId>> keys;
-  items.reserve(services.num_items());
-  keys.reserve(services.num_items());
-  for (uint32_t i = 0; i < services.num_items(); ++i) {
-    items.push_back(services.item_entity(i));
-    keys.push_back(services.key_relations(i));
-  }
-  auto provider = std::make_shared<core::ServiceVectorProvider>(
-      source.get(), std::move(items), std::move(keys));
-
-  auto gen = std::make_shared<store::ServingGeneration>();
-  gen->source = source;
-  gen->provider = provider;
-  gen->info.load_mode =
-      dtype == store::StoreDtype::kInt8 ? "mmap-int8" : "mmap-fp32";
-  gen->info.dtype = dtype;
-  gen->info.file_bytes = source->file_size();
-  gen->info.path = path;
-  return gen;
-}
-
-/// Serving-scale pipeline: small KG, few epochs — the served vectors only
-/// need to exist, not to be good, so pre-training is kept short.
-tasks::PipelineOptions ServePipelineOptions(uint64_t seed) {
-  tasks::PipelineOptions opt;
-  opt.pkg.seed = seed;
-  opt.pkg.num_categories = 8;
-  opt.pkg.items_per_category = 125;  // 1000 items
-  opt.dim = 32;
-  opt.pretrain_epochs = 3;
-  opt.service_k = 10;
-  opt.seed = seed;
-  return opt;
-}
-
 int Run(const ServeFlags& flags) {
-  std::printf("pkgm_serve: pre-training a synthetic PKG (short run) ...\n");
-  Stopwatch setup;
-  tasks::PretrainedPkgm p = tasks::BuildAndPretrain(ServePipelineOptions(
-      flags.seed));
-  const uint32_t num_items = p.services->num_items();
-  std::printf("ready in %.1fs: %u items, dim %u, condensed dim %u\n\n",
-              setup.ElapsedSeconds(), num_items, p.model->dim(),
-              p.services->CondensedDim(core::ServiceMode::kAll));
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleSignal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
 
-  serve::KnowledgeServerOptions sopt;
-  sopt.num_workers = static_cast<size_t>(flags.workers);
-  sopt.queue_capacity = flags.queue_capacity;
-  sopt.enable_cache = flags.cache;
-
+  // In-process mode stands up the whole pipeline + server; connect mode
+  // only needs a client — both feed the same closed loop through `submit`.
+  tasks::PretrainedPkgm p;
   store::ModelRegistry registry;
   std::unique_ptr<serve::KnowledgeServer> server;
-  if (!flags.store_path.empty()) {
-    auto gen = ExportGeneration(*p.model, *p.services, flags.store_path,
-                                flags.store_dtype, /*generation=*/1);
-    if (gen == nullptr) return 1;
-    registry.Publish(gen->source, gen->provider, gen->info);
-    std::printf("serving from %s store %s (%s bytes, mmap)\n\n",
-                store::StoreDtypeName(flags.store_dtype),
-                flags.store_path.c_str(),
-                WithThousandsSeparators(gen->info.file_bytes).c_str());
-    server = std::make_unique<serve::KnowledgeServer>(&registry, sopt);
+  std::unique_ptr<net::NetClient> client;
+  std::function<std::vector<std::future<serve::ServiceResponse>>(
+      std::vector<serve::ServiceRequest>)>
+      submit;
+  uint32_t num_items = flags.items;
+
+  if (!flags.connect.empty()) {
+    std::string host;
+    uint16_t port = 0;
+    Status parsed = net::ParseHostPort(flags.connect, &host, &port);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--connect: %s\n", parsed.ToString().c_str());
+      return 1;
+    }
+    net::NetClientOptions copt;
+    copt.num_connections = flags.connections;
+    auto connected = net::NetClient::Connect(host, port, copt);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "connect to %s failed: %s\n",
+                   flags.connect.c_str(),
+                   connected.status().ToString().c_str());
+      return 1;
+    }
+    client = std::move(connected.value());
+    std::printf("pkgm_serve: driving %s over %zu connection(s), "
+                "%u-item space\n\n",
+                flags.connect.c_str(), flags.connections, num_items);
+    submit = [&client](std::vector<serve::ServiceRequest> batch) {
+      return client->SubmitBatch(std::move(batch));
+    };
   } else {
-    server = std::make_unique<serve::KnowledgeServer>(p.services.get(), sopt);
+    std::printf("pkgm_serve: pre-training a synthetic PKG (short run) ...\n");
+    Stopwatch setup;
+    p = tasks::BuildAndPretrain(tool::ServePipelineOptions(flags.seed));
+    num_items = p.services->num_items();
+    std::printf("ready in %.1fs: %u items, dim %u, condensed dim %u\n\n",
+                setup.ElapsedSeconds(), num_items, p.model->dim(),
+                p.services->CondensedDim(core::ServiceMode::kAll));
+
+    serve::KnowledgeServerOptions sopt;
+    sopt.num_workers = static_cast<size_t>(flags.workers);
+    sopt.queue_capacity = flags.queue_capacity;
+    sopt.enable_cache = flags.cache;
+
+    if (!flags.store_path.empty()) {
+      auto gen = tool::ExportGeneration(*p.model, *p.services,
+                                        flags.store_path, flags.store_dtype,
+                                        /*generation=*/1);
+      if (gen == nullptr) return 1;
+      registry.Publish(gen->source, gen->provider, gen->info);
+      std::printf("serving from %s store %s (%s bytes, mmap)\n\n",
+                  store::StoreDtypeName(flags.store_dtype),
+                  flags.store_path.c_str(),
+                  WithThousandsSeparators(gen->info.file_bytes).c_str());
+      server = std::make_unique<serve::KnowledgeServer>(&registry, sopt);
+    } else {
+      server =
+          std::make_unique<serve::KnowledgeServer>(p.services.get(), sopt);
+    }
+    server->Start();
+    submit = [&server](std::vector<serve::ServiceRequest> batch) {
+      return server->SubmitBatch(std::move(batch));
+    };
   }
-  server->Start();
 
   // Closed-loop traffic: each client thread submits a batch, blocks on all
   // its futures, then submits the next — so offered load adapts to service
@@ -235,7 +267,8 @@ int Run(const ServeFlags& flags) {
 
   std::mutex histo_mu;
   Histogram latency_us;  // client-observed: submit → future ready
-  std::atomic<uint64_t> sent{0}, ok{0}, rejected{0}, expired{0}, hits{0};
+  std::atomic<uint64_t> sent{0}, ok{0}, rejected{0}, expired{0}, hits{0},
+      net_errors{0};
 
   // Model-refresh drill: while clients hammer the server, keep exporting
   // and publishing fresh store generations (alternating dtype, distinct
@@ -258,8 +291,9 @@ int Run(const ServeFlags& flags) {
         const store::StoreDtype dtype = (i % 2 == 0)
                                             ? store::StoreDtype::kInt8
                                             : store::StoreDtype::kFloat32;
-        auto gen = ExportGeneration(*p.model, *p.services, swap_files[i],
-                                    dtype, static_cast<uint64_t>(i) + 2);
+        auto gen = tool::ExportGeneration(*p.model, *p.services,
+                                          swap_files[i], dtype,
+                                          static_cast<uint64_t>(i) + 2);
         if (gen == nullptr) {
           ++swap_failures;
           continue;
@@ -279,7 +313,7 @@ int Run(const ServeFlags& flags) {
       std::vector<double> batch_latencies;
       const auto start = serve::ServeClock::now();
       uint64_t submitted = 0;
-      while (submitted < per_thread) {
+      while (submitted < per_thread && g_signal.load() == 0) {
         const uint64_t batch_size =
             std::min<uint64_t>(flags.batch, per_thread - submitted);
         std::vector<serve::ServiceRequest> batch(batch_size);
@@ -294,7 +328,7 @@ int Run(const ServeFlags& flags) {
           }
         }
         const auto submit_time = serve::ServeClock::now();
-        auto futures = server->SubmitBatch(std::move(batch));
+        auto futures = submit(std::move(batch));
         batch_latencies.clear();
         for (auto& future : futures) {
           serve::ServiceResponse response = future.get();
@@ -310,6 +344,7 @@ int Run(const ServeFlags& flags) {
             case serve::ResponseCode::kRejected: ++rejected; break;
             case serve::ResponseCode::kDeadlineExceeded: ++expired; break;
             case serve::ResponseCode::kInvalidItem: break;
+            case serve::ResponseCode::kNetworkError: ++net_errors; break;
           }
         }
         submitted += batch_size;
@@ -334,8 +369,29 @@ int Run(const ServeFlags& flags) {
   const double wall_s = wall.ElapsedSeconds();
   traffic_done.store(true);
   if (swapper.joinable()) swapper.join();
-  server->Stop();
 
+  // Grab the server-side stats snapshot before the drain tears state down;
+  // in connect mode it is fetched over the wire from the live daemon.
+  std::string stats_json;
+  if (!flags.stats_json_path.empty()) {
+    if (client != nullptr) {
+      auto fetched = client->ServerStatsJson();
+      if (fetched.ok()) {
+        stats_json = std::move(fetched.value());
+      } else {
+        std::fprintf(stderr, "stats fetch failed: %s\n",
+                     fetched.status().ToString().c_str());
+      }
+    } else {
+      stats_json = server->StatsJson();
+    }
+  }
+  if (server != nullptr) server->Stop();
+
+  if (g_signal.load() != 0) {
+    std::printf("\ninterrupted (%s): traffic stopped early\n",
+                ::strsignal(g_signal.load()));
+  }
   const uint64_t total = sent.load();
   if (flags.hot_swaps > 0) {
     std::printf("hot swaps: %d published under traffic, %d export failures "
@@ -371,10 +427,27 @@ int Run(const ServeFlags& flags) {
   t.AddRow({"client p95 us", percentile(0.95)});
   t.AddRow({"client p99 us", percentile(0.99)});
   t.AddRow({"client mean us", StrFormat("%.1f", latency_us.Mean())});
+  if (client != nullptr) {
+    t.AddRow({"network errors", std::to_string(net_errors.load())});
+  }
   std::printf("%s\n", t.ToString().c_str());
 
-  std::printf("server-side stats:\n%s\n", server->StatsReport().c_str());
-  return 0;
+  if (server != nullptr) {
+    std::printf("server-side stats:\n%s\n", server->StatsReport().c_str());
+  }
+  if (!flags.stats_json_path.empty() && !stats_json.empty()) {
+    std::FILE* f = std::fopen(flags.stats_json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   flags.stats_json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", stats_json.c_str());
+    std::fclose(f);
+    std::printf("server stats json written to %s\n",
+                flags.stats_json_path.c_str());
+  }
+  return net_errors.load() == 0 ? 0 : 1;
 }
 
 }  // namespace

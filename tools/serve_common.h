@@ -1,0 +1,82 @@
+// Helpers shared by the serving tools (pkgm_serve, pkgm_netd): the
+// serving-scale synthetic pipeline and the export-to-mmap-store path.
+#ifndef PKGM_TOOLS_SERVE_COMMON_H_
+#define PKGM_TOOLS_SERVE_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/pkgm_model.h"
+#include "core/service.h"
+#include "store/embedding_store_writer.h"
+#include "store/mmap_embedding_store.h"
+#include "store/model_registry.h"
+#include "tasks/pipeline.h"
+
+namespace pkgm::tool {
+
+/// Serving-scale pipeline: small KG, few epochs — the served vectors only
+/// need to exist, not to be good, so pre-training is kept short.
+inline tasks::PipelineOptions ServePipelineOptions(uint64_t seed) {
+  tasks::PipelineOptions opt;
+  opt.pkg.seed = seed;
+  opt.pkg.num_categories = 8;
+  opt.pkg.items_per_category = 125;  // 1000 items
+  opt.dim = 32;
+  opt.pretrain_epochs = 3;
+  opt.service_k = 10;
+  opt.seed = seed;
+  return opt;
+}
+
+/// Exports `model` as store generation file `path`, mmaps it, and builds a
+/// ServingGeneration whose provider mirrors the pipeline's item/key-relation
+/// mapping. Returns nullptr (with a message) on failure.
+inline std::shared_ptr<const store::ServingGeneration> ExportGeneration(
+    const core::PkgmModel& model, const core::ServiceVectorProvider& services,
+    const std::string& path, store::StoreDtype dtype, uint64_t generation) {
+  store::StoreWriterOptions wopt;
+  wopt.dtype = dtype;
+  wopt.generation = generation;
+  Status s = store::EmbeddingStoreWriter(wopt).Write(model, path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "store export failed: %s\n", s.ToString().c_str());
+    return nullptr;
+  }
+  auto opened = store::MmapEmbeddingStore::Open(path);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "store open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return nullptr;
+  }
+  auto source =
+      std::make_shared<store::MmapEmbeddingStore>(std::move(opened.value()));
+
+  std::vector<kg::EntityId> items;
+  std::vector<std::vector<kg::RelationId>> keys;
+  items.reserve(services.num_items());
+  keys.reserve(services.num_items());
+  for (uint32_t i = 0; i < services.num_items(); ++i) {
+    items.push_back(services.item_entity(i));
+    keys.push_back(services.key_relations(i));
+  }
+  auto provider = std::make_shared<core::ServiceVectorProvider>(
+      source.get(), std::move(items), std::move(keys));
+
+  auto gen = std::make_shared<store::ServingGeneration>();
+  gen->source = source;
+  gen->provider = provider;
+  gen->info.load_mode =
+      dtype == store::StoreDtype::kInt8 ? "mmap-int8" : "mmap-fp32";
+  gen->info.dtype = dtype;
+  gen->info.file_bytes = source->file_size();
+  gen->info.path = path;
+  return gen;
+}
+
+}  // namespace pkgm::tool
+
+#endif  // PKGM_TOOLS_SERVE_COMMON_H_
