@@ -1,8 +1,11 @@
 #include "core/gradients.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "tensor/ops.h"
+#include "util/logging.h"
 
 namespace pkgm::core {
 
@@ -155,6 +158,287 @@ float AccumulateHingeGradients(const PkgmModel& model, const kg::Triple& pos,
   if (grad != nullptr) {
     AccumulateScoreGradients(model, pos, +1.0f, grad);
     AccumulateScoreGradients(model, neg, -1.0f, grad);
+  }
+  return hinge;
+}
+
+namespace {
+
+// Multiplicative hash: the entropy lands in the high bits, which is where
+// the power-of-two mask looks after the shift.
+inline size_t SlotHash(uint32_t id) {
+  return static_cast<size_t>((static_cast<uint64_t>(id) *
+                              UINT64_C(0x9E3779B97F4A7C15)) >>
+                             32);
+}
+
+}  // namespace
+
+float* GradSlab::Row(uint32_t id, uint32_t row_size) {
+  if (keys_.empty()) {
+    keys_.assign(256, 0);
+    pos_.assign(256, 0);
+  }
+  if (row_size_ == 0) row_size_ = row_size;
+  PKGM_CHECK_EQ(row_size_, row_size);
+
+  size_t mask = keys_.size() - 1;
+  size_t slot = SlotHash(id) & mask;
+  while (true) {
+    const uint32_t k = keys_[slot];
+    if (k == id + 1) return slab_.data() + pos_[slot] * row_size_;
+    if (k == 0) break;
+    slot = (slot + 1) & mask;
+  }
+
+  // Insert at 3/4 max load; rehashing moves the free slot, so probe again.
+  if ((ids_.size() + 1) * 4 > keys_.size() * 3) {
+    Rehash(keys_.size() * 2);
+    mask = keys_.size() - 1;
+    slot = SlotHash(id) & mask;
+    while (keys_[slot] != 0) slot = (slot + 1) & mask;
+  }
+  keys_[slot] = id + 1;
+  pos_[slot] = static_cast<uint32_t>(ids_.size());
+  used_slots_.push_back(static_cast<uint32_t>(slot));
+  ids_.push_back(id);
+  const size_t needed = ids_.size() * row_size_;
+  if (slab_.size() < needed) {
+    // Growth zero-fills; rows below the watermark were zeroed by Clear.
+    slab_.resize(std::max(needed, slab_.size() * 2), 0.0f);
+  }
+  return slab_.data() + (ids_.size() - 1) * row_size_;
+}
+
+void GradSlab::Rehash(size_t new_capacity) {
+  keys_.assign(new_capacity, 0);
+  pos_.assign(new_capacity, 0);
+  used_slots_.clear();
+  const size_t mask = new_capacity - 1;
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    size_t slot = SlotHash(ids_[i]) & mask;
+    while (keys_[slot] != 0) slot = (slot + 1) & mask;
+    keys_[slot] = ids_[i] + 1;
+    pos_[slot] = static_cast<uint32_t>(i);
+    used_slots_.push_back(static_cast<uint32_t>(slot));
+  }
+}
+
+void GradSlab::Clear() {
+  // Rows are claimed consecutively from the front, so the touched region
+  // is exactly the first size() rows. Index slots can't be cleared while
+  // probing (that would break linear-probe chains mid-scan), which is why
+  // they were recorded at insert time.
+  if (!ids_.empty()) {
+    std::memset(slab_.data(), 0, ids_.size() * row_size_ * sizeof(float));
+  }
+  for (uint32_t s : used_slots_) keys_[s] = 0;
+  used_slots_.clear();
+  ids_.clear();
+}
+
+void GradArena::Clear() {
+  entities_.Clear();
+  relations_.Clear();
+  transfers_.Clear();
+  hyperplanes_.Clear();
+}
+
+void HingeWorkspace::EnsureDim(uint32_t d) {
+  if (diff_pos.size() >= d) return;
+  diff_pos.resize(d);
+  diff_neg.resize(d);
+  u_pos.resize(d);
+  u_neg.resize(d);
+  sgn.resize(d);
+  mts.resize(d);
+}
+
+namespace {
+
+// Forward score of one triple under table `k`, parking the residuals the
+// backward pass reuses: `diff` = h + r - t (TransE), `u` = M_r h (relation
+// module; the "- r" happens in the backward so the forward can use the
+// fused l1_distance reduction). Arithmetic mirrors PkgmModel::Score
+// composition-for-composition, so the value is bit-identical when `k` is
+// the active table.
+float FusedForward(const PkgmModel& model, const kg::Triple& t,
+                   const simd::KernelTable& k, float* diff, float* u) {
+  const uint32_t d = model.dim();
+  const float* h = model.entity(t.head);
+  const float* r = model.relation(t.relation);
+  const float* tl = model.entity(t.tail);
+  float f = 0.0f;
+  switch (model.scorer()) {
+    case TripleScorerKind::kTransE:
+      k.residual(d, h, r, tl, diff);
+      f = k.l1_norm(d, diff);
+      break;
+    case TripleScorerKind::kDistMult: {
+      float acc = 0.0f;
+      for (uint32_t i = 0; i < d; ++i) acc += h[i] * r[i] * tl[i];
+      f = -acc;
+      break;
+    }
+    case TripleScorerKind::kComplEx: {
+      const uint32_t half = d / 2;
+      const float* h_re = h;
+      const float* h_im = h + half;
+      const float* r_re = r;
+      const float* r_im = r + half;
+      const float* t_re = tl;
+      const float* t_im = tl + half;
+      float acc = 0.0f;
+      for (uint32_t i = 0; i < half; ++i) {
+        acc += (h_re[i] * r_re[i] - h_im[i] * r_im[i]) * t_re[i] +
+               (h_re[i] * r_im[i] + h_im[i] * r_re[i]) * t_im[i];
+      }
+      f = -acc;
+      break;
+    }
+    case TripleScorerKind::kTransH: {
+      const float* w = model.hyperplane(t.relation);
+      const float wh = k.dot(d, w, h);
+      const float wt = k.dot(d, w, tl);
+      float acc = 0.0f;
+      for (uint32_t i = 0; i < d; ++i) {
+        acc += std::fabs((h[i] - wh * w[i]) + r[i] - (tl[i] - wt * w[i]));
+      }
+      f = acc;
+      break;
+    }
+  }
+  if (model.use_relation_module()) {
+    k.gemv_raw(d, d, model.transfer(t.relation), h, u);
+    f += k.l1_distance(d, u, r);
+  }
+  return f;
+}
+
+// Backward pass of sign_factor * f(t) into the arena, reusing the forward
+// residuals. Accumulation order matches AccumulateScoreGradients exactly.
+void FusedBackward(const PkgmModel& model, const kg::Triple& t,
+                   float sign_factor, const simd::KernelTable& k,
+                   const float* diff, float* u, HingeWorkspace* ws,
+                   GradArena* grad) {
+  const uint32_t d = model.dim();
+  const float* h = model.entity(t.head);
+  const float* r = model.relation(t.relation);
+  const float* tl = model.entity(t.tail);
+
+  // Claim every row first: a claim can grow its slab and move earlier rows
+  // of the same slab, so pointers are fetched only once all rows exist.
+  grad->Entity(t.head, d);
+  grad->Entity(t.tail, d);
+  grad->Relation(t.relation, d);
+  if (model.use_relation_module()) grad->Transfer(t.relation, d * d);
+  if (model.scorer() == TripleScorerKind::kTransH) {
+    grad->Hyperplane(t.relation, d);
+  }
+  float* gh = grad->Entity(t.head, d);
+  float* gt = grad->Entity(t.tail, d);
+  float* gr = grad->Relation(t.relation, d);
+
+  switch (model.scorer()) {
+    case TripleScorerKind::kTransE: {
+      float* s = ws->sgn.data();
+      k.sign_of(d, diff, s);
+      k.axpy(d, sign_factor, s, gh);
+      k.axpy(d, sign_factor, s, gr);
+      k.axpy(d, -sign_factor, s, gt);
+      break;
+    }
+    case TripleScorerKind::kDistMult:
+      for (uint32_t i = 0; i < d; ++i) {
+        gh[i] -= sign_factor * r[i] * tl[i];
+        gr[i] -= sign_factor * h[i] * tl[i];
+        gt[i] -= sign_factor * h[i] * r[i];
+      }
+      break;
+    case TripleScorerKind::kTransH: {
+      const float* w = model.hyperplane(t.relation);
+      const float wh = k.dot(d, w, h);
+      const float wt = k.dot(d, w, tl);
+      const float alpha = wh - wt;
+      // `u` still holds the relation-module forward residual for the block
+      // below; mts is free until then, so it hosts the projected
+      // difference vector.
+      float* un = ws->mts.data();
+      for (uint32_t i = 0; i < d; ++i) {
+        un[i] = (h[i] - wh * w[i]) + r[i] - (tl[i] - wt * w[i]);
+      }
+      float* s = ws->sgn.data();
+      k.sign_of(d, un, s);
+      const float ws_dot = k.dot(d, w, s);
+      float* gw = grad->Hyperplane(t.relation, d);
+      for (uint32_t i = 0; i < d; ++i) {
+        const float dh_i = s[i] - w[i] * ws_dot;
+        gh[i] += sign_factor * dh_i;
+        gt[i] -= sign_factor * dh_i;
+        gr[i] += sign_factor * s[i];
+        gw[i] -= sign_factor * (alpha * s[i] + ws_dot * (h[i] - tl[i]));
+      }
+      break;
+    }
+    case TripleScorerKind::kComplEx: {
+      const uint32_t half = d / 2;
+      const float* h_re = h;
+      const float* h_im = h + half;
+      const float* r_re = r;
+      const float* r_im = r + half;
+      const float* t_re = tl;
+      const float* t_im = tl + half;
+      for (uint32_t i = 0; i < half; ++i) {
+        gh[i] -= sign_factor * (r_re[i] * t_re[i] + r_im[i] * t_im[i]);
+        gh[half + i] -=
+            sign_factor * (r_re[i] * t_im[i] - r_im[i] * t_re[i]);
+        gr[i] -= sign_factor * (h_re[i] * t_re[i] + h_im[i] * t_im[i]);
+        gr[half + i] -=
+            sign_factor * (h_re[i] * t_im[i] - h_im[i] * t_re[i]);
+        gt[i] -= sign_factor * (h_re[i] * r_re[i] - h_im[i] * r_im[i]);
+        gt[half + i] -=
+            sign_factor * (h_re[i] * r_im[i] + h_im[i] * r_re[i]);
+      }
+      break;
+    }
+  }
+
+  if (model.use_relation_module()) {
+    const float* m = model.transfer(t.relation);
+    // Finish the residual parked by the forward: u = M_r h - r.
+    k.sub(d, u, r, u);
+    float* s2 = ws->sgn.data();
+    k.sign_of(d, u, s2);
+    float* gm = grad->Transfer(t.relation, d * d);
+    // dM_r += sign_factor * s' h^T (rows with s'[i] == 0 skipped).
+    k.ger(d, d, sign_factor, s2, h, gm);
+    // dh += sign_factor * M_r^T s'.
+    k.gemv_t(d, d, m, s2, ws->mts.data());
+    k.axpy(d, sign_factor, ws->mts.data(), gh);
+    // dr -= sign_factor * s'.
+    k.axpy(d, -sign_factor, s2, gr);
+  }
+}
+
+}  // namespace
+
+float FusedHingeGradients(const PkgmModel& model, const kg::Triple& pos,
+                          const kg::Triple& neg, float margin,
+                          const simd::KernelTable& k, HingeWorkspace* ws,
+                          GradArena* grad) {
+  const uint32_t d = model.dim();
+  ws->EnsureDim(d);
+  const float f_pos =
+      FusedForward(model, pos, k, ws->diff_pos.data(), ws->u_pos.data());
+  const float f_neg =
+      FusedForward(model, neg, k, ws->diff_neg.data(), ws->u_neg.data());
+  const float hinge = f_pos + margin - f_neg;
+  if (hinge <= 0.0f) return 0.0f;
+  if (grad != nullptr) {
+    FusedBackward(model, pos, +1.0f, k, ws->diff_pos.data(),
+                  ws->u_pos.data(), ws, grad);
+    FusedBackward(model, neg, -1.0f, k, ws->diff_neg.data(),
+                  ws->u_neg.data(), ws, grad);
   }
   return hinge;
 }

@@ -7,12 +7,15 @@
 
 #include "core/pkgm_model.h"
 #include "kg/triple.h"
+#include "tensor/simd/kernel_dispatch.h"
 
 namespace pkgm::core {
 
-/// Sparse gradient accumulator keyed by table row. Shared by the
-/// single-threaded Trainer and the parameter-server-style ShardedTrainer so
-/// both optimize the exact same objective.
+/// Map-of-vectors sparse gradient accumulator — the readable reference
+/// implementation. The trainers' hot path uses GradArena +
+/// FusedHingeGradients below (same arithmetic, zero steady-state
+/// allocation); this class is kept as the oracle the fused path is
+/// parity-tested against and as the finite-difference test harness.
 class SparseGrad {
  public:
   /// Gradient row for an entity embedding; zero-initialized on first access.
@@ -50,6 +53,96 @@ class SparseGrad {
   std::unordered_map<uint32_t, std::vector<float>> hyperplanes_;
 };
 
+/// One table of the flat arena accumulator: gradient rows live in a single
+/// contiguous slab in first-touch order, found through an open-addressed
+/// (linear probing) index of (id+1, position) pairs. All storage is reused
+/// across batches — Clear() zeroes only the touched prefix of the slab and
+/// the probe slots recorded at insert time, so a steady-state training
+/// batch performs no allocation at all.
+///
+/// Pointer stability: Row() may grow the slab, invalidating previously
+/// returned pointers for THIS slab. Callers that hold several rows of one
+/// slab first claim them all, then re-fetch the pointers (a re-fetch of an
+/// existing row never grows).
+class GradSlab {
+ public:
+  /// The gradient row for `id` (length `row_size`), zero on first touch.
+  /// `row_size` must be the same for every call on one slab between Clears.
+  float* Row(uint32_t id, uint32_t row_size);
+
+  /// Number of distinct rows touched since the last Clear.
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  uint32_t row_size() const { return row_size_; }
+  /// Rows are indexed in first-touch order.
+  uint32_t id_at(size_t i) const { return ids_[i]; }
+  float* row_at(size_t i) { return slab_.data() + i * row_size_; }
+  const float* row_at(size_t i) const { return slab_.data() + i * row_size_; }
+
+  /// O(touched): zeroes the used slab prefix and the used index slots.
+  void Clear();
+
+ private:
+  void Rehash(size_t new_capacity);
+
+  uint32_t row_size_ = 0;
+  std::vector<uint32_t> keys_;  // id + 1, 0 = empty; capacity is a power of 2
+  std::vector<uint32_t> pos_;   // parallel to keys_: row index in the slab
+  std::vector<uint32_t> used_slots_;  // probe slots claimed since Clear
+  std::vector<uint32_t> ids_;         // row ids in first-touch order
+  std::vector<float> slab_;           // ids_.size() rows of row_size_ floats
+};
+
+/// The four parameter tables' gradient slabs. Drop-in accumulate target for
+/// the trainers; entity ids double as the batch's touched-entity set (a row
+/// exists iff some active pair touched that entity).
+class GradArena {
+ public:
+  float* Entity(uint32_t id, uint32_t dim) { return entities_.Row(id, dim); }
+  float* Relation(uint32_t id, uint32_t dim) {
+    return relations_.Row(id, dim);
+  }
+  float* Transfer(uint32_t id, uint32_t dim_sq) {
+    return transfers_.Row(id, dim_sq);
+  }
+  float* Hyperplane(uint32_t id, uint32_t dim) {
+    return hyperplanes_.Row(id, dim);
+  }
+
+  GradSlab& entities() { return entities_; }
+  GradSlab& relations() { return relations_; }
+  GradSlab& transfers() { return transfers_; }
+  GradSlab& hyperplanes() { return hyperplanes_; }
+  const GradSlab& entities() const { return entities_; }
+  const GradSlab& relations() const { return relations_; }
+  const GradSlab& transfers() const { return transfers_; }
+  const GradSlab& hyperplanes() const { return hyperplanes_; }
+
+  void Clear();
+  bool empty() const {
+    return entities_.empty() && relations_.empty() && transfers_.empty() &&
+           hyperplanes_.empty();
+  }
+
+ private:
+  GradSlab entities_;
+  GradSlab relations_;
+  GradSlab transfers_;
+  GradSlab hyperplanes_;
+};
+
+/// Reusable per-thread scratch for FusedHingeGradients: the forward pass
+/// parks the residuals the backward pass needs (TransE h + r - t; relation
+/// module M_r h), so nothing is recomputed and nothing is allocated.
+struct HingeWorkspace {
+  std::vector<float> diff_pos, diff_neg;  // triple-module residuals
+  std::vector<float> u_pos, u_neg;        // relation-module residuals
+  std::vector<float> sgn;                 // sign-vector scratch
+  std::vector<float> mts;                 // M_r^T s' scratch
+
+  void EnsureDim(uint32_t d);
+};
+
 /// Computes the margin-ranking hinge for one (positive, negative) pair
 /// (Eq. 4): L = max(0, f(pos) + margin - f(neg)), and — when the hinge is
 /// active and `grad` is non-null — accumulates d L / d params into `grad`.
@@ -64,6 +157,23 @@ class SparseGrad {
 float AccumulateHingeGradients(const PkgmModel& model, const kg::Triple& pos,
                                const kg::Triple& neg, float margin,
                                SparseGrad* grad);
+
+/// The hot-path equivalent of AccumulateHingeGradients: one fused
+/// forward+backward over the pair, lowered onto the kernel table `k`
+/// (sign-vector compute, dM_r += s' h^T via ger, dh += M_r^T s' via
+/// gemv_t) and accumulating into the flat arena. The forward residuals are
+/// kept in `ws` and reused by the backward pass, so the transfer-matrix
+/// GEMV runs once per triple instead of twice.
+///
+/// When `k` is the process-wide simd::Active() table, the result is
+/// bit-identical to AccumulateHingeGradients: every composition here
+/// mirrors the reference arithmetic within a table (residual == add∘sub,
+/// gemv_t == the axpy row accumulation, ger row i == axpy(alpha*x[i]), and
+/// l1_norm(h + r - t) == l1_distance(h + r, t)).
+float FusedHingeGradients(const PkgmModel& model, const kg::Triple& pos,
+                          const kg::Triple& neg, float margin,
+                          const simd::KernelTable& k, HingeWorkspace* ws,
+                          GradArena* grad);
 
 }  // namespace pkgm::core
 

@@ -54,4 +54,9 @@ NegativeSample NegativeSampler::Sample(const kg::Triple& positive,
   return neg;  // Fall back to the last draw (may be a rare false negative).
 }
 
+void NegativeSampler::SampleBatch(const kg::Triple* positives, size_t n,
+                                  Rng* rng, NegativeSample* out) const {
+  for (size_t i = 0; i < n; ++i) out[i] = Sample(positives[i], rng);
+}
+
 }  // namespace pkgm::core

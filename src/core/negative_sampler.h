@@ -44,6 +44,12 @@ class NegativeSampler {
   /// Draws one negative for `positive` (paper: 1 negative per edge).
   NegativeSample Sample(const kg::Triple& positive, Rng* rng) const;
 
+  /// Draws one negative per positive into out[0..n) — equivalent to n
+  /// Sample calls on the same RNG in order. The pipelined trainer's
+  /// producer uses this to fill a whole batch at once.
+  void SampleBatch(const kg::Triple* positives, size_t n, Rng* rng,
+                   NegativeSample* out) const;
+
  private:
   Options options_;
   const kg::TripleStore* store_;

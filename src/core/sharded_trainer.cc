@@ -1,6 +1,9 @@
 #include "core/sharded_trainer.h"
 
-#include <atomic>
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
 #include <thread>
 
 #include "core/gradients.h"
@@ -10,12 +13,69 @@
 namespace pkgm::core {
 
 namespace {
+
 NegativeSampler::Options FillNegativeOptions(NegativeSampler::Options neg,
                                              const PkgmModel& model) {
   if (neg.num_entities == 0) neg.num_entities = model.num_entities();
   if (neg.num_relations == 0) neg.num_relations = model.num_relations();
   return neg;
 }
+
+size_t NextPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+// One producer-filled unit of work: the positives of one mini-batch plus
+// their pre-drawn negatives. Batches are recycled through a free list, so
+// the vectors keep their capacity across the whole epoch.
+struct PairBatch {
+  size_t index = 0;
+  std::vector<kg::Triple> pos;
+  std::vector<NegativeSample> neg;
+};
+
+// Minimal bounded MPMC queue of recycled batch pointers. Close() wakes all
+// poppers once the producer is done; Pop drains remaining batches first.
+class BatchQueue {
+ public:
+  explicit BatchQueue(size_t capacity) : capacity_(capacity) {}
+
+  bool Push(PairBatch* b) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return q_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    q_.push_back(b);
+    not_empty_.notify_one();
+    return true;
+  }
+
+  bool Pop(PairBatch** out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return false;
+    *out = q_.front();
+    q_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable not_empty_, not_full_;
+  std::deque<PairBatch*> q_;
+  const size_t capacity_;
+  bool closed_ = false;
+};
+
 }  // namespace
 
 ShardedTrainer::ShardedTrainer(PkgmModel* model, const kg::TripleStore* store,
@@ -24,51 +84,81 @@ ShardedTrainer::ShardedTrainer(PkgmModel* model, const kg::TripleStore* store,
       store_(store),
       options_(options),
       sampler_(FillNegativeOptions(options.negative, *model), store),
-      epoch_rng_(options.seed) {
+      epoch_rng_(options.seed),
+      kernels_(simd::Active()) {
   PKGM_CHECK(model != nullptr);
   PKGM_CHECK(store != nullptr);
   PKGM_CHECK_GT(options.num_workers, 0u);
   PKGM_CHECK_GT(options.num_shards, 0u);
-  shard_locks_.reserve(options.num_shards);
-  for (uint32_t s = 0; s < options.num_shards; ++s) {
-    shard_locks_.push_back(std::make_unique<std::mutex>());
+  PKGM_CHECK_GT(options.batch_size, 0u);
+  // Enough stripes that two workers almost never collide on a row lock;
+  // num_shards (the legacy partition count) only raises the floor.
+  const size_t stripes =
+      NextPow2(std::max<size_t>(1024, options.num_shards));
+  stripes_ = std::make_unique<Stripe[]>(stripes);
+  stripe_mask_ = stripes - 1;
+}
+
+size_t ShardedTrainer::StripeOf(uint32_t table_tag, uint32_t row) const {
+  const uint64_t key = (static_cast<uint64_t>(row) << 2) | table_tag;
+  return static_cast<size_t>((key * UINT64_C(0x9E3779B97F4A7C15)) >> 32) &
+         stripe_mask_;
+}
+
+void ShardedTrainer::LockStripe(Stripe& s) {
+  int spins = 0;
+  while (s.locked.exchange(true, std::memory_order_acquire)) {
+    // Spin on a plain load so the cache line stays shared until release;
+    // yield occasionally in case the holder is descheduled.
+    while (s.locked.load(std::memory_order_relaxed)) {
+      if (++spins >= 256) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
   }
 }
 
-void ShardedTrainer::ApplyWorkerGradients(const SparseGrad& grad,
+void ShardedTrainer::ApplyWorkerGradients(const GradArena& grad,
                                           float scale) {
-  const uint32_t d = model_->dim();
   const float lr = options_.learning_rate * scale;
 
-  // Push each touched row to its owning "parameter server" shard under that
-  // shard's lock. Reads during gradient computation are unlocked, so
-  // workers see slightly stale parameters — exactly the asynchronous PS
-  // training regime.
-  for (const auto& [id, g] : grad.entities()) {
-    std::lock_guard<std::mutex> lock(*shard_locks_[ShardOf(id)]);
-    float* row = model_->entity(id);
-    for (uint32_t i = 0; i < d; ++i) row[i] -= lr * g[i];
-    if (options_.normalize_entities) model_->NormalizeEntity(id);
-  }
-  for (const auto& [id, g] : grad.relations()) {
-    std::lock_guard<std::mutex> lock(*shard_locks_[ShardOf(id)]);
-    float* row = model_->relation(id);
-    for (uint32_t i = 0; i < d; ++i) row[i] -= lr * g[i];
-  }
-  if (model_->use_relation_module()) {
-    const uint32_t dd = d * d;
-    for (const auto& [id, g] : grad.transfers()) {
-      std::lock_guard<std::mutex> lock(*shard_locks_[ShardOf(id)]);
-      float* row = model_->transfer(id);
-      for (uint32_t i = 0; i < dd; ++i) row[i] -= lr * g[i];
+  // Publish each touched row under its stripe lock. Reads during gradient
+  // computation are unlocked, so workers see slightly stale parameters —
+  // exactly the asynchronous PS training regime. Table tags keep e.g.
+  // entity row 7 and relation row 7 on different stripes.
+  const auto apply_slab = [&](const GradSlab& slab, uint32_t tag,
+                              auto&& update_row) {
+    const uint32_t n = slab.row_size();
+    for (size_t i = 0; i < slab.size(); ++i) {
+      const uint32_t id = slab.id_at(i);
+      Stripe& stripe = stripes_[StripeOf(tag, id)];
+      LockStripe(stripe);
+      update_row(id, slab.row_at(i), n);
+      stripe.locked.store(false, std::memory_order_release);
     }
+  };
+
+  apply_slab(grad.entities(), 0, [&](uint32_t id, const float* g,
+                                     uint32_t n) {
+    kernels_.axpy(n, -lr, g, model_->entity(id));
+    if (options_.normalize_entities) model_->NormalizeEntity(id);
+  });
+  apply_slab(grad.relations(), 1,
+             [&](uint32_t id, const float* g, uint32_t n) {
+               kernels_.axpy(n, -lr, g, model_->relation(id));
+             });
+  if (model_->use_relation_module()) {
+    apply_slab(grad.transfers(), 2,
+               [&](uint32_t id, const float* g, uint32_t n) {
+                 kernels_.axpy(n, -lr, g, model_->transfer(id));
+               });
   }
-  for (const auto& [id, g] : grad.hyperplanes()) {
-    std::lock_guard<std::mutex> lock(*shard_locks_[ShardOf(id)]);
-    float* row = model_->hyperplane(id);
-    for (uint32_t i = 0; i < d; ++i) row[i] -= lr * g[i];
-    model_->NormalizeHyperplane(id);
-  }
+  apply_slab(grad.hyperplanes(), 3,
+             [&](uint32_t id, const float* g, uint32_t n) {
+               kernels_.axpy(n, -lr, g, model_->hyperplane(id));
+               model_->NormalizeHyperplane(id);
+             });
 }
 
 EpochStats ShardedTrainer::RunEpoch() {
@@ -76,57 +166,92 @@ EpochStats ShardedTrainer::RunEpoch() {
   std::vector<kg::Triple> triples = store_->triples();
   epoch_rng_.Shuffle(&triples);
 
-  const uint32_t workers = options_.num_workers;
-  std::atomic<uint64_t> active_pairs{0};
-  // Hinge sums are accumulated per worker and reduced at the end.
-  std::vector<double> hinge_sums(workers, 0.0);
-  std::vector<Rng> worker_rngs;
-  worker_rngs.reserve(workers);
-  for (uint32_t w = 0; w < workers; ++w) worker_rngs.push_back(epoch_rng_.Fork());
+  EpochStats stats;
+  stats.total_pairs = triples.size();
+  if (triples.empty()) return stats;
 
-  auto worker_fn = [&](uint32_t w) {
-    const size_t n = triples.size();
-    const size_t begin = n * w / workers;
-    const size_t end = n * (w + 1) / workers;
-    Rng& rng = worker_rngs[w];
-    SparseGrad grad;
-    size_t batch_start = begin;
-    while (batch_start < end) {
-      const size_t batch_end =
-          std::min<size_t>(batch_start + options_.batch_size, end);
-      grad.Clear();
-      uint64_t batch_active = 0;
-      for (size_t i = batch_start; i < batch_end; ++i) {
-        NegativeSample neg = sampler_.Sample(triples[i], &rng);
-        float hinge = AccumulateHingeGradients(*model_, triples[i], neg.triple,
-                                               options_.margin, &grad);
+  const size_t n = triples.size();
+  const size_t batch_size = options_.batch_size;
+  const size_t num_batches = (n + batch_size - 1) / batch_size;
+  const uint32_t workers = options_.num_workers;
+
+  // Stat slots indexed by batch id: whichever worker runs a batch writes
+  // its slot, and the reduction below runs in batch order — a
+  // deterministic merge regardless of scheduling.
+  std::vector<double> batch_hinge(num_batches, 0.0);
+  std::vector<uint64_t> batch_active(num_batches, 0);
+
+  // Double-buffered batch pool: 2 in-flight batches per worker, recycled
+  // through free_q so the epoch allocates nothing after warm-up.
+  const size_t pool_size = 2 * static_cast<size_t>(workers);
+  std::vector<std::unique_ptr<PairBatch>> pool;
+  BatchQueue work_q(pool_size), free_q(pool_size);
+  pool.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    pool.push_back(std::make_unique<PairBatch>());
+    free_q.Push(pool.back().get());
+  }
+
+  // The producer owns negative sampling: one RNG, batches filled in batch
+  // order, so the (pos, neg) stream for a fixed seed does not depend on
+  // worker scheduling.
+  Rng producer_rng = epoch_rng_.Fork();
+  std::thread producer([&] {
+    for (size_t b = 0; b < num_batches; ++b) {
+      PairBatch* pb = nullptr;
+      if (!free_q.Pop(&pb)) return;
+      const size_t begin = b * batch_size;
+      const size_t end = std::min(n, begin + batch_size);
+      pb->index = b;
+      pb->pos.assign(triples.begin() + begin, triples.begin() + end);
+      pb->neg.resize(pb->pos.size());
+      sampler_.SampleBatch(pb->pos.data(), pb->pos.size(), &producer_rng,
+                           pb->neg.data());
+      if (!work_q.Push(pb)) return;
+    }
+    work_q.Close();
+  });
+
+  auto worker_fn = [&] {
+    GradArena arena;
+    HingeWorkspace ws;
+    PairBatch* pb = nullptr;
+    while (work_q.Pop(&pb)) {
+      double hinge_sum = 0.0;
+      uint64_t active = 0;
+      for (size_t i = 0; i < pb->pos.size(); ++i) {
+        const float hinge =
+            FusedHingeGradients(*model_, pb->pos[i], pb->neg[i].triple,
+                                options_.margin, kernels_, &ws, &arena);
         if (hinge > 0.0f) {
-          ++batch_active;
-          hinge_sums[w] += hinge;
+          ++active;
+          hinge_sum += hinge;
         }
       }
-      if (!grad.empty()) {
-        ApplyWorkerGradients(
-            grad, 1.0f / static_cast<float>(batch_end - batch_start));
+      if (!arena.empty()) {
+        ApplyWorkerGradients(arena,
+                             1.0f / static_cast<float>(pb->pos.size()));
+        arena.Clear();
       }
-      active_pairs.fetch_add(batch_active, std::memory_order_relaxed);
-      batch_start = batch_end;
+      batch_hinge[pb->index] = hinge_sum;
+      batch_active[pb->index] = active;
+      free_q.Push(pb);
     }
   };
 
   std::vector<std::thread> threads;
   threads.reserve(workers);
-  for (uint32_t w = 0; w < workers; ++w) threads.emplace_back(worker_fn, w);
+  for (uint32_t w = 0; w < workers; ++w) threads.emplace_back(worker_fn);
   for (auto& t : threads) t.join();
+  free_q.Close();
+  producer.join();
 
-  EpochStats stats;
-  stats.total_pairs = triples.size();
-  stats.active_pairs = active_pairs.load();
   double hinge_sum = 0.0;
-  for (double h : hinge_sums) hinge_sum += h;
-  stats.mean_hinge = stats.total_pairs > 0
-                         ? hinge_sum / static_cast<double>(stats.total_pairs)
-                         : 0.0;
+  for (size_t b = 0; b < num_batches; ++b) {
+    hinge_sum += batch_hinge[b];
+    stats.active_pairs += batch_active[b];
+  }
+  stats.mean_hinge = hinge_sum / static_cast<double>(stats.total_pairs);
   stats.seconds = sw.ElapsedSeconds();
   stats.triples_per_second =
       stats.seconds > 0 ? static_cast<double>(stats.total_pairs) / stats.seconds

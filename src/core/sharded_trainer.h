@@ -1,30 +1,42 @@
 #ifndef PKGM_CORE_SHARDED_TRAINER_H_
 #define PKGM_CORE_SHARDED_TRAINER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/negative_sampler.h"
 #include "core/pkgm_model.h"
 #include "core/trainer.h"
 #include "kg/triple_store.h"
+#include "tensor/simd/kernel_dispatch.h"
 
 namespace pkgm::core {
 
 /// Distributed-training simulation of the paper's infrastructure (§III-A2:
-/// 50 parameter servers + 200 workers on TensorFlow/Graph-learn).
+/// 50 parameter servers + 200 workers on TensorFlow/Graph-learn), run as a
+/// pipelined hogwild epoch:
 ///
-/// Parameters are hash-partitioned into `num_shards` shards, each protected
-/// by its own lock (a stand-in for one parameter server). `num_workers`
-/// threads process disjoint slices of the epoch's shuffled triples in
-/// mini-batches, compute gradients against their (possibly slightly stale)
-/// view of the parameters, and push SGD updates to the owning shards —
-/// asynchronous "hogwild with shard locks" semantics, matching the
-/// eventually-consistent updates of a real PS deployment.
+///   * A producer thread shuffles the epoch's triples and draws filtered
+///     negatives in batch order into a bounded queue of recycled batches
+///     (double-buffered per worker), so sampling overlaps gradient compute
+///     and the (pos, neg) pair stream is deterministic for a fixed seed
+///     regardless of worker scheduling.
+///   * Workers pop batches, accumulate gradients in a private flat
+///     GradArena via the fused SIMD hinge kernels, and publish each row to
+///     the shared model under a striped spinlock (cache-line-sized stripes
+///     hashed by table + row id) — no per-batch shard-mutex convoy.
+///     Parameter reads stay unlocked, so workers see slightly stale values:
+///     the asynchronous PS training regime.
+///   * Per-batch hinge/active counts land in slots indexed by batch id and
+///     are reduced in batch order after the join, so epoch stats merge
+///     deterministically (independent of which worker ran which batch).
 struct ShardedTrainerOptions {
   uint32_t num_workers = 4;
+  /// Legacy parameter-server partition count. Row-level striped locks
+  /// replaced per-shard mutexes; this now only sets a floor on the stripe
+  /// count (the default floor is already far above typical values).
   uint32_t num_shards = 8;
   uint32_t batch_size = 512;
   float learning_rate = 0.02f;
@@ -40,24 +52,33 @@ class ShardedTrainer {
   ShardedTrainer(PkgmModel* model, const kg::TripleStore* store,
                  const ShardedTrainerOptions& options);
 
-  /// One asynchronous epoch across all workers.
+  /// One pipelined asynchronous epoch across all workers.
   EpochStats RunEpoch();
 
   /// Runs n epochs, returning the last epoch's stats.
   EpochStats Train(uint32_t n);
 
- private:
-  /// Shard that owns entity row e (and, reusing the hash, relation row r).
-  uint32_t ShardOf(uint32_t row) const { return row % options_.num_shards; }
+  /// Number of row-lock stripes (power of two; exposed for tests).
+  size_t num_stripes() const { return stripe_mask_ + 1; }
 
-  void ApplyWorkerGradients(const class SparseGrad& grad, float scale);
+ private:
+  // One cache line per stripe so contending row locks never false-share.
+  struct alignas(64) Stripe {
+    std::atomic<bool> locked{false};
+  };
+
+  size_t StripeOf(uint32_t table_tag, uint32_t row) const;
+  void LockStripe(Stripe& s);
+  void ApplyWorkerGradients(const GradArena& grad, float scale);
 
   PkgmModel* model_;
   const kg::TripleStore* store_;
   ShardedTrainerOptions options_;
   NegativeSampler sampler_;
   Rng epoch_rng_;
-  std::vector<std::unique_ptr<std::mutex>> shard_locks_;
+  const simd::KernelTable& kernels_;
+  std::unique_ptr<Stripe[]> stripes_;
+  size_t stripe_mask_ = 0;
 };
 
 }  // namespace pkgm::core

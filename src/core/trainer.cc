@@ -1,7 +1,6 @@
 #include "core/trainer.h"
 
 #include <cmath>
-#include <unordered_set>
 
 #include "core/gradients.h"
 #include "tensor/ops.h"
@@ -25,7 +24,12 @@ Trainer::Trainer(PkgmModel* model, const kg::TripleStore* store,
       store_(store),
       options_(options),
       sampler_(FillNegativeOptions(options.negative, *model), store),
-      rng_(options.seed) {
+      rng_(options.seed),
+      // Validation draws negatives from a stream derived from — but
+      // independent of — the training seed, so EvaluateMeanHinge calls
+      // never advance rng_ (see the eval-RNG regression test).
+      eval_rng_(options.seed ^ UINT64_C(0xBADD1CE5FEEDFACE)),
+      kernels_(simd::Active()) {
   PKGM_CHECK(model != nullptr);
   PKGM_CHECK(store != nullptr);
   PKGM_CHECK_GT(options.batch_size, 0u);
@@ -55,36 +59,36 @@ EpochStats Trainer::RunEpoch() {
   stats.total_pairs = triples.size();
   double hinge_sum = 0.0;
 
-  SparseGrad grad;
-  std::unordered_set<uint32_t> touched_entities;
   size_t batch_start = 0;
   while (batch_start < triples.size()) {
     const size_t batch_end =
         std::min(batch_start + options_.batch_size, triples.size());
-    grad.Clear();
-    touched_entities.clear();
+    arena_.Clear();
     uint64_t batch_active = 0;
     for (size_t i = batch_start; i < batch_end; ++i) {
       const kg::Triple& pos = triples[i];
       NegativeSample neg = sampler_.Sample(pos, &rng_);
-      float hinge =
-          AccumulateHingeGradients(*model_, pos, neg.triple, options_.margin, &grad);
+      float hinge = FusedHingeGradients(*model_, pos, neg.triple,
+                                        options_.margin, kernels_,
+                                        &workspace_, &arena_);
       if (hinge > 0.0f) {
         ++batch_active;
         hinge_sum += hinge;
-        touched_entities.insert(pos.head);
-        touched_entities.insert(pos.tail);
-        touched_entities.insert(neg.triple.head);
-        touched_entities.insert(neg.triple.tail);
       }
     }
     stats.active_pairs += batch_active;
-    if (!grad.empty()) {
+    if (!arena_.empty()) {
       ++step_;
       // Average over the batch so the learning rate is scale free.
-      ApplyGradients(grad, 1.0f / static_cast<float>(batch_end - batch_start));
+      ApplyGradients(arena_,
+                     1.0f / static_cast<float>(batch_end - batch_start));
       if (options_.normalize_entities) {
-        for (uint32_t e : touched_entities) model_->NormalizeEntity(e);
+        // The arena's entity rows are exactly the entities touched by
+        // active pairs this batch.
+        const GradSlab& ge = arena_.entities();
+        for (size_t i = 0; i < ge.size(); ++i) {
+          model_->NormalizeEntity(ge.id_at(i));
+        }
       }
     }
     batch_start = batch_end;
@@ -108,74 +112,59 @@ double Trainer::EvaluateMeanHinge(const std::vector<kg::Triple>& triples) {
   if (triples.empty()) return 0.0;
   double sum = 0.0;
   for (const kg::Triple& pos : triples) {
-    NegativeSample neg = sampler_.Sample(pos, &rng_);
-    sum += AccumulateHingeGradients(*model_, pos, neg.triple, options_.margin,
-                                    nullptr);
+    NegativeSample neg = sampler_.Sample(pos, &eval_rng_);
+    sum += FusedHingeGradients(*model_, pos, neg.triple, options_.margin,
+                               kernels_, &workspace_, nullptr);
   }
   return sum / static_cast<double>(triples.size());
 }
 
-void Trainer::ApplyGradients(const SparseGrad& grad, float scale) {
-  const uint32_t d = model_->dim();
+void Trainer::ApplyGradients(const GradArena& grad, float scale) {
   const bool adam = options_.optimizer == OptimizerKind::kAdam;
-  for (const auto& [id, g] : grad.entities()) {
-    if (adam) {
-      ApplyAdamRow(model_->entity(id), g.data(), d, scale, m_entities_.Row(id),
-                   v_entities_.Row(id));
-    } else {
-      ApplySgdRow(model_->entity(id), g.data(), d, scale);
-    }
-  }
-  for (const auto& [id, g] : grad.relations()) {
-    if (adam) {
-      ApplyAdamRow(model_->relation(id), g.data(), d, scale,
-                   m_relations_.Row(id), v_relations_.Row(id));
-    } else {
-      ApplySgdRow(model_->relation(id), g.data(), d, scale);
-    }
-  }
-  if (model_->use_relation_module()) {
-    const uint32_t dd = d * d;
-    for (const auto& [id, g] : grad.transfers()) {
-      if (adam) {
-        ApplyAdamRow(model_->transfer(id), g.data(), dd, scale,
-                     m_transfers_.Row(id), v_transfers_.Row(id));
-      } else {
-        ApplySgdRow(model_->transfer(id), g.data(), dd, scale);
-      }
-    }
-  }
-  for (const auto& [id, g] : grad.hyperplanes()) {
-    if (adam) {
-      ApplyAdamRow(model_->hyperplane(id), g.data(), d, scale,
-                   m_hyperplanes_.Row(id), v_hyperplanes_.Row(id));
-    } else {
-      ApplySgdRow(model_->hyperplane(id), g.data(), d, scale);
-    }
-    // TransH's hard constraint: hyperplane normals stay unit length.
-    model_->NormalizeHyperplane(id);
-  }
-}
-
-void Trainer::ApplySgdRow(float* row, const float* g, uint32_t n, float scale) {
-  Axpy(n, -options_.learning_rate * scale, g, row);
-}
-
-void Trainer::ApplyAdamRow(float* row, const float* g, uint32_t n, float scale,
-                           float* m, float* v) {
   const float b1 = options_.adam_beta1;
   const float b2 = options_.adam_beta2;
   const float eps = options_.adam_epsilon;
-  const double t = static_cast<double>(step_);
-  const float corr1 = 1.0f - static_cast<float>(std::pow(b1, t));
-  const float corr2 = 1.0f - static_cast<float>(std::pow(b2, t));
-  const float alpha =
-      options_.learning_rate * std::sqrt(corr2) / corr1;
-  for (uint32_t i = 0; i < n; ++i) {
-    const float gi = g[i] * scale;
-    m[i] = b1 * m[i] + (1.0f - b1) * gi;
-    v[i] = b2 * v[i] + (1.0f - b2) * gi * gi;
-    row[i] -= alpha * m[i] / (std::sqrt(v[i]) + eps);
+  float alpha = 0.0f;
+  if (adam) {
+    const double t = static_cast<double>(step_);
+    const float corr1 = 1.0f - static_cast<float>(std::pow(b1, t));
+    const float corr2 = 1.0f - static_cast<float>(std::pow(b2, t));
+    alpha = options_.learning_rate * std::sqrt(corr2) / corr1;
+  }
+  const float sgd_alpha = -options_.learning_rate * scale;
+
+  const auto apply_slab = [&](const GradSlab& slab, Mat* table, Mat* m,
+                              Mat* v) {
+    const uint32_t n = slab.row_size();
+    for (size_t i = 0; i < slab.size(); ++i) {
+      const uint32_t id = slab.id_at(i);
+      const float* g = slab.row_at(i);
+      float* row = table->Row(id);
+      if (adam) {
+        kernels_.adam_row(n, g, scale, b1, b2, alpha, eps, row, m->Row(id),
+                          v->Row(id));
+      } else {
+        kernels_.axpy(n, sgd_alpha, g, row);
+      }
+    }
+  };
+
+  apply_slab(grad.entities(), &model_->entity_table(), &m_entities_,
+             &v_entities_);
+  apply_slab(grad.relations(), &model_->relation_table(), &m_relations_,
+             &v_relations_);
+  if (model_->use_relation_module()) {
+    apply_slab(grad.transfers(), &model_->transfer_table(), &m_transfers_,
+               &v_transfers_);
+  }
+  const GradSlab& gw = grad.hyperplanes();
+  if (!gw.empty()) {
+    apply_slab(gw, &model_->hyperplane_table(), &m_hyperplanes_,
+               &v_hyperplanes_);
+    // TransH's hard constraint: hyperplane normals stay unit length.
+    for (size_t i = 0; i < gw.size(); ++i) {
+      model_->NormalizeHyperplane(gw.id_at(i));
+    }
   }
 }
 

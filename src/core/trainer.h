@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/gradients.h"
 #include "core/negative_sampler.h"
 #include "core/pkgm_model.h"
 #include "kg/triple_store.h"
+#include "tensor/simd/kernel_dispatch.h"
 #include "tensor/vec.h"
 #include "util/rng.h"
 
@@ -50,6 +52,12 @@ struct EpochStats {
 /// simulation. Adam state is kept lazily ("sparse Adam"): moments are dense
 /// tables but only touched rows are updated, with bias correction from the
 /// global step count.
+///
+/// The hot path runs through FusedHingeGradients into a reusable flat
+/// GradArena and applies rows with the dispatched axpy/adam_row kernels —
+/// no per-batch allocation, and for a fixed seed two runs produce
+/// bit-identical embeddings (validation draws from its own RNG stream, so
+/// interleaving EvaluateMeanHinge calls cannot perturb the trajectory).
 class Trainer {
  public:
   /// `model` and `store` must outlive the trainer. `store` doubles as the
@@ -63,24 +71,27 @@ class Trainer {
   /// Runs `n` epochs, returning stats of the last.
   EpochStats Train(uint32_t n);
 
-  /// Mean hinge on an arbitrary triple list without updating parameters
-  /// (fresh negatives are drawn; useful as a validation signal).
+  /// Mean hinge on an arbitrary triple list without updating parameters.
+  /// Fresh negatives are drawn from a dedicated validation RNG, so calling
+  /// this mid-training leaves the training trajectory untouched.
   double EvaluateMeanHinge(const std::vector<kg::Triple>& triples);
 
   uint64_t global_step() const { return step_; }
 
  private:
-  void ApplyGradients(const class SparseGrad& grad, float scale);
-  void ApplySgdRow(float* row, const float* g, uint32_t n, float scale);
-  void ApplyAdamRow(float* row, const float* g, uint32_t n, float scale,
-                    float* m, float* v);
+  void ApplyGradients(const GradArena& grad, float scale);
 
   PkgmModel* model_;
   const kg::TripleStore* store_;
   TrainerOptions options_;
   NegativeSampler sampler_;
   Rng rng_;
+  Rng eval_rng_;
   uint64_t step_ = 0;  // batches applied, drives Adam bias correction
+
+  const simd::KernelTable& kernels_;
+  GradArena arena_;
+  HingeWorkspace workspace_;
 
   // Lazy Adam moment tables (allocated only when optimizer == kAdam).
   Mat m_entities_, v_entities_;

@@ -71,10 +71,7 @@ void GemvRaw(size_t m, size_t n, const float* a, const float* x, float* y) {
 
 void GemvTransposedRaw(size_t m, size_t n, const float* a, const float* x,
                        float* y) {
-  for (size_t j = 0; j < n; ++j) y[j] = 0.0f;
-  for (size_t i = 0; i < m; ++i) {
-    Axpy(n, x[i], a + i * n, y);
-  }
+  simd::Active().gemv_t(m, n, a, x, y);
 }
 
 void Gemv(const Mat& a, const float* x, float* y) {
@@ -93,10 +90,7 @@ void GemvTransposed(const Mat& a, const float* x, float* y) {
 }
 
 void Ger(Mat* a, float alpha, const float* x, const float* y) {
-  const size_t m = a->rows(), n = a->cols();
-  for (size_t i = 0; i < m; ++i) {
-    Axpy(n, alpha * x[i], y, a->Row(i));
-  }
+  simd::Active().ger(a->rows(), a->cols(), alpha, x, y, a->data());
 }
 
 void Gemm(const Mat& a, const Mat& b, Mat* c) {

@@ -80,7 +80,8 @@ void Gemv(const Mat& a, const float* x, float* y);
 /// y = A^T x            (A: m x n, x: m, y: n)
 void GemvTransposed(const Mat& a, const float* x, float* y);
 
-/// A += alpha * x y^T   (rank-1 update; x: m, y: n)
+/// A += alpha * x y^T   (rank-1 update; x: m, y: n). Rows with x[i] == 0
+/// are skipped — the update is sign-sparse in the trainer's dM_r hot path.
 void Ger(Mat* a, float alpha, const float* x, const float* y);
 
 /// C = A B              (A: m x k, B: k x n, C: m x n). C is overwritten.

@@ -62,6 +62,24 @@ std::vector<KernelBenchResult> RunKernelBench(const KernelTable& table,
   run("gemv_raw", (frows * fdim + fdim + frows) * 4, [&] {
     table.gemv_raw(batch_rows, dim, rows.data(), x.data(), out.data());
   });
+  run("residual", 4 * fdim * 4, [&] {
+    table.residual(dim, x.data(), y.data(), rows.data(), z.data());
+  });
+  // The training-side d x d primitives: use a square dim x dim slice of
+  // `rows` as the matrix (gemv_t reads it, ger updates it in place).
+  std::vector<float> sq(dim * dim);
+  for (auto& v : sq) v = rng.UniformFloat(-1.0f, 1.0f);
+  run("gemv_t", (fdim * fdim + 2 * fdim) * 4, [&] {
+    table.gemv_t(dim, dim, sq.data(), x.data(), z.data());
+  });
+  run("ger", (2 * fdim * fdim + 2 * fdim) * 4, [&] {
+    table.ger(dim, dim, 0.25f, x.data(), y.data(), sq.data());
+  });
+  std::vector<float> am(dim, 0.0f), av(dim, 0.0f);
+  run("adam_row", 5 * fdim * 4, [&] {
+    table.adam_row(dim, x.data(), 0.5f, 0.9f, 0.999f, 1e-3f, 1e-8f, z.data(),
+                   am.data(), av.data());
+  });
   (void)sink;
   return results;
 }

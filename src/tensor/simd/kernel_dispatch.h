@@ -46,6 +46,31 @@ struct KernelTable {
   /// y = A x, A row-major m x n. Row i equals dot(n, A_row_i, x).
   void (*gemv_raw)(size_t m, size_t n, const float* a, const float* x,
                    float* y);
+  /// out[i] = (x[i] + y[i]) - z[i] — the TransE residual h + r - t, with
+  /// exactly the two roundings of composing add then sub. Elementwise, so
+  /// every table agrees bit-for-bit (like add/sub themselves).
+  void (*residual)(size_t n, const float* x, const float* y, const float* z,
+                   float* out);
+  /// y = A^T x (A row-major m x n; y length n, overwritten). Within a
+  /// table this equals zeroing y and accumulating axpy(n, x[i], A_row_i, y)
+  /// for i = 0..m-1 in row order — the backward dh += M_r^T s' primitive.
+  void (*gemv_t)(size_t m, size_t n, const float* a, const float* x,
+                 float* y);
+  /// Rank-1 accumulate A += alpha x y^T (A row-major m x n). Within a
+  /// table, row i equals axpy(n, alpha * x[i], y, A_row_i); rows with
+  /// x[i] == 0 are skipped — the sign-sparse dM_r += s' h^T update.
+  void (*ger)(size_t m, size_t n, float alpha, const float* x, const float* y,
+              float* a);
+  /// Fused sparse-Adam row update. For each i, with g_i = g[i] * gscale:
+  ///   m[i] = beta1 * m[i] + (1 - beta1) * g_i
+  ///   v[i] = beta2 * v[i] + (1 - beta2) * g_i * g_i   (left-associated)
+  ///   row[i] -= alpha * m[i] / (sqrt(v[i]) + eps)
+  /// `alpha` is the bias-corrected step size the trainer computes from the
+  /// global step. Elementwise with no fused multiply-adds, so every table
+  /// matches the scalar reference bit-for-bit.
+  void (*adam_row)(size_t n, const float* g, float gscale, float beta1,
+                   float beta2, float alpha, float eps, float* row, float* m,
+                   float* v);
 };
 
 /// The always-available portable reference kernels.

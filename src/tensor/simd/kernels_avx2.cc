@@ -208,6 +208,71 @@ void Avx2GemvRaw(size_t m, size_t n, const float* a, const float* x,
   for (size_t i = 0; i < m; ++i) y[i] = Avx2Dot(n, a + i * n, x);
 }
 
+void Avx2Residual(size_t n, const float* x, const float* y, const float* z,
+                  float* out) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        out + i,
+        _mm256_sub_ps(_mm256_add_ps(_mm256_loadu_ps(x + i),
+                                    _mm256_loadu_ps(y + i)),
+                      _mm256_loadu_ps(z + i)));
+  }
+  for (; i < n; ++i) out[i] = (x[i] + y[i]) - z[i];
+}
+
+void Avx2GemvT(size_t m, size_t n, const float* a, const float* x, float* y) {
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) _mm256_storeu_ps(y + j, _mm256_setzero_ps());
+  for (; j < n; ++j) y[j] = 0.0f;
+  for (size_t i = 0; i < m; ++i) Avx2Axpy(n, x[i], a + i * n, y);
+}
+
+void Avx2Ger(size_t m, size_t n, float alpha, const float* x, const float* y,
+             float* a) {
+  for (size_t i = 0; i < m; ++i) {
+    if (x[i] == 0.0f) continue;
+    Avx2Axpy(n, alpha * x[i], y, a + i * n);
+  }
+}
+
+// No FMA here on purpose: the update is elementwise, and keeping each
+// multiply/add a separate rounding makes every table agree bit-for-bit
+// with the scalar reference (the dispatch-header contract).
+void Avx2AdamRow(size_t n, const float* g, float gscale, float beta1,
+                 float beta2, float alpha, float eps, float* row, float* m,
+                 float* v) {
+  const __m256 vs = _mm256_set1_ps(gscale);
+  const __m256 vb1 = _mm256_set1_ps(beta1);
+  const __m256 vc1 = _mm256_set1_ps(1.0f - beta1);
+  const __m256 vb2 = _mm256_set1_ps(beta2);
+  const __m256 vc2 = _mm256_set1_ps(1.0f - beta2);
+  const __m256 va = _mm256_set1_ps(alpha);
+  const __m256 ve = _mm256_set1_ps(eps);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 gi = _mm256_mul_ps(_mm256_loadu_ps(g + i), vs);
+    const __m256 mi = _mm256_add_ps(_mm256_mul_ps(vb1, _mm256_loadu_ps(m + i)),
+                                    _mm256_mul_ps(vc1, gi));
+    const __m256 vi = _mm256_add_ps(
+        _mm256_mul_ps(vb2, _mm256_loadu_ps(v + i)),
+        _mm256_mul_ps(_mm256_mul_ps(vc2, gi), gi));
+    _mm256_storeu_ps(m + i, mi);
+    _mm256_storeu_ps(v + i, vi);
+    const __m256 denom = _mm256_add_ps(_mm256_sqrt_ps(vi), ve);
+    _mm256_storeu_ps(
+        row + i,
+        _mm256_sub_ps(_mm256_loadu_ps(row + i),
+                      _mm256_div_ps(_mm256_mul_ps(va, mi), denom)));
+  }
+  for (; i < n; ++i) {
+    const float gi = g[i] * gscale;
+    m[i] = beta1 * m[i] + (1.0f - beta1) * gi;
+    v[i] = beta2 * v[i] + (1.0f - beta2) * gi * gi;
+    row[i] -= alpha * m[i] / (std::sqrt(v[i]) + eps);
+  }
+}
+
 }  // namespace
 
 extern const KernelTable kAvx2Table = {
@@ -215,7 +280,8 @@ extern const KernelTable kAvx2Table = {
     Avx2Scale,        Avx2Add,           Avx2Sub,
     Avx2Hadamard,     Avx2L1Norm,        Avx2SquaredL2Norm,
     Avx2SignOf,       Avx2L1Distance,    Avx2L1DistanceBatch,
-    Avx2GemvRaw,
+    Avx2GemvRaw,      Avx2Residual,      Avx2GemvT,
+    Avx2Ger,          Avx2AdamRow,
 };
 
 }  // namespace internal

@@ -237,6 +237,79 @@ void Avx512GemvRaw(size_t m, size_t n, const float* a, const float* x,
   for (size_t i = 0; i < m; ++i) y[i] = Avx512Dot(n, a + i * n, x);
 }
 
+void Avx512Residual(size_t n, const float* x, const float* y, const float* z,
+                    float* out) {
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(
+        out + i,
+        _mm512_sub_ps(_mm512_add_ps(_mm512_loadu_ps(x + i),
+                                    _mm512_loadu_ps(y + i)),
+                      _mm512_loadu_ps(z + i)));
+  }
+  if (i < n) {
+    const __mmask16 k = TailMask(n - i);
+    _mm512_mask_storeu_ps(
+        out + i, k,
+        _mm512_sub_ps(_mm512_add_ps(_mm512_maskz_loadu_ps(k, x + i),
+                                    _mm512_maskz_loadu_ps(k, y + i)),
+                      _mm512_maskz_loadu_ps(k, z + i)));
+  }
+}
+
+void Avx512GemvT(size_t m, size_t n, const float* a, const float* x,
+                 float* y) {
+  size_t j = 0;
+  for (; j + 16 <= n; j += 16) _mm512_storeu_ps(y + j, _mm512_setzero_ps());
+  for (; j < n; ++j) y[j] = 0.0f;
+  for (size_t i = 0; i < m; ++i) Avx512Axpy(n, x[i], a + i * n, y);
+}
+
+void Avx512Ger(size_t m, size_t n, float alpha, const float* x,
+               const float* y, float* a) {
+  for (size_t i = 0; i < m; ++i) {
+    if (x[i] == 0.0f) continue;
+    Avx512Axpy(n, alpha * x[i], y, a + i * n);
+  }
+}
+
+// No FMA here on purpose: the update is elementwise, and keeping each
+// multiply/add a separate rounding makes every table agree bit-for-bit
+// with the scalar reference (the dispatch-header contract).
+void Avx512AdamRow(size_t n, const float* g, float gscale, float beta1,
+                   float beta2, float alpha, float eps, float* row, float* m,
+                   float* v) {
+  const __m512 vs = _mm512_set1_ps(gscale);
+  const __m512 vb1 = _mm512_set1_ps(beta1);
+  const __m512 vc1 = _mm512_set1_ps(1.0f - beta1);
+  const __m512 vb2 = _mm512_set1_ps(beta2);
+  const __m512 vc2 = _mm512_set1_ps(1.0f - beta2);
+  const __m512 va = _mm512_set1_ps(alpha);
+  const __m512 ve = _mm512_set1_ps(eps);
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512 gi = _mm512_mul_ps(_mm512_loadu_ps(g + i), vs);
+    const __m512 mi = _mm512_add_ps(_mm512_mul_ps(vb1, _mm512_loadu_ps(m + i)),
+                                    _mm512_mul_ps(vc1, gi));
+    const __m512 vi = _mm512_add_ps(
+        _mm512_mul_ps(vb2, _mm512_loadu_ps(v + i)),
+        _mm512_mul_ps(_mm512_mul_ps(vc2, gi), gi));
+    _mm512_storeu_ps(m + i, mi);
+    _mm512_storeu_ps(v + i, vi);
+    const __m512 denom = _mm512_add_ps(_mm512_sqrt_ps(vi), ve);
+    _mm512_storeu_ps(
+        row + i,
+        _mm512_sub_ps(_mm512_loadu_ps(row + i),
+                      _mm512_div_ps(_mm512_mul_ps(va, mi), denom)));
+  }
+  for (; i < n; ++i) {
+    const float gi = g[i] * gscale;
+    m[i] = beta1 * m[i] + (1.0f - beta1) * gi;
+    v[i] = beta2 * v[i] + (1.0f - beta2) * gi * gi;
+    row[i] -= alpha * m[i] / (std::sqrt(v[i]) + eps);
+  }
+}
+
 }  // namespace
 
 extern const KernelTable kAvx512Table = {
@@ -244,7 +317,8 @@ extern const KernelTable kAvx512Table = {
     Avx512Scale,        Avx512Add,           Avx512Sub,
     Avx512Hadamard,     Avx512L1Norm,        Avx512SquaredL2Norm,
     Avx512SignOf,       Avx512L1Distance,    Avx512L1DistanceBatch,
-    Avx512GemvRaw,
+    Avx512GemvRaw,      Avx512Residual,      Avx512GemvT,
+    Avx512Ger,          Avx512AdamRow,
 };
 
 }  // namespace internal

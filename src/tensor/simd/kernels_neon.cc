@@ -174,6 +174,66 @@ void NeonGemvRaw(size_t m, size_t n, const float* a, const float* x,
   for (size_t i = 0; i < m; ++i) y[i] = NeonDot(n, a + i * n, x);
 }
 
+void NeonResidual(size_t n, const float* x, const float* y, const float* z,
+                  float* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(out + i, vsubq_f32(vaddq_f32(vld1q_f32(x + i), vld1q_f32(y + i)),
+                                 vld1q_f32(z + i)));
+  }
+  for (; i < n; ++i) out[i] = (x[i] + y[i]) - z[i];
+}
+
+void NeonGemvT(size_t m, size_t n, const float* a, const float* x, float* y) {
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) vst1q_f32(y + j, vdupq_n_f32(0.0f));
+  for (; j < n; ++j) y[j] = 0.0f;
+  for (size_t i = 0; i < m; ++i) NeonAxpy(n, x[i], a + i * n, y);
+}
+
+void NeonGer(size_t m, size_t n, float alpha, const float* x, const float* y,
+             float* a) {
+  for (size_t i = 0; i < m; ++i) {
+    if (x[i] == 0.0f) continue;
+    NeonAxpy(n, alpha * x[i], y, a + i * n);
+  }
+}
+
+// No fused multiply-adds on purpose: keeping each multiply/add a separate
+// rounding makes this elementwise update match the scalar reference
+// bit-for-bit (the dispatch-header contract). vdivq/vsqrtq are
+// IEEE-correctly rounded on aarch64.
+void NeonAdamRow(size_t n, const float* g, float gscale, float beta1,
+                 float beta2, float alpha, float eps, float* row, float* m,
+                 float* v) {
+  const float32x4_t vs = vdupq_n_f32(gscale);
+  const float32x4_t vb1 = vdupq_n_f32(beta1);
+  const float32x4_t vc1 = vdupq_n_f32(1.0f - beta1);
+  const float32x4_t vb2 = vdupq_n_f32(beta2);
+  const float32x4_t vc2 = vdupq_n_f32(1.0f - beta2);
+  const float32x4_t va = vdupq_n_f32(alpha);
+  const float32x4_t ve = vdupq_n_f32(eps);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t gi = vmulq_f32(vld1q_f32(g + i), vs);
+    const float32x4_t mi =
+        vaddq_f32(vmulq_f32(vb1, vld1q_f32(m + i)), vmulq_f32(vc1, gi));
+    const float32x4_t vi = vaddq_f32(vmulq_f32(vb2, vld1q_f32(v + i)),
+                                     vmulq_f32(vmulq_f32(vc2, gi), gi));
+    vst1q_f32(m + i, mi);
+    vst1q_f32(v + i, vi);
+    const float32x4_t denom = vaddq_f32(vsqrtq_f32(vi), ve);
+    vst1q_f32(row + i, vsubq_f32(vld1q_f32(row + i),
+                                 vdivq_f32(vmulq_f32(va, mi), denom)));
+  }
+  for (; i < n; ++i) {
+    const float gi = g[i] * gscale;
+    m[i] = beta1 * m[i] + (1.0f - beta1) * gi;
+    v[i] = beta2 * v[i] + (1.0f - beta2) * gi * gi;
+    row[i] -= alpha * m[i] / (std::sqrt(v[i]) + eps);
+  }
+}
+
 }  // namespace
 
 extern const KernelTable kNeonTable = {
@@ -181,7 +241,8 @@ extern const KernelTable kNeonTable = {
     NeonScale,        NeonAdd,           NeonSub,
     NeonHadamard,     NeonL1Norm,        NeonSquaredL2Norm,
     NeonSignOf,       NeonL1Distance,    NeonL1DistanceBatch,
-    NeonGemvRaw,
+    NeonGemvRaw,      NeonResidual,      NeonGemvT,
+    NeonGer,          NeonAdamRow,
 };
 
 }  // namespace internal

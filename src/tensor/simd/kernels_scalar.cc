@@ -72,6 +72,36 @@ void ScalarGemvRaw(size_t m, size_t n, const float* a, const float* x,
   for (size_t i = 0; i < m; ++i) y[i] = ScalarDot(n, a + i * n, x);
 }
 
+void ScalarResidual(size_t n, const float* x, const float* y, const float* z,
+                    float* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = (x[i] + y[i]) - z[i];
+}
+
+void ScalarGemvT(size_t m, size_t n, const float* a, const float* x,
+                 float* y) {
+  for (size_t j = 0; j < n; ++j) y[j] = 0.0f;
+  for (size_t i = 0; i < m; ++i) ScalarAxpy(n, x[i], a + i * n, y);
+}
+
+void ScalarGer(size_t m, size_t n, float alpha, const float* x,
+               const float* y, float* a) {
+  for (size_t i = 0; i < m; ++i) {
+    if (x[i] == 0.0f) continue;
+    ScalarAxpy(n, alpha * x[i], y, a + i * n);
+  }
+}
+
+void ScalarAdamRow(size_t n, const float* g, float gscale, float beta1,
+                   float beta2, float alpha, float eps, float* row, float* m,
+                   float* v) {
+  for (size_t i = 0; i < n; ++i) {
+    const float gi = g[i] * gscale;
+    m[i] = beta1 * m[i] + (1.0f - beta1) * gi;
+    v[i] = beta2 * v[i] + (1.0f - beta2) * gi * gi;
+    row[i] -= alpha * m[i] / (std::sqrt(v[i]) + eps);
+  }
+}
+
 }  // namespace
 
 const KernelTable& ScalarKernels() {
@@ -80,7 +110,8 @@ const KernelTable& ScalarKernels() {
       ScalarScale,        ScalarAdd,           ScalarSub,
       ScalarHadamard,     ScalarL1Norm,        ScalarSquaredL2Norm,
       ScalarSignOf,       ScalarL1Distance,    ScalarL1DistanceBatch,
-      ScalarGemvRaw,
+      ScalarGemvRaw,      ScalarResidual,      ScalarGemvT,
+      ScalarGer,          ScalarAdamRow,
   };
   return table;
 }

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 #include <unordered_map>
+#include <vector>
 
 #include "core/gradients.h"
 #include "core/link_prediction.h"
@@ -349,6 +351,164 @@ TEST(ShardedTrainerTest, LearnsLikeSingleThreaded) {
   EpochStats last = trainer.Train(40);
   EXPECT_LT(last.mean_hinge, first.mean_hinge);
   EXPECT_GT(last.triples_per_second, 0.0);
+}
+
+// ------------------------------------------------- Fused gradient engine --
+
+// Bit-equality of two models' parameter tables.
+bool ModelsBitIdentical(const PkgmModel& a, const PkgmModel& b) {
+  const auto same = [](const Mat& x, const Mat& y) {
+    return x.size() == y.size() &&
+           std::memcmp(x.data(), y.data(), x.size() * sizeof(float)) == 0;
+  };
+  return same(a.entity_table(), b.entity_table()) &&
+         same(a.relation_table(), b.relation_table()) &&
+         same(a.transfer_table(), b.transfer_table());
+}
+
+TEST(GradientsTest, FusedPathMatchesReferenceBitForBit) {
+  // The fused forward+backward (GradArena + dispatch-table kernels) must
+  // reproduce the map-based reference exactly: both sides run on the same
+  // process-wide kernel table, and every fused composition mirrors the
+  // reference's rounding sequence (DESIGN.md §12). Holds under every
+  // PKGM_KERNEL CI matrix leg.
+  PkgmModel model(SmallModel(30, 5, 24));
+  const float margin = 50.0f;  // active hinge for every pair
+  Rng rng(123);
+
+  GradArena arena;
+  HingeWorkspace ws;
+  SparseGrad ref;
+  for (int iter = 0; iter < 20; ++iter) {
+    kg::Triple pos{static_cast<kg::EntityId>(rng.Uniform(30)),
+                   static_cast<kg::RelationId>(rng.Uniform(5)),
+                   static_cast<kg::EntityId>(rng.Uniform(30))};
+    kg::Triple neg{static_cast<kg::EntityId>(rng.Uniform(30)),
+                   pos.relation,
+                   static_cast<kg::EntityId>(rng.Uniform(30))};
+    const float want = AccumulateHingeGradients(model, pos, neg, margin, &ref);
+    const float got = FusedHingeGradients(model, pos, neg, margin,
+                                          simd::Active(), &ws, &arena);
+    EXPECT_EQ(got, want) << "iter " << iter;
+  }
+
+  const auto check_slab = [&](const GradSlab& slab,
+                              const std::unordered_map<uint32_t,
+                                                       std::vector<float>>& m,
+                              const char* what) {
+    ASSERT_EQ(slab.size(), m.size()) << what;
+    for (size_t i = 0; i < slab.size(); ++i) {
+      const auto it = m.find(slab.id_at(i));
+      ASSERT_NE(it, m.end()) << what << " id " << slab.id_at(i);
+      ASSERT_EQ(it->second.size(), slab.row_size());
+      EXPECT_EQ(0, std::memcmp(slab.row_at(i), it->second.data(),
+                               slab.row_size() * sizeof(float)))
+          << what << " id " << slab.id_at(i);
+    }
+  };
+  check_slab(arena.entities(), ref.entities(), "entities");
+  check_slab(arena.relations(), ref.relations(), "relations");
+  check_slab(arena.transfers(), ref.transfers(), "transfers");
+}
+
+TEST(GradientsTest, GradSlabSurvivesClearAndRehash) {
+  GradSlab slab;
+  // Enough distinct ids to force several rehashes of the open-addressed
+  // index and several slab growths.
+  for (uint32_t round = 0; round < 3; ++round) {
+    for (uint32_t id = 0; id < 2000; ++id) {
+      float* row = slab.Row(id * 7 + round, 4);
+      for (int j = 0; j < 4; ++j) row[j] += static_cast<float>(id + j);
+    }
+    ASSERT_EQ(slab.size(), 2000u);
+    // Rows must be zero on first touch after Clear, so the accumulated
+    // value is exactly one round's worth.
+    for (size_t i = 0; i < slab.size(); ++i) {
+      const uint32_t id = slab.id_at(i);
+      EXPECT_EQ(slab.row_at(i)[0], static_cast<float>((id - round) / 7));
+    }
+    slab.Clear();
+    ASSERT_TRUE(slab.empty());
+  }
+}
+
+TEST(TrainerTest, SeededRunsAreBitIdentical) {
+  kg::TripleStore store = SmallKg();
+  const auto train = [&](PkgmModel* model) {
+    TrainerOptions opt;
+    opt.batch_size = 8;
+    opt.learning_rate = 0.05f;
+    opt.seed = 21;
+    Trainer trainer(model, &store, opt);
+    trainer.Train(5);
+  };
+  PkgmModel a(SmallModel(20, 4, 16)), b(SmallModel(20, 4, 16));
+  train(&a);
+  train(&b);
+  EXPECT_TRUE(ModelsBitIdentical(a, b));
+}
+
+TEST(TrainerTest, EvaluateMeanHingeDoesNotPerturbTraining) {
+  // Regression: EvaluateMeanHinge used to draw negatives from the training
+  // RNG stream, so a mid-training eval changed the final model. It now owns
+  // a derived eval RNG.
+  kg::TripleStore store = SmallKg();
+  TrainerOptions opt;
+  opt.batch_size = 8;
+  opt.learning_rate = 0.05f;
+  opt.seed = 23;
+
+  PkgmModel plain(SmallModel(20, 4, 16));
+  {
+    Trainer trainer(&plain, &store, opt);
+    trainer.Train(4);
+  }
+  PkgmModel evaled(SmallModel(20, 4, 16));
+  {
+    Trainer trainer(&evaled, &store, opt);
+    for (int e = 0; e < 4; ++e) {
+      trainer.RunEpoch();
+      // Interleaved validation must be invisible to the training stream.
+      trainer.EvaluateMeanHinge(store.triples());
+    }
+  }
+  EXPECT_TRUE(ModelsBitIdentical(plain, evaled));
+}
+
+TEST(ShardedTrainerTest, FinalHingeTracksSingleThreaded) {
+  // Loss-parity acceptance: asynchronous striped-hogwild training must
+  // converge to (approximately) the same loss as the single-threaded SGD
+  // trainer on the same KG with the same hyper-parameters.
+  kg::TripleStore store;
+  Rng rng(77);
+  for (int i = 0; i < 400; ++i) {
+    store.Add(static_cast<kg::EntityId>(rng.Uniform(60)),
+              static_cast<kg::RelationId>(rng.Uniform(6)),
+              static_cast<kg::EntityId>(60 + rng.Uniform(40)));
+  }
+  const uint32_t epochs = 12;
+
+  PkgmModel single_model(SmallModel(100, 6, 16));
+  TrainerOptions topt;
+  topt.optimizer = OptimizerKind::kSgd;
+  topt.batch_size = 64;
+  topt.learning_rate = 0.05f;
+  topt.seed = 29;
+  Trainer single(&single_model, &store, topt);
+  const EpochStats single_last = single.Train(epochs);
+
+  PkgmModel sharded_model(SmallModel(100, 6, 16));
+  ShardedTrainerOptions sopt;
+  sopt.num_workers = 4;
+  sopt.batch_size = 64;
+  sopt.learning_rate = 0.05f;
+  sopt.seed = 29;
+  ShardedTrainer sharded(&sharded_model, &store, sopt);
+  const EpochStats sharded_last = sharded.Train(epochs);
+
+  EXPECT_GT(single_last.mean_hinge, 0.0);
+  EXPECT_NEAR(sharded_last.mean_hinge, single_last.mean_hinge,
+              0.15 * single_last.mean_hinge);
 }
 
 // ---------------------------------------------------------- LinkPrediction --

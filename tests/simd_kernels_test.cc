@@ -154,6 +154,118 @@ TEST(SimdBatchConsistencyTest, BatchAndGemvRowsMatchSingleRowCallsExactly) {
   }
 }
 
+TEST(SimdTrainingKernelsTest, ResidualMatchesScalarBitForBit) {
+  // residual is elementwise with the same two roundings per lane in every
+  // table, so it inherits the bit-for-bit elementwise contract.
+  const KernelTable& ref = ScalarKernels();
+  for (const KernelTable* table : AvailableVectorTables()) {
+    SCOPED_TRACE(std::string("isa=") + KernelIsaName(table->isa));
+    for (size_t offset = 0; offset <= 3; ++offset) {
+      for (size_t n = 1; n <= kMaxLen; ++n) {
+        Misaligned x(n, offset, 100 + n), y(n, offset, 200 + n),
+            z(n, offset, 300 + n);
+        std::vector<float> got(n), want(n);
+        table->residual(n, x.ptr, y.ptr, z.ptr, got.data());
+        ref.residual(n, x.ptr, y.ptr, z.ptr, want.data());
+        EXPECT_EQ(0, std::memcmp(got.data(), want.data(), n * sizeof(float)))
+            << "offset=" << offset << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdTrainingKernelsTest, AdamRowMatchesScalarBitForBit) {
+  // adam_row deliberately avoids FMA in every table so the optimizer state
+  // is identical whatever ISA trained the model.
+  const KernelTable& ref = ScalarKernels();
+  for (const KernelTable* table : AvailableVectorTables()) {
+    SCOPED_TRACE(std::string("isa=") + KernelIsaName(table->isa));
+    for (size_t offset = 0; offset <= 3; ++offset) {
+      for (size_t n = 1; n <= kMaxLen; ++n) {
+        Misaligned g(n, offset, 400 + n), row0(n, offset, 500 + n),
+            m0(n, offset, 600 + n), v0(n, offset, 700 + n);
+        // Second moment must be non-negative.
+        for (size_t i = 0; i < n; ++i) {
+          v0.ptr[i] = std::fabs(v0.ptr[i]);
+        }
+        std::vector<float> row_a(row0.ptr, row0.ptr + n),
+            m_a(m0.ptr, m0.ptr + n), v_a(v0.ptr, v0.ptr + n);
+        std::vector<float> row_b(row_a), m_b(m_a), v_b(v_a);
+        table->adam_row(n, g.ptr, 0.125f, 0.9f, 0.999f, 0.01f, 1e-8f,
+                        row_a.data(), m_a.data(), v_a.data());
+        ref.adam_row(n, g.ptr, 0.125f, 0.9f, 0.999f, 0.01f, 1e-8f,
+                     row_b.data(), m_b.data(), v_b.data());
+        EXPECT_EQ(0, std::memcmp(row_a.data(), row_b.data(),
+                                 n * sizeof(float)))
+            << "offset=" << offset << " n=" << n;
+        EXPECT_EQ(0, std::memcmp(m_a.data(), m_b.data(), n * sizeof(float)));
+        EXPECT_EQ(0, std::memcmp(v_a.data(), v_b.data(), n * sizeof(float)));
+      }
+    }
+  }
+}
+
+TEST(SimdTrainingKernelsTest, GemvTransposedMatchesAxpyCompositionExactly) {
+  // Within one table, y = A^T x must be exactly "zero y, then axpy each
+  // row of A scaled by x[i], in row order" — the same sequence the fused
+  // backward would otherwise issue. Cross-table agreement then follows
+  // from the axpy contract (checked against scalar with 1-ulp drift).
+  std::vector<const KernelTable*> tables = AvailableVectorTables();
+  tables.push_back(&ScalarKernels());
+  const KernelTable& ref = ScalarKernels();
+  for (const KernelTable* table : tables) {
+    SCOPED_TRACE(std::string("isa=") + KernelIsaName(table->isa));
+    for (size_t n = 1; n <= kMaxLen; n += 5) {
+      const size_t m = 6;
+      Misaligned a(m * n, 1, 41 * n), x(m, 1, 43 * n);
+      x.ptr[2 % m] = 0.0f;  // exercise zero coefficients
+      std::vector<float> got(n), want(n, 0.0f);
+      table->gemv_t(m, n, a.ptr, x.ptr, got.data());
+      for (size_t i = 0; i < m; ++i) {
+        table->axpy(n, x.ptr[i], a.ptr + i * n, want.data());
+      }
+      EXPECT_EQ(0, std::memcmp(got.data(), want.data(), n * sizeof(float)))
+          << "n=" << n;
+      // Cross-table: reassociation-free per element, so compare to the
+      // scalar result with the per-element axpy tolerance times m terms.
+      std::vector<float> scalar_y(n);
+      ref.gemv_t(m, n, a.ptr, x.ptr, scalar_y.data());
+      for (size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(got[j], scalar_y[j],
+                    ReductionTol(m, std::fabs(scalar_y[j])))
+            << "n=" << n << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(SimdTrainingKernelsTest, GerMatchesPerRowAxpyExactly) {
+  // A += alpha * x y^T: row i must be exactly axpy(alpha*x[i], y, row_i),
+  // and rows with x[i] == 0 must not be touched at all.
+  std::vector<const KernelTable*> tables = AvailableVectorTables();
+  tables.push_back(&ScalarKernels());
+  for (const KernelTable* table : tables) {
+    SCOPED_TRACE(std::string("isa=") + KernelIsaName(table->isa));
+    for (size_t n = 1; n <= kMaxLen; n += 5) {
+      const size_t m = 6;
+      Misaligned a0(m * n, 1, 51 * n), x(m, 1, 53 * n), y(n, 1, 57 * n);
+      x.ptr[1] = 0.0f;  // a skipped row
+      std::vector<float> got(a0.ptr, a0.ptr + m * n),
+          want(a0.ptr, a0.ptr + m * n);
+      table->ger(m, n, 0.75f, x.ptr, y.ptr, got.data());
+      for (size_t i = 0; i < m; ++i) {
+        if (x.ptr[i] == 0.0f) continue;
+        table->axpy(n, 0.75f * x.ptr[i], y.ptr, want.data() + i * n);
+      }
+      EXPECT_EQ(0, std::memcmp(got.data(), want.data(),
+                               m * n * sizeof(float)))
+          << "n=" << n;
+      EXPECT_EQ(0, std::memcmp(got.data() + n, a0.ptr + n, n * sizeof(float)))
+          << "skipped row was modified, n=" << n;
+    }
+  }
+}
+
 TEST(SimdDispatchTest, ScalarAlwaysAvailableAndDetectionConsistent) {
   EXPECT_EQ(ScalarKernels().isa, KernelIsa::kScalar);
   const KernelIsa best = DetectBestIsa();

@@ -261,7 +261,10 @@ TEST(ShardedPipelineTest, ShardedTrainingProducesUsableServices) {
   opt.sharded.num_workers = 3;
   opt.sharded.num_shards = 4;
   opt.sharded.learning_rate = 0.1f;
-  opt.pretrain_epochs = 20;
+  // The pipelined trainer draws negatives from a producer-owned stream, so
+  // the trajectory differs from the seed implementation; a few extra epochs
+  // keep the same convergence bar on this tiny KG.
+  opt.pretrain_epochs = 30;
   opt.service_k = 3;
   PretrainedPkgm p = BuildAndPretrain(opt);
   EXPECT_LT(p.last_epoch.mean_hinge, 1.8);

@@ -3,6 +3,12 @@
 //   pkgm_tool generate  <out.tsv>  [seed]        synthesize a product KG
 //   pkgm_tool pretrain  <kg.tsv> <model.bin> [epochs] [dim]
 //                                               pre-train PKGM on a TSV KG
+//   pkgm_tool train     <kg.tsv> <model.bin> [--epochs N] [--dim N]
+//                       [--workers N] [--optimizer adam|sgd] [--lr F]
+//                       [--batch N] [--margin F] [--seed N] [--store out.pkgs]
+//                                               flag-driven training front
+//                                               end; --workers > 1 runs the
+//                                               pipelined sharded trainer
 //   pkgm_tool eval      <kg.tsv> <model.bin> [fraction]
 //                                               filtered link prediction on a
 //                                               random holdout of the KG
@@ -31,6 +37,7 @@
 
 #include "core/link_prediction.h"
 #include "core/pkgm_model.h"
+#include "core/sharded_trainer.h"
 #include "core/trainer.h"
 #include "kg/io.h"
 #include "kg/split.h"
@@ -52,6 +59,11 @@ int Usage() {
                "usage:\n"
                "  pkgm_tool generate <out.tsv> [seed]\n"
                "  pkgm_tool pretrain <kg.tsv> <model.bin> [epochs] [dim]\n"
+               "  pkgm_tool train <kg.tsv> <model.bin> [--epochs N] [--dim N]"
+               " [--workers N]\n"
+               "            [--optimizer adam|sgd] [--lr F] [--batch N]"
+               " [--margin F] [--seed N]\n"
+               "            [--store out.pkgs]\n"
                "  pkgm_tool eval <kg.tsv> <model.bin> [holdout_fraction]\n"
                "  pkgm_tool complete <kg.tsv> <model.bin> <head> <relation> "
                "[topk]\n"
@@ -129,6 +141,132 @@ int CmdPretrain(int argc, char** argv) {
     return 1;
   }
   std::printf("checkpoint written to %s\n", argv[1]);
+  return 0;
+}
+
+// Flag-driven training front end. Unlike the positional `pretrain` command
+// it exposes the full hyper-parameter surface and, with --workers > 1,
+// runs the pipelined hogwild ShardedTrainer (SGD only — asynchronous row
+// publication has no per-row Adam state).
+int CmdTrain(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  uint32_t epochs = 10, dim = 32, workers = 1, batch = 512;
+  float lr = 0.05f, margin = 2.0f;
+  uint64_t seed = 17;
+  bool adam = true;
+  const char* store_out = nullptr;
+
+  for (int i = 2; i < argc; ++i) {
+    const auto flag_value = [&](const char* name) -> const char* {
+      if (std::strcmp(argv[i], name) != 0) return nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", name);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (const char* v = flag_value("--epochs")) {
+      epochs = std::atoi(v);
+    } else if (const char* v = flag_value("--dim")) {
+      dim = std::atoi(v);
+    } else if (const char* v = flag_value("--workers")) {
+      workers = std::atoi(v);
+    } else if (const char* v = flag_value("--batch")) {
+      batch = std::atoi(v);
+    } else if (const char* v = flag_value("--lr")) {
+      lr = std::atof(v);
+    } else if (const char* v = flag_value("--margin")) {
+      margin = std::atof(v);
+    } else if (const char* v = flag_value("--seed")) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = flag_value("--store")) {
+      store_out = v;
+    } else if (const char* v = flag_value("--optimizer")) {
+      if (std::strcmp(v, "adam") == 0) {
+        adam = true;
+      } else if (std::strcmp(v, "sgd") == 0) {
+        adam = false;
+      } else {
+        std::fprintf(stderr, "unknown optimizer %s (want adam or sgd)\n", v);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (epochs == 0 || dim == 0 || workers == 0 || batch == 0) return Usage();
+  if (workers > 1 && adam) {
+    std::printf("note: --workers %u forces --optimizer sgd (the sharded "
+                "trainer publishes rows asynchronously)\n",
+                workers);
+    adam = false;
+  }
+
+  kg::Vocab entities, relations;
+  kg::TripleStore store = MustLoad(argv[0], &entities, &relations);
+
+  core::PkgmModelOptions mopt;
+  mopt.num_entities = entities.size();
+  mopt.num_relations = relations.size();
+  mopt.dim = dim;
+  mopt.seed = seed;
+  core::PkgmModel model(mopt);
+  std::printf("training d=%u, %u epoch(s), %u worker(s), %s, lr %g, "
+              "batch %u, margin %g, seed %llu, kernels %s\n",
+              dim, epochs, workers, adam ? "adam" : "sgd",
+              static_cast<double>(lr), batch, static_cast<double>(margin),
+              static_cast<unsigned long long>(seed), simd::ActiveIsaName());
+
+  const auto report = [&](uint32_t e, const core::EpochStats& s) {
+    if (e == 1 || e % 5 == 0 || e == epochs) {
+      std::printf("epoch %3u  mean hinge %.4f  active %s  (%.0f triples/s)\n",
+                  e, s.mean_hinge,
+                  WithThousandsSeparators(s.active_pairs).c_str(),
+                  s.triples_per_second);
+    }
+  };
+
+  Stopwatch sw;
+  if (workers > 1) {
+    core::ShardedTrainerOptions sopt;
+    sopt.num_workers = workers;
+    sopt.batch_size = batch;
+    sopt.learning_rate = lr;
+    sopt.margin = margin;
+    sopt.seed = seed;
+    core::ShardedTrainer trainer(&model, &store, sopt);
+    for (uint32_t e = 1; e <= epochs; ++e) report(e, trainer.RunEpoch());
+  } else {
+    core::TrainerOptions topt;
+    topt.batch_size = batch;
+    topt.learning_rate = lr;
+    topt.margin = margin;
+    topt.seed = seed;
+    topt.optimizer =
+        adam ? core::OptimizerKind::kAdam : core::OptimizerKind::kSgd;
+    core::Trainer trainer(&model, &store, topt);
+    for (uint32_t e = 1; e <= epochs; ++e) report(e, trainer.RunEpoch());
+  }
+  std::printf("trained in %.1fs\n", sw.ElapsedSeconds());
+
+  Status s = model.SaveToFile(argv[1]);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("checkpoint written to %s\n", argv[1]);
+
+  if (store_out != nullptr) {
+    Status ws =
+        store::EmbeddingStoreWriter(store::StoreWriterOptions{})
+            .Write(model, store_out);
+    if (!ws.ok()) {
+      std::fprintf(stderr, "%s\n", ws.ToString().c_str());
+      return 1;
+    }
+    std::printf("servable store written to %s\n", store_out);
+  }
   return 0;
 }
 
@@ -368,6 +506,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(cmd, "pretrain") == 0) {
     return pkgm::CmdPretrain(argc - 2, argv + 2);
+  }
+  if (std::strcmp(cmd, "train") == 0) {
+    return pkgm::CmdTrain(argc - 2, argv + 2);
   }
   if (std::strcmp(cmd, "eval") == 0) return pkgm::CmdEval(argc - 2, argv + 2);
   if (std::strcmp(cmd, "complete") == 0) {
