@@ -12,7 +12,7 @@
 namespace pkgm::core {
 
 LinkPredictionEvaluator::LinkPredictionEvaluator(
-    const EmbeddingSource* source, const kg::TripleStore* all_known,
+    const EmbeddingSource* source, const kg::TripleSource* all_known,
     Options options)
     : source_(source), all_known_(all_known), options_(std::move(options)) {
   PKGM_CHECK(source != nullptr);
@@ -60,10 +60,10 @@ double LinkPredictionEvaluator::RankTail(
     // filter set is marked once per triple instead of a hash probe per
     // candidate.
     const uint32_t n = source_->num_entities();
-    const std::vector<kg::EntityId>* known_tails = nullptr;
+    kg::IdSpan known_tails;
     if (options_.filtered) {
-      known_tails = &all_known_->Tails(t.head, t.relation);
-      for (kg::EntityId e : *known_tails) {
+      known_tails = all_known_->Tails(t.head, t.relation);
+      for (kg::EntityId e : known_tails) {
         if (e < n) s->filtered[e] = 1;
       }
     }
@@ -85,16 +85,14 @@ double LinkPredictionEvaluator::RankTail(
                                count, s->scores.data());
       for (uint32_t i = 0; i < count; ++i) {
         const kg::EntityId e = start + i;
-        if (e == t.tail || (known_tails != nullptr && s->filtered[e])) {
+        if (e == t.tail || (options_.filtered && s->filtered[e])) {
           continue;
         }
         tally(s->scores[i]);
       }
     }
-    if (known_tails != nullptr) {
-      for (kg::EntityId e : *known_tails) {
-        if (e < n) s->filtered[e] = 0;
-      }
+    for (kg::EntityId e : known_tails) {
+      if (e < n) s->filtered[e] = 0;
     }
   } else {
     size_t fill = 0;

@@ -9,7 +9,7 @@
 #include "core/embedding_source.h"
 #include "core/pkgm_model.h"
 #include "core/service_math.h"
-#include "kg/triple_store.h"
+#include "kg/triple_source.h"
 
 namespace pkgm::core {
 
@@ -57,10 +57,11 @@ class LinkPredictionEvaluator {
   };
 
   /// `source` provides the parameters to score; `all_known` defines the
-  /// filter set (train + valid + test + held-out, typically). Both must
-  /// outlive the evaluator.
+  /// filter set (train + valid + test + held-out, typically) through the
+  /// TripleSource seam — the in-memory store and the mmap index produce
+  /// identical filtered metrics. Both must outlive the evaluator.
   LinkPredictionEvaluator(const EmbeddingSource* source,
-                          const kg::TripleStore* all_known, Options options);
+                          const kg::TripleSource* all_known, Options options);
 
   /// Ranks tails over all entities, or over
   /// `candidates_per_relation[r]` when provided (attribute completion is
@@ -92,8 +93,8 @@ class LinkPredictionEvaluator {
     std::vector<float> block;  // gathered candidate rows, row-major
     std::vector<float> scores;
     /// filtered[e] == 1 while ranking a triple whose (h, r) has e as a
-    /// known tail; marked from TripleStore::Tails once per triple instead
-    /// of a hash probe per candidate, and unmarked before returning.
+    /// known tail; marked from TripleSource::Tails once per triple instead
+    /// of a membership probe per candidate, and unmarked before returning.
     std::vector<uint8_t> filtered;
   };
 
@@ -104,7 +105,7 @@ class LinkPredictionEvaluator {
                   RankScratch* scratch) const;
 
   const EmbeddingSource* source_;
-  const kg::TripleStore* all_known_;
+  const kg::TripleSource* all_known_;
   Options options_;
 };
 

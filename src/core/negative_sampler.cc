@@ -5,7 +5,7 @@
 namespace pkgm::core {
 
 NegativeSampler::NegativeSampler(const Options& options,
-                                 const kg::TripleStore* store)
+                                 const kg::TripleSource* store)
     : options_(options), store_(store) {
   PKGM_CHECK_GT(options.num_entities, 0u);
   PKGM_CHECK_GT(options.num_relations, 0u);

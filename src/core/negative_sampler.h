@@ -4,7 +4,7 @@
 #include <cstdint>
 
 #include "kg/triple.h"
-#include "kg/triple_store.h"
+#include "kg/triple_source.h"
 #include "util/rng.h"
 
 namespace pkgm::core {
@@ -38,8 +38,10 @@ class NegativeSampler {
   };
 
   /// `store` is consulted for filtering; may be null when
-  /// filter_known_positives is false. Must outlive the sampler.
-  NegativeSampler(const Options& options, const kg::TripleStore* store);
+  /// filter_known_positives is false. Must outlive the sampler. Any
+  /// TripleSource works — the in-memory TripleStore or an mmap-backed
+  /// MmapTripleIndex — and sampling is bit-identical across backends.
+  NegativeSampler(const Options& options, const kg::TripleSource* store);
 
   /// Draws one negative for `positive` (paper: 1 negative per edge).
   NegativeSample Sample(const kg::Triple& positive, Rng* rng) const;
@@ -52,7 +54,7 @@ class NegativeSampler {
 
  private:
   Options options_;
-  const kg::TripleStore* store_;
+  const kg::TripleSource* store_;
 };
 
 }  // namespace pkgm::core

@@ -78,7 +78,7 @@ class BatchQueue {
 
 }  // namespace
 
-ShardedTrainer::ShardedTrainer(PkgmModel* model, const kg::TripleStore* store,
+ShardedTrainer::ShardedTrainer(PkgmModel* model, const kg::TripleSource* store,
                                const ShardedTrainerOptions& options)
     : model_(model),
       store_(store),
@@ -163,7 +163,8 @@ void ShardedTrainer::ApplyWorkerGradients(const GradArena& grad,
 
 EpochStats ShardedTrainer::RunEpoch() {
   Stopwatch sw;
-  std::vector<kg::Triple> triples = store_->triples();
+  std::vector<kg::Triple> triples;
+  store_->AppendTriples(&triples);
   epoch_rng_.Shuffle(&triples);
 
   EpochStats stats;

@@ -9,7 +9,7 @@
 #include "core/negative_sampler.h"
 #include "core/pkgm_model.h"
 #include "core/trainer.h"
-#include "kg/triple_store.h"
+#include "kg/triple_source.h"
 #include "tensor/simd/kernel_dispatch.h"
 
 namespace pkgm::core {
@@ -49,7 +49,7 @@ struct ShardedTrainerOptions {
 class ShardedTrainer {
  public:
   /// `model` and `store` must outlive the trainer.
-  ShardedTrainer(PkgmModel* model, const kg::TripleStore* store,
+  ShardedTrainer(PkgmModel* model, const kg::TripleSource* store,
                  const ShardedTrainerOptions& options);
 
   /// One pipelined asynchronous epoch across all workers.
@@ -72,7 +72,7 @@ class ShardedTrainer {
   void ApplyWorkerGradients(const GradArena& grad, float scale);
 
   PkgmModel* model_;
-  const kg::TripleStore* store_;
+  const kg::TripleSource* store_;
   ShardedTrainerOptions options_;
   NegativeSampler sampler_;
   Rng epoch_rng_;

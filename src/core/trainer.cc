@@ -18,7 +18,7 @@ NegativeSampler::Options FillNegativeOptions(NegativeSampler::Options neg,
 }
 }  // namespace
 
-Trainer::Trainer(PkgmModel* model, const kg::TripleStore* store,
+Trainer::Trainer(PkgmModel* model, const kg::TripleSource* store,
                  const TrainerOptions& options)
     : model_(model),
       store_(store),
@@ -52,7 +52,8 @@ Trainer::Trainer(PkgmModel* model, const kg::TripleStore* store,
 
 EpochStats Trainer::RunEpoch() {
   Stopwatch sw;
-  std::vector<kg::Triple> triples = store_->triples();
+  std::vector<kg::Triple> triples;
+  store_->AppendTriples(&triples);
   rng_.Shuffle(&triples);
 
   EpochStats stats;

@@ -7,7 +7,7 @@
 #include "core/gradients.h"
 #include "core/negative_sampler.h"
 #include "core/pkgm_model.h"
-#include "kg/triple_store.h"
+#include "kg/triple_source.h"
 #include "tensor/simd/kernel_dispatch.h"
 #include "tensor/vec.h"
 #include "util/rng.h"
@@ -61,8 +61,11 @@ struct EpochStats {
 class Trainer {
  public:
   /// `model` and `store` must outlive the trainer. `store` doubles as the
-  /// filter for negative sampling. Training iterates over `store`'s triples.
-  Trainer(PkgmModel* model, const kg::TripleStore* store,
+  /// filter for negative sampling. Training iterates over `store`'s triples
+  /// in the order AppendTriples presents them — so the in-memory store and
+  /// a `.pkgt` index holding the same triples in the same order produce
+  /// bit-identical trajectories for a fixed seed.
+  Trainer(PkgmModel* model, const kg::TripleSource* store,
           const TrainerOptions& options);
 
   /// Runs one epoch (one shuffled pass over the training triples).
@@ -82,7 +85,7 @@ class Trainer {
   void ApplyGradients(const GradArena& grad, float scale);
 
   PkgmModel* model_;
-  const kg::TripleStore* store_;
+  const kg::TripleSource* store_;
   TrainerOptions options_;
   NegativeSampler sampler_;
   Rng rng_;

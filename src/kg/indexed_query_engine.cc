@@ -1,0 +1,264 @@
+#include "kg/indexed_query_engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace pkgm::kg {
+namespace {
+
+/// Sorted strictly-increasing stream of entity ids with leapfrog seek.
+class EntityCursor {
+ public:
+  virtual ~EntityCursor() = default;
+  virtual bool AtEnd() const = 0;
+  /// Current id; only valid while !AtEnd().
+  virtual EntityId Value() const = 0;
+  virtual void Next() = 0;
+  /// Advance to the first id >= v (may be the current one).
+  virtual void SeekGeq(EntityId v) = 0;
+};
+
+/// Cursor over one sorted run slice (a Tails or Heads span). Seeks by
+/// galloping then binary search, so a leapfrog pass over the whole span
+/// costs O(k log(n/k)) comparisons for k survivors.
+class SpanCursor : public EntityCursor {
+ public:
+  explicit SpanCursor(IdSpan span) : span_(span) {}
+
+  bool AtEnd() const override { return pos_ >= span_.size(); }
+  EntityId Value() const override { return span_[pos_]; }
+  void Next() override { ++pos_; }
+  void SeekGeq(EntityId v) override {
+    if (AtEnd() || span_[pos_] >= v) return;
+    size_t step = 1, hi = pos_ + 1;
+    while (hi < span_.size() && span_[hi] < v) {
+      pos_ = hi;
+      hi += step;
+      step *= 2;
+    }
+    hi = std::min(hi, span_.size());
+    pos_ = static_cast<size_t>(
+        std::lower_bound(span_.begin() + pos_, span_.begin() + hi, v) -
+        span_.begin());
+  }
+
+ private:
+  IdSpan span_;
+  size_t pos_ = 0;
+};
+
+/// Distinct heads carrying relation r: a k-way merge over the predicate's
+/// POS runs (each run = sorted heads of one (r, tail) pair). The fronts of
+/// all runs are scanned for the minimum; duplicates across runs collapse
+/// because Next()/SeekGeq() always move past the emitted value in every run.
+class PredMergeCursor : public EntityCursor {
+ public:
+  PredMergeCursor(const MmapTripleIndex* index, RelationId r) {
+    const uint64_t begin = index->PredRunBegin(r);
+    const uint64_t end = index->PredRunEnd(r);
+    runs_.reserve(end - begin);
+    for (uint64_t run = begin; run < end; ++run) {
+      runs_.push_back(SpanCursor(index->PosRunValues(run)));
+    }
+    Settle();
+  }
+
+  bool AtEnd() const override { return at_end_; }
+  EntityId Value() const override { return value_; }
+  void Next() override {
+    if (value_ == std::numeric_limits<EntityId>::max()) {
+      at_end_ = true;
+      return;
+    }
+    SeekGeq(value_ + 1);
+  }
+  void SeekGeq(EntityId v) override {
+    if (at_end_ || value_ >= v) return;
+    for (auto& run : runs_) run.SeekGeq(v);
+    Settle();
+  }
+
+ private:
+  void Settle() {
+    at_end_ = true;
+    for (const auto& run : runs_) {
+      if (!run.AtEnd() && (at_end_ || run.Value() < value_)) {
+        value_ = run.Value();
+        at_end_ = false;
+      }
+    }
+  }
+
+  std::vector<SpanCursor> runs_;
+  EntityId value_ = 0;
+  bool at_end_ = false;
+};
+
+/// Every distinct subject in the graph, ascending: walks the SPO run keys
+/// (sorted by (head, relation)) skipping repeated heads. The universe
+/// cursor for purely-negative conjunctions.
+class SubjectsCursor : public EntityCursor {
+ public:
+  explicit SubjectsCursor(const MmapTripleIndex* index) : index_(index) {}
+
+  bool AtEnd() const override { return run_ >= index_->NumSpoRuns(); }
+  EntityId Value() const override { return index_->SpoRunHead(run_); }
+  void Next() override {
+    const EntityId h = Value();
+    while (!AtEnd() && index_->SpoRunHead(run_) == h) ++run_;
+  }
+  void SeekGeq(EntityId v) override {
+    if (AtEnd() || Value() >= v) return;
+    run_ = index_->SpoRunLowerBound(v);
+  }
+
+ private:
+  const MmapTripleIndex* index_;
+  uint64_t run_ = 0;
+};
+
+}  // namespace
+
+IndexedQueryEngine::IndexedQueryEngine(const MmapTripleIndex* index)
+    : index_(index) {
+  PKGM_CHECK(index != nullptr);
+}
+
+IdSpan IndexedQueryEngine::TripleQuery(EntityId h, RelationId r) {
+  Stopwatch sw;
+  const IdSpan result = index_->Tails(h, r);
+  point_micros_.Record(sw.ElapsedSeconds() * 1e6);
+  ++num_triple_queries_;
+  if (result.empty()) ++num_empty_results_;
+  return result;
+}
+
+IdSpan IndexedQueryEngine::RelationQuery(EntityId h) {
+  Stopwatch sw;
+  const IdSpan result = index_->RelationsOf(h);
+  point_micros_.Record(sw.ElapsedSeconds() * 1e6);
+  ++num_relation_queries_;
+  if (result.empty()) ++num_empty_results_;
+  return result;
+}
+
+std::vector<EntityId> IndexedQueryEngine::ConjunctiveQuery(
+    const std::vector<Atom>& atoms) {
+  Stopwatch sw;
+  ++num_conjunctive_queries_;
+
+  std::vector<std::unique_ptr<EntityCursor>> cursors;
+  std::vector<RelationId> missing;
+  for (const Atom& atom : atoms) {
+    switch (atom.kind) {
+      case Atom::Kind::kHasTail:
+        cursors.push_back(std::make_unique<SpanCursor>(
+            index_->Heads(atom.relation, atom.fixed)));
+        break;
+      case Atom::Kind::kHasHead:
+        cursors.push_back(std::make_unique<SpanCursor>(
+            index_->Tails(atom.fixed, atom.relation)));
+        break;
+      case Atom::Kind::kHasRelation:
+        cursors.push_back(
+            std::make_unique<PredMergeCursor>(index_, atom.relation));
+        break;
+      case Atom::Kind::kMissingRelation:
+        // Negation can't drive the join (its complement is huge); it
+        // filters survivors with one O(log) probe each below.
+        missing.push_back(atom.relation);
+        break;
+    }
+  }
+  if (cursors.empty()) {
+    cursors.push_back(std::make_unique<SubjectsCursor>(index_));
+  }
+
+  // Leapfrog intersection: repeatedly raise every cursor to the running
+  // maximum; when all agree the id satisfies every positive atom.
+  std::vector<EntityId> result;
+  while (true) {
+    EntityId hi = 0;
+    bool done = false;
+    for (const auto& c : cursors) {
+      if (c->AtEnd()) {
+        done = true;
+        break;
+      }
+      hi = std::max(hi, c->Value());
+    }
+    if (done) break;
+
+    bool all_equal = true;
+    for (const auto& c : cursors) {
+      c->SeekGeq(hi);
+      if (c->AtEnd()) {
+        done = true;
+        break;
+      }
+      if (c->Value() != hi) all_equal = false;
+    }
+    if (done) break;
+    if (!all_equal) continue;  // someone overshot; chase the new max
+
+    bool keep = true;
+    for (RelationId r : missing) {
+      if (index_->HasRelation(hi, r)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) result.push_back(hi);
+    for (const auto& c : cursors) c->Next();
+  }
+
+  join_micros_.Record(sw.ElapsedSeconds() * 1e6);
+  if (result.empty()) ++num_empty_results_;
+  return result;
+}
+
+std::vector<EntityId> IndexedQueryEngine::Expand(
+    const std::vector<EntityId>& frontier, RelationId r) {
+  Stopwatch sw;
+  ++num_expand_queries_;
+
+  std::vector<EntityId> out;
+  for (EntityId h : frontier) {
+    const IdSpan tails = index_->Tails(h, r);
+    out.insert(out.end(), tails.begin(), tails.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+
+  join_micros_.Record(sw.ElapsedSeconds() * 1e6);
+  if (out.empty()) ++num_empty_results_;
+  return out;
+}
+
+std::string IndexedQueryEngine::StatsJson() const {
+  const auto latency_json = [](const Histogram& h) -> std::string {
+    if (h.count() == 0) return "{\"count\":0}";
+    return StrFormat("{\"count\":%llu,\"p50_us\":%.2f,\"p95_us\":%.2f,"
+                     "\"p99_us\":%.2f,\"mean_us\":%.2f}",
+                     static_cast<unsigned long long>(h.count()),
+                     h.Percentile(0.5), h.Percentile(0.95), h.Percentile(0.99),
+                     h.Mean());
+  };
+  return StrFormat(
+      "{\"triple_queries\":%llu,\"relation_queries\":%llu,"
+      "\"conjunctive_queries\":%llu,\"expand_queries\":%llu,"
+      "\"empty_results\":%llu,\"point_latency\":%s,\"join_latency\":%s}",
+      static_cast<unsigned long long>(num_triple_queries_),
+      static_cast<unsigned long long>(num_relation_queries_),
+      static_cast<unsigned long long>(num_conjunctive_queries_),
+      static_cast<unsigned long long>(num_expand_queries_),
+      static_cast<unsigned long long>(num_empty_results_),
+      latency_json(point_micros_).c_str(), latency_json(join_micros_).c_str());
+}
+
+}  // namespace pkgm::kg

@@ -1,0 +1,103 @@
+#ifndef PKGM_KG_INDEXED_QUERY_ENGINE_H_
+#define PKGM_KG_INDEXED_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kg/mmap_triple_index.h"
+#include "util/histogram.h"
+
+namespace pkgm::kg {
+
+/// Query engine over a memory-mapped `.pkgt` triple index. Answers the
+/// paper's two point-query shapes (§II) zero-copy, plus the conjunctive /
+/// multi-hop patterns the symbolic serving tier needs but a hash-map store
+/// cannot answer without materializing intermediates:
+///
+///   TripleQuery(h, r)        SELECT ?t WHERE { h r ?t }
+///   RelationQuery(h)         SELECT ?r WHERE { h ?r ?t }
+///   ConjunctiveQuery(atoms)  SELECT ?x WHERE { atom1(?x) . atom2(?x) ... }
+///   Expand(frontier, r)      one hop: all tails reachable from a frontier
+///
+/// Conjunctions are solved with a leapfrog-style intersection over the
+/// index's sorted runs: every atom contributes a sorted cursor (a single
+/// run, or a k-way merge of a predicate's POS runs), the join repeatedly
+/// seeks all cursors to the current maximum, and negated atoms filter the
+/// survivors with O(log) probes. No intermediate result is materialized
+/// beyond the output, and the canonical e-commerce audit query — "items of
+/// category C missing relation r" — is two atoms.
+class IndexedQueryEngine {
+ public:
+  /// One atom of a conjunctive pattern over a single entity variable ?x.
+  struct Atom {
+    enum class Kind {
+      kHasTail,          ///< (?x, relation, fixed)
+      kHasHead,          ///< (fixed, relation, ?x)
+      kHasRelation,      ///< (?x, relation, ?) — at least one edge
+      kMissingRelation,  ///< no (?x, relation, ?) edge exists
+    };
+    Kind kind = Kind::kHasTail;
+    RelationId relation = 0;
+    /// Tail for kHasTail, head for kHasHead; unused otherwise.
+    EntityId fixed = 0;
+
+    static Atom HasTail(RelationId r, EntityId t) {
+      return {Kind::kHasTail, r, t};
+    }
+    static Atom HasHead(EntityId h, RelationId r) {
+      return {Kind::kHasHead, r, h};
+    }
+    static Atom HasRelation(RelationId r) {
+      return {Kind::kHasRelation, r, 0};
+    }
+    static Atom MissingRelation(RelationId r) {
+      return {Kind::kMissingRelation, r, 0};
+    }
+  };
+
+  /// Does not take ownership; `index` must outlive the engine.
+  explicit IndexedQueryEngine(const MmapTripleIndex* index);
+
+  /// Tail entities for (h, r, ?t), sorted ascending, zero-copy.
+  IdSpan TripleQuery(EntityId h, RelationId r);
+
+  /// Distinct relations of h for (h, ?r), zero-copy.
+  IdSpan RelationQuery(EntityId h);
+
+  /// All ?x satisfying every atom, sorted ascending. With no positive atom
+  /// the candidate universe is every subject in the graph (a sorted scan of
+  /// the SPO runs), so purely negative audits still work.
+  std::vector<EntityId> ConjunctiveQuery(const std::vector<Atom>& atoms);
+
+  /// One multi-hop step: sorted distinct union of Tails(e, r) over the
+  /// frontier. Chain calls for longer paths.
+  std::vector<EntityId> Expand(const std::vector<EntityId>& frontier,
+                               RelationId r);
+
+  uint64_t num_triple_queries() const { return num_triple_queries_; }
+  uint64_t num_relation_queries() const { return num_relation_queries_; }
+  uint64_t num_conjunctive_queries() const { return num_conjunctive_queries_; }
+  uint64_t num_expand_queries() const { return num_expand_queries_; }
+  uint64_t num_empty_results() const { return num_empty_results_; }
+  const Histogram& point_micros() const { return point_micros_; }
+  const Histogram& join_micros() const { return join_micros_; }
+
+  /// Machine-readable snapshot of counters and latency percentiles, same
+  /// conventions as serve::ServerStats::StatsJson().
+  std::string StatsJson() const;
+
+ private:
+  const MmapTripleIndex* index_;
+  uint64_t num_triple_queries_ = 0;
+  uint64_t num_relation_queries_ = 0;
+  uint64_t num_conjunctive_queries_ = 0;
+  uint64_t num_expand_queries_ = 0;
+  uint64_t num_empty_results_ = 0;
+  Histogram point_micros_;  ///< TripleQuery / RelationQuery
+  Histogram join_micros_;   ///< ConjunctiveQuery / Expand
+};
+
+}  // namespace pkgm::kg
+
+#endif  // PKGM_KG_INDEXED_QUERY_ENGINE_H_

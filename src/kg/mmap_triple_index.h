@@ -1,0 +1,129 @@
+#ifndef PKGM_KG_MMAP_TRIPLE_INDEX_H_
+#define PKGM_KG_MMAP_TRIPLE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+
+#include "kg/pkgt_format.h"
+#include "kg/triple_source.h"
+#include "util/status.h"
+
+namespace pkgm::kg {
+
+struct MmapTripleIndexOptions {
+  /// Verify the FNV-1a payload checksum at open. Touches every page once
+  /// (streaming read) — the safe default; disable for very large indexes
+  /// where lazily faulting pages in is the point.
+  bool verify_checksum = true;
+};
+
+/// Read-only memory-mapped view of a `.pkgt` triple index.
+///
+/// Implements TripleSource entirely by binary search over the sorted
+/// permutation runs in the mapping — Tails/Heads/RelationsOf hand out
+/// zero-copy IdSpans, Contains is two binary searches, and nothing is
+/// materialized in RAM beyond the page cache, so the index serves graphs
+/// far larger than memory.
+///
+/// Opening validates the header (magic, version, section bounds against
+/// the real file size) and the structural invariants binary search relies
+/// on (strictly increasing run keys, monotone offset tables) before any
+/// query runs, plus optionally the payload checksum; a truncated,
+/// bit-flipped, or out-of-order index fails with a clear Status instead of
+/// answering queries wrong. The mapping is immutable and safe for any
+/// number of concurrent reader threads.
+class MmapTripleIndex : public TripleSource {
+ public:
+  static StatusOr<MmapTripleIndex> Open(const std::string& path,
+                                        MmapTripleIndexOptions options = {});
+
+  ~MmapTripleIndex() override;
+  MmapTripleIndex(MmapTripleIndex&& other) noexcept;
+  MmapTripleIndex& operator=(MmapTripleIndex&& other) noexcept;
+  MmapTripleIndex(const MmapTripleIndex&) = delete;
+  MmapTripleIndex& operator=(const MmapTripleIndex&) = delete;
+
+  // TripleSource.
+  uint64_t NumTriples() const override { return header_.num_triples; }
+  EntityId MaxEntityId() const override { return header_.num_entities; }
+  RelationId MaxRelationId() const override { return header_.num_relations; }
+  bool Contains(EntityId h, RelationId r, EntityId t) const override;
+  using TripleSource::Contains;
+  bool HasRelation(EntityId h, RelationId r) const override;
+  IdSpan Tails(EntityId h, RelationId r) const override;
+  IdSpan Heads(RelationId r, EntityId t) const override;
+  IdSpan RelationsOf(EntityId h) const override;
+  uint64_t RelationCount(RelationId r) const override;
+  void AppendTriples(std::vector<Triple>* out) const override;
+
+  // Index metadata.
+  const PkgtHeader& header() const { return header_; }
+  uint64_t file_size() const { return header_.file_size; }
+  const std::string& path() const { return path_; }
+
+  /// Per-predicate range of POS runs [first, last): each run is one
+  /// distinct (r, tail) pair whose values are the sorted head entities.
+  /// The query engine's merge joins iterate these directly.
+  uint64_t PredRunBegin(RelationId r) const;
+  uint64_t PredRunEnd(RelationId r) const;
+  /// Values of POS run `run` (sorted ascending head ids) and its tail key.
+  IdSpan PosRunValues(uint64_t run) const;
+  uint32_t PosRunTail(uint64_t run) const;
+
+  /// SPO run enumeration for subject scans: runs are sorted by
+  /// (head, relation), so walking them yields every subject in ascending
+  /// order (with one run per relation the subject has).
+  uint64_t NumSpoRuns() const { return spo_.num_runs; }
+  uint32_t SpoRunHead(uint64_t run) const {
+    return PkgtKeyFirst(spo_.keys[run]);
+  }
+  /// First SPO run whose head is >= h (num_runs if none).
+  uint64_t SpoRunLowerBound(EntityId h) const;
+
+  /// Recomputes the payload checksum against the header (reads the whole
+  /// mapping). Used by `pkgm_tool inspect-kg-index`.
+  Status VerifyChecksum() const;
+
+  /// Deep structural validation beyond what Open checks: every value run
+  /// sorted ascending, per-predicate table consistent with the POS keys.
+  /// O(num_triples) — used by the inspect tool and the corruption tests.
+  Status Validate() const;
+
+ private:
+  /// One permutation's mapped arrays.
+  struct Permutation {
+    const uint64_t* keys = nullptr;
+    const uint64_t* offsets = nullptr;
+    const uint32_t* values = nullptr;
+    uint64_t num_runs = 0;
+
+    /// Index of the run with exactly `key`, or num_runs if absent.
+    uint64_t FindRun(uint64_t key) const;
+    /// Values slice of run i.
+    IdSpan Run(uint64_t i) const {
+      return {values + offsets[i],
+              static_cast<size_t>(offsets[i + 1] - offsets[i])};
+    }
+    /// Run-index range whose keys lead with `first`.
+    void FirstRange(uint32_t first, uint64_t* begin, uint64_t* end) const;
+  };
+
+  MmapTripleIndex() = default;
+
+  void Release() noexcept;
+  Status MapPermutation(const PkgtPermutation& section, const char* name,
+                        Permutation* out) const;
+
+  PkgtHeader header_;
+  std::string path_;
+  const unsigned char* base_ = nullptr;  // whole-file mapping
+  uint64_t mapped_bytes_ = 0;
+
+  Permutation spo_, pos_, osp_;
+  const uint32_t* spo_run_relations_ = nullptr;
+  const uint64_t* pred_runs_ = nullptr;
+};
+
+}  // namespace pkgm::kg
+
+#endif  // PKGM_KG_MMAP_TRIPLE_INDEX_H_

@@ -1,24 +1,50 @@
 #include "kg/query_engine.h"
 
 #include "util/stopwatch.h"
+#include "util/string_util.h"
 
 namespace pkgm::kg {
 
-const std::vector<EntityId>& QueryEngine::TripleQuery(EntityId h,
-                                                      RelationId r) {
+IdSpan QueryEngine::TripleQuery(EntityId h, RelationId r) {
   Stopwatch sw;
-  const std::vector<EntityId>& result = store_->Tails(h, r);
+  const IdSpan result = source_->Tails(h, r);
+  // Empty answers are recorded too: a miss costs the same index probe as a
+  // hit, and leaving misses out would skew the latency distribution toward
+  // whatever the workload happens to know.
   latency_micros_.Record(sw.ElapsedSeconds() * 1e6);
   ++num_triple_queries_;
+  if (result.empty()) ++num_empty_triple_results_;
   return result;
 }
 
-const std::vector<RelationId>& QueryEngine::RelationQuery(EntityId h) {
+IdSpan QueryEngine::RelationQuery(EntityId h) {
   Stopwatch sw;
-  const std::vector<RelationId>& result = store_->RelationsOf(h);
+  const IdSpan result = source_->RelationsOf(h);
   latency_micros_.Record(sw.ElapsedSeconds() * 1e6);
   ++num_relation_queries_;
+  if (result.empty()) ++num_empty_relation_results_;
   return result;
+}
+
+std::string QueryEngine::StatsJson() const {
+  const Histogram& h = latency_micros_;
+  const std::string latency =
+      h.count() == 0
+          ? "{\"count\":0}"
+          : StrFormat("{\"count\":%llu,\"p50_us\":%.2f,\"p95_us\":%.2f,"
+                      "\"p99_us\":%.2f,\"mean_us\":%.2f}",
+                      static_cast<unsigned long long>(h.count()),
+                      h.Percentile(0.5), h.Percentile(0.95),
+                      h.Percentile(0.99), h.Mean());
+  return StrFormat(
+      "{\"triple_queries\":%llu,\"relation_queries\":%llu,"
+      "\"empty_triple_results\":%llu,\"empty_relation_results\":%llu,"
+      "\"latency\":%s}",
+      static_cast<unsigned long long>(num_triple_queries_),
+      static_cast<unsigned long long>(num_relation_queries_),
+      static_cast<unsigned long long>(num_empty_triple_results_),
+      static_cast<unsigned long long>(num_empty_relation_results_),
+      latency.c_str());
 }
 
 }  // namespace pkgm::kg

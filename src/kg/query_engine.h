@@ -2,14 +2,14 @@
 #define PKGM_KG_QUERY_ENGINE_H_
 
 #include <cstdint>
-#include <vector>
+#include <string>
 
-#include "kg/triple_store.h"
+#include "kg/triple_source.h"
 #include "util/histogram.h"
 
 namespace pkgm::kg {
 
-/// Symbolic query engine over a TripleStore: answers exactly the two query
+/// Symbolic query engine over a TripleSource: answers exactly the two query
 /// shapes PKGM's vector services replace (§II):
 ///
 ///   SELECT ?t WHERE { h r ?t }    -> TripleQuery(h, r)
@@ -18,28 +18,43 @@ namespace pkgm::kg {
 /// This is the baseline "knowledge service via triple data" the paper's
 /// deployment used previously; the bench_service_latency harness compares it
 /// against vector-space serving. Instrumented with query counters and a
-/// latency histogram.
+/// latency histogram; every query is recorded, including ones with an empty
+/// result — the empty answers are exactly the KG-incompleteness cases PKGM
+/// exists to fix, so they are also counted separately.
 class QueryEngine {
  public:
-  /// Does not take ownership; `store` must outlive the engine.
-  explicit QueryEngine(const TripleStore* store) : store_(store) {}
+  /// Does not take ownership; `source` must outlive the engine. Works over
+  /// the in-memory TripleStore and the mmap-backed MmapTripleIndex alike.
+  explicit QueryEngine(const TripleSource* source) : source_(source) {}
 
   /// Tail entities for (h, r, ?t). Empty when the KG has no matching triple
   /// — the symbolic engine has no completion capability, which is the
   /// incompleteness disadvantage PKGM addresses.
-  const std::vector<EntityId>& TripleQuery(EntityId h, RelationId r);
+  IdSpan TripleQuery(EntityId h, RelationId r);
 
   /// Distinct relations of h for (h, ?r).
-  const std::vector<RelationId>& RelationQuery(EntityId h);
+  IdSpan RelationQuery(EntityId h);
 
   uint64_t num_triple_queries() const { return num_triple_queries_; }
   uint64_t num_relation_queries() const { return num_relation_queries_; }
+  uint64_t num_empty_triple_results() const {
+    return num_empty_triple_results_;
+  }
+  uint64_t num_empty_relation_results() const {
+    return num_empty_relation_results_;
+  }
   const Histogram& latency_micros() const { return latency_micros_; }
 
+  /// Machine-readable snapshot of the counters and latency percentiles —
+  /// one JSON object, same conventions as serve::ServerStats::StatsJson().
+  std::string StatsJson() const;
+
  private:
-  const TripleStore* store_;
+  const TripleSource* source_;
   uint64_t num_triple_queries_ = 0;
   uint64_t num_relation_queries_ = 0;
+  uint64_t num_empty_triple_results_ = 0;
+  uint64_t num_empty_relation_results_ = 0;
   Histogram latency_micros_;
 };
 

@@ -1,0 +1,44 @@
+#ifndef PKGM_KG_TRIPLE_INDEX_WRITER_H_
+#define PKGM_KG_TRIPLE_INDEX_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "kg/triple.h"
+#include "kg/triple_source.h"
+#include "util/status.h"
+
+namespace pkgm::kg {
+
+/// Build statistics returned by a successful index write.
+struct TripleIndexBuildStats {
+  uint64_t num_triples = 0;
+  uint64_t spo_runs = 0;
+  uint64_t pos_runs = 0;
+  uint64_t osp_runs = 0;
+  uint64_t file_bytes = 0;
+  double seconds = 0.0;
+};
+
+/// Builds the three sorted permutation sub-indices (SPO, POS, OSP) of a
+/// triple set and streams them into a versioned, checksummed `.pkgt` file
+/// (see pkgt_format.h). Duplicates in the input are collapsed; build memory
+/// is one Triple vector (sorted in place, once per permutation) plus the
+/// current permutation's run/value arrays.
+class TripleIndexWriter {
+ public:
+  TripleIndexWriter() = default;
+
+  /// Indexes every triple of `source`.
+  StatusOr<TripleIndexBuildStats> Write(const TripleSource& source,
+                                        const std::string& path) const;
+
+  /// Indexes an explicit triple list (consumed: sorted and deduped in
+  /// place). Fails with InvalidArgument on an empty input.
+  StatusOr<TripleIndexBuildStats> WriteTriples(std::vector<Triple> triples,
+                                               const std::string& path) const;
+};
+
+}  // namespace pkgm::kg
+
+#endif  // PKGM_KG_TRIPLE_INDEX_WRITER_H_

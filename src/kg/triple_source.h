@@ -1,0 +1,79 @@
+#ifndef PKGM_KG_TRIPLE_SOURCE_H_
+#define PKGM_KG_TRIPLE_SOURCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "kg/triple.h"
+
+namespace pkgm::kg {
+
+/// Non-owning view of a run of 32-bit ids (entities or relations). The
+/// backing storage is an in-memory vector (TripleStore) or a sorted run
+/// inside a memory-mapped `.pkgt` index (MmapTripleIndex); either way the
+/// span stays valid as long as its source does and no triples are added.
+struct IdSpan {
+  const uint32_t* ptr = nullptr;
+  size_t count = 0;
+
+  const uint32_t* begin() const { return ptr; }
+  const uint32_t* end() const { return ptr + count; }
+  size_t size() const { return count; }
+  bool empty() const { return count == 0; }
+  uint32_t operator[](size_t i) const { return ptr[i]; }
+};
+
+/// Read-only access to a triple set — the seam between the KG storage
+/// backends and everything that consumes facts: negative-sampling filters,
+/// filtered link-prediction ranking, the symbolic query engines, and the
+/// trainers' epoch iteration.
+///
+/// Implemented by the in-memory TripleStore (hash maps over vectors) and by
+/// MmapTripleIndex (zero-copy binary search over sorted permutation runs of
+/// a `.pkgt` file), so consumers scale from laptop graphs to indexes far
+/// larger than RAM without code changes. Implementations must be safe for
+/// concurrent readers once loading is done.
+class TripleSource {
+ public:
+  virtual ~TripleSource() = default;
+
+  /// Number of distinct triples.
+  virtual uint64_t NumTriples() const = 0;
+  /// Largest entity id referenced + 1 (0 if empty).
+  virtual EntityId MaxEntityId() const = 0;
+  /// Largest relation id referenced + 1 (0 if empty).
+  virtual RelationId MaxRelationId() const = 0;
+
+  /// Exact membership test.
+  virtual bool Contains(EntityId h, RelationId r, EntityId t) const = 0;
+  bool Contains(const Triple& t) const {
+    return Contains(t.head, t.relation, t.tail);
+  }
+
+  /// True if head h has at least one triple with relation r.
+  virtual bool HasRelation(EntityId h, RelationId r) const = 0;
+
+  /// Tail entities of (h, r); empty if none. Order is backend-defined
+  /// (insertion order in memory, sorted ascending on disk) — consumers that
+  /// need a canonical order must sort.
+  virtual IdSpan Tails(EntityId h, RelationId r) const = 0;
+
+  /// Head entities of (r, t); empty if none.
+  virtual IdSpan Heads(RelationId r, EntityId t) const = 0;
+
+  /// Distinct relations attached to head h.
+  virtual IdSpan RelationsOf(EntityId h) const = 0;
+
+  /// Number of triples whose relation is r.
+  virtual uint64_t RelationCount(RelationId r) const = 0;
+
+  /// Appends every triple to `out` in the backend's iteration order
+  /// (insertion order in memory, SPO order on disk). Trainers materialize
+  /// their epoch working set through this.
+  virtual void AppendTriples(std::vector<Triple>* out) const = 0;
+};
+
+}  // namespace pkgm::kg
+
+#endif  // PKGM_KG_TRIPLE_SOURCE_H_

@@ -5,14 +5,7 @@
 namespace pkgm::kg {
 
 namespace {
-const std::vector<EntityId>& EmptyEntityList() {
-  static const std::vector<EntityId>* empty = new std::vector<EntityId>();
-  return *empty;
-}
-const std::vector<RelationId>& EmptyRelationList() {
-  static const std::vector<RelationId>* empty = new std::vector<RelationId>();
-  return *empty;
-}
+IdSpan SpanOf(const std::vector<uint32_t>& v) { return {v.data(), v.size()}; }
 }  // namespace
 
 bool TripleStore::Add(const Triple& t) {
@@ -27,6 +20,11 @@ bool TripleStore::Add(const Triple& t) {
   tails.push_back(t.tail);
   rt_to_heads_[PairKey(t.relation, t.tail)].push_back(t.head);
 
+  if (t.relation >= relation_counts_.size()) {
+    relation_counts_.resize(t.relation + 1, 0);
+  }
+  ++relation_counts_[t.relation];
+
   max_entity_id_ = std::max(max_entity_id_, std::max(t.head, t.tail) + 1);
   max_relation_id_ = std::max(max_relation_id_, t.relation + 1);
   return true;
@@ -36,27 +34,29 @@ bool TripleStore::HasRelation(EntityId h, RelationId r) const {
   return hr_to_tails_.count(PairKey(h, r)) > 0;
 }
 
-const std::vector<EntityId>& TripleStore::Tails(EntityId h, RelationId r) const {
+IdSpan TripleStore::Tails(EntityId h, RelationId r) const {
   auto it = hr_to_tails_.find(PairKey(h, r));
-  return it == hr_to_tails_.end() ? EmptyEntityList() : it->second;
+  return it == hr_to_tails_.end() ? IdSpan{} : SpanOf(it->second);
 }
 
-const std::vector<EntityId>& TripleStore::Heads(RelationId r, EntityId t) const {
+IdSpan TripleStore::Heads(RelationId r, EntityId t) const {
   auto it = rt_to_heads_.find(PairKey(r, t));
-  return it == rt_to_heads_.end() ? EmptyEntityList() : it->second;
+  return it == rt_to_heads_.end() ? IdSpan{} : SpanOf(it->second);
 }
 
-const std::vector<RelationId>& TripleStore::RelationsOf(EntityId h) const {
+IdSpan TripleStore::RelationsOf(EntityId h) const {
   auto it = head_relations_.find(h);
-  return it == head_relations_.end() ? EmptyRelationList() : it->second;
+  return it == head_relations_.end() ? IdSpan{} : SpanOf(it->second);
 }
 
 std::vector<uint64_t> TripleStore::RelationFrequencies(
     uint32_t num_relations) const {
-  std::vector<uint64_t> freq(num_relations, 0);
-  for (const Triple& t : triples_) {
-    if (t.relation < num_relations) ++freq[t.relation];
-  }
+  // Grown, never truncated: ids at or above the caller's count keep their
+  // tally instead of being silently dropped (the caller can detect the
+  // mismatch from the result size).
+  std::vector<uint64_t> freq(
+      std::max<size_t>(num_relations, relation_counts_.size()), 0);
+  std::copy(relation_counts_.begin(), relation_counts_.end(), freq.begin());
   return freq;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "kg/triple.h"
+#include "kg/triple_source.h"
 
 namespace pkgm::kg {
 
@@ -18,7 +19,11 @@ namespace pkgm::kg {
 /// plus the inverse index Heads(r, t) needed for filtered link-prediction
 /// ranking. Duplicate inserts are ignored. Not thread-safe for writes;
 /// reads are safe once loading is done.
-class TripleStore {
+///
+/// Implements TripleSource, so every consumer (negative sampling, filtered
+/// ranking, the query engines, the trainers) runs identically against this
+/// store and against a memory-mapped `.pkgt` MmapTripleIndex.
+class TripleStore : public TripleSource {
  public:
   TripleStore() = default;
 
@@ -33,32 +38,47 @@ class TripleStore {
   /// All triples in insertion order.
   const std::vector<Triple>& triples() const { return triples_; }
 
+  // TripleSource.
+  uint64_t NumTriples() const override { return triples_.size(); }
+  /// Largest entity id referenced + 1 (0 if empty).
+  EntityId MaxEntityId() const override { return max_entity_id_; }
+  /// Largest relation id referenced + 1 (0 if empty).
+  RelationId MaxRelationId() const override { return max_relation_id_; }
+
   /// Exact membership test.
-  bool Contains(const Triple& t) const { return set_.count(t) > 0; }
-  bool Contains(EntityId h, RelationId r, EntityId t) const {
-    return Contains(Triple{h, r, t});
+  bool Contains(EntityId h, RelationId r, EntityId t) const override {
+    return set_.count(Triple{h, r, t}) > 0;
   }
+  bool Contains(const Triple& t) const { return set_.count(t) > 0; }
 
   /// True if head h has at least one triple with relation r.
-  bool HasRelation(EntityId h, RelationId r) const;
+  bool HasRelation(EntityId h, RelationId r) const override;
 
-  /// Tail entities of (h, r); empty if none. The returned reference is
+  /// Tail entities of (h, r) in insertion order; empty if none. The span is
   /// valid until the next Add.
-  const std::vector<EntityId>& Tails(EntityId h, RelationId r) const;
+  IdSpan Tails(EntityId h, RelationId r) const override;
 
   /// Head entities of (r, t); empty if none.
-  const std::vector<EntityId>& Heads(RelationId r, EntityId t) const;
+  IdSpan Heads(RelationId r, EntityId t) const override;
 
   /// Distinct relations attached to head h, in first-seen order.
-  const std::vector<RelationId>& RelationsOf(EntityId h) const;
+  IdSpan RelationsOf(EntityId h) const override;
 
-  /// Number of triples per relation (index = relation id; absent = 0).
+  /// Number of triples with relation r.
+  uint64_t RelationCount(RelationId r) const override {
+    return r < relation_counts_.size() ? relation_counts_[r] : 0;
+  }
+
+  /// Appends all triples in insertion order.
+  void AppendTriples(std::vector<Triple>* out) const override {
+    out->insert(out->end(), triples_.begin(), triples_.end());
+  }
+
+  /// Number of triples per relation (index = relation id; absent = 0). The
+  /// result always covers every relation the store has seen: its size is
+  /// max(num_relations, MaxRelationId()), so out-of-range relation ids are
+  /// reported instead of silently dropped.
   std::vector<uint64_t> RelationFrequencies(uint32_t num_relations) const;
-
-  /// Largest entity id referenced + 1 (0 if empty).
-  EntityId MaxEntityId() const { return max_entity_id_; }
-  /// Largest relation id referenced + 1 (0 if empty).
-  RelationId MaxRelationId() const { return max_relation_id_; }
 
  private:
   static uint64_t PairKey(uint32_t a, uint32_t b) {
@@ -70,6 +90,7 @@ class TripleStore {
   std::unordered_map<uint64_t, std::vector<EntityId>> hr_to_tails_;
   std::unordered_map<uint64_t, std::vector<EntityId>> rt_to_heads_;
   std::unordered_map<EntityId, std::vector<RelationId>> head_relations_;
+  std::vector<uint64_t> relation_counts_;
   EntityId max_entity_id_ = 0;
   RelationId max_relation_id_ = 0;
 };

@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "core/trainer.h"
+#include "kg/triple_store.h"
 #include "nn/optimizer.h"
 #include "rec/ncf.h"
 #include "text/tokenizer.h"

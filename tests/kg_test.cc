@@ -85,6 +85,34 @@ TEST(TripleStoreTest, RelationFrequencies) {
   EXPECT_EQ(freq[2], 1u);
 }
 
+TEST(TripleStoreTest, RelationFrequenciesKeepOutOfRangeIds) {
+  // Regression: a relation id at or above the caller's count used to be
+  // silently dropped from the tally; the result must grow instead.
+  TripleStore s;
+  s.Add(1, 0, 2);
+  s.Add(3, 7, 4);  // id 7 >= the declared count of 2
+  s.Add(5, 7, 6);
+  auto freq = s.RelationFrequencies(2);
+  ASSERT_EQ(freq.size(), 8u);
+  EXPECT_EQ(freq[0], 1u);
+  EXPECT_EQ(freq[1], 0u);
+  EXPECT_EQ(freq[7], 2u);
+  // Asking for more relations than seen still pads with zeros.
+  EXPECT_EQ(s.RelationFrequencies(12).size(), 12u);
+}
+
+TEST(TripleStoreTest, RelationCountsTrackAdds) {
+  TripleStore s;
+  s.Add(1, 0, 2);
+  s.Add(1, 0, 3);
+  s.Add(1, 0, 3);  // duplicate: ignored
+  s.Add(2, 4, 1);
+  EXPECT_EQ(s.RelationCount(0), 2u);
+  EXPECT_EQ(s.RelationCount(4), 1u);
+  EXPECT_EQ(s.RelationCount(3), 0u);
+  EXPECT_EQ(s.RelationCount(99), 0u);
+}
+
 TEST(TripleStoreTest, MaxIds) {
   TripleStore s;
   s.Add(10, 3, 42);
@@ -322,6 +350,41 @@ TEST(QueryEngineTest, AnswersBothQueryShapes) {
   EXPECT_EQ(engine.num_triple_queries(), 2u);
   EXPECT_EQ(engine.num_relation_queries(), 1u);
   EXPECT_EQ(engine.latency_micros().count(), 3u);
+}
+
+TEST(QueryEngineTest, EmptyResultsAreRecordedAndCounted) {
+  TripleStore s;
+  s.Add(1, 0, 5);
+  QueryEngine engine(&s);
+  engine.TripleQuery(1, 0);   // hit
+  engine.TripleQuery(9, 9);   // miss
+  engine.TripleQuery(1, 3);   // miss
+  engine.RelationQuery(1);    // hit
+  engine.RelationQuery(42);   // miss
+  // Misses land in the same latency histogram as hits...
+  EXPECT_EQ(engine.latency_micros().count(), 5u);
+  // ...and are tallied separately per query shape.
+  EXPECT_EQ(engine.num_empty_triple_results(), 2u);
+  EXPECT_EQ(engine.num_empty_relation_results(), 1u);
+}
+
+TEST(QueryEngineTest, StatsJsonSnapshot) {
+  TripleStore s;
+  s.Add(1, 0, 5);
+  QueryEngine engine(&s);
+  const std::string empty = engine.StatsJson();
+  EXPECT_NE(empty.find("\"triple_queries\":0"), std::string::npos);
+  EXPECT_NE(empty.find("\"latency\":{\"count\":0}"), std::string::npos);
+
+  engine.TripleQuery(1, 0);
+  engine.TripleQuery(2, 2);
+  engine.RelationQuery(7);
+  const std::string json = engine.StatsJson();
+  EXPECT_NE(json.find("\"triple_queries\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"relation_queries\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"empty_triple_results\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"empty_relation_results\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\""), std::string::npos);
 }
 
 // ----------------------------------------------------------------- Split --
