@@ -11,13 +11,21 @@
 // and the pipelined ShardedTrainer at 8 workers, all at d=64 on the same
 // synthetic PKG with the same SGD hyper-parameters.
 //
+// `--distributed [N]` adds the true parameter-server path: N in-process
+// ParamServer shards behind epoll NetServers on loopback, driven by a
+// DistTrainer over real TCP, so the JSON also records distributed
+// throughput vs the in-memory sharded plateau and the final-hinge ratio
+// between the two.
+//
 // `--smoke` shrinks the PKG and epoch counts for CI and self-asserts that
-// training converges (mean hinge decreases) and the throughput fields are
-// populated; exits non-zero on failure.
+// training converges (mean hinge decreases), the throughput fields are
+// populated, and (with --distributed) the distributed final hinge lands
+// within 2% of the sharded trainer's; exits non-zero on failure.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -27,7 +35,10 @@
 #include "core/pkgm_model.h"
 #include "core/sharded_trainer.h"
 #include "core/trainer.h"
+#include "dist/dist_trainer.h"
+#include "dist/param_server.h"
 #include "kg/synthetic_pkg.h"
+#include "net/net_server.h"
 #include "tensor/ops.h"
 #include "tensor/simd/kernel_dispatch.h"
 #include "util/rng.h"
@@ -326,6 +337,91 @@ TrainResult RunSharded(const kg::SyntheticPkg& pkg, const PretrainConfig& c) {
   return r;
 }
 
+struct DistResult {
+  TrainResult train;
+  uint64_t pulls = 0;
+  uint64_t pushes = 0;
+  bool ok = false;
+};
+
+// The true distributed path, run in-process for the bench: each shard is a
+// ParamServer behind its own epoll NetServer on an ephemeral loopback port,
+// and the DistTrainer drives them over real TCP — full wire encode / CRC /
+// decode cost on every pull and push, unlike the in-memory ShardedTrainer
+// it is compared against.
+DistResult RunDistributed(const kg::SyntheticPkg& pkg,
+                          const PretrainConfig& c, uint32_t num_shards) {
+  DistResult r;
+  std::vector<std::unique_ptr<dist::ParamServer>> shards;
+  std::vector<std::unique_ptr<net::NetServer>> servers;
+  std::vector<std::string> endpoints;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    dist::ParamServerOptions popt;
+    popt.shard_index = s;
+    popt.num_shards = num_shards;
+    popt.model = ModelOptionsFor(pkg, c);
+    popt.optimizer = core::OptimizerKind::kSgd;
+    popt.learning_rate = c.lr;
+    shards.push_back(std::make_unique<dist::ParamServer>(popt));
+    net::NetServerOptions nopt;
+    nopt.bind_address = "127.0.0.1";
+    nopt.port = 0;
+    servers.push_back(
+        std::make_unique<net::NetServer>(shards.back().get(), nopt));
+    Status started = servers.back()->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "distributed shard %u: %s\n", s,
+                   started.ToString().c_str());
+      for (size_t i = 0; i < servers.size() - 1; ++i) servers[i]->Stop();
+      return r;
+    }
+    endpoints.push_back(
+        StrFormat("127.0.0.1:%u", servers.back()->port()));
+  }
+
+  {
+    dist::DistTrainerOptions dopt;
+    dopt.shard_endpoints = endpoints;
+    dopt.num_workers = c.workers;
+    dopt.batch_size = c.batch;
+    dopt.learning_rate = c.lr;
+    dopt.margin = c.margin;
+    dopt.seed = c.seed;
+    dist::DistTrainer trainer(&pkg.observed, dopt);
+    Status st = trainer.Connect();
+    if (st.ok()) {
+      double secs = 0.0;
+      uint64_t total = 0;
+      for (uint32_t e = 0; e < c.epochs && st.ok(); ++e) {
+        StatusOr<core::EpochStats> s = trainer.RunEpoch();
+        if (!s.ok()) {
+          st = s.status();
+          break;
+        }
+        r.train.hinge.push_back(s->mean_hinge);
+        secs += s->seconds;
+        total += s->total_pairs;
+      }
+      if (st.ok()) {
+        r.train.tps = secs > 0 ? static_cast<double>(total) / secs : 0.0;
+        r.pulls = trainer.pulls();
+        r.pushes = trainer.pushes();
+        r.ok = true;
+      }
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "distributed training: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+
+  // Parked barrier responds count as outstanding frames: abort before the
+  // drain waits on them.
+  for (auto& shard : shards) shard->AbortBarriers();
+  for (auto& server : servers) server->Stop();
+  return r;
+}
+
 void PrintHingeArray(std::FILE* f, const std::vector<double>& hinge) {
   std::fprintf(f, "[");
   for (size_t i = 0; i < hinge.size(); ++i) {
@@ -334,7 +430,8 @@ void PrintHingeArray(std::FILE* f, const std::vector<double>& hinge) {
   std::fprintf(f, "]");
 }
 
-int RunJson(const char* argv0, const char* path, bool smoke) {
+int RunJson(const char* argv0, const char* path, bool smoke,
+            uint32_t dist_shards) {
   const PretrainConfig c = MakeConfig(smoke);
   kg::SyntheticPkg pkg = kg::SyntheticPkgGenerator(c.pkg).Generate();
 
@@ -346,6 +443,8 @@ int RunJson(const char* argv0, const char* path, bool smoke) {
   const double seed_tps = SeedBaselineTps(argv0, tmp_base, smoke);
   const TrainResult single = RunFusedSingle(pkg, c);
   const TrainResult sharded = RunSharded(pkg, c);
+  DistResult dist;
+  if (dist_shards > 0) dist = RunDistributed(pkg, c, dist_shards);
 
   const double single_speedup = seed_tps > 0 ? single.tps / seed_tps : 0.0;
   const double sharded_speedup = seed_tps > 0 ? sharded.tps / seed_tps : 0.0;
@@ -363,6 +462,22 @@ int RunJson(const char* argv0, const char* path, bool smoke) {
               c.workers, sharded.tps, sharded_speedup);
   std::printf("  final mean hinge: single %.4f, sharded %.4f (ratio %.3f)\n",
               single.hinge.back(), sharded.hinge.back(), hinge_ratio);
+  double dist_speedup = 0.0, dist_hinge_ratio = 0.0;
+  if (dist_shards > 0 && dist.ok) {
+    dist_speedup = seed_tps > 0 ? dist.train.tps / seed_tps : 0.0;
+    dist_hinge_ratio = sharded.hinge.back() != 0.0
+                           ? dist.train.hinge.back() / sharded.hinge.back()
+                           : 0.0;
+    std::printf("  distributed PS, %u shards x %u wrk:  %12.0f triples/s "
+                "(%.2fx; %llu pulls, %llu pushes)\n",
+                dist_shards, c.workers, dist.train.tps, dist_speedup,
+                static_cast<unsigned long long>(dist.pulls),
+                static_cast<unsigned long long>(dist.pushes));
+    std::printf("  final mean hinge: distributed %.4f vs sharded %.4f "
+                "(ratio %.3f)\n",
+                dist.train.hinge.back(), sharded.hinge.back(),
+                dist_hinge_ratio);
+  }
 
   if (path != nullptr) {
     std::FILE* f = std::fopen(path, "w");
@@ -395,8 +510,23 @@ int RunJson(const char* argv0, const char* path, bool smoke) {
                  "\"workers\": %u, \"mean_hinge_per_epoch\": ",
                  sharded.tps, c.workers);
     PrintHingeArray(f, sharded.hinge);
+    std::fprintf(f, "},\n");
+    if (dist_shards > 0 && dist.ok) {
+      std::fprintf(f,
+                   "  \"distributed\": {\"triples_per_sec\": %.1f, "
+                   "\"shards\": %u, \"workers\": %u, \"pulls\": %llu, "
+                   "\"pushes\": %llu, \"mean_hinge_per_epoch\": ",
+                   dist.train.tps, dist_shards, c.workers,
+                   static_cast<unsigned long long>(dist.pulls),
+                   static_cast<unsigned long long>(dist.pushes));
+      PrintHingeArray(f, dist.train.hinge);
+      std::fprintf(f,
+                   "},\n  \"speedup_distributed_vs_seed_baseline\": %.2f,\n"
+                   "  \"distributed_vs_sharded_final_hinge_ratio\": %.3f,\n",
+                   dist_speedup, dist_hinge_ratio);
+    }
     std::fprintf(f,
-                 "},\n  \"speedup_single_vs_seed_baseline\": %.2f,\n"
+                 "  \"speedup_single_vs_seed_baseline\": %.2f,\n"
                  "  \"speedup_sharded_vs_seed_baseline\": %.2f,\n"
                  "  \"sharded_vs_single_final_hinge_ratio\": %.3f\n}\n",
                  single_speedup, sharded_speedup, hinge_ratio);
@@ -417,6 +547,20 @@ int RunJson(const char* argv0, const char* path, bool smoke) {
            "single-threaded mean hinge decreases over training");
     expect(sharded.hinge.back() < sharded.hinge.front(),
            "sharded mean hinge decreases over training");
+    if (dist_shards > 0) {
+      expect(dist.ok, "distributed training completed");
+      if (dist.ok) {
+        expect(dist.train.tps > 0.0, "distributed throughput measured");
+        expect(dist.train.hinge.back() < dist.train.hinge.front(),
+               "distributed mean hinge decreases over training");
+        // Acceptance bound: the distributed trajectory lands within 2% of
+        // the in-process ShardedTrainer at the same seed budget.
+        expect(dist_hinge_ratio > 0.98 && dist_hinge_ratio < 1.02,
+               "distributed final hinge within 2% of sharded");
+        expect(dist.pulls > 0 && dist.pushes > 0,
+               "wire traffic counters populated");
+      }
+    }
     if (failures > 0) {
       std::printf("bench_table2_pretraining: %d smoke check(s) FAILED\n",
                   failures);
@@ -434,11 +578,23 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool seed_tps = false;
   const char* json = nullptr;
+  uint32_t dist_shards = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json = argv[++i];
+    } else if (std::strcmp(argv[i], "--distributed") == 0) {
+      // Optional shard count (default 2): in-process loopback parameter
+      // servers measured against the sharded in-memory plateau.
+      dist_shards = 2;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        dist_shards = static_cast<uint32_t>(std::atoi(argv[++i]));
+        if (dist_shards == 0) {
+          std::fprintf(stderr, "--distributed wants a shard count >= 1\n");
+          return 2;
+        }
+      }
     } else if (std::strcmp(argv[i], "--seed-trainer-tps") == 0) {
       // Internal: print the seed-era trainer's triples/sec; used by --json
       // to measure the scalar baseline in a child process.
@@ -452,7 +608,9 @@ int main(int argc, char** argv) {
     std::printf("%.3f\n", pkgm::SeedTrainerTps(pkgm::MakeConfig(smoke)));
     return 0;
   }
-  if (smoke || json != nullptr) return pkgm::RunJson(argv[0], json, smoke);
+  if (smoke || json != nullptr || dist_shards > 0) {
+    return pkgm::RunJson(argv[0], json, smoke, dist_shards);
+  }
   pkgm::Run();
   return 0;
 }

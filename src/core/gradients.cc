@@ -244,6 +244,206 @@ void GradArena::Clear() {
   hyperplanes_.Clear();
 }
 
+// --------------------------------------------- GradArena serialization --
+
+namespace {
+
+// Little-endian blob plumbing. Rows move as raw f32 runs (a memcpy on
+// little-endian hosts), so serialize → deserialize reproduces payloads
+// bit-for-bit, -0.0f and all.
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+constexpr bool kBlobHostLittleEndian = true;
+#else
+constexpr bool kBlobHostLittleEndian = false;
+#endif
+
+void BlobPutU16(uint16_t v, std::string* out) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void BlobPutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void BlobPutF32Run(const float* v, size_t n, std::string* out) {
+  if (n == 0) return;
+  if (kBlobHostLittleEndian) {
+    out->append(reinterpret_cast<const char*>(v), n * sizeof(float));
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t bits;
+      std::memcpy(&bits, &v[i], sizeof(bits));
+      BlobPutU32(bits, out);
+    }
+  }
+}
+
+class BlobCursor {
+ public:
+  explicit BlobCursor(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  bool ReadU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool ReadU16(uint16_t* v) {
+    if (remaining() < 2) return false;
+    *v = static_cast<uint16_t>(Byte(0) | (Byte(1) << 8));
+    pos_ += 2;
+    return true;
+  }
+
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    *v = Byte(0) | (Byte(1) << 8) | (Byte(2) << 16) | (Byte(3) << 24);
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadF32Run(float* out, size_t n) {
+    if (n == 0) return true;
+    if (remaining() < n * sizeof(float)) return false;
+    if (kBlobHostLittleEndian) {
+      std::memcpy(out, data_.data() + pos_, n * sizeof(float));
+      pos_ += n * sizeof(float);
+      return true;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t bits;
+      if (!ReadU32(&bits)) return false;
+      std::memcpy(&out[i], &bits, sizeof(out[i]));
+    }
+    return true;
+  }
+
+ private:
+  uint32_t Byte(size_t i) const {
+    return static_cast<uint8_t>(data_[pos_ + i]);
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// `filtered` = apply the id % num_shards == shard predicate. Unfiltered
+// serialization passes num_shards = 1 (every id matches shard 0).
+// Returns the number of rows written.
+size_t SerializeSlab(const GradSlab& slab, uint32_t shard,
+                     uint32_t num_shards, std::string* out) {
+  const uint32_t n = slab.row_size();
+  uint32_t count = 0;
+  if (num_shards <= 1) {
+    count = static_cast<uint32_t>(slab.size());
+  } else {
+    for (size_t i = 0; i < slab.size(); ++i) {
+      if (slab.id_at(i) % num_shards == shard) ++count;
+    }
+  }
+  BlobPutU32(count == 0 ? 0 : n, out);
+  BlobPutU32(count, out);
+  for (size_t i = 0; i < slab.size(); ++i) {
+    const uint32_t id = slab.id_at(i);
+    if (num_shards > 1 && id % num_shards != shard) continue;
+    BlobPutU32(id, out);
+    BlobPutF32Run(slab.row_at(i), n, out);
+  }
+  return count;
+}
+
+Status BlobCorruption(const char* what) {
+  return Status::Corruption(std::string("GradArena blob: ") + what);
+}
+
+}  // namespace
+
+size_t SerializeGradArena(const GradArena& arena, std::string* out) {
+  return SerializeGradArena(arena, 0, 1, out);
+}
+
+size_t SerializeGradArena(const GradArena& arena, uint32_t shard,
+                          uint32_t num_shards, std::string* out) {
+  PKGM_CHECK_GT(num_shards, 0u);
+  PKGM_CHECK_LT(shard, num_shards);
+  BlobPutU32(kGradArenaBlobMagic, out);
+  out->push_back(static_cast<char>(kGradArenaBlobVersion));
+  out->push_back(static_cast<char>(4));  // num_slabs
+  BlobPutU16(0, out);                    // reserved
+  size_t rows = 0;
+  rows += SerializeSlab(arena.entities(), shard, num_shards, out);
+  rows += SerializeSlab(arena.relations(), shard, num_shards, out);
+  rows += SerializeSlab(arena.transfers(), shard, num_shards, out);
+  rows += SerializeSlab(arena.hyperplanes(), shard, num_shards, out);
+  return rows;
+}
+
+Status DeserializeGradArena(std::string_view blob, GradArena* arena,
+                            uint64_t* rows_applied) {
+  BlobCursor cursor(blob);
+  uint32_t magic;
+  uint8_t version, num_slabs;
+  uint16_t reserved;
+  if (!cursor.ReadU32(&magic) || !cursor.ReadU8(&version) ||
+      !cursor.ReadU8(&num_slabs) || !cursor.ReadU16(&reserved)) {
+    return BlobCorruption("truncated header");
+  }
+  if (magic != kGradArenaBlobMagic) return BlobCorruption("bad magic");
+  if (version != kGradArenaBlobVersion) {
+    return BlobCorruption("unsupported version");
+  }
+  if (num_slabs != 4) return BlobCorruption("unexpected slab count");
+  if (reserved != 0) return BlobCorruption("non-zero reserved bits");
+
+  uint64_t applied = 0;
+  GradSlab* slabs[4] = {&arena->entities(), &arena->relations(),
+                        &arena->transfers(), &arena->hyperplanes()};
+  std::vector<float> row;
+  for (GradSlab* slab : slabs) {
+    uint32_t row_size, count;
+    if (!cursor.ReadU32(&row_size) || !cursor.ReadU32(&count)) {
+      return BlobCorruption("truncated slab header");
+    }
+    if (count == 0) continue;
+    if (row_size == 0) return BlobCorruption("zero row size");
+    // Allocation guard: count rows of (4-byte id + row_size floats) must
+    // fit in the bytes actually left. Division keeps it overflow-proof.
+    const uint64_t entry_bytes = 4 + static_cast<uint64_t>(row_size) * 4;
+    if (entry_bytes > cursor.remaining() / count) {
+      return BlobCorruption("slab count exceeds byte budget");
+    }
+    if (!slab->empty() && slab->row_size() != row_size) {
+      return BlobCorruption("row size disagrees with target arena");
+    }
+    row.resize(row_size);
+    for (uint32_t i = 0; i < count; ++i) {
+      uint32_t id;
+      if (!cursor.ReadU32(&id) || !cursor.ReadF32Run(row.data(), row_size)) {
+        return BlobCorruption("truncated slab rows");
+      }
+      const size_t before = slab->size();
+      float* dst = slab->Row(id, row_size);
+      if (slab->size() > before) {
+        // Fresh row: copy, so the round trip is bit-exact (+= into the
+        // zero-initialized row would flush -0.0f payloads to +0.0f).
+        std::memcpy(dst, row.data(), row_size * sizeof(float));
+      } else {
+        for (uint32_t j = 0; j < row_size; ++j) dst[j] += row[j];
+      }
+      ++applied;
+    }
+  }
+  if (!cursor.done()) return BlobCorruption("trailing bytes");
+  if (rows_applied != nullptr) *rows_applied = applied;
+  return Status::Ok();
+}
+
 void HingeWorkspace::EnsureDim(uint32_t d) {
   if (diff_pos.size() >= d) return;
   diff_pos.resize(d);

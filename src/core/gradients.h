@@ -2,12 +2,15 @@
 #define PKGM_CORE_GRADIENTS_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "core/pkgm_model.h"
 #include "kg/triple.h"
 #include "tensor/simd/kernel_dispatch.h"
+#include "util/status.h"
 
 namespace pkgm::core {
 
@@ -130,6 +133,45 @@ class GradArena {
   GradSlab transfers_;
   GradSlab hyperplanes_;
 };
+
+// --------------------------------------------- GradArena serialization --
+
+/// First four bytes of a serialized GradArena blob ("PGRD" little-endian).
+constexpr uint32_t kGradArenaBlobMagic = 0x44524750;
+constexpr uint8_t kGradArenaBlobVersion = 1;
+
+/// Appends the touched rows of `arena` to `out` as a self-describing
+/// little-endian blob:
+///
+///   u32 magic, u8 version, u8 num_slabs (= 4), u16 reserved (= 0);
+///   per slab (entities, relations, transfers, hyperplanes, in order):
+///     u32 row_size, u32 count, count * {u32 id, row_size * f32}
+///
+/// An empty slab serializes as row_size 0, count 0. Rows keep their
+/// first-touch order, so serialize → deserialize into an empty arena is a
+/// bit-exact reproduction (including row order and -0.0f payloads).
+/// Returns the number of rows written (a worker skips the push entirely
+/// when its shard's slice is empty).
+size_t SerializeGradArena(const GradArena& arena, std::string* out);
+
+/// Shard-filtered variant: only rows whose id satisfies
+/// `id % num_shards == shard` are written (entity rows keyed by entity id;
+/// relation, transfer and hyperplane rows keyed by relation id). This is
+/// the per-parameter-server slice a distributed worker pushes.
+size_t SerializeGradArena(const GradArena& arena, uint32_t shard,
+                          uint32_t num_shards, std::string* out);
+
+/// Parses a blob produced by SerializeGradArena and ACCUMULATES its rows
+/// into `arena` (fresh rows are copied bit-exactly; rows already present
+/// are added element-wise, so several workers' blobs merge like local
+/// accumulation). Rejects corrupt input — bad magic/version, non-zero
+/// reserved bits, truncation, counts that exceed the byte budget (checked
+/// before any allocation), row_size disagreeing with a non-empty target
+/// slab, or trailing bytes — with a Corruption status; on failure `arena`
+/// may hold a prefix of the blob's rows. `rows_applied`, when non-null,
+/// receives the number of rows accumulated.
+Status DeserializeGradArena(std::string_view blob, GradArena* arena,
+                            uint64_t* rows_applied = nullptr);
 
 /// Reusable per-thread scratch for FusedHingeGradients: the forward pass
 /// parks the residuals the backward pass needs (TransE h + r - t; relation

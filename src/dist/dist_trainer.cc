@@ -1,0 +1,645 @@
+#include "dist/dist_trainer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "core/gradients.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace pkgm::dist {
+
+namespace {
+
+core::NegativeSampler::Options FillNegativeOptions(
+    core::NegativeSampler::Options neg, const core::PkgmModel& model) {
+  if (neg.num_entities == 0) neg.num_entities = model.num_entities();
+  if (neg.num_relations == 0) neg.num_relations = model.num_relations();
+  return neg;
+}
+
+Status ParseEndpoint(const std::string& endpoint, std::string* host,
+                     uint16_t* port) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
+    return Status::InvalidArgument("bad shard endpoint: " + endpoint);
+  }
+  *host = endpoint.substr(0, colon);
+  const long p = std::strtol(endpoint.c_str() + colon + 1, nullptr, 10);
+  if (p <= 0 || p > 65535) {
+    return Status::InvalidArgument("bad shard port in: " + endpoint);
+  }
+  *port = static_cast<uint16_t>(p);
+  return Status::Ok();
+}
+
+/// Resolves one CallFrame future within the deadline; a pending future
+/// past the deadline is abandoned (the promise side is still owned by the
+/// client's reader thread, which satisfies it whenever the frame — or the
+/// connection teardown — arrives).
+StatusOr<net::Frame> Await(std::future<StatusOr<net::Frame>>& fut,
+                           int timeout_ms) {
+  if (fut.wait_for(std::chrono::milliseconds(timeout_ms)) !=
+      std::future_status::ready) {
+    return Status::IoError("remote call timed out");
+  }
+  return fut.get();
+}
+
+/// Await + require the reply to be of `want` type.
+StatusOr<net::Frame> AwaitType(std::future<StatusOr<net::Frame>>& fut,
+                               net::FrameType want, int timeout_ms) {
+  StatusOr<net::Frame> reply = Await(fut, timeout_ms);
+  if (!reply.ok()) return reply;
+  if (reply.value().type != want) {
+    return Status::IoError(
+        StrFormat("unexpected reply frame type %u",
+                  static_cast<unsigned>(reply.value().type)));
+  }
+  return reply;
+}
+
+// Same producer/worker plumbing as ShardedTrainer (see sharded_trainer.cc
+// for the rationale); duplicated rather than exported because the types
+// are an implementation detail on both sides.
+struct PairBatch {
+  size_t index = 0;
+  std::vector<kg::Triple> pos;
+  std::vector<core::NegativeSample> neg;
+};
+
+class BatchQueue {
+ public:
+  explicit BatchQueue(size_t capacity) : capacity_(capacity) {}
+
+  bool Push(PairBatch* b) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return q_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    q_.push_back(b);
+    not_empty_.notify_one();
+    return true;
+  }
+
+  bool Pop(PairBatch** out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return !q_.empty() || closed_; });
+    if (q_.empty()) return false;
+    *out = q_.front();
+    q_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable not_empty_, not_full_;
+  std::deque<PairBatch*> q_;
+  const size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+/// Per-worker reusable scratch: the touched-id sets of the current batch
+/// and their per-shard split, plus the in-flight pull futures. Everything
+/// keeps its capacity across batches.
+struct DistTrainer::BatchScratch {
+  std::vector<uint32_t> ent_ids, rel_ids;              // sorted unique
+  std::vector<std::vector<uint32_t>> shard_ents;       // per shard
+  std::vector<std::vector<uint32_t>> shard_rels;
+  std::vector<std::future<StatusOr<net::Frame>>> pull_futures;
+  std::vector<net::RowsSection> rows;
+};
+
+DistTrainer::DistTrainer(const kg::TripleSource* store,
+                         DistTrainerOptions options)
+    : store_(store),
+      options_(std::move(options)),
+      kernels_(simd::Active()),
+      epoch_rng_(options_.seed),
+      // Same derivation as Trainer's validation stream, so an identical
+      // replica evaluates to the identical number.
+      eval_rng_(options_.seed ^ UINT64_C(0xBADD1CE5FEEDFACE)) {
+  PKGM_CHECK(store != nullptr);
+  PKGM_CHECK_GT(options_.num_workers, 0u);
+  PKGM_CHECK_GT(options_.batch_size, 0u);
+  PKGM_CHECK_GT(options_.num_worker_processes, 0u);
+  PKGM_CHECK_LT(options_.worker_process_index,
+                options_.num_worker_processes);
+}
+
+DistTrainer::~DistTrainer() = default;
+
+Status DistTrainer::Connect() {
+  const size_t num_shards = options_.shard_endpoints.size();
+  if (num_shards == 0) {
+    return Status::InvalidArgument("no shard endpoints configured");
+  }
+  clients_.clear();
+  std::vector<net::ShardInfo> infos(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    std::string host;
+    uint16_t port = 0;
+    PKGM_RETURN_IF_ERROR(
+        ParseEndpoint(options_.shard_endpoints[s], &host, &port));
+    net::NetClientOptions copt;
+    // One pipelined connection per local worker, so workers do not
+    // head-of-line block each other's pulls.
+    copt.num_connections = options_.num_workers;
+    auto client = net::NetClient::Connect(host, port, copt);
+    if (!client.ok()) return client.status();
+    clients_.push_back(std::move(client).value());
+
+    const uint64_t cid = clients_[s]->NextCorrelationId();
+    auto fut = clients_[s]->CallFrame(
+        cid, net::EncodeControl(net::FrameType::kShardInfo, cid));
+    StatusOr<net::Frame> reply =
+        AwaitType(fut, net::FrameType::kShardInfoReply, options_.io_timeout_ms);
+    if (!reply.ok()) return reply.status();
+    PKGM_RETURN_IF_ERROR(
+        net::DecodeShardInfoReply(reply.value().payload, &infos[s]));
+    if (infos[s].shard_index != s) {
+      return Status::InvalidArgument(StrFormat(
+          "endpoint %s announces shard %u, expected %u",
+          options_.shard_endpoints[s].c_str(),
+          static_cast<unsigned>(infos[s].shard_index),
+          static_cast<unsigned>(s)));
+    }
+    if (infos[s].num_shards != num_shards) {
+      return Status::InvalidArgument(StrFormat(
+          "shard %u believes in %u shards, worker is configured for %u",
+          static_cast<unsigned>(s),
+          static_cast<unsigned>(infos[s].num_shards),
+          static_cast<unsigned>(num_shards)));
+    }
+    const net::ShardInfo& a = infos[0];
+    const net::ShardInfo& b = infos[s];
+    if (b.num_entities != a.num_entities ||
+        b.num_relations != a.num_relations || b.dim != a.dim ||
+        b.scorer != a.scorer ||
+        b.use_relation_module != a.use_relation_module ||
+        b.optimizer != a.optimizer || b.learning_rate != a.learning_rate ||
+        b.model_seed != a.model_seed) {
+      return Status::InvalidArgument(StrFormat(
+          "shard %u's model configuration disagrees with shard 0",
+          static_cast<unsigned>(s)));
+    }
+  }
+  info_ = infos[0];
+  if (info_.learning_rate != options_.learning_rate) {
+    return Status::InvalidArgument(StrFormat(
+        "shards apply lr %g but the worker was configured with %g",
+        static_cast<double>(info_.learning_rate),
+        static_cast<double>(options_.learning_rate)));
+  }
+
+  core::PkgmModelOptions mopt;
+  mopt.num_entities = info_.num_entities;
+  mopt.num_relations = info_.num_relations;
+  mopt.dim = info_.dim;
+  mopt.scorer = static_cast<core::TripleScorerKind>(info_.scorer);
+  mopt.use_relation_module = info_.use_relation_module;
+  mopt.seed = info_.model_seed;
+  // Same options + same seed as every shard: the replica starts
+  // bit-identical, so rows never pulled (because never touched) are still
+  // exactly the shards' values.
+  replica_ = std::make_unique<core::PkgmModel>(mopt);
+  sampler_ = std::make_unique<core::NegativeSampler>(
+      FillNegativeOptions(options_.negative, *replica_), store_);
+  return Status::Ok();
+}
+
+Status DistTrainer::ApplyRowsSections(
+    const std::vector<net::RowsSection>& sections) {
+  for (const net::RowsSection& sec : sections) {
+    const uint32_t dim = replica_->dim();
+    uint32_t want_row = 0;
+    switch (sec.table) {
+      case net::ParamTable::kEntity:
+      case net::ParamTable::kRelation:
+      case net::ParamTable::kHyperplane:
+        want_row = dim;
+        break;
+      case net::ParamTable::kTransfer:
+        want_row = dim * dim;
+        break;
+    }
+    if (sec.row_size != want_row) {
+      return Status::IoError("pulled row size disagrees with the replica");
+    }
+    const float* src = sec.values.data();
+    for (uint32_t id : sec.ids) {
+      float* dst = nullptr;
+      switch (sec.table) {
+        case net::ParamTable::kEntity:
+          if (id >= replica_->num_entities()) break;
+          dst = replica_->entity(id);
+          break;
+        case net::ParamTable::kRelation:
+          if (id >= replica_->num_relations()) break;
+          dst = replica_->relation(id);
+          break;
+        case net::ParamTable::kTransfer:
+          if (id >= replica_->num_relations()) break;
+          dst = replica_->transfer(id);
+          break;
+        case net::ParamTable::kHyperplane:
+          if (id >= replica_->num_relations()) break;
+          dst = replica_->hyperplane(id);
+          break;
+      }
+      if (dst == nullptr) {
+        return Status::IoError("pulled row id out of the replica's range");
+      }
+      // Concurrent workers may refresh the same row; both write current
+      // shard values, so the race is benign (hogwild regime).
+      std::memcpy(dst, src, sec.row_size * sizeof(float));
+      src += sec.row_size;
+    }
+    rows_pulled_.fetch_add(sec.ids.size());
+  }
+  return Status::Ok();
+}
+
+Status DistTrainer::PullBatchRows(BatchScratch* sc) {
+  const size_t num_shards = clients_.size();
+  const bool transfers = replica_->use_relation_module();
+  const bool hyperplanes =
+      replica_->scorer() == core::TripleScorerKind::kTransH;
+
+  sc->shard_ents.resize(num_shards);
+  sc->shard_rels.resize(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    sc->shard_ents[s].clear();
+    sc->shard_rels[s].clear();
+  }
+  for (uint32_t e : sc->ent_ids) sc->shard_ents[e % num_shards].push_back(e);
+  for (uint32_t r : sc->rel_ids) sc->shard_rels[r % num_shards].push_back(r);
+
+  sc->pull_futures.clear();
+  for (size_t s = 0; s < num_shards; ++s) {
+    std::vector<net::PullSection> sections;
+    if (!sc->shard_ents[s].empty()) {
+      sections.push_back({net::ParamTable::kEntity, sc->shard_ents[s]});
+    }
+    if (!sc->shard_rels[s].empty()) {
+      sections.push_back({net::ParamTable::kRelation, sc->shard_rels[s]});
+      if (transfers) {
+        sections.push_back({net::ParamTable::kTransfer, sc->shard_rels[s]});
+      }
+      if (hyperplanes) {
+        sections.push_back(
+            {net::ParamTable::kHyperplane, sc->shard_rels[s]});
+      }
+    }
+    if (sections.empty()) continue;
+    const uint64_t cid = clients_[s]->NextCorrelationId();
+    sc->pull_futures.push_back(
+        clients_[s]->CallFrame(cid, net::EncodePullRows(cid, sections)));
+    ++pulls_;
+  }
+
+  for (auto& fut : sc->pull_futures) {
+    StatusOr<net::Frame> reply =
+        AwaitType(fut, net::FrameType::kRows, options_.io_timeout_ms);
+    if (!reply.ok()) return reply.status();
+    sc->rows.clear();
+    PKGM_RETURN_IF_ERROR(net::DecodeRows(reply.value().payload, &sc->rows));
+    PKGM_RETURN_IF_ERROR(ApplyRowsSections(sc->rows));
+  }
+  return Status::Ok();
+}
+
+Status DistTrainer::EpochBarrier(uint32_t epoch) {
+  std::vector<std::future<StatusOr<net::Frame>>> futures;
+  futures.reserve(clients_.size());
+  for (auto& client : clients_) {
+    const uint64_t cid = client->NextCorrelationId();
+    futures.push_back(client->CallFrame(
+        cid, net::EncodeBarrier(cid, epoch,
+                                options_.num_worker_processes)));
+  }
+  for (auto& fut : futures) {
+    StatusOr<net::Frame> reply =
+        AwaitType(fut, net::FrameType::kBarrierReply, options_.io_timeout_ms);
+    if (!reply.ok()) return reply.status();
+    uint32_t got_epoch = 0, arrived = 0;
+    PKGM_RETURN_IF_ERROR(
+        net::DecodeBarrierReply(reply.value().payload, &got_epoch, &arrived));
+    if (got_epoch != epoch) {
+      return Status::IoError("barrier reply for the wrong epoch");
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<core::EpochStats> DistTrainer::RunEpoch() {
+  if (replica_ == nullptr) {
+    return Status::FailedPrecondition("Connect() has not succeeded");
+  }
+  Stopwatch sw;
+  const uint32_t epoch = epoch_index_++;
+
+  std::vector<kg::Triple> triples;
+  store_->AppendTriples(&triples);
+  epoch_rng_.Shuffle(&triples);
+
+  core::EpochStats stats;
+  if (triples.empty()) return stats;
+
+  const size_t n = triples.size();
+  const size_t batch_size = options_.batch_size;
+  const size_t num_batches = (n + batch_size - 1) / batch_size;
+  const uint32_t workers = options_.num_workers;
+  const uint32_t procs = options_.num_worker_processes;
+  const uint32_t proc = options_.worker_process_index;
+  const size_t num_shards = clients_.size();
+
+  std::vector<double> batch_hinge(num_batches, 0.0);
+  std::vector<uint64_t> batch_active(num_batches, 0);
+  std::vector<uint64_t> batch_pairs(num_batches, 0);
+
+  const size_t pool_size = 2 * static_cast<size_t>(workers);
+  std::vector<std::unique_ptr<PairBatch>> pool;
+  BatchQueue work_q(pool_size), free_q(pool_size);
+  pool.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    pool.push_back(std::make_unique<PairBatch>());
+    free_q.Push(pool.back().get());
+  }
+
+  // The producer mirrors ShardedTrainer: one forked RNG drawing negatives
+  // in batch order. Other processes' batches are skipped without drawing,
+  // so each process's pair stream is deterministic on its own; with one
+  // process the stream is identical to the in-process trainer's.
+  Rng producer_rng = epoch_rng_.Fork();
+  std::thread producer([&] {
+    for (size_t b = 0; b < num_batches; ++b) {
+      if (b % procs != proc) continue;
+      PairBatch* pb = nullptr;
+      if (!free_q.Pop(&pb)) return;
+      const size_t begin = b * batch_size;
+      const size_t end = std::min(n, begin + batch_size);
+      pb->index = b;
+      pb->pos.assign(triples.begin() + begin, triples.begin() + end);
+      pb->neg.resize(pb->pos.size());
+      sampler_->SampleBatch(pb->pos.data(), pb->pos.size(), &producer_rng,
+                            pb->neg.data());
+      if (!work_q.Push(pb)) return;
+    }
+    work_q.Close();
+  });
+
+  std::vector<Status> worker_status(workers, Status::Ok());
+  auto worker_fn = [&](uint32_t w) {
+    core::GradArena arena;
+    core::HingeWorkspace ws;
+    BatchScratch scratch;
+    std::string blob;
+    // Per-shard ack queue: the staleness bound. An entry is an
+    // unacknowledged push; front() is always the oldest.
+    std::vector<std::deque<std::future<StatusOr<net::Frame>>>> inflight(
+        num_shards);
+
+    const auto wait_ack =
+        [&](std::future<StatusOr<net::Frame>>& fut) -> Status {
+      StatusOr<net::Frame> reply =
+          AwaitType(fut, net::FrameType::kPushAck, options_.io_timeout_ms);
+      if (!reply.ok()) return reply.status();
+      uint32_t rows_applied = 0;
+      return net::DecodePushAck(reply.value().payload, &rows_applied);
+    };
+
+    const auto run_batch = [&](PairBatch* pb) -> Status {
+      // 1. Pull every row this batch will read, fresh from its shard.
+      scratch.ent_ids.clear();
+      scratch.rel_ids.clear();
+      for (size_t i = 0; i < pb->pos.size(); ++i) {
+        const kg::Triple& p = pb->pos[i];
+        const kg::Triple& g = pb->neg[i].triple;
+        scratch.ent_ids.push_back(p.head);
+        scratch.ent_ids.push_back(p.tail);
+        scratch.ent_ids.push_back(g.head);
+        scratch.ent_ids.push_back(g.tail);
+        scratch.rel_ids.push_back(p.relation);
+        scratch.rel_ids.push_back(g.relation);
+      }
+      std::sort(scratch.ent_ids.begin(), scratch.ent_ids.end());
+      scratch.ent_ids.erase(
+          std::unique(scratch.ent_ids.begin(), scratch.ent_ids.end()),
+          scratch.ent_ids.end());
+      std::sort(scratch.rel_ids.begin(), scratch.rel_ids.end());
+      scratch.rel_ids.erase(
+          std::unique(scratch.rel_ids.begin(), scratch.rel_ids.end()),
+          scratch.rel_ids.end());
+      PKGM_RETURN_IF_ERROR(PullBatchRows(&scratch));
+
+      // 2. Fused forward/backward on the replica.
+      double hinge_sum = 0.0;
+      uint64_t active = 0;
+      for (size_t i = 0; i < pb->pos.size(); ++i) {
+        const float hinge =
+            core::FusedHingeGradients(*replica_, pb->pos[i],
+                                      pb->neg[i].triple, options_.margin,
+                                      kernels_, &ws, &arena);
+        if (hinge > 0.0f) {
+          ++active;
+          hinge_sum += hinge;
+        }
+      }
+
+      // 3. Push the arena shard-sliced, bounded acks outstanding.
+      if (!arena.empty()) {
+        const float scale = 1.0f / static_cast<float>(pb->pos.size());
+        for (size_t s = 0; s < num_shards; ++s) {
+          blob.clear();
+          if (core::SerializeGradArena(
+                  arena, static_cast<uint32_t>(s),
+                  static_cast<uint32_t>(num_shards), &blob) == 0) {
+            continue;
+          }
+          const uint64_t cid = clients_[s]->NextCorrelationId();
+          auto fut = clients_[s]->CallFrame(
+              cid, net::EncodePushGrads(cid, scale, epoch, blob));
+          ++pushes_;
+          if (options_.max_inflight_pushes == 0) {
+            PKGM_RETURN_IF_ERROR(wait_ack(fut));
+          } else {
+            inflight[s].push_back(std::move(fut));
+            if (inflight[s].size() > options_.max_inflight_pushes) {
+              Status st = wait_ack(inflight[s].front());
+              inflight[s].pop_front();
+              PKGM_RETURN_IF_ERROR(st);
+            }
+          }
+        }
+        rows_pushed_.fetch_add(arena.entities().size() +
+                               arena.relations().size() +
+                               arena.transfers().size() +
+                               arena.hyperplanes().size());
+        arena.Clear();
+      }
+
+      batch_hinge[pb->index] = hinge_sum;
+      batch_active[pb->index] = active;
+      batch_pairs[pb->index] = pb->pos.size();
+      return Status::Ok();
+    };
+
+    PairBatch* pb = nullptr;
+    while (work_q.Pop(&pb)) {
+      // A failed worker keeps popping and recycling (without processing)
+      // so the producer never starves for free batches.
+      if (worker_status[w].ok()) {
+        Status st = run_batch(pb);
+        if (!st.ok()) worker_status[w] = st;
+      }
+      free_q.Push(pb);
+    }
+    // Drain: every push must be acknowledged before the epoch barrier
+    // (an ack means the shard applied it).
+    for (auto& q : inflight) {
+      while (!q.empty()) {
+        Status st = wait_ack(q.front());
+        q.pop_front();
+        if (!st.ok() && worker_status[w].ok()) worker_status[w] = st;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (uint32_t w = 0; w < workers; ++w) threads.emplace_back(worker_fn, w);
+  for (auto& t : threads) t.join();
+  free_q.Close();
+  work_q.Close();
+  producer.join();
+
+  for (const Status& st : worker_status) {
+    if (!st.ok()) return st;
+  }
+
+  // All of this process's pushes are acked; the barrier holds until every
+  // other process's are too, so the next epoch (and any post-epoch pull)
+  // reads a fully merged model.
+  PKGM_RETURN_IF_ERROR(EpochBarrier(epoch));
+
+  double hinge_sum = 0.0;
+  for (size_t b = 0; b < num_batches; ++b) {
+    hinge_sum += batch_hinge[b];
+    stats.active_pairs += batch_active[b];
+    stats.total_pairs += batch_pairs[b];
+  }
+  stats.mean_hinge =
+      stats.total_pairs > 0
+          ? hinge_sum / static_cast<double>(stats.total_pairs)
+          : 0.0;
+  stats.seconds = sw.ElapsedSeconds();
+  stats.triples_per_second =
+      stats.seconds > 0
+          ? static_cast<double>(stats.total_pairs) / stats.seconds
+          : 0.0;
+  return stats;
+}
+
+StatusOr<core::EpochStats> DistTrainer::Train(uint32_t n) {
+  core::EpochStats last;
+  for (uint32_t i = 0; i < n; ++i) {
+    StatusOr<core::EpochStats> stats = RunEpoch();
+    if (!stats.ok()) return stats;
+    last = stats.value();
+  }
+  return last;
+}
+
+Status DistTrainer::PullFullModel() {
+  if (replica_ == nullptr) {
+    return Status::FailedPrecondition("Connect() has not succeeded");
+  }
+  const size_t num_shards = clients_.size();
+  struct TableSpec {
+    net::ParamTable table;
+    uint32_t num_keys;
+    uint32_t row_size;
+  };
+  std::vector<TableSpec> specs;
+  const uint32_t dim = replica_->dim();
+  specs.push_back({net::ParamTable::kEntity, replica_->num_entities(), dim});
+  specs.push_back(
+      {net::ParamTable::kRelation, replica_->num_relations(), dim});
+  if (replica_->use_relation_module()) {
+    specs.push_back(
+        {net::ParamTable::kTransfer, replica_->num_relations(), dim * dim});
+  }
+  if (replica_->scorer() == core::TripleScorerKind::kTransH) {
+    specs.push_back(
+        {net::ParamTable::kHyperplane, replica_->num_relations(), dim});
+  }
+
+  std::vector<net::RowsSection> rows;
+  for (size_t s = 0; s < num_shards; ++s) {
+    for (const TableSpec& spec : specs) {
+      // ~1 MiB of row payload per pull, well under the 4 MiB frame cap.
+      const size_t rows_per_chunk = std::max<size_t>(
+          1, (1u << 20) / (static_cast<size_t>(spec.row_size) * 4 + 4));
+      net::PullSection section;
+      section.table = spec.table;
+      for (uint32_t id = static_cast<uint32_t>(s); id < spec.num_keys;
+           id += static_cast<uint32_t>(num_shards)) {
+        section.ids.push_back(id);
+        if (section.ids.size() < rows_per_chunk && id + num_shards <
+                                                        spec.num_keys) {
+          continue;
+        }
+        const uint64_t cid = clients_[s]->NextCorrelationId();
+        auto fut = clients_[s]->CallFrame(
+            cid, net::EncodePullRows(cid, {section}));
+        ++pulls_;
+        StatusOr<net::Frame> reply =
+            AwaitType(fut, net::FrameType::kRows, options_.io_timeout_ms);
+        if (!reply.ok()) return reply.status();
+        rows.clear();
+        PKGM_RETURN_IF_ERROR(
+            net::DecodeRows(reply.value().payload, &rows));
+        PKGM_RETURN_IF_ERROR(ApplyRowsSections(rows));
+        section.ids.clear();
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+double DistTrainer::EvaluateMeanHinge() {
+  PKGM_CHECK(replica_ != nullptr);
+  std::vector<kg::Triple> triples;
+  store_->AppendTriples(&triples);
+  if (triples.empty()) return 0.0;
+  core::HingeWorkspace ws;
+  double sum = 0.0;
+  for (const kg::Triple& pos : triples) {
+    core::NegativeSample neg = sampler_->Sample(pos, &eval_rng_);
+    sum += core::FusedHingeGradients(*replica_, pos, neg.triple,
+                                     options_.margin, kernels_, &ws,
+                                     nullptr);
+  }
+  return sum / static_cast<double>(triples.size());
+}
+
+}  // namespace pkgm::dist

@@ -1,0 +1,348 @@
+#include "dist/param_server.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace pkgm::dist {
+
+using net::Frame;
+using net::FrameType;
+using net::ParamTable;
+using net::WireCode;
+
+ParamServer::ParamServer(const ParamServerOptions& options)
+    : options_(options), model_(options.model), kernels_(simd::Active()) {
+  PKGM_CHECK_GT(options_.num_shards, 0u);
+  PKGM_CHECK_LT(options_.shard_index, options_.num_shards);
+  if (options_.optimizer == core::OptimizerKind::kAdam) {
+    // Dense moment tables for the whole shape, like the in-process
+    // Trainer: only owned rows are ever touched, so the unowned half is
+    // wasted-but-simple (sparse moment storage is a scale follow-up).
+    m_entities_ = Mat(model_.num_entities(), model_.dim());
+    v_entities_ = Mat(model_.num_entities(), model_.dim());
+    m_relations_ = Mat(model_.num_relations(), model_.dim());
+    v_relations_ = Mat(model_.num_relations(), model_.dim());
+    if (model_.use_relation_module()) {
+      const size_t dd = static_cast<size_t>(model_.dim()) * model_.dim();
+      m_transfers_ = Mat(model_.num_relations(), dd);
+      v_transfers_ = Mat(model_.num_relations(), dd);
+    }
+    if (model_.scorer() == core::TripleScorerKind::kTransH) {
+      m_hyperplanes_ = Mat(model_.num_relations(), model_.dim());
+      v_hyperplanes_ = Mat(model_.num_relations(), model_.dim());
+    }
+  }
+}
+
+net::ShardInfo ParamServer::Info() const {
+  net::ShardInfo info;
+  info.shard_index = options_.shard_index;
+  info.num_shards = options_.num_shards;
+  info.num_entities = model_.num_entities();
+  info.num_relations = model_.num_relations();
+  info.dim = model_.dim();
+  info.scorer = static_cast<uint8_t>(model_.scorer());
+  info.use_relation_module = model_.use_relation_module();
+  info.optimizer = static_cast<uint8_t>(options_.optimizer);
+  info.learning_rate = options_.learning_rate;
+  info.model_seed = options_.model.seed;
+  return info;
+}
+
+uint32_t ParamServer::RowSizeOf(ParamTable table) const {
+  switch (table) {
+    case ParamTable::kEntity:
+    case ParamTable::kRelation:
+      return model_.dim();
+    case ParamTable::kTransfer:
+      return model_.use_relation_module() ? model_.dim() * model_.dim() : 0;
+    case ParamTable::kHyperplane:
+      return model_.scorer() == core::TripleScorerKind::kTransH ? model_.dim()
+                                                                : 0;
+  }
+  return 0;
+}
+
+uint32_t ParamServer::NumKeysOf(ParamTable table) const {
+  return table == ParamTable::kEntity ? model_.num_entities()
+                                      : model_.num_relations();
+}
+
+const float* ParamServer::RowPtr(ParamTable table, uint32_t id) const {
+  switch (table) {
+    case ParamTable::kEntity:
+      return model_.entity(id);
+    case ParamTable::kRelation:
+      return model_.relation(id);
+    case ParamTable::kTransfer:
+      return model_.transfer(id);
+    case ParamTable::kHyperplane:
+      return model_.hyperplane(id);
+  }
+  return nullptr;
+}
+
+bool ParamServer::HandleFrame(const Frame& frame, Respond respond) {
+  switch (frame.type) {
+    case FrameType::kShardInfo:
+      respond(net::EncodeShardInfoReply(frame.correlation_id, Info()));
+      return true;
+    case FrameType::kPullRows:
+      respond(HandlePull(frame));
+      return true;
+    case FrameType::kPushGrads:
+      respond(HandlePush(frame));
+      return true;
+    case FrameType::kBarrier:
+      HandleBarrier(frame, std::move(respond));
+      return true;
+    default:
+      return false;  // transport answers kError/kUnsupported
+  }
+}
+
+std::string ParamServer::HandlePull(const Frame& frame) {
+  std::vector<net::PullSection> sections;
+  Status st = net::DecodePullRows(frame.payload, &sections);
+  if (!st.ok()) {
+    ++rejects_;
+    return net::EncodeError(frame.correlation_id, WireCode::kInvalidItem,
+                            st.message());
+  }
+  ++pulls_;
+
+  std::vector<net::RowsSection> out;
+  out.reserve(sections.size());
+  uint64_t rows = 0;
+  for (const net::PullSection& sec : sections) {
+    const uint32_t row_size = RowSizeOf(sec.table);
+    if (row_size == 0) {
+      ++rejects_;
+      return net::EncodeError(
+          frame.correlation_id, WireCode::kInvalidItem,
+          StrFormat("table %u not present under this model configuration",
+                    static_cast<unsigned>(sec.table)));
+    }
+    const uint32_t num_keys = NumKeysOf(sec.table);
+    net::RowsSection rs;
+    rs.table = sec.table;
+    rs.row_size = row_size;
+    rs.ids = sec.ids;
+    rs.values.resize(static_cast<size_t>(sec.ids.size()) * row_size);
+    float* dst = rs.values.data();
+    for (uint32_t id : sec.ids) {
+      if (id >= num_keys || !OwnsKey(id)) {
+        ++rejects_;
+        return net::EncodeError(
+            frame.correlation_id, WireCode::kInvalidItem,
+            StrFormat("row %u of table %u is not served by shard %u/%u",
+                      static_cast<unsigned>(id),
+                      static_cast<unsigned>(sec.table),
+                      static_cast<unsigned>(options_.shard_index),
+                      static_cast<unsigned>(options_.num_shards)));
+      }
+      // Unlocked read: a concurrent push may be rewriting this row, so a
+      // worker can observe a torn / slightly stale value — the same benign
+      // race the in-process hogwild trainer runs under.
+      std::memcpy(dst, RowPtr(sec.table, id), row_size * sizeof(float));
+      dst += row_size;
+      ++rows;
+    }
+    out.push_back(std::move(rs));
+  }
+  rows_pulled_.fetch_add(rows);
+  return net::EncodeRows(frame.correlation_id, out);
+}
+
+std::string ParamServer::HandlePush(const Frame& frame) {
+  float scale = 0.0f;
+  uint32_t epoch = 0;
+  std::string_view blob;
+  Status st = net::DecodePushGrads(frame.payload, &scale, &epoch, &blob);
+  if (!st.ok()) {
+    ++rejects_;
+    return net::EncodeError(frame.correlation_id, WireCode::kInvalidItem,
+                            st.message());
+  }
+
+  std::lock_guard<std::mutex> lock(apply_mu_);
+  scratch_.Clear();
+  uint64_t rows = 0;
+  st = core::DeserializeGradArena(blob, &scratch_, &rows);
+  if (!st.ok()) {
+    ++rejects_;
+    return net::EncodeError(frame.correlation_id, WireCode::kInvalidItem,
+                            st.message());
+  }
+
+  // Validate every row before touching the model, so a bad push is
+  // all-or-nothing.
+  const auto validate_slab = [&](const core::GradSlab& slab,
+                                 ParamTable table) -> const char* {
+    if (slab.empty()) return nullptr;
+    if (RowSizeOf(table) == 0) return "table not present";
+    if (slab.row_size() != RowSizeOf(table)) return "row size mismatch";
+    const uint32_t num_keys = NumKeysOf(table);
+    for (size_t i = 0; i < slab.size(); ++i) {
+      const uint32_t id = slab.id_at(i);
+      if (id >= num_keys || !OwnsKey(id)) return "row not owned by shard";
+    }
+    return nullptr;
+  };
+  const ParamTable tables[4] = {ParamTable::kEntity, ParamTable::kRelation,
+                                ParamTable::kTransfer,
+                                ParamTable::kHyperplane};
+  const core::GradSlab* slabs[4] = {&scratch_.entities(),
+                                    &scratch_.relations(),
+                                    &scratch_.transfers(),
+                                    &scratch_.hyperplanes()};
+  for (int t = 0; t < 4; ++t) {
+    if (const char* what = validate_slab(*slabs[t], tables[t])) {
+      ++rejects_;
+      return net::EncodeError(
+          frame.correlation_id, WireCode::kInvalidItem,
+          StrFormat("push to table %d refused: %s", t, what));
+    }
+  }
+
+  // Apply with the same arithmetic as the in-process trainers: Adam
+  // mirrors Trainer::ApplyGradients (step incremented first, so t starts
+  // at 1), SGD mirrors ShardedTrainer::ApplyWorkerGradients.
+  const bool adam = options_.optimizer == core::OptimizerKind::kAdam;
+  const float b1 = options_.adam_beta1;
+  const float b2 = options_.adam_beta2;
+  const float eps = options_.adam_epsilon;
+  float alpha = 0.0f;
+  if (adam) {
+    const double t = static_cast<double>(step_.fetch_add(1) + 1);
+    const float corr1 = 1.0f - static_cast<float>(std::pow(b1, t));
+    const float corr2 = 1.0f - static_cast<float>(std::pow(b2, t));
+    alpha = options_.learning_rate * std::sqrt(corr2) / corr1;
+  } else {
+    step_.fetch_add(1);
+  }
+  const float sgd_alpha = -options_.learning_rate * scale;
+
+  const auto apply_slab = [&](const core::GradSlab& slab, Mat* table, Mat* m,
+                              Mat* v) {
+    const uint32_t n = slab.row_size();
+    for (size_t i = 0; i < slab.size(); ++i) {
+      const uint32_t id = slab.id_at(i);
+      const float* g = slab.row_at(i);
+      float* row = table->Row(id);
+      if (adam) {
+        kernels_.adam_row(n, g, scale, b1, b2, alpha, eps, row, m->Row(id),
+                          v->Row(id));
+      } else {
+        kernels_.axpy(n, sgd_alpha, g, row);
+      }
+    }
+  };
+
+  apply_slab(scratch_.entities(), &model_.entity_table(), &m_entities_,
+             &v_entities_);
+  if (options_.normalize_entities) {
+    const core::GradSlab& ge = scratch_.entities();
+    for (size_t i = 0; i < ge.size(); ++i) model_.NormalizeEntity(ge.id_at(i));
+  }
+  apply_slab(scratch_.relations(), &model_.relation_table(), &m_relations_,
+             &v_relations_);
+  apply_slab(scratch_.transfers(), &model_.transfer_table(), &m_transfers_,
+             &v_transfers_);
+  const core::GradSlab& gw = scratch_.hyperplanes();
+  if (!gw.empty()) {
+    apply_slab(gw, &model_.hyperplane_table(), &m_hyperplanes_,
+               &v_hyperplanes_);
+    for (size_t i = 0; i < gw.size(); ++i) {
+      model_.NormalizeHyperplane(gw.id_at(i));
+    }
+  }
+
+  ++pushes_;
+  rows_applied_.fetch_add(rows);
+  return net::EncodePushAck(frame.correlation_id,
+                            static_cast<uint32_t>(rows));
+}
+
+void ParamServer::HandleBarrier(const Frame& frame, Respond respond) {
+  uint32_t epoch = 0;
+  uint32_t num_workers = 0;
+  Status st = net::DecodeBarrier(frame.payload, &epoch, &num_workers);
+  if (!st.ok() || num_workers == 0) {
+    ++rejects_;
+    respond(net::EncodeError(frame.correlation_id, WireCode::kInvalidItem,
+                             st.ok() ? "barrier expects num_workers > 0"
+                                     : st.message()));
+    return;
+  }
+
+  std::vector<std::pair<uint64_t, Respond>> release;
+  {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+    if (!accepting_barriers_) {
+      respond(net::EncodeError(frame.correlation_id, WireCode::kRejected,
+                               "shard is shutting down"));
+      return;
+    }
+    BarrierState& state = barriers_[epoch];
+    if (state.expected == 0) {
+      state.expected = num_workers;
+    } else if (state.expected != num_workers) {
+      respond(net::EncodeError(
+          frame.correlation_id, WireCode::kRejected,
+          StrFormat("barrier %u worker-count mismatch: %u vs %u",
+                    static_cast<unsigned>(epoch),
+                    static_cast<unsigned>(num_workers),
+                    static_cast<unsigned>(state.expected))));
+      return;
+    }
+    state.waiters.emplace_back(frame.correlation_id, std::move(respond));
+    if (state.waiters.size() < state.expected) return;
+    release = std::move(state.waiters);
+    barriers_.erase(epoch);
+    ++barriers_released_;
+  }
+  // Complete outside the lock: responds post to I/O threads and must not
+  // nest under barrier_mu_.
+  for (auto& [cid, cb] : release) {
+    cb(net::EncodeBarrierReply(cid, epoch,
+                               static_cast<uint32_t>(release.size())));
+  }
+}
+
+void ParamServer::AbortBarriers() {
+  std::map<uint32_t, BarrierState> parked;
+  {
+    std::lock_guard<std::mutex> lock(barrier_mu_);
+    accepting_barriers_ = false;
+    parked.swap(barriers_);
+  }
+  for (auto& [epoch, state] : parked) {
+    for (auto& [cid, cb] : state.waiters) {
+      cb(net::EncodeError(cid, WireCode::kRejected, "barrier aborted"));
+    }
+  }
+}
+
+std::string ParamServer::StatsJson() {
+  return StrFormat(
+      "{\"shard\": %u, \"num_shards\": %u, \"optimizer\": \"%s\", "
+      "\"pulls\": %llu, \"rows_pulled\": %llu, \"pushes\": %llu, "
+      "\"rows_applied\": %llu, \"rejects\": %llu, "
+      "\"barriers_released\": %llu, \"step\": %llu}",
+      static_cast<unsigned>(options_.shard_index),
+      static_cast<unsigned>(options_.num_shards),
+      options_.optimizer == core::OptimizerKind::kAdam ? "adam" : "sgd",
+      static_cast<unsigned long long>(pulls_.load()),
+      static_cast<unsigned long long>(rows_pulled_.load()),
+      static_cast<unsigned long long>(pushes_.load()),
+      static_cast<unsigned long long>(rows_applied_.load()),
+      static_cast<unsigned long long>(rejects_.load()),
+      static_cast<unsigned long long>(barriers_released_.load()),
+      static_cast<unsigned long long>(step_.load()));
+}
+
+}  // namespace pkgm::dist

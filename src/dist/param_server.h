@@ -1,0 +1,142 @@
+#ifndef PKGM_DIST_PARAM_SERVER_H_
+#define PKGM_DIST_PARAM_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/gradients.h"
+#include "core/pkgm_model.h"
+#include "core/trainer.h"
+#include "net/net_server.h"
+#include "net/wire.h"
+#include "tensor/simd/kernel_dispatch.h"
+#include "tensor/vec.h"
+
+namespace pkgm::dist {
+
+/// Configuration of one parameter-server shard. Every shard of a
+/// deployment must be constructed with the same `model` options (same
+/// seed, so initialization is bit-identical everywhere) and the same
+/// optimizer settings; workers cross-check via kShardInfo before training.
+struct ParamServerOptions {
+  uint32_t shard_index = 0;
+  uint32_t num_shards = 1;
+  /// Full model shape. The shard allocates the whole table (simple, and
+  /// the replica-everywhere init is what makes pull-before-first-touch
+  /// unnecessary) but serves and updates only the rows it owns.
+  core::PkgmModelOptions model;
+  core::OptimizerKind optimizer = core::OptimizerKind::kSgd;
+  float learning_rate = 0.02f;
+  float adam_beta1 = 0.9f;
+  float adam_beta2 = 0.999f;
+  float adam_epsilon = 1e-8f;
+  /// Project entity embeddings back onto the unit L2 ball after each
+  /// applied push (mirrors the in-process trainers' constraint).
+  bool normalize_entities = true;
+};
+
+/// One embedding shard behind the wire protocol — the server half of the
+/// distributed parameter-server training subsystem (paper §III-A2: the
+/// production system trains on 50 parameter servers + 200 workers).
+///
+/// Ownership: entity rows are keyed by entity id, relation / transfer /
+/// hyperplane rows by relation id; shard s owns key k iff
+/// k % num_shards == s. Pulls and pushes addressing unowned or
+/// out-of-range rows are refused with kInvalidItem.
+///
+/// Concurrency model (the wire-level hogwild regime):
+///   * kPullRows reads rows without locking — concurrent pushes make
+///     pulled rows slightly stale, exactly like the in-process
+///     ShardedTrainer's unlocked parameter reads.
+///   * kPushGrads applies under one apply mutex, so updates from
+///     concurrent workers serialize per shard and the optimizer state
+///     (Adam moments, step count) stays consistent.
+///   * kBarrier replies are parked until every expected worker arrives at
+///     the same epoch. Parked responds count as outstanding frames in the
+///     NetServer, so AbortBarriers() must run before NetServer::Stop().
+///
+/// The update arithmetic mirrors the in-process trainers exactly: SGD is
+/// axpy(-lr * scale) per row (+ renormalization), Adam is the fused
+/// adam_row kernel with bias correction from this shard's push count — so
+/// one worker pushing synchronously reproduces the single-process
+/// trajectory bit-for-bit (see dist_test.cc).
+class ParamServer : public net::FrameHandler {
+ public:
+  explicit ParamServer(const ParamServerOptions& options);
+
+  /// FrameHandler: routes kShardInfo / kPullRows / kPushGrads / kBarrier.
+  bool HandleFrame(const net::Frame& frame, Respond respond) override;
+  std::string StatsJson() override;
+
+  /// Fails all parked barrier waiters with kError/kRejected and refuses
+  /// subsequent kBarrier frames. Call before NetServer::Stop(), otherwise
+  /// the drain waits on the parked responds until its timeout.
+  void AbortBarriers();
+
+  /// The shard announcement workers validate against (kShardInfoReply).
+  net::ShardInfo Info() const;
+
+  const core::PkgmModel& model() const { return model_; }
+  core::PkgmModel* mutable_model() { return &model_; }
+  uint32_t shard_index() const { return options_.shard_index; }
+  uint32_t num_shards() const { return options_.num_shards; }
+
+  /// Pushes applied (= the Adam bias-correction step count).
+  uint64_t step() const { return step_.load(); }
+
+ private:
+  bool OwnsKey(uint32_t key) const {
+    return key % options_.num_shards == options_.shard_index;
+  }
+  /// Row length of `table`, or 0 when the table does not exist under the
+  /// current model options (transfer without the relation module,
+  /// hyperplane without TransH).
+  uint32_t RowSizeOf(net::ParamTable table) const;
+  /// Table row count keyed by the table's id space (entities or relations).
+  uint32_t NumKeysOf(net::ParamTable table) const;
+  const float* RowPtr(net::ParamTable table, uint32_t id) const;
+
+  /// Each returns the fully encoded response frame (kRows / kPushAck /
+  /// kError) for the request.
+  std::string HandlePull(const net::Frame& frame);
+  std::string HandlePush(const net::Frame& frame);
+  /// Parks or completes the respond; never returns a frame.
+  void HandleBarrier(const net::Frame& frame, Respond respond);
+
+  const ParamServerOptions options_;
+  core::PkgmModel model_;
+  const simd::KernelTable& kernels_;
+
+  /// Serializes pushes: optimizer state + scratch arena live under it.
+  std::mutex apply_mu_;
+  core::GradArena scratch_;
+  Mat m_entities_, v_entities_;
+  Mat m_relations_, v_relations_;
+  Mat m_transfers_, v_transfers_;
+  Mat m_hyperplanes_, v_hyperplanes_;
+  std::atomic<uint64_t> step_{0};
+
+  struct BarrierState {
+    uint32_t expected = 0;
+    std::vector<std::pair<uint64_t, Respond>> waiters;  // (correlation, cb)
+  };
+  std::mutex barrier_mu_;
+  bool accepting_barriers_ = true;
+  std::map<uint32_t, BarrierState> barriers_;  // keyed by epoch
+
+  std::atomic<uint64_t> pulls_{0};
+  std::atomic<uint64_t> rows_pulled_{0};
+  std::atomic<uint64_t> pushes_{0};
+  std::atomic<uint64_t> rows_applied_{0};
+  std::atomic<uint64_t> rejects_{0};
+  std::atomic<uint64_t> barriers_released_{0};
+};
+
+}  // namespace pkgm::dist
+
+#endif  // PKGM_DIST_PARAM_SERVER_H_

@@ -64,6 +64,7 @@ struct NetClient::Conn {
   std::unordered_map<uint64_t, std::promise<StatusOr<std::string>>>
       pending_stats;
   std::unordered_map<uint64_t, std::promise<Status>> pending_pings;
+  std::unordered_map<uint64_t, std::promise<StatusOr<Frame>>> pending_frames;
 
   /// Reconnect backoff: doubled on every failed connect attempt, reset on
   /// success and on a clean teardown of a previously working connection.
@@ -71,7 +72,9 @@ struct NetClient::Conn {
   Clock::time_point next_attempt{};
 };
 
-NetClient::NetClient(NetClientOptions options) : options_(options) {}
+NetClient::NetClient(NetClientOptions options) : options_(options) {
+  next_correlation_.store(options_.start_correlation_id);
+}
 
 NetClient::~NetClient() {
   closing_.store(true, std::memory_order_release);
@@ -241,6 +244,35 @@ Status NetClient::Ping(int timeout_ms) {
   return future.get();
 }
 
+std::future<StatusOr<Frame>> NetClient::CallFrame(
+    uint64_t correlation_id, const std::string& frame_bytes) {
+  Conn& conn = PickConn();
+  std::lock_guard<std::mutex> lock(conn.mu);
+  auto [it, inserted] = conn.pending_frames.emplace(
+      correlation_id, std::promise<StatusOr<Frame>>());
+  if (!inserted) {
+    // Correlation id already in flight on this connection (wraparound hit
+    // an unanswered id): refuse rather than corrupt the matching.
+    std::promise<StatusOr<Frame>> failed;
+    failed.set_value(Status::FailedPrecondition(
+        StrFormat("correlation id %llu already in flight",
+                  static_cast<unsigned long long>(correlation_id))));
+    return failed.get_future();
+  }
+  std::future<StatusOr<Frame>> future = it->second.get_future();
+  const Status status = SendFrame(conn, frame_bytes);
+  if (!status.ok()) {
+    // Same split as SubmitBatch: once bytes may have hit the socket, the
+    // reader owns failing the entry; a never-connected socket fails here.
+    auto found = conn.pending_frames.find(correlation_id);
+    if (found != conn.pending_frames.end() && !conn.fd.valid()) {
+      found->second.set_value(status);
+      conn.pending_frames.erase(found);
+    }
+  }
+  return future;
+}
+
 void NetClient::FailPending(Conn& conn) {
   // Caller holds conn.mu.
   for (auto& [correlation_id, batch] : conn.pending) {
@@ -258,6 +290,11 @@ void NetClient::FailPending(Conn& conn) {
     promise.set_value(Status::IoError("connection lost"));
   }
   conn.pending_pings.clear();
+  for (auto& [correlation_id, promise] : conn.pending_frames) {
+    ++network_errors_;
+    promise.set_value(Status::IoError("connection lost"));
+  }
+  conn.pending_frames.clear();
 }
 
 void NetClient::ReaderLoop(Conn& conn) {
@@ -343,6 +380,24 @@ void NetClient::ReaderLoop(Conn& conn) {
           if (found) promise.set_value(Status::Ok());
           break;
         }
+        case FrameType::kRows:
+        case FrameType::kPushAck:
+        case FrameType::kShardInfoReply:
+        case FrameType::kBarrierReply: {
+          std::promise<StatusOr<Frame>> promise;
+          bool found = false;
+          {
+            std::lock_guard<std::mutex> lock(conn.mu);
+            auto it = conn.pending_frames.find(frame.correlation_id);
+            if (it != conn.pending_frames.end()) {
+              promise = std::move(it->second);
+              conn.pending_frames.erase(it);
+              found = true;
+            }
+          }
+          if (found) promise.set_value(std::move(frame));
+          break;
+        }
         case FrameType::kError: {
           WireCode code;
           std::string message;
@@ -375,6 +430,14 @@ void NetClient::ReaderLoop(Conn& conn) {
                 Status::IoError(StrFormat("server error: %s",
                                           message.c_str())));
             conn.pending_pings.erase(ping_it);
+            break;
+          }
+          auto frame_it = conn.pending_frames.find(frame.correlation_id);
+          if (frame_it != conn.pending_frames.end()) {
+            frame_it->second.set_value(
+                Status::IoError(StrFormat("server error: %s",
+                                          message.c_str())));
+            conn.pending_frames.erase(frame_it);
           }
           break;
         }

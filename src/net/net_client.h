@@ -25,6 +25,9 @@ struct NetClientOptions {
   /// these bounds, applied on the next submit that needs the connection.
   int reconnect_backoff_initial_ms = 50;
   int reconnect_backoff_max_ms = 2000;
+  /// First correlation id handed out. Production keeps the default; tests
+  /// pin it near UINT64_MAX to exercise wraparound.
+  uint64_t start_correlation_id = 1;
 };
 
 /// Client library for the PKGM wire protocol — the downstream-task side of
@@ -59,6 +62,19 @@ class NetClient {
 
   /// Round-trips a kPing health probe.
   Status Ping(int timeout_ms = 5000);
+
+  /// Claims a fresh correlation id for CallFrame.
+  uint64_t NextCorrelationId() { return next_correlation_.fetch_add(1); }
+
+  /// Generic pipelined request/reply for the v2 frames: sends the fully
+  /// encoded `frame_bytes` (built with `correlation_id` from
+  /// NextCorrelationId()) and resolves with the matching reply frame
+  /// (kRows, kPushAck, kShardInfoReply, kBarrierReply). A kError reply or
+  /// a lost connection resolves with a non-ok status. Many calls may be in
+  /// flight per connection; replies match by correlation id, so they may
+  /// resolve out of order.
+  std::future<StatusOr<Frame>> CallFrame(uint64_t correlation_id,
+                                         const std::string& frame_bytes);
 
   /// Requests that came back kNetworkError (connection failures), kept
   /// client-side so load generators can assert clean runs.

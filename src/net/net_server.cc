@@ -81,9 +81,34 @@ struct NetServer::FrameState {
   std::atomic<size_t> remaining;
 };
 
+/// One routed frame's completion token: enforces respond-at-most-once and
+/// carries the addressing a worker thread needs to post the response back.
+struct NetServer::HandlerRespondState {
+  NetServer* server;
+  size_t thread_index;
+  uint64_t conn_id;
+  std::atomic<bool> responded{false};
+
+  // A respond dropped without ever being invoked still completes its
+  // frame: the peer simply gets no reply (it sees the close or times
+  // out). Without this, a handler that abandons a parked respond would
+  // wedge Stop()'s outstanding-frame wait forever.
+  ~HandlerRespondState() {
+    if (!responded.load(std::memory_order_acquire)) {
+      --server->outstanding_frames_;
+    }
+  }
+};
+
 NetServer::NetServer(serve::KnowledgeServer* server, NetServerOptions options)
-    : server_(server), options_(std::move(options)) {
+    : server_(server), handler_(nullptr), options_(std::move(options)) {
   PKGM_CHECK(server != nullptr);
+  PKGM_CHECK(options_.num_io_threads >= 1);
+}
+
+NetServer::NetServer(FrameHandler* handler, NetServerOptions options)
+    : server_(nullptr), handler_(handler), options_(std::move(options)) {
+  PKGM_CHECK(handler != nullptr);
   PKGM_CHECK(options_.num_io_threads >= 1);
 }
 
@@ -300,6 +325,12 @@ bool NetServer::HandleFrame(IoThread& io, Connection& conn, Frame frame) {
       return SendOnLoop(io, conn,
                         EncodeStatsJson(frame.correlation_id, StatsJson()));
     case FrameType::kGetVectors: {
+      if (server_ == nullptr) {
+        return SendOnLoop(io, conn,
+                          EncodeError(frame.correlation_id,
+                                      WireCode::kUnsupported,
+                                      "no knowledge server attached"));
+      }
       std::vector<serve::ServiceRequest> requests;
       const Status status = DecodeGetVectors(
           frame.payload, serve::ServeClock::now(), &requests);
@@ -338,9 +369,18 @@ bool NetServer::HandleFrame(IoThread& io, Connection& conn, Frame frame) {
           });
       return true;
     }
+    case FrameType::kPullRows:
+    case FrameType::kPushGrads:
+    case FrameType::kShardInfo:
+    case FrameType::kBarrier:
+      return RouteToHandler(io, conn, std::move(frame));
     case FrameType::kVectors:
     case FrameType::kStatsJson:
     case FrameType::kPong:
+    case FrameType::kRows:
+    case FrameType::kPushAck:
+    case FrameType::kShardInfoReply:
+    case FrameType::kBarrierReply:
       // Response frames arriving at the server: confused peer, but the
       // stream is intact — answer with an error and keep the connection.
       return SendOnLoop(io, conn,
@@ -355,6 +395,39 @@ bool NetServer::HandleFrame(IoThread& io, Connection& conn, Frame frame) {
   return SendOnLoop(io, conn,
                     EncodeError(frame.correlation_id, WireCode::kUnsupported,
                                 "unknown frame type"));
+}
+
+bool NetServer::RouteToHandler(IoThread& io, Connection& conn, Frame frame) {
+  if (handler_ == nullptr) {
+    return SendOnLoop(io, conn,
+                      EncodeError(frame.correlation_id, WireCode::kUnsupported,
+                                  "no frame handler attached"));
+  }
+  // Same accounting as kGetVectors: the frame is outstanding until its
+  // response is posted, and Stop() waits for zero — which is exactly the
+  // drain guarantee a pushed gradient batch needs.
+  ++conn.in_flight_frames;
+  ++outstanding_frames_;
+  auto state = std::make_shared<HandlerRespondState>();
+  state->server = this;
+  state->thread_index = io.index;
+  state->conn_id = conn.id;
+  FrameHandler::Respond respond = [state](std::string bytes) {
+    bool expected = false;
+    if (!state->responded.compare_exchange_strong(expected, true)) return;
+    NetServer* server = state->server;
+    server->PostCompletion(state->thread_index, state->conn_id,
+                           std::move(bytes));
+    // Last touch of the NetServer (see the kGetVectors completion).
+    --server->outstanding_frames_;
+  };
+  if (handler_->HandleFrame(frame, std::move(respond))) return true;
+  // Refused: the handler did not take the respond obligation.
+  --conn.in_flight_frames;
+  --outstanding_frames_;
+  return SendOnLoop(io, conn,
+                    EncodeError(frame.correlation_id, WireCode::kUnsupported,
+                                "frame refused by handler"));
 }
 
 void NetServer::ReadAndProcess(IoThread& io, Connection& conn) {
@@ -517,6 +590,7 @@ serve::NetCounters NetServer::net_counters() const {
 }
 
 std::string NetServer::StatsReport() const {
+  if (server_ == nullptr) return StatsJson();
   serve::CacheStats cache_stats;
   const serve::CacheStats* cache_ptr = nullptr;
   if (server_->cache() != nullptr) {
@@ -528,6 +602,41 @@ std::string NetServer::StatsReport() const {
 }
 
 std::string NetServer::StatsJson() const {
+  if (server_ == nullptr) {
+    // Transport-only server: splice the net counters into the handler's
+    // own JSON object so one snapshot carries both.
+    const serve::NetCounters net = net_counters();
+    std::string inner = handler_->StatsJson();
+    // Strip the handler object's braces; tolerate an empty "{}" snapshot.
+    std::string fields;
+    const size_t open = inner.find('{');
+    const size_t close = inner.rfind('}');
+    if (open != std::string::npos && close != std::string::npos &&
+        close > open + 1) {
+      fields = inner.substr(open + 1, close - open - 1);
+    }
+    std::string json = "{\"net\": {";
+    json += StrFormat(
+        "\"connections_accepted\": %llu, \"connections_closed\": %llu, "
+        "\"frames_in\": %llu, \"frames_out\": %llu, \"bytes_in\": %llu, "
+        "\"bytes_out\": %llu, \"protocol_errors\": %llu, "
+        "\"backpressure_disconnects\": %llu, \"idle_disconnects\": %llu}",
+        static_cast<unsigned long long>(net.connections_accepted),
+        static_cast<unsigned long long>(net.connections_closed),
+        static_cast<unsigned long long>(net.frames_in),
+        static_cast<unsigned long long>(net.frames_out),
+        static_cast<unsigned long long>(net.bytes_in),
+        static_cast<unsigned long long>(net.bytes_out),
+        static_cast<unsigned long long>(net.protocol_errors),
+        static_cast<unsigned long long>(net.backpressure_disconnects),
+        static_cast<unsigned long long>(net.idle_disconnects));
+    if (!fields.empty()) {
+      json += ", ";
+      json += fields;
+    }
+    json += "}";
+    return json;
+  }
   serve::CacheStats cache_stats;
   const serve::CacheStats* cache_ptr = nullptr;
   if (server_->cache() != nullptr) {

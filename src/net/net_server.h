@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -43,6 +44,38 @@ struct NetServerOptions {
   int so_sndbuf_bytes = 0;
 };
 
+/// Server-side extension seam: application logic for frame types the
+/// serving switch does not own (the v2 parameter-server frames). A
+/// NetServer built over a FrameHandler keeps all of the transport — epoll
+/// loops, framing, backpressure, drain — and routes request frames here.
+class FrameHandler {
+ public:
+  /// Completes one frame with a fully encoded response frame. May be
+  /// invoked synchronously from HandleFrame or later from any thread, at
+  /// most once; extra invocations are ignored. The response is posted to
+  /// the connection's I/O thread (the connection may have died — the
+  /// response is then dropped).
+  using Respond = std::function<void(std::string)>;
+
+  virtual ~FrameHandler() = default;
+
+  /// Called on the connection's I/O thread for every routable request
+  /// frame. Return true if the frame was accepted (a response via
+  /// `respond` is then owed — a held respond counts as an outstanding
+  /// frame, and NetServer::Stop() waits for it, so any response a handler
+  /// parks long-term (e.g. a barrier) must be completed or abandoned by
+  /// the handler before Stop()); return false to have the server answer
+  /// kError/kUnsupported without calling respond. Destroying every copy
+  /// of a respond without invoking it also completes the frame (the peer
+  /// gets no reply and sees the eventual close); invoking or dropping a
+  /// respond after the NetServer is destroyed is undefined.
+  virtual bool HandleFrame(const Frame& frame, Respond respond) = 0;
+
+  /// JSON stats snapshot served for kStats frames when no KnowledgeServer
+  /// is attached.
+  virtual std::string StatsJson() { return "{}"; }
+};
+
 /// The TCP front end of the serving subsystem: a non-blocking epoll event
 /// loop (level-triggered) that decodes wire-protocol frames into
 /// ServiceRequest batches, submits them to a KnowledgeServer — whose
@@ -71,6 +104,10 @@ class NetServer {
  public:
   explicit NetServer(serve::KnowledgeServer* server,
                      NetServerOptions options = {});
+  /// Transport-only server: frames are routed to `handler` instead of a
+  /// KnowledgeServer (kPing/kStats still answered by the transport;
+  /// kGetVectors is refused with kError). `handler` must outlive Stop().
+  explicit NetServer(FrameHandler* handler, NetServerOptions options = {});
   ~NetServer();
 
   NetServer(const NetServer&) = delete;
@@ -96,6 +133,7 @@ class NetServer {
   struct Connection;
   struct IoThread;
   struct FrameState;
+  struct HandlerRespondState;
 
   void IoLoop(size_t thread_index);
   void AddConnection(IoThread& io, int fd);
@@ -103,6 +141,9 @@ class NetServer {
   void ReadAndProcess(IoThread& io, Connection& conn);
   /// Returns false when the frame killed the connection.
   bool HandleFrame(IoThread& io, Connection& conn, Frame frame);
+  /// Routes one request frame to handler_ (kError/kUnsupported when absent
+  /// or refused). Returns false when the frame killed the connection.
+  bool RouteToHandler(IoThread& io, Connection& conn, Frame frame);
   /// Appends bytes to the outbox, flushes opportunistically and applies
   /// the backpressure bound. Returns false when the connection was closed.
   bool SendOnLoop(IoThread& io, Connection& conn, std::string bytes);
@@ -115,7 +156,9 @@ class NetServer {
                       std::string bytes);
   void SignalThread(IoThread& io);
 
+  /// Exactly one of server_/handler_ is non-null, per constructor.
   serve::KnowledgeServer* const server_;
+  FrameHandler* const handler_;
   const NetServerOptions options_;
 
   ScopedFd listener_;

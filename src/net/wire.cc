@@ -2,8 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <nmmintrin.h>
+#elif defined(__aarch64__) && defined(__linux__)
+#include <arm_acle.h>
+#include <sys/auxv.h>
+#endif
 
 #include "util/string_util.h"
 
@@ -37,6 +45,33 @@ void PutF32(float v, std::string* out) {
   uint32_t bits;
   std::memcpy(&bits, &v, sizeof(bits));
   PutU32(bits, out);
+}
+
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+constexpr bool kHostLittleEndian = true;
+#else
+constexpr bool kHostLittleEndian = false;
+#endif
+
+// Bulk little-endian runs: on little-endian hosts the wire layout matches
+// memory, so row payloads (the gradient-push hot path) move with a single
+// memcpy instead of a per-word loop.
+void PutU32Run(const uint32_t* v, size_t n, std::string* out) {
+  if (n == 0) return;
+  if (kHostLittleEndian) {
+    out->append(reinterpret_cast<const char*>(v), n * sizeof(uint32_t));
+  } else {
+    for (size_t i = 0; i < n; ++i) PutU32(v[i], out);
+  }
+}
+
+void PutF32Run(const float* v, size_t n, std::string* out) {
+  if (n == 0) return;
+  if (kHostLittleEndian) {
+    out->append(reinterpret_cast<const char*>(v), n * sizeof(float));
+  } else {
+    for (size_t i = 0; i < n; ++i) PutF32(v[i], out);
+  }
 }
 
 /// Bounds-checked sequential reader over a payload. Every Read* returns
@@ -83,6 +118,34 @@ class Cursor {
     return true;
   }
 
+  bool ReadU32Run(uint32_t* out, size_t n) {
+    if (n == 0) return true;
+    if (remaining() < n * sizeof(uint32_t)) return false;
+    if (kHostLittleEndian) {
+      std::memcpy(out, data_.data() + pos_, n * sizeof(uint32_t));
+      pos_ += n * sizeof(uint32_t);
+      return true;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (!ReadU32(&out[i])) return false;
+    }
+    return true;
+  }
+
+  bool ReadF32Run(float* out, size_t n) {
+    if (n == 0) return true;
+    if (remaining() < n * sizeof(float)) return false;
+    if (kHostLittleEndian) {
+      std::memcpy(out, data_.data() + pos_, n * sizeof(float));
+      pos_ += n * sizeof(float);
+      return true;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (!ReadF32(&out[i])) return false;
+    }
+    return true;
+  }
+
   /// The rest of the payload as a view (consumes it).
   std::string_view ReadRemainder() {
     std::string_view rest = data_.substr(pos_);
@@ -122,9 +185,84 @@ Status Truncated(const char* what) {
   return Status::Corruption(StrFormat("truncated %s payload", what));
 }
 
+#if defined(__x86_64__) || defined(__i386__)
+// SSE4.2 path: the dedicated crc32 instruction, 8 bytes per issue on the
+// aligned body. Compiled with a per-function target attribute so the TU
+// itself needs no -msse4.2; only ever called after the runtime
+// __builtin_cpu_supports check below.
+__attribute__((target("sse4.2")))
+uint32_t Crc32cSse42(const void* data, size_t len, uint32_t crc) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint64_t c = ~crc;
+  while (len >= 8) {
+    uint64_t word;
+    std::memcpy(&word, bytes, sizeof(word));
+    c = _mm_crc32_u64(c, word);
+    bytes += 8;
+    len -= 8;
+  }
+  uint32_t c32 = static_cast<uint32_t>(c);
+  while (len > 0) {
+    c32 = _mm_crc32_u8(c32, *bytes);
+    ++bytes;
+    --len;
+  }
+  return ~c32;
+}
+#elif defined(__aarch64__) && defined(__linux__)
+// ARMv8 CRC extension path; gated at runtime on HWCAP_CRC32.
+__attribute__((target("+crc")))
+uint32_t Crc32cArmv8(const void* data, size_t len, uint32_t crc) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t c = ~crc;
+  while (len >= 8) {
+    uint64_t word;
+    std::memcpy(&word, bytes, sizeof(word));
+    c = __crc32cd(c, word);
+    bytes += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    c = __crc32cb(c, *bytes);
+    ++bytes;
+    --len;
+  }
+  return ~c;
+}
+#endif
+
+using Crc32cFn = uint32_t (*)(const void*, size_t, uint32_t);
+
+struct Crc32cImpl {
+  Crc32cFn fn;
+  const char* name;
+};
+
+Crc32cImpl PickCrc32cImpl() {
+  const char* env = std::getenv("PKGM_CRC32C");
+  if (env != nullptr && std::string_view(env) == "sw") {
+    return {&Crc32cSoftware, "software"};
+  }
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("sse4.2")) {
+    return {&Crc32cSse42, "sse4.2"};
+  }
+#elif defined(__aarch64__) && defined(__linux__)
+  if ((getauxval(AT_HWCAP) & HWCAP_CRC32) != 0) {
+    return {&Crc32cArmv8, "armv8-crc"};
+  }
+#endif
+  return {&Crc32cSoftware, "software"};
+}
+
+const Crc32cImpl& ActiveCrc32c() {
+  static const Crc32cImpl impl = PickCrc32cImpl();
+  return impl;
+}
+
 }  // namespace
 
-uint32_t Crc32c(const void* data, size_t len, uint32_t crc) {
+uint32_t Crc32cSoftware(const void* data, size_t len, uint32_t crc) {
   static const Crc32cTable table;
   const uint8_t* bytes = static_cast<const uint8_t*>(data);
   crc = ~crc;
@@ -133,6 +271,12 @@ uint32_t Crc32c(const void* data, size_t len, uint32_t crc) {
   }
   return ~crc;
 }
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t crc) {
+  return ActiveCrc32c().fn(data, len, crc);
+}
+
+const char* Crc32cImplName() { return ActiveCrc32c().name; }
 
 WireCode WireCodeFromResponse(serve::ResponseCode code) {
   switch (code) {
@@ -423,6 +567,267 @@ Status DecodeError(std::string_view payload, WireCode* code,
   *code = static_cast<WireCode>(raw);
   const std::string_view rest = cursor.ReadRemainder();
   message->assign(rest.data(), rest.size());
+  return Status::Ok();
+}
+
+// ------------------------------------- distributed-training frames (v2) --
+
+std::string EncodePullRows(uint64_t correlation_id,
+                           const std::vector<PullSection>& sections) {
+  std::string payload;
+  size_t bytes = 4;
+  for (const PullSection& s : sections) bytes += 5 + 4 * s.ids.size();
+  payload.reserve(bytes);
+  PutU32(static_cast<uint32_t>(sections.size()), &payload);
+  for (const PullSection& s : sections) {
+    PutU8(static_cast<uint8_t>(s.table), &payload);
+    PutU32(static_cast<uint32_t>(s.ids.size()), &payload);
+    PutU32Run(s.ids.data(), s.ids.size(), &payload);
+  }
+  std::string frame;
+  AppendFrame(FrameType::kPullRows, correlation_id, payload, &frame);
+  return frame;
+}
+
+Status DecodePullRows(std::string_view payload,
+                      std::vector<PullSection>* out) {
+  Cursor cursor(payload);
+  uint32_t num_sections;
+  if (!cursor.ReadU32(&num_sections)) return Truncated("kPullRows");
+  // Each section costs at least its 5-byte header.
+  if (static_cast<uint64_t>(num_sections) * 5 > cursor.remaining()) {
+    return Status::Corruption(
+        StrFormat("kPullRows declares %u sections with %zu bytes left",
+                  num_sections, cursor.remaining()));
+  }
+  out->clear();
+  out->reserve(num_sections);
+  for (uint32_t s = 0; s < num_sections; ++s) {
+    uint8_t table;
+    uint32_t count;
+    if (!cursor.ReadU8(&table) || !cursor.ReadU32(&count)) {
+      return Truncated("kPullRows");
+    }
+    if (table > kMaxParamTable) {
+      return Status::Corruption(StrFormat("invalid param table %u", table));
+    }
+    if (static_cast<uint64_t>(count) * 4 > cursor.remaining()) {
+      return Status::Corruption(
+          StrFormat("kPullRows section declares %u ids with %zu bytes left",
+                    count, cursor.remaining()));
+    }
+    PullSection section;
+    section.table = static_cast<ParamTable>(table);
+    section.ids.resize(count);
+    if (!cursor.ReadU32Run(section.ids.data(), count)) {
+      return Truncated("kPullRows");
+    }
+    out->push_back(std::move(section));
+  }
+  if (!cursor.done()) {
+    return Status::Corruption("trailing bytes after kPullRows sections");
+  }
+  return Status::Ok();
+}
+
+std::string EncodeRows(uint64_t correlation_id,
+                       const std::vector<RowsSection>& sections) {
+  std::string payload;
+  size_t bytes = 4;
+  for (const RowsSection& s : sections) {
+    bytes += 13 + 4 * s.ids.size() + 4 * s.values.size();
+  }
+  payload.reserve(bytes);
+  PutU32(static_cast<uint32_t>(sections.size()), &payload);
+  for (const RowsSection& s : sections) {
+    PutU8(static_cast<uint8_t>(s.table), &payload);
+    PutU32(s.row_size, &payload);
+    PutU32(static_cast<uint32_t>(s.ids.size()), &payload);
+    PutU32Run(s.ids.data(), s.ids.size(), &payload);
+    PutF32Run(s.values.data(), s.values.size(), &payload);
+  }
+  std::string frame;
+  AppendFrame(FrameType::kRows, correlation_id, payload, &frame);
+  return frame;
+}
+
+Status DecodeRows(std::string_view payload, std::vector<RowsSection>* out) {
+  Cursor cursor(payload);
+  uint32_t num_sections;
+  if (!cursor.ReadU32(&num_sections)) return Truncated("kRows");
+  // Each section costs at least its 9-byte header.
+  if (static_cast<uint64_t>(num_sections) * 9 > cursor.remaining()) {
+    return Status::Corruption(
+        StrFormat("kRows declares %u sections with %zu bytes left",
+                  num_sections, cursor.remaining()));
+  }
+  out->clear();
+  out->reserve(num_sections);
+  for (uint32_t s = 0; s < num_sections; ++s) {
+    uint8_t table;
+    uint32_t row_size, count;
+    if (!cursor.ReadU8(&table) || !cursor.ReadU32(&row_size) ||
+        !cursor.ReadU32(&count)) {
+      return Truncated("kRows");
+    }
+    if (table > kMaxParamTable) {
+      return Status::Corruption(StrFormat("invalid param table %u", table));
+    }
+    // Entry cost: 4-byte id + row_size floats. Dividing (rather than
+    // multiplying count * entry) keeps the guard overflow-proof.
+    const uint64_t entry_bytes = 4 + static_cast<uint64_t>(row_size) * 4;
+    if (count > 0 && entry_bytes > cursor.remaining() / count) {
+      return Status::Corruption(StrFormat(
+          "kRows section declares %u rows of %u floats with %zu bytes left",
+          count, row_size, cursor.remaining()));
+    }
+    RowsSection section;
+    section.table = static_cast<ParamTable>(table);
+    section.row_size = row_size;
+    section.ids.resize(count);
+    section.values.resize(static_cast<size_t>(count) * row_size);
+    if (!cursor.ReadU32Run(section.ids.data(), count) ||
+        !cursor.ReadF32Run(section.values.data(), section.values.size())) {
+      return Truncated("kRows");
+    }
+    out->push_back(std::move(section));
+  }
+  if (!cursor.done()) {
+    return Status::Corruption("trailing bytes after kRows sections");
+  }
+  return Status::Ok();
+}
+
+std::string EncodePushGrads(uint64_t correlation_id, float scale,
+                            uint32_t epoch, std::string_view arena_blob) {
+  std::string payload;
+  payload.reserve(8 + arena_blob.size());
+  PutF32(scale, &payload);
+  PutU32(epoch, &payload);
+  payload.append(arena_blob);
+  std::string frame;
+  AppendFrame(FrameType::kPushGrads, correlation_id, payload, &frame);
+  return frame;
+}
+
+Status DecodePushGrads(std::string_view payload, float* scale,
+                       uint32_t* epoch, std::string_view* arena_blob) {
+  Cursor cursor(payload);
+  if (!cursor.ReadF32(scale) || !cursor.ReadU32(epoch)) {
+    return Truncated("kPushGrads");
+  }
+  *arena_blob = cursor.ReadRemainder();
+  return Status::Ok();
+}
+
+std::string EncodePushAck(uint64_t correlation_id, uint32_t rows_applied) {
+  std::string payload;
+  PutU32(rows_applied, &payload);
+  std::string frame;
+  AppendFrame(FrameType::kPushAck, correlation_id, payload, &frame);
+  return frame;
+}
+
+Status DecodePushAck(std::string_view payload, uint32_t* rows_applied) {
+  Cursor cursor(payload);
+  if (!cursor.ReadU32(rows_applied)) return Truncated("kPushAck");
+  if (!cursor.done()) {
+    return Status::Corruption("trailing bytes after kPushAck");
+  }
+  return Status::Ok();
+}
+
+std::string EncodeShardInfoReply(uint64_t correlation_id,
+                                 const ShardInfo& info) {
+  std::string payload;
+  payload.reserve(36);
+  PutU32(info.shard_index, &payload);
+  PutU32(info.num_shards, &payload);
+  PutU32(info.num_entities, &payload);
+  PutU32(info.num_relations, &payload);
+  PutU32(info.dim, &payload);
+  PutU8(info.scorer, &payload);
+  PutU8(info.use_relation_module ? 1 : 0, &payload);
+  PutU8(info.optimizer, &payload);
+  PutU8(0, &payload);  // reserved
+  PutF32(info.learning_rate, &payload);
+  PutU64(info.model_seed, &payload);
+  std::string frame;
+  AppendFrame(FrameType::kShardInfoReply, correlation_id, payload, &frame);
+  return frame;
+}
+
+Status DecodeShardInfoReply(std::string_view payload, ShardInfo* out) {
+  Cursor cursor(payload);
+  uint8_t relation_module, reserved;
+  if (!cursor.ReadU32(&out->shard_index) || !cursor.ReadU32(&out->num_shards) ||
+      !cursor.ReadU32(&out->num_entities) ||
+      !cursor.ReadU32(&out->num_relations) || !cursor.ReadU32(&out->dim) ||
+      !cursor.ReadU8(&out->scorer) || !cursor.ReadU8(&relation_module) ||
+      !cursor.ReadU8(&out->optimizer) || !cursor.ReadU8(&reserved) ||
+      !cursor.ReadF32(&out->learning_rate) ||
+      !cursor.ReadU64(&out->model_seed)) {
+    return Truncated("kShardInfoReply");
+  }
+  if (relation_module > 1) {
+    return Status::Corruption(
+        StrFormat("invalid relation-module flag %u", relation_module));
+  }
+  if (reserved != 0) {
+    return Status::Corruption("non-zero reserved kShardInfoReply field");
+  }
+  if (out->num_shards == 0 || out->shard_index >= out->num_shards) {
+    return Status::Corruption(StrFormat("invalid shard index %u of %u",
+                                        out->shard_index, out->num_shards));
+  }
+  if (!cursor.done()) {
+    return Status::Corruption("trailing bytes after kShardInfoReply");
+  }
+  out->use_relation_module = relation_module != 0;
+  return Status::Ok();
+}
+
+std::string EncodeBarrier(uint64_t correlation_id, uint32_t epoch,
+                          uint32_t num_workers) {
+  std::string payload;
+  PutU32(epoch, &payload);
+  PutU32(num_workers, &payload);
+  std::string frame;
+  AppendFrame(FrameType::kBarrier, correlation_id, payload, &frame);
+  return frame;
+}
+
+Status DecodeBarrier(std::string_view payload, uint32_t* epoch,
+                     uint32_t* num_workers) {
+  Cursor cursor(payload);
+  if (!cursor.ReadU32(epoch) || !cursor.ReadU32(num_workers)) {
+    return Truncated("kBarrier");
+  }
+  if (!cursor.done()) {
+    return Status::Corruption("trailing bytes after kBarrier");
+  }
+  return Status::Ok();
+}
+
+std::string EncodeBarrierReply(uint64_t correlation_id, uint32_t epoch,
+                               uint32_t workers_arrived) {
+  std::string payload;
+  PutU32(epoch, &payload);
+  PutU32(workers_arrived, &payload);
+  std::string frame;
+  AppendFrame(FrameType::kBarrierReply, correlation_id, payload, &frame);
+  return frame;
+}
+
+Status DecodeBarrierReply(std::string_view payload, uint32_t* epoch,
+                          uint32_t* workers_arrived) {
+  Cursor cursor(payload);
+  if (!cursor.ReadU32(epoch) || !cursor.ReadU32(workers_arrived)) {
+    return Truncated("kBarrierReply");
+  }
+  if (!cursor.done()) {
+    return Status::Corruption("trailing bytes after kBarrierReply");
+  }
   return Status::Ok();
 }
 

@@ -12,9 +12,9 @@
 
 namespace pkgm::net {
 
-/// PKGM wire protocol v1 — the versioned binary framing the network serving
-/// subsystem speaks. Every frame is a fixed 24-byte little-endian header
-/// followed by `payload_len` payload bytes:
+/// PKGM wire protocol v2 — the versioned binary framing the network serving
+/// and distributed-training subsystems speak. Every frame is a fixed
+/// 24-byte little-endian header followed by `payload_len` payload bytes:
 ///
 ///   offset  size  field
 ///   0       4     magic            0x4d474b50 ("PKGM" on the wire)
@@ -33,7 +33,10 @@ namespace pkgm::net {
 /// answers it with a kError frame and keeps the connection (forward
 /// compatibility).
 constexpr uint32_t kWireMagic = 0x4d474b50;
-constexpr uint8_t kWireVersion = 1;
+/// v2 added the parameter-server frames (kPullRows .. kBarrierReply). Both
+/// ends of a deployment ship from one tree, so the decoder requires an
+/// exact version match; a v1 peer is cut off at the header.
+constexpr uint8_t kWireVersion = 2;
 constexpr size_t kFrameHeaderBytes = 24;
 /// Default cap on payload_len; NetServer/NetClient make it configurable.
 constexpr size_t kDefaultMaxFrameBytes = 4u << 20;
@@ -54,6 +57,29 @@ enum class FrameType : uint8_t {
   /// Server → client: connection-level error (WireCode + message). Sent
   /// for recoverable protocol conditions (e.g. unknown frame type).
   kError = 7,
+
+  // --- v2: distributed parameter-server training (src/dist/) ---
+
+  /// Worker → param server: fetch embedding rows by id, grouped into
+  /// per-table sections.
+  kPullRows = 8,
+  /// Param server → worker: the requested rows (ids echoed back).
+  kRows = 9,
+  /// Worker → param server: a serialized GradArena of touched-row gradient
+  /// deltas for rows this shard owns, plus the batch scale factor.
+  kPushGrads = 10,
+  /// Param server → worker: push applied. Workers bound the number of
+  /// unacknowledged pushes per shard (the staleness bound).
+  kPushAck = 11,
+  /// Worker → param server: shard/model configuration probe (empty).
+  kShardInfo = 12,
+  /// Param server → worker: shard index/count + model shape + optimizer.
+  kShardInfoReply = 13,
+  /// Worker → param server: epoch barrier. The server holds the reply
+  /// until every expected worker has arrived at the same epoch.
+  kBarrier = 14,
+  /// Param server → worker: barrier released.
+  kBarrierReply = 15,
 };
 
 /// Per-request terminal status on the wire; extends serve::ResponseCode
@@ -73,9 +99,22 @@ enum class WireCode : uint8_t {
 WireCode WireCodeFromResponse(serve::ResponseCode code);
 serve::ResponseCode ResponseCodeFromWire(WireCode code);
 
-/// CRC32C (Castagnoli) over `len` bytes, table-driven software
-/// implementation; `crc` seeds chained computation (pass 0 to start).
+/// CRC32C (Castagnoli) over `len` bytes; `crc` seeds chained computation
+/// (pass 0 to start). Dispatches once per process to the hardware CRC32C
+/// instructions where available (SSE4.2 on x86-64, the ARMv8 CRC
+/// extension) and to the table-driven software implementation otherwise;
+/// setting PKGM_CRC32C=sw in the environment pins the software path. Both
+/// paths produce identical values — the checksum is on the per-batch
+/// gradient push path, and the software implementation is kept as the
+/// parity oracle the hardware path is tested against.
 uint32_t Crc32c(const void* data, size_t len, uint32_t crc = 0);
+
+/// The table-driven reference implementation (always available).
+uint32_t Crc32cSoftware(const void* data, size_t len, uint32_t crc = 0);
+
+/// Name of the CRC32C implementation Crc32c() dispatches to: "sse4.2",
+/// "armv8-crc" or "software".
+const char* Crc32cImplName();
 
 /// A decoded frame: type + correlation id + raw payload bytes. Payload
 /// interpretation is per-type via the Decode* functions below.
@@ -168,6 +207,96 @@ Status DecodeVectors(std::string_view payload,
 
 Status DecodeError(std::string_view payload, WireCode* code,
                    std::string* message);
+
+// ------------------------------------- distributed-training frames (v2) --
+
+/// Which parameter table a pull/push section addresses. Values are wire
+/// bytes; keep them dense and stable.
+enum class ParamTable : uint8_t {
+  kEntity = 0,
+  kRelation = 1,
+  kTransfer = 2,
+  kHyperplane = 3,
+};
+constexpr uint8_t kMaxParamTable = 3;
+
+/// One per-table group of row ids in a kPullRows request.
+struct PullSection {
+  ParamTable table = ParamTable::kEntity;
+  std::vector<uint32_t> ids;
+};
+
+/// One per-table group of rows in a kRows response; `values` holds
+/// ids.size() rows of `row_size` floats, in id order.
+struct RowsSection {
+  ParamTable table = ParamTable::kEntity;
+  uint32_t row_size = 0;
+  std::vector<uint32_t> ids;
+  std::vector<float> values;
+};
+
+/// Shard/model configuration announced by a parameter server, so workers
+/// can validate that every shard agrees with the local replica before
+/// training starts.
+struct ShardInfo {
+  uint32_t shard_index = 0;
+  uint32_t num_shards = 1;
+  uint32_t num_entities = 0;
+  uint32_t num_relations = 0;
+  uint32_t dim = 0;
+  uint8_t scorer = 0;              ///< core::TripleScorerKind byte
+  bool use_relation_module = true;
+  uint8_t optimizer = 0;           ///< core::OptimizerKind byte
+  float learning_rate = 0.0f;
+  uint64_t model_seed = 0;
+};
+
+/// kPullRows payload: u32 num_sections, then per section {u8 table,
+/// u32 count, count * u32 id}.
+std::string EncodePullRows(uint64_t correlation_id,
+                           const std::vector<PullSection>& sections);
+Status DecodePullRows(std::string_view payload,
+                      std::vector<PullSection>* out);
+
+/// kRows payload: u32 num_sections, then per section {u8 table,
+/// u32 row_size, u32 count, count * u32 id, count * row_size * f32}.
+/// Ids and values travel as two contiguous runs so both sides memcpy.
+std::string EncodeRows(uint64_t correlation_id,
+                       const std::vector<RowsSection>& sections);
+Status DecodeRows(std::string_view payload, std::vector<RowsSection>* out);
+
+/// kPushGrads payload: f32 scale, u32 epoch, then a serialized GradArena
+/// blob (see core::SerializeGradArena) to the payload end. The blob keeps
+/// its own corruption-rejecting header; this codec treats it as bytes.
+std::string EncodePushGrads(uint64_t correlation_id, float scale,
+                            uint32_t epoch, std::string_view arena_blob);
+Status DecodePushGrads(std::string_view payload, float* scale,
+                       uint32_t* epoch, std::string_view* arena_blob);
+
+/// kPushAck payload: u32 rows_applied.
+std::string EncodePushAck(uint64_t correlation_id, uint32_t rows_applied);
+Status DecodePushAck(std::string_view payload, uint32_t* rows_applied);
+
+/// kShardInfoReply payload: the ShardInfo fields in declaration order
+/// (u32 x5, u8 scorer, u8 relation_module, u8 optimizer, u8 reserved,
+/// f32 lr, u64 seed). kShardInfo itself is an empty-payload probe
+/// (EncodeControl).
+std::string EncodeShardInfoReply(uint64_t correlation_id,
+                                 const ShardInfo& info);
+Status DecodeShardInfoReply(std::string_view payload, ShardInfo* out);
+
+/// kBarrier payload: u32 epoch, u32 num_workers (the arrival count the
+/// server waits for; every worker of one epoch must announce the same).
+std::string EncodeBarrier(uint64_t correlation_id, uint32_t epoch,
+                          uint32_t num_workers);
+Status DecodeBarrier(std::string_view payload, uint32_t* epoch,
+                     uint32_t* num_workers);
+
+/// kBarrierReply payload: u32 epoch, u32 workers_arrived.
+std::string EncodeBarrierReply(uint64_t correlation_id, uint32_t epoch,
+                               uint32_t workers_arrived);
+Status DecodeBarrierReply(std::string_view payload, uint32_t* epoch,
+                          uint32_t* workers_arrived);
 
 }  // namespace pkgm::net
 

@@ -818,5 +818,202 @@ TEST_P(ServiceIdentitySweep, TripleServiceIdentity) {
 INSTANTIATE_TEST_SUITE_P(Heads, ServiceIdentitySweep,
                          ::testing::Values(0, 1, 5, 11));
 
+// ---------------------------------------------------------------------------
+// GradArena serialization (the kPushGrads wire payload)
+// ---------------------------------------------------------------------------
+
+// Fills an arena with a deterministic mix of rows across all four slabs,
+// including negative-zero payloads (the bit-exactness trap: -0.0f + 0.0f
+// flushes to +0.0f, so fresh rows must be copied, not accumulated).
+void FillSampleArena(GradArena* arena, uint32_t dim) {
+  const uint32_t ent_ids[] = {4, 0, 9, 2};
+  for (size_t i = 0; i < 4; ++i) {
+    float* row = arena->Entity(ent_ids[i], dim);
+    for (uint32_t d = 0; d < dim; ++d) {
+      row[d] = static_cast<float>(i + 1) * 0.25f - static_cast<float>(d);
+    }
+  }
+  arena->Entity(4, dim)[0] = -0.0f;
+  float* rel = arena->Relation(1, dim);
+  for (uint32_t d = 0; d < dim; ++d) rel[d] = -1.5f * static_cast<float>(d);
+  float* tr = arena->Transfer(3, dim * dim);
+  for (uint32_t d = 0; d < dim * dim; ++d) {
+    tr[d] = 0.001f * static_cast<float>(d) - 0.02f;
+  }
+  // Hyperplanes left empty: an empty slab must round-trip too.
+}
+
+bool SlabsBitEqual(const GradSlab& a, const GradSlab& b) {
+  if (a.size() != b.size() || a.row_size() != b.row_size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.id_at(i) != b.id_at(i)) return false;
+    if (std::memcmp(a.row_at(i), b.row_at(i),
+                    a.row_size() * sizeof(float)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(GradArenaBlobTest, RoundTripBitExact) {
+  const uint32_t dim = 8;
+  GradArena arena;
+  FillSampleArena(&arena, dim);
+
+  std::string blob;
+  const size_t written = SerializeGradArena(arena, &blob);
+  EXPECT_EQ(written, 6u);  // 4 entities + 1 relation + 1 transfer
+
+  GradArena decoded;
+  uint64_t applied = 0;
+  ASSERT_TRUE(DeserializeGradArena(blob, &decoded, &applied).ok());
+  EXPECT_EQ(applied, written);
+  // Bit-exact: same ids in the same first-touch order, same float bits —
+  // including the -0.0f payload.
+  EXPECT_TRUE(SlabsBitEqual(arena.entities(), decoded.entities()));
+  EXPECT_TRUE(SlabsBitEqual(arena.relations(), decoded.relations()));
+  EXPECT_TRUE(SlabsBitEqual(arena.transfers(), decoded.transfers()));
+  EXPECT_TRUE(decoded.hyperplanes().empty());
+  EXPECT_TRUE(std::signbit(decoded.entities().row_at(0)[0]));
+}
+
+TEST(GradArenaBlobTest, DeserializeAccumulatesExistingRows) {
+  const uint32_t dim = 4;
+  GradArena a;
+  a.Entity(7, dim)[0] = 1.0f;
+  a.Entity(7, dim)[3] = -2.0f;
+  std::string blob;
+  SerializeGradArena(a, &blob);
+
+  // Deserializing the same blob twice into one arena: second pass finds
+  // the rows present and adds element-wise.
+  GradArena merged;
+  ASSERT_TRUE(DeserializeGradArena(blob, &merged).ok());
+  ASSERT_TRUE(DeserializeGradArena(blob, &merged).ok());
+  ASSERT_EQ(merged.entities().size(), 1u);
+  EXPECT_EQ(merged.entities().row_at(0)[0], 2.0f);
+  EXPECT_EQ(merged.entities().row_at(0)[3], -4.0f);
+}
+
+TEST(GradArenaBlobTest, ShardFilteredSlices) {
+  const uint32_t dim = 4;
+  GradArena arena;
+  for (uint32_t id = 0; id < 10; ++id) {
+    arena.Entity(id, dim)[0] = static_cast<float>(id) + 0.5f;
+  }
+  arena.Relation(0, dim)[1] = 1.0f;
+  arena.Relation(1, dim)[1] = 2.0f;
+  arena.Relation(2, dim)[1] = 3.0f;
+  arena.Transfer(1, dim * dim)[0] = 4.0f;
+  arena.Hyperplane(2, dim)[2] = 5.0f;
+
+  const uint32_t num_shards = 3;
+  size_t total = 0;
+  GradArena merged;
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    std::string blob;
+    const size_t rows = SerializeGradArena(arena, s, num_shards, &blob);
+    total += rows;
+    GradArena slice;
+    ASSERT_TRUE(DeserializeGradArena(blob, &slice).ok());
+    // Every row in the slice belongs to shard s (relation-keyed tables
+    // included).
+    for (size_t i = 0; i < slice.entities().size(); ++i) {
+      EXPECT_EQ(slice.entities().id_at(i) % num_shards, s);
+    }
+    for (size_t i = 0; i < slice.relations().size(); ++i) {
+      EXPECT_EQ(slice.relations().id_at(i) % num_shards, s);
+    }
+    for (size_t i = 0; i < slice.transfers().size(); ++i) {
+      EXPECT_EQ(slice.transfers().id_at(i) % num_shards, s);
+    }
+    for (size_t i = 0; i < slice.hyperplanes().size(); ++i) {
+      EXPECT_EQ(slice.hyperplanes().id_at(i) % num_shards, s);
+    }
+    ASSERT_TRUE(DeserializeGradArena(blob, &merged).ok());
+  }
+  // The shard slices partition the arena: no row lost, none duplicated.
+  EXPECT_EQ(total, 10u + 3u + 1u + 1u);
+  EXPECT_EQ(merged.entities().size(), 10u);
+  EXPECT_EQ(merged.relations().size(), 3u);
+  for (uint32_t id = 0; id < 10; ++id) {
+    // Ids arrive shard-grouped; find each and check the payload survived.
+    bool found = false;
+    for (size_t i = 0; i < merged.entities().size(); ++i) {
+      if (merged.entities().id_at(i) == id) {
+        EXPECT_EQ(merged.entities().row_at(i)[0],
+                  static_cast<float>(id) + 0.5f);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "entity " << id;
+  }
+
+  // An empty slice returns 0 so the worker can skip the push.
+  GradArena lone;
+  lone.Entity(4, dim)[0] = 1.0f;
+  std::string blob;
+  EXPECT_EQ(SerializeGradArena(lone, 0, 3, &blob), 0u);  // 4 % 3 == 1
+  blob.clear();
+  EXPECT_EQ(SerializeGradArena(lone, 1, 3, &blob), 1u);
+}
+
+TEST(GradArenaBlobTest, CorruptionRejected) {
+  const uint32_t dim = 8;
+  GradArena arena;
+  FillSampleArena(&arena, dim);
+  std::string blob;
+  SerializeGradArena(arena, &blob);
+
+  GradArena sink;
+  // Baseline: the pristine blob parses.
+  ASSERT_TRUE(DeserializeGradArena(blob, &sink).ok());
+
+  {  // Bad magic.
+    std::string bad = blob;
+    bad[0] ^= 0x01;
+    GradArena g;
+    EXPECT_FALSE(DeserializeGradArena(bad, &g).ok());
+  }
+  {  // Wrong version.
+    std::string bad = blob;
+    bad[4] = static_cast<char>(kGradArenaBlobVersion + 1);
+    GradArena g;
+    EXPECT_FALSE(DeserializeGradArena(bad, &g).ok());
+  }
+  {  // Non-zero reserved bits.
+    std::string bad = blob;
+    bad[6] = 0x01;
+    GradArena g;
+    EXPECT_FALSE(DeserializeGradArena(bad, &g).ok());
+  }
+  {  // Every strict prefix is truncation.
+    for (size_t len = 0; len < blob.size(); ++len) {
+      GradArena g;
+      EXPECT_FALSE(DeserializeGradArena(blob.substr(0, len), &g).ok())
+          << "prefix " << len;
+    }
+  }
+  {  // Trailing garbage.
+    std::string bad = blob;
+    bad.push_back('\0');
+    GradArena g;
+    EXPECT_FALSE(DeserializeGradArena(bad, &g).ok());
+  }
+  {  // A count that promises more rows than the bytes can hold must be
+     // rejected before allocation.
+    std::string bad = blob;
+    const uint32_t huge = 0x7fffffffu;
+    std::memcpy(&bad[8 + 4], &huge, 4);  // entity slab count
+    GradArena g;
+    EXPECT_FALSE(DeserializeGradArena(bad, &g).ok());
+  }
+  {  // row_size disagreeing with a non-empty target slab.
+    GradArena g;
+    g.Entity(1, dim + 1)[0] = 1.0f;  // pre-existing rows at a wider dim
+    EXPECT_FALSE(DeserializeGradArena(blob, &g).ok());
+  }
+}
+
 }  // namespace
 }  // namespace pkgm::core

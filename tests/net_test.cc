@@ -10,7 +10,9 @@
 #include <chrono>
 #include <cstring>
 #include <future>
+#include <limits>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -511,6 +513,206 @@ TEST(NetClientTest, ReconnectsAfterServerRestart) {
   client.value().reset();
   second.Stop();
   server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// CallFrame (the v2 parameter-server request path)
+// ---------------------------------------------------------------------------
+
+// Parks every kPushGrads respond and flushes them in REVERSE arrival order
+// when a kBarrier frame arrives — so a pipelined client must match replies
+// by correlation id, not by ordering.
+class ReversingPushHandler : public FrameHandler {
+ public:
+  bool HandleFrame(const Frame& frame, Respond respond) override {
+    if (frame.type == FrameType::kPushGrads) {
+      float scale = 0.0f;
+      uint32_t epoch = 0;
+      std::string_view blob;
+      if (!DecodePushGrads(frame.payload, &scale, &epoch, &blob).ok()) {
+        return false;
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      parked_.push_back({frame.correlation_id, epoch, std::move(respond)});
+      return true;
+    }
+    if (frame.type == FrameType::kBarrier) {
+      std::vector<Parked> parked;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        parked.swap(parked_);
+      }
+      for (auto it = parked.rbegin(); it != parked.rend(); ++it) {
+        // Echo the pushed epoch back as rows_applied so the test can prove
+        // each future resolved with ITS reply.
+        it->respond(EncodePushAck(it->correlation_id, it->epoch));
+      }
+      uint32_t epoch = 0, workers = 0;
+      if (!DecodeBarrier(frame.payload, &epoch, &workers).ok()) return false;
+      respond(EncodeBarrierReply(frame.correlation_id, epoch, workers));
+      return true;
+    }
+    return false;
+  }
+
+  /// Drops parked responds without invoking them (the connections are
+  /// gone); must run before the server is destroyed.
+  void Abandon() {
+    std::lock_guard<std::mutex> lock(mu_);
+    parked_.clear();
+  }
+
+  size_t parked() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return parked_.size();
+  }
+
+ private:
+  struct Parked {
+    uint64_t correlation_id;
+    uint32_t epoch;
+    Respond respond;
+  };
+  std::mutex mu_;
+  std::vector<Parked> parked_;
+};
+
+TEST(NetClientTest, ManyInFlightCallsResolveOutOfOrder) {
+  ReversingPushHandler handler;
+  NetServer server(&handler);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = NetClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+
+  constexpr uint32_t kInFlight = 64;
+  std::vector<std::future<StatusOr<Frame>>> pushes;
+  for (uint32_t i = 0; i < kInFlight; ++i) {
+    const uint64_t cid = client.value()->NextCorrelationId();
+    pushes.push_back(client.value()->CallFrame(
+        cid, EncodePushGrads(cid, 1.0f, /*epoch=*/i, "blob")));
+  }
+  // All 64 are in flight (none answered) until the barrier flushes them in
+  // reverse order.
+  ASSERT_TRUE(WaitFor([&] { return handler.parked() == kInFlight; }));
+  const uint64_t barrier_cid = client.value()->NextCorrelationId();
+  auto barrier = client.value()->CallFrame(
+      barrier_cid, EncodeBarrier(barrier_cid, 1, 1));
+
+  StatusOr<Frame> barrier_reply = barrier.get();
+  ASSERT_TRUE(barrier_reply.ok());
+  EXPECT_EQ(barrier_reply->type, FrameType::kBarrierReply);
+
+  for (uint32_t i = 0; i < kInFlight; ++i) {
+    StatusOr<Frame> reply = pushes[i].get();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->type, FrameType::kPushAck);
+    uint32_t rows = 0;
+    ASSERT_TRUE(DecodePushAck(reply->payload, &rows).ok());
+    EXPECT_EQ(rows, i);  // the i-th future got the i-th push's reply
+  }
+
+  client.value().reset();
+  server.Stop();
+}
+
+TEST(NetClientTest, CorrelationIdWraparound) {
+  ReversingPushHandler handler;
+  NetServer server(&handler);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Pin the counter so the ids cross UINT64_MAX -> 0 mid-test.
+  NetClientOptions copt;
+  copt.start_correlation_id = std::numeric_limits<uint64_t>::max() - 3;
+  auto client = NetClient::Connect("127.0.0.1", server.port(), copt);
+  ASSERT_TRUE(client.ok());
+
+  constexpr uint32_t kCalls = 16;
+  std::vector<std::future<StatusOr<Frame>>> pushes;
+  bool wrapped = false;
+  uint64_t prev = 0;
+  for (uint32_t i = 0; i < kCalls; ++i) {
+    const uint64_t cid = client.value()->NextCorrelationId();
+    if (i > 0 && cid < prev) wrapped = true;
+    prev = cid;
+    pushes.push_back(client.value()->CallFrame(
+        cid, EncodePushGrads(cid, 1.0f, i, "x")));
+  }
+  EXPECT_TRUE(wrapped);  // the test premise: ids really did wrap past 0
+
+  ASSERT_TRUE(WaitFor([&] { return handler.parked() == kCalls; }));
+  const uint64_t barrier_cid = client.value()->NextCorrelationId();
+  ASSERT_TRUE(client.value()
+                  ->CallFrame(barrier_cid, EncodeBarrier(barrier_cid, 1, 1))
+                  .get()
+                  .ok());
+  for (uint32_t i = 0; i < kCalls; ++i) {
+    StatusOr<Frame> reply = pushes[i].get();
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    uint32_t rows = 0;
+    ASSERT_TRUE(DecodePushAck(reply->payload, &rows).ok());
+    EXPECT_EQ(rows, i);
+  }
+
+  client.value().reset();
+  server.Stop();
+}
+
+TEST(NetClientTest, ReconnectDuringPendingPush) {
+  ReversingPushHandler handler;
+  NetServerOptions nopt;
+  nopt.drain_timeout_ms = 50;  // force-close the parked push quickly
+  auto first = std::make_unique<NetServer>(&handler, nopt);
+  ASSERT_TRUE(first->Start().ok());
+  const uint16_t port = first->port();
+
+  NetClientOptions copt;
+  copt.reconnect_backoff_initial_ms = 10;
+  auto client = NetClient::Connect("127.0.0.1", port, copt);
+  ASSERT_TRUE(client.ok());
+
+  // A push the handler parks forever: in flight when the server dies.
+  const uint64_t cid = client.value()->NextCorrelationId();
+  auto pending = client.value()->CallFrame(
+      cid, EncodePushGrads(cid, 1.0f, 7, "pending"));
+  ASSERT_TRUE(WaitFor([&] { return handler.parked() == 1u; }));
+
+  // Abandon drops the parked respond without invoking it: the frame
+  // completes with no reply, so Stop()'s outstanding-frame wait must not
+  // wedge, and the drain force-closes the connection at the deadline.
+  handler.Abandon();
+  first->Stop();
+  first.reset();
+
+  // At-most-once: the pending push resolves with an error, never a replay.
+  StatusOr<Frame> failed = pending.get();
+  EXPECT_FALSE(failed.ok());
+
+  // Restart on the same port; the client must reconnect and the next push
+  // must complete (the handler answers it at the next barrier).
+  NetServerOptions nopt2;
+  nopt2.port = port;
+  NetServer second(&handler, nopt2);
+  ASSERT_TRUE(second.Start().ok());
+
+  ASSERT_TRUE(WaitFor([&] {
+    const uint64_t retry_cid = client.value()->NextCorrelationId();
+    auto retry = client.value()->CallFrame(
+        retry_cid, EncodePushGrads(retry_cid, 1.0f, 9, "retry"));
+    if (!WaitFor([&] { return handler.parked() >= 1u; }, 1000)) {
+      return false;
+    }
+    const uint64_t barrier_cid = client.value()->NextCorrelationId();
+    auto barrier = client.value()->CallFrame(
+        barrier_cid, EncodeBarrier(barrier_cid, 2, 1));
+    StatusOr<Frame> reply = retry.get();
+    if (!barrier.get().ok() || !reply.ok()) return false;
+    uint32_t rows = 0;
+    return DecodePushAck(reply->payload, &rows).ok() && rows == 9u;
+  }));
+
+  client.value().reset();
+  second.Stop();
 }
 
 }  // namespace

@@ -335,6 +335,252 @@ TEST(WireTest, BadEnumValuesRejected) {
   EXPECT_FALSE(DecodeGetVectors(bad_form, now, &out).ok());
 }
 
+TEST(Crc32cTest, HardwareMatchesSoftware) {
+  // The dispatched implementation (hardware where the CPU has it) must be
+  // bit-identical to the table-driven software oracle on every length and
+  // alignment — the checksum guards the per-batch gradient push path.
+  EXPECT_EQ(Crc32cSoftware("123456789", 9), 0xe3069283u);
+
+  std::string buf(1027, '\0');
+  uint32_t state = 0x12345678u;
+  for (size_t i = 0; i < buf.size(); ++i) {
+    state = state * 1664525u + 1013904223u;  // LCG; any byte soup works
+    buf[i] = static_cast<char>(state >> 24);
+  }
+  const size_t lengths[] = {0, 1, 2, 3, 7, 8, 9, 15, 16, 17,
+                            63, 64, 65, 255, 1024, 1027};
+  for (size_t len : lengths) {
+    for (size_t offset : {size_t{0}, size_t{1}, size_t{3}}) {
+      if (offset + len > buf.size()) continue;
+      EXPECT_EQ(Crc32c(buf.data() + offset, len),
+                Crc32cSoftware(buf.data() + offset, len))
+          << "len=" << len << " offset=" << offset;
+    }
+  }
+  // Chained hardware == one-shot software across an arbitrary split.
+  EXPECT_EQ(Crc32c(buf.data() + 100, 900, Crc32c(buf.data(), 100)),
+            Crc32cSoftware(buf.data(), 1000));
+  // The dispatcher reports a real implementation name.
+  EXPECT_NE(Crc32cImplName(), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Distributed-training frames (v2)
+// ---------------------------------------------------------------------------
+
+TEST(DistWireTest, PullRowsRoundTrip) {
+  std::vector<PullSection> sections(2);
+  sections[0].table = ParamTable::kEntity;
+  sections[0].ids = {3, 1, 41, 0xffffffffu};
+  sections[1].table = ParamTable::kTransfer;
+  sections[1].ids = {7};
+  const std::string bytes = EncodePullRows(99, sections);
+  const Frame frame = MustDecode(bytes);
+  EXPECT_EQ(frame.type, FrameType::kPullRows);
+  EXPECT_EQ(frame.correlation_id, 99u);
+
+  std::vector<PullSection> decoded;
+  ASSERT_TRUE(DecodePullRows(frame.payload, &decoded).ok());
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].table, ParamTable::kEntity);
+  EXPECT_EQ(decoded[0].ids, sections[0].ids);
+  EXPECT_EQ(decoded[1].table, ParamTable::kTransfer);
+  EXPECT_EQ(decoded[1].ids, sections[1].ids);
+
+  // Every strict prefix rejected; trailing garbage rejected; bad table
+  // byte rejected.
+  const std::string payload(frame.payload);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(DecodePullRows(payload.substr(0, len), &decoded).ok());
+  }
+  std::string padded = payload;
+  padded.push_back('\0');
+  EXPECT_FALSE(DecodePullRows(padded, &decoded).ok());
+  std::string bad_table = payload;
+  bad_table[4] = 0x7f;  // table byte of section 0
+  EXPECT_FALSE(DecodePullRows(bad_table, &decoded).ok());
+}
+
+TEST(DistWireTest, PullRowsHostileCountNoAllocationBlowup) {
+  // A section count far beyond the payload must be rejected up front, not
+  // fed to a vector reserve.
+  std::string payload;
+  const uint32_t huge = 0x40000000u;
+  payload.append(reinterpret_cast<const char*>(&huge), 4);
+  std::vector<PullSection> out;
+  EXPECT_FALSE(DecodePullRows(payload, &out).ok());
+
+  // Same for a per-section id count.
+  std::vector<PullSection> one(1);
+  one[0].ids = {1};
+  std::string bytes = EncodePullRows(1, one);
+  std::string inner = bytes.substr(kFrameHeaderBytes);
+  std::memcpy(&inner[5], &huge, 4);  // id count of section 0
+  EXPECT_FALSE(DecodePullRows(inner, &out).ok());
+}
+
+TEST(DistWireTest, RowsRoundTrip) {
+  std::vector<RowsSection> sections(2);
+  sections[0].table = ParamTable::kRelation;
+  sections[0].row_size = 3;
+  sections[0].ids = {5, 9};
+  sections[0].values = {1.0f, -2.5f, 0.0f, 4.0f, 5.0f, -6.0f};
+  sections[1].table = ParamTable::kHyperplane;
+  sections[1].row_size = 2;
+  sections[1].ids = {0};
+  sections[1].values = {0.5f, -0.5f};
+  const std::string bytes = EncodeRows(7, sections);
+  const Frame frame = MustDecode(bytes);
+  EXPECT_EQ(frame.type, FrameType::kRows);
+
+  std::vector<RowsSection> decoded;
+  ASSERT_TRUE(DecodeRows(frame.payload, &decoded).ok());
+  ASSERT_EQ(decoded.size(), 2u);
+  for (size_t s = 0; s < 2; ++s) {
+    EXPECT_EQ(decoded[s].table, sections[s].table);
+    EXPECT_EQ(decoded[s].row_size, sections[s].row_size);
+    EXPECT_EQ(decoded[s].ids, sections[s].ids);
+    EXPECT_EQ(decoded[s].values, sections[s].values);
+  }
+
+  const std::string payload(frame.payload);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(DecodeRows(payload.substr(0, len), &decoded).ok());
+  }
+  std::string padded = payload;
+  padded.push_back('\0');
+  EXPECT_FALSE(DecodeRows(padded, &decoded).ok());
+
+  // A count * row_size product that overflows past the payload must be
+  // rejected before allocation.
+  std::string hostile = payload;
+  const uint32_t huge = 0x20000000u;
+  std::memcpy(&hostile[5], &huge, 4);  // row_size of section 0
+  EXPECT_FALSE(DecodeRows(hostile, &decoded).ok());
+}
+
+TEST(DistWireTest, PushGradsRoundTrip) {
+  const std::string blob = "not-a-real-arena-but-opaque-bytes";
+  const std::string bytes = EncodePushGrads(13, 0.125f, 4, blob);
+  const Frame frame = MustDecode(bytes);
+  EXPECT_EQ(frame.type, FrameType::kPushGrads);
+
+  float scale = 0.0f;
+  uint32_t epoch = 0;
+  std::string_view arena;
+  ASSERT_TRUE(DecodePushGrads(frame.payload, &scale, &epoch, &arena).ok());
+  EXPECT_EQ(scale, 0.125f);
+  EXPECT_EQ(epoch, 4u);
+  EXPECT_EQ(arena, blob);
+
+  // Shorter than the fixed scale+epoch prefix: rejected.
+  for (size_t len = 0; len < 8; ++len) {
+    EXPECT_FALSE(
+        DecodePushGrads(std::string_view(frame.payload).substr(0, len),
+                        &scale, &epoch, &arena)
+            .ok());
+  }
+  // An empty blob is legal at this layer (the arena codec rejects it).
+  ASSERT_TRUE(DecodePushGrads(std::string_view(frame.payload).substr(0, 8),
+                              &scale, &epoch, &arena)
+                  .ok());
+  EXPECT_TRUE(arena.empty());
+}
+
+TEST(DistWireTest, PushAckRoundTrip) {
+  const std::string bytes = EncodePushAck(21, 777);
+  const Frame frame = MustDecode(bytes);
+  EXPECT_EQ(frame.type, FrameType::kPushAck);
+  uint32_t rows = 0;
+  ASSERT_TRUE(DecodePushAck(frame.payload, &rows).ok());
+  EXPECT_EQ(rows, 777u);
+  EXPECT_FALSE(DecodePushAck(std::string_view("abc"), &rows).ok());
+  std::string padded(frame.payload);
+  padded.push_back('\0');
+  EXPECT_FALSE(DecodePushAck(padded, &rows).ok());
+}
+
+TEST(DistWireTest, ShardInfoReplyRoundTrip) {
+  ShardInfo info;
+  info.shard_index = 3;
+  info.num_shards = 8;
+  info.num_entities = 123456;
+  info.num_relations = 42;
+  info.dim = 64;
+  info.scorer = 2;
+  info.use_relation_module = false;
+  info.optimizer = 1;
+  info.learning_rate = 1e-4f;
+  info.model_seed = 0xdeadbeefcafef00dULL;
+  const std::string bytes = EncodeShardInfoReply(5, info);
+  const Frame frame = MustDecode(bytes);
+  EXPECT_EQ(frame.type, FrameType::kShardInfoReply);
+
+  ShardInfo decoded;
+  ASSERT_TRUE(DecodeShardInfoReply(frame.payload, &decoded).ok());
+  EXPECT_EQ(decoded.shard_index, info.shard_index);
+  EXPECT_EQ(decoded.num_shards, info.num_shards);
+  EXPECT_EQ(decoded.num_entities, info.num_entities);
+  EXPECT_EQ(decoded.num_relations, info.num_relations);
+  EXPECT_EQ(decoded.dim, info.dim);
+  EXPECT_EQ(decoded.scorer, info.scorer);
+  EXPECT_EQ(decoded.use_relation_module, info.use_relation_module);
+  EXPECT_EQ(decoded.optimizer, info.optimizer);
+  EXPECT_EQ(decoded.learning_rate, info.learning_rate);
+  EXPECT_EQ(decoded.model_seed, info.model_seed);
+
+  const std::string payload(frame.payload);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_FALSE(DecodeShardInfoReply(payload.substr(0, len), &decoded).ok());
+  }
+  std::string padded = payload;
+  padded.push_back('\0');
+  EXPECT_FALSE(DecodeShardInfoReply(padded, &decoded).ok());
+}
+
+TEST(DistWireTest, BarrierRoundTrip) {
+  {
+    const std::string bytes = EncodeBarrier(2, 17, 4);
+    const Frame frame = MustDecode(bytes);
+    EXPECT_EQ(frame.type, FrameType::kBarrier);
+    uint32_t epoch = 0, workers = 0;
+    ASSERT_TRUE(DecodeBarrier(frame.payload, &epoch, &workers).ok());
+    EXPECT_EQ(epoch, 17u);
+    EXPECT_EQ(workers, 4u);
+    for (size_t len = 0; len < frame.payload.size(); ++len) {
+      EXPECT_FALSE(
+          DecodeBarrier(std::string_view(frame.payload).substr(0, len),
+                        &epoch, &workers)
+              .ok());
+    }
+  }
+  {
+    const std::string bytes = EncodeBarrierReply(2, 17, 4);
+    const Frame frame = MustDecode(bytes);
+    EXPECT_EQ(frame.type, FrameType::kBarrierReply);
+    uint32_t epoch = 0, arrived = 0;
+    ASSERT_TRUE(DecodeBarrierReply(frame.payload, &epoch, &arrived).ok());
+    EXPECT_EQ(epoch, 17u);
+    EXPECT_EQ(arrived, 4u);
+    std::string padded(frame.payload);
+    padded.push_back('\0');
+    EXPECT_FALSE(DecodeBarrierReply(padded, &epoch, &arrived).ok());
+  }
+}
+
+TEST(DistWireTest, V1HeaderCutOff) {
+  // A v1 peer must be rejected at the header: same layout, older version
+  // byte.
+  std::string bytes = EncodeControl(FrameType::kPing, 1);
+  bytes[4] = 1;  // version byte
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  Frame frame;
+  std::string error;
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Result::kError);
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
 TEST(FrameDecoderTest, BufferCompaction) {
   // Many small frames through one decoder: the internal buffer must not
   // grow with the total bytes ever fed (compaction reclaims consumed

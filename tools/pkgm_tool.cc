@@ -6,9 +6,19 @@
 //   pkgm_tool train     <kg.tsv> <model.bin> [--epochs N] [--dim N]
 //                       [--workers N] [--optimizer adam|sgd] [--lr F]
 //                       [--batch N] [--margin F] [--seed N] [--store out.pkgs]
+//                       [--distributed N | --connect-shards h:p,h:p,...]
+//                       [--worker-index I --worker-procs P] [--inflight N]
+//                       [--psd-binary PATH] [--eval-hinge]
 //                                               flag-driven training front
 //                                               end; --workers > 1 runs the
-//                                               pipelined sharded trainer
+//                                               pipelined sharded trainer;
+//                                               --distributed N spawns N
+//                                               pkgm_psd shard daemons and
+//                                               trains through the wire
+//                                               protocol (--connect-shards
+//                                               joins daemons already
+//                                               running, e.g. from another
+//                                               worker process)
 //   pkgm_tool eval      <kg.tsv> <model.bin> [fraction]
 //                                               filtered link prediction on a
 //                                               random holdout of the KG
@@ -43,10 +53,14 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "core/link_prediction.h"
 #include "core/pkgm_model.h"
 #include "core/sharded_trainer.h"
 #include "core/trainer.h"
+#include "dist/dist_trainer.h"
+#include "dist/local_cluster.h"
 #include "kg/io.h"
 #include "kg/mmap_triple_index.h"
 #include "kg/split.h"
@@ -73,7 +87,11 @@ int Usage() {
                " [--workers N]\n"
                "            [--optimizer adam|sgd] [--lr F] [--batch N]"
                " [--margin F] [--seed N]\n"
-               "            [--store out.pkgs]\n"
+               "            [--store out.pkgs]"
+               " [--distributed N | --connect-shards h:p,...]\n"
+               "            [--worker-index I --worker-procs P] [--inflight N]"
+               " [--psd-binary PATH]\n"
+               "            [--eval-hinge]\n"
                "  pkgm_tool eval <kg.tsv> <model.bin> [holdout_fraction]\n"
                "  pkgm_tool complete <kg.tsv> <model.bin> <head> <relation> "
                "[topk]\n"
@@ -161,10 +179,40 @@ int CmdPretrain(int argc, char** argv) {
   return 0;
 }
 
+/// pkgm_psd next to the running pkgm_tool binary (the usual build layout);
+/// falls back to PATH lookup semantics of execv (i.e. none) otherwise.
+std::string DefaultPsdBinary() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "pkgm_psd";
+  buf[n] = '\0';
+  std::string path(buf);
+  const size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return "pkgm_psd";
+  return path.substr(0, slash + 1) + "pkgm_psd";
+}
+
+std::vector<std::string> SplitCommaList(const char* s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(*p);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
 // Flag-driven training front end. Unlike the positional `pretrain` command
 // it exposes the full hyper-parameter surface and, with --workers > 1,
 // runs the pipelined hogwild ShardedTrainer (SGD only — asynchronous row
-// publication has no per-row Adam state).
+// publication has no per-row Adam state). --distributed / --connect-shards
+// switch to parameter-server training over the wire protocol: the shard
+// daemons apply the updates, so Adam is available at any worker count.
 int CmdTrain(int argc, char** argv) {
   if (argc < 2) return Usage();
   uint32_t epochs = 10, dim = 32, workers = 1, batch = 512;
@@ -172,6 +220,12 @@ int CmdTrain(int argc, char** argv) {
   uint64_t seed = 17;
   bool adam = true;
   const char* store_out = nullptr;
+  uint32_t distributed = 0;          // > 0: spawn this many shard daemons
+  std::vector<std::string> connect_shards;
+  uint32_t worker_index = 0, worker_procs = 1;
+  uint32_t inflight = 4;
+  std::string psd_binary;
+  bool eval_hinge = false;
 
   for (int i = 2; i < argc; ++i) {
     const auto flag_value = [&](const char* name) -> const char* {
@@ -198,6 +252,20 @@ int CmdTrain(int argc, char** argv) {
       seed = std::strtoull(v, nullptr, 10);
     } else if (const char* v = flag_value("--store")) {
       store_out = v;
+    } else if (const char* v = flag_value("--distributed")) {
+      distributed = std::atoi(v);
+    } else if (const char* v = flag_value("--connect-shards")) {
+      connect_shards = SplitCommaList(v);
+    } else if (const char* v = flag_value("--worker-index")) {
+      worker_index = std::atoi(v);
+    } else if (const char* v = flag_value("--worker-procs")) {
+      worker_procs = std::atoi(v);
+    } else if (const char* v = flag_value("--inflight")) {
+      inflight = std::atoi(v);
+    } else if (const char* v = flag_value("--psd-binary")) {
+      psd_binary = v;
+    } else if (std::strcmp(argv[i], "--eval-hinge") == 0) {
+      eval_hinge = true;
     } else if (const char* v = flag_value("--optimizer")) {
       if (std::strcmp(v, "adam") == 0) {
         adam = true;
@@ -213,9 +281,27 @@ int CmdTrain(int argc, char** argv) {
     }
   }
   if (epochs == 0 || dim == 0 || workers == 0 || batch == 0) return Usage();
-  if (workers > 1 && adam) {
+  const bool dist_mode = distributed > 0 || !connect_shards.empty();
+  if (distributed > 0 && !connect_shards.empty()) {
+    std::fprintf(stderr,
+                 "--distributed and --connect-shards are mutually "
+                 "exclusive\n");
+    return 2;
+  }
+  if (worker_procs == 0 || worker_index >= worker_procs) {
+    std::fprintf(stderr, "--worker-index must be < --worker-procs\n");
+    return 2;
+  }
+  if (!dist_mode && worker_procs > 1) {
+    std::fprintf(stderr,
+                 "--worker-procs needs --distributed or --connect-shards\n");
+    return 2;
+  }
+  if (workers > 1 && adam && !dist_mode) {
     std::printf("note: --workers %u forces --optimizer sgd (the sharded "
-                "trainer publishes rows asynchronously)\n",
+                "trainer publishes rows asynchronously; the parameter "
+                "servers of --distributed apply updates centrally, so Adam "
+                "stays available there)\n",
                 workers);
     adam = false;
   }
@@ -253,7 +339,6 @@ int CmdTrain(int argc, char** argv) {
   mopt.num_relations = num_relations;
   mopt.dim = dim;
   mopt.seed = seed;
-  core::PkgmModel model(mopt);
   std::printf("training d=%u, %u epoch(s), %u worker(s), %s, lr %g, "
               "batch %u, margin %g, seed %llu, kernels %s\n",
               dim, epochs, workers, adam ? "adam" : "sgd",
@@ -266,10 +351,103 @@ int CmdTrain(int argc, char** argv) {
                   e, s.mean_hinge,
                   WithThousandsSeparators(s.active_pairs).c_str(),
                   s.triples_per_second);
+      std::fflush(stdout);
     }
+  };
+  const auto save_and_export = [&](const core::PkgmModel& m) -> int {
+    Status s = m.SaveToFile(argv[1]);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("checkpoint written to %s\n", argv[1]);
+    if (store_out != nullptr) {
+      Status ws = store::EmbeddingStoreWriter(store::StoreWriterOptions{})
+                      .Write(m, store_out);
+      if (!ws.ok()) {
+        std::fprintf(stderr, "%s\n", ws.ToString().c_str());
+        return 1;
+      }
+      std::printf("servable store written to %s\n", store_out);
+    }
+    return 0;
   };
 
   Stopwatch sw;
+  if (dist_mode) {
+    // Spawn the shard fleet when asked; otherwise join daemons another
+    // process (or operator) already started.
+    std::optional<dist::LocalShardCluster> cluster;
+    std::vector<std::string> endpoints = connect_shards;
+    if (distributed > 0) {
+      char work_dir[] = "/tmp/pkgm_psd_XXXXXX";
+      if (::mkdtemp(work_dir) == nullptr) {
+        std::fprintf(stderr, "cannot create a scratch dir for port files\n");
+        return 1;
+      }
+      dist::LocalShardClusterOptions copt;
+      copt.psd_binary = psd_binary.empty() ? DefaultPsdBinary() : psd_binary;
+      copt.work_dir = work_dir;
+      copt.num_shards = distributed;
+      copt.model = mopt;
+      copt.optimizer =
+          adam ? core::OptimizerKind::kAdam : core::OptimizerKind::kSgd;
+      copt.learning_rate = lr;
+      cluster.emplace(std::move(copt));
+      Status st = cluster->Start();
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+      endpoints = cluster->endpoints();
+      std::printf("spawned %u shard daemon(s)\n", distributed);
+    }
+
+    dist::DistTrainerOptions dopt;
+    dopt.shard_endpoints = endpoints;
+    dopt.num_workers = workers;
+    dopt.worker_process_index = worker_index;
+    dopt.num_worker_processes = worker_procs;
+    dopt.batch_size = batch;
+    dopt.learning_rate = lr;
+    dopt.margin = margin;
+    dopt.seed = seed;
+    dopt.max_inflight_pushes = inflight;
+    dist::DistTrainer trainer(source, dopt);
+    Status st = trainer.Connect();
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("connected to %zu shard(s), worker process %u/%u, "
+                "inflight bound %u\n",
+                endpoints.size(), worker_index, worker_procs, inflight);
+    for (uint32_t e = 1; e <= epochs; ++e) {
+      StatusOr<core::EpochStats> stats = trainer.RunEpoch();
+      if (!stats.ok()) {
+        std::fprintf(stderr, "epoch %u: %s\n", e,
+                     stats.status().ToString().c_str());
+        return 1;
+      }
+      report(e, stats.value());
+    }
+    std::printf("trained in %.1fs (%llu pulls, %llu pushes)\n",
+                sw.ElapsedSeconds(),
+                static_cast<unsigned long long>(trainer.pulls()),
+                static_cast<unsigned long long>(trainer.pushes()));
+    // Refresh the replica so the checkpoint is the shards' merged state.
+    st = trainer.PullFullModel();
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    if (eval_hinge) {
+      std::printf("final eval hinge %.6f\n", trainer.EvaluateMeanHinge());
+    }
+    return save_and_export(*trainer.replica());
+  }
+
+  core::PkgmModel model(mopt);
   if (workers > 1) {
     core::ShardedTrainerOptions sopt;
     sopt.num_workers = workers;
@@ -291,25 +469,21 @@ int CmdTrain(int argc, char** argv) {
     for (uint32_t e = 1; e <= epochs; ++e) report(e, trainer.RunEpoch());
   }
   std::printf("trained in %.1fs\n", sw.ElapsedSeconds());
-
-  Status s = model.SaveToFile(argv[1]);
-  if (!s.ok()) {
-    std::fprintf(stderr, "%s\n", s.ToString().c_str());
-    return 1;
+  if (eval_hinge) {
+    // The same derived validation stream DistTrainer::EvaluateMeanHinge
+    // uses, so single-process and distributed runs print comparable
+    // numbers for the same seed.
+    core::TrainerOptions eopt;
+    eopt.margin = margin;
+    eopt.seed = seed;
+    eopt.optimizer = core::OptimizerKind::kSgd;  // eval touches no state
+    core::Trainer evaluator(&model, source, eopt);
+    std::vector<kg::Triple> triples;
+    source->AppendTriples(&triples);
+    std::printf("final eval hinge %.6f\n",
+                evaluator.EvaluateMeanHinge(triples));
   }
-  std::printf("checkpoint written to %s\n", argv[1]);
-
-  if (store_out != nullptr) {
-    Status ws =
-        store::EmbeddingStoreWriter(store::StoreWriterOptions{})
-            .Write(model, store_out);
-    if (!ws.ok()) {
-      std::fprintf(stderr, "%s\n", ws.ToString().c_str());
-      return 1;
-    }
-    std::printf("servable store written to %s\n", store_out);
-  }
-  return 0;
+  return save_and_export(model);
 }
 
 int CmdEval(int argc, char** argv) {
