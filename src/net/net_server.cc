@@ -4,6 +4,7 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -264,21 +265,46 @@ void NetServer::CloseConnection(IoThread& io, uint64_t conn_id) {
 }
 
 bool NetServer::FlushOutbox(IoThread& io, Connection& conn) {
+  // Gather up to kFlushIovecs queued frames per syscall: under pipelined
+  // load the outbox routinely holds many small response frames, and one
+  // writev drains what used to take one send() each.
+  constexpr int kFlushIovecs = 64;
   while (!conn.outbox.empty()) {
-    const std::string& front = conn.outbox.front();
+    struct iovec iov[kFlushIovecs];
+    int iovcnt = 0;
+    for (const std::string& entry : conn.outbox) {
+      if (iovcnt == kFlushIovecs) break;
+      const size_t offset = iovcnt == 0 ? conn.outbox_offset : 0;
+      iov[iovcnt].iov_base =
+          const_cast<char*>(entry.data()) + offset;
+      iov[iovcnt].iov_len = entry.size() - offset;
+      ++iovcnt;
+    }
     // MSG_NOSIGNAL: a peer that closed mid-write must surface EPIPE, not
     // kill the process with SIGPIPE.
-    const ssize_t n =
-        ::send(conn.fd.get(), front.data() + conn.outbox_offset,
-               front.size() - conn.outbox_offset, MSG_NOSIGNAL);
+    struct msghdr msg;
+    std::memset(&msg, 0, sizeof(msg));
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    const ssize_t n = ::sendmsg(conn.fd.get(), &msg, MSG_NOSIGNAL);
     if (n > 0) {
       bytes_out_ += static_cast<uint64_t>(n);
       conn.outbox_bytes -= static_cast<size_t>(n);
-      conn.outbox_offset += static_cast<size_t>(n);
       conn.last_activity = Clock::now();
-      if (conn.outbox_offset == front.size()) {
-        conn.outbox.pop_front();
-        conn.outbox_offset = 0;
+      // Retire fully-sent frames; a partial tail becomes the new front
+      // with its offset advanced.
+      size_t sent_bytes = static_cast<size_t>(n);
+      while (sent_bytes > 0) {
+        const size_t front_remaining =
+            conn.outbox.front().size() - conn.outbox_offset;
+        if (sent_bytes >= front_remaining) {
+          sent_bytes -= front_remaining;
+          conn.outbox.pop_front();
+          conn.outbox_offset = 0;
+        } else {
+          conn.outbox_offset += sent_bytes;
+          sent_bytes = 0;
+        }
       }
       continue;
     }

@@ -286,6 +286,7 @@ WireCode WireCodeFromResponse(serve::ResponseCode code) {
       return WireCode::kDeadlineExceeded;
     case serve::ResponseCode::kInvalidItem: return WireCode::kInvalidItem;
     case serve::ResponseCode::kNetworkError: return WireCode::kNetworkError;
+    case serve::ResponseCode::kQuotaExceeded: return WireCode::kQuotaExceeded;
   }
   return WireCode::kNetworkError;
 }
@@ -297,6 +298,7 @@ serve::ResponseCode ResponseCodeFromWire(WireCode code) {
     case WireCode::kDeadlineExceeded:
       return serve::ResponseCode::kDeadlineExceeded;
     case WireCode::kInvalidItem: return serve::ResponseCode::kInvalidItem;
+    case WireCode::kQuotaExceeded: return serve::ResponseCode::kQuotaExceeded;
     case WireCode::kNetworkError:
     case WireCode::kUnsupported:
       return serve::ResponseCode::kNetworkError;
@@ -327,7 +329,7 @@ std::string EncodeGetVectors(
     PutU32(request.item, &payload);
     PutU8(static_cast<uint8_t>(request.mode), &payload);
     PutU8(static_cast<uint8_t>(request.form), &payload);
-    PutU16(0, &payload);
+    PutU16(request.tenant, &payload);
     uint32_t deadline_micros = 0;
     if (request.deadline != serve::ServeClock::time_point::max()) {
       const auto remaining = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -473,9 +475,9 @@ Status DecodeGetVectors(std::string_view payload,
   for (uint32_t i = 0; i < count; ++i) {
     uint32_t item, deadline_micros;
     uint8_t mode, form;
-    uint16_t reserved;
+    uint16_t tenant;
     if (!cursor.ReadU32(&item) || !cursor.ReadU8(&mode) ||
-        !cursor.ReadU8(&form) || !cursor.ReadU16(&reserved) ||
+        !cursor.ReadU8(&form) || !cursor.ReadU16(&tenant) ||
         !cursor.ReadU32(&deadline_micros)) {
       return Truncated("kGetVectors");
     }
@@ -485,13 +487,11 @@ Status DecodeGetVectors(std::string_view payload,
     if (form > static_cast<uint8_t>(serve::ServiceForm::kCondensed)) {
       return Status::Corruption(StrFormat("invalid service form %u", form));
     }
-    if (reserved != 0) {
-      return Status::Corruption("non-zero reserved request field");
-    }
     serve::ServiceRequest request;
     request.item = item;
     request.mode = static_cast<core::ServiceMode>(mode);
     request.form = static_cast<serve::ServiceForm>(form);
+    request.tenant = tenant;
     request.deadline = deadline_micros == 0
                            ? serve::ServeClock::time_point::max()
                            : now + std::chrono::microseconds(deadline_micros);
@@ -521,7 +521,7 @@ Status DecodeVectors(std::string_view payload,
         !cursor.ReadU16(&reserved) || !cursor.ReadU32(&num_vectors)) {
       return Truncated("kVectors");
     }
-    if (code > static_cast<uint8_t>(WireCode::kUnsupported)) {
+    if (code > kMaxWireCode) {
       return Status::Corruption(StrFormat("invalid wire code %u", code));
     }
     // Each vector costs at least its 4-byte length prefix.
@@ -561,7 +561,7 @@ Status DecodeError(std::string_view payload, WireCode* code,
   Cursor cursor(payload);
   uint8_t raw;
   if (!cursor.ReadU8(&raw)) return Truncated("kError");
-  if (raw > static_cast<uint8_t>(WireCode::kUnsupported)) {
+  if (raw > kMaxWireCode) {
     return Status::Corruption(StrFormat("invalid wire code %u", raw));
   }
   *code = static_cast<WireCode>(raw);

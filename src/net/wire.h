@@ -94,7 +94,13 @@ enum class WireCode : uint8_t {
   kNetworkError = 4,
   /// The server did not understand the frame (unknown type).
   kUnsupported = 5,
+  /// The request's tenant exhausted its admission quota (token bucket).
+  kQuotaExceeded = 6,
 };
+
+/// Highest WireCode value; decoders reject anything above it.
+inline constexpr uint8_t kMaxWireCode =
+    static_cast<uint8_t>(WireCode::kQuotaExceeded);
 
 WireCode WireCodeFromResponse(serve::ResponseCode code);
 serve::ResponseCode ResponseCodeFromWire(WireCode code);
@@ -131,7 +137,10 @@ void AppendFrame(FrameType type, uint64_t correlation_id,
                  std::string_view payload, std::string* out);
 
 /// kGetVectors payload: u32 count, then per request
-/// {u32 item, u8 mode, u8 form, u16 reserved, u32 deadline_micros}.
+/// {u32 item, u8 mode, u8 form, u16 tenant, u32 deadline_micros}.
+/// The tenant field (ex-reserved; older clients always sent 0, which is
+/// the default tenant — wire-compatible) feeds per-tenant admission
+/// quotas on the server.
 /// Deadlines travel as *relative* microseconds-from-now (clocks are not
 /// comparable across machines); 0 means no deadline, and an
 /// already-expired absolute deadline is clamped to 1 so expiry survives

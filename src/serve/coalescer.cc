@@ -1,0 +1,88 @@
+#include "serve/coalescer.h"
+
+#include "util/logging.h"
+
+namespace pkgm::serve {
+
+HotKeyCoalescer::HotKeyCoalescer(size_t num_shards) {
+  PKGM_CHECK_GE(num_shards, 1u);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+HotKeyCoalescer::Shard& HotKeyCoalescer::ShardFor(uint64_t key) {
+  // Fibonacci multiplicative mix, same idiom as ShardedVectorCache, so
+  // adjacent item ids spread across shards.
+  const uint64_t mixed = key * 0x9e3779b97f4a7c15ULL;
+  return *shards_[(mixed >> 32) % shards_.size()];
+}
+
+bool HotKeyCoalescer::Fetch(uint64_t key, uint64_t generation,
+                            const std::function<Vec()>& compute, Vec* out) {
+  Shard& shard = ShardFor(key);
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.flights.find(key);
+    if (it != shard.flights.end()) {
+      if (it->second->generation == generation) {
+        flight = it->second;  // join the in-flight compute
+      }
+      // else: a hot swap landed between this caller's generation snapshot
+      // and the leader's — the leader's value may be from the wrong side
+      // of the swap. Fall through with no flight: compute independently.
+    } else {
+      flight = std::make_shared<Flight>();
+      flight->generation = generation;
+      shard.flights.emplace(key, flight);
+      leader = true;
+    }
+  }
+
+  if (flight == nullptr) {
+    ++bypassed_;
+    *out = compute();
+    return true;  // caller computed fresh; it may cache the value
+  }
+
+  if (leader) {
+    ++leaders_;
+    Vec value = compute();
+    {
+      std::lock_guard<std::mutex> lock(flight->mu);
+      flight->value = value;
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    {
+      // Deregister — but only if the table still points at *our* flight.
+      // A bypasser-turned-new-leader may have replaced the entry already.
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.flights.find(key);
+      if (it != shard.flights.end() && it->second == flight) {
+        shard.flights.erase(it);
+      }
+    }
+    *out = std::move(value);
+    return true;
+  }
+
+  ++joined_;
+  std::unique_lock<std::mutex> lock(flight->mu);
+  flight->cv.wait(lock, [&flight] { return flight->done; });
+  *out = flight->value;
+  return false;
+}
+
+CoalescerStats HotKeyCoalescer::stats() const {
+  CoalescerStats s;
+  s.leaders = leaders_.load();
+  s.joined = joined_.load();
+  s.bypassed = bypassed_.load();
+  return s;
+}
+
+}  // namespace pkgm::serve

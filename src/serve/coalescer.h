@@ -1,0 +1,87 @@
+#ifndef PKGM_SERVE_COALESCER_H_
+#define PKGM_SERVE_COALESCER_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/service.h"
+#include "tensor/vec.h"
+
+namespace pkgm::serve {
+
+/// Counters for HotKeyCoalescer (monotonic, read with stats()).
+struct CoalescerStats {
+  /// Fetches that registered a flight and ran the compute themselves.
+  uint64_t leaders = 0;
+  /// Fetches that found a same-generation flight in progress and waited
+  /// for its result instead of computing — backend work saved.
+  uint64_t joined = 0;
+  /// Fetches that found a flight from a *different* cache generation
+  /// (a hot swap landed mid-flight) and computed independently rather
+  /// than adopt a possibly-stale result.
+  uint64_t bypassed = 0;
+};
+
+/// Request coalescing ("single-flight") for hot condensed-vector keys:
+/// when N workers miss the cache on the same (item, mode) at once — the
+/// steady state for Zipf head items right after a cache invalidation —
+/// only the first runs the backend compute; the other N-1 park on the
+/// flight and share its result. Cuts the post-swap thundering herd from
+/// N redundant computes to 1 per hot key.
+///
+/// Generation tagging keeps hot swap correct: a flight is stamped with the
+/// cache generation its leader snapshotted *before* pinning the model. A
+/// follower holding a different generation snapshot must not adopt the
+/// leader's value (it may come from the other side of the swap), so it
+/// bypasses and computes against its own pinned model.
+///
+/// Thread-safe; shards the flight table by key to keep concurrent distinct
+/// keys off one lock.
+class HotKeyCoalescer {
+ public:
+  explicit HotKeyCoalescer(size_t num_shards = 16);
+
+  HotKeyCoalescer(const HotKeyCoalescer&) = delete;
+  HotKeyCoalescer& operator=(const HotKeyCoalescer&) = delete;
+
+  /// Computes a vector for `key` via `compute`, coalescing with any
+  /// in-flight computation of the same key at the same `generation`.
+  /// Exactly one caller (the leader) runs `compute`; joiners block until
+  /// the leader publishes. Returns true iff this caller was the leader —
+  /// the one who should insert the value into the cache.
+  bool Fetch(uint64_t key, uint64_t generation,
+             const std::function<Vec()>& compute, Vec* out);
+
+  CoalescerStats stats() const;
+
+ private:
+  struct Flight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Vec value;
+    uint64_t generation = 0;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<uint64_t, std::shared_ptr<Flight>> flights;
+  };
+
+  Shard& ShardFor(uint64_t key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> leaders_{0};
+  std::atomic<uint64_t> joined_{0};
+  std::atomic<uint64_t> bypassed_{0};
+};
+
+}  // namespace pkgm::serve
+
+#endif  // PKGM_SERVE_COALESCER_H_

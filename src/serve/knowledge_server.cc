@@ -30,10 +30,7 @@ KnowledgeServer::KnowledgeServer(const core::ServiceVectorProvider* provider,
       queue_(options.queue_capacity) {
   PKGM_CHECK(provider != nullptr);
   PKGM_CHECK(options_.num_workers >= 1);
-  if (options_.enable_cache) {
-    cache_ = std::make_unique<ShardedVectorCache>(options_.cache_capacity,
-                                                  options_.cache_shards);
-  }
+  InitAdmissionAndCache();
   stats_.SetBackend(StrFormat("fixed provider (heap-fp32), kernels=%s",
                               simd::ActiveIsaName()));
 }
@@ -46,11 +43,26 @@ KnowledgeServer::KnowledgeServer(const store::ModelRegistry* registry,
       queue_(options.queue_capacity) {
   PKGM_CHECK(registry != nullptr);
   PKGM_CHECK(options_.num_workers >= 1);
+  InitAdmissionAndCache();
+  if (auto gen = registry->Current()) ObserveGeneration(*gen);
+}
+
+void KnowledgeServer::InitAdmissionAndCache() {
   if (options_.enable_cache) {
     cache_ = std::make_unique<ShardedVectorCache>(options_.cache_capacity,
                                                   options_.cache_shards);
   }
-  if (auto gen = registry->Current()) ObserveGeneration(*gen);
+  if (options_.enable_coalescing) {
+    // Coalescing shields the backend behind the cache; without a cache
+    // every request recomputes anyway and the flight table is pure cost.
+    PKGM_CHECK(options_.enable_cache)
+        << "enable_coalescing requires enable_cache";
+    coalescer_ = std::make_unique<HotKeyCoalescer>();
+  }
+  if (options_.tenant_burst > 0.0) {
+    quotas_ = std::make_unique<TenantQuotas>(options_.tenant_rate,
+                                             options_.tenant_burst);
+  }
 }
 
 KnowledgeServer::~KnowledgeServer() { Stop(); }
@@ -121,6 +133,27 @@ void KnowledgeServer::SubmitBatchAsync(std::vector<ServiceRequest> requests,
 
 void KnowledgeServer::Enqueue(Batch batch) {
   if (batch.empty()) return;
+  if (quotas_ != nullptr) {
+    // Quota shedding is per-request (one tenant's dry bucket must not take
+    // down a mixed batch), unlike queue admission which stays batch-level.
+    const auto now = ServeClock::now();
+    Batch admitted;
+    admitted.reserve(batch.size());
+    uint64_t shed = 0;
+    for (PendingRequest& pending : batch) {
+      if (quotas_->TryAdmit(pending.request.tenant, now)) {
+        admitted.push_back(std::move(pending));
+      } else {
+        ++shed;
+        ServiceResponse response;
+        response.code = ResponseCode::kQuotaExceeded;
+        pending.done(std::move(response));
+      }
+    }
+    if (shed > 0) stats_.RecordQuotaRejected(shed);
+    batch = std::move(admitted);
+    if (batch.empty()) return;
+  }
   // Count the batch as pending *before* pushing: a worker may finish (and
   // decrement) before TryPush even returns.
   const size_t n = batch.size();
@@ -222,10 +255,31 @@ ServiceResponse KnowledgeServer::Execute(const ServiceRequest& request) {
         cache_->Lookup(request.item, request.mode, &condensed)) {
       response.cache_hit = true;
     } else {
-      condensed = provider->Condensed(request.item, request.mode);
-      if (cache_ != nullptr) {
-        cache_->Insert(request.item, request.mode, condensed,
-                       cache_generation);
+      auto compute = [&] {
+        stats_.RecordBackendFetch();
+        return provider->Condensed(request.item, request.mode);
+      };
+      if (coalescer_ != nullptr) {
+        // Same key layout as the cache: item in the high bits, mode low.
+        const uint64_t key = (static_cast<uint64_t>(request.item) << 2) |
+                             static_cast<uint64_t>(request.mode);
+        // The flight carries the cache generation snapshotted above, so a
+        // joiner from the other side of a hot swap bypasses instead of
+        // adopting a value computed against the wrong model.
+        const bool leader =
+            coalescer_->Fetch(key, cache_generation, compute, &condensed);
+        if (leader) {
+          cache_->Insert(request.item, request.mode, condensed,
+                         cache_generation);
+        } else {
+          stats_.RecordCoalesced();
+        }
+      } else {
+        condensed = compute();
+        if (cache_ != nullptr) {
+          cache_->Insert(request.item, request.mode, condensed,
+                         cache_generation);
+        }
       }
     }
     response.vectors.push_back(std::move(condensed));
@@ -246,7 +300,13 @@ std::string KnowledgeServer::StatsReport() const {
     cache_stats = cache_->Stats();
     cache_ptr = &cache_stats;
   }
-  return stats_.ToTable(queue_depth(), cache_ptr);
+  CoalescerStats co_stats;
+  const CoalescerStats* co_ptr = nullptr;
+  if (coalescer_ != nullptr) {
+    co_stats = coalescer_->stats();
+    co_ptr = &co_stats;
+  }
+  return stats_.ToTable(queue_depth(), cache_ptr, nullptr, co_ptr);
 }
 
 std::string KnowledgeServer::StatsJson() const {
@@ -256,7 +316,13 @@ std::string KnowledgeServer::StatsJson() const {
     cache_stats = cache_->Stats();
     cache_ptr = &cache_stats;
   }
-  return stats_.StatsJson(queue_depth(), cache_ptr);
+  CoalescerStats co_stats;
+  const CoalescerStats* co_ptr = nullptr;
+  if (coalescer_ != nullptr) {
+    co_stats = coalescer_->stats();
+    co_ptr = &co_stats;
+  }
+  return stats_.StatsJson(queue_depth(), cache_ptr, nullptr, co_ptr);
 }
 
 }  // namespace pkgm::serve

@@ -11,8 +11,10 @@
 
 #include "core/service.h"
 #include "serve/bounded_queue.h"
+#include "serve/coalescer.h"
 #include "serve/request.h"
 #include "serve/server_stats.h"
+#include "serve/tenant_quota.h"
 #include "serve/vector_cache.h"
 #include "store/model_registry.h"
 #include "util/thread_pool.h"
@@ -31,6 +33,16 @@ struct KnowledgeServerOptions {
   size_t cache_capacity = 8192;
   /// Mutex stripes in the cache.
   size_t cache_shards = 8;
+  /// Coalesce concurrent condensed-path cache misses on the same
+  /// (item, mode): one backend fetch serves every waiter. Requires the
+  /// cache to be enabled (coalescing exists to shield the backend behind
+  /// it; without a cache each request must compute anyway).
+  bool enable_coalescing = false;
+  /// Per-tenant admission quotas: each tenant's token bucket refills at
+  /// `tenant_rate` tokens/sec up to `tenant_burst`. tenant_burst == 0
+  /// (default) disables quotas entirely.
+  double tenant_rate = 0.0;
+  double tenant_burst = 0.0;
 };
 
 /// The online knowledge-serving front end of the paper's deployment story
@@ -117,6 +129,10 @@ class KnowledgeServer {
   const ServerStats& stats() const { return stats_; }
   /// Null when the cache is disabled.
   const ShardedVectorCache* cache() const { return cache_.get(); }
+  /// Null when coalescing is disabled.
+  const HotKeyCoalescer* coalescer() const { return coalescer_.get(); }
+  /// Null when tenant quotas are disabled.
+  const TenantQuotas* quotas() const { return quotas_.get(); }
 
   /// Drops all cached vectors (call after swapping in a new model).
   void InvalidateCache();
@@ -143,6 +159,10 @@ class KnowledgeServer {
   };
   using Batch = std::vector<PendingRequest>;
 
+  /// Shared ctor tail: builds the cache, coalescer and tenant quotas from
+  /// options_.
+  void InitAdmissionAndCache();
+
   /// Shared admission + enqueue path behind SubmitBatch/SubmitBatchAsync.
   void Enqueue(Batch batch);
 
@@ -160,6 +180,8 @@ class KnowledgeServer {
   const KnowledgeServerOptions options_;
   BoundedQueue<Batch> queue_;
   std::unique_ptr<ShardedVectorCache> cache_;
+  std::unique_ptr<HotKeyCoalescer> coalescer_;
+  std::unique_ptr<TenantQuotas> quotas_;
   ServerStats stats_;
   std::unique_ptr<ThreadPool> workers_;
   std::atomic<size_t> pending_requests_{0};

@@ -1,0 +1,248 @@
+#include "serve/load_gen.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace pkgm::serve {
+namespace {
+
+double MicrosBetween(ServeClock::time_point from, ServeClock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+ServeClock::duration SecondsToDuration(double s) {
+  return std::chrono::duration_cast<ServeClock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+/// Completion sink striped across slots to keep worker-thread callbacks
+/// off one mutex; merged into the report at the end of the run.
+struct Sink {
+  std::mutex mu;
+  Histogram latency_us{HistogramMode::kBucketed};
+  Histogram server_ok_us{HistogramMode::kBucketed};
+  uint64_t ok = 0;
+  uint64_t rejected = 0;
+  uint64_t quota_rejected = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t invalid_item = 0;
+  uint64_t network_error = 0;
+  uint64_t cache_hits = 0;
+};
+constexpr size_t kSinks = 16;
+
+void RecordCompletion(Sink* sink, const ServiceResponse& response,
+                      double latency_micros) {
+  std::lock_guard<std::mutex> lock(sink->mu);
+  sink->latency_us.Record(latency_micros);
+  if (response.code == ResponseCode::kOk) {
+    sink->server_ok_us.Record(response.queue_micros + response.compute_micros);
+  }
+  switch (response.code) {
+    case ResponseCode::kOk: ++sink->ok; break;
+    case ResponseCode::kRejected: ++sink->rejected; break;
+    case ResponseCode::kQuotaExceeded: ++sink->quota_rejected; break;
+    case ResponseCode::kDeadlineExceeded: ++sink->deadline_exceeded; break;
+    case ResponseCode::kInvalidItem: ++sink->invalid_item; break;
+    case ResponseCode::kNetworkError: ++sink->network_error; break;
+  }
+  if (response.cache_hit) ++sink->cache_hits;
+}
+
+/// Draws the next inter-arrival gap (seconds) for one thread's slice of
+/// the process. Each of `threads` threads runs an independent process at
+/// rate/threads; superposed they form the configured offered load (exactly
+/// for uniform with per-thread phase offsets; by the superposition theorem
+/// for Poisson).
+double NextGap(const LoadGenOptions& options, double thread_rate,
+               double elapsed_s, Rng* rng) {
+  switch (options.arrival) {
+    case ArrivalProcess::kUniform:
+      return 1.0 / thread_rate;
+    case ArrivalProcess::kPoisson: {
+      double u = rng->UniformDouble();
+      if (u < 1e-12) u = 1e-12;
+      return -std::log(u) / thread_rate;
+    }
+    case ArrivalProcess::kBurst: {
+      // Square wave: rate × burst_factor during the on-half of the period,
+      // rate × max(0.05, 2 − burst_factor) during the off-half, keeping
+      // the average near the configured rate for burst_factor <= 2 and
+      // front-loading it beyond that (the point is the spike).
+      const double phase = std::fmod(elapsed_s, options.burst_period_s);
+      const bool on = phase < options.burst_period_s * 0.5;
+      const double factor =
+          on ? options.burst_factor : std::max(0.05, 2.0 - options.burst_factor);
+      double u = rng->UniformDouble();
+      if (u < 1e-12) u = 1e-12;
+      return -std::log(u) / (thread_rate * factor);
+    }
+  }
+  return 1.0 / thread_rate;
+}
+
+}  // namespace
+
+const char* ArrivalProcessName(ArrivalProcess arrival) {
+  switch (arrival) {
+    case ArrivalProcess::kUniform: return "uniform";
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kBurst: return "burst";
+  }
+  return "unknown";
+}
+
+LoadGenReport RunLoadGen(const LoadGenOptions& options,
+                         const AsyncSubmitFn& submit) {
+  PKGM_CHECK_GT(options.rate_qps, 0.0);
+  PKGM_CHECK_GT(options.total_requests, 0u);
+  PKGM_CHECK_GE(options.threads, 1u);
+  PKGM_CHECK_GT(options.num_items, 0u);
+  PKGM_CHECK_GE(options.num_tenants, 1u);
+
+  const size_t threads =
+      std::min<size_t>(options.threads, options.total_requests);
+  const double thread_rate = options.rate_qps / static_cast<double>(threads);
+  const ZipfSampler zipf(options.num_items, options.zipf_s);
+
+  std::vector<Sink> sinks(kSinks);
+  std::atomic<uint64_t> outstanding{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+
+  // Small lead-in so thread 0's first arrival isn't already in the past by
+  // the time the last thread has spawned.
+  const auto t0 = ServeClock::now() + std::chrono::milliseconds(5);
+
+  Rng root(options.seed);
+  std::vector<Rng> thread_rngs;
+  thread_rngs.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) thread_rngs.push_back(root.Fork());
+
+  std::vector<std::thread> gens;
+  gens.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    gens.emplace_back([&, t] {
+      Rng rng = thread_rngs[t];
+      // Thread t owns arrivals t, t+threads, t+2*threads, ...
+      uint64_t quota = options.total_requests / threads +
+                       (t < options.total_requests % threads ? 1 : 0);
+      // Phase-offset the uniform grid so threads interleave evenly.
+      double next_s = (options.arrival == ArrivalProcess::kUniform)
+                          ? static_cast<double>(t) / options.rate_qps
+                          : NextGap(options, thread_rate, 0.0, &rng);
+      for (uint64_t i = 0; i < quota; ++i) {
+        const auto intended = t0 + SecondsToDuration(next_s);
+        std::this_thread::sleep_until(intended);
+
+        const uint16_t tenant = static_cast<uint16_t>(
+            (t + i * threads) % options.num_tenants);
+        // Distinct per-tenant hot sets: offset each tenant's Zipf head
+        // into its own slice of the catalog.
+        const uint64_t rank = zipf.Sample(&rng);
+        const uint64_t offset = static_cast<uint64_t>(tenant) *
+                                (options.num_items / options.num_tenants);
+        ServiceRequest request;
+        request.item =
+            static_cast<uint32_t>((rank + offset) % options.num_items);
+        request.tenant = tenant;
+        const auto send_time = ServeClock::now();
+        if (options.deadline_us > 0) {
+          request.deadline =
+              send_time + std::chrono::microseconds(options.deadline_us);
+        }
+        // Open loop charges the server for any lateness between intended
+        // and actual send (the generator itself is only late when the host
+        // can't schedule threads, which the offered-vs-achieved gap in the
+        // report exposes); closed loop measures from the actual send.
+        const auto measure_from = options.open_loop ? intended : send_time;
+
+        Sink* sink = &sinks[(t + i) % kSinks];
+        outstanding.fetch_add(1, std::memory_order_relaxed);
+
+        if (options.open_loop) {
+          std::vector<ServiceRequest> batch{request};
+          submit(std::move(batch),
+                 [sink, measure_from, &outstanding, &done_mu, &done_cv](
+                     size_t, ServiceResponse response) {
+                   RecordCompletion(
+                       sink, response,
+                       MicrosBetween(measure_from, ServeClock::now()));
+                   if (outstanding.fetch_sub(1, std::memory_order_acq_rel) ==
+                       1) {
+                     std::lock_guard<std::mutex> lock(done_mu);
+                     done_cv.notify_all();
+                   }
+                 });
+        } else {
+          // Closed loop: park this generator thread until the response
+          // lands, so a slow response delays every later arrival this
+          // thread owns — exactly the coordinated omission being modeled.
+          std::mutex mu;
+          std::condition_variable cv;
+          bool done = false;
+          std::vector<ServiceRequest> batch{request};
+          submit(std::move(batch),
+                 [&](size_t, ServiceResponse response) {
+                   RecordCompletion(
+                       sink, response,
+                       MicrosBetween(measure_from, ServeClock::now()));
+                   {
+                     std::lock_guard<std::mutex> lock(mu);
+                     done = true;
+                   }
+                   cv.notify_one();
+                   if (outstanding.fetch_sub(1, std::memory_order_acq_rel) ==
+                       1) {
+                     std::lock_guard<std::mutex> lock(done_mu);
+                     done_cv.notify_all();
+                   }
+                 });
+          std::unique_lock<std::mutex> lock(mu);
+          cv.wait(lock, [&done] { return done; });
+        }
+        next_s += NextGap(options, thread_rate, next_s, &rng);
+      }
+    });
+  }
+  for (auto& g : gens) g.join();
+  {
+    std::unique_lock<std::mutex> lock(done_mu);
+    done_cv.wait(lock, [&outstanding] {
+      return outstanding.load(std::memory_order_acquire) == 0;
+    });
+  }
+  const auto t_end = ServeClock::now();
+
+  LoadGenReport report;
+  report.submitted = options.total_requests;
+  report.offered_qps = options.rate_qps;
+  report.elapsed_s = std::chrono::duration<double>(t_end - t0).count();
+  for (Sink& sink : sinks) {
+    std::lock_guard<std::mutex> lock(sink.mu);
+    report.latency_us.Merge(sink.latency_us);
+    report.server_ok_us.Merge(sink.server_ok_us);
+    report.ok += sink.ok;
+    report.rejected += sink.rejected;
+    report.quota_rejected += sink.quota_rejected;
+    report.deadline_exceeded += sink.deadline_exceeded;
+    report.invalid_item += sink.invalid_item;
+    report.network_error += sink.network_error;
+    report.cache_hits += sink.cache_hits;
+  }
+  report.completed = report.latency_us.count();
+  report.achieved_qps = report.elapsed_s > 0.0
+                            ? static_cast<double>(report.completed) /
+                                  report.elapsed_s
+                            : 0.0;
+  return report;
+}
+
+}  // namespace pkgm::serve

@@ -1,0 +1,100 @@
+#ifndef PKGM_SERVE_LOAD_GEN_H_
+#define PKGM_SERVE_LOAD_GEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+#include "util/histogram.h"
+
+namespace pkgm::serve {
+
+/// Arrival process shaping the offered load.
+enum class ArrivalProcess {
+  /// Evenly spaced arrivals at exactly `rate_qps`.
+  kUniform,
+  /// Memoryless (exponential inter-arrival) — the standard model for
+  /// independent user traffic.
+  kPoisson,
+  /// Square-wave modulated Poisson: `burst_factor`× the base rate during
+  /// the on-half of each `burst_period_s`, throttled during the off-half
+  /// so the average stays `rate_qps`. Models flash-sale / diurnal spikes.
+  kBurst,
+};
+
+const char* ArrivalProcessName(ArrivalProcess arrival);
+
+struct LoadGenOptions {
+  /// Offered load, requests/second, across all generator threads.
+  double rate_qps = 1000.0;
+  uint64_t total_requests = 10000;
+  /// Generator threads; arrival i is owned by thread i % threads, each
+  /// thread drawing its slice of the process from a forked seeded Rng, so
+  /// a run is replayable for any thread count.
+  size_t threads = 2;
+  ArrivalProcess arrival = ArrivalProcess::kPoisson;
+  /// Zipf exponent over the item catalog (rank 0 hottest).
+  double zipf_s = 0.99;
+  uint32_t num_items = 1000;
+  /// Tenants round-robin over requests; each tenant's Zipf head is offset
+  /// into a distinct slice of the catalog (distinct hot sets).
+  uint16_t num_tenants = 1;
+  /// Per-request deadline; 0 = none.
+  uint32_t deadline_us = 0;
+  uint64_t seed = 42;
+  double burst_factor = 4.0;
+  double burst_period_s = 0.25;
+  /// Open loop (default): arrivals fire at their scheduled instant no
+  /// matter how slow responses are, and latency is measured from the
+  /// *intended* send time — queueing delay the server causes is charged to
+  /// the server (no coordinated omission). Closed loop: each thread waits
+  /// for the response before the next send and measures from the actual
+  /// send — the flawed-but-common methodology, kept for the honesty check.
+  bool open_loop = true;
+};
+
+/// Everything a run produced, merged across generator threads.
+struct LoadGenReport {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t ok = 0;
+  uint64_t rejected = 0;
+  uint64_t quota_rejected = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t invalid_item = 0;
+  uint64_t network_error = 0;
+  uint64_t cache_hits = 0;
+  double elapsed_s = 0.0;
+  double offered_qps = 0.0;
+  double achieved_qps = 0.0;
+  /// End-to-end latency, µs, bucketed. Open loop: completion − intended
+  /// send. Closed loop: completion − actual send.
+  Histogram latency_us{HistogramMode::kBucketed};
+  /// Time kOk responses spent inside the server (queue + compute), µs —
+  /// the portion the serving stack controls, excluding generator
+  /// scheduling lateness that the end-to-end number honestly charges.
+  /// This is what deadline + quota shedding bound: a request the server
+  /// cannot answer inside its deadline is shed, not served late.
+  Histogram server_ok_us{HistogramMode::kBucketed};
+};
+
+/// Submission seam: the generator hands over single-request batches and a
+/// completion callback (index within the batch, response). Both the
+/// in-process KnowledgeServer (SubmitBatchAsync) and the socket NetClient
+/// (SubmitBatch futures drained by collector threads) fit behind it.
+using AsyncSubmitFn = std::function<void(
+    std::vector<ServiceRequest>,
+    std::function<void(size_t, ServiceResponse)>)>;
+
+/// Drives `submit` with the configured traffic and blocks until every
+/// response has arrived. Deterministic request stream for a given
+/// (seed, threads, options); actual timing is as close to the schedule as
+/// the host allows.
+LoadGenReport RunLoadGen(const LoadGenOptions& options,
+                         const AsyncSubmitFn& submit);
+
+}  // namespace pkgm::serve
+
+#endif  // PKGM_SERVE_LOAD_GEN_H_

@@ -28,6 +28,10 @@ enum class ResponseCode {
   /// arrived — connect error, write error, or disconnect with the request
   /// in flight. Never produced by the server.
   kNetworkError,
+  /// Admission control: the request's tenant exhausted its token bucket.
+  /// Distinct from kRejected (global queue saturation) so one tenant's
+  /// burst is visibly shed without implicating overall capacity.
+  kQuotaExceeded,
 };
 
 /// Human-readable name ("Ok", "Rejected", ...).
@@ -38,6 +42,7 @@ inline const char* ResponseCodeName(ResponseCode code) {
     case ResponseCode::kDeadlineExceeded: return "DeadlineExceeded";
     case ResponseCode::kInvalidItem: return "InvalidItem";
     case ResponseCode::kNetworkError: return "NetworkError";
+    case ResponseCode::kQuotaExceeded: return "QuotaExceeded";
   }
   return "Unknown";
 }
@@ -52,6 +57,10 @@ struct ServiceRequest {
   uint32_t item = 0;
   core::ServiceMode mode = core::ServiceMode::kAll;
   ServiceForm form = ServiceForm::kCondensed;
+  /// Originating tenant, carried through the wire protocol (the ex-reserved
+  /// u16 in each GetVectors entry) and checked against per-tenant admission
+  /// quotas when the server has them configured. 0 = default tenant.
+  uint16_t tenant = 0;
   /// Absolute expiry. A worker that dequeues the request after this instant
   /// answers kDeadlineExceeded without computing. time_point::max() = none.
   ServeClock::time_point deadline = ServeClock::time_point::max();

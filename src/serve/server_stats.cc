@@ -1,5 +1,8 @@
 #include "serve/server_stats.h"
 
+#include <algorithm>
+
+#include "util/logging.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -27,13 +30,25 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
-std::string HistogramJson(const Histogram& h) {
+/// 0.5 → "p50", 0.99 → "p99", 0.999 → "p999", 0.9999 → "p9999".
+std::string QuantileLabel(double q) {
+  std::string digits = StrFormat("%g", q * 100.0);
+  digits.erase(std::remove(digits.begin(), digits.end(), '.'), digits.end());
+  return "p" + digits;
+}
+
+std::string HistogramJson(const Histogram& h,
+                          const std::vector<double>& quantiles) {
   if (h.count() == 0) return "{\"count\":0}";
-  return StrFormat(
-      "{\"count\":%llu,\"p50_us\":%.2f,\"p95_us\":%.2f,\"p99_us\":%.2f,"
-      "\"mean_us\":%.2f}",
-      static_cast<unsigned long long>(h.count()), h.Percentile(0.5),
-      h.Percentile(0.95), h.Percentile(0.99), h.Mean());
+  std::string json =
+      StrFormat("{\"count\":%llu", static_cast<unsigned long long>(h.count()));
+  std::vector<double> values = h.Percentiles(quantiles);
+  for (size_t i = 0; i < quantiles.size(); ++i) {
+    json += StrFormat(",\"%s_us\":%.2f", QuantileLabel(quantiles[i]).c_str(),
+                      values[i]);
+  }
+  json += StrFormat(",\"mean_us\":%.2f}", h.Mean());
+  return json;
 }
 
 }  // namespace
@@ -45,6 +60,7 @@ void ServerStats::RecordCompleted(ResponseCode code, double queue_micros,
     case ResponseCode::kDeadlineExceeded: ++deadline_exceeded_; break;
     case ResponseCode::kInvalidItem: ++invalid_item_; break;
     case ResponseCode::kRejected: break;  // counted at admission, not here
+    case ResponseCode::kQuotaExceeded: break;  // counted at admission
     case ResponseCode::kNetworkError: break;  // client-side only
   }
   std::lock_guard<std::mutex> lock(histo_mu_);
@@ -62,6 +78,16 @@ Histogram ServerStats::ComputeLatency() const {
   return compute_micros_;
 }
 
+void ServerStats::SetQuantiles(std::vector<double> quantiles) {
+  PKGM_CHECK(!quantiles.empty());
+  for (size_t i = 0; i < quantiles.size(); ++i) {
+    PKGM_CHECK_GT(quantiles[i], 0.0);
+    PKGM_CHECK_LE(quantiles[i], 1.0);
+    if (i > 0) PKGM_CHECK_GT(quantiles[i], quantiles[i - 1]);
+  }
+  quantiles_ = std::move(quantiles);
+}
+
 void ServerStats::SetBackend(std::string description) {
   std::lock_guard<std::mutex> lock(backend_mu_);
   backend_ = std::move(description);
@@ -73,7 +99,8 @@ std::string ServerStats::backend() const {
 }
 
 std::string ServerStats::ToTable(uint64_t queue_depth, const CacheStats* cache,
-                                 const NetCounters* net) const {
+                                 const NetCounters* net,
+                                 const CoalescerStats* coalescer) const {
   TablePrinter counters({"counter", "value"});
   {
     std::lock_guard<std::mutex> lock(backend_mu_);
@@ -81,9 +108,12 @@ std::string ServerStats::ToTable(uint64_t queue_depth, const CacheStats* cache,
   }
   counters.AddRow({"requests accepted", std::to_string(accepted())});
   counters.AddRow({"requests rejected", std::to_string(rejected())});
+  counters.AddRow({"quota rejected", std::to_string(quota_rejected())});
   counters.AddRow({"responses ok", std::to_string(ok())});
   counters.AddRow({"deadline exceeded", std::to_string(deadline_exceeded())});
   counters.AddRow({"invalid item", std::to_string(invalid_item())});
+  counters.AddRow({"backend fetches", std::to_string(backend_fetches())});
+  counters.AddRow({"coalesced requests", std::to_string(coalesced())});
   counters.AddRow({"queue depth (requests)", std::to_string(queue_depth)});
   if (cache != nullptr) {
     counters.AddSeparator();
@@ -95,6 +125,13 @@ std::string ServerStats::ToTable(uint64_t queue_depth, const CacheStats* cache,
     counters.AddRow({"cache entries", std::to_string(cache->entries)});
     counters.AddRow({"cache stale inserts dropped",
                      std::to_string(cache->stale_inserts)});
+  }
+  if (coalescer != nullptr) {
+    counters.AddSeparator();
+    counters.AddRow({"coalesce leaders", std::to_string(coalescer->leaders)});
+    counters.AddRow({"coalesce joined", std::to_string(coalescer->joined)});
+    counters.AddRow(
+        {"coalesce gen bypassed", std::to_string(coalescer->bypassed)});
   }
   if (net != nullptr) {
     counters.AddSeparator();
@@ -115,18 +152,21 @@ std::string ServerStats::ToTable(uint64_t queue_depth, const CacheStats* cache,
                      std::to_string(net->idle_disconnects)});
   }
 
-  TablePrinter latency(
-      {"stage", "count", "p50 us", "p95 us", "p99 us", "mean us"});
-  auto add = [&latency](const char* stage, const Histogram& h) {
+  std::vector<std::string> headers = {"stage", "count"};
+  for (double q : quantiles_) headers.push_back(QuantileLabel(q) + " us");
+  headers.push_back("mean us");
+  TablePrinter latency(headers);
+  auto add = [this, &latency](const char* stage, const Histogram& h) {
+    std::vector<std::string> row = {stage, std::to_string(h.count())};
     if (h.count() == 0) {
-      latency.AddRow({stage, "0", "-", "-", "-", "-"});
-      return;
+      for (size_t i = 0; i < quantiles_.size() + 1; ++i) row.push_back("-");
+    } else {
+      for (double v : h.Percentiles(quantiles_)) {
+        row.push_back(StrFormat("%.2f", v));
+      }
+      row.push_back(StrFormat("%.2f", h.Mean()));
     }
-    latency.AddRow({stage, std::to_string(h.count()),
-                    StrFormat("%.2f", h.Percentile(0.5)),
-                    StrFormat("%.2f", h.Percentile(0.95)),
-                    StrFormat("%.2f", h.Percentile(0.99)),
-                    StrFormat("%.2f", h.Mean())});
+    latency.AddRow(row);
   };
   {
     std::lock_guard<std::mutex> lock(histo_mu_);
@@ -138,7 +178,8 @@ std::string ServerStats::ToTable(uint64_t queue_depth, const CacheStats* cache,
 
 std::string ServerStats::StatsJson(uint64_t queue_depth,
                                    const CacheStats* cache,
-                                   const NetCounters* net) const {
+                                   const NetCounters* net,
+                                   const CoalescerStats* coalescer) const {
   auto u64 = [](uint64_t v) {
     return std::to_string(static_cast<unsigned long long>(v));
   };
@@ -146,9 +187,12 @@ std::string ServerStats::StatsJson(uint64_t queue_depth,
   json += "\"backend\":\"" + JsonEscape(backend()) + "\"";
   json += ",\"accepted\":" + u64(accepted());
   json += ",\"rejected\":" + u64(rejected());
+  json += ",\"quota_rejected\":" + u64(quota_rejected());
   json += ",\"ok\":" + u64(ok());
   json += ",\"deadline_exceeded\":" + u64(deadline_exceeded());
   json += ",\"invalid_item\":" + u64(invalid_item());
+  json += ",\"backend_fetches\":" + u64(backend_fetches());
+  json += ",\"coalesced\":" + u64(coalesced());
   json += ",\"queue_depth\":" + u64(queue_depth);
   if (cache != nullptr) {
     json += StrFormat(
@@ -159,6 +203,13 @@ std::string ServerStats::StatsJson(uint64_t queue_depth,
         static_cast<unsigned long long>(cache->evictions),
         static_cast<unsigned long long>(cache->entries),
         static_cast<unsigned long long>(cache->stale_inserts));
+  }
+  if (coalescer != nullptr) {
+    json += StrFormat(
+        ",\"coalescer\":{\"leaders\":%llu,\"joined\":%llu,\"bypassed\":%llu}",
+        static_cast<unsigned long long>(coalescer->leaders),
+        static_cast<unsigned long long>(coalescer->joined),
+        static_cast<unsigned long long>(coalescer->bypassed));
   }
   if (net != nullptr) {
     json += ",\"net\":{";
@@ -176,8 +227,8 @@ std::string ServerStats::StatsJson(uint64_t queue_depth,
     json += ",\"idle_disconnects\":" + u64(net->idle_disconnects);
     json += "}";
   }
-  json += ",\"latency\":{\"queue\":" + HistogramJson(QueueLatency()) +
-          ",\"execute\":" + HistogramJson(ComputeLatency()) + "}";
+  json += ",\"latency\":{\"queue\":" + HistogramJson(QueueLatency(), quantiles_) +
+          ",\"execute\":" + HistogramJson(ComputeLatency(), quantiles_) + "}";
   json += "}";
   return json;
 }

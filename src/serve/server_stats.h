@@ -5,7 +5,9 @@
 #include <cstdint>
 #include <mutex>
 #include <string>
+#include <vector>
 
+#include "serve/coalescer.h"
 #include "serve/request.h"
 #include "serve/vector_cache.h"
 #include "util/histogram.h"
@@ -36,9 +38,9 @@ struct NetCounters {
 
 /// Thread-safe metrics for the knowledge server: request counters by
 /// outcome, plus per-stage latency histograms (queue wait vs execution).
-/// Counters are lock-free atomics; histograms are guarded by one mutex
-/// (Record is two appends — contention is negligible next to the
-/// embedding math being measured).
+/// Counters are lock-free atomics; histograms are guarded by one mutex and
+/// use the bounded log-linear bucket mode, so memory stays O(1) however
+/// long the server runs and tail quantiles (p999/p9999) stay readable.
 class ServerStats {
  public:
   ServerStats() = default;
@@ -48,17 +50,27 @@ class ServerStats {
 
   /// `n` requests passed admission control.
   void RecordAccepted(uint64_t n) { accepted_ += n; }
-  /// `n` requests were turned away with kRejected.
+  /// `n` requests were turned away with kRejected (queue saturation).
   void RecordRejected(uint64_t n) { rejected_ += n; }
+  /// `n` requests were shed with kQuotaExceeded (per-tenant token bucket).
+  void RecordQuotaRejected(uint64_t n) { quota_rejected_ += n; }
   /// One request reached a terminal state on a worker.
   void RecordCompleted(ResponseCode code, double queue_micros,
                        double compute_micros);
+  /// One condensed-vector compute hit the parameter backend (a cache miss
+  /// that actually ran provider->Condensed). Coalesced joiners don't count.
+  void RecordBackendFetch() { ++backend_fetches_; }
+  /// One condensed request joined another's in-flight backend fetch.
+  void RecordCoalesced() { ++coalesced_; }
 
   uint64_t accepted() const { return accepted_.load(); }
   uint64_t rejected() const { return rejected_.load(); }
+  uint64_t quota_rejected() const { return quota_rejected_.load(); }
   uint64_t ok() const { return ok_.load(); }
   uint64_t deadline_exceeded() const { return deadline_exceeded_.load(); }
   uint64_t invalid_item() const { return invalid_item_.load(); }
+  uint64_t backend_fetches() const { return backend_fetches_.load(); }
+  uint64_t coalesced() const { return coalesced_.load(); }
   /// Accepted requests that have not yet completed.
   uint64_t in_flight() const {
     return accepted_.load() - ok_.load() - deadline_exceeded_.load() -
@@ -68,6 +80,14 @@ class ServerStats {
   /// Snapshots of the stage histograms (copies, safe to interrogate).
   Histogram QueueLatency() const;
   Histogram ComputeLatency() const;
+
+  /// Quantiles reported by ToTable/StatsJson, ascending in (0, 1]. The
+  /// default {0.5, 0.95, 0.99, 0.999} keeps every historical JSON key
+  /// (p50_us/p95_us/p99_us) and adds p999_us; callers wanting p9999 pass
+  /// a longer list. Call before serving starts (not synchronized against
+  /// concurrent report reads).
+  void SetQuantiles(std::vector<double> quantiles);
+  const std::vector<double>& quantiles() const { return quantiles_; }
 
   /// Describes the parameter backend serving this run (store dtype, load
   /// mode, generation, file size). Set at server start and again on every
@@ -79,24 +99,31 @@ class ServerStats {
   /// optional network-front-end counters and the per-stage latency
   /// percentiles as two aligned ASCII tables.
   std::string ToTable(uint64_t queue_depth, const CacheStats* cache,
-                      const NetCounters* net = nullptr) const;
+                      const NetCounters* net = nullptr,
+                      const CoalescerStats* coalescer = nullptr) const;
 
   /// Machine-readable counterpart to ToTable: one JSON object with the same
   /// counters/gauges/percentiles, consumed by the load generator, the CI
   /// smoke job and bench artifacts instead of regex-scraping the tables.
   std::string StatsJson(uint64_t queue_depth, const CacheStats* cache,
-                        const NetCounters* net = nullptr) const;
+                        const NetCounters* net = nullptr,
+                        const CoalescerStats* coalescer = nullptr) const;
 
  private:
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> quota_rejected_{0};
   std::atomic<uint64_t> ok_{0};
   std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> invalid_item_{0};
+  std::atomic<uint64_t> backend_fetches_{0};
+  std::atomic<uint64_t> coalesced_{0};
+
+  std::vector<double> quantiles_{0.5, 0.95, 0.99, 0.999};
 
   mutable std::mutex histo_mu_;
-  Histogram queue_micros_;
-  Histogram compute_micros_;
+  Histogram queue_micros_{HistogramMode::kBucketed};
+  Histogram compute_micros_{HistogramMode::kBucketed};
 
   mutable std::mutex backend_mu_;
   std::string backend_;

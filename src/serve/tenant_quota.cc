@@ -1,0 +1,47 @@
+#include "serve/tenant_quota.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace pkgm::serve {
+
+TenantQuotas::TenantQuotas(double rate_per_sec, double burst)
+    : rate_per_sec_(rate_per_sec), burst_(burst) {
+  PKGM_CHECK_GE(rate_per_sec, 0.0);
+  PKGM_CHECK_GE(burst, 1.0);
+}
+
+bool TenantQuotas::TryAdmit(uint16_t tenant, ServeClock::time_point now) {
+  Stripe& stripe = stripes_[tenant % kStripes];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  Bucket& bucket = stripe.buckets[tenant];
+  if (!bucket.initialized) {
+    bucket.tokens = burst_;
+    bucket.last_refill = now;
+    bucket.initialized = true;
+  } else if (now > bucket.last_refill) {
+    const double elapsed =
+        std::chrono::duration<double>(now - bucket.last_refill).count();
+    bucket.tokens = std::min(burst_, bucket.tokens + elapsed * rate_per_sec_);
+    bucket.last_refill = now;
+  }
+  if (bucket.tokens >= 1.0) {
+    bucket.tokens -= 1.0;
+    return true;
+  }
+  ++stripe.shed;
+  return false;
+}
+
+uint64_t TenantQuotas::shed_count() const {
+  uint64_t total = 0;
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    total += stripe.shed;
+  }
+  return total;
+}
+
+}  // namespace pkgm::serve

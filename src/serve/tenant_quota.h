@@ -1,0 +1,59 @@
+#ifndef PKGM_SERVE_TENANT_QUOTA_H_
+#define PKGM_SERVE_TENANT_QUOTA_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "serve/request.h"
+
+namespace pkgm::serve {
+
+/// Per-tenant admission quotas: one token bucket per tenant id, so a single
+/// tenant's burst is shed at admission instead of queueing behind — and
+/// blowing the SLO of — every other tenant's traffic.
+///
+/// Buckets refill continuously at `rate_per_sec` tokens/second up to
+/// `burst` tokens; each admitted request spends one token. A tenant first
+/// seen mid-run starts with a full bucket. With rate_per_sec == 0 a tenant
+/// gets exactly `burst` admissions ever — the deterministic configuration
+/// the unit tests use.
+///
+/// Thread-safe: the tenant map is striped across kStripes mutexes
+/// (tenant id picks the stripe), so concurrent submitters for different
+/// tenants rarely contend.
+class TenantQuotas {
+ public:
+  /// Requires burst >= 1 and rate_per_sec >= 0.
+  TenantQuotas(double rate_per_sec, double burst);
+
+  /// Spends one token from `tenant`'s bucket if available. Returns false —
+  /// caller sheds the request with kQuotaExceeded — when the bucket is dry.
+  bool TryAdmit(uint16_t tenant, ServeClock::time_point now);
+
+  /// Total requests shed across all tenants.
+  uint64_t shed_count() const;
+
+ private:
+  static constexpr size_t kStripes = 16;
+
+  struct Bucket {
+    double tokens = 0.0;
+    ServeClock::time_point last_refill;
+    bool initialized = false;
+  };
+  struct Stripe {
+    std::mutex mu;
+    std::unordered_map<uint16_t, Bucket> buckets;
+    uint64_t shed = 0;
+  };
+
+  const double rate_per_sec_;
+  const double burst_;
+  mutable std::array<Stripe, kStripes> stripes_;
+};
+
+}  // namespace pkgm::serve
+
+#endif  // PKGM_SERVE_TENANT_QUOTA_H_

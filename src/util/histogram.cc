@@ -8,57 +8,166 @@
 
 namespace pkgm {
 
+Histogram::Histogram(HistogramMode mode) : mode_(mode) {
+  if (mode_ == HistogramMode::kBucketed) buckets_.assign(kNumBuckets, 0);
+}
+
+size_t Histogram::BucketIndex(double value) {
+  if (!(value >= 1.0)) return 0;  // also catches NaN
+  int exp = 0;
+  // frexp returns m in [0.5, 1) with value = m * 2^exp, so exp >= 1 here.
+  double mantissa = std::frexp(value, &exp);
+  int octave = exp - 1;
+  if (octave >= kOctaves) return kNumBuckets - 1;
+  // mantissa in [0.5, 1) → sub in [0, kSubBuckets).
+  int sub = static_cast<int>((mantissa - 0.5) * 2.0 * kSubBuckets);
+  sub = std::min(sub, kSubBuckets - 1);
+  return 1 + static_cast<size_t>(octave) * kSubBuckets +
+         static_cast<size_t>(sub);
+}
+
+void Histogram::BucketBounds(size_t index, double* lower, double* upper) {
+  if (index == 0) {
+    *lower = 0.0;
+    *upper = 1.0;
+    return;
+  }
+  size_t i = index - 1;
+  size_t octave = i / kSubBuckets;
+  size_t sub = i % kSubBuckets;
+  double base = std::ldexp(1.0, static_cast<int>(octave));  // 2^octave
+  double width = base / kSubBuckets;
+  *lower = base + width * static_cast<double>(sub);
+  *upper = base + width * static_cast<double>(sub + 1);
+}
+
 void Histogram::Record(double value) {
-  samples_.push_back(value);
-  sorted_ = false;
+  if (mode_ == HistogramMode::kExact) {
+    samples_.push_back(value);
+  } else {
+    ++buckets_[BucketIndex(value)];
+  }
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
   sum_ += value;
   sum_sq_ += value * value;
 }
 
+void Histogram::Merge(const Histogram& other) {
+  PKGM_CHECK(mode_ == other.mode_);
+  if (other.count_ == 0) return;
+  if (mode_ == HistogramMode::kExact) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  } else {
+    for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
 double Histogram::min() const {
-  PKGM_CHECK(!samples_.empty());
-  return *std::min_element(samples_.begin(), samples_.end());
+  PKGM_CHECK_GT(count_, 0u);
+  return min_;
 }
 
 double Histogram::max() const {
-  PKGM_CHECK(!samples_.empty());
-  return *std::max_element(samples_.begin(), samples_.end());
+  PKGM_CHECK_GT(count_, 0u);
+  return max_;
 }
 
 double Histogram::Mean() const {
-  if (samples_.empty()) return 0.0;
-  return sum_ / static_cast<double>(samples_.size());
+  if (count_ == 0) return 0.0;
+  return sum_ / static_cast<double>(count_);
 }
 
 double Histogram::Stddev() const {
-  if (samples_.size() < 2) return 0.0;
-  double n = static_cast<double>(samples_.size());
+  if (count_ < 2) return 0.0;
+  double n = static_cast<double>(count_);
   double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
   return var > 0.0 ? std::sqrt(var) : 0.0;
 }
 
-double Histogram::Percentile(double q) const {
-  PKGM_CHECK(!samples_.empty());
-  PKGM_CHECK_GE(q, 0.0);
-  PKGM_CHECK_LE(q, 1.0);
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
+double Histogram::Percentile(double q) const { return Percentiles({q})[0]; }
+
+std::vector<double> Histogram::Percentiles(const std::vector<double>& qs) const {
+  PKGM_CHECK_GT(count_, 0u);
+  for (double q : qs) {
+    PKGM_CHECK_GE(q, 0.0);
+    PKGM_CHECK_LE(q, 1.0);
   }
-  // Nearest-rank with linear interpolation.
-  double pos = q * static_cast<double>(samples_.size() - 1);
-  size_t lo = static_cast<size_t>(pos);
-  size_t hi = std::min(lo + 1, samples_.size() - 1);
-  double frac = pos - static_cast<double>(lo);
-  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  std::vector<double> out(qs.size(), 0.0);
+  if (mode_ == HistogramMode::kExact) {
+    // Sort a copy: Percentile stays const and data-race-free under
+    // concurrent readers (the previous sort-in-place-on-read design raced
+    // when two threads called Summary() on the same histogram).
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t k = 0; k < qs.size(); ++k) {
+      // Nearest-rank with linear interpolation.
+      double pos = qs[k] * static_cast<double>(sorted.size() - 1);
+      size_t lo = static_cast<size_t>(pos);
+      size_t hi = std::min(lo + 1, sorted.size() - 1);
+      double frac = pos - static_cast<double>(lo);
+      out[k] = sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+    }
+    return out;
+  }
+  // Bucketed: one cumulative walk answers all quantiles. Within the
+  // covering bucket, interpolate linearly by rank; clamp to the exact
+  // min/max so the tails never report values outside the observed range.
+  std::vector<size_t> order(qs.size());
+  for (size_t k = 0; k < qs.size(); ++k) order[k] = k;
+  std::sort(order.begin(), order.end(),
+            [&qs](size_t a, size_t b) { return qs[a] < qs[b]; });
+  uint64_t cum = 0;
+  size_t bucket = 0;
+  for (size_t k : order) {
+    // Target rank in [1, count_].
+    uint64_t target = static_cast<uint64_t>(
+        std::ceil(qs[k] * static_cast<double>(count_)));
+    if (target == 0) target = 1;
+    while (bucket < kNumBuckets && cum + buckets_[bucket] < target) {
+      cum += buckets_[bucket];
+      ++bucket;
+    }
+    if (bucket >= kNumBuckets) {
+      out[k] = max_;
+      continue;
+    }
+    double lower = 0.0, upper = 0.0;
+    BucketBounds(bucket, &lower, &upper);
+    double frac = buckets_[bucket] > 0
+                      ? static_cast<double>(target - cum) /
+                            static_cast<double>(buckets_[bucket])
+                      : 0.0;
+    double v = lower + (upper - lower) * frac;
+    out[k] = std::min(std::max(v, min_), max_);
+  }
+  return out;
 }
 
 std::string Histogram::Summary() const {
-  if (samples_.empty()) return "count=0";
-  return StrFormat("count=%llu mean=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
-                   static_cast<unsigned long long>(count()), Mean(),
-                   Percentile(0.50), Percentile(0.95), Percentile(0.99),
-                   max());
+  if (count_ == 0) return "count=0";
+  std::vector<double> p = Percentiles({0.50, 0.95, 0.99, 0.999});
+  return StrFormat(
+      "count=%llu mean=%.4g p50=%.4g p95=%.4g p99=%.4g p999=%.4g max=%.4g",
+      static_cast<unsigned long long>(count()), Mean(), p[0], p[1], p[2],
+      p[3], max());
 }
 
 }  // namespace pkgm

@@ -7,33 +7,89 @@
 
 namespace pkgm {
 
+/// Storage strategy for a Histogram.
+enum class HistogramMode {
+  /// Every sample retained; percentiles are exact (sort on read). Memory
+  /// grows with the sample count — the test oracle and the right choice
+  /// for small/offline sample sets.
+  kExact,
+  /// Bounded log-linear buckets: O(1) record, O(buckets) memory no matter
+  /// how many samples, mergeable across threads, percentiles accurate to
+  /// the bucket width (<= ~3% relative error above 1.0, exact min/max).
+  /// The choice for always-on serving telemetry, where p999/p9999 must be
+  /// read from millions of samples without retaining them.
+  kBucketed,
+};
+
 /// Streaming summary statistics plus percentile estimation over recorded
 /// samples. Used for latency reporting and for validating the statistical
 /// shape of synthetic datasets in tests.
+///
+/// Thread safety: Record/Merge require external synchronization (callers
+/// either hold a lock, as ServerStats does, or record into thread-local
+/// instances and Merge at the end). The read-side API (Percentile,
+/// Summary, ...) is const and non-mutating in both modes, so any number of
+/// threads may interrogate a histogram that is no longer being written.
 class Histogram {
  public:
+  /// Exact mode by default (the historical behavior).
   Histogram() = default;
+  explicit Histogram(HistogramMode mode);
+
+  HistogramMode mode() const { return mode_; }
 
   void Record(double value);
 
-  uint64_t count() const { return static_cast<uint64_t>(samples_.size()); }
+  /// Folds `other` into this histogram. Both must share the same mode;
+  /// bucketed merge is O(buckets) (counts add), exact merge appends the
+  /// retained samples. The idiom for multi-threaded recording: one
+  /// bucketed histogram per thread, merged after the run.
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double min() const;
   double max() const;
   double Mean() const;
   double Stddev() const;
 
-  /// Exact percentile (q in [0, 1]) by sorting the retained samples.
+  /// Percentile (q in [0, 1]). Exact mode sorts a copy of the retained
+  /// samples (non-mutating — safe under concurrent readers); bucketed mode
+  /// interpolates within the covering bucket. Prefer Percentiles() when
+  /// reading several quantiles from an exact histogram.
   double Percentile(double q) const;
+
+  /// Batch percentile read: one sort (exact) / one cumulative walk
+  /// (bucketed) no matter how many quantiles are asked for.
+  std::vector<double> Percentiles(const std::vector<double>& qs) const;
 
   /// One-line summary: count/mean/p50/p95/p99/max.
   std::string Summary() const;
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
+  // Log-linear bucket layout: bucket 0 holds values < 1.0; above that,
+  // each power-of-two octave is split into kSubBuckets linear sub-buckets.
+  // 40 octaves of microseconds reach ~12.7 days — far past any latency the
+  // serving path can produce; larger values clamp into the last bucket.
+  static constexpr int kSubBuckets = 32;
+  static constexpr int kOctaves = 40;
+  static constexpr size_t kNumBuckets =
+      1 + static_cast<size_t>(kOctaves) * kSubBuckets;
+
+  static size_t BucketIndex(double value);
+  /// [lower, upper) value range covered by bucket `index`.
+  static void BucketBounds(size_t index, double* lower, double* upper);
+
+  HistogramMode mode_ = HistogramMode::kExact;
+  /// Exact mode only.
+  std::vector<double> samples_;
+  /// Bucketed mode only (sized kNumBuckets on construction).
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
   double sum_ = 0.0;
   double sum_sq_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
 };
 
 }  // namespace pkgm

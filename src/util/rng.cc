@@ -110,20 +110,34 @@ std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
 
 Rng Rng::Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
 
-ZipfSampler::ZipfSampler(uint64_t n, double s) {
+namespace {
+std::vector<double> ZipfWeights(uint64_t n, double s) {
   PKGM_CHECK_GT(n, 0u);
   PKGM_CHECK_GE(s, 0.0);
+  std::vector<double> w(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+  }
+  return w;
+}
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double s)
+    : alias_(ZipfWeights(n, s)) {
+  std::vector<double> w = ZipfWeights(n, s);
   cdf_.resize(n);
   double total = 0.0;
   for (uint64_t i = 0; i < n; ++i) {
-    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    total += w[i];
     cdf_[i] = total;
   }
   for (uint64_t i = 0; i < n; ++i) cdf_[i] /= total;
   cdf_.back() = 1.0;
 }
 
-uint64_t ZipfSampler::Sample(Rng* rng) const {
+uint64_t ZipfSampler::Sample(Rng* rng) const { return alias_.Sample(rng); }
+
+uint64_t ZipfSampler::SampleInverseCdf(Rng* rng) const {
   double u = rng->UniformDouble();
   // Binary search for the first cdf entry >= u.
   size_t lo = 0, hi = cdf_.size() - 1;

@@ -79,24 +79,9 @@ class Rng {
   float cached_normal_ = 0.0f;
 };
 
-/// Precomputed Zipf sampler: O(log n) per sample over n categories with
-/// exponent s. Rank 0 is the most popular.
-class ZipfSampler {
- public:
-  /// Requires n > 0, s >= 0.
-  ZipfSampler(uint64_t n, double s);
-
-  /// Draws a rank in [0, n).
-  uint64_t Sample(Rng* rng) const;
-
-  uint64_t size() const { return cdf_.size(); }
-
- private:
-  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
-};
-
 /// Alias-method sampler over an arbitrary discrete distribution: O(1) per
-/// sample after O(n) build. Used for frequency-weighted negative sampling.
+/// sample after O(n) build. Used for frequency-weighted negative sampling
+/// and as the fast path inside ZipfSampler.
 class AliasSampler {
  public:
   /// Builds from (unnormalized, non-negative) weights; at least one weight
@@ -111,6 +96,31 @@ class AliasSampler {
  private:
   std::vector<double> prob_;
   std::vector<uint32_t> alias_;
+};
+
+/// Precomputed Zipf sampler: O(1) per sample over n categories with
+/// exponent s (alias table). Rank 0 is the most popular. The inverse-CDF
+/// path is retained as a test oracle — same distribution, different (and
+/// slower, O(log n)) draw algorithm and RNG consumption.
+class ZipfSampler {
+ public:
+  /// Requires n > 0, s >= 0.
+  ZipfSampler(uint64_t n, double s);
+
+  /// Draws a rank in [0, n) in O(1). This is the path load generators use;
+  /// per-sample cost must not grow with the catalog so the client can
+  /// saturate the server.
+  uint64_t Sample(Rng* rng) const;
+
+  /// Draws a rank in [0, n) by binary search over the CDF. Statistical
+  /// oracle for Sample(); not used on hot paths.
+  uint64_t SampleInverseCdf(Rng* rng) const;
+
+  uint64_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+  AliasSampler alias_;
 };
 
 }  // namespace pkgm

@@ -2,19 +2,23 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/embedding_source.h"
 #include "core/pkgm_model.h"
 #include "core/service.h"
 #include "serve/bounded_queue.h"
 #include "serve/knowledge_server.h"
 #include "serve/request.h"
 #include "serve/vector_cache.h"
+#include "store/model_registry.h"
 #include "tensor/simd/kernel_dispatch.h"
 #include "util/rng.h"
 
@@ -593,6 +597,238 @@ TEST(KnowledgeServerTest, BackendReportsActiveKernelIsa) {
           << "backend: " << server.stats().backend();
     }
   }
+}
+
+// ------------------------------------------------- coalescing + quotas --
+
+// EmbeddingSource decorator whose first EntityRow call blocks until
+// Release(); lets a test hold a backend fetch open while concurrent
+// requests for the same key pile up behind the coalescer.
+class GatedSource : public core::EmbeddingSource {
+ public:
+  explicit GatedSource(const core::EmbeddingSource* inner) : inner_(inner) {}
+
+  void Release() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      released_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  uint32_t num_entities() const override { return inner_->num_entities(); }
+  uint32_t num_relations() const override { return inner_->num_relations(); }
+  uint32_t dim() const override { return inner_->dim(); }
+  core::TripleScorerKind scorer() const override { return inner_->scorer(); }
+  bool has_relation_module() const override {
+    return inner_->has_relation_module();
+  }
+  const float* EntityRow(uint32_t e, float* scratch) const override {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return released_; });
+    return inner_->EntityRow(e, scratch);
+  }
+  const float* RelationRow(uint32_t r, float* scratch) const override {
+    return inner_->RelationRow(r, scratch);
+  }
+  const float* TransferRow(uint32_t r, float* scratch) const override {
+    return inner_->TransferRow(r, scratch);
+  }
+  const float* HyperplaneRow(uint32_t r, float* scratch) const override {
+    return inner_->HyperplaneRow(r, scratch);
+  }
+
+ private:
+  const core::EmbeddingSource* inner_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  bool released_ = false;
+};
+
+core::ServiceVectorProvider ProviderOver(const core::EmbeddingSource* source,
+                                         const core::ServiceVectorProvider& ref) {
+  std::vector<kg::EntityId> items;
+  std::vector<std::vector<kg::RelationId>> rels;
+  for (uint32_t i = 0; i < ref.num_items(); ++i) {
+    items.push_back(ref.item_entity(i));
+    rels.push_back(ref.key_relations(i));
+  }
+  return core::ServiceVectorProvider(source, std::move(items),
+                                     std::move(rels));
+}
+
+TEST(KnowledgeServerTest, CoalescingHerdDoesOneBackendFetch) {
+  Fixture fx;
+  GatedSource gate(fx.model.get());
+  core::ServiceVectorProvider slow = ProviderOver(&gate, *fx.provider);
+
+  KnowledgeServerOptions opt;
+  opt.num_workers = 4;
+  opt.enable_cache = true;
+  opt.enable_coalescing = true;
+  KnowledgeServer server(&slow, opt);
+  server.Start();
+
+  // Four concurrent misses on the same key: one leader blocks inside the
+  // gated backend; the other three must join its flight rather than fetch.
+  std::vector<std::future<ServiceResponse>> futures;
+  for (int i = 0; i < 4; ++i) {
+    ServiceRequest request;
+    request.item = 3;
+    futures.push_back(server.Submit(request));
+  }
+  // Wait (bounded) until the three joiners have attached, then release the
+  // leader's fetch.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.coalescer()->stats().joined < 3 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.coalescer()->stats().joined, 3u);
+  gate.Release();
+
+  const Vec want = fx.provider->Condensed(3, core::ServiceMode::kAll);
+  for (auto& future : futures) {
+    ServiceResponse response = future.get();
+    ASSERT_EQ(response.code, ResponseCode::kOk);
+    ASSERT_EQ(response.vectors.size(), 1u);
+    EXPECT_EQ(response.vectors[0], want);
+  }
+  EXPECT_EQ(server.stats().backend_fetches(), 1u);
+  EXPECT_EQ(server.coalescer()->stats().leaders, 1u);
+  EXPECT_EQ(server.stats().coalesced(), 3u);
+  server.Stop();
+}
+
+TEST(KnowledgeServerTest, SwapDuringCoalescedFlightServesFreshAfterwards) {
+  // A flight that spans a model hot-swap must not leave the old model's
+  // vector in the cache: the leader's insert carries the cache generation
+  // snapshotted before the fetch, and the generation-tagged cache drops it.
+  core::PkgmModelOptions mopt;
+  mopt.num_entities = 20;
+  mopt.num_relations = 5;
+  mopt.dim = 8;
+  mopt.seed = 17;
+  auto model_a = std::make_shared<core::PkgmModel>(mopt);
+  mopt.seed = 99;
+  auto model_b = std::make_shared<core::PkgmModel>(mopt);
+
+  std::vector<kg::EntityId> items{0, 1, 2, 3};
+  std::vector<std::vector<kg::RelationId>> rels{{0}, {1}, {2, 3}, {4}};
+  auto gate = std::make_shared<GatedSource>(model_a.get());
+  auto provider_a = std::make_shared<core::ServiceVectorProvider>(
+      gate.get(), items, rels);
+  auto provider_b = std::make_shared<core::ServiceVectorProvider>(
+      model_b.get(), items, rels);
+
+  store::ModelRegistry registry;
+  registry.Publish(gate, provider_a, {});
+
+  KnowledgeServerOptions opt;
+  opt.num_workers = 2;
+  opt.enable_cache = true;
+  opt.enable_coalescing = true;
+  KnowledgeServer server(&registry, opt);
+  server.Start();
+
+  // Leader snapshots generation 1 and blocks inside model A's backend.
+  ServiceRequest request;
+  request.item = 2;
+  auto in_flight = server.Submit(request);
+
+  // Hot-swap to model B while the flight is open, then let it finish.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  registry.Publish(model_b, provider_b, {});
+  gate->Release();
+  ServiceResponse stale = in_flight.get();
+  ASSERT_EQ(stale.code, ResponseCode::kOk);
+
+  // The next request runs on generation 2; if the stale insert survived
+  // the swap it would be served from cache here.
+  const Vec want_b = provider_b->Condensed(2, core::ServiceMode::kAll);
+  ServiceResponse fresh = server.Submit(request).get();
+  ASSERT_EQ(fresh.code, ResponseCode::kOk);
+  ASSERT_EQ(fresh.vectors.size(), 1u);
+  EXPECT_EQ(fresh.vectors[0], want_b);
+  server.Stop();
+}
+
+TEST(KnowledgeServerTest, QuotaShedsDeterministicallyAndIsCounted) {
+  Fixture fx;
+  KnowledgeServerOptions opt;
+  opt.num_workers = 2;
+  // rate 0 + burst 4: each tenant gets exactly 4 admits, ever — the
+  // deterministic configuration for testing.
+  opt.tenant_rate = 0.0;
+  opt.tenant_burst = 4.0;
+  KnowledgeServer server(fx.provider.get(), opt);
+  server.Start();
+
+  std::vector<ServiceRequest> batch(10);
+  for (auto& request : batch) {
+    request.item = 1;
+    request.tenant = 5;
+  }
+  auto futures = server.SubmitBatch(std::move(batch));
+  int ok = 0, shed = 0;
+  for (auto& future : futures) {
+    const ResponseCode code = future.get().code;
+    if (code == ResponseCode::kOk) ++ok;
+    if (code == ResponseCode::kQuotaExceeded) ++shed;
+  }
+  EXPECT_EQ(ok, 4);
+  EXPECT_EQ(shed, 6);
+  EXPECT_EQ(server.stats().quota_rejected(), 6u);
+  EXPECT_EQ(server.quotas()->shed_count(), 6u);
+
+  // A different tenant draws from its own bucket.
+  ServiceRequest other;
+  other.item = 1;
+  other.tenant = 6;
+  EXPECT_EQ(server.Submit(other).get().code, ResponseCode::kOk);
+
+  // Tenant 5 is dry: even a fresh single submit is shed.
+  ServiceRequest again;
+  again.item = 1;
+  again.tenant = 5;
+  EXPECT_EQ(server.Submit(again).get().code, ResponseCode::kQuotaExceeded);
+  EXPECT_EQ(server.stats().quota_rejected(), 7u);
+  server.Stop();
+}
+
+TEST(KnowledgeServerTest, StatsJsonSchemaKeepsOldKeysAndAddsTail) {
+  Fixture fx;
+  KnowledgeServerOptions opt;
+  opt.enable_cache = true;
+  opt.enable_coalescing = true;
+  opt.tenant_rate = 0.0;
+  opt.tenant_burst = 1.0;
+  KnowledgeServer server(fx.provider.get(), opt);
+  server.Start();
+  for (int i = 0; i < 3; ++i) {
+    ServiceRequest request;
+    request.item = 2;
+    request.tenant = 9;
+    server.Submit(request).get();
+  }
+  server.Stop();
+
+  const std::string json = server.StatsJson();
+  // Pre-existing schema keys must survive (dashboards parse these).
+  for (const char* key :
+       {"\"accepted\"", "\"rejected\"", "\"ok\"", "\"p50_us\"",
+        "\"p95_us\"", "\"p99_us\"", "\"cache\"", "\"queue_depth\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing";
+  }
+  // New tail-latency keys.
+  for (const char* key :
+       {"\"p999_us\"", "\"quota_rejected\"", "\"backend_fetches\"",
+        "\"coalesced\"", "\"coalescer\"", "\"leaders\"", "\"joined\"",
+        "\"bypassed\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing";
+  }
+  EXPECT_NE(json.find("\"quota_rejected\":2"), std::string::npos) << json;
 }
 
 }  // namespace

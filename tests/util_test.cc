@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <numeric>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "util/histogram.h"
 #include "util/rng.h"
@@ -182,6 +184,39 @@ TEST(ZipfSamplerTest, SkewFavorsHead) {
   for (int i = 0; i < 20000; ++i) ++counts[sampler.Sample(&rng)];
   EXPECT_GT(counts[0], counts[50] * 5);
   EXPECT_GT(counts[0], counts[10]);
+}
+
+TEST(ZipfSamplerTest, AliasSampleMatchesInverseCdfShape) {
+  // Sample() is the O(1) alias-table path; SampleInverseCdf() is the old
+  // binary-search oracle. They consume randomness differently, so compare
+  // empirical rank frequencies, not draw-for-draw equality.
+  const uint64_t n_ranks = 50;
+  ZipfSampler sampler(n_ranks, 1.1);
+  const int draws = 100000;
+  std::vector<double> alias_freq(n_ranks, 0.0), cdf_freq(n_ranks, 0.0);
+  {
+    Rng rng(97);
+    for (int i = 0; i < draws; ++i) ++alias_freq[sampler.Sample(&rng)];
+  }
+  {
+    Rng rng(98);
+    for (int i = 0; i < draws; ++i) ++cdf_freq[sampler.SampleInverseCdf(&rng)];
+  }
+  for (uint64_t r = 0; r < n_ranks; ++r) {
+    alias_freq[r] /= draws;
+    cdf_freq[r] /= draws;
+  }
+  // Head ranks carry enough mass for tight relative agreement; the tail
+  // gets an absolute tolerance.
+  for (uint64_t r = 0; r < 5; ++r) {
+    EXPECT_NEAR(alias_freq[r], cdf_freq[r], cdf_freq[r] * 0.1 + 1e-3)
+        << "rank " << r;
+  }
+  double total_variation = 0.0;
+  for (uint64_t r = 0; r < n_ranks; ++r) {
+    total_variation += std::abs(alias_freq[r] - cdf_freq[r]);
+  }
+  EXPECT_LT(0.5 * total_variation, 0.02);
 }
 
 TEST(AliasSamplerTest, MatchesWeights) {
@@ -377,6 +412,84 @@ TEST(HistogramTest, RecordAfterPercentileStillCorrect) {
   EXPECT_DOUBLE_EQ(h.Percentile(0.5), 10.0);
   h.Record(20);
   EXPECT_DOUBLE_EQ(h.Percentile(1.0), 20.0);
+}
+
+TEST(HistogramTest, BucketedTracksExactOracle) {
+  // The log-linear bucket layout promises ~3% relative error per value;
+  // feed both modes a heavy-tailed latency-like stream and compare the
+  // quantiles that matter for the tail-latency gate.
+  Histogram exact(HistogramMode::kExact);
+  Histogram bucketed(HistogramMode::kBucketed);
+  Rng rng(1234);
+  for (int i = 0; i < 20000; ++i) {
+    // Lognormal-ish: most mass near 100, a long tail into the 10000s.
+    const double v = 100.0 * std::exp(rng.Normal() * 1.2);
+    exact.Record(v);
+    bucketed.Record(v);
+  }
+  EXPECT_EQ(bucketed.count(), exact.count());
+  EXPECT_DOUBLE_EQ(bucketed.min(), exact.min());
+  EXPECT_DOUBLE_EQ(bucketed.max(), exact.max());
+  EXPECT_NEAR(bucketed.Mean(), exact.Mean(), exact.Mean() * 1e-9);
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double want = exact.Percentile(q);
+    EXPECT_NEAR(bucketed.Percentile(q), want, want * 0.04)
+        << "quantile " << q;
+  }
+}
+
+TEST(HistogramTest, BucketedSubUnitValuesLandInBucketZero) {
+  Histogram h(HistogramMode::kBucketed);
+  h.Record(0.0);
+  h.Record(0.5);
+  h.Record(2.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 2.0);
+  // Interpolation is clamped to the observed range.
+  EXPECT_GE(h.Percentile(0.0), 0.0);
+  EXPECT_LE(h.Percentile(1.0), 2.0);
+}
+
+TEST(HistogramTest, BucketedMergeMatchesSingleStream) {
+  Histogram a(HistogramMode::kBucketed);
+  Histogram b(HistogramMode::kBucketed);
+  Histogram whole(HistogramMode::kBucketed);
+  Rng rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.UniformDouble() * 1e6;
+    (i % 2 == 0 ? a : b).Record(v);
+    whole.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+  for (double q : {0.5, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(a.Percentile(q), whole.Percentile(q));
+  }
+}
+
+TEST(HistogramTest, ConcurrentReadsOfConstHistogramAreSafe) {
+  // Percentile/Summary on a const exact-mode histogram used to sort the
+  // sample buffer in place (a data race between concurrent readers); they
+  // now work on a copy. Hammer concurrent reads and check every thread
+  // sees the same answer.
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Record(i);
+  const double want = h.Percentile(0.5);
+  std::vector<std::thread> readers;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&h, want, &mismatches] {
+      for (int i = 0; i < 200; ++i) {
+        if (h.Percentile(0.5) != want) ++mismatches;
+        if (h.Summary().empty()) ++mismatches;
+      }
+    });
+  }
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 // ---------------------------------------------------------- TablePrinter --

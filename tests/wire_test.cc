@@ -162,9 +162,46 @@ TEST(WireTest, ControlAndStatsRoundTrip) {
 TEST(WireTest, CodeMappingRoundTrips) {
   for (ResponseCode code :
        {ResponseCode::kOk, ResponseCode::kRejected,
-        ResponseCode::kDeadlineExceeded, ResponseCode::kInvalidItem}) {
+        ResponseCode::kDeadlineExceeded, ResponseCode::kInvalidItem,
+        ResponseCode::kQuotaExceeded}) {
     EXPECT_EQ(ResponseCodeFromWire(WireCodeFromResponse(code)), code);
   }
+}
+
+TEST(WireTest, TenantRoundTrips) {
+  // The tenant id rides in the ex-reserved u16 of each GetVectors entry;
+  // older clients always sent 0, so 0 must decode as the default tenant
+  // and any other value must survive unchanged.
+  const auto now = ServeClock::now();
+  std::vector<ServiceRequest> requests(3);
+  requests[0].item = 1;  // tenant defaults to 0
+  requests[1].item = 2;
+  requests[1].tenant = 7;
+  requests[2].item = 3;
+  requests[2].tenant = 0xffff;
+  const Frame frame = MustDecode(EncodeGetVectors(11, requests, now));
+  std::vector<ServiceRequest> decoded;
+  ASSERT_TRUE(DecodeGetVectors(frame.payload, now, &decoded).ok());
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[0].tenant, 0u);
+  EXPECT_EQ(decoded[1].tenant, 7u);
+  EXPECT_EQ(decoded[2].tenant, 0xffffu);
+}
+
+TEST(WireTest, QuotaExceededErrorCodeValidButNothingBeyond) {
+  // kQuotaExceeded (6) extended the wire-code range; the decoders must
+  // accept it and keep rejecting the first unassigned value.
+  WireCode code;
+  std::string message;
+  const Frame frame =
+      MustDecode(EncodeError(4, WireCode::kQuotaExceeded, "shed"));
+  ASSERT_TRUE(DecodeError(frame.payload, &code, &message).ok());
+  EXPECT_EQ(code, WireCode::kQuotaExceeded);
+  EXPECT_EQ(message, "shed");
+
+  std::string bad = frame.payload;
+  bad[0] = static_cast<char>(static_cast<uint8_t>(kMaxWireCode) + 1);
+  EXPECT_FALSE(DecodeError(bad, &code, &message).ok());
 }
 
 TEST(FrameDecoderTest, ByteAtATimeFragmentation) {

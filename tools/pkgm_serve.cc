@@ -4,7 +4,10 @@
 // over a Zipf-skewed item distribution (head items dominate, as in real
 // e-commerce traffic), then prints a latency/throughput/cache report.
 //
-//   pkgm_serve [--qps N] [--duration-requests N] [--threads N] [--workers N]
+//   pkgm_serve [--qps N] [--rate N] [--arrival poisson|uniform|burst]
+//              [--tenants N] [--tenant-rate R] [--tenant-burst N]
+//              [--coalesce 0|1] [--closed-loop]
+//              [--duration-requests N] [--threads N] [--workers N]
 //              [--batch N] [--cache 0|1] [--zipf S] [--deadline-us N]
 //              [--queue-capacity N] [--seed N]
 //              [--store path.pkgs] [--store-dtype fp32|int8]
@@ -14,6 +17,17 @@
 //
 //   --qps 0 (default) runs closed-loop at maximum rate; a positive value
 //   paces the aggregate request rate across client threads.
+//
+//   --rate R switches to the *open-loop* generator: requests fire at their
+//   scheduled arrival instants (Poisson by default; --arrival picks the
+//   process) regardless of how slow responses are, and latency is measured
+//   from the intended send time — so server-induced queueing can't hide
+//   behind coordinated omission. --tenants spreads traffic over N tenant
+//   ids with distinct Zipf hot sets; --tenant-rate/--tenant-burst arm
+//   per-tenant token-bucket quotas in the in-process server. --closed-loop
+//   keeps the open-loop schedule but waits for each response before the
+//   next send (the dishonest baseline, for comparison). Runs are seeded
+//   and replayable.
 //
 //   --store exports the pre-trained model to a .pkgs embedding store,
 //   memory-maps it, and serves from the mapping through a ModelRegistry
@@ -35,10 +49,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -48,6 +65,7 @@
 #include "net/net_client.h"
 #include "net/socket_util.h"
 #include "serve/knowledge_server.h"
+#include "serve/load_gen.h"
 #include "serve_common.h"
 #include "store/embedding_store_writer.h"
 #include "store/mmap_embedding_store.h"
@@ -68,6 +86,13 @@ void HandleSignal(int signum) { g_signal.store(signum); }
 
 struct ServeFlags {
   double qps = 0.0;                  // 0 = closed loop, no pacing
+  double rate = 0.0;                 // > 0 = open-loop offered rate
+  std::string arrival = "poisson";   // open-loop arrival process
+  int tenants = 1;                   // tenant ids in generated traffic
+  double tenant_rate = 0.0;          // server-side quota refill, tokens/s
+  double tenant_burst = 0.0;         // server-side bucket size; 0 = off
+  bool coalesce = true;              // hot-key request coalescing
+  bool closed_loop = false;          // --rate mode: wait per response
   uint64_t duration_requests = 50000;
   int threads = 4;                   // client threads
   int workers = 2;                   // server worker threads
@@ -89,7 +114,12 @@ struct ServeFlags {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: pkgm_serve [--qps N] [--duration-requests N] "
+               "usage: pkgm_serve [--qps N] [--rate N] "
+               "[--arrival poisson|uniform|burst]\n"
+               "                  [--tenants N] [--tenant-rate R] "
+               "[--tenant-burst N]\n"
+               "                  [--coalesce 0|1] [--closed-loop]\n"
+               "                  [--duration-requests N] "
                "[--threads N]\n"
                "                  [--workers N] [--batch N] [--cache 0|1] "
                "[--zipf S]\n"
@@ -112,6 +142,20 @@ bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
     const char* v = nullptr;
     if (std::strcmp(arg, "--qps") == 0 && (v = next())) {
       flags->qps = std::atof(v);
+    } else if (std::strcmp(arg, "--rate") == 0 && (v = next())) {
+      flags->rate = std::atof(v);
+    } else if (std::strcmp(arg, "--arrival") == 0 && (v = next())) {
+      flags->arrival = v;
+    } else if (std::strcmp(arg, "--tenants") == 0 && (v = next())) {
+      flags->tenants = std::atoi(v);
+    } else if (std::strcmp(arg, "--tenant-rate") == 0 && (v = next())) {
+      flags->tenant_rate = std::atof(v);
+    } else if (std::strcmp(arg, "--tenant-burst") == 0 && (v = next())) {
+      flags->tenant_burst = std::atof(v);
+    } else if (std::strcmp(arg, "--coalesce") == 0 && (v = next())) {
+      flags->coalesce = std::atoi(v) != 0;
+    } else if (std::strcmp(arg, "--closed-loop") == 0) {
+      flags->closed_loop = true;
     } else if (std::strcmp(arg, "--duration-requests") == 0 && (v = next())) {
       flags->duration_requests = std::strtoull(v, nullptr, 10);
     } else if (std::strcmp(arg, "--threads") == 0 && (v = next())) {
@@ -162,6 +206,24 @@ bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
     std::fprintf(stderr, "--threads/--workers/--batch must be >= 1\n");
     return false;
   }
+  if (flags->arrival != "poisson" && flags->arrival != "uniform" &&
+      flags->arrival != "burst") {
+    std::fprintf(stderr, "--arrival must be poisson, uniform or burst\n");
+    return false;
+  }
+  if (flags->tenants < 1 || flags->tenants > 65536) {
+    std::fprintf(stderr, "--tenants must be in [1, 65536]\n");
+    return false;
+  }
+  if (flags->closed_loop && flags->rate <= 0.0) {
+    std::fprintf(stderr, "--closed-loop needs --rate (the offered load)\n");
+    return false;
+  }
+  if (flags->rate > 0.0 && flags->qps > 0.0) {
+    std::fprintf(stderr, "--rate (open loop) and --qps (paced closed loop) "
+                         "are mutually exclusive\n");
+    return false;
+  }
   if (flags->hot_swaps > 0 && flags->store_path.empty()) {
     std::fprintf(stderr, "--hot-swaps requires --store\n");
     return false;
@@ -179,6 +241,66 @@ bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
   }
   return true;
 }
+
+/// Adapts the future-returning NetClient::SubmitBatch to the load
+/// generator's callback seam: a collector thread drains futures in submit
+/// order (per-connection responses are FIFO anyway) and fires the
+/// completion callbacks, so no generator thread ever parks on a future.
+class FutureDrain {
+ public:
+  explicit FutureDrain(net::NetClient* client)
+      : client_(client), worker_([this] { Loop(); }) {}
+
+  ~FutureDrain() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+
+  void Submit(std::vector<serve::ServiceRequest> requests,
+              std::function<void(size_t, serve::ServiceResponse)> done) {
+    Item item;
+    item.futures = client_->SubmitBatch(std::move(requests));
+    item.done = std::move(done);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  struct Item {
+    std::vector<std::future<serve::ServiceResponse>> futures;
+    std::function<void(size_t, serve::ServiceResponse)> done;
+  };
+
+  void Loop() {
+    for (;;) {
+      Item item;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // closed and drained
+        item = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      for (size_t i = 0; i < item.futures.size(); ++i) {
+        item.done(i, item.futures[i].get());
+      }
+    }
+  }
+
+  net::NetClient* client_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Item> queue_;
+  bool closed_ = false;
+  std::thread worker_;
+};
 
 int Run(const ServeFlags& flags) {
   struct sigaction sa;
@@ -235,6 +357,9 @@ int Run(const ServeFlags& flags) {
     sopt.num_workers = static_cast<size_t>(flags.workers);
     sopt.queue_capacity = flags.queue_capacity;
     sopt.enable_cache = flags.cache;
+    sopt.enable_coalescing = flags.coalesce && flags.cache;
+    sopt.tenant_rate = flags.tenant_rate;
+    sopt.tenant_burst = flags.tenant_burst;
 
     if (!flags.store_path.empty()) {
       auto gen = tool::ExportGeneration(*p.model, *p.services,
@@ -266,9 +391,12 @@ int Run(const ServeFlags& flags) {
   ZipfSampler zipf(num_items, flags.zipf);
 
   std::mutex histo_mu;
-  Histogram latency_us;  // client-observed: submit → future ready
+  // Client-observed latency: submit → response (closed loop) or intended
+  // send → response (open loop). Bucketed so p999 stays readable at any
+  // request count.
+  Histogram latency_us{HistogramMode::kBucketed};
   std::atomic<uint64_t> sent{0}, ok{0}, rejected{0}, expired{0}, hits{0},
-      net_errors{0};
+      net_errors{0}, quota_shed{0};
 
   // Model-refresh drill: while clients hammer the server, keep exporting
   // and publishing fresh store generations (alternating dtype, distinct
@@ -305,6 +433,60 @@ int Run(const ServeFlags& flags) {
   }
 
   Stopwatch wall;
+  double wall_s_override = -1.0;
+  if (flags.rate > 0.0) {
+    // Open-loop traffic through the shared load generator.
+    serve::LoadGenOptions lopt;
+    lopt.rate_qps = flags.rate;
+    lopt.total_requests = flags.duration_requests;
+    lopt.threads = static_cast<size_t>(flags.threads);
+    lopt.arrival = flags.arrival == "uniform"
+                       ? serve::ArrivalProcess::kUniform
+                       : flags.arrival == "burst"
+                             ? serve::ArrivalProcess::kBurst
+                             : serve::ArrivalProcess::kPoisson;
+    lopt.zipf_s = flags.zipf;
+    lopt.num_items = num_items;
+    lopt.num_tenants = static_cast<uint16_t>(flags.tenants);
+    lopt.deadline_us = flags.deadline_us > 0
+                           ? static_cast<uint32_t>(flags.deadline_us)
+                           : 0;
+    lopt.seed = flags.seed;
+    lopt.open_loop = !flags.closed_loop;
+
+    serve::AsyncSubmitFn async_submit;
+    std::unique_ptr<FutureDrain> drain;
+    if (client != nullptr) {
+      drain = std::make_unique<FutureDrain>(client.get());
+      async_submit =
+          [&drain](std::vector<serve::ServiceRequest> requests,
+                   std::function<void(size_t, serve::ServiceResponse)> done) {
+            drain->Submit(std::move(requests), std::move(done));
+          };
+    } else {
+      async_submit =
+          [&server](std::vector<serve::ServiceRequest> requests,
+                    std::function<void(size_t, serve::ServiceResponse)> done) {
+            server->SubmitBatchAsync(std::move(requests), std::move(done));
+          };
+    }
+    serve::LoadGenReport lg = serve::RunLoadGen(lopt, async_submit);
+    drain.reset();
+    sent = lg.submitted;
+    ok = lg.ok;
+    rejected = lg.rejected;
+    expired = lg.deadline_exceeded;
+    hits = lg.cache_hits;
+    net_errors = lg.network_error;
+    quota_shed = lg.quota_rejected;
+    latency_us.Merge(lg.latency_us);
+    wall_s_override = lg.elapsed_s;
+    std::printf("open loop: offered %.0f qps (%s arrivals, %d tenant(s)), "
+                "achieved %.0f qps%s\n",
+                lg.offered_qps, serve::ArrivalProcessName(lopt.arrival),
+                flags.tenants, lg.achieved_qps,
+                flags.closed_loop ? " [closed-loop measurement]" : "");
+  } else {
   std::vector<std::thread> clients;
   Rng seeder(flags.seed);
   for (int c = 0; c < flags.threads; ++c) {
@@ -345,6 +527,7 @@ int Run(const ServeFlags& flags) {
             case serve::ResponseCode::kDeadlineExceeded: ++expired; break;
             case serve::ResponseCode::kInvalidItem: break;
             case serve::ResponseCode::kNetworkError: ++net_errors; break;
+            case serve::ResponseCode::kQuotaExceeded: ++quota_shed; break;
           }
         }
         submitted += batch_size;
@@ -366,7 +549,9 @@ int Run(const ServeFlags& flags) {
     });
   }
   for (auto& t : clients) t.join();
-  const double wall_s = wall.ElapsedSeconds();
+  }  // closed-loop branch
+  const double wall_s =
+      wall_s_override > 0.0 ? wall_s_override : wall.ElapsedSeconds();
   traffic_done.store(true);
   if (swapper.joinable()) swapper.join();
 
@@ -400,18 +585,25 @@ int Run(const ServeFlags& flags) {
                 static_cast<unsigned long long>(registry.generation()));
     for (const std::string& file : swap_files) std::remove(file.c_str());
   }
-  std::printf("traffic: %s requests in %.2fs over %d client threads "
-              "(batch %d, zipf %.2f, %s)\n",
-              WithThousandsSeparators(total).c_str(), wall_s, flags.threads,
-              flags.batch, flags.zipf,
-              flags.qps > 0 ? StrFormat("paced at %.0f qps", flags.qps).c_str()
-                            : "closed loop");
+  std::printf(
+      "traffic: %s requests in %.2fs over %d client threads "
+      "(batch %d, zipf %.2f, %s)\n",
+      WithThousandsSeparators(total).c_str(), wall_s, flags.threads,
+      flags.batch, flags.zipf,
+      flags.rate > 0
+          ? StrFormat("%s loop at %.0f qps",
+                      flags.closed_loop ? "closed" : "open", flags.rate)
+                .c_str()
+          : flags.qps > 0
+                ? StrFormat("paced at %.0f qps", flags.qps).c_str()
+                : "closed loop");
   std::printf("throughput: %.0f requests/s\n\n",
               static_cast<double>(total) / wall_s);
 
   TablePrinter t({"metric", "value"});
   t.AddRow({"ok", std::to_string(ok.load())});
   t.AddRow({"rejected", std::to_string(rejected.load())});
+  t.AddRow({"quota shed", std::to_string(quota_shed.load())});
   t.AddRow({"deadline expired", std::to_string(expired.load())});
   const uint64_t answered = ok.load();
   t.AddRow({"cache hit rate",
@@ -426,6 +618,7 @@ int Run(const ServeFlags& flags) {
   t.AddRow({"client p50 us", percentile(0.5)});
   t.AddRow({"client p95 us", percentile(0.95)});
   t.AddRow({"client p99 us", percentile(0.99)});
+  t.AddRow({"client p999 us", percentile(0.999)});
   t.AddRow({"client mean us", StrFormat("%.1f", latency_us.Mean())});
   if (client != nullptr) {
     t.AddRow({"network errors", std::to_string(net_errors.load())});
