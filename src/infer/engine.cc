@@ -1,0 +1,254 @@
+#include "infer/engine.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "nn/activations.h"
+#include "tasks/item_alignment.h"
+#include "tasks/item_classification.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace pkgm::infer {
+namespace {
+
+void FillCode(std::vector<serve::ServiceResponse>* responses,
+              serve::ResponseCode code) {
+  for (serve::ServiceResponse& response : *responses) response.code = code;
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(const InferModelRegistry* models,
+                                 const core::ServiceVectorProvider* provider,
+                                 std::vector<std::string> item_titles)
+    : models_(models),
+      provider_(provider),
+      item_titles_(std::move(item_titles)) {
+  PKGM_CHECK(models != nullptr);
+  PKGM_CHECK(provider != nullptr);
+}
+
+InferenceEngine::InferenceEngine(const InferModelRegistry* models,
+                                 const store::ModelRegistry* registry,
+                                 std::vector<std::string> item_titles)
+    : models_(models),
+      registry_(registry),
+      item_titles_(std::move(item_titles)) {
+  PKGM_CHECK(models != nullptr);
+  PKGM_CHECK(registry != nullptr);
+}
+
+const core::ServiceVectorProvider* InferenceEngine::PinProvider(
+    std::shared_ptr<const store::ServingGeneration>* pinned) const {
+  if (registry_ == nullptr) return provider_;
+  *pinned = registry_->Current();
+  PKGM_CHECK(*pinned != nullptr)
+      << "InferenceEngine executing against an empty ModelRegistry";
+  return (*pinned)->provider.get();
+}
+
+void InferenceEngine::ExecuteBatch(
+    serve::TaskKind task,
+    const std::vector<const serve::ServiceRequest*>& requests,
+    std::vector<serve::ServiceResponse>* responses) {
+  PKGM_CHECK_EQ(responses->size(), requests.size());
+  switch (task) {
+    case serve::TaskKind::kRecommend:
+      ExecuteRecommend(requests, responses);
+      return;
+    case serve::TaskKind::kClassify:
+      ExecuteClassify(requests, responses);
+      return;
+    case serve::TaskKind::kAlign:
+      ExecuteAlign(requests, responses);
+      return;
+    case serve::TaskKind::kLookup:
+      break;  // the KnowledgeServer serves lookups itself
+  }
+  FillCode(responses, serve::ResponseCode::kRejected);
+}
+
+void InferenceEngine::ExecuteRecommend(
+    const std::vector<const serve::ServiceRequest*>& requests,
+    std::vector<serve::ServiceResponse>* responses) {
+  auto gen = models_->recommender();
+  if (gen == nullptr) {
+    // No model published for the task: shed like admission control does.
+    FillCode(responses, serve::ResponseCode::kRejected);
+    return;
+  }
+  std::shared_ptr<const store::ServingGeneration> pinned;
+  const core::ServiceVectorProvider* provider = PinProvider(&pinned);
+  const rec::NcfConfig& cfg = gen->model.config;
+
+  // The *model's* trained variant decides which service vectors join the
+  // MLP input — a request cannot ask a PKGM-all model to score with
+  // PKGM-T features (request.mode only selects vectors on the lookup
+  // path).
+  const bool uses_pkgm = cfg.pkgm_dim > 0;
+  const core::ServiceMode mode =
+      uses_pkgm ? tasks::VariantServiceMode(gen->variant)
+                : core::ServiceMode::kAll;
+  if (uses_pkgm && provider->CondensedDim(mode) != cfg.pkgm_dim) {
+    // Embedding backend incompatible with the published model (e.g. a
+    // swap to a different dim). Shed instead of computing garbage.
+    FillCode(responses, serve::ResponseCode::kRejected);
+    return;
+  }
+
+  std::vector<size_t> valid;
+  valid.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const serve::ServiceRequest& request = *requests[i];
+    if (request.user >= cfg.num_users || request.item >= cfg.num_items ||
+        (uses_pkgm && request.item >= provider->num_items())) {
+      (*responses)[i].code = serve::ResponseCode::kInvalidItem;
+    } else {
+      valid.push_back(i);
+    }
+  }
+  if (valid.empty()) return;
+
+  std::vector<uint32_t> users, items;
+  users.reserve(valid.size());
+  items.reserve(valid.size());
+  for (size_t i : valid) {
+    users.push_back(requests[i]->user);
+    items.push_back(requests[i]->item);
+  }
+  Mat pkgm;
+  const Mat* pkgm_ptr = nullptr;
+  if (uses_pkgm) {
+    pkgm = Mat(valid.size(), cfg.pkgm_dim);
+    for (size_t b = 0; b < valid.size(); ++b) {
+      const Vec s = provider->Condensed(items[b], mode);
+      float* dst = pkgm.Row(b);
+      for (uint32_t j = 0; j < cfg.pkgm_dim; ++j) dst[j] = s[j];
+    }
+    pkgm_ptr = &pkgm;
+  }
+
+  Mat logits;
+  {
+    std::lock_guard<std::mutex> lock(gen->mu);
+    gen->model.model->Forward(users, items, pkgm_ptr, &logits);
+  }
+  for (size_t b = 0; b < valid.size(); ++b) {
+    (*responses)[valid[b]].score = nn::SigmoidScalar(logits(b, 0));
+  }
+}
+
+void InferenceEngine::ExecuteClassify(
+    const std::vector<const serve::ServiceRequest*>& requests,
+    std::vector<serve::ServiceResponse>* responses) {
+  auto gen = models_->classifier();
+  if (gen == nullptr) {
+    FillCode(responses, serve::ResponseCode::kRejected);
+    return;
+  }
+  std::shared_ptr<const store::ServingGeneration> pinned;
+  const core::ServiceVectorProvider* provider = PinProvider(&pinned);
+  const text::TinyBertConfig& cfg = gen->model.config;
+  const uint32_t num_classes = gen->model.num_classes;
+  const bool uses_pkgm = gen->variant != tasks::PkgmVariant::kBase;
+  if (uses_pkgm && provider->dim() != cfg.dim) {
+    FillCode(responses, serve::ResponseCode::kRejected);
+    return;
+  }
+  const core::ServiceVectorProvider* services =
+      uses_pkgm ? provider : nullptr;
+
+  std::lock_guard<std::mutex> lock(gen->mu);
+  std::vector<float> probs(num_classes);
+  std::vector<uint32_t> order(num_classes);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const serve::ServiceRequest& request = *requests[i];
+    serve::ServiceResponse& response = (*responses)[i];
+    if (request.item >= item_titles_.size() ||
+        (uses_pkgm && request.item >= provider->num_items())) {
+      response.code = serve::ResponseCode::kInvalidItem;
+      continue;
+    }
+    data::ClassificationSample sample;
+    sample.item_index = request.item;
+    sample.title = item_titles_[request.item];
+    text::EncodedInput input = tasks::EncodeClassificationSample(
+        sample, gen->model.tokenizer, services, gen->variant, cfg.max_len);
+
+    Vec cls;
+    gen->model.bert->EncodeCls(input, &cls);
+    Mat cls_mat(1, cfg.dim);
+    for (uint32_t j = 0; j < cfg.dim; ++j) cls_mat(0, j) = cls[j];
+    Mat logits;
+    gen->model.head->Forward(cls_mat, &logits);
+
+    std::copy(logits.Row(0), logits.Row(0) + num_classes, probs.begin());
+    SoftmaxInplace(num_classes, probs.data());
+
+    const uint32_t k =
+        std::min(request.top_k == 0 ? 1u : request.top_k, num_classes);
+    std::iota(order.begin(), order.end(), 0u);
+    std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                      [&](uint32_t a, uint32_t b) {
+                        if (probs[a] != probs[b]) return probs[a] > probs[b];
+                        return a < b;  // deterministic tie-break
+                      });
+    response.class_ids.assign(order.begin(), order.begin() + k);
+    response.class_probs.reserve(k);
+    for (uint32_t j = 0; j < k; ++j) {
+      response.class_probs.push_back(probs[order[j]]);
+    }
+  }
+}
+
+void InferenceEngine::ExecuteAlign(
+    const std::vector<const serve::ServiceRequest*>& requests,
+    std::vector<serve::ServiceResponse>* responses) {
+  auto gen = models_->aligner();
+  if (gen == nullptr) {
+    FillCode(responses, serve::ResponseCode::kRejected);
+    return;
+  }
+  std::shared_ptr<const store::ServingGeneration> pinned;
+  const core::ServiceVectorProvider* provider = PinProvider(&pinned);
+  const text::TinyBertConfig& cfg = gen->model.config;
+  const bool uses_pkgm = gen->variant != tasks::PkgmVariant::kBase;
+  if (uses_pkgm && provider->dim() != cfg.dim) {
+    FillCode(responses, serve::ResponseCode::kRejected);
+    return;
+  }
+  const core::ServiceVectorProvider* services =
+      uses_pkgm ? provider : nullptr;
+
+  std::lock_guard<std::mutex> lock(gen->mu);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const serve::ServiceRequest& request = *requests[i];
+    serve::ServiceResponse& response = (*responses)[i];
+    const uint32_t limit = static_cast<uint32_t>(item_titles_.size());
+    if (request.item >= limit || request.item_b >= limit ||
+        (uses_pkgm && (request.item >= provider->num_items() ||
+                       request.item_b >= provider->num_items()))) {
+      response.code = serve::ResponseCode::kInvalidItem;
+      continue;
+    }
+    data::AlignmentPair pair;
+    pair.item_a = request.item;
+    pair.item_b = request.item_b;
+    pair.title_a = item_titles_[request.item];
+    pair.title_b = item_titles_[request.item_b];
+    text::EncodedInput input = tasks::EncodeAlignmentPair(
+        pair, gen->model.tokenizer, services, gen->variant, cfg.max_len);
+
+    Vec cls;
+    gen->model.bert->EncodeCls(input, &cls);
+    Mat cls_mat(1, cfg.dim);
+    for (uint32_t j = 0; j < cfg.dim; ++j) cls_mat(0, j) = cls[j];
+    Mat logits;
+    gen->model.head->Forward(cls_mat, &logits);
+    response.score = logits(0, 0);
+  }
+}
+
+}  // namespace pkgm::infer

@@ -1,0 +1,569 @@
+#include "infer/model_file.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "store/store_format.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace pkgm::infer {
+namespace {
+
+// ------------------------------------------------------------- writing --
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->append(b, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char b[8];
+  std::memcpy(b, &v, 8);
+  out->append(b, 8);
+}
+
+void PutF32(std::string* out, float v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+  out->append(b, 4);
+}
+
+void PutString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+void PutMatRecord(std::string* out, std::string_view name, const Mat& m) {
+  PutString(out, name);
+  PutU32(out, static_cast<uint32_t>(m.rows()));
+  PutU32(out, static_cast<uint32_t>(m.cols()));
+  out->append(reinterpret_cast<const char*>(m.data()),
+              m.size() * sizeof(float));
+}
+
+void PutParams(std::string* out, const std::vector<nn::Parameter*>& params) {
+  PutU32(out, static_cast<uint32_t>(params.size()));
+  for (const nn::Parameter* p : params) {
+    PutMatRecord(out, p->name, p->value);
+  }
+}
+
+void PutVocab(std::string* out, const text::Tokenizer& tok) {
+  PutU32(out, tok.vocab_size());
+  for (const std::string& name : tok.names()) PutString(out, name);
+}
+
+void PutBertConfig(std::string* out, const text::TinyBertConfig& cfg) {
+  PutU32(out, cfg.vocab_size);
+  PutU32(out, cfg.dim);
+  PutU32(out, cfg.layers);
+  PutU32(out, cfg.heads);
+  PutU32(out, cfg.ff_dim);
+  PutU32(out, cfg.max_len);
+  PutU32(out, cfg.num_segments);
+  PutU64(out, cfg.seed);
+}
+
+Status WriteFile(InferTask task, tasks::PkgmVariant variant,
+                 uint64_t generation, const std::string& payload,
+                 const std::string& path) {
+  InferModelHeader header;
+  header.task = static_cast<uint32_t>(task);
+  header.variant = static_cast<uint32_t>(variant);
+  header.generation = generation;
+  header.payload_bytes = payload.size();
+  header.payload_checksum = store::Fnv1a64(payload.data(), payload.size());
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError(StrFormat("open %s for writing failed",
+                                     path.c_str()));
+  }
+  Status status = Status::Ok();
+  if (std::fwrite(&header, 1, sizeof(header), f) != sizeof(header) ||
+      std::fwrite(payload.data(), 1, payload.size(), f) != payload.size()) {
+    status = Status::IoError(StrFormat("short write to %s", path.c_str()));
+  }
+  if (std::fclose(f) != 0 && status.ok()) {
+    status = Status::IoError(StrFormat("close %s failed", path.c_str()));
+  }
+  return status;
+}
+
+// ------------------------------------------------------------- reading --
+
+/// Bounds-checked sequential reader over the payload; the count-before-
+/// allocation discipline mirrors the wire codecs (a corrupt file must fail
+/// with Corruption, never a huge allocation or an out-of-bounds read).
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    std::memcpy(v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    std::memcpy(v, data_.data() + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+  bool ReadF32(float* v) {
+    if (remaining() < 4) return false;
+    std::memcpy(v, data_.data() + pos_, 4);
+    pos_ += 4;
+    return true;
+  }
+  bool ReadString(std::string* out) {
+    uint32_t len = 0;
+    if (!ReadU32(&len) || remaining() < len) return false;
+    out->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool ReadFloats(size_t n, float* out) {
+    if (remaining() < n * sizeof(float)) return false;
+    std::memcpy(out, data_.data() + pos_, n * sizeof(float));
+    pos_ += n * sizeof(float);
+    return true;
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Status Corrupt(const char* what) {
+  return Status::Corruption(StrFormat("truncated or invalid %s in .pkgi",
+                                      what));
+}
+
+Status ReadBertConfig(PayloadReader* r, text::TinyBertConfig* cfg) {
+  if (!r->ReadU32(&cfg->vocab_size) || !r->ReadU32(&cfg->dim) ||
+      !r->ReadU32(&cfg->layers) || !r->ReadU32(&cfg->heads) ||
+      !r->ReadU32(&cfg->ff_dim) || !r->ReadU32(&cfg->max_len) ||
+      !r->ReadU32(&cfg->num_segments) || !r->ReadU64(&cfg->seed)) {
+    return Corrupt("encoder config");
+  }
+  if (cfg->dim == 0 || cfg->heads == 0 || cfg->dim % cfg->heads != 0 ||
+      cfg->max_len < 3 || cfg->layers == 0 || cfg->layers > 64) {
+    return Corrupt("encoder config");
+  }
+  return Status::Ok();
+}
+
+Status ReadVocab(PayloadReader* r, uint32_t expected_size,
+                 std::vector<std::string>* names) {
+  uint32_t count = 0;
+  if (!r->ReadU32(&count)) return Corrupt("vocab count");
+  // Each entry is at least its 4-byte length prefix.
+  if (static_cast<uint64_t>(count) * 4 > r->remaining() ||
+      count != expected_size || count < text::kNumSpecialTokens) {
+    return Corrupt("vocab count");
+  }
+  names->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!r->ReadString(&name)) return Corrupt("vocab entry");
+    names->push_back(std::move(name));
+  }
+  return Status::Ok();
+}
+
+struct MatRecord {
+  std::string name;
+  Mat value;
+};
+
+Status ReadMatRecord(PayloadReader* r, MatRecord* record) {
+  if (!r->ReadString(&record->name)) return Corrupt("param name");
+  uint32_t rows = 0, cols = 0;
+  if (!r->ReadU32(&rows) || !r->ReadU32(&cols)) return Corrupt("param shape");
+  const uint64_t n = static_cast<uint64_t>(rows) * cols;
+  if (n * sizeof(float) > r->remaining()) return Corrupt("param data");
+  record->value = Mat(rows, cols);
+  if (n > 0 && !r->ReadFloats(static_cast<size_t>(n), record->value.data())) {
+    return Corrupt("param data");
+  }
+  return Status::Ok();
+}
+
+Status ReadParams(PayloadReader* r, std::vector<MatRecord>* records) {
+  uint32_t count = 0;
+  if (!r->ReadU32(&count)) return Corrupt("param count");
+  // Minimum record: empty name + shape = 12 bytes.
+  if (static_cast<uint64_t>(count) * 12 > r->remaining()) {
+    return Corrupt("param count");
+  }
+  records->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    MatRecord record;
+    PKGM_RETURN_IF_ERROR(ReadMatRecord(r, &record));
+    records->push_back(std::move(record));
+  }
+  return Status::Ok();
+}
+
+/// Overwrites every parameter of a freshly constructed model with the file
+/// records, by name, requiring an exact bidirectional match: every model
+/// parameter must be present in the file with identical shape, and no file
+/// record (beyond `extra_allowed` names like "item_features") may dangle.
+Status ApplyParams(const std::vector<nn::Parameter*>& params,
+                   std::vector<MatRecord>& records, size_t extra_allowed) {
+  std::unordered_map<std::string_view, MatRecord*> by_name;
+  for (MatRecord& record : records) by_name[record.name] = &record;
+  if (by_name.size() != records.size()) {
+    return Corrupt("duplicate param name");
+  }
+  if (records.size() != params.size() + extra_allowed) {
+    return Corrupt("param record count");
+  }
+  for (nn::Parameter* p : params) {
+    auto it = by_name.find(p->name);
+    if (it == by_name.end()) {
+      return Status::Corruption(
+          StrFormat("missing param %s in .pkgi", p->name.c_str()));
+    }
+    const Mat& value = it->second->value;
+    if (value.rows() != p->rows() || value.cols() != p->cols()) {
+      return Status::Corruption(
+          StrFormat("shape mismatch for param %s", p->name.c_str()));
+    }
+    p->value = value;
+  }
+  return Status::Ok();
+}
+
+Status ReadWholeFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound(StrFormat("cannot open %s", path.c_str()));
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IoError(StrFormat("cannot stat %s", path.c_str()));
+  }
+  out->resize(static_cast<size_t>(size));
+  const size_t read = out->empty()
+                          ? 0
+                          : std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  if (read != out->size()) {
+    return Status::IoError(StrFormat("short read from %s", path.c_str()));
+  }
+  return Status::Ok();
+}
+
+/// Parses and validates the header, returning the checksummed payload view.
+Status ParseHeader(const std::string& file, InferModelHeader* header,
+                   std::string_view* payload) {
+  if (file.size() < sizeof(InferModelHeader)) {
+    return Status::Corruption(".pkgi file shorter than its header");
+  }
+  std::memcpy(header, file.data(), sizeof(InferModelHeader));
+  if (header->magic != kInferModelMagic) {
+    return Status::Corruption("bad .pkgi magic");
+  }
+  if (header->version != kInferModelVersion) {
+    return Status::Corruption(StrFormat("unsupported .pkgi version %u",
+                                        header->version));
+  }
+  if (header->task < 1 || header->task > 3 || header->variant > 3 ||
+      header->reserved != 0) {
+    return Status::Corruption("invalid .pkgi header fields");
+  }
+  if (header->payload_bytes != file.size() - sizeof(InferModelHeader)) {
+    return Status::Corruption(".pkgi payload size mismatch");
+  }
+  *payload = std::string_view(file).substr(sizeof(InferModelHeader));
+  if (store::Fnv1a64(payload->data(), payload->size()) !=
+      header->payload_checksum) {
+    return Status::Corruption(".pkgi payload checksum mismatch");
+  }
+  return Status::Ok();
+}
+
+const char* VariantShortName(tasks::PkgmVariant v) {
+  switch (v) {
+    case tasks::PkgmVariant::kBase: return "base";
+    case tasks::PkgmVariant::kPkgmT: return "pkgm-t";
+    case tasks::PkgmVariant::kPkgmR: return "pkgm-r";
+    case tasks::PkgmVariant::kPkgmAll: return "pkgm-all";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+Status SaveRecommenderModel(const tasks::TrainedRecommender& model,
+                            tasks::PkgmVariant variant, uint64_t generation,
+                            const std::string& path) {
+  if (model.model == nullptr) {
+    return Status::InvalidArgument("recommender bundle holds no model");
+  }
+  const rec::NcfConfig& cfg = model.config;
+  std::string payload;
+  PutU32(&payload, cfg.num_users);
+  PutU32(&payload, cfg.num_items);
+  PutU32(&payload, cfg.gmf_dim);
+  PutU32(&payload, cfg.mlp_dim);
+  PutU32(&payload, static_cast<uint32_t>(cfg.mlp_hidden.size()));
+  for (uint32_t h : cfg.mlp_hidden) PutU32(&payload, h);
+  PutU32(&payload, cfg.pkgm_dim);
+  PutF32(&payload, cfg.embedding_l2);
+  PutU64(&payload, cfg.seed);
+
+  // Params() only registers pointers; serialization does not mutate.
+  std::vector<nn::Parameter*> params =
+      const_cast<rec::NcfModel*>(model.model.get())->Params();
+  PutU32(&payload, static_cast<uint32_t>(params.size() + 1));
+  for (const nn::Parameter* p : params) PutMatRecord(&payload, p->name,
+                                                     p->value);
+  PutMatRecord(&payload, "item_features", model.item_features);
+  return WriteFile(InferTask::kRecommend, variant, generation, payload, path);
+}
+
+Status SaveClassifierModel(const tasks::TrainedClassifier& model,
+                           tasks::PkgmVariant variant, uint64_t generation,
+                           const std::string& path) {
+  if (model.bert == nullptr || model.head == nullptr) {
+    return Status::InvalidArgument("classifier bundle holds no model");
+  }
+  std::string payload;
+  PutBertConfig(&payload, model.config);
+  PutU32(&payload, model.num_classes);
+  PutVocab(&payload, model.tokenizer);
+  std::vector<nn::Parameter*> params =
+      const_cast<text::TinyBert*>(model.bert.get())->Params();
+  const_cast<nn::Linear*>(model.head.get())->Params(&params);
+  PutParams(&payload, params);
+  return WriteFile(InferTask::kClassify, variant, generation, payload, path);
+}
+
+Status SaveAlignerModel(const tasks::TrainedAligner& model,
+                        tasks::PkgmVariant variant, uint64_t generation,
+                        const std::string& path) {
+  if (model.bert == nullptr || model.head == nullptr) {
+    return Status::InvalidArgument("aligner bundle holds no model");
+  }
+  std::string payload;
+  PutBertConfig(&payload, model.config);
+  PutVocab(&payload, model.tokenizer);
+  std::vector<nn::Parameter*> params =
+      const_cast<text::TinyBert*>(model.bert.get())->Params();
+  const_cast<nn::Linear*>(model.head.get())->Params(&params);
+  PutParams(&payload, params);
+  return WriteFile(InferTask::kAlign, variant, generation, payload, path);
+}
+
+StatusOr<LoadedInferModel> LoadInferModel(const std::string& path) {
+  std::string file;
+  PKGM_RETURN_IF_ERROR(ReadWholeFile(path, &file));
+  InferModelHeader header;
+  std::string_view payload;
+  PKGM_RETURN_IF_ERROR(ParseHeader(file, &header, &payload));
+
+  LoadedInferModel loaded;
+  loaded.task = static_cast<InferTask>(header.task);
+  loaded.variant = static_cast<tasks::PkgmVariant>(header.variant);
+  loaded.generation = header.generation;
+  loaded.file_bytes = file.size();
+
+  PayloadReader reader(payload);
+  switch (loaded.task) {
+    case InferTask::kRecommend: {
+      rec::NcfConfig cfg;
+      uint32_t num_hidden = 0;
+      if (!reader.ReadU32(&cfg.num_users) || !reader.ReadU32(&cfg.num_items) ||
+          !reader.ReadU32(&cfg.gmf_dim) || !reader.ReadU32(&cfg.mlp_dim) ||
+          !reader.ReadU32(&num_hidden)) {
+        return Corrupt("recommender config");
+      }
+      if (num_hidden > 64 || cfg.gmf_dim == 0 || cfg.mlp_dim == 0 ||
+          cfg.num_users == 0 || cfg.num_items == 0) {
+        return Corrupt("recommender config");
+      }
+      cfg.mlp_hidden.resize(num_hidden);
+      for (uint32_t i = 0; i < num_hidden; ++i) {
+        if (!reader.ReadU32(&cfg.mlp_hidden[i])) {
+          return Corrupt("recommender config");
+        }
+      }
+      if (!reader.ReadU32(&cfg.pkgm_dim) ||
+          !reader.ReadF32(&cfg.embedding_l2) || !reader.ReadU64(&cfg.seed)) {
+        return Corrupt("recommender config");
+      }
+      std::vector<MatRecord> records;
+      PKGM_RETURN_IF_ERROR(ReadParams(&reader, &records));
+      if (!reader.done()) return Corrupt("trailing bytes");
+
+      loaded.recommender.config = cfg;
+      loaded.recommender.pkgm_dim = cfg.pkgm_dim;
+      loaded.recommender.model = std::make_unique<rec::NcfModel>(cfg);
+      PKGM_RETURN_IF_ERROR(ApplyParams(loaded.recommender.model->Params(),
+                                       records, /*extra_allowed=*/1));
+      MatRecord* features = nullptr;
+      for (MatRecord& record : records) {
+        if (record.name == "item_features") features = &record;
+      }
+      if (features == nullptr) return Corrupt("item_features record");
+      if (cfg.pkgm_dim > 0 &&
+          (features->value.rows() != cfg.num_items ||
+           features->value.cols() != cfg.pkgm_dim)) {
+        return Corrupt("item_features shape");
+      }
+      loaded.recommender.item_features = std::move(features->value);
+      return loaded;
+    }
+    case InferTask::kClassify: {
+      text::TinyBertConfig cfg;
+      PKGM_RETURN_IF_ERROR(ReadBertConfig(&reader, &cfg));
+      uint32_t num_classes = 0;
+      if (!reader.ReadU32(&num_classes) || num_classes == 0) {
+        return Corrupt("num_classes");
+      }
+      std::vector<std::string> names;
+      PKGM_RETURN_IF_ERROR(ReadVocab(&reader, cfg.vocab_size, &names));
+      std::vector<MatRecord> records;
+      PKGM_RETURN_IF_ERROR(ReadParams(&reader, &records));
+      if (!reader.done()) return Corrupt("trailing bytes");
+
+      loaded.classifier.config = cfg;
+      loaded.classifier.num_classes = num_classes;
+      loaded.classifier.tokenizer.LoadVocab(std::move(names));
+      loaded.classifier.bert = std::make_unique<text::TinyBert>(cfg);
+      Rng head_rng(0);  // weights are overwritten below
+      loaded.classifier.head = std::make_unique<nn::Linear>(
+          cfg.dim, num_classes, &head_rng, "cls.head");
+      std::vector<nn::Parameter*> params = loaded.classifier.bert->Params();
+      loaded.classifier.head->Params(&params);
+      PKGM_RETURN_IF_ERROR(ApplyParams(params, records, /*extra_allowed=*/0));
+      return loaded;
+    }
+    case InferTask::kAlign: {
+      text::TinyBertConfig cfg;
+      PKGM_RETURN_IF_ERROR(ReadBertConfig(&reader, &cfg));
+      std::vector<std::string> names;
+      PKGM_RETURN_IF_ERROR(ReadVocab(&reader, cfg.vocab_size, &names));
+      std::vector<MatRecord> records;
+      PKGM_RETURN_IF_ERROR(ReadParams(&reader, &records));
+      if (!reader.done()) return Corrupt("trailing bytes");
+
+      loaded.aligner.config = cfg;
+      loaded.aligner.tokenizer.LoadVocab(std::move(names));
+      loaded.aligner.bert = std::make_unique<text::TinyBert>(cfg);
+      Rng head_rng(0);
+      loaded.aligner.head =
+          std::make_unique<nn::Linear>(cfg.dim, 1, &head_rng, "align.head");
+      std::vector<nn::Parameter*> params = loaded.aligner.bert->Params();
+      loaded.aligner.head->Params(&params);
+      PKGM_RETURN_IF_ERROR(ApplyParams(params, records, /*extra_allowed=*/0));
+      return loaded;
+    }
+  }
+  return Status::Corruption("unknown .pkgi task");
+}
+
+StatusOr<std::string> InspectInferModel(const std::string& path) {
+  std::string file;
+  PKGM_RETURN_IF_ERROR(ReadWholeFile(path, &file));
+  InferModelHeader header;
+  std::string_view payload;
+  PKGM_RETURN_IF_ERROR(ParseHeader(file, &header, &payload));
+
+  const auto task = static_cast<InferTask>(header.task);
+  const auto variant = static_cast<tasks::PkgmVariant>(header.variant);
+  PayloadReader reader(payload);
+
+  std::string config_json;
+  uint32_t vocab_size = 0;
+  switch (task) {
+    case InferTask::kRecommend: {
+      uint32_t num_users = 0, num_items = 0, gmf = 0, mlp = 0, nh = 0;
+      uint32_t pkgm_dim = 0;
+      float l2 = 0.0f;
+      uint64_t seed = 0;
+      if (!reader.ReadU32(&num_users) || !reader.ReadU32(&num_items) ||
+          !reader.ReadU32(&gmf) || !reader.ReadU32(&mlp) ||
+          !reader.ReadU32(&nh) || nh > 64) {
+        return Corrupt("recommender config");
+      }
+      std::string hidden = "[";
+      for (uint32_t i = 0; i < nh; ++i) {
+        uint32_t h = 0;
+        if (!reader.ReadU32(&h)) return Corrupt("recommender config");
+        hidden += StrFormat(i + 1 < nh ? "%u, " : "%u", h);
+      }
+      hidden += "]";
+      if (!reader.ReadU32(&pkgm_dim) || !reader.ReadF32(&l2) ||
+          !reader.ReadU64(&seed)) {
+        return Corrupt("recommender config");
+      }
+      config_json = StrFormat(
+          "{\"num_users\": %u, \"num_items\": %u, \"gmf_dim\": %u, "
+          "\"mlp_dim\": %u, \"mlp_hidden\": %s, \"pkgm_dim\": %u, "
+          "\"seed\": %llu}",
+          num_users, num_items, gmf, mlp, hidden.c_str(), pkgm_dim,
+          static_cast<unsigned long long>(seed));
+      break;
+    }
+    case InferTask::kClassify:
+    case InferTask::kAlign: {
+      text::TinyBertConfig cfg;
+      PKGM_RETURN_IF_ERROR(ReadBertConfig(&reader, &cfg));
+      uint32_t num_classes = 0;
+      if (task == InferTask::kClassify &&
+          (!reader.ReadU32(&num_classes) || num_classes == 0)) {
+        return Corrupt("num_classes");
+      }
+      std::vector<std::string> names;
+      PKGM_RETURN_IF_ERROR(ReadVocab(&reader, cfg.vocab_size, &names));
+      vocab_size = static_cast<uint32_t>(names.size());
+      config_json = StrFormat(
+          "{\"vocab_size\": %u, \"dim\": %u, \"layers\": %u, \"heads\": %u, "
+          "\"ff_dim\": %u, \"max_len\": %u, \"seed\": %llu",
+          cfg.vocab_size, cfg.dim, cfg.layers, cfg.heads, cfg.ff_dim,
+          cfg.max_len, static_cast<unsigned long long>(cfg.seed));
+      if (task == InferTask::kClassify) {
+        config_json += StrFormat(", \"num_classes\": %u", num_classes);
+      }
+      config_json += "}";
+      break;
+    }
+  }
+
+  std::vector<MatRecord> records;
+  PKGM_RETURN_IF_ERROR(ReadParams(&reader, &records));
+  if (!reader.done()) return Corrupt("trailing bytes");
+  uint64_t total_weights = 0;
+  for (const MatRecord& record : records) total_weights += record.value.size();
+
+  return StrFormat(
+      "{\"path\": \"%s\", \"task\": \"%s\", \"variant\": \"%s\", "
+      "\"generation\": %llu, \"file_bytes\": %llu, \"payload_bytes\": %llu, "
+      "\"checksum\": \"0x%016llx\", \"vocab_size\": %u, \"num_params\": %zu, "
+      "\"total_weights\": %llu, \"config\": %s}",
+      path.c_str(), InferTaskName(task), VariantShortName(variant),
+      static_cast<unsigned long long>(header.generation),
+      static_cast<unsigned long long>(file.size()),
+      static_cast<unsigned long long>(header.payload_bytes),
+      static_cast<unsigned long long>(header.payload_checksum), vocab_size,
+      records.size(), static_cast<unsigned long long>(total_weights),
+      config_json.c_str());
+}
+
+}  // namespace pkgm::infer

@@ -162,31 +162,63 @@ std::vector<std::future<serve::ServiceResponse>> NetClient::SubmitBatch(
   std::vector<std::future<serve::ServiceResponse>> futures;
   if (requests.empty()) return futures;
   futures.reserve(requests.size());
+  // Futures are claimed up front in submission order; moving a promise
+  // into a per-frame pending entry keeps its shared state, so the caller's
+  // future ordering is independent of how the batch splits into frames.
+  std::vector<std::promise<serve::ServiceResponse>> promises(requests.size());
+  for (auto& promise : promises) futures.push_back(promise.get_future());
 
-  const uint64_t correlation_id = next_correlation_.fetch_add(1);
-  const std::string frame =
-      EncodeGetVectors(correlation_id, requests, serve::ServeClock::now());
-
-  Conn::PendingBatch batch;
-  batch.promises.resize(requests.size());
-  for (auto& promise : batch.promises) {
-    futures.push_back(promise.get_future());
+  // Each task kind travels in its own typed frame (wire v3) with its own
+  // correlation id; a pure-lookup batch still costs exactly one frame.
+  std::vector<size_t> by_kind[serve::kMaxTaskKind + 1];
+  for (size_t i = 0; i < requests.size(); ++i) {
+    by_kind[static_cast<uint8_t>(requests[i].task)].push_back(i);
   }
 
+  const auto now = serve::ServeClock::now();
   Conn& conn = PickConn();
   std::lock_guard<std::mutex> lock(conn.mu);
-  conn.pending.emplace(correlation_id, std::move(batch));
-  const Status status = SendFrame(conn, frame);
-  if (!status.ok()) {
-    // If the write started, the reader owns failing the entry; if we never
-    // had a socket, fail it here.
-    auto it = conn.pending.find(correlation_id);
-    if (it != conn.pending.end() && !conn.fd.valid()) {
-      network_errors_ += it->second.promises.size();
-      for (auto& promise : it->second.promises) {
-        promise.set_value(NetworkErrorResponse());
+  for (uint8_t kind = 0; kind <= serve::kMaxTaskKind; ++kind) {
+    const std::vector<size_t>& indices = by_kind[kind];
+    if (indices.empty()) continue;
+    std::vector<serve::ServiceRequest> sub;
+    sub.reserve(indices.size());
+    for (size_t i : indices) sub.push_back(requests[i]);
+
+    const uint64_t correlation_id = next_correlation_.fetch_add(1);
+    std::string frame;
+    switch (static_cast<serve::TaskKind>(kind)) {
+      case serve::TaskKind::kLookup:
+        frame = EncodeGetVectors(correlation_id, sub, now);
+        break;
+      case serve::TaskKind::kRecommend:
+        frame = EncodeRecommend(correlation_id, sub, now);
+        break;
+      case serve::TaskKind::kClassify:
+        frame = EncodeClassify(correlation_id, sub, now);
+        break;
+      case serve::TaskKind::kAlign:
+        frame = EncodeAlign(correlation_id, sub, now);
+        break;
+    }
+
+    Conn::PendingBatch batch;
+    batch.promises.reserve(indices.size());
+    for (size_t i : indices) batch.promises.push_back(std::move(promises[i]));
+    conn.pending.emplace(correlation_id, std::move(batch));
+    const Status status = SendFrame(conn, frame);
+    if (!status.ok()) {
+      // If the write started, the reader owns failing the entry; if we
+      // never had a socket, fail it here (and let the remaining kinds try —
+      // SendFrame may reconnect).
+      auto it = conn.pending.find(correlation_id);
+      if (it != conn.pending.end() && !conn.fd.valid()) {
+        network_errors_ += it->second.promises.size();
+        for (auto& promise : it->second.promises) {
+          promise.set_value(NetworkErrorResponse());
+        }
+        conn.pending.erase(it);
       }
-      conn.pending.erase(it);
     }
   }
   return futures;
@@ -321,9 +353,25 @@ void NetClient::ReaderLoop(Conn& conn) {
         break;
       }
       switch (frame.type) {
-        case FrameType::kVectors: {
+        case FrameType::kVectors:
+        case FrameType::kRecommendReply:
+        case FrameType::kClassifyReply:
+        case FrameType::kAlignReply: {
           std::vector<serve::ServiceResponse> responses;
-          if (!DecodeVectors(frame.payload, &responses).ok()) {
+          Status decode_status;
+          switch (frame.type) {
+            case FrameType::kClassifyReply:
+              decode_status = DecodeClassifyReply(frame.payload, &responses);
+              break;
+            case FrameType::kRecommendReply:
+            case FrameType::kAlignReply:
+              decode_status = DecodeScoreReply(frame.payload, &responses);
+              break;
+            default:
+              decode_status = DecodeVectors(frame.payload, &responses);
+              break;
+          }
+          if (!decode_status.ok()) {
             healthy = false;
             break;
           }

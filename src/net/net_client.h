@@ -34,10 +34,13 @@ struct NetClientOptions {
 /// the deployment story: task code links this, not the model.
 ///
 /// Mirrors the KnowledgeServer submit API (futures per request), so the
-/// traffic driver runs the same closed loop against either. One batch =
-/// one kGetVectors frame; responses resolve the futures when the matching
-/// kVectors frame arrives. Requests in flight when a connection dies
-/// resolve with kNetworkError (at-most-once; the client never replays).
+/// traffic driver runs the same closed loop against either. A batch is
+/// partitioned by task kind into typed frames — lookups in one
+/// kGetVectors, each inference kind (wire v3) in its own kRecommend /
+/// kClassify / kAlign frame — and the futures resolve, in submission
+/// order, as the matching reply frames arrive. Requests in flight when a
+/// connection dies resolve with kNetworkError (at-most-once; the client
+/// never replays).
 ///
 /// Thread-safe: any number of threads may submit concurrently.
 class NetClient {

@@ -29,6 +29,22 @@ constexpr size_t kReadChunkBytes = 64 * 1024;
 
 using Clock = std::chrono::steady_clock;
 
+/// Encodes the response frame matching a request frame's reply type. The
+/// lookup path answers kVectors; the inference kinds answer their typed
+/// replies (score entries for recommend/align, top-k lists for classify).
+std::string EncodeReplyFrame(FrameType reply_type, uint64_t correlation_id,
+                             const std::vector<serve::ServiceResponse>& slots) {
+  switch (reply_type) {
+    case FrameType::kRecommendReply:
+    case FrameType::kAlignReply:
+      return EncodeScoreReply(reply_type, correlation_id, slots);
+    case FrameType::kClassifyReply:
+      return EncodeClassifyReply(correlation_id, slots);
+    default:
+      return EncodeVectors(correlation_id, slots);
+  }
+}
+
 }  // namespace
 
 /// One TCP connection, owned exclusively by its I/O thread.
@@ -78,6 +94,8 @@ struct NetServer::FrameState {
   size_t thread_index;
   uint64_t conn_id;
   uint64_t correlation_id;
+  /// Which response frame type answers this request frame.
+  FrameType reply_type;
   std::vector<serve::ServiceResponse> slots;
   std::atomic<size_t> remaining;
 };
@@ -350,16 +368,41 @@ bool NetServer::HandleFrame(IoThread& io, Connection& conn, Frame frame) {
     case FrameType::kStats:
       return SendOnLoop(io, conn,
                         EncodeStatsJson(frame.correlation_id, StatsJson()));
-    case FrameType::kGetVectors: {
+    case FrameType::kGetVectors:
+    case FrameType::kRecommend:
+    case FrameType::kClassify:
+    case FrameType::kAlign: {
       if (server_ == nullptr) {
         return SendOnLoop(io, conn,
                           EncodeError(frame.correlation_id,
                                       WireCode::kUnsupported,
                                       "no knowledge server attached"));
       }
+      // All four request kinds share one lifecycle: decode, submit the
+      // batch to the knowledge server, encode the matching typed reply
+      // when the last request of the frame completes.
       std::vector<serve::ServiceRequest> requests;
-      const Status status = DecodeGetVectors(
-          frame.payload, serve::ServeClock::now(), &requests);
+      const auto now = serve::ServeClock::now();
+      Status status;
+      FrameType reply_type;
+      switch (frame.type) {
+        case FrameType::kRecommend:
+          status = DecodeRecommend(frame.payload, now, &requests);
+          reply_type = FrameType::kRecommendReply;
+          break;
+        case FrameType::kClassify:
+          status = DecodeClassify(frame.payload, now, &requests);
+          reply_type = FrameType::kClassifyReply;
+          break;
+        case FrameType::kAlign:
+          status = DecodeAlign(frame.payload, now, &requests);
+          reply_type = FrameType::kAlignReply;
+          break;
+        default:
+          status = DecodeGetVectors(frame.payload, now, &requests);
+          reply_type = FrameType::kVectors;
+          break;
+      }
       if (!status.ok()) {
         ++protocol_errors_;
         CloseConnection(io, conn.id);
@@ -367,13 +410,15 @@ bool NetServer::HandleFrame(IoThread& io, Connection& conn, Frame frame) {
       }
       requests_in_ += requests.size();
       if (requests.empty()) {
-        return SendOnLoop(io, conn, EncodeVectors(frame.correlation_id, {}));
+        return SendOnLoop(
+            io, conn, EncodeReplyFrame(reply_type, frame.correlation_id, {}));
       }
       auto state = std::make_shared<FrameState>();
       state->server = this;
       state->thread_index = io.index;
       state->conn_id = conn.id;
       state->correlation_id = frame.correlation_id;
+      state->reply_type = reply_type;
       state->slots.resize(requests.size());
       state->remaining.store(requests.size(), std::memory_order_relaxed);
       ++conn.in_flight_frames;
@@ -384,8 +429,8 @@ bool NetServer::HandleFrame(IoThread& io, Connection& conn, Frame frame) {
             state->slots[index] = std::move(response);
             if (state->remaining.fetch_sub(1) == 1) {
               NetServer* server = state->server;
-              std::string encoded =
-                  EncodeVectors(state->correlation_id, state->slots);
+              std::string encoded = EncodeReplyFrame(
+                  state->reply_type, state->correlation_id, state->slots);
               server->PostCompletion(state->thread_index, state->conn_id,
                                      std::move(encoded));
               // Last touch of the NetServer: once this hits zero, Stop()
@@ -407,6 +452,9 @@ bool NetServer::HandleFrame(IoThread& io, Connection& conn, Frame frame) {
     case FrameType::kPushAck:
     case FrameType::kShardInfoReply:
     case FrameType::kBarrierReply:
+    case FrameType::kRecommendReply:
+    case FrameType::kClassifyReply:
+    case FrameType::kAlignReply:
       // Response frames arriving at the server: confused peer, but the
       // stream is intact — answer with an error and keep the connection.
       return SendOnLoop(io, conn,

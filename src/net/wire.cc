@@ -180,9 +180,34 @@ struct Crc32cTable {
 
 constexpr size_t kGetVectorsEntryBytes = 12;
 constexpr size_t kVectorsEntryHeaderBytes = 8;
+// The three v3 inference request kinds share one 16-byte entry layout:
+// two u32 task operands, u8 mode, u8 reserved, u16 tenant, u32 deadline.
+constexpr size_t kInferRequestEntryBytes = 16;
+constexpr size_t kScoreReplyEntryBytes = 8;
+constexpr size_t kClassifyReplyEntryHeaderBytes = 4;
 
 Status Truncated(const char* what) {
   return Status::Corruption(StrFormat("truncated %s payload", what));
+}
+
+// Relative-deadline wire encoding shared by every request codec: 0 means
+// "no deadline"; an already-expired deadline clamps to 1 so it stays
+// distinguishable from none.
+uint32_t RelativeDeadlineMicros(serve::ServeClock::time_point deadline,
+                                serve::ServeClock::time_point now) {
+  if (deadline == serve::ServeClock::time_point::max()) return 0;
+  const auto remaining =
+      std::chrono::duration_cast<std::chrono::microseconds>(deadline - now);
+  if (remaining.count() <= 0) return 1;
+  return static_cast<uint32_t>(std::min<int64_t>(
+      remaining.count(), std::numeric_limits<uint32_t>::max()));
+}
+
+serve::ServeClock::time_point AbsoluteDeadline(
+    uint32_t deadline_micros, serve::ServeClock::time_point now) {
+  return deadline_micros == 0
+             ? serve::ServeClock::time_point::max()
+             : now + std::chrono::microseconds(deadline_micros);
 }
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -827,6 +852,274 @@ Status DecodeBarrierReply(std::string_view payload, uint32_t* epoch,
   }
   if (!cursor.done()) {
     return Status::Corruption("trailing bytes after kBarrierReply");
+  }
+  return Status::Ok();
+}
+
+// ------------------------------------------ inference frames (v3) --------
+
+namespace {
+
+// Shared encoder for the three inference request frames, which differ only
+// in the two u32 task operands carried per entry.
+std::string EncodeInferRequests(
+    FrameType type, uint64_t correlation_id,
+    const std::vector<serve::ServiceRequest>& requests,
+    serve::ServeClock::time_point now,
+    uint32_t (*op_a)(const serve::ServiceRequest&),
+    uint32_t (*op_b)(const serve::ServiceRequest&)) {
+  std::string payload;
+  payload.reserve(4 + requests.size() * kInferRequestEntryBytes);
+  PutU32(static_cast<uint32_t>(requests.size()), &payload);
+  for (const serve::ServiceRequest& request : requests) {
+    PutU32(op_a(request), &payload);
+    PutU32(op_b(request), &payload);
+    PutU8(static_cast<uint8_t>(request.mode), &payload);
+    PutU8(0, &payload);  // reserved
+    PutU16(request.tenant, &payload);
+    PutU32(RelativeDeadlineMicros(request.deadline, now), &payload);
+  }
+  std::string frame;
+  AppendFrame(type, correlation_id, payload, &frame);
+  return frame;
+}
+
+// Shared decoder for the fixed-size inference request entries; `fill`
+// stores the two operands into the half-built request.
+Status DecodeInferRequests(
+    std::string_view payload, serve::ServeClock::time_point now,
+    const char* what, serve::TaskKind task,
+    void (*fill)(uint32_t a, uint32_t b, serve::ServiceRequest*),
+    std::vector<serve::ServiceRequest>* out) {
+  Cursor cursor(payload);
+  uint32_t count;
+  if (!cursor.ReadU32(&count)) return Truncated(what);
+  // Allocation guard: entries are fixed-size, so the declared count must
+  // match the bytes actually present exactly, before any reserve happens.
+  // Trailing bytes fail this same check.
+  if (static_cast<uint64_t>(count) * kInferRequestEntryBytes !=
+      cursor.remaining()) {
+    return Status::Corruption(
+        StrFormat("%s count %u disagrees with payload size %zu", what, count,
+                  payload.size()));
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t a, b, deadline_micros;
+    uint8_t mode, reserved;
+    uint16_t tenant;
+    if (!cursor.ReadU32(&a) || !cursor.ReadU32(&b) || !cursor.ReadU8(&mode) ||
+        !cursor.ReadU8(&reserved) || !cursor.ReadU16(&tenant) ||
+        !cursor.ReadU32(&deadline_micros)) {
+      return Truncated(what);
+    }
+    if (mode > static_cast<uint8_t>(core::ServiceMode::kAll)) {
+      return Status::Corruption(StrFormat("invalid service mode %u", mode));
+    }
+    if (reserved != 0) {
+      return Status::Corruption(
+          StrFormat("%s reserved byte %u must be 0", what, reserved));
+    }
+    serve::ServiceRequest request;
+    request.task = task;
+    request.mode = static_cast<core::ServiceMode>(mode);
+    request.form = serve::ServiceForm::kCondensed;
+    request.tenant = tenant;
+    request.deadline = AbsoluteDeadline(deadline_micros, now);
+    fill(a, b, &request);
+    out->push_back(request);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string EncodeRecommend(uint64_t correlation_id,
+                            const std::vector<serve::ServiceRequest>& requests,
+                            serve::ServeClock::time_point now) {
+  return EncodeInferRequests(
+      FrameType::kRecommend, correlation_id, requests, now,
+      [](const serve::ServiceRequest& r) { return r.user; },
+      [](const serve::ServiceRequest& r) { return r.item; });
+}
+
+Status DecodeRecommend(std::string_view payload,
+                       serve::ServeClock::time_point now,
+                       std::vector<serve::ServiceRequest>* out) {
+  return DecodeInferRequests(
+      payload, now, "kRecommend", serve::TaskKind::kRecommend,
+      [](uint32_t a, uint32_t b, serve::ServiceRequest* r) {
+        r->user = a;
+        r->item = b;
+      },
+      out);
+}
+
+std::string EncodeClassify(uint64_t correlation_id,
+                           const std::vector<serve::ServiceRequest>& requests,
+                           serve::ServeClock::time_point now) {
+  return EncodeInferRequests(
+      FrameType::kClassify, correlation_id, requests, now,
+      [](const serve::ServiceRequest& r) { return r.item; },
+      [](const serve::ServiceRequest& r) { return r.top_k; });
+}
+
+Status DecodeClassify(std::string_view payload,
+                      serve::ServeClock::time_point now,
+                      std::vector<serve::ServiceRequest>* out) {
+  return DecodeInferRequests(
+      payload, now, "kClassify", serve::TaskKind::kClassify,
+      [](uint32_t a, uint32_t b, serve::ServiceRequest* r) {
+        r->item = a;
+        r->top_k = b;
+      },
+      out);
+}
+
+std::string EncodeAlign(uint64_t correlation_id,
+                        const std::vector<serve::ServiceRequest>& requests,
+                        serve::ServeClock::time_point now) {
+  return EncodeInferRequests(
+      FrameType::kAlign, correlation_id, requests, now,
+      [](const serve::ServiceRequest& r) { return r.item; },
+      [](const serve::ServiceRequest& r) { return r.item_b; });
+}
+
+Status DecodeAlign(std::string_view payload, serve::ServeClock::time_point now,
+                   std::vector<serve::ServiceRequest>* out) {
+  return DecodeInferRequests(
+      payload, now, "kAlign", serve::TaskKind::kAlign,
+      [](uint32_t a, uint32_t b, serve::ServiceRequest* r) {
+        r->item = a;
+        r->item_b = b;
+      },
+      out);
+}
+
+std::string EncodeScoreReply(
+    FrameType type, uint64_t correlation_id,
+    const std::vector<serve::ServiceResponse>& responses) {
+  std::string payload;
+  payload.reserve(4 + responses.size() * kScoreReplyEntryBytes);
+  PutU32(static_cast<uint32_t>(responses.size()), &payload);
+  for (const serve::ServiceResponse& response : responses) {
+    PutU8(static_cast<uint8_t>(WireCodeFromResponse(response.code)), &payload);
+    PutU8(response.cache_hit ? 1 : 0, &payload);
+    PutU16(0, &payload);
+    PutF32(response.score, &payload);
+  }
+  std::string frame;
+  AppendFrame(type, correlation_id, payload, &frame);
+  return frame;
+}
+
+Status DecodeScoreReply(std::string_view payload,
+                        std::vector<serve::ServiceResponse>* out) {
+  Cursor cursor(payload);
+  uint32_t count;
+  if (!cursor.ReadU32(&count)) return Truncated("score reply");
+  // Fixed-size entries: exact match doubles as the trailing-byte check.
+  if (static_cast<uint64_t>(count) * kScoreReplyEntryBytes !=
+      cursor.remaining()) {
+    return Status::Corruption(
+        StrFormat("score reply count %u disagrees with payload size %zu",
+                  count, payload.size()));
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t code, flags;
+    uint16_t reserved;
+    float score;
+    if (!cursor.ReadU8(&code) || !cursor.ReadU8(&flags) ||
+        !cursor.ReadU16(&reserved) || !cursor.ReadF32(&score)) {
+      return Truncated("score reply");
+    }
+    if (code > kMaxWireCode) {
+      return Status::Corruption(StrFormat("invalid wire code %u", code));
+    }
+    if (reserved != 0) {
+      return Status::Corruption(StrFormat(
+          "score reply reserved field %u must be 0", reserved));
+    }
+    serve::ServiceResponse response;
+    response.code = ResponseCodeFromWire(static_cast<WireCode>(code));
+    response.cache_hit = (flags & 1) != 0;
+    response.score = score;
+    out->push_back(std::move(response));
+  }
+  return Status::Ok();
+}
+
+std::string EncodeClassifyReply(
+    uint64_t correlation_id,
+    const std::vector<serve::ServiceResponse>& responses) {
+  std::string payload;
+  PutU32(static_cast<uint32_t>(responses.size()), &payload);
+  for (const serve::ServiceResponse& response : responses) {
+    PutU8(static_cast<uint8_t>(WireCodeFromResponse(response.code)), &payload);
+    PutU8(response.cache_hit ? 1 : 0, &payload);
+    const uint16_t k = static_cast<uint16_t>(std::min<size_t>(
+        response.class_ids.size(), std::numeric_limits<uint16_t>::max()));
+    PutU16(k, &payload);
+    for (uint16_t j = 0; j < k; ++j) {
+      PutU32(response.class_ids[j], &payload);
+      PutF32(j < response.class_probs.size() ? response.class_probs[j] : 0.0f,
+             &payload);
+    }
+  }
+  std::string frame;
+  AppendFrame(FrameType::kClassifyReply, correlation_id, payload, &frame);
+  return frame;
+}
+
+Status DecodeClassifyReply(std::string_view payload,
+                           std::vector<serve::ServiceResponse>* out) {
+  Cursor cursor(payload);
+  uint32_t count;
+  if (!cursor.ReadU32(&count)) return Truncated("kClassifyReply");
+  // Entries are variable-size; charge each at least its fixed header
+  // before any reserve happens.
+  if (static_cast<uint64_t>(count) * kClassifyReplyEntryHeaderBytes >
+      cursor.remaining()) {
+    return Status::Corruption(
+        StrFormat("kClassifyReply count %u exceeds payload size %zu", count,
+                  payload.size()));
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint8_t code, flags;
+    uint16_t k;
+    if (!cursor.ReadU8(&code) || !cursor.ReadU8(&flags) ||
+        !cursor.ReadU16(&k)) {
+      return Truncated("kClassifyReply");
+    }
+    if (code > kMaxWireCode) {
+      return Status::Corruption(StrFormat("invalid wire code %u", code));
+    }
+    // Each class costs 8 bytes (u32 id + f32 prob).
+    if (static_cast<uint64_t>(k) * 8 > cursor.remaining()) {
+      return Status::Corruption(StrFormat(
+          "kClassifyReply entry declares %u classes with %zu bytes left", k,
+          cursor.remaining()));
+    }
+    serve::ServiceResponse response;
+    response.code = ResponseCodeFromWire(static_cast<WireCode>(code));
+    response.cache_hit = (flags & 1) != 0;
+    response.class_ids.resize(k);
+    response.class_probs.resize(k);
+    for (uint16_t j = 0; j < k; ++j) {
+      if (!cursor.ReadU32(&response.class_ids[j]) ||
+          !cursor.ReadF32(&response.class_probs[j])) {
+        return Truncated("kClassifyReply");
+      }
+    }
+    out->push_back(std::move(response));
+  }
+  if (!cursor.done()) {
+    return Status::Corruption("trailing bytes after kClassifyReply entries");
   }
   return Status::Ok();
 }

@@ -33,10 +33,12 @@ namespace pkgm::net {
 /// answers it with a kError frame and keeps the connection (forward
 /// compatibility).
 constexpr uint32_t kWireMagic = 0x4d474b50;
-/// v2 added the parameter-server frames (kPullRows .. kBarrierReply). Both
+/// v2 added the parameter-server frames (kPullRows .. kBarrierReply); v3
+/// added the downstream-inference frames (kRecommend .. kAlignReply). Both
 /// ends of a deployment ship from one tree, so the decoder requires an
-/// exact version match; a v1 peer is cut off at the header.
-constexpr uint8_t kWireVersion = 2;
+/// exact version match; a v1/v2 peer is cut off at the header — an old
+/// peer can never misparse an inference frame as something it knows.
+constexpr uint8_t kWireVersion = 3;
 constexpr size_t kFrameHeaderBytes = 24;
 /// Default cap on payload_len; NetServer/NetClient make it configurable.
 constexpr size_t kDefaultMaxFrameBytes = 4u << 20;
@@ -80,6 +82,21 @@ enum class FrameType : uint8_t {
   kBarrier = 14,
   /// Param server → worker: barrier released.
   kBarrierReply = 15,
+
+  // --- v3: downstream-task inference (src/infer/) ---
+
+  /// Client → server: batched NCF recommendation scoring (user, item).
+  kRecommend = 16,
+  /// Server → client: one {code, score} entry per request, in order.
+  kRecommendReply = 17,
+  /// Client → server: batched item classification (item, top_k).
+  kClassify = 18,
+  /// Server → client: one {code, top-k (class, prob) list} per request.
+  kClassifyReply = 19,
+  /// Client → server: batched item alignment (item, item_b).
+  kAlign = 20,
+  /// Server → client: one {code, score} entry per request, in order.
+  kAlignReply = 21,
 };
 
 /// Per-request terminal status on the wire; extends serve::ResponseCode
@@ -306,6 +323,54 @@ std::string EncodeBarrierReply(uint64_t correlation_id, uint32_t epoch,
                                uint32_t workers_arrived);
 Status DecodeBarrierReply(std::string_view payload, uint32_t* epoch,
                           uint32_t* workers_arrived);
+
+// ------------------------------------------ inference frames (v3) --------
+
+/// kRecommend payload: u32 count, then per request {u32 user, u32 item,
+/// u8 mode, u8 reserved (must be 0), u16 tenant, u32 deadline_micros}.
+/// Deadlines use the same relative-microsecond convention as
+/// EncodeGetVectors. Every request's `task` must be TaskKind::kRecommend.
+std::string EncodeRecommend(uint64_t correlation_id,
+                            const std::vector<serve::ServiceRequest>& requests,
+                            serve::ServeClock::time_point now);
+Status DecodeRecommend(std::string_view payload,
+                       serve::ServeClock::time_point now,
+                       std::vector<serve::ServiceRequest>* out);
+
+/// kRecommendReply / kAlignReply payload: u32 count, then per entry
+/// {u8 code, u8 flags (bit0 = cache_hit), u16 reserved (must be 0),
+/// f32 score}. The count is validated against the exact payload size
+/// before any allocation; trailing bytes are rejected.
+std::string EncodeScoreReply(FrameType type, uint64_t correlation_id,
+                             const std::vector<serve::ServiceResponse>& responses);
+Status DecodeScoreReply(std::string_view payload,
+                        std::vector<serve::ServiceResponse>* out);
+
+/// kClassify payload: u32 count, then per request {u32 item, u32 top_k,
+/// u8 mode, u8 reserved (must be 0), u16 tenant, u32 deadline_micros}.
+std::string EncodeClassify(uint64_t correlation_id,
+                           const std::vector<serve::ServiceRequest>& requests,
+                           serve::ServeClock::time_point now);
+Status DecodeClassify(std::string_view payload,
+                      serve::ServeClock::time_point now,
+                      std::vector<serve::ServiceRequest>* out);
+
+/// kClassifyReply payload: u32 count, then per entry {u8 code, u8 flags
+/// (bit0 = cache_hit), u16 k, k * {u32 class_id, f32 prob}}. Variable-size
+/// entries: the count is checked against the minimum entry size before
+/// allocation and every k against the remaining bytes.
+std::string EncodeClassifyReply(uint64_t correlation_id,
+                                const std::vector<serve::ServiceResponse>& responses);
+Status DecodeClassifyReply(std::string_view payload,
+                           std::vector<serve::ServiceResponse>* out);
+
+/// kAlign payload: u32 count, then per request {u32 item, u32 item_b,
+/// u8 mode, u8 reserved (must be 0), u16 tenant, u32 deadline_micros}.
+std::string EncodeAlign(uint64_t correlation_id,
+                        const std::vector<serve::ServiceRequest>& requests,
+                        serve::ServeClock::time_point now);
+Status DecodeAlign(std::string_view payload, serve::ServeClock::time_point now,
+                   std::vector<serve::ServiceRequest>* out);
 
 }  // namespace pkgm::net
 

@@ -16,11 +16,10 @@ void Linear::Forward(const Mat& x, Mat* y) const {
   if (y->rows() != x.rows() || y->cols() != w_.value.cols()) {
     *y = Mat(x.rows(), w_.value.cols());
   }
-  Gemm(x, w_.value, y);
-  const float* bias = b_.value.Row(0);
-  for (size_t i = 0; i < y->rows(); ++i) {
-    Axpy(y->cols(), 1.0f, bias, y->Row(i));
-  }
+  // Fused forward on the dispatched gemm_bias kernel — bit-identical to the
+  // previous Gemm + per-row bias Axpy composition within a kernel table.
+  GemmBiasRaw(x.rows(), x.cols(), y->cols(), x.data(), w_.value.data(),
+              b_.value.Row(0), y->data());
 }
 
 void Linear::Backward(const Mat& x, const Mat& dy, Mat* dx) {

@@ -1,0 +1,30 @@
+#ifndef PKGM_SERVE_INFER_EXECUTOR_H_
+#define PKGM_SERVE_INFER_EXECUTOR_H_
+
+#include <vector>
+
+#include "serve/request.h"
+
+namespace pkgm::serve {
+
+/// Executes homogeneous batches of inference requests (TaskKind other than
+/// kLookup) on behalf of the KnowledgeServer. The seam keeps serve/ free of
+/// a dependency on the downstream models: the concrete implementation is
+/// infer::InferenceEngine, attached via KnowledgeServer::AttachInferExecutor.
+///
+/// Contract: `requests` all share `task` and have already passed admission
+/// and deadline checks; `responses` arrives sized to requests.size() with
+/// default (kOk) entries and must be filled positionally. Implementations
+/// must be thread-safe — every server worker calls into the same executor.
+class InferExecutor {
+ public:
+  virtual ~InferExecutor() = default;
+
+  virtual void ExecuteBatch(TaskKind task,
+                            const std::vector<const ServiceRequest*>& requests,
+                            std::vector<ServiceResponse>* responses) = 0;
+};
+
+}  // namespace pkgm::serve
+
+#endif  // PKGM_SERVE_INFER_EXECUTOR_H_

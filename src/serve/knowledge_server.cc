@@ -67,6 +67,13 @@ void KnowledgeServer::InitAdmissionAndCache() {
 
 KnowledgeServer::~KnowledgeServer() { Stop(); }
 
+void KnowledgeServer::AttachInferExecutor(InferExecutor* executor) {
+  PKGM_CHECK(workers_ == nullptr)
+      << "AttachInferExecutor must be called before Start()";
+  PKGM_CHECK(executor != nullptr);
+  infer_ = executor;
+}
+
 void KnowledgeServer::Start() {
   if (workers_ != nullptr) return;
   PKGM_CHECK(!queue_.closed());
@@ -175,7 +182,18 @@ void KnowledgeServer::WorkerLoop() {
   Batch batch;
   while (queue_.Pop(&batch)) {
     const auto dequeue_time = ServeClock::now();
-    for (PendingRequest& pending : batch) {
+    // Lookups execute per request (each one takes its own path through the
+    // cache/coalescer); inference kinds are grouped so one model forward
+    // serves every request of that kind in the batch — the batching that
+    // makes the gemm kernels pay for themselves.
+    std::vector<size_t> grouped[kMaxTaskKind + 1];
+    for (size_t i = 0; i < batch.size(); ++i) {
+      PendingRequest& pending = batch[i];
+      if (pending.request.task != TaskKind::kLookup &&
+          pending.request.deadline >= dequeue_time) {
+        grouped[static_cast<uint8_t>(pending.request.task)].push_back(i);
+        continue;
+      }
       const double queue_micros =
           MicrosBetween(pending.enqueue_time, dequeue_time);
       ServiceResponse response;
@@ -190,10 +208,53 @@ void KnowledgeServer::WorkerLoop() {
       response.queue_micros = queue_micros;
       response.compute_micros = compute_micros;
       stats_.RecordCompleted(response.code, queue_micros, compute_micros);
+      stats_.RecordTaskCompleted(pending.request.task);
       --pending_requests_;
       pending.done(std::move(response));
     }
+    for (uint8_t kind = 1; kind <= kMaxTaskKind; ++kind) {
+      if (grouped[kind].empty()) continue;
+      ExecuteInferGroup(static_cast<TaskKind>(kind), grouped[kind],
+                        dequeue_time, &batch);
+    }
     batch.clear();
+  }
+}
+
+void KnowledgeServer::ExecuteInferGroup(TaskKind task,
+                                        const std::vector<size_t>& indices,
+                                        ServeClock::time_point dequeue_time,
+                                        Batch* batch) {
+  std::vector<const ServiceRequest*> requests;
+  requests.reserve(indices.size());
+  for (size_t i : indices) requests.push_back(&(*batch)[i].request);
+  std::vector<ServiceResponse> responses(indices.size());
+  double compute_micros = 0.0;
+  if (infer_ == nullptr) {
+    // The deployment serves lookups only: shed the inference kinds the way
+    // admission control would, instead of failing the process.
+    for (ServiceResponse& response : responses) {
+      response.code = ResponseCode::kRejected;
+    }
+  } else {
+    const auto start = ServeClock::now();
+    infer_->ExecuteBatch(task, requests, &responses);
+    // Per-request share of the grouped forward, so per-task latencies stay
+    // comparable with the per-request lookup path.
+    compute_micros =
+        MicrosBetween(start, ServeClock::now()) / indices.size();
+  }
+  for (size_t b = 0; b < indices.size(); ++b) {
+    PendingRequest& pending = (*batch)[indices[b]];
+    ServiceResponse& response = responses[b];
+    response.queue_micros =
+        MicrosBetween(pending.enqueue_time, dequeue_time);
+    response.compute_micros = compute_micros;
+    stats_.RecordCompleted(response.code, response.queue_micros,
+                           compute_micros);
+    stats_.RecordTaskCompleted(task);
+    --pending_requests_;
+    pending.done(std::move(response));
   }
 }
 

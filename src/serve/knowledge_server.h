@@ -12,6 +12,7 @@
 #include "core/service.h"
 #include "serve/bounded_queue.h"
 #include "serve/coalescer.h"
+#include "serve/infer_executor.h"
 #include "serve/request.h"
 #include "serve/server_stats.h"
 #include "serve/tenant_quota.h"
@@ -90,6 +91,15 @@ class KnowledgeServer {
   KnowledgeServer(const KnowledgeServer&) = delete;
   KnowledgeServer& operator=(const KnowledgeServer&) = delete;
 
+  /// Plugs in the model-inference backend serving the kRecommend /
+  /// kClassify / kAlign request kinds (wire v3). Inference requests ride
+  /// the same admission control, tenant quotas, deadlines and queue as
+  /// lookups; a worker groups each dequeued batch by task kind and hands
+  /// every inference kind to the executor in one ExecuteBatch call.
+  /// Without an executor those kinds complete with kRejected. Must be
+  /// called before Start(); `executor` must outlive the server.
+  void AttachInferExecutor(InferExecutor* executor);
+
   /// Spawns the worker pool. Requests may be submitted before Start();
   /// they wait in the queue (subject to capacity) until workers run.
   void Start();
@@ -167,6 +177,10 @@ class KnowledgeServer {
   void Enqueue(Batch batch);
 
   void WorkerLoop();
+  /// One grouped executor call for the batch's requests of `task` kind
+  /// (`indices` into `batch`); completes each of them.
+  void ExecuteInferGroup(TaskKind task, const std::vector<size_t>& indices,
+                         ServeClock::time_point dequeue_time, Batch* batch);
   /// Runs the query modules (through the cache for condensed requests).
   ServiceResponse Execute(const ServiceRequest& request);
   /// Registry mode: invalidate the cache and refresh the stats backend
@@ -175,6 +189,8 @@ class KnowledgeServer {
 
   const core::ServiceVectorProvider* provider_;
   const store::ModelRegistry* registry_ = nullptr;
+  /// Backend for the inference request kinds; null until attached.
+  InferExecutor* infer_ = nullptr;
   /// Highest registry generation any worker has observed (registry mode).
   std::atomic<uint64_t> observed_generation_{0};
   const KnowledgeServerOptions options_;

@@ -1,5 +1,6 @@
 #include "serve/load_gen.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -28,6 +29,11 @@ struct Sink {
   std::mutex mu;
   Histogram latency_us{HistogramMode::kBucketed};
   Histogram server_ok_us{HistogramMode::kBucketed};
+  Histogram task_latency_us[kMaxTaskKind + 1] = {
+      Histogram{HistogramMode::kBucketed}, Histogram{HistogramMode::kBucketed},
+      Histogram{HistogramMode::kBucketed}, Histogram{HistogramMode::kBucketed}};
+  uint64_t task_completed[kMaxTaskKind + 1] = {};
+  uint64_t task_ok[kMaxTaskKind + 1] = {};
   uint64_t ok = 0;
   uint64_t rejected = 0;
   uint64_t quota_rejected = 0;
@@ -38,12 +44,16 @@ struct Sink {
 };
 constexpr size_t kSinks = 16;
 
-void RecordCompletion(Sink* sink, const ServiceResponse& response,
+void RecordCompletion(Sink* sink, TaskKind task, const ServiceResponse& response,
                       double latency_micros) {
+  const uint8_t kind = static_cast<uint8_t>(task);
   std::lock_guard<std::mutex> lock(sink->mu);
   sink->latency_us.Record(latency_micros);
+  sink->task_latency_us[kind].Record(latency_micros);
+  ++sink->task_completed[kind];
   if (response.code == ResponseCode::kOk) {
     sink->server_ok_us.Record(response.queue_micros + response.compute_micros);
+    ++sink->task_ok[kind];
   }
   switch (response.code) {
     case ResponseCode::kOk: ++sink->ok; break;
@@ -112,6 +122,23 @@ LoadGenReport RunLoadGen(const LoadGenOptions& options,
   const double thread_rate = options.rate_qps / static_cast<double>(threads);
   const ZipfSampler zipf(options.num_items, options.zipf_s);
 
+  // Normalised cumulative mix for kind drawing; degenerate mixes (all
+  // zero/negative) fall back to all-lookup.
+  double cum_mix[kMaxTaskKind + 1];
+  {
+    double total = 0.0;
+    for (uint8_t k = 0; k <= kMaxTaskKind; ++k) {
+      total += std::max(0.0, options.mix[k]);
+    }
+    double running = 0.0;
+    for (uint8_t k = 0; k <= kMaxTaskKind; ++k) {
+      running += total > 0.0 ? std::max(0.0, options.mix[k]) / total
+                             : (k == 0 ? 1.0 : 0.0);
+      cum_mix[k] = running;
+    }
+    cum_mix[kMaxTaskKind] = 1.0;  // absorb rounding
+  }
+
   std::vector<Sink> sinks(kSinks);
   std::atomic<uint64_t> outstanding{0};
   std::mutex done_mu;
@@ -153,6 +180,31 @@ LoadGenReport RunLoadGen(const LoadGenOptions& options,
         request.item =
             static_cast<uint32_t>((rank + offset) % options.num_items);
         request.tenant = tenant;
+        // Draw the task kind from the cumulative mix; the Zipf item above
+        // is the (first) operand for every kind.
+        const double kind_draw = rng.UniformDouble();
+        for (uint8_t k = 0; k <= kMaxTaskKind; ++k) {
+          if (kind_draw < cum_mix[k]) {
+            request.task = static_cast<TaskKind>(k);
+            break;
+          }
+        }
+        switch (request.task) {
+          case TaskKind::kLookup:
+            break;
+          case TaskKind::kRecommend:
+            request.user = static_cast<uint32_t>(
+                rng.Uniform(std::max<uint32_t>(1, options.num_users)));
+            break;
+          case TaskKind::kClassify:
+            request.top_k = options.top_k;
+            break;
+          case TaskKind::kAlign:
+            // Second item of the pair, drawn from the same skewed catalog.
+            request.item_b = static_cast<uint32_t>(
+                (zipf.Sample(&rng) + offset) % options.num_items);
+            break;
+        }
         const auto send_time = ServeClock::now();
         if (options.deadline_us > 0) {
           request.deadline =
@@ -168,12 +220,13 @@ LoadGenReport RunLoadGen(const LoadGenOptions& options,
         outstanding.fetch_add(1, std::memory_order_relaxed);
 
         if (options.open_loop) {
+          const TaskKind task = request.task;
           std::vector<ServiceRequest> batch{request};
           submit(std::move(batch),
-                 [sink, measure_from, &outstanding, &done_mu, &done_cv](
+                 [sink, task, measure_from, &outstanding, &done_mu, &done_cv](
                      size_t, ServiceResponse response) {
                    RecordCompletion(
-                       sink, response,
+                       sink, task, response,
                        MicrosBetween(measure_from, ServeClock::now()));
                    if (outstanding.fetch_sub(1, std::memory_order_acq_rel) ==
                        1) {
@@ -190,9 +243,9 @@ LoadGenReport RunLoadGen(const LoadGenOptions& options,
           bool done = false;
           std::vector<ServiceRequest> batch{request};
           submit(std::move(batch),
-                 [&](size_t, ServiceResponse response) {
+                 [&, task = request.task](size_t, ServiceResponse response) {
                    RecordCompletion(
-                       sink, response,
+                       sink, task, response,
                        MicrosBetween(measure_from, ServeClock::now()));
                    {
                      std::lock_guard<std::mutex> lock(mu);
@@ -229,6 +282,11 @@ LoadGenReport RunLoadGen(const LoadGenOptions& options,
     std::lock_guard<std::mutex> lock(sink.mu);
     report.latency_us.Merge(sink.latency_us);
     report.server_ok_us.Merge(sink.server_ok_us);
+    for (uint8_t k = 0; k <= kMaxTaskKind; ++k) {
+      report.task_latency_us[k].Merge(sink.task_latency_us[k]);
+      report.task_completed[k] += sink.task_completed[k];
+      report.task_ok[k] += sink.task_ok[k];
+    }
     report.ok += sink.ok;
     report.rejected += sink.rejected;
     report.quota_rejected += sink.quota_rejected;

@@ -43,6 +43,15 @@ struct LoadGenOptions {
   uint16_t num_tenants = 1;
   /// Per-request deadline; 0 = none.
   uint32_t deadline_us = 0;
+  /// Per-task-kind mix weights, indexed by TaskKind (lookup, recommend,
+  /// classify, align). Normalised at run time over their sum; all-lookup
+  /// by default. The inference kinds only come back kOk when the target
+  /// server has an InferExecutor attached.
+  double mix[kMaxTaskKind + 1] = {1.0, 0.0, 0.0, 0.0};
+  /// User-id space for kRecommend requests (drawn uniformly).
+  uint32_t num_users = 60;
+  /// top_k carried on kClassify requests.
+  uint32_t top_k = 3;
   uint64_t seed = 42;
   double burst_factor = 4.0;
   double burst_period_s = 0.25;
@@ -72,6 +81,13 @@ struct LoadGenReport {
   /// End-to-end latency, µs, bucketed. Open loop: completion − intended
   /// send. Closed loop: completion − actual send.
   Histogram latency_us{HistogramMode::kBucketed};
+  /// The same latency split by TaskKind (all codes), plus per-kind
+  /// completion counts — the per-task tail picture for mixed workloads.
+  Histogram task_latency_us[kMaxTaskKind + 1] = {
+      Histogram{HistogramMode::kBucketed}, Histogram{HistogramMode::kBucketed},
+      Histogram{HistogramMode::kBucketed}, Histogram{HistogramMode::kBucketed}};
+  uint64_t task_completed[kMaxTaskKind + 1] = {};
+  uint64_t task_ok[kMaxTaskKind + 1] = {};
   /// Time kOk responses spent inside the server (queue + compute), µs —
   /// the portion the serving stack controls, excluding generator
   /// scheduling lateness that the end-to-end number honestly charges.

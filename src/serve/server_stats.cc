@@ -59,7 +59,10 @@ void ServerStats::RecordCompleted(ResponseCode code, double queue_micros,
     case ResponseCode::kOk: ++ok_; break;
     case ResponseCode::kDeadlineExceeded: ++deadline_exceeded_; break;
     case ResponseCode::kInvalidItem: ++invalid_item_; break;
-    case ResponseCode::kRejected: break;  // counted at admission, not here
+    // Admission-time rejections never reach a worker (Enqueue resolves them
+    // directly), so a kRejected here is a post-admission shed and must be
+    // counted or in_flight() drifts.
+    case ResponseCode::kRejected: ++exec_rejected_; break;
     case ResponseCode::kQuotaExceeded: break;  // counted at admission
     case ResponseCode::kNetworkError: break;  // client-side only
   }
@@ -83,7 +86,9 @@ void ServerStats::SetQuantiles(std::vector<double> quantiles) {
   for (size_t i = 0; i < quantiles.size(); ++i) {
     PKGM_CHECK_GT(quantiles[i], 0.0);
     PKGM_CHECK_LE(quantiles[i], 1.0);
-    if (i > 0) PKGM_CHECK_GT(quantiles[i], quantiles[i - 1]);
+    if (i > 0) {
+      PKGM_CHECK_GT(quantiles[i], quantiles[i - 1]);
+    }
   }
   quantiles_ = std::move(quantiles);
 }
@@ -112,9 +117,15 @@ std::string ServerStats::ToTable(uint64_t queue_depth, const CacheStats* cache,
   counters.AddRow({"responses ok", std::to_string(ok())});
   counters.AddRow({"deadline exceeded", std::to_string(deadline_exceeded())});
   counters.AddRow({"invalid item", std::to_string(invalid_item())});
+  counters.AddRow({"rejected at execute", std::to_string(exec_rejected())});
   counters.AddRow({"backend fetches", std::to_string(backend_fetches())});
   counters.AddRow({"coalesced requests", std::to_string(coalesced())});
   counters.AddRow({"queue depth (requests)", std::to_string(queue_depth)});
+  for (uint8_t t = 0; t <= kMaxTaskKind; ++t) {
+    const TaskKind task = static_cast<TaskKind>(t);
+    counters.AddRow({StrFormat("completed %s", TaskKindName(task)),
+                     std::to_string(task_completed(task))});
+  }
   if (cache != nullptr) {
     counters.AddSeparator();
     counters.AddRow({"cache hits", std::to_string(cache->hits)});
@@ -191,9 +202,17 @@ std::string ServerStats::StatsJson(uint64_t queue_depth,
   json += ",\"ok\":" + u64(ok());
   json += ",\"deadline_exceeded\":" + u64(deadline_exceeded());
   json += ",\"invalid_item\":" + u64(invalid_item());
+  json += ",\"exec_rejected\":" + u64(exec_rejected());
   json += ",\"backend_fetches\":" + u64(backend_fetches());
   json += ",\"coalesced\":" + u64(coalesced());
   json += ",\"queue_depth\":" + u64(queue_depth);
+  json += ",\"tasks\":{";
+  for (uint8_t t = 0; t <= kMaxTaskKind; ++t) {
+    const TaskKind task = static_cast<TaskKind>(t);
+    if (t > 0) json += ",";
+    json += StrFormat("\"%s\":", TaskKindName(task)) + u64(task_completed(task));
+  }
+  json += "}";
   if (cache != nullptr) {
     json += StrFormat(
         ",\"cache\":{\"hits\":%llu,\"misses\":%llu,\"hit_rate\":%.4f,"

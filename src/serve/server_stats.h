@@ -57,6 +57,11 @@ class ServerStats {
   /// One request reached a terminal state on a worker.
   void RecordCompleted(ResponseCode code, double queue_micros,
                        double compute_micros);
+  /// The completed request was of `task` kind (wire v3 mixes lookups with
+  /// inference requests; per-task counts make the mix visible in reports).
+  void RecordTaskCompleted(TaskKind task) {
+    ++task_completed_[static_cast<uint8_t>(task)];
+  }
   /// One condensed-vector compute hit the parameter backend (a cache miss
   /// that actually ran provider->Condensed). Coalesced joiners don't count.
   void RecordBackendFetch() { ++backend_fetches_; }
@@ -71,10 +76,17 @@ class ServerStats {
   uint64_t invalid_item() const { return invalid_item_.load(); }
   uint64_t backend_fetches() const { return backend_fetches_.load(); }
   uint64_t coalesced() const { return coalesced_.load(); }
+  /// Requests that passed admission but were shed on a worker (e.g. an
+  /// inference kind with no model published). Disjoint from rejected(),
+  /// which counts admission-time queue saturation.
+  uint64_t exec_rejected() const { return exec_rejected_.load(); }
+  uint64_t task_completed(TaskKind task) const {
+    return task_completed_[static_cast<uint8_t>(task)].load();
+  }
   /// Accepted requests that have not yet completed.
   uint64_t in_flight() const {
     return accepted_.load() - ok_.load() - deadline_exceeded_.load() -
-           invalid_item_.load();
+           invalid_item_.load() - exec_rejected_.load();
   }
 
   /// Snapshots of the stage histograms (copies, safe to interrogate).
@@ -118,6 +130,8 @@ class ServerStats {
   std::atomic<uint64_t> invalid_item_{0};
   std::atomic<uint64_t> backend_fetches_{0};
   std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> exec_rejected_{0};
+  std::atomic<uint64_t> task_completed_[kMaxTaskKind + 1] = {};
 
   std::vector<double> quantiles_{0.5, 0.95, 0.99, 0.999};
 

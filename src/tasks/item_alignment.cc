@@ -13,16 +13,10 @@
 
 namespace pkgm::tasks {
 
-namespace {
-
-/// Builds the pair input. Base: [CLS] a [SEP] b [SEP] with segments 0/1.
-/// PKGM variants additionally inject each side's service vectors right
-/// after that side's [SEP] (Fig. 5), shrinking the title budget so the
-/// whole input still fits max_len.
-text::EncodedInput EncodePair(const data::AlignmentPair& pair,
-                              const text::Tokenizer& tok,
-                              const core::ServiceVectorProvider* services,
-                              PkgmVariant variant, size_t max_len) {
+text::EncodedInput EncodeAlignmentPair(
+    const data::AlignmentPair& pair, const text::Tokenizer& tok,
+    const core::ServiceVectorProvider* services, PkgmVariant variant,
+    size_t max_len) {
   std::vector<uint32_t> ta = tok.Encode(pair.title_a);
   std::vector<uint32_t> tb = tok.Encode(pair.title_b);
   text::EncodedInput input;
@@ -74,8 +68,6 @@ text::EncodedInput EncodePair(const data::AlignmentPair& pair,
   return input;
 }
 
-}  // namespace
-
 ItemAlignmentTask::ItemAlignmentTask(const data::AlignmentDataset* dataset,
                                      const core::ServiceVectorProvider* services,
                                      const ItemAlignmentOptions& options)
@@ -83,11 +75,12 @@ ItemAlignmentTask::ItemAlignmentTask(const data::AlignmentDataset* dataset,
   PKGM_CHECK(dataset != nullptr);
 }
 
-AlignmentMetrics ItemAlignmentTask::Run(PkgmVariant variant) const {
+TrainedAligner ItemAlignmentTask::Train(PkgmVariant variant) const {
   PKGM_CHECK(variant == PkgmVariant::kBase || services_ != nullptr);
   Rng rng(options_.seed);
 
-  text::Tokenizer tok;
+  TrainedAligner trained;
+  text::Tokenizer& tok = trained.tokenizer;
   for (const auto& p : dataset_->train) {
     tok.CountCorpusLine(p.title_a);
     tok.CountCorpusLine(p.title_b);
@@ -103,7 +96,9 @@ AlignmentMetrics ItemAlignmentTask::Run(PkgmVariant variant) const {
   cfg.ff_dim = options_.bert_ff;
   cfg.max_len = options_.max_len;
   cfg.seed = options_.seed + 1;
-  text::TinyBert bert(cfg);
+  trained.config = cfg;
+  trained.bert = std::make_unique<text::TinyBert>(cfg);
+  text::TinyBert& bert = *trained.bert;
 
   if (options_.mlm_pretrain_epochs > 0) {
     std::vector<text::EncodedInput> corpus;
@@ -121,14 +116,14 @@ AlignmentMetrics ItemAlignmentTask::Run(PkgmVariant variant) const {
   }
 
   Rng head_rng(options_.seed + 3);
-  nn::Linear head(dim, 1, &head_rng, "align.head");
+  trained.head = std::make_unique<nn::Linear>(dim, 1, &head_rng, "align.head");
+  nn::Linear& head = *trained.head;
   std::vector<nn::Parameter*> params = bert.Params();
   head.Params(&params);
   nn::AdamOptimizer::Options adam;
   adam.lr = options_.learning_rate;
   nn::AdamOptimizer optimizer(params, adam);
 
-  AlignmentMetrics metrics;
   std::vector<size_t> order(dataset_->train.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
@@ -139,7 +134,7 @@ AlignmentMetrics ItemAlignmentTask::Run(PkgmVariant variant) const {
     for (size_t idx : order) {
       const auto& pair = dataset_->train[idx];
       text::EncodedInput input =
-          EncodePair(pair, tok, services_, variant, cfg.max_len);
+          EncodeAlignmentPair(pair, tok, services_, variant, cfg.max_len);
 
       Vec cls;
       bert.EncodeCls(input, &cls);
@@ -164,12 +159,24 @@ AlignmentMetrics ItemAlignmentTask::Run(PkgmVariant variant) const {
       }
     }
     if (since_step > 0) optimizer.Step();
-    metrics.train_loss = order.empty() ? 0.0 : loss_sum / order.size();
+    trained.train_loss = order.empty() ? 0.0 : loss_sum / order.size();
   }
+  return trained;
+}
+
+AlignmentMetrics ItemAlignmentTask::Run(PkgmVariant variant) const {
+  TrainedAligner trained = Train(variant);
+  text::TinyBert& bert = *trained.bert;
+  nn::Linear& head = *trained.head;
+  const text::Tokenizer& tok = trained.tokenizer;
+  const uint32_t dim = trained.config.dim;
+
+  AlignmentMetrics metrics;
+  metrics.train_loss = trained.train_loss;
 
   auto score = [&](const data::AlignmentPair& pair) {
-    text::EncodedInput input =
-        EncodePair(pair, tok, services_, variant, cfg.max_len);
+    text::EncodedInput input = EncodeAlignmentPair(
+        pair, tok, services_, variant, trained.config.max_len);
     Vec cls;
     bert.EncodeCls(input, &cls);
     Mat cls_mat(1, dim);

@@ -3,12 +3,37 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 
 #include "core/service.h"
 #include "data/alignment_dataset.h"
+#include "nn/linear.h"
 #include "tasks/variant.h"
+#include "text/tiny_bert.h"
+#include "text/tokenizer.h"
 
 namespace pkgm::tasks {
+
+/// Builds the pair input. Base: [CLS] a [SEP] b [SEP] with segments 0/1.
+/// PKGM variants additionally inject each side's service vectors right
+/// after that side's [SEP] (Fig. 5), shrinking the title budget so the
+/// whole input still fits max_len. Shared by offline evaluation and online
+/// serving, so the two paths construct bit-identical encoder inputs.
+text::EncodedInput EncodeAlignmentPair(
+    const data::AlignmentPair& pair, const text::Tokenizer& tok,
+    const core::ServiceVectorProvider* services, PkgmVariant variant,
+    size_t max_len);
+
+/// A trained pair scorer ready for serving: tokenizer + pair encoder +
+/// 1-logit head (score > 0 means "same product"). TinyBert caches
+/// per-sequence activations, so concurrent callers must serialize on it.
+struct TrainedAligner {
+  text::TinyBertConfig config;
+  text::Tokenizer tokenizer;
+  std::unique_ptr<text::TinyBert> bert;
+  std::unique_ptr<nn::Linear> head;
+  double train_loss = 0.0;
+};
 
 /// Metrics for Tables VI (Hit@k over 100 candidates) and VII (accuracy).
 struct AlignmentMetrics {
@@ -42,6 +67,10 @@ class ItemAlignmentTask {
 
   /// Trains a fresh pair model for the variant and evaluates it.
   AlignmentMetrics Run(PkgmVariant variant) const;
+
+  /// Trains the same pair model Run() would (identical seeds and
+  /// arithmetic) and returns it for serving instead of evaluating.
+  TrainedAligner Train(PkgmVariant variant) const;
 
  private:
   const data::AlignmentDataset* dataset_;

@@ -11,16 +11,10 @@
 
 namespace pkgm::tasks {
 
-namespace {
-
-/// Builds the encoder input for one sample. Base: [CLS] title [SEP].
-/// PKGM variants: the title is truncated so that the k (or 2k) service
-/// vectors fit inside max_len, then the vectors are injected after [SEP] —
-/// the paper's "replace the last k title embeddings with service vectors".
-text::EncodedInput EncodeSample(const data::ClassificationSample& sample,
-                                const text::Tokenizer& tok,
-                                const core::ServiceVectorProvider* services,
-                                PkgmVariant variant, size_t max_len) {
+text::EncodedInput EncodeClassificationSample(
+    const data::ClassificationSample& sample, const text::Tokenizer& tok,
+    const core::ServiceVectorProvider* services, PkgmVariant variant,
+    size_t max_len) {
   std::vector<uint32_t> tokens = tok.Encode(sample.title);
   text::EncodedInput input;
 
@@ -45,6 +39,8 @@ text::EncodedInput EncodeSample(const data::ClassificationSample& sample,
   input.valid_len += n_vec;
   return input;
 }
+
+namespace {
 
 /// 1-based rank of `label` in `logits` (higher logit = better), mean of
 /// optimistic/pessimistic over ties.
@@ -72,12 +68,15 @@ ItemClassificationTask::ItemClassificationTask(
   PKGM_CHECK(dataset != nullptr);
 }
 
-ClassificationMetrics ItemClassificationTask::Run(PkgmVariant variant) const {
+TrainedClassifier ItemClassificationTask::Train(PkgmVariant variant) const {
   PKGM_CHECK(variant == PkgmVariant::kBase || services_ != nullptr);
   Rng rng(options_.seed);
 
+  TrainedClassifier trained;
+  trained.num_classes = dataset_->num_classes;
+
   // Tokenizer vocabulary from the training titles.
-  text::Tokenizer tok;
+  text::Tokenizer& tok = trained.tokenizer;
   for (const auto& s : dataset_->train) tok.CountCorpusLine(s.title);
   tok.BuildVocab(1);
 
@@ -90,7 +89,9 @@ ClassificationMetrics ItemClassificationTask::Run(PkgmVariant variant) const {
   cfg.ff_dim = options_.bert_ff;
   cfg.max_len = options_.max_len;
   cfg.seed = options_.seed + 1;
-  text::TinyBert bert(cfg);
+  trained.config = cfg;
+  trained.bert = std::make_unique<text::TinyBert>(cfg);
+  text::TinyBert& bert = *trained.bert;
 
   // "Pre-trained language model": MLM on the training titles.
   if (options_.mlm_pretrain_epochs > 0) {
@@ -110,7 +111,9 @@ ClassificationMetrics ItemClassificationTask::Run(PkgmVariant variant) const {
 
   // Classifier head over [CLS] (Eq. 10).
   Rng head_rng(options_.seed + 3);
-  nn::Linear head(dim, dataset_->num_classes, &head_rng, "cls.head");
+  trained.head = std::make_unique<nn::Linear>(dim, dataset_->num_classes,
+                                              &head_rng, "cls.head");
+  nn::Linear& head = *trained.head;
   std::vector<nn::Parameter*> params = bert.Params();
   head.Params(&params);
   nn::AdamOptimizer::Options adam;
@@ -118,7 +121,6 @@ ClassificationMetrics ItemClassificationTask::Run(PkgmVariant variant) const {
   nn::AdamOptimizer optimizer(params, adam);
 
   // Fine-tune.
-  ClassificationMetrics metrics;
   std::vector<size_t> order(dataset_->train.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
@@ -128,8 +130,8 @@ ClassificationMetrics ItemClassificationTask::Run(PkgmVariant variant) const {
     uint32_t since_step = 0;
     for (size_t idx : order) {
       const auto& sample = dataset_->train[idx];
-      text::EncodedInput input =
-          EncodeSample(sample, tok, services_, variant, cfg.max_len);
+      text::EncodedInput input = EncodeClassificationSample(
+          sample, tok, services_, variant, cfg.max_len);
 
       Vec cls;
       bert.EncodeCls(input, &cls);
@@ -153,13 +155,25 @@ ClassificationMetrics ItemClassificationTask::Run(PkgmVariant variant) const {
       }
     }
     if (since_step > 0) optimizer.Step();
-    metrics.train_loss = order.empty() ? 0.0 : loss_sum / order.size();
+    trained.train_loss = order.empty() ? 0.0 : loss_sum / order.size();
   }
+  return trained;
+}
+
+ClassificationMetrics ItemClassificationTask::Run(PkgmVariant variant) const {
+  TrainedClassifier trained = Train(variant);
+  text::TinyBert& bert = *trained.bert;
+  nn::Linear& head = *trained.head;
+  const text::Tokenizer& tok = trained.tokenizer;
+  const uint32_t dim = trained.config.dim;
+
+  ClassificationMetrics metrics;
+  metrics.train_loss = trained.train_loss;
 
   // Evaluation helper: class logits for one sample.
   auto predict = [&](const data::ClassificationSample& sample) {
-    text::EncodedInput input =
-        EncodeSample(sample, tok, services_, variant, cfg.max_len);
+    text::EncodedInput input = EncodeClassificationSample(
+        sample, tok, services_, variant, trained.config.max_len);
     Vec cls;
     bert.EncodeCls(input, &cls);
     Mat cls_mat(1, dim);

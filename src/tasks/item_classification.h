@@ -3,14 +3,39 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 
 #include "core/service.h"
 #include "data/classification_dataset.h"
+#include "nn/linear.h"
 #include "tasks/variant.h"
 #include "text/tiny_bert.h"
 #include "text/tokenizer.h"
 
 namespace pkgm::tasks {
+
+/// Builds the encoder input for one sample. Base: [CLS] title [SEP].
+/// PKGM variants: the title is truncated so that the k (or 2k) service
+/// vectors fit inside max_len, then the vectors are injected after [SEP] —
+/// the paper's "replace the last k title embeddings with service vectors"
+/// (Fig. 4). Shared by offline evaluation and online serving, so the two
+/// paths construct bit-identical encoder inputs.
+text::EncodedInput EncodeClassificationSample(
+    const data::ClassificationSample& sample, const text::Tokenizer& tok,
+    const core::ServiceVectorProvider* services, PkgmVariant variant,
+    size_t max_len);
+
+/// A trained title classifier ready for serving: tokenizer + encoder +
+/// [CLS] head. TinyBert caches per-sequence activations, so concurrent
+/// callers must serialize on it.
+struct TrainedClassifier {
+  text::TinyBertConfig config;
+  text::Tokenizer tokenizer;
+  std::unique_ptr<text::TinyBert> bert;
+  std::unique_ptr<nn::Linear> head;
+  uint32_t num_classes = 0;
+  double train_loss = 0.0;
+};
 
 /// Metrics reported in Table IV: Hit@k over the class ranking plus
 /// prediction accuracy (AC, computed on the dev split as in the paper).
@@ -52,6 +77,10 @@ class ItemClassificationTask {
   /// Trains a fresh TinyBert + classifier for the variant and returns its
   /// metrics. Deterministic given options.seed.
   ClassificationMetrics Run(PkgmVariant variant) const;
+
+  /// Trains the same classifier Run() would (identical seeds and
+  /// arithmetic) and returns it for serving instead of evaluating.
+  TrainedClassifier Train(PkgmVariant variant) const;
 
  private:
   const data::ClassificationDataset* dataset_;

@@ -8,6 +8,23 @@
 
 namespace pkgm::tasks {
 
+namespace {
+
+/// Per-user full interaction sets (train + valid + test) so negative
+/// sampling never draws an observed item.
+std::vector<std::unordered_set<uint32_t>> BuildObserved(
+    const data::InteractionDataset& dataset) {
+  std::vector<std::unordered_set<uint32_t>> observed(dataset.num_users);
+  for (uint32_t u = 0; u < dataset.num_users; ++u) {
+    for (uint32_t i : dataset.train[u]) observed[u].insert(i);
+    observed[u].insert(dataset.valid[u]);
+    observed[u].insert(dataset.test[u]);
+  }
+  return observed;
+}
+
+}  // namespace
+
 RecommendationTask::RecommendationTask(
     const data::InteractionDataset* dataset,
     const core::ServiceVectorProvider* services,
@@ -16,26 +33,29 @@ RecommendationTask::RecommendationTask(
   PKGM_CHECK(dataset != nullptr);
 }
 
-RecommendationMetrics RecommendationTask::Run(PkgmVariant variant) const {
+TrainedRecommender RecommendationTask::Train(PkgmVariant variant) const {
   PKGM_CHECK(variant == PkgmVariant::kBase || services_ != nullptr);
   Rng rng(options_.seed);
 
   const uint32_t num_users = dataset_->num_users;
   const uint32_t num_items = dataset_->num_items;
 
+  TrainedRecommender trained;
+
   // Precompute per-item condensed PKGM features (Eq. 20) — fixed inputs.
   uint32_t pkgm_dim = 0;
-  Mat item_features;
   if (variant != PkgmVariant::kBase) {
     const core::ServiceMode mode = VariantServiceMode(variant);
     pkgm_dim = services_->CondensedDim(mode);
-    item_features = Mat(num_items, pkgm_dim);
+    trained.item_features = Mat(num_items, pkgm_dim);
     for (uint32_t i = 0; i < num_items; ++i) {
       Vec s = services_->Condensed(i, mode);
-      float* dst = item_features.Row(i);
+      float* dst = trained.item_features.Row(i);
       for (uint32_t j = 0; j < pkgm_dim; ++j) dst[j] = s[j];
     }
   }
+  trained.pkgm_dim = pkgm_dim;
+  const Mat& item_features = trained.item_features;
 
   rec::NcfConfig cfg;
   cfg.num_users = num_users;
@@ -46,23 +66,18 @@ RecommendationMetrics RecommendationTask::Run(PkgmVariant variant) const {
   cfg.pkgm_dim = pkgm_dim;
   cfg.embedding_l2 = options_.embedding_l2;
   cfg.seed = options_.seed + 1;
-  rec::NcfModel model(cfg);
+  trained.config = cfg;
+  trained.model = std::make_unique<rec::NcfModel>(cfg);
+  rec::NcfModel& model = *trained.model;
 
   nn::AdamOptimizer::Options adam;
   adam.lr = options_.learning_rate;
   nn::AdamOptimizer optimizer(model.Params(), adam);
 
-  // Per-user full interaction sets (train + valid + test) so negative
-  // sampling never draws an observed item.
-  std::vector<std::unordered_set<uint32_t>> observed(num_users);
+  std::vector<std::unordered_set<uint32_t>> observed = BuildObserved(*dataset_);
   std::vector<std::pair<uint32_t, uint32_t>> positives;
   for (uint32_t u = 0; u < num_users; ++u) {
-    for (uint32_t i : dataset_->train[u]) {
-      observed[u].insert(i);
-      positives.emplace_back(u, i);
-    }
-    observed[u].insert(dataset_->valid[u]);
-    observed[u].insert(dataset_->test[u]);
+    for (uint32_t i : dataset_->train[u]) positives.emplace_back(u, i);
   }
 
   auto sample_negative = [&](uint32_t user) {
@@ -72,7 +87,6 @@ RecommendationMetrics RecommendationTask::Run(PkgmVariant variant) const {
     }
   };
 
-  RecommendationMetrics metrics;
   std::vector<uint32_t> batch_users, batch_items;
   std::vector<float> batch_labels;
 
@@ -118,8 +132,24 @@ RecommendationMetrics RecommendationTask::Run(PkgmVariant variant) const {
       optimizer.Step();
       ++batches;
     }
-    metrics.train_loss = batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
+    trained.train_loss =
+        batches > 0 ? loss_sum / static_cast<double>(batches) : 0.0;
   }
+  return trained;
+}
+
+RecommendationMetrics RecommendationTask::Run(PkgmVariant variant) const {
+  TrainedRecommender trained = Train(variant);
+  rec::NcfModel& model = *trained.model;
+  const Mat& item_features = trained.item_features;
+  const uint32_t pkgm_dim = trained.pkgm_dim;
+  const uint32_t num_users = dataset_->num_users;
+  const uint32_t num_items = dataset_->num_items;
+  const std::vector<std::unordered_set<uint32_t>> observed =
+      BuildObserved(*dataset_);
+
+  RecommendationMetrics metrics;
+  metrics.train_loss = trained.train_loss;
 
   // Leave-one-out evaluation (paper §III-D4): the held-out item is ranked
   // against eval_negatives unobserved items.

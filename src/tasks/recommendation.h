@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "core/service.h"
@@ -11,6 +12,18 @@
 #include "tasks/variant.h"
 
 namespace pkgm::tasks {
+
+/// A trained NCF ready for serving. The model's Forward caches per-batch
+/// activations, so concurrent callers must serialize on it. `item_features`
+/// (row = item index) holds the condensed PKGM vectors the model was
+/// trained against; empty when pkgm_dim == 0 (kBase variant).
+struct TrainedRecommender {
+  rec::NcfConfig config;
+  std::unique_ptr<rec::NcfModel> model;
+  Mat item_features;
+  uint32_t pkgm_dim = 0;
+  double train_loss = 0.0;
+};
 
 /// Metrics for Table VIII: HR@k and NDCG@k, k in {1, 3, 5, 10, 30}.
 struct RecommendationMetrics {
@@ -46,6 +59,10 @@ class RecommendationTask {
 
   /// Trains a fresh NCF for the variant and evaluates leave-one-out.
   RecommendationMetrics Run(PkgmVariant variant) const;
+
+  /// Trains the same NCF Run() would (identical seeds and arithmetic) and
+  /// returns it for serving instead of evaluating.
+  TrainedRecommender Train(PkgmVariant variant) const;
 
  private:
   const data::InteractionDataset* dataset_;

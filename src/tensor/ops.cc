@@ -137,18 +137,12 @@ void GemmAbt(const Mat& a, const Mat& b, Mat* c) {
   }
 }
 
-void SoftmaxInplace(size_t n, float* x) {
-  if (n == 0) return;
-  float mx = x[0];
-  for (size_t i = 1; i < n; ++i) mx = std::max(mx, x[i]);
-  float sum = 0.0f;
-  for (size_t i = 0; i < n; ++i) {
-    x[i] = std::exp(x[i] - mx);
-    sum += x[i];
-  }
-  const float inv = 1.0f / sum;
-  for (size_t i = 0; i < n; ++i) x[i] *= inv;
+void GemmBiasRaw(size_t m, size_t k, size_t n, const float* a, const float* b,
+                 const float* bias, float* c) {
+  simd::Active().gemm_bias(m, k, n, a, b, bias, c);
 }
+
+void SoftmaxInplace(size_t n, float* x) { simd::Active().softmax(n, x); }
 
 float LogSumExp(size_t n, const float* x) {
   PKGM_CHECK_GT(n, 0u);

@@ -87,6 +87,14 @@ void Ger(Mat* a, float alpha, const float* x, const float* y);
 /// C = A B              (A: m x k, B: k x n, C: m x n). C is overwritten.
 void Gemm(const Mat& a, const Mat& b, Mat* c);
 
+/// C = A B + broadcast bias (raw row-major spans; bias length n, nullptr =
+/// none). Fused linear-layer forward on the dispatched `gemm_bias` kernel;
+/// within one kernel table this is bit-identical to Gemm followed by a
+/// per-row bias Axpy, and rows are independent so batched and single-row
+/// calls agree bit-for-bit.
+void GemmBiasRaw(size_t m, size_t k, size_t n, const float* a, const float* b,
+                 const float* bias, float* c);
+
 /// C += A^T B           (A: k x m, B: k x n, C: m x n).
 void GemmAtbAccum(const Mat& a, const Mat& b, Mat* c);
 

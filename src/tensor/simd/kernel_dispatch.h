@@ -71,6 +71,21 @@ struct KernelTable {
   void (*adam_row)(size_t n, const float* g, float gscale, float beta1,
                    float beta2, float alpha, float eps, float* row, float* m,
                    float* v);
+  /// Fused linear-layer forward C = A B + broadcast bias (A: m x k, B:
+  /// k x n, C: m x n, all row-major; bias has length n, nullptr = none).
+  /// Within a table, row i equals zeroing C_row_i, accumulating
+  /// axpy(n, A(i,p), B_row_p, C_row_i) for p = 0..k-1 in order, then
+  /// axpy(n, 1, bias, C_row_i) — exactly the Gemm-then-bias composition
+  /// nn::Linear::Forward performs, so fusing it is bit-identical. Rows are
+  /// independent, so batched and single-row forwards agree bit-for-bit.
+  void (*gemm_bias)(size_t m, size_t k, size_t n, const float* a,
+                    const float* b, const float* bias, float* c);
+  /// Numerically stable in-place softmax over x[0..n). The max is an
+  /// order-independent reduction, exp is scalar std::exp element by
+  /// element, and the normalizing sum is accumulated left-to-right in
+  /// every table — so all tables agree with the scalar reference
+  /// bit-for-bit (unlike the reassociating sum reductions above).
+  void (*softmax)(size_t n, float* x);
 };
 
 /// The always-available portable reference kernels.

@@ -13,6 +13,7 @@
 
 #include <immintrin.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 
@@ -273,6 +274,50 @@ void Avx2AdamRow(size_t n, const float* g, float gscale, float beta1,
   }
 }
 
+void Avx2GemmBias(size_t m, size_t k, size_t n, const float* a,
+                  const float* b, const float* bias, float* c) {
+  for (size_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    size_t j = 0;
+    for (; j + 8 <= n; j += 8) _mm256_storeu_ps(crow + j, _mm256_setzero_ps());
+    for (; j < n; ++j) crow[j] = 0.0f;
+    const float* arow = a + i * k;
+    for (size_t p = 0; p < k; ++p) Avx2Axpy(n, arow[p], b + p * n, crow);
+    if (bias != nullptr) Avx2Axpy(n, 1.0f, bias, crow);
+  }
+}
+
+// exp stays scalar (std::exp element by element) and the normalizing sum
+// is accumulated left-to-right, so every table matches the scalar
+// reference bit-for-bit (the dispatch-header contract); the max reduction
+// and final scale are vectorized — both are order-insensitive.
+void Avx2Softmax(size_t n, float* x) {
+  if (n == 0) return;
+  size_t i = 0;
+  float mx = x[0];
+  if (n >= 8) {
+    __m256 vmax = _mm256_loadu_ps(x);
+    for (i = 8; i + 8 <= n; i += 8) {
+      vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(x + i));
+    }
+    __m128 lo = _mm256_castps256_ps128(vmax);
+    __m128 hi = _mm256_extractf128_ps(vmax, 1);
+    __m128 s = _mm_max_ps(lo, hi);
+    s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 1));
+    mx = _mm_cvtss_f32(s);
+  } else {
+    i = 1;
+  }
+  for (; i < n; ++i) mx = std::max(mx, x[i]);
+  float sum = 0.0f;
+  for (size_t j = 0; j < n; ++j) {
+    x[j] = std::exp(x[j] - mx);
+    sum += x[j];
+  }
+  Avx2Scale(n, 1.0f / sum, x);
+}
+
 }  // namespace
 
 extern const KernelTable kAvx2Table = {
@@ -281,7 +326,8 @@ extern const KernelTable kAvx2Table = {
     Avx2Hadamard,     Avx2L1Norm,        Avx2SquaredL2Norm,
     Avx2SignOf,       Avx2L1Distance,    Avx2L1DistanceBatch,
     Avx2GemvRaw,      Avx2Residual,      Avx2GemvT,
-    Avx2Ger,          Avx2AdamRow,
+    Avx2Ger,          Avx2AdamRow,       Avx2GemmBias,
+    Avx2Softmax,
 };
 
 }  // namespace internal

@@ -9,6 +9,7 @@
 
 #include <immintrin.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 
@@ -310,6 +311,45 @@ void Avx512AdamRow(size_t n, const float* g, float gscale, float beta1,
   }
 }
 
+void Avx512GemmBias(size_t m, size_t k, size_t n, const float* a,
+                    const float* b, const float* bias, float* c) {
+  for (size_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    size_t j = 0;
+    for (; j + 16 <= n; j += 16) _mm512_storeu_ps(crow + j, _mm512_setzero_ps());
+    for (; j < n; ++j) crow[j] = 0.0f;
+    const float* arow = a + i * k;
+    for (size_t p = 0; p < k; ++p) Avx512Axpy(n, arow[p], b + p * n, crow);
+    if (bias != nullptr) Avx512Axpy(n, 1.0f, bias, crow);
+  }
+}
+
+// exp stays scalar (std::exp element by element) and the normalizing sum
+// is accumulated left-to-right, so every table matches the scalar
+// reference bit-for-bit (the dispatch-header contract); the max reduction
+// and final scale are vectorized — both are order-insensitive.
+void Avx512Softmax(size_t n, float* x) {
+  if (n == 0) return;
+  size_t i = 0;
+  float mx = x[0];
+  if (n >= 16) {
+    __m512 vmax = _mm512_loadu_ps(x);
+    for (i = 16; i + 16 <= n; i += 16) {
+      vmax = _mm512_max_ps(vmax, _mm512_loadu_ps(x + i));
+    }
+    mx = _mm512_reduce_max_ps(vmax);
+  } else {
+    i = 1;
+  }
+  for (; i < n; ++i) mx = std::max(mx, x[i]);
+  float sum = 0.0f;
+  for (size_t j = 0; j < n; ++j) {
+    x[j] = std::exp(x[j] - mx);
+    sum += x[j];
+  }
+  Avx512Scale(n, 1.0f / sum, x);
+}
+
 }  // namespace
 
 extern const KernelTable kAvx512Table = {
@@ -318,7 +358,8 @@ extern const KernelTable kAvx512Table = {
     Avx512Hadamard,     Avx512L1Norm,        Avx512SquaredL2Norm,
     Avx512SignOf,       Avx512L1Distance,    Avx512L1DistanceBatch,
     Avx512GemvRaw,      Avx512Residual,      Avx512GemvT,
-    Avx512Ger,          Avx512AdamRow,
+    Avx512Ger,          Avx512AdamRow,       Avx512GemmBias,
+    Avx512Softmax,
 };
 
 }  // namespace internal

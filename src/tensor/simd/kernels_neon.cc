@@ -9,6 +9,7 @@
 
 #include <arm_neon.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 
@@ -234,6 +235,45 @@ void NeonAdamRow(size_t n, const float* g, float gscale, float beta1,
   }
 }
 
+void NeonGemmBias(size_t m, size_t k, size_t n, const float* a,
+                  const float* b, const float* bias, float* c) {
+  for (size_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    size_t j = 0;
+    for (; j + 4 <= n; j += 4) vst1q_f32(crow + j, vdupq_n_f32(0.0f));
+    for (; j < n; ++j) crow[j] = 0.0f;
+    const float* arow = a + i * k;
+    for (size_t p = 0; p < k; ++p) NeonAxpy(n, arow[p], b + p * n, crow);
+    if (bias != nullptr) NeonAxpy(n, 1.0f, bias, crow);
+  }
+}
+
+// exp stays scalar (std::exp element by element) and the normalizing sum
+// is accumulated left-to-right, so every table matches the scalar
+// reference bit-for-bit (the dispatch-header contract); the max reduction
+// and final scale are vectorized — both are order-insensitive.
+void NeonSoftmax(size_t n, float* x) {
+  if (n == 0) return;
+  size_t i = 0;
+  float mx = x[0];
+  if (n >= 4) {
+    float32x4_t vmax = vld1q_f32(x);
+    for (i = 4; i + 4 <= n; i += 4) {
+      vmax = vmaxq_f32(vmax, vld1q_f32(x + i));
+    }
+    mx = vmaxvq_f32(vmax);
+  } else {
+    i = 1;
+  }
+  for (; i < n; ++i) mx = std::max(mx, x[i]);
+  float sum = 0.0f;
+  for (size_t j = 0; j < n; ++j) {
+    x[j] = std::exp(x[j] - mx);
+    sum += x[j];
+  }
+  NeonScale(n, 1.0f / sum, x);
+}
+
 }  // namespace
 
 extern const KernelTable kNeonTable = {
@@ -242,7 +282,8 @@ extern const KernelTable kNeonTable = {
     NeonHadamard,     NeonL1Norm,        NeonSquaredL2Norm,
     NeonSignOf,       NeonL1Distance,    NeonL1DistanceBatch,
     NeonGemvRaw,      NeonResidual,      NeonGemvT,
-    NeonGer,          NeonAdamRow,
+    NeonGer,          NeonAdamRow,       NeonGemmBias,
+    NeonSoftmax,
 };
 
 }  // namespace internal

@@ -2,6 +2,7 @@
 // as the always-correct fallback every vector ISA is parity-tested
 // against (tests/simd_kernels_test.cc).
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 
@@ -102,6 +103,30 @@ void ScalarAdamRow(size_t n, const float* g, float gscale, float beta1,
   }
 }
 
+void ScalarGemmBias(size_t m, size_t k, size_t n, const float* a,
+                    const float* b, const float* bias, float* c) {
+  for (size_t i = 0; i < m; ++i) {
+    float* crow = c + i * n;
+    for (size_t j = 0; j < n; ++j) crow[j] = 0.0f;
+    const float* arow = a + i * k;
+    for (size_t p = 0; p < k; ++p) ScalarAxpy(n, arow[p], b + p * n, crow);
+    if (bias != nullptr) ScalarAxpy(n, 1.0f, bias, crow);
+  }
+}
+
+void ScalarSoftmax(size_t n, float* x) {
+  if (n == 0) return;
+  float mx = x[0];
+  for (size_t i = 1; i < n; ++i) mx = std::max(mx, x[i]);
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = std::exp(x[i] - mx);
+    sum += x[i];
+  }
+  const float inv = 1.0f / sum;
+  for (size_t i = 0; i < n; ++i) x[i] *= inv;
+}
+
 }  // namespace
 
 const KernelTable& ScalarKernels() {
@@ -111,7 +136,8 @@ const KernelTable& ScalarKernels() {
       ScalarHadamard,     ScalarL1Norm,        ScalarSquaredL2Norm,
       ScalarSignOf,       ScalarL1Distance,    ScalarL1DistanceBatch,
       ScalarGemvRaw,      ScalarResidual,      ScalarGemvT,
-      ScalarGer,          ScalarAdamRow,
+      ScalarGer,          ScalarAdamRow,       ScalarGemmBias,
+      ScalarSoftmax,
   };
   return table;
 }

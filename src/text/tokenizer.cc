@@ -37,6 +37,16 @@ void Tokenizer::BuildVocab(uint32_t min_count) {
   built_ = true;
 }
 
+void Tokenizer::LoadVocab(std::vector<std::string> names) {
+  PKGM_CHECK(!built_);
+  PKGM_CHECK_GE(names.size(), static_cast<size_t>(kNumSpecialTokens));
+  names_ = std::move(names);
+  ids_.clear();
+  for (uint32_t i = 0; i < names_.size(); ++i) ids_[names_[i]] = i;
+  freq_.clear();
+  built_ = true;
+}
+
 std::vector<uint32_t> Tokenizer::Encode(std::string_view text) const {
   PKGM_CHECK(built_) << "call BuildVocab first";
   std::vector<uint32_t> out;

@@ -31,6 +31,15 @@ class Tokenizer {
   /// (after the 5 special tokens), most-frequent first.
   void BuildVocab(uint32_t min_count = 1);
 
+  /// Restores a vocabulary previously captured via names() — the full
+  /// ordered token list including the 5 special tokens at ids 0..4. Used by
+  /// the .pkgi model loader so a deserialized tokenizer encodes exactly
+  /// like the one it was saved from.
+  void LoadVocab(std::vector<std::string> names);
+
+  /// The ordered token list (id -> name), specials first. Valid once built.
+  const std::vector<std::string>& names() const { return names_; }
+
   /// Token ids for `text`; unknown words map to [UNK]. Vocab must be built.
   std::vector<uint32_t> Encode(std::string_view text) const;
 

@@ -266,6 +266,92 @@ TEST(SimdTrainingKernelsTest, GerMatchesPerRowAxpyExactly) {
   }
 }
 
+TEST(SimdInferenceKernelsTest, GemmBiasMatchesGemmThenBiasCompositionExactly) {
+  // The fused linear forward: within a table, row i must equal "zero the
+  // row, axpy each B row scaled by A(i,p) in p order, then axpy the bias"
+  // — exactly the composition nn::Linear::Forward used before the fusion,
+  // so rewiring Linear onto gemm_bias changes no bits.
+  std::vector<const KernelTable*> tables = AvailableVectorTables();
+  tables.push_back(&ScalarKernels());
+  for (const KernelTable* table : tables) {
+    SCOPED_TRACE(std::string("isa=") + KernelIsaName(table->isa));
+    for (size_t n = 1; n <= kMaxLen; n += 5) {
+      const size_t m = 4, k = 6;
+      Misaligned a(m * k, 1, 61 * n), b(k * n, 1, 67 * n), bias(n, 1, 71 * n);
+      std::vector<float> got(m * n), want(m * n, 0.0f);
+      table->gemm_bias(m, k, n, a.ptr, b.ptr, bias.ptr, got.data());
+      for (size_t i = 0; i < m; ++i) {
+        for (size_t p = 0; p < k; ++p) {
+          table->axpy(n, a.ptr[i * k + p], b.ptr + p * n, want.data() + i * n);
+        }
+        table->axpy(n, 1.0f, bias.ptr, want.data() + i * n);
+      }
+      EXPECT_EQ(0, std::memcmp(got.data(), want.data(), m * n * sizeof(float)))
+          << "n=" << n;
+      // nullptr bias = plain C = A B.
+      std::vector<float> no_bias(m * n), want_nb(m * n, 0.0f);
+      table->gemm_bias(m, k, n, a.ptr, b.ptr, nullptr, no_bias.data());
+      for (size_t i = 0; i < m; ++i) {
+        for (size_t p = 0; p < k; ++p) {
+          table->axpy(n, a.ptr[i * k + p], b.ptr + p * n,
+                      want_nb.data() + i * n);
+        }
+      }
+      EXPECT_EQ(0, std::memcmp(no_bias.data(), want_nb.data(),
+                               m * n * sizeof(float)))
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(SimdInferenceKernelsTest, GemmBiasBatchRowsMatchSingleRowCallsExactly) {
+  // Batch invariance: row i of an m-row forward must equal a 1-row forward
+  // of that row alone — the property the serving-vs-offline inference
+  // parity tests lean on.
+  std::vector<const KernelTable*> tables = AvailableVectorTables();
+  tables.push_back(&ScalarKernels());
+  for (const KernelTable* table : tables) {
+    SCOPED_TRACE(std::string("isa=") + KernelIsaName(table->isa));
+    const size_t m = 5, k = 7, n = 19;
+    Misaligned a(m * k, 1, 73), b(k * n, 1, 79), bias(n, 1, 83);
+    std::vector<float> batch(m * n), single(n);
+    table->gemm_bias(m, k, n, a.ptr, b.ptr, bias.ptr, batch.data());
+    for (size_t i = 0; i < m; ++i) {
+      table->gemm_bias(1, k, n, a.ptr + i * k, b.ptr, bias.ptr, single.data());
+      EXPECT_EQ(0, std::memcmp(batch.data() + i * n, single.data(),
+                               n * sizeof(float)))
+          << "row=" << i;
+    }
+  }
+}
+
+TEST(SimdInferenceKernelsTest, SoftmaxMatchesScalarBitForBit) {
+  // softmax keeps exp scalar and the normalizing sum left-to-right in
+  // every table, so unlike the reassociating reductions it must match the
+  // scalar reference bit-for-bit (the probabilities go out on the wire).
+  const KernelTable& ref = ScalarKernels();
+  for (const KernelTable* table : AvailableVectorTables()) {
+    SCOPED_TRACE(std::string("isa=") + KernelIsaName(table->isa));
+    for (size_t offset = 0; offset <= 3; ++offset) {
+      for (size_t n = 1; n <= kMaxLen; ++n) {
+        Misaligned x(n, offset, 800 + n);
+        std::vector<float> got(x.ptr, x.ptr + n), want(x.ptr, x.ptr + n);
+        table->softmax(n, got.data());
+        ref.softmax(n, want.data());
+        EXPECT_EQ(0, std::memcmp(got.data(), want.data(), n * sizeof(float)))
+            << "offset=" << offset << " n=" << n;
+        // Sanity: a probability distribution.
+        float sum = 0.0f;
+        for (float p : got) {
+          EXPECT_GE(p, 0.0f);
+          sum += p;
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-4f);
+      }
+    }
+  }
+}
+
 TEST(SimdDispatchTest, ScalarAlwaysAvailableAndDetectionConsistent) {
   EXPECT_EQ(ScalarKernels().isa, KernelIsa::kScalar);
   const KernelIsa best = DetectBestIsa();

@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -616,6 +617,270 @@ TEST(DistWireTest, V1HeaderCutOff) {
   std::string error;
   EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Result::kError);
   EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+// ------------------------------------------ inference frames (v3) --------
+
+std::vector<ServiceRequest> SampleInferRequests(serve::TaskKind task) {
+  std::vector<ServiceRequest> requests;
+  ServiceRequest a;
+  a.task = task;
+  a.user = 11;
+  a.item = 7;
+  a.item_b = 3;
+  a.top_k = 5;
+  a.mode = core::ServiceMode::kAll;
+  a.tenant = 2;
+  requests.push_back(a);
+  ServiceRequest b;
+  b.task = task;
+  b.user = 0xfeedface;
+  b.item = 0xdeadbeef;
+  b.item_b = 0xcafef00d;
+  b.top_k = 1;
+  b.mode = core::ServiceMode::kTripleOnly;
+  b.deadline = ServeClock::now() + std::chrono::milliseconds(50);
+  requests.push_back(b);
+  return requests;
+}
+
+TEST(InferWireTest, RecommendRoundTrip) {
+  const auto now = ServeClock::now();
+  const auto requests = SampleInferRequests(serve::TaskKind::kRecommend);
+  const Frame frame = MustDecode(EncodeRecommend(99, requests, now));
+  EXPECT_EQ(frame.type, FrameType::kRecommend);
+  EXPECT_EQ(frame.correlation_id, 99u);
+  std::vector<ServiceRequest> decoded;
+  ASSERT_TRUE(DecodeRecommend(frame.payload, now, &decoded).ok());
+  ASSERT_EQ(decoded.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(decoded[i].task, serve::TaskKind::kRecommend);
+    EXPECT_EQ(decoded[i].user, requests[i].user);
+    EXPECT_EQ(decoded[i].item, requests[i].item);
+    EXPECT_EQ(decoded[i].mode, requests[i].mode);
+    EXPECT_EQ(decoded[i].tenant, requests[i].tenant);
+  }
+  EXPECT_EQ(decoded[0].deadline, ServeClock::time_point::max());
+  const auto skew = decoded[1].deadline - requests[1].deadline;
+  EXPECT_LT(std::chrono::abs(skew), std::chrono::microseconds(2));
+}
+
+TEST(InferWireTest, ClassifyRoundTrip) {
+  const auto now = ServeClock::now();
+  const auto requests = SampleInferRequests(serve::TaskKind::kClassify);
+  const Frame frame = MustDecode(EncodeClassify(5, requests, now));
+  EXPECT_EQ(frame.type, FrameType::kClassify);
+  std::vector<ServiceRequest> decoded;
+  ASSERT_TRUE(DecodeClassify(frame.payload, now, &decoded).ok());
+  ASSERT_EQ(decoded.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(decoded[i].task, serve::TaskKind::kClassify);
+    EXPECT_EQ(decoded[i].item, requests[i].item);
+    EXPECT_EQ(decoded[i].top_k, requests[i].top_k);
+    EXPECT_EQ(decoded[i].mode, requests[i].mode);
+  }
+}
+
+TEST(InferWireTest, AlignRoundTrip) {
+  const auto now = ServeClock::now();
+  const auto requests = SampleInferRequests(serve::TaskKind::kAlign);
+  const Frame frame = MustDecode(EncodeAlign(6, requests, now));
+  EXPECT_EQ(frame.type, FrameType::kAlign);
+  std::vector<ServiceRequest> decoded;
+  ASSERT_TRUE(DecodeAlign(frame.payload, now, &decoded).ok());
+  ASSERT_EQ(decoded.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_EQ(decoded[i].task, serve::TaskKind::kAlign);
+    EXPECT_EQ(decoded[i].item, requests[i].item);
+    EXPECT_EQ(decoded[i].item_b, requests[i].item_b);
+  }
+}
+
+TEST(InferWireTest, ScoreReplyRoundTrip) {
+  std::vector<ServiceResponse> responses(3);
+  responses[0].code = ResponseCode::kOk;
+  responses[0].score = 0.875f;
+  responses[0].cache_hit = true;
+  responses[1].code = ResponseCode::kDeadlineExceeded;
+  responses[2].code = ResponseCode::kOk;
+  responses[2].score = -3.5f;  // alignment logits can be negative
+  for (FrameType type :
+       {FrameType::kRecommendReply, FrameType::kAlignReply}) {
+    const Frame frame = MustDecode(EncodeScoreReply(type, 8, responses));
+    EXPECT_EQ(frame.type, type);
+    std::vector<ServiceResponse> decoded;
+    ASSERT_TRUE(DecodeScoreReply(frame.payload, &decoded).ok());
+    ASSERT_EQ(decoded.size(), responses.size());
+    for (size_t i = 0; i < responses.size(); ++i) {
+      EXPECT_EQ(decoded[i].code, responses[i].code);
+      EXPECT_EQ(decoded[i].score, responses[i].score);
+      EXPECT_EQ(decoded[i].cache_hit, responses[i].cache_hit);
+    }
+  }
+}
+
+TEST(InferWireTest, ClassifyReplyRoundTrip) {
+  std::vector<ServiceResponse> responses(3);
+  responses[0].code = ResponseCode::kOk;
+  responses[0].class_ids = {4, 1, 7};
+  responses[0].class_probs = {0.5f, 0.25f, 0.125f};
+  responses[1].code = ResponseCode::kInvalidItem;  // no classes
+  responses[2].code = ResponseCode::kOk;
+  responses[2].class_ids = {0};
+  responses[2].class_probs = {1.0f};
+  const Frame frame = MustDecode(EncodeClassifyReply(9, responses));
+  EXPECT_EQ(frame.type, FrameType::kClassifyReply);
+  std::vector<ServiceResponse> decoded;
+  ASSERT_TRUE(DecodeClassifyReply(frame.payload, &decoded).ok());
+  ASSERT_EQ(decoded.size(), responses.size());
+  for (size_t i = 0; i < responses.size(); ++i) {
+    EXPECT_EQ(decoded[i].code, responses[i].code);
+    EXPECT_EQ(decoded[i].class_ids, responses[i].class_ids);
+    EXPECT_EQ(decoded[i].class_probs, responses[i].class_probs);
+  }
+}
+
+TEST(InferWireTest, TruncatedPayloadsRejected) {
+  // Every strict prefix of every v3 payload must be rejected, and a single
+  // trailing byte must be rejected too.
+  const auto now = ServeClock::now();
+  std::vector<ServiceResponse> scores(2);
+  scores[0].score = 1.0f;
+  std::vector<ServiceResponse> classes(1);
+  classes[0].class_ids = {3, 1};
+  classes[0].class_probs = {0.75f, 0.25f};
+  struct Case {
+    std::string frame;
+    std::function<bool(std::string_view)> decode_ok;
+  };
+  const std::vector<Case> cases = {
+      {EncodeRecommend(1, SampleInferRequests(serve::TaskKind::kRecommend),
+                       now),
+       [&](std::string_view p) {
+         std::vector<ServiceRequest> out;
+         return DecodeRecommend(p, now, &out).ok();
+       }},
+      {EncodeClassify(1, SampleInferRequests(serve::TaskKind::kClassify), now),
+       [&](std::string_view p) {
+         std::vector<ServiceRequest> out;
+         return DecodeClassify(p, now, &out).ok();
+       }},
+      {EncodeAlign(1, SampleInferRequests(serve::TaskKind::kAlign), now),
+       [&](std::string_view p) {
+         std::vector<ServiceRequest> out;
+         return DecodeAlign(p, now, &out).ok();
+       }},
+      {EncodeScoreReply(FrameType::kRecommendReply, 1, scores),
+       [](std::string_view p) {
+         std::vector<ServiceResponse> out;
+         return DecodeScoreReply(p, &out).ok();
+       }},
+      {EncodeClassifyReply(1, classes),
+       [](std::string_view p) {
+         std::vector<ServiceResponse> out;
+         return DecodeClassifyReply(p, &out).ok();
+       }},
+  };
+  for (size_t c = 0; c < cases.size(); ++c) {
+    SCOPED_TRACE(c);
+    const std::string_view payload =
+        std::string_view(cases[c].frame).substr(kFrameHeaderBytes);
+    ASSERT_TRUE(cases[c].decode_ok(payload));
+    for (size_t len = 0; len < payload.size(); ++len) {
+      EXPECT_FALSE(cases[c].decode_ok(payload.substr(0, len))) << len;
+    }
+    std::string padded(payload);
+    padded.push_back('\0');
+    EXPECT_FALSE(cases[c].decode_ok(padded));
+  }
+}
+
+TEST(InferWireTest, HostileCountRejectedBeforeAllocation) {
+  // A count field claiming 2^30 entries against a one-entry payload must
+  // fail validation without attempting the implied allocation.
+  const uint32_t hostile = 1u << 30;
+  std::string payload;
+  payload.append(reinterpret_cast<const char*>(&hostile), sizeof(hostile));
+  payload.append(16, '\0');  // one request entry's worth of bytes
+  const auto now = ServeClock::now();
+  std::vector<ServiceRequest> reqs;
+  EXPECT_FALSE(DecodeRecommend(payload, now, &reqs).ok());
+  EXPECT_FALSE(DecodeClassify(payload, now, &reqs).ok());
+  EXPECT_FALSE(DecodeAlign(payload, now, &reqs).ok());
+  EXPECT_TRUE(reqs.empty());
+  std::vector<ServiceResponse> resps;
+  EXPECT_FALSE(DecodeScoreReply(payload, &resps).ok());
+  EXPECT_FALSE(DecodeClassifyReply(payload, &resps).ok());
+  // A classify-reply entry declaring more classes than the payload holds
+  // is rejected at the entry, not trusted.
+  std::string entry;
+  const uint32_t one = 1;
+  entry.append(reinterpret_cast<const char*>(&one), sizeof(one));
+  entry.push_back(0);                  // code
+  entry.push_back(0);                  // flags
+  entry.push_back(static_cast<char>(0xff));  // k = 0xffff
+  entry.push_back(static_cast<char>(0xff));
+  entry.append(8, '\0');               // bytes for only one class
+  EXPECT_FALSE(DecodeClassifyReply(entry, &resps).ok());
+}
+
+TEST(InferWireTest, BadFieldValuesRejected) {
+  const auto now = ServeClock::now();
+  std::vector<ServiceRequest> requests(1);
+  requests[0].task = serve::TaskKind::kRecommend;
+  const std::string frame = EncodeRecommend(1, requests, now);
+  const std::string payload = frame.substr(kFrameHeaderBytes);
+  std::vector<ServiceRequest> out;
+  ASSERT_TRUE(DecodeRecommend(payload, now, &out).ok());
+
+  // Entry layout: count(4) | a(4) b(4) mode(1) reserved(1) tenant(2)
+  // deadline(4).
+  std::string bad_mode = payload;
+  bad_mode[4 + 8] = 0x7f;
+  EXPECT_FALSE(DecodeRecommend(bad_mode, now, &out).ok());
+
+  std::string bad_reserved = payload;
+  bad_reserved[4 + 9] = 0x01;
+  EXPECT_FALSE(DecodeRecommend(bad_reserved, now, &out).ok());
+
+  // Score reply: count(4) | code(1) flags(1) reserved(2) score(4).
+  std::vector<ServiceResponse> resp(1);
+  const std::string reply =
+      EncodeScoreReply(FrameType::kAlignReply, 1, resp)
+          .substr(kFrameHeaderBytes);
+  std::vector<ServiceResponse> rout;
+  ASSERT_TRUE(DecodeScoreReply(reply, &rout).ok());
+  std::string bad_code = reply;
+  bad_code[4] = 0x7f;
+  EXPECT_FALSE(DecodeScoreReply(bad_code, &rout).ok());
+  std::string bad_rsv = reply;
+  bad_rsv[4 + 2] = 0x01;
+  EXPECT_FALSE(DecodeScoreReply(bad_rsv, &rout).ok());
+  std::string bad_cls = reply;  // ClassifyReply shares the code check
+  EXPECT_FALSE(DecodeClassifyReply(bad_code, &rout).ok());
+}
+
+TEST(InferWireTest, OldPeerVersionCutOffForInferFrames) {
+  // The v3 handshake is exact-match: a frame carrying an inference type but
+  // an older version byte must poison the decoder at the header, so v1/v2
+  // peers can never reach the new codecs.
+  const auto now = ServeClock::now();
+  std::vector<ServiceRequest> requests(1);
+  requests[0].task = serve::TaskKind::kRecommend;
+  for (uint8_t version : {1, 2}) {
+    std::string bytes = EncodeRecommend(1, requests, now);
+    bytes[4] = static_cast<char>(version);
+    FrameDecoder decoder;
+    decoder.Feed(bytes.data(), bytes.size());
+    Frame frame;
+    std::string error;
+    EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Result::kError);
+    EXPECT_NE(error.find("version"), std::string::npos) << error;
+    // Poisoned: even a valid follow-up frame is refused.
+    const std::string good = EncodeControl(FrameType::kPing, 2);
+    decoder.Feed(good.data(), good.size());
+    EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Result::kError);
+  }
 }
 
 TEST(FrameDecoderTest, BufferCompaction) {

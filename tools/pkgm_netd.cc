@@ -27,6 +27,9 @@
 #include <string>
 #include <thread>
 
+#include "infer/engine.h"
+#include "infer/pipeline.h"
+#include "infer/registry.h"
 #include "net/net_server.h"
 #include "serve/knowledge_server.h"
 #include "store/model_registry.h"
@@ -57,6 +60,8 @@ struct NetdFlags {
   std::string port_file;
   int run_seconds = 0;  // 0 = until signal
   std::string stats_json_path;
+  /// Train + serve the three downstream-inference tasks (wire v3 frames).
+  bool infer = false;
 };
 
 int Usage() {
@@ -68,7 +73,8 @@ int Usage() {
                "[--store-dtype fp32|int8]\n"
                "                 [--idle-timeout-ms N] [--max-outbox-mb N]\n"
                "                 [--reuseport 0|1] [--port-file PATH]\n"
-               "                 [--run-seconds N] [--stats-json PATH]\n");
+               "                 [--run-seconds N] [--stats-json PATH]\n"
+               "                 [--infer 0|1]\n");
   return 2;
 }
 
@@ -116,6 +122,8 @@ bool ParseFlags(int argc, char** argv, NetdFlags* flags) {
       flags->run_seconds = std::atoi(v);
     } else if (std::strcmp(arg, "--stats-json") == 0 && (v = next())) {
       flags->stats_json_path = v;
+    } else if (std::strcmp(arg, "--infer") == 0 && (v = next())) {
+      flags->infer = std::atoi(v) != 0;
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg);
       return false;
@@ -155,6 +163,37 @@ int Run(const NetdFlags& flags) {
     server = std::make_unique<serve::KnowledgeServer>(&registry, sopt);
   } else {
     server = std::make_unique<serve::KnowledgeServer>(p.services.get(), sopt);
+  }
+
+  // The inference backend (wire v3 Recommend/Classify/Align). Must outlive
+  // the KnowledgeServer's workers; server->Stop() below joins them before
+  // these locals die.
+  infer::InferModelRegistry infer_models;
+  std::unique_ptr<infer::InferenceEngine> engine;
+  if (flags.infer) {
+    std::printf("pkgm_netd: training downstream models "
+                "(recommend/classify/align) ...\n");
+    Stopwatch infer_setup;
+    infer::InferPipelineOptions iopt;
+    iopt.seed = flags.seed + 100;
+    infer::InferBundle bundle = infer::TrainInferModels(p, iopt);
+    const uint32_t num_users = bundle.num_users;
+    const uint32_t num_classes = bundle.num_classes;
+    infer_models.PublishRecommender(std::move(bundle.recommender),
+                                    bundle.variant);
+    infer_models.PublishClassifier(std::move(bundle.classifier),
+                                   bundle.variant);
+    infer_models.PublishAligner(std::move(bundle.aligner), bundle.variant);
+    if (!flags.store_path.empty()) {
+      engine = std::make_unique<infer::InferenceEngine>(
+          &infer_models, &registry, std::move(bundle.titles));
+    } else {
+      engine = std::make_unique<infer::InferenceEngine>(
+          &infer_models, p.services.get(), std::move(bundle.titles));
+    }
+    server->AttachInferExecutor(engine.get());
+    std::printf("inference ready in %.1fs: %u users, %u classes\n",
+                infer_setup.ElapsedSeconds(), num_users, num_classes);
   }
   server->Start();
 

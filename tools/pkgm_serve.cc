@@ -13,7 +13,9 @@
 //              [--store path.pkgs] [--store-dtype fp32|int8]
 //              [--hot-swaps N] [--swap-interval-ms N]
 //              [--connect host:port] [--connections N] [--items N]
-//              [--stats-json PATH]
+//              [--stats-json PATH] [--workload lookup|mixed]
+//              [--mix-recommend R] [--mix-classify R] [--mix-align R]
+//              [--num-users N] [--top-k N]
 //
 //   --qps 0 (default) runs closed-loop at maximum rate; a positive value
 //   paces the aggregate request rate across client threads.
@@ -43,6 +45,14 @@
 //   server's JSON stats snapshot — fetched over the socket in connect
 //   mode — to PATH at the end of the run.
 //
+//   --workload mixed (open-loop only) draws each arrival's task kind from
+//   the configured per-type shares — recommend/classify/align inference
+//   frames interleaved with lookups; lookup takes whatever share the three
+//   --mix-* flags leave. In-process mode trains the three downstream
+//   models and attaches the inference engine; in connect mode the remote
+//   daemon must run with --infer 1. The report adds a per-task
+//   completed/p50/p999 table.
+//
 //   SIGINT/SIGTERM stop traffic early and still print the final report.
 
 #include <signal.h>
@@ -62,6 +72,9 @@
 #include <thread>
 #include <vector>
 
+#include "infer/engine.h"
+#include "infer/pipeline.h"
+#include "infer/registry.h"
 #include "net/net_client.h"
 #include "net/socket_util.h"
 #include "serve/knowledge_server.h"
@@ -110,6 +123,12 @@ struct ServeFlags {
   size_t connections = 1;            // client socket pool (connect mode)
   uint32_t items = 1000;             // item-space size in connect mode
   std::string stats_json_path;       // write server stats JSON here at end
+  std::string workload = "lookup";   // lookup | mixed (open-loop only)
+  double mix_recommend = -1.0;       // mixed: per-kind shares; < 0 = default
+  double mix_classify = -1.0;
+  double mix_align = -1.0;
+  uint32_t num_users = 60;           // recommend user-id space
+  uint32_t top_k = 3;                // classify top-k
 };
 
 int Usage() {
@@ -129,7 +148,11 @@ int Usage() {
                "[--store-dtype fp32|int8]\n"
                "                  [--hot-swaps N] [--swap-interval-ms N]\n"
                "                  [--connect host:port] [--connections N]\n"
-               "                  [--items N] [--stats-json PATH]\n");
+               "                  [--items N] [--stats-json PATH]\n"
+               "                  [--workload lookup|mixed] "
+               "[--mix-recommend R]\n"
+               "                  [--mix-classify R] [--mix-align R]\n"
+               "                  [--num-users N] [--top-k N]\n");
   return 2;
 }
 
@@ -197,6 +220,18 @@ bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
       flags->items = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (std::strcmp(arg, "--stats-json") == 0 && (v = next())) {
       flags->stats_json_path = v;
+    } else if (std::strcmp(arg, "--workload") == 0 && (v = next())) {
+      flags->workload = v;
+    } else if (std::strcmp(arg, "--mix-recommend") == 0 && (v = next())) {
+      flags->mix_recommend = std::atof(v);
+    } else if (std::strcmp(arg, "--mix-classify") == 0 && (v = next())) {
+      flags->mix_classify = std::atof(v);
+    } else if (std::strcmp(arg, "--mix-align") == 0 && (v = next())) {
+      flags->mix_align = std::atof(v);
+    } else if (std::strcmp(arg, "--num-users") == 0 && (v = next())) {
+      flags->num_users = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(arg, "--top-k") == 0 && (v = next())) {
+      flags->top_k = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg);
       return false;
@@ -237,6 +272,39 @@ bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
   }
   if (flags->connections < 1 || flags->items < 1) {
     std::fprintf(stderr, "--connections/--items must be >= 1\n");
+    return false;
+  }
+  if (flags->workload != "lookup" && flags->workload != "mixed") {
+    std::fprintf(stderr, "--workload must be lookup or mixed\n");
+    return false;
+  }
+  if (flags->workload == "mixed") {
+    if (flags->rate <= 0.0) {
+      std::fprintf(stderr,
+                   "--workload mixed runs on the open-loop generator; "
+                   "set --rate\n");
+      return false;
+    }
+    // Unset shares default to 0.2 each; lookup takes the remainder.
+    if (flags->mix_recommend < 0.0) flags->mix_recommend = 0.2;
+    if (flags->mix_classify < 0.0) flags->mix_classify = 0.2;
+    if (flags->mix_align < 0.0) flags->mix_align = 0.2;
+    const double inference_share =
+        flags->mix_recommend + flags->mix_classify + flags->mix_align;
+    if (flags->mix_recommend > 1.0 || flags->mix_classify > 1.0 ||
+        flags->mix_align > 1.0 || inference_share > 1.0) {
+      std::fprintf(stderr,
+                   "--mix-recommend/--mix-classify/--mix-align must each be "
+                   "in [0, 1] and sum to <= 1 (lookup gets the rest)\n");
+      return false;
+    }
+    if (flags->num_users < 1) {
+      std::fprintf(stderr, "--num-users must be >= 1\n");
+      return false;
+    }
+  } else if (flags->mix_recommend >= 0.0 || flags->mix_classify >= 0.0 ||
+             flags->mix_align >= 0.0) {
+    std::fprintf(stderr, "--mix-* flags need --workload mixed\n");
     return false;
   }
   return true;
@@ -313,6 +381,11 @@ int Run(const ServeFlags& flags) {
   // only needs a client — both feed the same closed loop through `submit`.
   tasks::PretrainedPkgm p;
   store::ModelRegistry registry;
+  // Inference backend for --workload mixed in-process mode; declared before
+  // `server` so the engine outlives the workers it serves.
+  infer::InferModelRegistry infer_models;
+  std::unique_ptr<infer::InferenceEngine> engine;
+  uint32_t num_users = flags.num_users;
   std::unique_ptr<serve::KnowledgeServer> server;
   std::unique_ptr<net::NetClient> client;
   std::function<std::vector<std::future<serve::ServiceResponse>>(
@@ -375,6 +448,30 @@ int Run(const ServeFlags& flags) {
     } else {
       server =
           std::make_unique<serve::KnowledgeServer>(p.services.get(), sopt);
+    }
+    if (flags.workload == "mixed") {
+      std::printf("training downstream models "
+                  "(recommend/classify/align) ...\n");
+      Stopwatch infer_setup;
+      infer::InferPipelineOptions iopt;
+      iopt.seed = flags.seed + 100;
+      infer::InferBundle bundle = infer::TrainInferModels(p, iopt);
+      num_users = bundle.num_users;
+      infer_models.PublishRecommender(std::move(bundle.recommender),
+                                      bundle.variant);
+      infer_models.PublishClassifier(std::move(bundle.classifier),
+                                     bundle.variant);
+      infer_models.PublishAligner(std::move(bundle.aligner), bundle.variant);
+      if (!flags.store_path.empty()) {
+        engine = std::make_unique<infer::InferenceEngine>(
+            &infer_models, &registry, std::move(bundle.titles));
+      } else {
+        engine = std::make_unique<infer::InferenceEngine>(
+            &infer_models, p.services.get(), std::move(bundle.titles));
+      }
+      server->AttachInferExecutor(engine.get());
+      std::printf("inference ready in %.1fs: %u users, %u classes\n\n",
+                  infer_setup.ElapsedSeconds(), num_users, bundle.num_classes);
     }
     server->Start();
     submit = [&server](std::vector<serve::ServiceRequest> batch) {
@@ -453,6 +550,15 @@ int Run(const ServeFlags& flags) {
                            : 0;
     lopt.seed = flags.seed;
     lopt.open_loop = !flags.closed_loop;
+    if (flags.workload == "mixed") {
+      lopt.mix[1] = flags.mix_recommend;
+      lopt.mix[2] = flags.mix_classify;
+      lopt.mix[3] = flags.mix_align;
+      lopt.mix[0] =
+          1.0 - (flags.mix_recommend + flags.mix_classify + flags.mix_align);
+      lopt.num_users = num_users;
+      lopt.top_k = flags.top_k;
+    }
 
     serve::AsyncSubmitFn async_submit;
     std::unique_ptr<FutureDrain> drain;
@@ -486,6 +592,21 @@ int Run(const ServeFlags& flags) {
                 lg.offered_qps, serve::ArrivalProcessName(lopt.arrival),
                 flags.tenants, lg.achieved_qps,
                 flags.closed_loop ? " [closed-loop measurement]" : "");
+    if (flags.workload == "mixed") {
+      TablePrinter mix_table(
+          {"task", "completed", "ok", "p50 us", "p99 us", "p999 us"});
+      for (uint8_t k = 0; k <= serve::kMaxTaskKind; ++k) {
+        if (lg.task_completed[k] == 0) continue;
+        const Histogram& h = lg.task_latency_us[k];
+        mix_table.AddRow({serve::TaskKindName(static_cast<serve::TaskKind>(k)),
+                          std::to_string(lg.task_completed[k]),
+                          std::to_string(lg.task_ok[k]),
+                          StrFormat("%.1f", h.Percentile(0.5)),
+                          StrFormat("%.1f", h.Percentile(0.99)),
+                          StrFormat("%.1f", h.Percentile(0.999))});
+      }
+      std::printf("\nper-task mix:\n%s\n", mix_table.ToString().c_str());
+    }
   } else {
   std::vector<std::thread> clients;
   Rng seeder(flags.seed);

@@ -40,6 +40,16 @@
 //                                               verify checksum + structure
 //   pkgm_tool bench-kernels [dim]               detected SIMD ISA + per-op
 //                                               micro-bench vs scalar
+//   pkgm_tool export-infer-model <out_prefix> [--seed N] [--generation N]
+//                                               pre-train the serving-scale
+//                                               PKG, train the three
+//                                               downstream models and write
+//                                               <prefix>.{recommend,classify,
+//                                               align}.pkgi (checksummed,
+//                                               self-checked by reload)
+//   pkgm_tool inspect-infer-model <model.pkgi>  print the .pkgi header +
+//                                               config as JSON; verifies
+//                                               the payload checksum
 //
 // The TSV format is "head\trelation\ttail", one triple per line (see
 // kg/io.h); `generate` emits a compatible file so the whole loop runs
@@ -61,6 +71,8 @@
 #include "core/trainer.h"
 #include "dist/dist_trainer.h"
 #include "dist/local_cluster.h"
+#include "infer/model_file.h"
+#include "infer/pipeline.h"
 #include "kg/io.h"
 #include "kg/mmap_triple_index.h"
 #include "kg/split.h"
@@ -69,6 +81,7 @@
 #include "store/embedding_store_writer.h"
 #include "store/mmap_embedding_store.h"
 #include "store/store_format.h"
+#include "serve_common.h"
 #include "tensor/simd/kernel_bench.h"
 #include "tensor/simd/kernel_dispatch.h"
 #include "util/logging.h"
@@ -101,7 +114,10 @@ int Usage() {
                "  pkgm_tool quantize-store <in.pkgs> <out.pkgs>\n"
                "  pkgm_tool build-kg-index <kg.tsv> <out.pkgt>\n"
                "  pkgm_tool inspect-kg-index <index.pkgt>\n"
-               "  pkgm_tool bench-kernels [dim]\n");
+               "  pkgm_tool bench-kernels [dim]\n"
+               "  pkgm_tool export-infer-model <out_prefix> [--seed N] "
+               "[--generation N]\n"
+               "  pkgm_tool inspect-infer-model <model.pkgi>\n");
   return 2;
 }
 
@@ -737,6 +753,98 @@ int CmdInspectKgIndex(int argc, char** argv) {
   return cs.ok() && vs.ok() ? 0 : 1;
 }
 
+// Self-contained downstream-model packaging: pre-trains the serving-scale
+// synthetic PKG (the same pipeline pkgm_netd --infer runs), trains the
+// three downstream models, and writes one versioned, checksummed .pkgi per
+// task. Each file is reloaded as a self-check, so a prefix this command
+// accepts is guaranteed loadable by a serving process.
+int CmdExportInferModel(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  const std::string prefix = argv[0];
+  uint64_t seed = 2021;
+  uint64_t generation = 1;
+  for (int i = 1; i < argc; ++i) {
+    const auto flag_value = [&](const char* name) -> const char* {
+      if (std::strcmp(argv[i], name) != 0) return nullptr;
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", name);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (const char* v = flag_value("--seed")) {
+      seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = flag_value("--generation")) {
+      generation = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::printf("pre-training the serving-scale PKG (seed %llu) ...\n",
+              static_cast<unsigned long long>(seed));
+  Stopwatch sw;
+  tasks::PretrainedPkgm p =
+      tasks::BuildAndPretrain(tool::ServePipelineOptions(seed));
+  infer::InferPipelineOptions iopt;
+  iopt.seed = seed + 100;
+  infer::InferBundle bundle = infer::TrainInferModels(p, iopt);
+  std::printf("trained in %.1fs: %u items, %u users, %u classes\n",
+              sw.ElapsedSeconds(), p.services->num_items(), bundle.num_users,
+              bundle.num_classes);
+
+  const auto save_one = [&](Status status, const std::string& path) -> int {
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    auto loaded = infer::LoadInferModel(path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s: self-check reload failed: %s\n", path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%s, gen %llu, %s bytes, self-check OK)\n",
+                path.c_str(), InferTaskName(loaded->task),
+                static_cast<unsigned long long>(loaded->generation),
+                WithThousandsSeparators(loaded->file_bytes).c_str());
+    return 0;
+  };
+
+  const std::string rec_path = prefix + ".recommend.pkgi";
+  if (save_one(infer::SaveRecommenderModel(bundle.recommender, bundle.variant,
+                                           generation, rec_path),
+               rec_path) != 0) {
+    return 1;
+  }
+  const std::string cls_path = prefix + ".classify.pkgi";
+  if (save_one(infer::SaveClassifierModel(bundle.classifier, bundle.variant,
+                                          generation, cls_path),
+               cls_path) != 0) {
+    return 1;
+  }
+  const std::string aln_path = prefix + ".align.pkgi";
+  if (save_one(infer::SaveAlignerModel(bundle.aligner, bundle.variant,
+                                       generation, aln_path),
+               aln_path) != 0) {
+    return 1;
+  }
+  return 0;
+}
+
+int CmdInspectInferModel(int argc, char** argv) {
+  if (argc < 1) return Usage();
+  auto json = infer::InspectInferModel(argv[0]);
+  if (!json.ok()) {
+    std::fprintf(stderr, "%s\n", json.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", json->c_str());
+  return 0;
+}
+
 int CmdBenchKernels(int argc, char** argv) {
   const size_t dim = argc >= 1 ? std::strtoul(argv[0], nullptr, 10) : 64;
   if (dim == 0) return Usage();
@@ -816,6 +924,12 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(cmd, "bench-kernels") == 0) {
     return pkgm::CmdBenchKernels(argc - 2, argv + 2);
+  }
+  if (std::strcmp(cmd, "export-infer-model") == 0) {
+    return pkgm::CmdExportInferModel(argc - 2, argv + 2);
+  }
+  if (std::strcmp(cmd, "inspect-infer-model") == 0) {
+    return pkgm::CmdInspectInferModel(argc - 2, argv + 2);
   }
   return pkgm::Usage();
 }
