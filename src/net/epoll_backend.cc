@@ -1,0 +1,215 @@
+// The portable readiness backend: level-triggered epoll, one read()/
+// sendmsg() per readiness edge — exactly the loop NetServer::IoThread ran
+// before the IoBackend seam existed, now with syscall accounting so the
+// io_uring comparison is measurable.
+#include <errno.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <unordered_map>
+
+#include "net/io_backend.h"
+#include "net/socket_util.h"
+#include "util/string_util.h"
+
+namespace pkgm::net {
+namespace {
+
+// epoll user-data tags for the two non-connection fds. Connection tags
+// start at 2 (NetServer's conn-id space), so there is no collision.
+constexpr uint64_t kListenerTag = 0;
+constexpr uint64_t kWakeupTag = 1;
+constexpr size_t kReadChunkBytes = 64 * 1024;
+
+class EpollBackend : public IoBackend {
+ public:
+  const char* name() const override { return "epoll"; }
+
+  Status Init(IoEventHandler* handler, int wakeup_fd) override {
+    handler_ = handler;
+    wakeup_fd_ = wakeup_fd;
+    epoll_fd_.Reset(::epoll_create1(EPOLL_CLOEXEC));
+    if (!epoll_fd_.valid()) {
+      return Status::IoError(
+          StrFormat("epoll_create1: %s", std::strerror(errno)));
+    }
+    return Ctl(EPOLL_CTL_ADD, wakeup_fd, EPOLLIN, kWakeupTag);
+  }
+
+  Status AttachListener(int fd) override {
+    listener_fd_ = fd;
+    return Ctl(EPOLL_CTL_ADD, fd, EPOLLIN, kListenerTag);
+  }
+
+  void DetachListener() override {
+    if (listener_fd_ < 0) return;
+    ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, listener_fd_, nullptr);
+    listener_fd_ = -1;
+  }
+
+  Status AddConnection(uint64_t tag, int fd, bool want_recv) override {
+    Conn conn;
+    conn.fd = fd;
+    conn.want_recv = want_recv;
+    const Status status =
+        Ctl(EPOLL_CTL_ADD, fd, want_recv ? EPOLLIN : 0u, tag);
+    if (status.ok()) conns_.emplace(tag, conn);
+    return status;
+  }
+
+  void PauseRecv(uint64_t tag) override {
+    auto it = conns_.find(tag);
+    if (it == conns_.end() || !it->second.want_recv) return;
+    it->second.want_recv = false;
+    UpdateMask(tag, it->second);
+  }
+
+  void RemoveConnection(uint64_t tag) override {
+    auto it = conns_.find(tag);
+    if (it == conns_.end()) return;
+    ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, it->second.fd, nullptr);
+    conns_.erase(it);
+  }
+
+  SendResult SubmitSend(uint64_t tag, int fd, const iovec* iov,
+                        int iovcnt) override {
+    msghdr msg;
+    std::memset(&msg, 0, sizeof(msg));
+    msg.msg_iov = const_cast<iovec*>(iov);
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    // MSG_NOSIGNAL: a peer that closed mid-write must surface EPIPE, not
+    // kill the process with SIGPIPE.
+    send_syscalls_.fetch_add(1, std::memory_order_relaxed);
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n > 0) return {SendResult::Kind::kSent, static_cast<size_t>(n)};
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      auto it = conns_.find(tag);
+      if (it != conns_.end() && !it->second.want_send) {
+        it->second.want_send = true;
+        UpdateMask(tag, it->second);
+      }
+      return {SendResult::Kind::kWouldBlock, 0};
+    }
+    return {SendResult::Kind::kError, 0};  // EPIPE/ECONNRESET/...
+  }
+
+  void Poll(int timeout_ms) override {
+    epoll_event events[64];
+    wait_calls_.fetch_add(1, std::memory_order_relaxed);
+    const int n_events =
+        ::epoll_wait(epoll_fd_.get(), events, 64, timeout_ms);
+    for (int i = 0; i < n_events; ++i) {
+      const uint64_t tag = events[i].data.u64;
+      if (tag == kListenerTag) {
+        if (listener_fd_ >= 0) handler_->OnAcceptReady();
+        continue;
+      }
+      if (tag == kWakeupTag) {
+        uint64_t counter;
+        [[maybe_unused]] ssize_t r =
+            ::read(wakeup_fd_, &counter, sizeof(counter));
+        wakeups_.fetch_add(1, std::memory_order_relaxed);
+        handler_->OnWakeup();
+        continue;
+      }
+      if (conns_.find(tag) == conns_.end()) continue;  // stale event
+      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+        handler_->OnPeerClosed(tag);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) {
+        ReadReady(tag);
+        if (conns_.find(tag) == conns_.end()) continue;  // closed in OnData
+      }
+      if (events[i].events & EPOLLOUT) {
+        auto it = conns_.find(tag);
+        if (it == conns_.end()) continue;
+        // One-shot semantics: disarm before the callback; a send that
+        // would-blocks again re-arms.
+        if (it->second.want_send) {
+          it->second.want_send = false;
+          UpdateMask(tag, it->second);
+        }
+        handler_->OnSendSpace(tag);
+      }
+    }
+  }
+
+  IoBackendStats stats() const override {
+    IoBackendStats s;
+    s.wait_calls = wait_calls_.load(std::memory_order_relaxed);
+    s.recv_syscalls = recv_syscalls_.load(std::memory_order_relaxed);
+    s.send_syscalls = send_syscalls_.load(std::memory_order_relaxed);
+    s.wakeups = wakeups_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    bool want_recv = true;
+    bool want_send = false;
+  };
+
+  Status Ctl(int op, int fd, uint32_t event_mask, uint64_t tag) {
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = event_mask;
+    ev.data.u64 = tag;
+    if (::epoll_ctl(epoll_fd_.get(), op, fd, &ev) < 0) {
+      return Status::IoError(
+          StrFormat("epoll_ctl: %s", std::strerror(errno)));
+    }
+    return Status::Ok();
+  }
+
+  void UpdateMask(uint64_t tag, const Conn& conn) {
+    Ctl(EPOLL_CTL_MOD, conn.fd,
+        (conn.want_recv ? EPOLLIN : 0u) | (conn.want_send ? EPOLLOUT : 0u),
+        tag);
+  }
+
+  /// Level-triggered read: drain the socket in 64K chunks, handing each to
+  /// the handler as it lands (the handler may close the connection midway).
+  void ReadReady(uint64_t tag) {
+    char buf[kReadChunkBytes];
+    while (true) {
+      auto it = conns_.find(tag);
+      if (it == conns_.end() || !it->second.want_recv) return;
+      recv_syscalls_.fetch_add(1, std::memory_order_relaxed);
+      const ssize_t n = ::read(it->second.fd, buf, sizeof(buf));
+      if (n > 0) {
+        handler_->OnData(tag, buf, static_cast<size_t>(n));
+        if (static_cast<size_t>(n) < sizeof(buf)) return;  // drained
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      handler_->OnPeerClosed(tag);  // EOF or hard error
+      return;
+    }
+  }
+
+  IoEventHandler* handler_ = nullptr;
+  ScopedFd epoll_fd_;
+  int wakeup_fd_ = -1;
+  int listener_fd_ = -1;
+  std::unordered_map<uint64_t, Conn> conns_;
+
+  // Relaxed atomics: bumped only by the loop thread, read cross-thread by
+  // stats snapshots.
+  std::atomic<uint64_t> wait_calls_{0};
+  std::atomic<uint64_t> recv_syscalls_{0};
+  std::atomic<uint64_t> send_syscalls_{0};
+  std::atomic<uint64_t> wakeups_{0};
+};
+
+}  // namespace
+
+std::unique_ptr<IoBackend> CreateEpollBackend() {
+  return std::make_unique<EpollBackend>();
+}
+
+}  // namespace pkgm::net

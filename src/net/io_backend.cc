@@ -1,0 +1,70 @@
+#include "net/io_backend.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "net/uring.h"
+#include "util/logging.h"
+
+namespace pkgm::net {
+namespace {
+
+std::atomic<int> g_uring_probe_override{-1};
+std::atomic<bool> g_fallback_logged{false};
+
+/// The fallback is logged once per process — a daemon with N I/O threads
+/// must not emit N identical warnings.
+void LogFallbackOnce(const char* reason) {
+  bool expected = false;
+  if (g_fallback_logged.compare_exchange_strong(expected, true)) {
+    PKGM_LOG(Warning) << "io_uring unavailable (" << reason
+                      << "); falling back to the epoll backend";
+  }
+}
+
+}  // namespace
+
+const char* IoBackendKindName(IoBackendKind kind) {
+  return kind == IoBackendKind::kUring ? "io_uring" : "epoll";
+}
+
+bool UringAvailable() {
+  const int forced = g_uring_probe_override.load(std::memory_order_acquire);
+  if (forced >= 0) return forced != 0;
+  return UringSupported();
+}
+
+void SetUringProbeOverrideForTesting(int forced) {
+  g_uring_probe_override.store(forced, std::memory_order_release);
+  if (forced == -1) g_fallback_logged.store(false, std::memory_order_release);
+}
+
+IoBackendKind SelectIoBackend(const std::string& override_opt) {
+  std::string choice = override_opt;
+  if (choice.empty()) {
+    const char* env = std::getenv("PKGM_NET_IO");
+    if (env != nullptr) choice = env;
+  }
+  if (choice == "epoll") return IoBackendKind::kEpoll;
+  if (choice == "uring" || choice == "io_uring") {
+    if (UringAvailable()) return IoBackendKind::kUring;
+    LogFallbackOnce("requested via PKGM_NET_IO but probe failed");
+    return IoBackendKind::kEpoll;
+  }
+  if (!choice.empty()) {
+    PKGM_LOG(Warning) << "unknown PKGM_NET_IO value '" << choice
+                      << "' (want uring or epoll); probing";
+  }
+  // Default: probe. uring when the kernel has it, epoll otherwise (the
+  // portable path stays the fallback, silently — absence of io_uring on an
+  // old kernel is normal, not warning-worthy).
+  return UringAvailable() ? IoBackendKind::kUring : IoBackendKind::kEpoll;
+}
+
+std::unique_ptr<IoBackend> CreateIoBackend(IoBackendKind kind) {
+  if (kind == IoBackendKind::kUring) return CreateUringBackend();
+  return CreateEpollBackend();
+}
+
+}  // namespace pkgm::net

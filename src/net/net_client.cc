@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "net/client_io.h"
 #include "net/socket_util.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -27,24 +28,6 @@ serve::ServiceResponse NetworkErrorResponse() {
   return response;
 }
 
-/// Blocking full write; the socket is in blocking mode.
-Status WriteAll(int fd, const std::string& data) {
-  size_t written = 0;
-  while (written < data.size()) {
-    // MSG_NOSIGNAL: a server that closed mid-write must surface EPIPE,
-    // not kill the process with SIGPIPE.
-    const ssize_t n =
-        ::send(fd, data.data() + written, data.size() - written,
-               MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError(StrFormat("send: %s", std::strerror(errno)));
-    }
-    written += static_cast<size_t>(n);
-  }
-  return Status::Ok();
-}
-
 }  // namespace
 
 /// One pooled connection. The submitting thread writes frames under `mu`;
@@ -55,6 +38,12 @@ Status WriteAll(int fd, const std::string& data) {
 struct NetClient::Conn {
   std::mutex mu;
   ScopedFd fd;
+  /// The I/O path (plain or io_uring), created once per connection and
+  /// reused across reconnects: its writer side runs under `mu`, its reader
+  /// side only on the reader thread, and a new reader is spawned only
+  /// after the old one joined — so the raw pointer the reader captures
+  /// stays valid for its whole life.
+  std::unique_ptr<ClientConnIo> io;
   std::thread reader;
 
   struct PendingBatch {
@@ -101,6 +90,7 @@ StatusOr<std::unique_ptr<NetClient>> NetClient::Connect(
     if (!fd.ok()) return fd.status();
     std::lock_guard<std::mutex> lock(conn->mu);
     conn->fd = std::move(fd.value());
+    conn->io = CreateClientIo(options.io_backend);
     Conn* raw = conn.get();
     NetClient* raw_client = client.get();
     conn->reader = std::thread([raw_client, raw] {
@@ -115,6 +105,13 @@ NetClient::Conn& NetClient::PickConn() {
 }
 
 Status NetClient::SendFrame(Conn& conn, const std::string& frame) {
+  iovec iov;
+  iov.iov_base = const_cast<char*>(frame.data());
+  iov.iov_len = frame.size();
+  return SendFrames(conn, &iov, 1);
+}
+
+Status NetClient::SendFrames(Conn& conn, const iovec* iov, int iovcnt) {
   // Caller holds conn.mu.
   if (closing_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("client is shutting down");
@@ -140,7 +137,7 @@ Status NetClient::SendFrame(Conn& conn, const std::string& frame) {
     Conn* raw = &conn;
     conn.reader = std::thread([this, raw] { ReaderLoop(*raw); });
   }
-  const Status status = WriteAll(conn.fd.get(), frame);
+  const Status status = conn.io->SendAll(conn.fd.get(), iov, iovcnt);
   if (!status.ok()) {
     // Wake the reader; it fails the pending entries (including this
     // frame's, which the caller registered before sending) and closes.
@@ -178,6 +175,11 @@ std::vector<std::future<serve::ServiceResponse>> NetClient::SubmitBatch(
   const auto now = serve::ServeClock::now();
   Conn& conn = PickConn();
   std::lock_guard<std::mutex> lock(conn.mu);
+  // Encode every typed frame and register its pending entry first, then
+  // ship the whole batch in one gathered submission: a mixed-kind batch
+  // costs one send syscall (or one ring submission), not one per kind.
+  std::vector<std::string> frames;
+  std::vector<uint64_t> correlation_ids;
   for (uint8_t kind = 0; kind <= serve::kMaxTaskKind; ++kind) {
     const std::vector<size_t>& indices = by_kind[kind];
     if (indices.empty()) continue;
@@ -206,13 +208,24 @@ std::vector<std::future<serve::ServiceResponse>> NetClient::SubmitBatch(
     batch.promises.reserve(indices.size());
     for (size_t i : indices) batch.promises.push_back(std::move(promises[i]));
     conn.pending.emplace(correlation_id, std::move(batch));
-    const Status status = SendFrame(conn, frame);
-    if (!status.ok()) {
-      // If the write started, the reader owns failing the entry; if we
-      // never had a socket, fail it here (and let the remaining kinds try —
-      // SendFrame may reconnect).
-      auto it = conn.pending.find(correlation_id);
-      if (it != conn.pending.end() && !conn.fd.valid()) {
+    frames.push_back(std::move(frame));
+    correlation_ids.push_back(correlation_id);
+  }
+
+  std::vector<iovec> iov(frames.size());
+  for (size_t i = 0; i < frames.size(); ++i) {
+    iov[i].iov_base = const_cast<char*>(frames[i].data());
+    iov[i].iov_len = frames[i].size();
+  }
+  const Status status =
+      SendFrames(conn, iov.data(), static_cast<int>(iov.size()));
+  if (!status.ok()) {
+    // If the write started, the reader owns failing the entries; if we
+    // never had a socket, fail them here.
+    if (!conn.fd.valid()) {
+      for (uint64_t correlation_id : correlation_ids) {
+        auto it = conn.pending.find(correlation_id);
+        if (it == conn.pending.end()) continue;
         network_errors_ += it->second.promises.size();
         for (auto& promise : it->second.promises) {
           promise.set_value(NetworkErrorResponse());
@@ -331,17 +344,15 @@ void NetClient::FailPending(Conn& conn) {
 
 void NetClient::ReaderLoop(Conn& conn) {
   FrameDecoder decoder(options_.max_frame_bytes);
-  const int fd = conn.fd.get();  // stable: only the reader closes it
-  char buf[64 * 1024];
+  const int fd = conn.fd.get();          // stable: only the reader closes it
+  ClientConnIo* io = conn.io.get();      // stable: replaced only after join
   bool healthy = true;
 
   while (healthy) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      break;  // EOF or error: tear down
-    }
-    decoder.Feed(buf, static_cast<size_t>(n));
+    const char* data = nullptr;
+    const ssize_t n = io->Recv(fd, &data);
+    if (n <= 0) break;  // EOF or error (EINTR retried inside): tear down
+    decoder.Feed(data, static_cast<size_t>(n));
 
     Frame frame;
     std::string error;

@@ -1,7 +1,6 @@
 #include "net/net_server.h"
 
 #include <errno.h>
-#include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
@@ -22,10 +21,7 @@
 namespace pkgm::net {
 namespace {
 
-constexpr uint64_t kListenerTag = 0;
-constexpr uint64_t kEventFdTag = 1;
-constexpr int kEpollWaitMs = 100;
-constexpr size_t kReadChunkBytes = 64 * 1024;
+constexpr int kPollWaitMs = 100;
 
 using Clock = std::chrono::steady_clock;
 
@@ -61,17 +57,20 @@ struct NetServer::Connection {
   /// not yet been appended to the outbox.
   uint64_t in_flight_frames = 0;
   Clock::time_point last_activity;
-  bool want_write = false;
+  /// An async (kAsync) send is in flight with the backend; its bytes stay
+  /// in the outbox until OnSendComplete retires them, so send_inflight
+  /// implies a non-empty outbox and the drain condition is unchanged.
+  bool send_inflight = false;
   bool reading = true;
 
   explicit Connection(size_t max_frame_bytes) : decoder(max_frame_bytes) {}
 };
 
-/// Per-thread event loop state. `conns` is touched only by the owning
-/// thread; `inbox_fds`/`completions` are the cross-thread mailboxes.
+/// Per-thread event loop state. `conns` and `backend` are touched only by
+/// the owning thread; `inbox_fds`/`completions` are the cross-thread
+/// mailboxes.
 struct NetServer::IoThread {
   size_t index = 0;
-  ScopedFd epoll_fd;
   ScopedFd event_fd;
   std::thread thread;
 
@@ -84,6 +83,37 @@ struct NetServer::IoThread {
   std::vector<Completion> completions;
 
   std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns;
+  std::unique_ptr<LoopHandler> loop_handler;
+  /// Declared last: destroyed first, while the handler, connections and
+  /// eventfd it references are still alive.
+  std::unique_ptr<IoBackend> backend;
+};
+
+/// Adapts backend callbacks onto the server's loop methods for one thread.
+struct NetServer::LoopHandler : public IoEventHandler {
+  NetServer* server = nullptr;
+  IoThread* io = nullptr;
+
+  void OnAcceptReady() override {
+    if (!server->draining_.load(std::memory_order_acquire)) {
+      server->AcceptNew(*io);
+    }
+  }
+  void OnWakeup() override { server->DrainMailboxes(*io); }
+  void OnData(uint64_t tag, const char* data, size_t len) override {
+    server->OnConnData(*io, tag, data, len);
+  }
+  void OnPeerClosed(uint64_t tag) override {
+    server->CloseConnection(*io, tag);
+  }
+  void OnSendComplete(uint64_t tag, int64_t n) override {
+    server->OnSendComplete(*io, tag, n);
+  }
+  void OnSendSpace(uint64_t tag) override {
+    auto it = io->conns.find(tag);
+    if (it == io->conns.end()) return;
+    server->FlushOutbox(*io, *it->second);
+  }
 };
 
 /// Completion state shared by the per-request callbacks of one request
@@ -133,6 +163,30 @@ NetServer::NetServer(FrameHandler* handler, NetServerOptions options)
 
 NetServer::~NetServer() { Stop(); }
 
+Status NetServer::BuildIoThreads(IoBackendKind kind) {
+  for (size_t i = 0; i < options_.num_io_threads; ++i) {
+    auto io = std::make_unique<IoThread>();
+    io->index = i;
+    io->event_fd.Reset(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+    if (!io->event_fd.valid()) {
+      return Status::IoError(StrFormat("eventfd: %s", std::strerror(errno)));
+    }
+    io->loop_handler = std::make_unique<LoopHandler>();
+    io->loop_handler->server = this;
+    io->loop_handler->io = io.get();
+    io->backend = CreateIoBackend(kind);
+    Status status =
+        io->backend->Init(io->loop_handler.get(), io->event_fd.get());
+    if (!status.ok()) return status;
+    if (i == 0) {
+      status = io->backend->AttachListener(listener_.get());
+      if (!status.ok()) return status;
+    }
+    io_threads_.push_back(std::move(io));
+  }
+  return Status::Ok();
+}
+
 Status NetServer::Start() {
   PKGM_CHECK(!started_) << "NetServer::Start called twice";
   auto listener =
@@ -141,40 +195,21 @@ Status NetServer::Start() {
   if (!listener.ok()) return listener.status();
   listener_ = std::move(listener.value());
 
-  for (size_t i = 0; i < options_.num_io_threads; ++i) {
-    auto io = std::make_unique<IoThread>();
-    io->index = i;
-    io->epoll_fd.Reset(::epoll_create1(EPOLL_CLOEXEC));
-    if (!io->epoll_fd.valid()) {
-      return Status::IoError(StrFormat("epoll_create1: %s",
-                                       std::strerror(errno)));
-    }
-    io->event_fd.Reset(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
-    if (!io->event_fd.valid()) {
-      return Status::IoError(StrFormat("eventfd: %s", std::strerror(errno)));
-    }
-    epoll_event ev;
-    std::memset(&ev, 0, sizeof(ev));
-    ev.events = EPOLLIN;
-    ev.data.u64 = kEventFdTag;
-    if (::epoll_ctl(io->epoll_fd.get(), EPOLL_CTL_ADD, io->event_fd.get(),
-                    &ev) < 0) {
-      return Status::IoError(StrFormat("epoll_ctl(eventfd): %s",
-                                       std::strerror(errno)));
-    }
-    if (i == 0) {
-      epoll_event lev;
-      std::memset(&lev, 0, sizeof(lev));
-      lev.events = EPOLLIN;
-      lev.data.u64 = kListenerTag;
-      if (::epoll_ctl(io->epoll_fd.get(), EPOLL_CTL_ADD, listener_.get(),
-                      &lev) < 0) {
-        return Status::IoError(StrFormat("epoll_ctl(listener): %s",
-                                         std::strerror(errno)));
-      }
-    }
-    io_threads_.push_back(std::move(io));
+  IoBackendKind kind = SelectIoBackend(options_.io_backend);
+  Status built = BuildIoThreads(kind);
+  if (!built.ok() && kind == IoBackendKind::kUring) {
+    // The probe passed but a real ring did not come up (e.g. a memlock
+    // limit hit with full-size rings). All threads must agree on a
+    // backend, so rebuild everything on epoll.
+    PKGM_LOG(Warning) << "io_uring backend init failed ("
+                      << built.ToString() << "); falling back to epoll";
+    io_threads_.clear();
+    kind = IoBackendKind::kEpoll;
+    built = BuildIoThreads(kind);
   }
+  if (!built.ok()) return built;
+  io_backend_name_ = IoBackendKindName(kind);
+
   for (size_t i = 0; i < io_threads_.size(); ++i) {
     io_threads_[i]->thread = std::thread([this, i] { IoLoop(i); });
   }
@@ -210,11 +245,16 @@ void NetServer::SignalThread(IoThread& io) {
 void NetServer::PostCompletion(size_t thread_index, uint64_t conn_id,
                                std::string bytes) {
   IoThread& io = *io_threads_[thread_index];
+  bool was_empty;
   {
     std::lock_guard<std::mutex> lock(io.mu);
+    was_empty = io.completions.empty() && io.inbox_fds.empty();
     io.completions.push_back({conn_id, std::move(bytes)});
   }
-  SignalThread(io);
+  // Signal only the empty -> non-empty transition: a signal already in
+  // flight guarantees a drain that will pick this item up too, and skipping
+  // the redundant write spares the loop one wakeup round per burst.
+  if (was_empty) SignalThread(io);
 }
 
 void NetServer::AddConnection(IoThread& io, int raw_fd) {
@@ -233,12 +273,8 @@ void NetServer::AddConnection(IoThread& io, int raw_fd) {
   // be closed by the drain sweep.
   conn->reading = !draining_.load(std::memory_order_acquire);
 
-  epoll_event ev;
-  std::memset(&ev, 0, sizeof(ev));
-  ev.events = conn->reading ? static_cast<uint32_t>(EPOLLIN) : 0u;
-  ev.data.u64 = conn->id;
-  if (::epoll_ctl(io.epoll_fd.get(), EPOLL_CTL_ADD, conn->fd.get(), &ev) <
-      0) {
+  if (!io.backend->AddConnection(conn->id, conn->fd.get(), conn->reading)
+           .ok()) {
     return;
   }
   ++connections_accepted_;
@@ -255,37 +291,55 @@ void NetServer::AcceptNew(IoThread& io) {
       AddConnection(io, fd);
     } else {
       IoThread& other = *io_threads_[target];
+      bool was_empty;
       {
         std::lock_guard<std::mutex> lock(other.mu);
+        was_empty = other.completions.empty() && other.inbox_fds.empty();
         other.inbox_fds.push_back(fd);
       }
-      SignalThread(other);
+      if (was_empty) SignalThread(other);
     }
   }
-}
-
-void NetServer::UpdateEpollMask(IoThread& io, Connection& conn) {
-  epoll_event ev;
-  std::memset(&ev, 0, sizeof(ev));
-  ev.events = (conn.reading ? EPOLLIN : 0u) |
-              (conn.want_write ? EPOLLOUT : 0u);
-  ev.data.u64 = conn.id;
-  ::epoll_ctl(io.epoll_fd.get(), EPOLL_CTL_MOD, conn.fd.get(), &ev);
 }
 
 void NetServer::CloseConnection(IoThread& io, uint64_t conn_id) {
   auto it = io.conns.find(conn_id);
   if (it == io.conns.end()) return;
-  ::epoll_ctl(io.epoll_fd.get(), EPOLL_CTL_DEL, it->second->fd.get(),
-              nullptr);
+  // RemoveConnection runs while the fd is still open (the backend must
+  // flush/cancel kernel ops that reference it); the erase then closes it.
+  io.backend->RemoveConnection(conn_id);
   io.conns.erase(it);  // ScopedFd closes the socket
   ++connections_closed_;
 }
 
+void NetServer::RetireOutboxBytes(Connection& conn, size_t n) {
+  if (n == 0) return;
+  bytes_out_ += static_cast<uint64_t>(n);
+  conn.outbox_bytes -= n;
+  conn.last_activity = Clock::now();
+  // Retire fully-sent frames; a partial tail becomes the new front with
+  // its offset advanced.
+  while (n > 0) {
+    const size_t front_remaining =
+        conn.outbox.front().size() - conn.outbox_offset;
+    if (n >= front_remaining) {
+      n -= front_remaining;
+      conn.outbox.pop_front();
+      conn.outbox_offset = 0;
+    } else {
+      conn.outbox_offset += n;
+      n = 0;
+    }
+  }
+}
+
 bool NetServer::FlushOutbox(IoThread& io, Connection& conn) {
-  // Gather up to kFlushIovecs queued frames per syscall: under pipelined
-  // load the outbox routinely holds many small response frames, and one
-  // writev drains what used to take one send() each.
+  // One async send at a time per connection: its bytes stay queued until
+  // OnSendComplete retires them and resumes the flush.
+  if (conn.send_inflight) return true;
+  // Gather up to kFlushIovecs queued frames per submission: under
+  // pipelined load the outbox routinely holds many small response frames,
+  // and one gathered send drains what used to take one send() each.
   constexpr int kFlushIovecs = 64;
   while (!conn.outbox.empty()) {
     struct iovec iov[kFlushIovecs];
@@ -298,49 +352,36 @@ bool NetServer::FlushOutbox(IoThread& io, Connection& conn) {
       iov[iovcnt].iov_len = entry.size() - offset;
       ++iovcnt;
     }
-    // MSG_NOSIGNAL: a peer that closed mid-write must surface EPIPE, not
-    // kill the process with SIGPIPE.
-    struct msghdr msg;
-    std::memset(&msg, 0, sizeof(msg));
-    msg.msg_iov = iov;
-    msg.msg_iovlen = static_cast<size_t>(iovcnt);
-    const ssize_t n = ::sendmsg(conn.fd.get(), &msg, MSG_NOSIGNAL);
-    if (n > 0) {
-      bytes_out_ += static_cast<uint64_t>(n);
-      conn.outbox_bytes -= static_cast<size_t>(n);
-      conn.last_activity = Clock::now();
-      // Retire fully-sent frames; a partial tail becomes the new front
-      // with its offset advanced.
-      size_t sent_bytes = static_cast<size_t>(n);
-      while (sent_bytes > 0) {
-        const size_t front_remaining =
-            conn.outbox.front().size() - conn.outbox_offset;
-        if (sent_bytes >= front_remaining) {
-          sent_bytes -= front_remaining;
-          conn.outbox.pop_front();
-          conn.outbox_offset = 0;
-        } else {
-          conn.outbox_offset += sent_bytes;
-          sent_bytes = 0;
-        }
-      }
-      continue;
+    const SendResult result =
+        io.backend->SubmitSend(conn.id, conn.fd.get(), iov, iovcnt);
+    switch (result.kind) {
+      case SendResult::Kind::kSent:
+        RetireOutboxBytes(conn, result.bytes);
+        continue;
+      case SendResult::Kind::kWouldBlock:
+        return true;  // backend calls OnSendSpace when a retry can progress
+      case SendResult::Kind::kAsync:
+        conn.send_inflight = true;
+        return true;  // OnSendComplete retires and resumes
+      case SendResult::Kind::kError:
+        CloseConnection(io, conn.id);  // EPIPE/ECONNRESET/...
+        return false;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      if (!conn.want_write) {
-        conn.want_write = true;
-        UpdateEpollMask(io, conn);
-      }
-      return true;
-    }
-    CloseConnection(io, conn.id);  // EPIPE/ECONNRESET/...
-    return false;
-  }
-  if (conn.want_write) {
-    conn.want_write = false;
-    UpdateEpollMask(io, conn);
   }
   return true;
+}
+
+void NetServer::OnSendComplete(IoThread& io, uint64_t tag, int64_t n) {
+  auto it = io.conns.find(tag);
+  if (it == io.conns.end()) return;
+  Connection& conn = *it->second;
+  conn.send_inflight = false;
+  if (n < 0) {
+    CloseConnection(io, tag);
+    return;
+  }
+  RetireOutboxBytes(conn, static_cast<size_t>(n));
+  FlushOutbox(io, conn);
 }
 
 bool NetServer::SendOnLoop(IoThread& io, Connection& conn,
@@ -504,23 +545,17 @@ bool NetServer::RouteToHandler(IoThread& io, Connection& conn, Frame frame) {
                                 "frame refused by handler"));
 }
 
-void NetServer::ReadAndProcess(IoThread& io, Connection& conn) {
-  char buf[kReadChunkBytes];
-  while (conn.reading) {
-    const ssize_t n = ::read(conn.fd.get(), buf, sizeof(buf));
-    if (n > 0) {
-      bytes_in_ += static_cast<uint64_t>(n);
-      conn.last_activity = Clock::now();
-      conn.decoder.Feed(buf, static_cast<size_t>(n));
-      if (static_cast<size_t>(n) < sizeof(buf)) break;  // drained the socket
-      continue;
-    }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
-    // EOF or hard error. Responses for frames already submitted would go
-    // nowhere the peer reads; drop the connection.
-    CloseConnection(io, conn.id);
-    return;
-  }
+void NetServer::OnConnData(IoThread& io, uint64_t tag, const char* data,
+                           size_t len) {
+  auto it = io.conns.find(tag);
+  if (it == io.conns.end()) return;
+  Connection& conn = *it->second;
+  // Bytes that race the drain cutoff are dropped: the peer's new requests
+  // are not accepted mid-drain (same as the pre-seam read-disable).
+  if (!conn.reading) return;
+  bytes_in_ += static_cast<uint64_t>(len);
+  conn.last_activity = Clock::now();
+  conn.decoder.Feed(data, len);
   Frame frame;
   std::string error;
   while (true) {
@@ -537,16 +572,36 @@ void NetServer::ReadAndProcess(IoThread& io, Connection& conn) {
   }
 }
 
+void NetServer::DrainMailboxes(IoThread& io) {
+  std::vector<int> fds;
+  std::vector<IoThread::Completion> completions;
+  {
+    std::lock_guard<std::mutex> lock(io.mu);
+    fds.swap(io.inbox_fds);
+    completions.swap(io.completions);
+  }
+  for (int fd : fds) AddConnection(io, fd);
+  for (auto& completion : completions) {
+    auto it = io.conns.find(completion.conn_id);
+    if (it == io.conns.end()) continue;  // connection died first
+    Connection& conn = *it->second;
+    PKGM_CHECK(conn.in_flight_frames > 0);
+    --conn.in_flight_frames;
+    SendOnLoop(io, conn, std::move(completion.bytes));
+  }
+}
+
 void NetServer::IoLoop(size_t thread_index) {
   IoThread& io = *io_threads_[thread_index];
   bool drain_seen = false;
   Clock::time_point drain_deadline{};
   Clock::time_point last_idle_scan = Clock::now();
-  epoll_event events[64];
 
   while (true) {
-    const int n_events =
-        ::epoll_wait(io.epoll_fd.get(), events, 64, kEpollWaitMs);
+    // One backend iteration: wait for events (epoll_wait, or one
+    // submit-and-wait io_uring_enter) and dispatch them through the
+    // LoopHandler callbacks.
+    io.backend->Poll(kPollWaitMs);
     const bool draining = draining_.load(std::memory_order_acquire);
 
     if (draining && !drain_seen) {
@@ -554,61 +609,16 @@ void NetServer::IoLoop(size_t thread_index) {
       drain_deadline =
           Clock::now() + std::chrono::milliseconds(options_.drain_timeout_ms);
       if (thread_index == 0 && listener_.valid()) {
-        ::epoll_ctl(io.epoll_fd.get(), EPOLL_CTL_DEL, listener_.get(),
-                    nullptr);
+        io.backend->DetachListener();
         // The fd itself is closed by Stop() after every thread has joined.
         ::shutdown(listener_.get(), SHUT_RDWR);
       }
       for (auto& [id, conn] : io.conns) {
         if (conn->reading) {
           conn->reading = false;
-          UpdateEpollMask(io, *conn);
+          io.backend->PauseRecv(id);
         }
       }
-    }
-
-    for (int i = 0; i < n_events; ++i) {
-      const uint64_t tag = events[i].data.u64;
-      if (tag == kListenerTag) {
-        if (!draining) AcceptNew(io);
-        continue;
-      }
-      if (tag == kEventFdTag) {
-        uint64_t counter;
-        [[maybe_unused]] ssize_t r =
-            ::read(io.event_fd.get(), &counter, sizeof(counter));
-        std::vector<int> fds;
-        std::vector<IoThread::Completion> completions;
-        {
-          std::lock_guard<std::mutex> lock(io.mu);
-          fds.swap(io.inbox_fds);
-          completions.swap(io.completions);
-        }
-        for (int fd : fds) AddConnection(io, fd);
-        for (auto& completion : completions) {
-          auto it = io.conns.find(completion.conn_id);
-          if (it == io.conns.end()) continue;  // connection died first
-          Connection& conn = *it->second;
-          PKGM_CHECK(conn.in_flight_frames > 0);
-          --conn.in_flight_frames;
-          SendOnLoop(io, conn, std::move(completion.bytes));
-        }
-        continue;
-      }
-      auto it = io.conns.find(tag);
-      if (it == io.conns.end()) continue;  // stale event for a closed conn
-      Connection& conn = *it->second;
-      if (events[i].events & (EPOLLERR | EPOLLHUP)) {
-        CloseConnection(io, conn.id);
-        continue;
-      }
-      if (events[i].events & EPOLLIN) {
-        ReadAndProcess(io, conn);
-        // The connection may be gone; re-find before using it again.
-        it = io.conns.find(tag);
-        if (it == io.conns.end()) continue;
-      }
-      if (events[i].events & EPOLLOUT) FlushOutbox(io, *it->second);
     }
 
     const Clock::time_point now = Clock::now();
@@ -660,6 +670,17 @@ serve::NetCounters NetServer::net_counters() const {
   net.protocol_errors = protocol_errors_.load();
   net.backpressure_disconnects = backpressure_disconnects_.load();
   net.idle_disconnects = idle_disconnects_.load();
+  net.io_backend = io_backend_name_;
+  for (const auto& io : io_threads_) {
+    if (io->backend == nullptr) continue;
+    const IoBackendStats s = io->backend->stats();
+    net.io_wait_calls += s.wait_calls;
+    net.io_recv_syscalls += s.recv_syscalls;
+    net.io_send_syscalls += s.send_syscalls;
+    net.io_recv_submissions += s.recv_submissions;
+    net.io_send_submissions += s.send_submissions;
+    net.io_wakeups += s.wakeups;
+  }
   return net;
 }
 
@@ -694,7 +715,10 @@ std::string NetServer::StatsJson() const {
         "\"connections_accepted\": %llu, \"connections_closed\": %llu, "
         "\"frames_in\": %llu, \"frames_out\": %llu, \"bytes_in\": %llu, "
         "\"bytes_out\": %llu, \"protocol_errors\": %llu, "
-        "\"backpressure_disconnects\": %llu, \"idle_disconnects\": %llu}",
+        "\"backpressure_disconnects\": %llu, \"idle_disconnects\": %llu, "
+        "\"io_backend\": \"%s\", \"io_wait_calls\": %llu, "
+        "\"io_recv_syscalls\": %llu, \"io_send_syscalls\": %llu, "
+        "\"io_recv_submissions\": %llu, \"io_send_submissions\": %llu}",
         static_cast<unsigned long long>(net.connections_accepted),
         static_cast<unsigned long long>(net.connections_closed),
         static_cast<unsigned long long>(net.frames_in),
@@ -703,7 +727,13 @@ std::string NetServer::StatsJson() const {
         static_cast<unsigned long long>(net.bytes_out),
         static_cast<unsigned long long>(net.protocol_errors),
         static_cast<unsigned long long>(net.backpressure_disconnects),
-        static_cast<unsigned long long>(net.idle_disconnects));
+        static_cast<unsigned long long>(net.idle_disconnects),
+        net.io_backend.c_str(),
+        static_cast<unsigned long long>(net.io_wait_calls),
+        static_cast<unsigned long long>(net.io_recv_syscalls),
+        static_cast<unsigned long long>(net.io_send_syscalls),
+        static_cast<unsigned long long>(net.io_recv_submissions),
+        static_cast<unsigned long long>(net.io_send_submissions));
     if (!fields.empty()) {
       json += ", ";
       json += fields;

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "net/io_backend.h"
 #include "net/socket_util.h"
 #include "net/wire.h"
 #include "serve/knowledge_server.h"
@@ -42,6 +43,11 @@ struct NetServerOptions {
   /// Kernel send-buffer size for accepted sockets; 0 keeps the default
   /// (tests shrink it to exercise the outbox bound deterministically).
   int so_sndbuf_bytes = 0;
+  /// I/O backend override: "uring", "epoll", or "" to defer to the
+  /// PKGM_NET_IO environment variable and then the runtime probe. A uring
+  /// request on a kernel without support falls back to epoll with one
+  /// warning (see SelectIoBackend).
+  std::string io_backend;
 };
 
 /// Server-side extension seam: application logic for frame types the
@@ -76,14 +82,17 @@ class FrameHandler {
   virtual std::string StatsJson() { return "{}"; }
 };
 
-/// The TCP front end of the serving subsystem: a non-blocking epoll event
-/// loop (level-triggered) that decodes wire-protocol frames into
-/// ServiceRequest batches, submits them to a KnowledgeServer — whose
-/// admission control, deadlines, cache and registry hot swap are untouched
-/// — and completes responses asynchronously.
+/// The TCP front end of the serving subsystem: a non-blocking event loop
+/// that decodes wire-protocol frames into ServiceRequest batches, submits
+/// them to a KnowledgeServer — whose admission control, deadlines, cache
+/// and registry hot swap are untouched — and completes responses
+/// asynchronously. How readiness/completion is obtained lives behind the
+/// IoBackend seam: epoll (portable) or io_uring (batched submission, one
+/// syscall per loop iteration), selected per NetServerOptions::io_backend /
+/// PKGM_NET_IO / runtime probe.
 ///
-/// Threading model: N I/O threads each own an epoll instance and a set of
-/// connections; thread 0 additionally owns the listener. A request frame
+/// Threading model: N I/O threads each own an IoBackend instance and a set
+/// of connections; thread 0 additionally owns the listener. A request frame
 /// is decoded on its connection's I/O thread and submitted via
 /// SubmitBatchAsync; the knowledge-server worker that finishes the last
 /// request of the frame encodes the response and posts it back to the
@@ -134,11 +143,20 @@ class NetServer {
   struct IoThread;
   struct FrameState;
   struct HandlerRespondState;
+  struct LoopHandler;
 
+  Status BuildIoThreads(IoBackendKind kind);
   void IoLoop(size_t thread_index);
   void AddConnection(IoThread& io, int fd);
   void AcceptNew(IoThread& io);
-  void ReadAndProcess(IoThread& io, Connection& conn);
+  /// Consumes the cross-thread mailboxes (new fds, posted completions).
+  void DrainMailboxes(IoThread& io);
+  /// Backend delivered `len` received bytes for `tag`: feed the decoder and
+  /// process complete frames.
+  void OnConnData(IoThread& io, uint64_t tag, const char* data, size_t len);
+  /// Backend finished an async send: retire `n` written bytes (or close on
+  /// a negative errno) and continue flushing.
+  void OnSendComplete(IoThread& io, uint64_t tag, int64_t n);
   /// Returns false when the frame killed the connection.
   bool HandleFrame(IoThread& io, Connection& conn, Frame frame);
   /// Routes one request frame to handler_ (kError/kUnsupported when absent
@@ -149,7 +167,9 @@ class NetServer {
   bool SendOnLoop(IoThread& io, Connection& conn, std::string bytes);
   /// Returns false on a fatal write error (connection closed).
   bool FlushOutbox(IoThread& io, Connection& conn);
-  void UpdateEpollMask(IoThread& io, Connection& conn);
+  /// Retires `n` sent bytes from the outbox front (partial frames keep an
+  /// offset) and bumps the byte counters.
+  void RetireOutboxBytes(Connection& conn, size_t n);
   void CloseConnection(IoThread& io, uint64_t conn_id);
   /// Worker-side: hand an encoded response frame to the owning I/O thread.
   void PostCompletion(size_t thread_index, uint64_t conn_id,
@@ -163,6 +183,8 @@ class NetServer {
 
   ScopedFd listener_;
   uint16_t port_ = 0;
+  /// Resolved backend name ("epoll" / "io_uring"), valid after Start().
+  std::string io_backend_name_;
   std::vector<std::unique_ptr<IoThread>> io_threads_;
   std::atomic<uint64_t> next_conn_id_{2};  // 0 = listener tag, 1 = eventfd tag
   std::atomic<size_t> next_io_thread_{0};

@@ -161,6 +161,20 @@ std::string ServerStats::ToTable(uint64_t queue_depth, const CacheStats* cache,
                      std::to_string(net->backpressure_disconnects)});
     counters.AddRow({"net idle disconnects",
                      std::to_string(net->idle_disconnects)});
+    counters.AddRow({"net io backend", net->io_backend.empty()
+                                           ? std::string("-")
+                                           : net->io_backend});
+    counters.AddRow({"net io wait calls", std::to_string(net->io_wait_calls)});
+    counters.AddRow(
+        {"net io recv syscalls", std::to_string(net->io_recv_syscalls)});
+    counters.AddRow(
+        {"net io send syscalls", std::to_string(net->io_send_syscalls)});
+    counters.AddRow(
+        {"net io recv submissions", std::to_string(net->io_recv_submissions)});
+    counters.AddRow(
+        {"net io send submissions", std::to_string(net->io_send_submissions)});
+    counters.AddRow(
+        {"net frames per syscall", StrFormat("%.2f", net->FramesPerSyscall())});
   }
 
   std::vector<std::string> headers = {"stage", "count"};
@@ -244,6 +258,14 @@ std::string ServerStats::StatsJson(uint64_t queue_depth,
     json += ",\"backpressure_disconnects\":" +
             u64(net->backpressure_disconnects);
     json += ",\"idle_disconnects\":" + u64(net->idle_disconnects);
+    json += ",\"io_backend\":\"" + JsonEscape(net->io_backend) + "\"";
+    json += ",\"io_wait_calls\":" + u64(net->io_wait_calls);
+    json += ",\"io_recv_syscalls\":" + u64(net->io_recv_syscalls);
+    json += ",\"io_send_syscalls\":" + u64(net->io_send_syscalls);
+    json += ",\"io_recv_submissions\":" + u64(net->io_recv_submissions);
+    json += ",\"io_send_submissions\":" + u64(net->io_send_submissions);
+    json += ",\"frames_per_syscall\":" +
+            StrFormat("%.3f", net->FramesPerSyscall());
     json += "}";
   }
   json += ",\"latency\":{\"queue\":" + HistogramJson(QueueLatency(), quantiles_) +

@@ -34,6 +34,30 @@ struct NetCounters {
   uint64_t backpressure_disconnects = 0;
   /// Connections reaped by the idle timeout.
   uint64_t idle_disconnects = 0;
+
+  /// I/O backend the event loops run on ("epoll" / "io_uring").
+  std::string io_backend;
+  /// Blocking waits (epoll_wait or io_uring_enter — every enter is one
+  /// syscall), summed across I/O threads.
+  uint64_t io_wait_calls = 0;
+  /// Per-chunk recv/send syscalls (epoll path; 0 on io_uring, where the
+  /// ops ride the ring as submissions).
+  uint64_t io_recv_syscalls = 0;
+  uint64_t io_send_syscalls = 0;
+  /// RECV / SENDMSG SQEs submitted to the ring (io_uring path).
+  uint64_t io_recv_submissions = 0;
+  uint64_t io_send_submissions = 0;
+  /// Cross-thread wakeup signals consumed by the loops.
+  uint64_t io_wakeups = 0;
+
+  /// Frames moved (in + out) per I/O syscall (waits + recvs + sends): the
+  /// batched-submission win in one number — higher is better.
+  double FramesPerSyscall() const {
+    const uint64_t syscalls =
+        io_wait_calls + io_recv_syscalls + io_send_syscalls;
+    return static_cast<double>(frames_in + frames_out) /
+           static_cast<double>(syscalls > 0 ? syscalls : 1);
+  }
 };
 
 /// Thread-safe metrics for the knowledge server: request counters by

@@ -1,13 +1,16 @@
-// End-to-end tests for the network serving subsystem: NetServer (epoll
-// front end) + NetClient over loopback against a real KnowledgeServer.
-// The core acceptance property is parity — vectors served over the socket
-// are bit-identical to direct KnowledgeServer::Submit — including across a
-// registry hot swap mid-stream.
+// End-to-end tests for the network serving subsystem: NetServer + NetClient
+// over loopback against a real KnowledgeServer. The core acceptance
+// property is parity — vectors served over the socket are bit-identical to
+// direct KnowledgeServer::Submit — including across a registry hot swap
+// mid-stream. Every case runs as a backend matrix over both I/O backends
+// (epoll and io_uring); the uring leg skips cleanly on kernels without
+// io_uring, and both legs must behave identically.
 #include <gtest/gtest.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <limits>
@@ -19,6 +22,7 @@
 
 #include "core/pkgm_model.h"
 #include "core/service.h"
+#include "net/io_backend.h"
 #include "net/net_client.h"
 #include "net/net_server.h"
 #include "net/socket_util.h"
@@ -132,14 +136,46 @@ bool WaitFor(F condition, int timeout_ms = 5000) {
   return true;
 }
 
-TEST(NetServerTest, EndToEndParityWithDirectSubmit) {
+/// Backend-matrix base: the parameter ("epoll" / "uring") pins both the
+/// server's and the client's I/O backend; the uring leg skips where the
+/// kernel has no io_uring.
+class BackendTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    if (std::string(GetParam()) == "uring" && !UringAvailable()) {
+      GTEST_SKIP() << "io_uring unavailable on this kernel";
+    }
+  }
+
+  NetServerOptions ServerOptions() const {
+    NetServerOptions options;
+    options.io_backend = GetParam();
+    return options;
+  }
+
+  NetClientOptions ClientOptions() const {
+    NetClientOptions options;
+    options.io_backend = GetParam();
+    return options;
+  }
+};
+
+class NetServerTest : public BackendTest {};
+class NetClientTest : public BackendTest {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, NetServerTest,
+                         ::testing::Values("epoll", "uring"));
+INSTANTIATE_TEST_SUITE_P(Backends, NetClientTest,
+                         ::testing::Values("epoll", "uring"));
+
+TEST_P(NetServerTest, EndToEndParityWithDirectSubmit) {
   Fixture fx;
   KnowledgeServer server(fx.provider.get());
   server.Start();
-  NetServer net(&server);
+  NetServer net(&server, ServerOptions());
   ASSERT_TRUE(net.Start().ok());
 
-  NetClientOptions copt;
+  NetClientOptions copt = ClientOptions();
   copt.num_connections = 2;
   auto client = NetClient::Connect("127.0.0.1", net.port(), copt);
   ASSERT_TRUE(client.ok()) << client.status().ToString();
@@ -176,16 +212,16 @@ TEST(NetServerTest, EndToEndParityWithDirectSubmit) {
   server.Stop();
 }
 
-TEST(NetServerTest, ParityAcrossRegistryHotSwapMidStream) {
+TEST_P(NetServerTest, ParityAcrossRegistryHotSwapMidStream) {
   Fixture fx;
   store::ModelRegistry registry;
   registry.Publish(fx.model, fx.provider, store::StoreBackendInfo{});
 
   KnowledgeServer server(&registry);
   server.Start();
-  NetServer net(&server);
+  NetServer net(&server, ServerOptions());
   ASSERT_TRUE(net.Start().ok());
-  auto client = NetClient::Connect("127.0.0.1", net.port());
+  auto client = NetClient::Connect("127.0.0.1", net.port(), ClientOptions());
   ASSERT_TRUE(client.ok());
 
   // Stream batches while publishing fresh generations (new provider
@@ -225,14 +261,14 @@ TEST(NetServerTest, ParityAcrossRegistryHotSwapMidStream) {
   server.Stop();
 }
 
-TEST(NetServerTest, DeadlineExpiresAcrossTheWire) {
+TEST_P(NetServerTest, DeadlineExpiresAcrossTheWire) {
   Fixture fx;
   // Workers not started yet: accepted requests sit queued until Start(),
   // so a short relative deadline deterministically expires in the queue.
   KnowledgeServer server(fx.provider.get());
-  NetServer net(&server);
+  NetServer net(&server, ServerOptions());
   ASSERT_TRUE(net.Start().ok());
-  auto client = NetClient::Connect("127.0.0.1", net.port());
+  auto client = NetClient::Connect("127.0.0.1", net.port(), ClientOptions());
   ASSERT_TRUE(client.ok());
 
   ServiceRequest request = MakeRequest(1, ServiceForm::kCondensed);
@@ -247,14 +283,14 @@ TEST(NetServerTest, DeadlineExpiresAcrossTheWire) {
   server.Stop();
 }
 
-TEST(NetServerTest, AdmissionRejectionPropagatesOverWire) {
+TEST_P(NetServerTest, AdmissionRejectionPropagatesOverWire) {
   Fixture fx;
   KnowledgeServerOptions sopt;
   sopt.queue_capacity = 1;  // one batch fits, the second is rejected
   KnowledgeServer server(fx.provider.get(), sopt);
-  NetServer net(&server);
+  NetServer net(&server, ServerOptions());
   ASSERT_TRUE(net.Start().ok());
-  auto client = NetClient::Connect("127.0.0.1", net.port());
+  auto client = NetClient::Connect("127.0.0.1", net.port(), ClientOptions());
   ASSERT_TRUE(client.ok());
 
   std::vector<ServiceRequest> first(4, MakeRequest(1, ServiceForm::kCondensed));
@@ -280,14 +316,14 @@ TEST(NetServerTest, AdmissionRejectionPropagatesOverWire) {
   server.Stop();
 }
 
-TEST(NetServerTest, MalformedFrameClosesOnlyTheOffendingConnection) {
+TEST_P(NetServerTest, MalformedFrameClosesOnlyTheOffendingConnection) {
   Fixture fx;
   KnowledgeServer server(fx.provider.get());
   server.Start();
-  NetServer net(&server);
+  NetServer net(&server, ServerOptions());
   ASSERT_TRUE(net.Start().ok());
 
-  auto client = NetClient::Connect("127.0.0.1", net.port());
+  auto client = NetClient::Connect("127.0.0.1", net.port(), ClientOptions());
   ASSERT_TRUE(client.ok());
   ASSERT_TRUE(client.value()->Ping().ok());
 
@@ -310,11 +346,11 @@ TEST(NetServerTest, MalformedFrameClosesOnlyTheOffendingConnection) {
   server.Stop();
 }
 
-TEST(NetServerTest, UnknownFrameTypeAnsweredWithErrorConnectionSurvives) {
+TEST_P(NetServerTest, UnknownFrameTypeAnsweredWithErrorConnectionSurvives) {
   Fixture fx;
   KnowledgeServer server(fx.provider.get());
   server.Start();
-  NetServer net(&server);
+  NetServer net(&server, ServerOptions());
   ASSERT_TRUE(net.Start().ok());
 
   auto raw = ConnectTcp("127.0.0.1", net.port(), 5000);
@@ -348,11 +384,11 @@ TEST(NetServerTest, UnknownFrameTypeAnsweredWithErrorConnectionSurvives) {
   server.Stop();
 }
 
-TEST(NetServerTest, SlowReaderIsDisconnectedByBackpressure) {
+TEST_P(NetServerTest, SlowReaderIsDisconnectedByBackpressure) {
   Fixture fx;
   KnowledgeServer server(fx.provider.get());
   server.Start();
-  NetServerOptions nopt;
+  NetServerOptions nopt = ServerOptions();
   nopt.max_outbox_bytes = 16 * 1024;  // tight bound
   nopt.so_sndbuf_bytes = 4 * 1024;    // tiny kernel buffer → outbox fills
   NetServer net(&server, nopt);
@@ -391,13 +427,13 @@ TEST(NetServerTest, SlowReaderIsDisconnectedByBackpressure) {
   server.Stop();
 }
 
-TEST(NetServerTest, GracefulDrainCompletesAcceptedRequests) {
+TEST_P(NetServerTest, GracefulDrainCompletesAcceptedRequests) {
   Fixture fx;
   KnowledgeServer server(fx.provider.get());
   server.Start();
-  NetServer net(&server);
+  NetServer net(&server, ServerOptions());
   ASSERT_TRUE(net.Start().ok());
-  auto client = NetClient::Connect("127.0.0.1", net.port());
+  auto client = NetClient::Connect("127.0.0.1", net.port(), ClientOptions());
   ASSERT_TRUE(client.ok());
 
   std::vector<std::future<ServiceResponse>> futures;
@@ -423,11 +459,11 @@ TEST(NetServerTest, GracefulDrainCompletesAcceptedRequests) {
   server.Stop();
 }
 
-TEST(NetServerTest, IdleConnectionsAreReaped) {
+TEST_P(NetServerTest, IdleConnectionsAreReaped) {
   Fixture fx;
   KnowledgeServer server(fx.provider.get());
   server.Start();
-  NetServerOptions nopt;
+  NetServerOptions nopt = ServerOptions();
   nopt.idle_timeout_ms = 100;
   NetServer net(&server, nopt);
   ASSERT_TRUE(net.Start().ok());
@@ -445,13 +481,13 @@ TEST(NetServerTest, IdleConnectionsAreReaped) {
   server.Stop();
 }
 
-TEST(NetServerTest, PingAndStatsProbes) {
+TEST_P(NetServerTest, PingAndStatsProbes) {
   Fixture fx;
   KnowledgeServer server(fx.provider.get());
   server.Start();
-  NetServer net(&server);
+  NetServer net(&server, ServerOptions());
   ASSERT_TRUE(net.Start().ok());
-  auto client = NetClient::Connect("127.0.0.1", net.port());
+  auto client = NetClient::Connect("127.0.0.1", net.port(), ClientOptions());
   ASSERT_TRUE(client.ok());
 
   EXPECT_TRUE(client.value()->Ping().ok());
@@ -463,21 +499,32 @@ TEST(NetServerTest, PingAndStatsProbes) {
   EXPECT_NE(stats.value().find("\"net\""), std::string::npos);
   EXPECT_NE(stats.value().find("\"accepted\""), std::string::npos);
 
+  // The stats report which I/O backend actually serves the sockets, plus
+  // the syscall accounting the bench gate reads.
+  const std::string expected_backend = std::string("\"io_backend\":\"") +
+      (std::string(GetParam()) == "uring" ? "io_uring" : "epoll") + "\"";
+  EXPECT_NE(stats.value().find(expected_backend), std::string::npos)
+      << stats.value();
+  EXPECT_NE(stats.value().find("\"io_wait_calls\""), std::string::npos);
+  EXPECT_NE(stats.value().find("\"frames_per_syscall\""), std::string::npos);
+  EXPECT_EQ(net.net_counters().io_backend,
+            std::string(GetParam()) == "uring" ? "io_uring" : "epoll");
+
   client.value().reset();
   net.Stop();
   server.Stop();
 }
 
-TEST(NetClientTest, ReconnectsAfterServerRestart) {
+TEST_P(NetClientTest, ReconnectsAfterServerRestart) {
   Fixture fx;
   KnowledgeServer server(fx.provider.get());
   server.Start();
 
-  auto first = std::make_unique<NetServer>(&server);
+  auto first = std::make_unique<NetServer>(&server, ServerOptions());
   ASSERT_TRUE(first->Start().ok());
   const uint16_t port = first->port();
 
-  NetClientOptions copt;
+  NetClientOptions copt = ClientOptions();
   copt.reconnect_backoff_initial_ms = 10;
   auto client = NetClient::Connect("127.0.0.1", port, copt);
   ASSERT_TRUE(client.ok());
@@ -499,7 +546,7 @@ TEST(NetClientTest, ReconnectsAfterServerRestart) {
   EXPECT_GE(client.value()->network_errors(), 1u);
 
   // Restart on the same port; the client must recover via reconnect.
-  NetServerOptions nopt;
+  NetServerOptions nopt = ServerOptions();
   nopt.port = port;
   NetServer second(&server, nopt);
   ASSERT_TRUE(second.Start().ok());
@@ -577,12 +624,12 @@ class ReversingPushHandler : public FrameHandler {
   std::vector<Parked> parked_;
 };
 
-TEST(NetClientTest, ManyInFlightCallsResolveOutOfOrder) {
+TEST_P(NetClientTest, ManyInFlightCallsResolveOutOfOrder) {
   ReversingPushHandler handler;
-  NetServer server(&handler);
+  NetServer server(&handler, ServerOptions());
   ASSERT_TRUE(server.Start().ok());
 
-  auto client = NetClient::Connect("127.0.0.1", server.port());
+  auto client = NetClient::Connect("127.0.0.1", server.port(), ClientOptions());
   ASSERT_TRUE(client.ok());
 
   constexpr uint32_t kInFlight = 64;
@@ -616,13 +663,13 @@ TEST(NetClientTest, ManyInFlightCallsResolveOutOfOrder) {
   server.Stop();
 }
 
-TEST(NetClientTest, CorrelationIdWraparound) {
+TEST_P(NetClientTest, CorrelationIdWraparound) {
   ReversingPushHandler handler;
-  NetServer server(&handler);
+  NetServer server(&handler, ServerOptions());
   ASSERT_TRUE(server.Start().ok());
 
   // Pin the counter so the ids cross UINT64_MAX -> 0 mid-test.
-  NetClientOptions copt;
+  NetClientOptions copt = ClientOptions();
   copt.start_correlation_id = std::numeric_limits<uint64_t>::max() - 3;
   auto client = NetClient::Connect("127.0.0.1", server.port(), copt);
   ASSERT_TRUE(client.ok());
@@ -658,15 +705,15 @@ TEST(NetClientTest, CorrelationIdWraparound) {
   server.Stop();
 }
 
-TEST(NetClientTest, ReconnectDuringPendingPush) {
+TEST_P(NetClientTest, ReconnectDuringPendingPush) {
   ReversingPushHandler handler;
-  NetServerOptions nopt;
+  NetServerOptions nopt = ServerOptions();
   nopt.drain_timeout_ms = 50;  // force-close the parked push quickly
   auto first = std::make_unique<NetServer>(&handler, nopt);
   ASSERT_TRUE(first->Start().ok());
   const uint16_t port = first->port();
 
-  NetClientOptions copt;
+  NetClientOptions copt = ClientOptions();
   copt.reconnect_backoff_initial_ms = 10;
   auto client = NetClient::Connect("127.0.0.1", port, copt);
   ASSERT_TRUE(client.ok());
@@ -690,7 +737,7 @@ TEST(NetClientTest, ReconnectDuringPendingPush) {
 
   // Restart on the same port; the client must reconnect and the next push
   // must complete (the handler answers it at the next barrier).
-  NetServerOptions nopt2;
+  NetServerOptions nopt2 = ServerOptions();
   nopt2.port = port;
   NetServer second(&handler, nopt2);
   ASSERT_TRUE(second.Start().ok());
@@ -713,6 +760,74 @@ TEST(NetClientTest, ReconnectDuringPendingPush) {
 
   client.value().reset();
   second.Stop();
+}
+
+/// Pins the uring-availability probe for a scope; restores the real probe
+/// on destruction so later tests see the actual kernel.
+struct ProbeOverrideGuard {
+  explicit ProbeOverrideGuard(int forced) {
+    SetUringProbeOverrideForTesting(forced);
+  }
+  ~ProbeOverrideGuard() { SetUringProbeOverrideForTesting(-1); }
+};
+
+// Not part of the backend matrix: these pin the probe rather than the
+// backend, so they run once.
+TEST(IoBackendSelectionTest, UringRequestFallsBackToEpollWhenUnavailable) {
+  ProbeOverrideGuard guard(0);  // pretend the kernel has no io_uring
+
+  Fixture fx;
+  KnowledgeServer server(fx.provider.get());
+  server.Start();
+  NetServerOptions nopt;
+  nopt.io_backend = "uring";
+  NetServer net(&server, nopt);
+  // Start must succeed anyway — the selection logs once and degrades.
+  ASSERT_TRUE(net.Start().ok());
+  EXPECT_EQ(net.net_counters().io_backend, "epoll");
+
+  // And the degraded server still serves traffic.
+  auto client = NetClient::Connect("127.0.0.1", net.port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(client.value()->Ping().ok());
+  ServiceResponse over_wire =
+      client.value()->Submit(MakeRequest(3, ServiceForm::kCondensed)).get();
+  ServiceResponse direct =
+      server.Submit(MakeRequest(3, ServiceForm::kCondensed)).get();
+  ExpectSameResponse(over_wire, direct);
+
+  client.value().reset();
+  net.Stop();
+  server.Stop();
+}
+
+TEST(IoBackendSelectionTest, EnvPinRespectedAndExplicitEpollNeverProbes) {
+  // The selection reads PKGM_NET_IO when no explicit override is given, so
+  // take the env over for the duration (CI runs this suite under a pin).
+  const char* saved = std::getenv("PKGM_NET_IO");
+  const std::string saved_value = saved != nullptr ? saved : "";
+  ::unsetenv("PKGM_NET_IO");
+
+  // An explicit "epoll" request must select epoll even when the probe
+  // reports uring available.
+  ProbeOverrideGuard guard(1);
+  EXPECT_EQ(SelectIoBackend("epoll"), IoBackendKind::kEpoll);
+  EXPECT_EQ(SelectIoBackend("uring"), IoBackendKind::kUring);
+  // Default selection follows the (overridden) probe.
+  EXPECT_EQ(SelectIoBackend(""), IoBackendKind::kUring);
+  // The env pin fills in when no explicit override is given, and the
+  // explicit override wins over the env.
+  ::setenv("PKGM_NET_IO", "epoll", 1);
+  EXPECT_EQ(SelectIoBackend(""), IoBackendKind::kEpoll);
+  EXPECT_EQ(SelectIoBackend("uring"), IoBackendKind::kUring);
+  ::unsetenv("PKGM_NET_IO");
+
+  SetUringProbeOverrideForTesting(0);
+  EXPECT_EQ(SelectIoBackend(""), IoBackendKind::kEpoll);
+  // "uring" with no uring support degrades instead of failing.
+  EXPECT_EQ(SelectIoBackend("uring"), IoBackendKind::kEpoll);
+
+  if (!saved_value.empty()) ::setenv("PKGM_NET_IO", saved_value.c_str(), 1);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 //              [--store path.pkgs] [--store-dtype fp32|int8]
 //              [--hot-swaps N] [--swap-interval-ms N]
 //              [--connect host:port] [--connections N] [--items N]
+//              [--io-backend uring|epoll]
 //              [--stats-json PATH] [--workload lookup|mixed]
 //              [--mix-recommend R] [--mix-classify R] [--mix-align R]
 //              [--num-users N] [--top-k N]
@@ -121,6 +122,7 @@ struct ServeFlags {
   int swap_interval_ms = 20;
   std::string connect;               // host:port; empty = in-process server
   size_t connections = 1;            // client socket pool (connect mode)
+  std::string io_backend;            // client I/O pin; "" = env + probe
   uint32_t items = 1000;             // item-space size in connect mode
   std::string stats_json_path;       // write server stats JSON here at end
   std::string workload = "lookup";   // lookup | mixed (open-loop only)
@@ -148,6 +150,7 @@ int Usage() {
                "[--store-dtype fp32|int8]\n"
                "                  [--hot-swaps N] [--swap-interval-ms N]\n"
                "                  [--connect host:port] [--connections N]\n"
+               "                  [--io-backend uring|epoll]\n"
                "                  [--items N] [--stats-json PATH]\n"
                "                  [--workload lookup|mixed] "
                "[--mix-recommend R]\n"
@@ -216,6 +219,8 @@ bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
       flags->connect = v;
     } else if (std::strcmp(arg, "--connections") == 0 && (v = next())) {
       flags->connections = std::strtoull(v, nullptr, 10);
+    } else if (std::strcmp(arg, "--io-backend") == 0 && (v = next())) {
+      flags->io_backend = v;
     } else if (std::strcmp(arg, "--items") == 0 && (v = next())) {
       flags->items = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (std::strcmp(arg, "--stats-json") == 0 && (v = next())) {
@@ -308,6 +313,24 @@ bool ParseFlags(int argc, char** argv, ServeFlags* flags) {
     return false;
   }
   return true;
+}
+
+/// Minimal field extraction from the server's flat StatsJson blob — enough
+/// for the end-of-run I/O summary in connect mode without a JSON parser.
+std::string JsonStringField(const std::string& json, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return "";
+  const size_t start = at + needle.size();
+  const size_t end = json.find('"', start);
+  return end == std::string::npos ? "" : json.substr(start, end - start);
+}
+
+uint64_t JsonU64Field(const std::string& json, const char* key) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const size_t at = json.find(needle);
+  if (at == std::string::npos) return 0;
+  return std::strtoull(json.c_str() + at + needle.size(), nullptr, 10);
 }
 
 /// Adapts the future-returning NetClient::SubmitBatch to the load
@@ -403,6 +426,7 @@ int Run(const ServeFlags& flags) {
     }
     net::NetClientOptions copt;
     copt.num_connections = flags.connections;
+    copt.io_backend = flags.io_backend;
     auto connected = net::NetClient::Connect(host, port, copt);
     if (!connected.ok()) {
       std::fprintf(stderr, "connect to %s failed: %s\n",
@@ -748,6 +772,36 @@ int Run(const ServeFlags& flags) {
 
   if (server != nullptr) {
     std::printf("server-side stats:\n%s\n", server->StatsReport().c_str());
+  }
+  if (client != nullptr) {
+    // End-of-run I/O accounting from the remote daemon: which backend its
+    // event loops ran on and what the frame stream cost in syscalls.
+    std::string io_json = stats_json;
+    if (io_json.empty()) {
+      auto fetched = client->ServerStatsJson();
+      if (fetched.ok()) io_json = std::move(fetched.value());
+    }
+    const std::string backend = JsonStringField(io_json, "io_backend");
+    if (!backend.empty()) {
+      const uint64_t waits = JsonU64Field(io_json, "io_wait_calls");
+      const uint64_t recvs = JsonU64Field(io_json, "io_recv_syscalls");
+      const uint64_t sends = JsonU64Field(io_json, "io_send_syscalls");
+      const uint64_t submissions =
+          JsonU64Field(io_json, "io_recv_submissions") +
+          JsonU64Field(io_json, "io_send_submissions");
+      const uint64_t frames = JsonU64Field(io_json, "frames_in") +
+                              JsonU64Field(io_json, "frames_out");
+      const uint64_t syscalls = waits + recvs + sends;
+      std::printf(
+          "remote server i/o: %s backend — %s waits, %s recv + %s send "
+          "syscalls, %s ring submissions, %.2f frames/syscall\n\n",
+          backend.c_str(), WithThousandsSeparators(waits).c_str(),
+          WithThousandsSeparators(recvs).c_str(),
+          WithThousandsSeparators(sends).c_str(),
+          WithThousandsSeparators(submissions).c_str(),
+          static_cast<double>(frames) /
+              static_cast<double>(syscalls > 0 ? syscalls : 1));
+    }
   }
   if (!flags.stats_json_path.empty() && !stats_json.empty()) {
     std::FILE* f = std::fopen(flags.stats_json_path.c_str(), "w");
